@@ -1,0 +1,167 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Piecewise vs single-piece communication model (§3.2.1 motivates the
+   threshold).
+2. Poisson-binomial overlap weighting vs the worst-case assumption
+   that all p contenders are always active.
+3. j-bucket granularity: one bucket vs the paper's three.
+4. Scheduler quantum of the simulated CPU: the fluid p+1 model's error
+   grows with the quantum.
+5. Sequencer lookahead depth: deeper lookahead reduces CM2 idle time
+   (bounded by the didle <= dserial invariant).
+6. Delay-table range: extrapolating from p_max = 2 to p = 4 vs direct
+   measurement (keeps the calibration suite small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.contender import cpu_bound
+from repro.core.calibration import fit_linear, fit_piecewise
+from repro.core.slowdown import paragon_comm_slowdown, paragon_comp_slowdown
+from repro.core.workload import ApplicationProfile
+from repro.experiments.calibrate import calibrate_paragon, pingpong_sweep
+from repro.experiments.report import render_table
+from repro.platforms.specs import CpuSpec, SunCM2Spec, SunParagonSpec
+from repro.platforms.suncm2 import SunCM2Platform
+from repro.sim.engine import Simulator
+from repro.traces.analysis import measure_dedicated_cm2
+from repro.traces.instructions import Parallel, Serial, Trace
+
+from conftest import run_once
+
+
+def test_ablation_piecewise_vs_single_fit(benchmark, paragon_spec):
+    """The two-piece model fits the dedicated sweep far better than a
+    single line — the reason §3.2.1 introduces the threshold."""
+
+    def compare():
+        sweep = pingpong_sweep(paragon_spec, count=150)
+        sizes = np.array(list(sweep))
+        times = np.array(list(sweep.values()))
+        single = fit_linear(sizes, times)
+        double = fit_piecewise(sizes, times)
+        err_single = np.abs(
+            [single.message_time(s) - t for s, t in zip(sizes, times)]
+        ) / times
+        err_double = np.abs(
+            [double.message_time(s) - t for s, t in zip(sizes, times)]
+        ) / times
+        return float(err_single.mean()), float(err_double.mean())
+
+    err_single, err_double = run_once(benchmark, compare)
+    print(f"\nablation 1: mean fit error single={err_single:.2%} piecewise={err_double:.2%}")
+    assert err_double < err_single / 2
+
+
+def test_ablation_probabilistic_vs_worstcase(benchmark, paragon_spec):
+    """Weighting the delay tables by overlap probabilities (the paper's
+    model) predicts much lower slowdown than assuming all contenders
+    are always active — and the probabilistic value is the accurate
+    one (cf. fig5/fig6 benches)."""
+    cal = calibrate_paragon(paragon_spec)
+    contenders = [
+        ApplicationProfile("c25", 0.25, 200),
+        ApplicationProfile("c76", 0.76, 200),
+    ]
+
+    def compare():
+        probabilistic = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
+        worst_case = (
+            1.0
+            + cal.delay_comp.delay(2)  # as if both always computed
+            + cal.delay_comm.delay(2)  # and both always communicated
+        )
+        return probabilistic, worst_case
+
+    probabilistic, worst_case = run_once(benchmark, compare)
+    print(f"\nablation 2: slowdown probabilistic={probabilistic:.3f} worst-case={worst_case:.3f}")
+    assert worst_case > probabilistic * 1.5
+
+
+def test_ablation_j_bucket_granularity(benchmark, paragon_spec):
+    """Collapsing the sized tables to a single bucket loses the
+    message-size sensitivity Figures 7/8 demonstrate."""
+    cal = calibrate_paragon(paragon_spec)
+    big = [ApplicationProfile("c", 0.66, 1000)]
+    small = [ApplicationProfile("c", 0.66, 1)]
+
+    def spread():
+        with_buckets = paragon_comp_slowdown(
+            big, cal.delay_comm_sized
+        ) - paragon_comp_slowdown(small, cal.delay_comm_sized)
+        return with_buckets
+
+    spread_value = run_once(benchmark, spread)
+    print(f"\nablation 3: slowdown spread across contender sizes = {spread_value:.3f}")
+    # A single-bucket model would give spread == 0 by construction.
+    assert spread_value > 0.05
+
+
+def test_ablation_quantum_sensitivity(benchmark):
+    """The p+1 model's error against the simulator grows with the
+    scheduler quantum (fluid-limit argument)."""
+
+    def error_for(quantum: float) -> float:
+        spec = SunCM2Spec(
+            cpu=CpuSpec(quantum=quantum, context_switch=0.0, daemon_interval=0.0,
+                        daemon_work=0.0)
+        )
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=spec)
+        for i in range(3):
+            platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+
+        def probe():
+            elapsed = yield from platform.transfer(256, count=8, tag="probe")
+            return elapsed
+
+        actual = sim.run_until(sim.process(probe()))
+        dedicated = 8 * spec.message_cpu_time(256)
+        return abs(actual / dedicated - 4.0) / 4.0
+
+    def sweep():
+        return {q: error_for(q) for q in (1e-4, 1e-3, 1e-2)}
+
+    errors = run_once(benchmark, sweep)
+    print("\nablation 4: |p+1 model error| by quantum:", {q: f"{e:.2%}" for q, e in errors.items()})
+    assert errors[1e-4] <= errors[1e-2] + 0.02
+
+
+def test_ablation_lookahead_depth(benchmark):
+    """Deeper sequencer lookahead lets the Sun run further ahead,
+    shrinking CM2 idle time in serial-punctuated streams."""
+
+    def idle_for(lookahead: int) -> float:
+        spec = SunCM2Spec(
+            cpu=CpuSpec(daemon_interval=0.0, daemon_work=0.0), lookahead=lookahead
+        )
+        trace = Trace([Serial(2e-4), Parallel(5e-3)] * 60)
+        return measure_dedicated_cm2(trace, spec).costs.didle
+
+    def sweep():
+        return {d: idle_for(d) for d in (1, 2, 4, 16)}
+
+    idles = run_once(benchmark, sweep)
+    print("\nablation 5: didle by lookahead depth:", {d: f"{v:.4f}s" for d, v in idles.items()})
+    assert idles[16] <= idles[1] + 1e-9
+
+
+def test_ablation_delay_table_extrapolation(benchmark, paragon_spec):
+    """6. Calibrating delay tables only up to p_max = 2 and linearly
+    extrapolating to p = 4 stays close to the directly measured level —
+    the property that keeps the calibration suite small."""
+    from repro.experiments.calibrate import measure_delay_comp
+
+    def compare():
+        full = measure_delay_comp(paragon_spec, p_max=4)
+        short = measure_delay_comp(paragon_spec, p_max=2)
+        measured = full.delay(4)
+        extrapolated = short.delay(4, extrapolate=True)
+        return measured, extrapolated
+
+    measured, extrapolated = run_once(benchmark, compare)
+    print(f"\nablation 6: delay_comp^4 measured={measured:.3f} extrapolated-from-2={extrapolated:.3f}")
+    assert extrapolated == pytest.approx(measured, rel=0.2)

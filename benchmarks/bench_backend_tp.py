@@ -1,0 +1,29 @@
+"""T_p effects: inter-partition mesh contention and gang scheduling.
+
+§3.2: "traffic on the mesh may affect an application's performance ...
+contention for CPU in each node may occur if the nodes are time-shared
+and gang-scheduling is implemented. These effects can be included in
+T_p."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.backend import gang_experiment, mesh_contention_experiment
+
+from conftest import run_once
+
+
+def test_mesh_contention(benchmark):
+    result = run_once(benchmark, mesh_contention_experiment)
+    print()
+    print(result.render())
+    assert result.metrics["contiguous_slowdown"] < 1.02
+    assert result.metrics["scattered_slowdown"] > 1.03
+    assert any("REJECTED" in str(row[1]) for row in result.rows)
+
+
+def test_gang_scheduling(benchmark):
+    result = run_once(benchmark, gang_experiment)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 5.0

@@ -1,0 +1,19 @@
+"""Figure 2: interleaving of serial and parallel instructions.
+
+Regenerates the Sun/CM2 activity timeline and checks the §3.1.2
+invariant that didle never exceeds dserial.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig2_interleaving
+
+from conftest import run_once
+
+
+def test_fig2(benchmark, cm2_spec):
+    result = run_once(benchmark, fig2_interleaving, spec=cm2_spec)
+    print()
+    print(result.render())
+    assert result.metrics["didle_le_dserial"] == 1.0
+    assert result.metrics["dcomp_cm2"] > 0

@@ -1,0 +1,24 @@
+"""Figure 3: Gaussian elimination on the CM2, dedicated vs p=3.
+
+Paper: the contended run is slower only below a crossover size
+(M ~ 200); above it, the CM2's parallel work hides the Sun's contended
+serial stream and dedicated == contended.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig3_gauss_cm2
+
+from conftest import run_once
+
+
+def test_fig3(benchmark, cm2_spec):
+    result = run_once(benchmark, fig3_gauss_cm2, spec=cm2_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 15.0
+    crossover = result.metrics["crossover_M"]
+    assert 150 <= crossover <= 300  # paper: ~200
+    # Below the crossover contention hurts; at the top it does not.
+    assert result.rows[0][-1] == "yes"
+    assert result.rows[-1][-1] == "no"

@@ -1,0 +1,28 @@
+"""Figure 4: dedicated bursts to/from the Paragon, 1-HOP vs 2-HOPS.
+
+Paper: both modes present very similar behaviour; communication cost is
+a piecewise linear function of message size with a threshold at 1024
+words.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig4_paragon_dedicated
+
+from conftest import run_once
+
+
+def test_fig4(benchmark, paragon_spec):
+    result = run_once(benchmark, fig4_paragon_dedicated, spec=paragon_spec)
+    print()
+    print(result.render())
+    # "Very similar behaviour" between modes.
+    assert result.metrics["max_2hops_over_1hop_ratio"] < 1.5
+    # Piecewise linearity: the incremental per-word cost changes across
+    # the 1024-word threshold.
+    sizes = result.column("size (words)")
+    t = result.column("1hop out")
+    idx_1024 = sizes.index(1024)
+    slope_small = (t[idx_1024] - t[0]) / (sizes[idx_1024] - sizes[0])
+    slope_large = (t[-1] - t[idx_1024]) / (sizes[-1] - sizes[idx_1024])
+    assert abs(slope_large - slope_small) / slope_small > 0.2

@@ -1,0 +1,22 @@
+"""Figure 5: contended bursts Sun->Paragon, modeled vs actual.
+
+Paper: two contenders (25% and 76% communicating, 200-word messages);
+model within 12% average error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5_paragon_comm_out
+
+from conftest import run_once
+
+
+def test_fig5(benchmark, paragon_spec):
+    result = run_once(benchmark, fig5_paragon_comm_out, spec=paragon_spec)
+    print()
+    print(result.render())
+    # Paper reports 12%; we accept the same band with small headroom.
+    assert result.metrics["mean_abs_err_pct"] < 18.0
+    # Contention is material: actual well above dedicated everywhere.
+    for dedicated, actual in zip(result.column("dedicated"), result.column("actual")):
+        assert actual > 1.3 * dedicated

@@ -1,0 +1,17 @@
+"""Figure 6: contended bursts Paragon->Sun, modeled vs actual.
+
+Paper: same contender set as Figure 5; model within 14% average error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig6_paragon_comm_in
+
+from conftest import run_once
+
+
+def test_fig6(benchmark, paragon_spec):
+    result = run_once(benchmark, fig6_paragon_comm_in, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 20.0

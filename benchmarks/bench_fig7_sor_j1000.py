@@ -1,0 +1,25 @@
+"""Figure 7: SOR on the Sun; contenders 66% @ 800 w and 33% @ 1200 w.
+
+Paper: model error 4% with j=1000, 16% with j=500, 32% with j=1 — the
+j bucket must reflect the contenders' (large) message sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig7_sor_sun
+
+from conftest import run_once
+
+
+def test_fig7(benchmark, paragon_spec):
+    result = run_once(benchmark, fig7_sor_sun, spec=paragon_spec)
+    print()
+    print(result.render())
+    # Shape: the tiny-message bucket is clearly the wrong choice, the
+    # recommended bucket (max contender size -> 1000) is accurate.
+    assert result.metrics["auto_bucket_j"] == 1000
+    assert result.metrics["mean_abs_err_auto_pct"] < 15.0
+    assert (
+        result.metrics["mean_abs_err_j1_pct"]
+        > 1.5 * result.metrics["mean_abs_err_j1000_pct"]
+    )

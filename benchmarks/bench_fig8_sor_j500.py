@@ -1,0 +1,23 @@
+"""Figure 8: SOR on the Sun; contenders 40% @ 500 w and 76% @ 200 w.
+
+Paper: model error 5% with j=500; 25% with j=1 and with j=1000 — the
+best bucket tracks the contenders' actual message sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig8_sor_sun
+
+from conftest import run_once
+
+
+def test_fig8(benchmark, paragon_spec):
+    result = run_once(benchmark, fig8_sor_sun, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["auto_bucket_j"] == 500
+    assert result.metrics["mean_abs_err_auto_pct"] < 15.0
+    assert (
+        result.metrics["mean_abs_err_j1_pct"]
+        > result.metrics["mean_abs_err_auto_pct"]
+    )

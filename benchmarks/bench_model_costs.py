@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the paper's run-time efficiency claims (§3.2.1).
+
+"Using dynamic programming, it is possible to generate all pcomp_i ...
+in O(p²) time. If a new application is added ... O(p) time. ... The
+slowdown calculation itself takes O(p) time. Since p is small ... the
+overhead imposed by its calculation is negligible."
+
+These benchmarks time the actual operations (and the empirical scaling
+sanity check lives in the assertions: the absolute costs must be
+microseconds-scale — negligible against scheduling decisions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import DelayTable, SizedDelayTable
+from repro.core.probability import add_application, overlap_distribution
+from repro.core.runtime import SlowdownManager
+from repro.core.scheduler import best_mapping
+from repro.core.slowdown import paragon_comm_slowdown
+from repro.core.workload import ApplicationProfile
+from repro.experiments.tables import example_problem
+
+P = 16  # a generously large contender population ("p is small")
+FRACTIONS = [0.1 + 0.8 * k / P for k in range(P)]
+DELAY = DelayTable(tuple(0.3 * i for i in range(1, P + 2)))
+SIZED = SizedDelayTable(tables={500: DELAY})
+PROFILES = [ApplicationProfile(f"a{k}", f, 500) for k, f in enumerate(FRACTIONS)]
+
+
+def test_overlap_distribution_generation(benchmark):
+    """O(p²) full generation."""
+    dist = benchmark(overlap_distribution, FRACTIONS)
+    assert dist.sum() == 1.0 or abs(dist.sum() - 1.0) < 1e-12
+
+
+def test_incremental_add(benchmark):
+    """O(p) arrival update."""
+    base = overlap_distribution(FRACTIONS)
+    dist = benchmark(add_application, base, 0.5)
+    assert len(dist) == P + 2
+
+
+def test_slowdown_evaluation(benchmark):
+    """O(p) slowdown query."""
+    value = benchmark(paragon_comm_slowdown, PROFILES, DELAY, DELAY)
+    assert value > 1.0
+
+
+def test_manager_arrival(benchmark):
+    """Full run-time protocol: arrival + both slowdown queries."""
+
+    def arrive_and_query():
+        mgr = SlowdownManager(DELAY, DELAY, SIZED)
+        for prof in PROFILES:
+            mgr.arrive(prof)
+        return mgr.comm_slowdown(), mgr.comp_slowdown()
+
+    comm, comp = benchmark(arrive_and_query)
+    assert comm > 1.0 and comp > 1.0
+
+
+def test_mapping_search(benchmark):
+    """The scheduling decision the slowdowns feed (Tables 1-4 size)."""
+    problem = example_problem().with_slowdowns({"M1": 3.0})
+    result = benchmark(best_mapping, problem)
+    assert result.elapsed == 38.0
+
+
+def test_empirical_scaling_of_generation(benchmark):
+    """The O(p²) DP must scale ~quadratically, not worse."""
+    import time
+
+    def cost(p: int) -> float:
+        fractions = list(np.linspace(0.1, 0.9, p))
+        t0 = time.perf_counter()
+        for _ in range(50):
+            overlap_distribution(fractions)
+        return (time.perf_counter() - t0) / 50
+
+    def ratio() -> float:
+        return cost(128) / cost(32)
+
+    scaling = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    # 4x population -> <= ~16x cost (quadratic), with slack for noise.
+    assert scaling < 40

@@ -1,0 +1,53 @@
+"""The evaluation section's prose claims (no figure number).
+
+* §3.1.2: synthetic CM2 benchmarks within 15%.
+* §3.2.1: varied contender sets vs the communication model — typical
+  15%, maximum average <= 30%.
+* §3.2.2: same for the computation model — typical <15%, up to 33%.
+* §3.2.2: the delay a contender imposes saturates with its message
+  size above a threshold around 1000 words.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.robustness import (
+    robustness_paragon_comm,
+    robustness_paragon_comp,
+    saturation_sweep,
+    synthetic_cm2_experiment,
+)
+
+from conftest import run_once
+
+
+def test_synthetic_cm2(benchmark, cm2_spec):
+    result = run_once(benchmark, synthetic_cm2_experiment, spec=cm2_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 15.0
+
+
+def test_robustness_comm(benchmark, paragon_spec):
+    result = run_once(benchmark, robustness_paragon_comm, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 25.0
+    assert result.metrics["max_abs_err_pct"] < 45.0
+
+
+def test_robustness_comp(benchmark, paragon_spec):
+    result = run_once(benchmark, robustness_paragon_comp, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 20.0
+    assert result.metrics["max_abs_err_pct"] < 40.0
+
+
+def test_saturation(benchmark, paragon_spec):
+    result = run_once(benchmark, saturation_sweep, spec=paragon_spec)
+    print()
+    print(result.render())
+    rows = dict(result.rows)
+    # Above the buffer size, the imposed delay is flat.
+    assert abs(rows[2000] - rows[1000]) / rows[1000] < 0.1
+    assert abs(rows[4000] - rows[2000]) / rows[2000] < 0.1

@@ -1,0 +1,35 @@
+"""Assumption-sensitivity studies (model extensions).
+
+Quantifies the price of the model's independence/mixing assumptions:
+variance vs contender cycle length, and error vs communication
+fraction (the paper's 'intensive communicators' worst case).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import cycle_length_sensitivity, fraction_sensitivity
+
+from conftest import run_once
+
+
+def test_cycle_length_sensitivity(benchmark, paragon_spec):
+    result = run_once(benchmark, cycle_length_sensitivity, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["cv_longest_cycle"] > result.metrics["cv_shortest_cycle"]
+
+
+def test_fraction_sensitivity(benchmark, paragon_spec):
+    result = run_once(benchmark, fraction_sensitivity, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["max_abs_err_pct"] < 35.0
+
+
+def test_mixed_workload(benchmark, paragon_spec):
+    from repro.experiments.sensitivity import mixed_workload_experiment
+
+    result = run_once(benchmark, mixed_workload_experiment, spec=paragon_spec)
+    print()
+    print(result.render())
+    assert result.metrics["mean_abs_err_pct"] < 15.0

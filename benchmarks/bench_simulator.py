@@ -1,0 +1,82 @@
+"""Throughput micro-benchmarks of the DES substrate itself.
+
+Not a paper figure — these keep the simulator's performance honest so
+experiment sweeps stay fast (guide: profile before optimising; these
+are the numbers to profile against).
+"""
+
+from __future__ import annotations
+
+from repro.sim.cpu import TimeSharedCPU
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.resources import FifoResource
+
+
+def test_event_throughput(benchmark):
+    """Bare timeout events through the kernel."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(sim, 5000))
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 5000.0
+
+
+def test_rr_cpu_throughput(benchmark):
+    """Round-robin slices with four competing jobs."""
+
+    def run():
+        sim = Simulator()
+        cpu = TimeSharedCPU(sim, discipline="rr", quantum=0.001)
+        for k in range(4):
+            cpu.execute(1.0, tag=f"job{k}")
+        sim.run(until=100.0)
+        return cpu.jobs_completed
+
+    assert benchmark(run) == 4
+
+
+def test_link_throughput(benchmark):
+    """FIFO message service with two senders."""
+
+    def run():
+        sim = Simulator()
+        link = Link(sim, wire_time=lambda s: 1e-3)
+
+        def sender(sim, link, n):
+            for _ in range(n):
+                yield from link.transfer(100, "out")
+
+        sim.process(sender(sim, link, 1000))
+        sim.process(sender(sim, link, 1000))
+        sim.run()
+        return link.messages_sent
+
+    assert benchmark(run) == 2000
+
+
+def test_resource_contention_throughput(benchmark):
+    """Request/release cycles on a contended FIFO resource."""
+
+    def run():
+        sim = Simulator()
+        res = FifoResource(sim, capacity=2)
+
+        def user(sim, res, n):
+            for _ in range(n):
+                yield from res.acquire(1e-3)
+
+        for _ in range(6):
+            sim.process(user(sim, res, 300))
+        sim.run()
+        return res.total_grants
+
+    assert benchmark(run) == 1800

@@ -1,0 +1,19 @@
+"""Tables 1-4: the motivating scheduling example.
+
+Regenerates the three mapping decisions of the paper's introduction and
+asserts the exact paper numbers (16 / 38 / 48 time units).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import tables_experiment
+
+from conftest import run_once
+
+
+def test_tables_1_4(benchmark):
+    result = run_once(benchmark, tables_experiment)
+    print()
+    print(result.render())
+    assert result.metrics["scenarios_matching_paper"] == 3.0
+    assert result.column("time") == [16.0, 38.0, 48.0]

@@ -1,0 +1,21 @@
+"""Equation (1) on the Sun/Paragon with a detailed T_p substrate.
+
+The full two-machine decision of Section 3.2: SOR on the contended Sun
+vs ship-to-mesh-partition-and-back, with T_p measured on the real
+back-end model (partition + mesh halo exchanges).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.backend import tp_placement_experiment
+
+from conftest import run_once
+
+
+def test_tp_placement(benchmark):
+    result = run_once(benchmark, tp_placement_experiment)
+    print()
+    print(result.render())
+    winners = result.column("winner")
+    assert winners[0] == "sun" and winners[-1] == "paragon"
+    assert 150 <= result.metrics["crossover_M"] <= 450

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run against the *default* platform specs (OS daemon noise
+on), i.e. the full "production system" emulation; calibrations are
+cached per spec by :mod:`repro.experiments.calibrate`, so the suite
+pays for each suite once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms.specs import DEFAULT_SUNCM2, DEFAULT_SUNPARAGON
+
+
+@pytest.fixture(scope="session")
+def cm2_spec():
+    return DEFAULT_SUNCM2
+
+
+@pytest.fixture(scope="session")
+def paragon_spec():
+    return DEFAULT_SUNPARAGON
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy experiment driver with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

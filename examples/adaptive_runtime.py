@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Adaptive execution inside the simulator: escape arriving contention.
+
+§4 of the paper: "the slowdown factors should be recalculated when the
+job mix changes, and task migration should be considered." This script
+runs the same 6-second task three ways on a two-workstation system
+where a CPU hog arrives on ws1 two seconds in:
+
+* statically on ws1 (suffers the hog),
+* statically on ws2 (a 1.3x slower machine, but never disturbed),
+* adaptively — starts on the faster ws1, notices the hog at the next
+  chunk boundary, migrates.
+
+Run: ``python examples/adaptive_runtime.py``
+"""
+
+from repro.ext import AdaptiveRunner
+from repro.sim import Simulator, TimeSharedCPU
+
+
+def scenario(mode: str) -> tuple[float, str, int]:
+    sim = Simulator()
+    cpus = {
+        "ws1": TimeSharedCPU(sim, discipline="ps", name="ws1"),
+        "ws2": TimeSharedCPU(sim, discipline="ps", name="ws2"),
+    }
+    runner = AdaptiveRunner(
+        sim, cpus, speed={"ws1": 1.0, "ws2": 0.77}, migration_cost=0.3, chunk=0.2
+    )
+
+    def late_hog():
+        yield sim.timeout(2.0)
+        while True:
+            yield cpus["ws1"].execute(0.05, tag="hog")
+
+    sim.process(late_hog(), daemon=True)
+
+    work = 6.0
+    if mode == "adaptive":
+        def main():
+            outcome = yield from runner.run(work, "ws1")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        return outcome.elapsed, outcome.finished_on, len(outcome.migrations)
+    machine = mode
+    done = cpus[machine].execute(work / runner.speed[machine], tag="static")
+    sim.run_until(done)
+    return sim.now, machine, 0
+
+
+def main() -> None:
+    print("A 6s task; a CPU hog arrives on ws1 at t=2s; ws2 runs at 0.77x.\n")
+    rows = []
+    for mode, label in [
+        ("ws1", "static on ws1 (fast machine, gets swamped)"),
+        ("ws2", "static on ws2 (slow machine, undisturbed)"),
+        ("adaptive", "adaptive (start fast, migrate when the hog lands)"),
+    ]:
+        elapsed, finished_on, migrations = scenario(mode)
+        rows.append((label, elapsed, finished_on, migrations))
+    width = max(len(r[0]) for r in rows)
+    for label, elapsed, finished_on, migrations in rows:
+        extra = f", {migrations} migration(s)" if migrations else ""
+        print(f"  {label:<{width}}  {elapsed:6.2f}s  (ends on {finished_on}{extra})")
+    print("\nThe adaptive run recalculates the placement at every chunk")
+    print("boundary from the observed job mix — the paper's future-work")
+    print("loop, closed.")
+
+
+if __name__ == "__main__":
+    main()

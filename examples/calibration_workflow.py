@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The full calibration workflow of §3.1.1 / §3.2.1, step by step.
+
+Runs the paper's benchmark procedures on the simulated platforms and
+prints every intermediate artifact: the CM2 two-benchmark estimate, the
+ping-pong sweep, the piecewise regression with its threshold search,
+and the three kinds of delay tables. Finishes with a validation: the
+fitted model predicts a *dedicated* workload it has never seen.
+
+Run: ``python examples/calibration_workflow.py``
+"""
+
+from repro.core import DataSet, dedicated_comm_cost
+from repro.experiments import (
+    calibrate_cm2,
+    calibrate_paragon,
+    pingpong_sweep,
+    render_table,
+)
+from repro.platforms import DEFAULT_SUNCM2, DEFAULT_SUNPARAGON, SunParagonPlatform
+from repro.apps import message_burst
+from repro.sim import Simulator
+
+
+def cm2_section() -> None:
+    print("--- Sun/CM2 (the two-benchmark procedure of §3.1.1) ---")
+    cal = calibrate_cm2(DEFAULT_SUNCM2)
+    print(f"  alpha_sun ~= alpha_cm2 ~= {cal.params_out.alpha * 1e3:.3f} ms")
+    print(f"  beta_sun  = {cal.params_out.beta:,.0f} words/s")
+    print(f"  beta_cm2  = {cal.params_in.beta:,.0f} words/s")
+    print()
+
+
+def paragon_section() -> None:
+    print("--- Sun/Paragon (§3.2.1: ping-pong sweep + regression) ---")
+    sweep = pingpong_sweep(DEFAULT_SUNPARAGON, count=200)
+    print(render_table(
+        ("message size (words)", "per-message time (ms)"),
+        [(s, t * 1e3) for s, t in sweep.items()],
+    ))
+    cal = calibrate_paragon(DEFAULT_SUNPARAGON)
+    po = cal.params_out
+    print(f"\n  fitted threshold: {po.threshold:.0f} words (exhaustive search)")
+    print(f"  small piece: alpha = {po.small.alpha * 1e3:.3f} ms,"
+          f" beta = {po.small.beta:,.0f} words/s")
+    print(f"  large piece: alpha = {po.large.alpha * 1e3:.3f} ms,"
+          f" beta = {po.large.beta:,.0f} words/s")
+
+    print("\n  delay_comp^i (CPU-bound generators vs ping-pong):")
+    print("   ", [round(d, 3) for d in cal.delay_comp.delays])
+    print("  delay_comm^i (1-word communicating generators vs ping-pong):")
+    print("   ", [round(d, 3) for d in cal.delay_comm.delays])
+    print("  delay_comm^{i,j} (sized generators vs a CPU-bound probe):")
+    for j in cal.delay_comm_sized.buckets:
+        print(f"    j={j:>5}:", [round(d, 3) for d in cal.delay_comm_sized.tables[j].delays])
+    print()
+    return cal
+
+
+def validation_section(cal) -> None:
+    print("--- Validation: predict an unseen dedicated workload ---")
+    rows = []
+    for size, count in [(48, 700), (300, 500), (900, 300), (1800, 200), (3000, 100)]:
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=DEFAULT_SUNPARAGON)
+        probe = sim.process(message_burst(platform, size, count, "out"))
+        actual = sim.run_until(probe)
+        predicted = dedicated_comm_cost([DataSet(count, size)], cal.params_out)
+        err = (predicted - actual) / actual * 100
+        rows.append((size, count, actual, predicted, f"{err:+.1f}%"))
+    print(render_table(("size", "count", "measured (s)", "predicted (s)", "error"), rows))
+
+
+def main() -> None:
+    cm2_section()
+    cal = paragon_section()
+    validation_section(cal)
+
+
+if __name__ == "__main__":
+    main()

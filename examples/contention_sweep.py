@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Sweep the number of contenders and watch the slowdown model track.
+
+Two sweeps:
+
+* **Sun/CM2** — p CPU-bound contenders against a Gaussian-elimination
+  run; model: ``max(dcomp + didle, dserial x (p+1))`` (§3.1.2).
+* **Sun/Paragon** — p alternating contenders against an SOR run;
+  model: the §3.2.2 probabilistic slowdown.
+
+Run: ``python examples/contention_sweep.py``
+"""
+
+from repro.apps import alternating, cpu_bound, frontend_program
+from repro.core import ApplicationProfile, cm2_slowdown, paragon_comp_slowdown, predict_backend_time
+from repro.experiments import calibrate_paragon, render_table
+from repro.platforms import (
+    DEFAULT_SUNCM2,
+    DEFAULT_SUNPARAGON,
+    SunCM2Platform,
+    SunParagonPlatform,
+)
+from repro.sim import RandomStreams, Simulator
+from repro.traces import gauss_cm2_trace, measure_dedicated_cm2, sor_sun_work
+
+
+def cm2_sweep(m: int = 150, max_p: int = 4) -> None:
+    print(f"--- Sun/CM2: Gaussian elimination (M={m}) vs p CPU-bound contenders ---")
+    trace = gauss_cm2_trace(m, DEFAULT_SUNCM2)
+    dedicated = measure_dedicated_cm2(trace, DEFAULT_SUNCM2)
+    rows = []
+    for p in range(max_p + 1):
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=DEFAULT_SUNCM2)
+        for i in range(p):
+            platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+        probe = sim.process(platform.run_trace(trace, tag="probe"))
+        actual = sim.run_until(probe).elapsed
+        model = predict_backend_time(dedicated.costs, cm2_slowdown(p))
+        rows.append((p, actual, model, f"{(model - actual) / actual * 100:+.1f}%"))
+    print(render_table(("p", "actual (s)", "model (s)", "error"), rows))
+    print()
+
+
+def paragon_sweep(m: int = 300, max_p: int = 4) -> None:
+    print(f"--- Sun/Paragon: SOR (M={m}) vs p alternating contenders ---")
+    cal = calibrate_paragon(DEFAULT_SUNPARAGON)
+    work = sor_sun_work(m, 30, DEFAULT_SUNPARAGON)
+    rows = []
+    for p in range(max_p + 1):
+        profiles = [
+            ApplicationProfile(f"c{k}", comm_fraction=0.5, message_size=400)
+            for k in range(p)
+        ]
+        actuals = []
+        for rep in range(3):
+            sim = Simulator()
+            platform = SunParagonPlatform(
+                sim, spec=DEFAULT_SUNPARAGON, streams=RandomStreams(31 * p + rep)
+            )
+            for k, prof in enumerate(profiles):
+                platform.spawn(
+                    alternating(platform, prof.comm_fraction, prof.message_size,
+                                platform.rng(f"c{k}"), tag=prof.name),
+                    name=prof.name,
+                )
+            probe = sim.process(frontend_program(platform, work))
+            actuals.append(sim.run_until(probe))
+        actual = sum(actuals) / len(actuals)
+        model = work * paragon_comp_slowdown(profiles, cal.delay_comm_sized)
+        rows.append((p, actual, model, f"{(model - actual) / actual * 100:+.1f}%"))
+    print(render_table(("p", "actual (s)", "model (s)", "error"), rows))
+
+
+def main() -> None:
+    cm2_sweep()
+    paragon_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Library-task dispatch: where should matmul / sort / GE run today?
+
+The §2 scenario: the Sun hosts an application whose building-block
+tasks (matrix multiply, sorting, Gaussian elimination) have efficient
+codes on *both* machines — a scalar algorithm on the front-end and a
+data-parallel one on the CM2. Equation (1) decides per task, and the
+right answer changes with the front-end's load.
+
+This script prints the dispatch table for an idle Sun and a Sun with
+three CPU-bound competitors, then validates the contested decisions by
+simulating both placements.
+
+Run: ``python examples/library_dispatch.py``
+"""
+
+from repro.experiments import render_table
+from repro.experiments.dispatch import (
+    gauss_sun_cost,
+    library_dispatch_experiment,
+)
+from repro.platforms import DEFAULT_SUNCM2
+
+
+def decision_table(p: int) -> None:
+    result = library_dispatch_experiment(spec=DEFAULT_SUNCM2, p=p)
+    print(f"--- p = {p} extra CPU-bound applications on the Sun ---")
+    print(result.render())
+    print()
+
+
+def main() -> None:
+    spec = DEFAULT_SUNCM2
+    print("Sun 4/60 front-end scalar rates: "
+          f"{1 / spec.sun_flop_time / 1e6:.1f} MFLOPS, "
+          f"{1 / spec.sun_compare_time / 1e6:.1f} M compares/s")
+    print(f"GE n=200 dedicated on the Sun: {gauss_sun_cost(200, spec):.2f}s")
+    print()
+    decision_table(p=0)
+    decision_table(p=3)
+    print("Note the Gaussian-elimination rows: with an idle Sun the scalar")
+    print("solver wins (shipping the system to the CM2 isn't worth it), but")
+    print("three CPU-bound competitors flip the decision — the CM2's parallel")
+    print("work doesn't stretch under front-end contention, the Sun's does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: predict contention effects and decide task placement.
+
+Reproduces, in ~40 lines of user code, the paper's core loop:
+
+1. describe the applications currently loading the front-end,
+2. compute the slowdown factors from calibrated delay tables,
+3. adjust dedicated-mode costs,
+4. apply Equation (1): run the task on the back-end only if it wins
+   after paying both transfers.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core import (
+    ApplicationProfile,
+    BackendTaskCosts,
+    DataSet,
+    decide_placement,
+    dedicated_comm_cost,
+    paragon_comm_slowdown,
+    paragon_comp_slowdown,
+)
+from repro.experiments import calibrate_paragon
+from repro.platforms import DEFAULT_SUNPARAGON
+
+
+def main() -> None:
+    # --- 1. The system test suite (runs once per platform; cached). ---
+    cal = calibrate_paragon(DEFAULT_SUNPARAGON)
+    print("calibrated Sun->Paragon small-message bandwidth:"
+          f" {cal.params_out.small.beta:,.0f} words/s")
+
+    # --- 2. Who else is on the front-end right now? -------------------
+    contenders = [
+        ApplicationProfile("climate-model", comm_fraction=0.30, message_size=800),
+        ApplicationProfile("data-mover", comm_fraction=0.75, message_size=200),
+    ]
+    comp_slow = paragon_comp_slowdown(contenders, cal.delay_comm_sized)
+    comm_slow = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
+    print(f"computation slowdown: {comp_slow:.2f}x   communication slowdown: {comm_slow:.2f}x")
+
+    # --- 3. Our task's dedicated-mode costs (user-supplied). ----------
+    dcomp_frontend = 8.0  # seconds on the Sun, dedicated
+    backend = BackendTaskCosts(dcomp=1.1, didle=0.2, dserial=0.6)
+    data_out = [DataSet(count=500, size=400)]  # ship the input
+    data_in = [DataSet(count=1, size=2000)]  # fetch the result
+    dcomm_out = dedicated_comm_cost(data_out, cal.params_out)
+    dcomm_in = dedicated_comm_cost(data_in, cal.params_in)
+
+    # --- 4. Equation (1) under the current load. ----------------------
+    prediction = decide_placement(
+        dcomp_frontend, backend, dcomm_out, dcomm_in, comp_slow, comm_slow
+    )
+    print(f"front-end elapsed: {prediction.t_frontend:.2f}s")
+    print(
+        f"back-end elapsed:  {prediction.t_backend:.2f}s"
+        f" + transfers {prediction.c_out + prediction.c_in:.2f}s"
+        f" = {prediction.backend_total:.2f}s"
+    )
+    where = "the Paragon" if prediction.offload else "the Sun"
+    print(f"=> run the task on {where} (saves {prediction.advantage:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A live scheduling session: arrivals, departures, recalculated slowdowns.
+
+The paper (§2): "The slowdown factor reflects the current load of the
+system and is always calculated at run-time. It can be recalculated
+every time the system status changes or when new applications arrive."
+
+This example drives a :class:`~repro.core.SlowdownManager` through a
+morning on the shared Sun, prints the O(p)-updated slowdown factors at
+every job-mix change, and uses the time-varying extension to predict
+how long a task started mid-session will take — including whether it
+is worth migrating when the big data-mover shows up.
+
+Run: ``python examples/runtime_manager.py``
+"""
+
+from repro.core import ApplicationProfile, SlowdownManager, paragon_comp_slowdown
+from repro.experiments import calibrate_paragon
+from repro.ext import LoadTimeline, predict_elapsed, should_migrate
+from repro.platforms import DEFAULT_SUNPARAGON
+
+
+def main() -> None:
+    cal = calibrate_paragon(DEFAULT_SUNPARAGON)
+    manager = SlowdownManager(cal.delay_comp, cal.delay_comm, cal.delay_comm_sized)
+    timeline = LoadTimeline()
+
+    def report(t: float, event: str) -> None:
+        print(
+            f"t={t:5.1f}s  {event:<38} p={manager.p}"
+            f"  comp x{manager.comp_slowdown():.2f}"
+            f"  comm x{manager.comm_slowdown():.2f}"
+        )
+
+    report(0.0, "(session start, machine idle)")
+
+    events = [
+        (10.0, "arrive", ApplicationProfile("visualizer", 0.20, 500)),
+        (25.0, "arrive", ApplicationProfile("compile-farm", 0.00)),
+        (60.0, "depart", "visualizer"),
+        (80.0, "arrive", ApplicationProfile("data-mover", 0.85, 1000)),
+    ]
+    for t, kind, payload in events:
+        if kind == "arrive":
+            manager.arrive(payload)
+            timeline.arrive(t, payload)
+            report(t, f"{payload.name} arrives ({payload.comm_fraction:.0%} comm)")
+        else:
+            manager.depart(payload)
+            timeline.depart(t, payload)
+            report(t, f"{payload} departs")
+
+    print(f"\nO(p^2) rebuilds performed during the session: {manager.rebuilds}"
+          " (arrivals are O(p) incremental)")
+
+    # A 30-dedicated-second task submitted at t=20: how long really?
+    def slowdown_of(profiles):
+        return paragon_comp_slowdown(list(profiles), cal.delay_comm_sized)
+
+    work, start = 30.0, 20.0
+    elapsed = predict_elapsed(work, timeline, slowdown_of, start=start)
+    print(f"\nA {work:.0f}s (dedicated) task started at t={start:.0f}s is predicted "
+          f"to take {elapsed:.1f}s under the recorded load history.")
+
+    # When the data-mover arrives, should a half-done task migrate to a
+    # second workstation that is idle but 1.4x slower per operation?
+    remaining = 15.0
+    current = slowdown_of(timeline.phase_at(80.0).profiles)
+    target = 1.4  # idle slower machine: pure architecture ratio
+    for cost in (2.0, 30.0):
+        verdict = should_migrate(remaining, current, target, migration_cost=cost)
+        print(
+            f"migrate {remaining:.0f}s of remaining work (slowdown here x{current:.2f}, "
+            f"there x{target:.2f}, move costs {cost:.0f}s)? -> {'yes' if verdict else 'no'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

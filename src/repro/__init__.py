@@ -1,0 +1,31 @@
+"""repro — reproduction of Figueira & Berman (HPDC 1996).
+
+*Modeling the Effects of Contention on the Performance of Heterogeneous
+Applications*: a slowdown-factor model predicting computation and
+communication costs on non-dedicated two-machine heterogeneous
+platforms, validated against discrete-event simulations of the paper's
+Sun/CM2 and Sun/Paragon testbeds.
+
+Subpackages
+-----------
+``repro.core``
+    The analytical contention model (the paper's contribution).
+``repro.sim``
+    The discrete-event simulation substrate.
+``repro.platforms``
+    Simulated Sun/CM2 and Sun/Paragon coupled platforms.
+``repro.apps``
+    Probes, benchmarks and emulated contention generators.
+``repro.traces`` / ``repro.workloads``
+    Instruction traces and the real SOR / Gaussian-elimination codes.
+``repro.experiments``
+    Calibration suites and drivers for every table and figure.
+``repro.ext``
+    The paper's future-work extensions (memory, I/O, time-varying
+    load, migration, multi-machine platforms).
+"""
+
+from . import core, sim
+from ._version import __version__
+
+__all__ = ["core", "sim", "__version__"]

@@ -1,0 +1,20 @@
+"""Simulated applications: probes, benchmarks, contention generators."""
+
+from .burst import message_burst
+from .contender import alternating, continuous_comm, cpu_bound, dedicated_message_time
+from .pingpong import pingpong_burst, pingpong_burst_reverse
+from .program import cyclic_program, frontend_program, traced_program, transfer_program
+
+__all__ = [
+    "alternating",
+    "continuous_comm",
+    "cpu_bound",
+    "cyclic_program",
+    "dedicated_message_time",
+    "frontend_program",
+    "message_burst",
+    "pingpong_burst",
+    "pingpong_burst_reverse",
+    "traced_program",
+    "transfer_program",
+]

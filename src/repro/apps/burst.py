@@ -1,0 +1,38 @@
+"""One-directional burst transfers (the Figures 4–6 workload).
+
+The measured application in the Sun/Paragon communication experiments
+moves "bursts of 1000 equal-sized messages" to or from the Paragon.
+:func:`message_burst` is that application; it returns the burst's
+elapsed time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import WorkloadError
+from ..sim.engine import Event
+from ..platforms.sunparagon import SunParagonPlatform
+
+__all__ = ["message_burst"]
+
+
+def message_burst(
+    platform: SunParagonPlatform,
+    size_words: float,
+    count: int = 1000,
+    direction: str = "out",
+    mode: str = "1hop",
+    tag: str = "burst",
+) -> Generator[Event, Any, float]:
+    """Transfer *count* messages of *size_words* in one direction.
+
+    Returns the elapsed (virtual) time of the burst.
+    """
+    if count < 1:
+        raise WorkloadError(f"burst needs >= 1 message, got {count!r}")
+    sim = platform.sim
+    start = sim.now
+    for _ in range(count):
+        yield from platform.message(size_words, direction, tag=tag, mode=mode)
+    return sim.now - start

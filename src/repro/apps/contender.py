@@ -1,0 +1,138 @@
+"""Emulated contention generators.
+
+The paper validates its model "on production systems in which the
+contention was emulated": synthetic competitor applications with known
+behaviour. This module provides the same instruments:
+
+* :func:`cpu_bound` — a pure compute loop (the Sun/CM2 experiments and
+  the ``delay_comp^i`` calibration runs);
+* :func:`continuous_comm` — a loop that transfers messages of a fixed
+  size back-to-back (the ``delay_comm^i`` / ``delay_comm^{i,j}``
+  calibration runs);
+* :func:`alternating` — the experimental workload of Figures 5–8: an
+  application that alternates computation and communication cycles
+  with a given long-run communication fraction and message size.
+
+All generators are *non-terminating*: experiments run them in the
+background and stop the simulation once the probed application
+finishes (:meth:`repro.sim.engine.Simulator.run_until`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.engine import Event
+from ..platforms.sunparagon import SunParagonPlatform
+from ..platforms.base import CoupledPlatform
+
+__all__ = ["cpu_bound", "continuous_comm", "alternating", "dedicated_message_time"]
+
+#: Default CPU chunk for compute loops: long enough to be cheap to
+#: simulate, short enough that contender arrival/departure granularity
+#: does not distort experiments.
+_DEFAULT_CHUNK = 0.05
+
+
+def cpu_bound(
+    platform: CoupledPlatform, tag: str = "cpuhog", chunk: float = _DEFAULT_CHUNK
+) -> Generator[Event, Any, None]:
+    """An endless CPU-bound application on the front-end."""
+    if chunk <= 0:
+        raise WorkloadError(f"chunk must be > 0, got {chunk!r}")
+    while True:
+        yield platform.frontend_cpu.execute(chunk, tag=tag)
+
+
+def continuous_comm(
+    platform: SunParagonPlatform,
+    size_words: float,
+    direction: str = "out",
+    tag: str = "commhog",
+    mode: str = "1hop",
+) -> Generator[Event, Any, None]:
+    """An endless message loop (always-communicating generator).
+
+    This is the paper's calibration generator: "contention generators
+    that transfer one-word messages from the Sun to the Paragon"
+    (and the reverse) for ``delay_comm^i``, or ``j``-word messages for
+    ``delay_comm^{i,j}``.
+    """
+    while True:
+        yield from platform.message(size_words, direction, tag=tag, mode=mode)
+
+
+def dedicated_message_time(
+    platform: SunParagonPlatform, size_words: float, mode: str = "1hop"
+) -> float:
+    """Ground-truth dedicated time of one message on *platform*.
+
+    Used only to translate a contender's *time* budget into a message
+    *count* — the contender is defined by how much communication work
+    it performs, not by measured model parameters.
+    """
+    return platform.spec.message_dedicated_time(size_words, mode)
+
+
+def alternating(
+    platform: SunParagonPlatform,
+    comm_fraction: float,
+    message_size: float,
+    rng: np.random.Generator,
+    mean_cycle: float = 0.25,
+    direction: str = "both",
+    tag: str = "alt",
+    mode: str = "1hop",
+) -> Generator[Event, Any, None]:
+    """An application alternating computation and communication cycles.
+
+    Parameters
+    ----------
+    platform:
+        The Sun/Paragon platform the application lives on.
+    comm_fraction:
+        Long-run fraction of (dedicated-equivalent) time spent
+        communicating — the ``%`` the paper's experiments quote.
+    message_size:
+        Words per message during communication cycles.
+    rng:
+        Random stream for the cycle-length draws (exponential), which
+        make the instantaneous overlap of contenders stochastic — the
+        phenomenon the Poisson-binomial model approximates.
+    mean_cycle:
+        Mean duration of one full compute+communicate cycle, seconds.
+    direction:
+        ``"out"``, ``"in"`` or ``"both"`` (alternate message
+        directions, the default — contending applications both feed
+        and drain the Paragon).
+    """
+    if not 0.0 <= comm_fraction <= 1.0:
+        raise WorkloadError(f"comm_fraction must be in [0, 1], got {comm_fraction!r}")
+    if mean_cycle <= 0:
+        raise WorkloadError(f"mean_cycle must be > 0, got {mean_cycle!r}")
+    if direction not in ("out", "in", "both"):
+        raise WorkloadError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
+    if comm_fraction > 0 and message_size <= 0:
+        raise WorkloadError("a communicating contender needs a positive message size")
+
+    per_message = dedicated_message_time(platform, message_size, mode) if comm_fraction else 0.0
+    flip = 0
+    while True:
+        comp_target = (1.0 - comm_fraction) * mean_cycle
+        comm_target = comm_fraction * mean_cycle
+        if comp_target > 0:
+            work = rng.exponential(comp_target)
+            yield platform.frontend_cpu.execute(work, tag=tag)
+        if comm_target > 0:
+            budget = rng.exponential(comm_target)
+            messages = max(1, int(round(budget / per_message)))
+            for _ in range(messages):
+                if direction == "both":
+                    d = "out" if flip % 2 == 0 else "in"
+                    flip += 1
+                else:
+                    d = direction
+                yield from platform.message(message_size, d, tag=tag, mode=mode)

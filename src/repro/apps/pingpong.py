@@ -1,0 +1,64 @@
+"""The ping-pong calibration benchmark (§3.2.1).
+
+"This benchmark transfers messages from the Sun to the Paragon in
+bursts containing 1000 messages of the same size. After each burst, one
+message containing one word is transferred back to the Sun."
+
+:func:`pingpong_burst` measures one burst (messages out + 1-word ack
+in); :func:`pingpong_burst_reverse` mirrors it for the
+Paragon → Sun direction. Both return the burst's elapsed time, the
+quantity regressed into (α, β) and probed under contention for the
+delay tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import WorkloadError
+from ..sim.engine import Event
+from ..platforms.sunparagon import SunParagonPlatform
+
+__all__ = ["pingpong_burst", "pingpong_burst_reverse"]
+
+#: Burst length used throughout the paper's Sun/Paragon experiments.
+DEFAULT_BURST = 1000
+
+
+def pingpong_burst(
+    platform: SunParagonPlatform,
+    size_words: float,
+    count: int = DEFAULT_BURST,
+    mode: str = "1hop",
+    tag: str = "pingpong",
+) -> Generator[Event, Any, float]:
+    """One burst Sun → Paragon: *count* messages out, one 1-word ack in.
+
+    Returns the elapsed (virtual) time of the whole burst.
+    """
+    if count < 1:
+        raise WorkloadError(f"burst needs >= 1 message, got {count!r}")
+    sim = platform.sim
+    start = sim.now
+    for _ in range(count):
+        yield from platform.send(size_words, tag=tag, mode=mode)
+    yield from platform.recv(1, tag=tag, mode=mode)
+    return sim.now - start
+
+
+def pingpong_burst_reverse(
+    platform: SunParagonPlatform,
+    size_words: float,
+    count: int = DEFAULT_BURST,
+    mode: str = "1hop",
+    tag: str = "pingpong",
+) -> Generator[Event, Any, float]:
+    """One burst Paragon → Sun: *count* messages in, one 1-word ack out."""
+    if count < 1:
+        raise WorkloadError(f"burst needs >= 1 message, got {count!r}")
+    sim = platform.sim
+    start = sim.now
+    for _ in range(count):
+        yield from platform.recv(size_words, tag=tag, mode=mode)
+    yield from platform.send(1, tag=tag, mode=mode)
+    return sim.now - start

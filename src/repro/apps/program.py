@@ -1,0 +1,101 @@
+"""Measured application programs.
+
+Wrappers that run a *probed* application on a platform and report its
+elapsed time:
+
+* :func:`frontend_program` — a task executing entirely on the front-end
+  (the SOR-on-the-Sun workload of Figures 7/8);
+* :func:`traced_program` — a trace-driven task on the Sun/CM2 (the
+  Gaussian-elimination-on-the-CM2 workload of Figure 3);
+* :func:`transfer_program` — a pure data-movement task on the Sun/CM2
+  (the matrix-shipping workload of Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim.engine import Event
+from ..sim.monitors import Timeline
+from ..platforms.base import CoupledPlatform
+from ..platforms.suncm2 import SunCM2Platform, TraceRunResult
+from ..traces.instructions import Trace
+
+__all__ = ["frontend_program", "traced_program", "transfer_program"]
+
+
+def frontend_program(
+    platform: CoupledPlatform, work: float, tag: str = "task"
+) -> Generator[Event, Any, float]:
+    """Run *work* dedicated-seconds on the front-end; return elapsed time."""
+    sim = platform.sim
+    start = sim.now
+    yield platform.frontend_cpu.execute(work, tag=tag)
+    return sim.now - start
+
+
+def traced_program(
+    platform: SunCM2Platform,
+    trace: Trace,
+    tag: str = "task",
+    timeline: Timeline | None = None,
+) -> Generator[Event, Any, TraceRunResult]:
+    """Execute an instruction trace on the Sun/CM2; return its measurements."""
+    result = yield from platform.run_trace(trace, tag=tag, timeline=timeline)
+    return result
+
+
+def cyclic_program(
+    platform,
+    cycles: int,
+    comp_per_cycle: float,
+    messages_per_cycle: int,
+    message_size: float,
+    tag: str = "cyclic",
+    mode: str = "1hop",
+) -> Generator[Event, Any, float]:
+    """A §2-shaped application: alternate computation and communication.
+
+    Each cycle runs *comp_per_cycle* dedicated-seconds on the front-end
+    and then exchanges *messages_per_cycle* messages with the back-end
+    (alternating directions). Returns the elapsed time of the whole
+    run — the quantity :func:`repro.core.prediction.predict_mixed_time`
+    predicts.
+    """
+    from ..errors import WorkloadError
+
+    if cycles < 1:
+        raise WorkloadError(f"need >= 1 cycle, got {cycles!r}")
+    if comp_per_cycle < 0 or messages_per_cycle < 0:
+        raise WorkloadError("cycle parameters must be >= 0")
+    sim = platform.sim
+    start = sim.now
+    flip = 0
+    for _ in range(cycles):
+        if comp_per_cycle > 0:
+            yield platform.frontend_cpu.execute(comp_per_cycle, tag=tag)
+        for _ in range(messages_per_cycle):
+            direction = "out" if flip % 2 == 0 else "in"
+            flip += 1
+            yield from platform.message(message_size, direction, tag=tag, mode=mode)
+    return sim.now - start
+
+
+def transfer_program(
+    platform: SunCM2Platform,
+    size_words: float,
+    count: int,
+    round_trip: bool = True,
+    tag: str = "xfer",
+) -> Generator[Event, Any, float]:
+    """Ship *count* messages of *size_words* to the CM2 (and back).
+
+    The Figure 1 workload: an M×M matrix moved to the CM2 before an SOR
+    step and moved back afterwards. Returns the elapsed time.
+    """
+    sim = platform.sim
+    start = sim.now
+    yield from platform.transfer(size_words, count, tag=tag)
+    if round_trip:
+        yield from platform.transfer(size_words, count, tag=tag)
+    return sim.now - start

@@ -1,0 +1,277 @@
+"""Parameter estimation from benchmark measurements.
+
+Implements the paper's calibration procedures — the "system test
+suite" that turns raw benchmark timings into the system-dependent
+parameters of :mod:`repro.core.params`:
+
+* :func:`estimate_cm2_params` — the two-benchmark procedure of §3.1.1
+  for the Sun/CM2 (one bulk transfer for β, one burst of single-word
+  transfers for α).
+* :func:`fit_linear` — least-squares regression of per-message times on
+  message sizes ("the values for α_sun and β_sun can be calculated by
+  linear regression on the numbers obtained with a ping-pong
+  benchmark", §3.2.1).
+* :func:`fit_piecewise` — the two-piece fit with an exhaustive search
+  for the best threshold ("the number of possible thresholds is small
+  ... and the threshold value can be calculated statically", §3.2.1).
+* :func:`build_delay_table` / :func:`build_sized_delay_table` — turn
+  contention-generator measurements into ``delay^i`` / ``delay^{i,j}``
+  tables.
+* :func:`find_saturation_threshold` — locate the message size above
+  which the imposed delay is roughly constant (≈1000 words on the
+  Sun/Paragon, §3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CalibrationError
+from .params import DelayTable, LinearCommParams, PiecewiseCommParams, SizedDelayTable
+
+__all__ = [
+    "estimate_cm2_params",
+    "fit_linear",
+    "fit_piecewise",
+    "build_delay_table",
+    "build_sized_delay_table",
+    "find_saturation_threshold",
+    "relative_delays",
+]
+
+
+def estimate_cm2_params(
+    bulk_out_time: float,
+    bulk_in_time: float,
+    startup_burst_time: float,
+    bulk_words: float = 1e6,
+    burst_messages: float = 1e6,
+) -> tuple[LinearCommParams, LinearCommParams]:
+    """The Sun/CM2 two-benchmark procedure of §3.1.1.
+
+    Parameters
+    ----------
+    bulk_out_time:
+        Measured time ``C`` of benchmark 1: transfer one array of
+        ``bulk_words`` elements Sun → CM2, then 1 word back. Under the
+        paper's assumption that the bulk term dominates,
+        ``β_sun ≈ bulk_words / C``.
+    bulk_in_time:
+        Same benchmark with the bulk transfer CM2 → Sun, for ``β_cm2``.
+    startup_burst_time:
+        Measured time ``C`` of benchmark 2: ``burst_messages``
+        single-element arrays each way. With β known and assuming
+        ``α_sun = α_cm2``,
+        ``α ≈ (C/burst_messages − 1/β_sun − 1/β_cm2) / 2``.
+    bulk_words, burst_messages:
+        Benchmark sizes (both 10⁶ in the paper).
+
+    Returns
+    -------
+    (LinearCommParams, LinearCommParams)
+        Parameters for the Sun → CM2 and CM2 → Sun directions.
+    """
+    if bulk_out_time <= 0 or bulk_in_time <= 0:
+        raise CalibrationError("bulk benchmark times must be positive")
+    if startup_burst_time <= 0:
+        raise CalibrationError("startup benchmark time must be positive")
+    beta_sun = bulk_words / bulk_out_time
+    beta_cm2 = bulk_words / bulk_in_time
+    alpha = (startup_burst_time / burst_messages - 1.0 / beta_sun - 1.0 / beta_cm2) / 2.0
+    if alpha < 0:
+        raise CalibrationError(
+            f"startup benchmark implies negative latency (alpha={alpha:.3g}); "
+            "the bulk-dominance assumption of the procedure is violated"
+        )
+    return (
+        LinearCommParams(alpha=alpha, beta=beta_sun),
+        LinearCommParams(alpha=alpha, beta=beta_cm2),
+    )
+
+
+def _as_xy(sizes: Sequence[float], times: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise CalibrationError(
+            f"sizes and times must be 1-D and congruent, got {x.shape} vs {y.shape}"
+        )
+    if x.size < 2:
+        raise CalibrationError("need at least two (size, time) points for a regression")
+    if np.unique(x).size < 2:
+        raise CalibrationError("need at least two distinct message sizes")
+    if np.any(x < 0) or np.any(y < 0):
+        raise CalibrationError("sizes and times must be nonnegative")
+    return x, y
+
+
+def fit_linear(sizes: Sequence[float], times: Sequence[float]) -> LinearCommParams:
+    """Least-squares fit of per-message time vs. size → (α, β).
+
+    ``times[k]`` is the *per-message* transfer time measured for
+    messages of ``sizes[k]`` words (e.g. burst time divided by the
+    number of messages in the burst). The slope of the regression is
+    ``1/β`` and the intercept is ``α``; a slightly negative intercept
+    from measurement noise is clamped to zero.
+    """
+    x, y = _as_xy(sizes, times)
+    slope, intercept = np.polyfit(x, y, 1)
+    if slope <= 0:
+        raise CalibrationError(
+            f"regression slope {slope:.3g} is not positive; transfer time must grow with size"
+        )
+    return LinearCommParams(alpha=max(0.0, float(intercept)), beta=1.0 / float(slope))
+
+
+def _sse(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Return (sse, slope, intercept) of the least-squares line."""
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (slope * x + intercept)
+    return float(np.dot(resid, resid)), float(slope), float(intercept)
+
+
+def fit_piecewise(
+    sizes: Sequence[float],
+    times: Sequence[float],
+    threshold: float | None = None,
+) -> PiecewiseCommParams:
+    """Two-piece linear fit with exhaustive threshold search (§3.2.1).
+
+    Parameters
+    ----------
+    sizes, times:
+        Per-message times for a sweep of message sizes (the ping-pong
+        benchmark output).
+    threshold:
+        When given, fixes the piece boundary; otherwise every distinct
+        measured size is tried as a candidate and the one minimising
+        the summed squared error of the two independent fits wins —
+        exactly the paper's "exhaustive search" over the (small) set of
+        benchmark sizes.
+    """
+    x, y = _as_xy(sizes, times)
+    order = np.argsort(x, kind="stable")
+    x, y = x[order], y[order]
+
+    def fit_at(t: float) -> tuple[float, PiecewiseCommParams] | None:
+        lo = x <= t
+        hi = ~lo
+        # Each piece needs >= 2 distinct sizes for a determined fit.
+        if np.unique(x[lo]).size < 2 or np.unique(x[hi]).size < 2:
+            return None
+        sse_lo, slope_lo, icept_lo = _sse(x[lo], y[lo])
+        sse_hi, slope_hi, icept_hi = _sse(x[hi], y[hi])
+        if slope_lo <= 0 or slope_hi <= 0:
+            return None
+        params = PiecewiseCommParams(
+            threshold=float(t),
+            small=LinearCommParams(alpha=max(0.0, icept_lo), beta=1.0 / slope_lo),
+            large=LinearCommParams(alpha=max(0.0, icept_hi), beta=1.0 / slope_hi),
+        )
+        return sse_lo + sse_hi, params
+
+    if threshold is not None:
+        result = fit_at(threshold)
+        if result is None:
+            raise CalibrationError(
+                f"threshold {threshold!r} leaves a piece with fewer than two distinct sizes"
+            )
+        return result[1]
+
+    best: tuple[float, PiecewiseCommParams] | None = None
+    for candidate in np.unique(x):
+        result = fit_at(candidate)
+        if result is not None and (best is None or result[0] < best[0]):
+            best = result
+    if best is None:
+        raise CalibrationError(
+            "no threshold admits two determined pieces; need >= 4 distinct sizes"
+        )
+    return best[1]
+
+
+def relative_delays(dedicated_time: float, contended_times: Sequence[float]) -> list[float]:
+    """``delay^i = contended_i / dedicated − 1`` for each measurement."""
+    if dedicated_time <= 0:
+        raise CalibrationError(f"dedicated time must be positive, got {dedicated_time!r}")
+    delays = []
+    for i, t in enumerate(contended_times, start=1):
+        if t < 0:
+            raise CalibrationError(f"contended time for i={i} is negative: {t!r}")
+        delays.append(max(0.0, t / dedicated_time - 1.0))
+    return delays
+
+
+def build_delay_table(
+    dedicated_time: float,
+    contended_times: Sequence[float],
+    label: str = "",
+) -> DelayTable:
+    """Turn measured times into a :class:`DelayTable`.
+
+    ``contended_times[i-1]`` is the probed operation's duration under
+    exactly ``i`` always-active contention generators; the paper
+    defines ``delay^i`` as the *relative* delay versus dedicated mode.
+    Small negative delays from measurement noise are clamped to zero.
+    """
+    if not contended_times:
+        raise CalibrationError("need measurements for at least i = 1")
+    return DelayTable(
+        delays=tuple(relative_delays(dedicated_time, contended_times)), label=label
+    )
+
+
+def build_sized_delay_table(
+    dedicated_time: float,
+    contended_times_by_size: Mapping[int, Sequence[float]],
+    small_cutoff: int = 95,
+    label: str = "",
+) -> SizedDelayTable:
+    """Build ``delay^{i,j}`` tables from per-size contention runs.
+
+    ``contended_times_by_size[j][i-1]`` is the probed operation's time
+    under ``i`` generators transferring ``j``-word messages.
+    """
+    if not contended_times_by_size:
+        raise CalibrationError("need at least one message-size bucket")
+    tables = {
+        int(j): build_delay_table(dedicated_time, times, label=f"{label}[j={j}]")
+        for j, times in contended_times_by_size.items()
+    }
+    saturation = find_saturation_threshold(
+        sorted(tables), [tables[j].delays[-1] for j in sorted(tables)]
+    )
+    return SizedDelayTable(tables=tables, small_cutoff=small_cutoff, saturation=saturation)
+
+
+def find_saturation_threshold(
+    sizes: Sequence[float],
+    delays: Sequence[float],
+    tolerance: float = 0.05,
+) -> float | None:
+    """Smallest size beyond which the delay stays within *tolerance*.
+
+    The paper observes that "above a threshold on the message size the
+    delay imposed is roughly constant" (≈1000 words on the
+    Sun/Paragon). Returns the first measured size from which all later
+    delays stay within ``tolerance`` (relative) of the final delay, or
+    None when the sweep never settles (fewer than two points, or the
+    last step still moves more than the tolerance).
+    """
+    if len(sizes) != len(delays):
+        raise CalibrationError("sizes and delays must be congruent")
+    if len(sizes) < 2:
+        return None
+    final = delays[-1]
+    scale = max(abs(final), 1e-12)
+    for k in range(len(sizes)):
+        tail = delays[k:]
+        if all(abs(d - final) <= tolerance * scale for d in tail):
+            # Require the plateau to contain at least two points so a
+            # single noisy final sample does not qualify.
+            if len(tail) >= 2:
+                return float(sizes[k])
+            return None
+    return None

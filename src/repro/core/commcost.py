@@ -1,0 +1,63 @@
+"""Dedicated-mode communication cost models.
+
+Implements the ``dcomm`` formulas of §3.1.1 (single linear piece, the
+Sun/CM2 case) and §3.2.1 (piecewise linear with a threshold, the
+Sun/Paragon case):
+
+.. math::
+
+    dcomm = \\sum_{i \\in \\{data sets\\}} N_i \\cdot
+            \\left( \\alpha + \\frac{size_i}{\\beta} \\right)
+
+with the (α, β) pair chosen per data set by the message-size threshold
+in the piecewise case. These costs depend only on the
+<application, problem-size, platform> triple and are computed once —
+the run-time slowdown factor multiplies them (paper: "Since they do not
+vary with load, they do not need to be recalculated at run-time").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .datasets import CommPattern, DataSet
+from .params import LinearCommParams, PiecewiseCommParams
+
+__all__ = ["CommParams", "dedicated_dataset_cost", "dedicated_comm_cost", "dedicated_pattern_cost"]
+
+#: Either communication parameterisation accepted by the cost functions.
+CommParams = Union[LinearCommParams, PiecewiseCommParams]
+
+
+def dedicated_dataset_cost(dataset: DataSet, params: CommParams) -> float:
+    """``N_i · (α + size_i/β)`` for one data set."""
+    return dataset.count * params.message_time(dataset.size)
+
+
+def dedicated_comm_cost(datasets: Iterable[DataSet], params: CommParams) -> float:
+    """``dcomm`` for one direction: sum over the direction's data sets."""
+    return sum(dedicated_dataset_cost(ds, params) for ds in datasets)
+
+
+def dedicated_pattern_cost(
+    pattern: CommPattern,
+    params_out: CommParams,
+    params_in: CommParams | None = None,
+) -> tuple[float, float]:
+    """``(dcomm_out, dcomm_in)`` for a full communication pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The application's data sets in both directions.
+    params_out:
+        Calibrated parameters for the front-end → back-end direction.
+    params_in:
+        Parameters for the reverse direction; defaults to *params_out*
+        (the Sun/CM2 platform is symmetric in the paper's model).
+    """
+    if params_in is None:
+        params_in = params_out
+    out_cost = dedicated_comm_cost(pattern.to_backend, params_out)
+    in_cost = dedicated_comm_cost(pattern.to_frontend, params_in)
+    return out_cost, in_cost

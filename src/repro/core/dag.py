@@ -1,0 +1,229 @@
+"""Task graphs beyond the serial chain.
+
+The paper's applications are "composed of a few coarse-grained tasks"
+executing as a chain with transfers between consecutive tasks
+(`core.scheduler`). Real heterogeneous applications are DAGs; this
+module generalises the mapping machinery:
+
+* :class:`TaskGraph` — tasks, precedence edges with data volumes;
+* :func:`evaluate_dag_mapping` — elapsed time of an assignment under
+  either the paper's *serialised* execution model (one coarse-grained
+  task at a time, the natural reading of the paper's examples) or a
+  *concurrent* model (classic DAG schedule: independent tasks on
+  different machines overlap; each machine runs one task at a time);
+* :func:`eft_mapping` — an earliest-finish-time list scheduler (an
+  HEFT-style heuristic) for graphs whose assignment space is too large
+  for :func:`repro.core.scheduler.best_mapping`-style enumeration.
+
+All execution/communication inputs are *contention-adjusted* costs,
+produced exactly as for the chain scheduler — so this composes with
+`ext.multimachine.HeterogeneousSystem.adjusted_problem`-style inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import ScheduleError
+
+__all__ = ["TaskGraph", "evaluate_dag_mapping", "eft_mapping", "critical_path_bound"]
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A DAG of coarse-grained tasks.
+
+    Attributes
+    ----------
+    tasks:
+        Task names.
+    edges:
+        ``{(producer, consumer): transfer_cost_scale}`` — the scale is
+        multiplied into the machine-pair communication cost (1.0 keeps
+        the pairwise cost as-is; use data-volume ratios otherwise).
+    """
+
+    tasks: tuple[str, ...]
+    edges: Mapping[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ScheduleError("a task graph needs at least one task")
+        if len(set(self.tasks)) != len(self.tasks):
+            raise ScheduleError("duplicate task names")
+        names = set(self.tasks)
+        for (a, b), scale in self.edges.items():
+            if a not in names or b not in names:
+                raise ScheduleError(f"edge {(a, b)!r} references unknown task")
+            if a == b:
+                raise ScheduleError(f"self-edge on {a!r}")
+            if scale < 0:
+                raise ScheduleError(f"negative transfer scale on {(a, b)!r}")
+        # Acyclicity check via the topological sort.
+        self.topological_order()
+
+    @staticmethod
+    def chain(tasks: Sequence[str]) -> "TaskGraph":
+        """The paper's shape: a linear chain with unit transfers."""
+        edges = {(a, b): 1.0 for a, b in zip(tasks[:-1], tasks[1:])}
+        return TaskGraph(tasks=tuple(tasks), edges=edges)
+
+    def predecessors(self, task: str) -> list[tuple[str, float]]:
+        return [(a, s) for (a, b), s in self.edges.items() if b == task]
+
+    def successors(self, task: str) -> list[tuple[str, float]]:
+        return [(b, s) for (a, b), s in self.edges.items() if a == task]
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises on cycles. Ties keep declaration order."""
+        indegree = {t: 0 for t in self.tasks}
+        for (_, b) in self.edges:
+            indegree[b] += 1
+        ready = [t for t in self.tasks if indegree[t] == 0]
+        order: list[str] = []
+        while ready:
+            task = ready.pop(0)
+            order.append(task)
+            for succ, _ in self.successors(task):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    # Keep deterministic declaration order among ready tasks.
+                    ready.append(succ)
+                    ready.sort(key=self.tasks.index)
+        if len(order) != len(self.tasks):
+            raise ScheduleError("task graph contains a cycle")
+        return order
+
+
+def _transfer_cost(
+    comm_time: Mapping[tuple[str, str], float], src: str, dst: str, scale: float
+) -> float:
+    if src == dst or scale == 0.0:
+        return 0.0
+    try:
+        return comm_time[(src, dst)] * scale
+    except KeyError:
+        raise ScheduleError(f"no communication time for machine pair {(src, dst)!r}") from None
+
+
+def evaluate_dag_mapping(
+    graph: TaskGraph,
+    exec_time: Mapping[str, Mapping[str, float]],
+    comm_time: Mapping[tuple[str, str], float],
+    assignment: Mapping[str, str],
+    concurrent: bool = False,
+) -> float:
+    """Elapsed time of *assignment* for *graph*.
+
+    ``concurrent=False`` (default) is the paper's serialised model:
+    tasks run one at a time in topological order; every cross-machine
+    edge pays its transfer. ``concurrent=True`` computes the classic
+    schedule length: a task starts when its machine is free and all
+    its inputs (plus transfers) have arrived.
+    """
+    order = graph.topological_order()
+    for task in order:
+        if task not in assignment:
+            raise ScheduleError(f"no machine assigned to task {task!r}")
+
+    if not concurrent:
+        total = 0.0
+        for task in order:
+            for pred, scale in graph.predecessors(task):
+                total += _transfer_cost(comm_time, assignment[pred], assignment[task], scale)
+            total += exec_time[task][assignment[task]]
+        return total
+
+    finish: dict[str, float] = {}
+    machine_free: dict[str, float] = {}
+    for task in order:
+        machine = assignment[task]
+        data_ready = 0.0
+        for pred, scale in graph.predecessors(task):
+            arrival = finish[pred] + _transfer_cost(
+                comm_time, assignment[pred], machine, scale
+            )
+            data_ready = max(data_ready, arrival)
+        start = max(data_ready, machine_free.get(machine, 0.0))
+        finish[task] = start + exec_time[task][machine]
+        machine_free[machine] = finish[task]
+    return max(finish.values())
+
+
+def critical_path_bound(
+    graph: TaskGraph,
+    exec_time: Mapping[str, Mapping[str, float]],
+) -> float:
+    """Lower bound on any concurrent schedule: the best-case critical path.
+
+    Uses each task's *fastest* machine and ignores transfers — no
+    schedule can beat it, a useful sanity bound for heuristics.
+    """
+    best = {t: min(exec_time[t].values()) for t in graph.tasks}
+    longest: dict[str, float] = {}
+    for task in graph.topological_order():
+        incoming = [longest[p] for p, _ in graph.predecessors(task)]
+        longest[task] = best[task] + (max(incoming) if incoming else 0.0)
+    return max(longest.values())
+
+
+def eft_mapping(
+    graph: TaskGraph,
+    exec_time: Mapping[str, Mapping[str, float]],
+    comm_time: Mapping[tuple[str, str], float],
+) -> dict[str, str]:
+    """Earliest-finish-time list scheduling (HEFT-style heuristic).
+
+    Tasks are ranked by *upward rank* (mean execution cost plus the
+    heaviest mean-cost path to an exit task); each task then goes to
+    the machine minimising its earliest finish time given the partial
+    schedule. Returns the assignment; evaluate it with
+    :func:`evaluate_dag_mapping` (``concurrent=True``).
+    """
+    machines = sorted({m for row in exec_time.values() for m in row})
+    if not machines:
+        raise ScheduleError("exec_time has no machines")
+
+    mean_exec = {t: sum(exec_time[t].values()) / len(exec_time[t]) for t in graph.tasks}
+    mean_comm = (
+        sum(comm_time.values()) / len(comm_time) if comm_time else 0.0
+    )
+
+    rank: dict[str, float] = {}
+    for task in reversed(graph.topological_order()):
+        succ_ranks = [
+            rank[s] + mean_comm * scale for s, scale in graph.successors(task)
+        ]
+        rank[task] = mean_exec[task] + (max(succ_ranks) if succ_ranks else 0.0)
+
+    assignment: dict[str, str] = {}
+    finish: dict[str, float] = {}
+    machine_free: dict[str, float] = {m: 0.0 for m in machines}
+    pending = set(graph.tasks)
+    while pending:
+        # Highest upward rank among tasks whose inputs are scheduled —
+        # rank order alone can violate precedence on zero-cost ties.
+        ready = [
+            t for t in pending
+            if all(p in finish for p, _ in graph.predecessors(t))
+        ]
+        task = max(ready, key=lambda t: (rank[t], -graph.tasks.index(t)))
+        best_machine, best_finish = None, float("inf")
+        for machine in machines:
+            data_ready = 0.0
+            for pred, scale in graph.predecessors(task):
+                arrival = finish[pred] + _transfer_cost(
+                    comm_time, assignment[pred], machine, scale
+                )
+                data_ready = max(data_ready, arrival)
+            start = max(data_ready, machine_free[machine])
+            end = start + exec_time[task][machine]
+            if end < best_finish:
+                best_machine, best_finish = machine, end
+        assert best_machine is not None
+        assignment[task] = best_machine
+        finish[task] = best_finish
+        machine_free[best_machine] = best_finish
+        pending.remove(task)
+    return assignment

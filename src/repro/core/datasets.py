@@ -1,0 +1,107 @@
+"""Application-dependent communication descriptions.
+
+The paper's communication cost formulas sum over *data sets*: groups of
+same-sized messages. ``N_i`` (message count) and ``size_i`` (words per
+message) are application-dependent parameters "easy for the user to
+provide — usually related to the size of the problem being solved".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import ModelError
+
+__all__ = ["DataSet", "CommPattern", "matrix_transfer"]
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """A group of ``count`` messages of ``size`` words each (N_i, size_i)."""
+
+    count: int
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ModelError(f"message count must be >= 0, got {self.count!r}")
+        if self.size < 0:
+            raise ModelError(f"message size must be >= 0, got {self.size!r}")
+
+    @property
+    def total_words(self) -> float:
+        """Total payload carried by the data set."""
+        return self.count * self.size
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """All data sets an application moves, per direction.
+
+    ``to_backend`` holds the data sets sent front-end → back-end
+    (Sun → CM2 / Sun → Paragon); ``to_frontend`` the reverse direction.
+    """
+
+    to_backend: tuple[DataSet, ...] = ()
+    to_frontend: tuple[DataSet, ...] = ()
+
+    @staticmethod
+    def symmetric(datasets: Iterable[DataSet]) -> "CommPattern":
+        """A pattern moving the same data sets in both directions.
+
+        This is the shape of the Figure 1 experiment: the M×M matrix is
+        shipped to the CM2 before the computation and shipped back after.
+        """
+        ds = tuple(datasets)
+        return CommPattern(to_backend=ds, to_frontend=ds)
+
+    def __iter__(self) -> Iterator[tuple[str, DataSet]]:
+        for ds in self.to_backend:
+            yield "out", ds
+        for ds in self.to_frontend:
+            yield "in", ds
+
+    @property
+    def total_words(self) -> float:
+        """Total payload in both directions."""
+        return sum(ds.total_words for ds in self.to_backend) + sum(
+            ds.total_words for ds in self.to_frontend
+        )
+
+    @property
+    def total_messages(self) -> int:
+        """Total message count in both directions."""
+        return sum(ds.count for ds in self.to_backend) + sum(
+            ds.count for ds in self.to_frontend
+        )
+
+    def max_message_size(self) -> float:
+        """Largest message size in the pattern (0 when empty).
+
+        The paper uses the *maximum message size used in the system* to
+        pick the ``j`` bucket of ``delay_comm^{i,j}``.
+        """
+        sizes = [ds.size for ds in self.to_backend] + [ds.size for ds in self.to_frontend]
+        return max(sizes, default=0.0)
+
+
+def matrix_transfer(m: int, row_messages: bool = True) -> CommPattern:
+    """Communication pattern for shipping an M×M matrix each way.
+
+    Parameters
+    ----------
+    m:
+        Matrix dimension.
+    row_messages:
+        When True (default, and how the CM-Fortran runtime behaved),
+        the matrix moves as M messages of M words; otherwise as one
+        M²-word message.
+    """
+    if m < 1:
+        raise ModelError(f"matrix dimension must be >= 1, got {m!r}")
+    if row_messages:
+        ds = DataSet(count=m, size=float(m))
+    else:
+        ds = DataSet(count=1, size=float(m * m))
+    return CommPattern.symmetric([ds])

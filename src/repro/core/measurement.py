@@ -1,0 +1,144 @@
+"""Deriving application profiles from observation.
+
+§2: "We assume we know the set of all applications executing on the
+system. ... This information may be provided by the users or obtained
+from the resource management system." This module is that resource
+management system: :class:`UsageMonitor` watches a platform's
+accounting (per-tag CPU service, per-tag message counts and sizes)
+over an observation window and turns each application's usage into the
+:class:`~repro.core.workload.ApplicationProfile` the slowdown formulas
+need — no user input required.
+
+The communication fraction is computed in *dedicated-equivalent* terms
+(how the application would split its time on an idle machine), which
+is the quantity the model's `f_k` means: observed CPU service is the
+computation side (minus the conversion service its own messages
+consumed), and its messages' dedicated cost is the communication side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ModelError
+from .workload import ApplicationProfile
+
+if TYPE_CHECKING:  # pragma: no cover - platform imports this module's package
+    from ..platforms.sunparagon import SunParagonPlatform
+
+__all__ = ["TagUsage", "UsageMonitor"]
+
+
+@dataclass
+class TagUsage:
+    """Accumulated usage of one application tag inside a window."""
+
+    cpu_service: float = 0.0
+    messages: int = 0
+    words: float = 0.0
+    max_message_size: float = 0.0
+    comm_dedicated: float = 0.0
+
+    @property
+    def mean_message_size(self) -> float:
+        return self.words / self.messages if self.messages else 0.0
+
+
+class UsageMonitor:
+    """Observe a Sun/Paragon platform and estimate application profiles.
+
+    Usage: construct, let the simulation run, call :meth:`snapshot` to
+    close the window and read the profiles. The monitor relies on the
+    platform's own accounting — per-tag CPU service from the
+    time-shared CPU and per-tag message logs it hooks into the message
+    path — i.e. exactly what a 1996 resource manager could see.
+
+    Parameters
+    ----------
+    platform:
+        The platform to observe. Message accounting starts at
+        construction time (the platform is asked to log per-tag
+        message sizes from then on).
+    """
+
+    def __init__(self, platform: "SunParagonPlatform") -> None:
+        self.platform = platform
+        self._t0 = platform.sim.now
+        self._cpu0 = dict(platform.frontend_cpu.service_by_tag)
+        self._messages0: dict[str, list[float]] = {
+            tag: list(sizes) for tag, sizes in platform.message_log.items()
+        }
+
+    def window(self) -> float:
+        """Length of the observation window so far."""
+        return self.platform.sim.now - self._t0
+
+    def usage(self) -> dict[str, TagUsage]:
+        """Per-tag usage accumulated inside the window."""
+        spec = self.platform.spec
+        out: dict[str, TagUsage] = {}
+        cpu_now = self.platform.frontend_cpu.service_by_tag
+        for tag, total in cpu_now.items():
+            usage = out.setdefault(tag, TagUsage())
+            usage.cpu_service = total - self._cpu0.get(tag, 0.0)
+        for tag, sizes in self.platform.message_log.items():
+            before = len(self._messages0.get(tag, []))
+            new_sizes = sizes[before:]
+            if not new_sizes:
+                continue
+            usage = out.setdefault(tag, TagUsage())
+            usage.messages = len(new_sizes)
+            usage.words = float(sum(new_sizes))
+            usage.max_message_size = max(new_sizes)
+            usage.comm_dedicated = sum(
+                spec.message_dedicated_time(s) for s in new_sizes
+            )
+        return out
+
+    def profile(self, tag: str, name: str | None = None) -> ApplicationProfile:
+        """Estimated :class:`ApplicationProfile` for one application tag.
+
+        The computation side is the tag's CPU service minus the
+        conversion work its own messages consumed (conversion belongs
+        to communication in the model's dichotomy); the communication
+        side is its messages' dedicated end-to-end cost.
+        """
+        usage = self.usage().get(tag)
+        if usage is None or (usage.cpu_service == 0 and usage.messages == 0):
+            raise ModelError(f"no observed activity for tag {tag!r}")
+        spec = self.platform.spec
+        conversion = 0.0
+        for size in self.platform.message_log.get(tag, [])[
+            len(self._messages0.get(tag, [])) :
+        ]:
+            for frag in spec.wire.fragment_sizes(size):
+                conversion += spec.conversion_cpu_time(frag)
+        comp = max(0.0, usage.cpu_service - conversion)
+        comm = usage.comm_dedicated
+        if comp + comm <= 0:
+            raise ModelError(f"tag {tag!r} has zero dedicated-equivalent usage")
+        return ApplicationProfile.from_costs(
+            name or tag, comp, comm, message_size=usage.max_message_size
+        )
+
+    def snapshot(self, exclude: tuple[str, ...] = ("_os",)) -> list[ApplicationProfile]:
+        """Profiles of every active tag (most active first).
+
+        Tags in *exclude* (the OS daemon by default) are skipped, as
+        are tags with negligible activity (< 0.1 % of the window).
+        """
+        window = self.window()
+        if window <= 0:
+            raise ModelError("observation window is empty")
+        profiles = []
+        for tag, usage in sorted(
+            self.usage().items(), key=lambda kv: -(kv[1].cpu_service + kv[1].comm_dedicated)
+        ):
+            if tag in exclude:
+                continue
+            activity = usage.cpu_service + usage.comm_dedicated
+            if activity < 1e-3 * window:
+                continue
+            profiles.append(self.profile(tag))
+        return profiles

@@ -1,0 +1,212 @@
+"""System-dependent parameter containers.
+
+The paper splits model inputs into *system-dependent* parameters
+(measured once per platform by benchmark suites — startup costs,
+effective bandwidths, delay tables) and *application-dependent*
+parameters (provided by the user — message counts/sizes, communication
+fractions). This module holds the system-dependent side:
+
+* :class:`LinearCommParams` — one (α, β) pair: ``t(s) = α + s/β``.
+* :class:`PiecewiseCommParams` — the two-piece model of §3.2.1 with the
+  ``threshold`` boundary (1024 words on the Sun/Paragon).
+* :class:`DelayTable` — ``delay^i`` for ``i = 1..p_max`` contention
+  generators (used for both ``delay_comp^i`` and ``delay_comm^i``).
+* :class:`SizedDelayTable` — ``delay^{i,j}`` tables keyed by the
+  contender message-size bucket ``j`` (§3.2.2; j ∈ {1, 500, 1000} on
+  the Sun/Paragon, with j = 1 only used below 95 words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+from ..units import check_positive
+
+__all__ = [
+    "LinearCommParams",
+    "PiecewiseCommParams",
+    "DelayTable",
+    "SizedDelayTable",
+    "SMALL_MESSAGE_CUTOFF",
+]
+
+#: Footnote 2 of the paper: the ``j = 1`` delay bucket is only used for
+#: message sizes below 95 words.
+SMALL_MESSAGE_CUTOFF = 95
+
+
+@dataclass(frozen=True)
+class LinearCommParams:
+    """One linear piece of a communication cost model: ``α + size/β``.
+
+    Attributes
+    ----------
+    alpha:
+        Startup (latency) cost per message, seconds.
+    beta:
+        Effective bandwidth, words per second — the *achieved* rate, not
+        the link's peak rate (paper §3.1.1).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ModelError(f"alpha must be >= 0, got {self.alpha!r}")
+        check_positive(self.beta, "beta")
+
+    def message_time(self, size_words: float) -> float:
+        """Dedicated-mode time to move one message of *size_words*."""
+        if size_words < 0:
+            raise ModelError(f"message size must be >= 0, got {size_words!r}")
+        return self.alpha + size_words / self.beta
+
+
+@dataclass(frozen=True)
+class PiecewiseCommParams:
+    """Two-piece linear communication model with a size threshold.
+
+    ``small`` applies to messages of ``threshold`` or fewer words,
+    ``large`` to strictly larger messages (paper §3.2.1).
+    """
+
+    threshold: float
+    small: LinearCommParams
+    large: LinearCommParams
+
+    def __post_init__(self) -> None:
+        check_positive(self.threshold, "threshold")
+
+    def piece_for(self, size_words: float) -> LinearCommParams:
+        """Return the linear piece governing a message of *size_words*."""
+        return self.small if size_words <= self.threshold else self.large
+
+    def message_time(self, size_words: float) -> float:
+        """Dedicated-mode time to move one message of *size_words*."""
+        return self.piece_for(size_words).message_time(size_words)
+
+
+@dataclass(frozen=True)
+class DelayTable:
+    """``delay^i`` for ``i = 1 .. len(delays)`` contention generators.
+
+    ``delays[i-1]`` is the *relative* delay imposed by exactly ``i``
+    generators: a table value of 2.0 means the probed operation takes
+    three times as long (slowdown 1 + 2.0) under that contention level.
+
+    The table is built by :func:`repro.core.calibration.build_delay_table`
+    from measured dedicated/contended times; it is queried by the
+    slowdown formulas of §3.2.
+    """
+
+    delays: tuple[float, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.delays:
+            raise ModelError("a DelayTable needs at least one entry (i = 1)")
+        for i, d in enumerate(self.delays, start=1):
+            if d < 0:
+                raise ModelError(f"delay^({i}) must be >= 0, got {d!r}")
+
+    @property
+    def max_level(self) -> int:
+        """Largest contention level *i* the table was measured for."""
+        return len(self.delays)
+
+    def delay(self, level: int, extrapolate: bool = False) -> float:
+        """``delay^i`` for *level* simultaneous generators.
+
+        Parameters
+        ----------
+        level:
+            Number of simultaneously active contenders, ``>= 1``.
+        extrapolate:
+            When True, levels beyond the measured range extrapolate
+            linearly from the last two entries (clamped at the last
+            entry when only one exists). When False, out-of-range
+            levels raise :class:`~repro.errors.ModelError`.
+        """
+        if level < 1:
+            raise ModelError(f"contention level must be >= 1, got {level!r}")
+        if level <= self.max_level:
+            return self.delays[level - 1]
+        if not extrapolate:
+            raise ModelError(
+                f"delay table {self.label!r} measured up to i={self.max_level}, "
+                f"asked for i={level} (pass extrapolate=True to allow)"
+            )
+        if self.max_level == 1:
+            return self.delays[-1]
+        step = self.delays[-1] - self.delays[-2]
+        return max(0.0, self.delays[-1] + step * (level - self.max_level))
+
+
+@dataclass(frozen=True)
+class SizedDelayTable:
+    """``delay^{i,j}``: per-message-size delay tables (paper §3.2.2).
+
+    Attributes
+    ----------
+    tables:
+        Mapping from message-size bucket ``j`` (words) to the
+        :class:`DelayTable` measured with generators using ``j``-word
+        messages. The Sun/Paragon reproduction uses j ∈ {1, 500, 1000}.
+    small_cutoff:
+        The smallest bucket (j = 1 in the paper) is only eligible for
+        message sizes strictly below this value (footnote 2: 95 words).
+    saturation:
+        Size above which the delay is roughly constant (≈1000 words on
+        the Sun/Paragon); sizes above it use the largest bucket. Kept
+        for documentation/reporting; bucket choice already achieves it.
+    """
+
+    tables: Mapping[int, DelayTable]
+    small_cutoff: int = SMALL_MESSAGE_CUTOFF
+    saturation: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ModelError("a SizedDelayTable needs at least one j bucket")
+        for j in self.tables:
+            if j < 1:
+                raise ModelError(f"bucket sizes must be >= 1 word, got {j!r}")
+
+    @property
+    def buckets(self) -> tuple[int, ...]:
+        """Available ``j`` buckets, ascending."""
+        return tuple(sorted(self.tables))
+
+    def select_bucket(self, message_size: float) -> int:
+        """Pick the bucket ``j`` closest to *message_size*.
+
+        Implements the paper's rule: choose the available ``j`` closest
+        to the actual size ``k``, except that the smallest bucket is
+        only used when ``k < small_cutoff``.
+        """
+        if message_size < 0:
+            raise ModelError(f"message size must be >= 0, got {message_size!r}")
+        buckets = self.buckets
+        eligible = buckets
+        if len(buckets) > 1 and message_size >= self.small_cutoff:
+            # Exclude the j=1-style bucket for non-tiny messages.
+            eligible = tuple(j for j in buckets if j >= self.small_cutoff) or buckets
+        return min(eligible, key=lambda j: (abs(j - message_size), j))
+
+    def delay(self, level: int, message_size: float, extrapolate: bool = False) -> float:
+        """``delay^{i,j}`` with ``j`` chosen for *message_size*."""
+        bucket = self.select_bucket(message_size)
+        return self.tables[bucket].delay(level, extrapolate=extrapolate)
+
+    def delay_for_bucket(self, level: int, bucket: int, extrapolate: bool = False) -> float:
+        """``delay^{i,j}`` for an explicitly chosen bucket ``j``.
+
+        Used by the Figure 7/8 reproductions, which compare the model
+        error when forcing j = 1, 500 and 1000.
+        """
+        if bucket not in self.tables:
+            raise ModelError(f"no delay table for bucket j={bucket!r}; have {self.buckets}")
+        return self.tables[bucket].delay(level, extrapolate=extrapolate)

@@ -1,0 +1,202 @@
+"""Contended performance predictions and the offloading rule.
+
+Combines dedicated-mode costs with slowdown factors to produce the
+quantities a scheduler compares:
+
+* ``T_frontend`` — elapsed time executing the task on the front-end
+  (Sun) under contention: ``dcomp_sun × slowdown``.
+* ``T_backend`` (CM2 form) — elapsed time executing on the back-end:
+  ``max(dcomp_cm2 + didle_cm2, dserial_cm2 × slowdown)`` (§3.1.2); the
+  back-end is gated either by its own work + idle gaps, or by the
+  contended serial stream on the front-end, whichever dominates.
+* ``C_out`` / ``C_in`` — contended communication costs:
+  ``dcomm × slowdown``.
+
+and the paper's Equation (1): offload a task to the back-end only when
+
+.. math::
+
+   T_{front} > T_{back} + C_{front \\to back} + C_{back \\to front}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..units import check_nonnegative
+
+__all__ = [
+    "BackendTaskCosts",
+    "PlacementPrediction",
+    "predict_frontend_time",
+    "predict_backend_time",
+    "predict_comm_cost",
+    "should_offload",
+    "decide_placement",
+]
+
+
+@dataclass(frozen=True)
+class BackendTaskCosts:
+    """Dedicated-mode cost breakdown of a task run on the back-end (§3.1.2).
+
+    Attributes
+    ----------
+    dcomp:
+        Time the back-end spends executing the task's parallel
+        instructions (dedicated mode).
+    didle:
+        Back-end idle time while waiting for instructions from the
+        front-end (dedicated mode).
+    dserial:
+        Front-end time executing the task's serial/scalar instructions
+        (dedicated mode). Invariant from the paper: ``didle <= dserial``
+        because the front-end may pre-execute serial code while the
+        back-end computes.
+    """
+
+    dcomp: float
+    didle: float
+    dserial: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.dcomp, "dcomp")
+        check_nonnegative(self.didle, "didle")
+        check_nonnegative(self.dserial, "dserial")
+
+    @property
+    def dedicated_elapsed(self) -> float:
+        """Elapsed time in a dedicated system (slowdown = 1)."""
+        return max(self.dcomp + self.didle, self.dserial)
+
+
+def predict_frontend_time(dcomp: float, slowdown: float) -> float:
+    """``T_front = dcomp × slowdown`` (§3.1.2 / §3.2.2)."""
+    check_nonnegative(dcomp, "dcomp")
+    if slowdown < 1.0:
+        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
+    return dcomp * slowdown
+
+
+def predict_backend_time(costs: BackendTaskCosts, slowdown: float) -> float:
+    """``T_back = max(dcomp + didle, dserial × slowdown)`` (§3.1.2).
+
+    With no contention this reduces to the dedicated elapsed time; as
+    contention grows, the contended serial stream on the front-end
+    eventually becomes the bottleneck — the effect behind the Figure 3
+    crossover at M ≈ 200.
+    """
+    if slowdown < 1.0:
+        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
+    return max(costs.dcomp + costs.didle, costs.dserial * slowdown)
+
+
+def predict_comm_cost(dcomm: float, slowdown: float) -> float:
+    """``C = dcomm × slowdown`` (§3.1.1 / §3.2.1)."""
+    check_nonnegative(dcomm, "dcomm")
+    if slowdown < 1.0:
+        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
+    return dcomm * slowdown
+
+
+def should_offload(t_frontend: float, t_backend: float, c_out: float, c_in: float) -> bool:
+    """Equation (1): run on the back-end iff it wins *including* transfers."""
+    return t_frontend > t_backend + c_out + c_in
+
+
+def predict_mixed_time(
+    dcomp: float,
+    dcomm_out: float,
+    dcomm_in: float,
+    comp_slowdown: float,
+    comm_slowdown: float,
+) -> float:
+    """Prediction for an application alternating computation and communication.
+
+    The paper's typical applications "execute for a long period of
+    time, alternating computation with communication cycles" (§2); the
+    natural long-term prediction applies each slowdown to its own
+    share:
+
+    .. math::
+
+       T = dcomp \\cdot s_{comp} + (dcomm_{out} + dcomm_{in}) \\cdot s_{comm}
+
+    Cycle boundaries are ignored — exactly the long-term view the
+    paper argues for; the mixed-workload experiment quantifies how
+    well it holds.
+    """
+    return predict_frontend_time(dcomp, comp_slowdown) + predict_comm_cost(
+        dcomm_out + dcomm_in, comm_slowdown
+    )
+
+
+@dataclass(frozen=True)
+class PlacementPrediction:
+    """The full comparison a scheduler makes for one task.
+
+    ``offload`` is True when Equation (1) favours the back-end.
+    """
+
+    t_frontend: float
+    t_backend: float
+    c_out: float
+    c_in: float
+
+    @property
+    def backend_total(self) -> float:
+        """Back-end elapsed time including both transfers."""
+        return self.t_backend + self.c_out + self.c_in
+
+    @property
+    def offload(self) -> bool:
+        return should_offload(self.t_frontend, self.t_backend, self.c_out, self.c_in)
+
+    @property
+    def best_time(self) -> float:
+        """Predicted elapsed time of the better placement."""
+        return min(self.t_frontend, self.backend_total)
+
+    @property
+    def advantage(self) -> float:
+        """Time saved by the better placement over the alternative."""
+        return abs(self.t_frontend - self.backend_total)
+
+
+def decide_placement(
+    dcomp_frontend: float,
+    backend_costs: BackendTaskCosts,
+    dcomm_out: float,
+    dcomm_in: float,
+    comp_slowdown: float,
+    comm_slowdown: float,
+    backend_serial_slowdown: float | None = None,
+) -> PlacementPrediction:
+    """Assemble a :class:`PlacementPrediction` from dedicated costs.
+
+    Parameters
+    ----------
+    dcomp_frontend:
+        Dedicated time of the task on the front-end.
+    backend_costs:
+        Dedicated cost breakdown of the task on the back-end.
+    dcomm_out, dcomm_in:
+        Dedicated transfer costs to and from the back-end.
+    comp_slowdown:
+        Slowdown applied to front-end computation (and, by default, to
+        the back-end task's serial stream).
+    comm_slowdown:
+        Slowdown applied to transfers.
+    backend_serial_slowdown:
+        Override for the slowdown of the back-end task's serial stream;
+        defaults to *comp_slowdown* (they coincide on the Sun/CM2,
+        where all contention is front-end CPU contention).
+    """
+    serial_slow = backend_serial_slowdown if backend_serial_slowdown is not None else comp_slowdown
+    return PlacementPrediction(
+        t_frontend=predict_frontend_time(dcomp_frontend, comp_slowdown),
+        t_backend=predict_backend_time(backend_costs, serial_slow),
+        c_out=predict_comm_cost(dcomm_out, comm_slowdown),
+        c_in=predict_comm_cost(dcomm_in, comm_slowdown),
+    )

@@ -1,0 +1,158 @@
+"""Poisson-binomial overlap probabilities (``pcomp_i`` / ``pcomm_i``).
+
+The Sun/Paragon slowdown formulas weight the measured delay tables by
+the probability that exactly *i* of the *p* contending applications are
+simultaneously computing (``pcomp_i``) or communicating (``pcomm_i``).
+Treating each application *k* as independently communicating with
+long-run probability ``f_k`` (and computing with ``1 - f_k``), the
+number of simultaneous communicators follows a **Poisson-binomial
+distribution**.
+
+The paper stresses the run-time efficiency of this computation:
+
+* generating all ``pcomm_i`` (or ``pcomp_i``) for ``1 <= i <= p`` takes
+  ``O(p²)`` time by dynamic programming (:func:`overlap_distribution`);
+* when a new application arrives, the values update in ``O(p)``
+  (:func:`add_application`);
+* when an application finishes, the table is regenerated in ``O(p²)``
+  (or ``O(p)`` by polynomial deconvolution when numerically safe,
+  :func:`remove_application`).
+
+The worked example of §3.2.1 (p = 2, fractions 0.2 and 0.3) is encoded
+in the unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..units import check_fraction
+
+__all__ = [
+    "overlap_distribution",
+    "add_application",
+    "remove_application",
+    "comm_comp_distributions",
+    "expected_active",
+]
+
+#: Fractions within this distance of 0 or 1 make polynomial
+#: deconvolution in :func:`remove_application` ill-conditioned; the
+#: caller should rebuild with :func:`overlap_distribution` instead.
+_DECONV_LIMIT = 1e-9
+
+
+def overlap_distribution(fractions: Sequence[float]) -> np.ndarray:
+    """Distribution of the number of simultaneously *active* applications.
+
+    Parameters
+    ----------
+    fractions:
+        ``f_k`` for each of the *p* applications: the long-run fraction
+        of time application *k* is active (communicating, for
+        ``pcomm``; computing, for ``pcomp``). Each must lie in [0, 1].
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``dist`` of length ``p + 1`` with
+        ``dist[i] = P[exactly i active]``. ``dist.sum() == 1``.
+
+    Notes
+    -----
+    This is the classic ``O(p²)`` dynamic program: ``dist`` is the
+    coefficient vector of ``∏_k ((1 - f_k) + f_k x)``.
+    """
+    dist = np.array([1.0])
+    for k, f in enumerate(fractions):
+        check_fraction(f, f"fractions[{k}]")
+        dist = add_application(dist, f)
+    return dist
+
+
+def add_application(dist: np.ndarray, fraction: float) -> np.ndarray:
+    """Fold one more application into an overlap distribution in O(p).
+
+    Returns a new array one element longer; *dist* is not modified.
+    """
+    f = check_fraction(fraction, "fraction")
+    p = len(dist)
+    new = np.empty(p + 1)
+    new[0] = dist[0] * (1.0 - f)
+    if p > 1:
+        new[1:p] = dist[1:] * (1.0 - f) + dist[:-1] * f
+    new[p] = dist[p - 1] * f
+    return new
+
+
+def remove_application(dist: np.ndarray, fraction: float) -> np.ndarray:
+    """Remove one application from an overlap distribution.
+
+    Performs the inverse of :func:`add_application` by synthetic
+    division of the distribution polynomial by ``(1 - f) + f·x``.
+    Division is carried out from the numerically dominant end (the
+    constant term when ``f < 0.5``, the leading term otherwise), which
+    keeps the recurrence stable for interior fractions.
+
+    Raises
+    ------
+    ModelError
+        If the distribution has length 1 (no application to remove) or
+        *fraction* is so close to 0 or 1 that deconvolution would
+        divide by ~0 — rebuild with :func:`overlap_distribution` then.
+    """
+    f = check_fraction(fraction, "fraction")
+    p = len(dist) - 1
+    if p < 1:
+        raise ModelError("cannot remove an application from an empty distribution")
+    if min(f, 1.0 - f) < _DECONV_LIMIT:
+        # (1-f) or f is ~0: one division direction is exact, use it.
+        if f < 0.5:
+            return np.asarray(dist[:-1]) / (1.0 - f)
+        return np.asarray(dist[1:]) / f
+    out = np.empty(p)
+    if f <= 0.5:
+        # Divide from the constant term: dist[i] = out[i](1-f) + out[i-1] f.
+        g = 1.0 - f
+        acc = 0.0
+        for i in range(p):
+            out[i] = (dist[i] - acc * f) / g
+            acc = out[i]
+    else:
+        # Divide from the leading term: dist[p] = out[p-1] f.
+        acc = 0.0
+        for i in range(p - 1, -1, -1):
+            out[i] = (dist[i + 1] - acc * (1.0 - f)) / f
+            acc = out[i]
+    # Deconvolution can produce tiny negatives from round-off.
+    np.clip(out, 0.0, None, out=out)
+    total = out.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ModelError("deconvolution lost the distribution; rebuild from fractions")
+    return out / total
+
+
+def comm_comp_distributions(
+    comm_fractions: Sequence[float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(pcomm, pcomp)`` arrays for applications with given comm fractions.
+
+    ``pcomm[i]`` is the probability that exactly *i* applications
+    communicate simultaneously; ``pcomp[i]`` that exactly *i* compute.
+    Each application computes whenever it is not communicating, so
+    ``pcomp`` is the overlap distribution of the complementary
+    fractions. (The two arrays are reverses of each other only when
+    every application is two-phase, which they are in this model.)
+    """
+    fractions = [check_fraction(f, "comm_fraction") for f in comm_fractions]
+    pcomm = overlap_distribution(fractions)
+    pcomp = overlap_distribution([1.0 - f for f in fractions])
+    return pcomm, pcomp
+
+
+def expected_active(dist: np.ndarray) -> float:
+    """Mean number of simultaneously active applications."""
+    return float(np.dot(np.arange(len(dist)), dist))

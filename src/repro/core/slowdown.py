@@ -1,0 +1,160 @@
+"""The paper's slowdown factors.
+
+Three formulas, one per (platform, resource) combination:
+
+* **Sun/CM2, everything** (§3.1): CPU-bound contenders share the Sun's
+  CPU round-robin, so computation *and* communication slow down by
+  ``p + 1`` — :func:`cm2_slowdown`.
+
+* **Sun/Paragon, communication** (§3.2.1): contenders delay a transfer
+  both by stealing CPU (data-format conversion needs the CPU) and by
+  occupying the link —
+
+  .. math::
+
+     slowdown = 1 + \\sum_{i=1}^{p} pcomp_i \\, delay_{comp}^{i}
+                 + \\sum_{i=1}^{p} pcomm_i \\, delay_{comm}^{i}
+
+  — :func:`paragon_comm_slowdown`.
+
+* **Sun/Paragon, computation** (§3.2.2): computing contenders share the
+  CPU evenly (the ``i`` term), communicating contenders impose the
+  message-size-dependent ``delay_comm^{i,j}`` —
+
+  .. math::
+
+     slowdown = 1 + \\sum_{i=1}^{p} pcomp_i \\cdot i
+                 + \\sum_{i=1}^{p} pcomm_i \\, delay_{comm}^{i,j}
+
+  — :func:`paragon_comp_slowdown`.
+
+All factors are ``>= 1`` and equal 1 in a dedicated system (p = 0).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .params import DelayTable, SizedDelayTable
+from .probability import comm_comp_distributions
+from .workload import ApplicationProfile, comm_fractions, max_message_size
+
+__all__ = [
+    "cm2_slowdown",
+    "paragon_comm_slowdown",
+    "paragon_comp_slowdown",
+    "weighted_delay",
+]
+
+
+def cm2_slowdown(extra_processes: int) -> float:
+    """``slowdown = p + 1`` for *p* extra CPU-bound processes (§3.1).
+
+    CPU cycles on the Sun are split equally among same-priority
+    processes, so with ``p`` extra CPU-bound competitors every task —
+    and every element-by-element CM2 transfer, which is CPU-resident —
+    runs ``p + 1`` times slower.
+    """
+    p = int(extra_processes)
+    if p < 0:
+        raise ModelError(f"number of extra processes must be >= 0, got {extra_processes!r}")
+    return float(p + 1)
+
+
+def weighted_delay(
+    dist: np.ndarray, table: DelayTable, extrapolate: bool = False
+) -> float:
+    """``Σ_{i=1}^{p} dist[i] · delay^i`` — one summation term of §3.2.
+
+    ``dist`` is an overlap distribution of length ``p + 1``; index 0
+    (nobody active) contributes nothing.
+    """
+    total = 0.0
+    for i in range(1, len(dist)):
+        if dist[i] == 0.0:
+            continue
+        total += dist[i] * table.delay(i, extrapolate=extrapolate)
+    return total
+
+
+def paragon_comm_slowdown(
+    contenders: Sequence[ApplicationProfile],
+    delay_comp: DelayTable,
+    delay_comm: DelayTable,
+    extrapolate: bool = False,
+) -> float:
+    """Communication slowdown on the Sun/Paragon platform (§3.2.1).
+
+    Parameters
+    ----------
+    contenders:
+        Profiles of the *p* extra applications sharing the Sun.
+    delay_comp:
+        ``delay_comp^i`` — delay imposed on the ping-pong benchmark by
+        *i* compute-intensive generators (calibrated per platform).
+    delay_comm:
+        ``delay_comm^i`` — delay imposed by *i* communicating
+        generators (average of the two directions, calibrated per
+        platform).
+    extrapolate:
+        Forwarded to :meth:`DelayTable.delay` for contention levels
+        beyond the calibrated range.
+    """
+    if not contenders:
+        return 1.0
+    pcomm, pcomp = comm_comp_distributions(comm_fractions(contenders))
+    return (
+        1.0
+        + weighted_delay(pcomp, delay_comp, extrapolate)
+        + weighted_delay(pcomm, delay_comm, extrapolate)
+    )
+
+
+def paragon_comp_slowdown(
+    contenders: Sequence[ApplicationProfile],
+    delay_comm_sized: SizedDelayTable,
+    j: float | None = None,
+    force_bucket: int | None = None,
+    extrapolate: bool = False,
+) -> float:
+    """Computation slowdown on the Sun/Paragon platform (§3.2.2).
+
+    Parameters
+    ----------
+    contenders:
+        Profiles of the *p* extra applications sharing the Sun.
+    delay_comm_sized:
+        ``delay_comm^{i,j}`` tables keyed by message-size bucket.
+    j:
+        Message size (words) used to pick the bucket. Defaults to the
+        maximum message size among the contenders, the paper's
+        recommendation. Ignored when *force_bucket* is given.
+    force_bucket:
+        Force a specific calibrated bucket (the Figure 7/8 experiments
+        compare j = 1, 500 and 1000 explicitly).
+    extrapolate:
+        Forwarded to the delay-table lookups.
+    """
+    if not contenders:
+        return 1.0
+    pcomm, pcomp = comm_comp_distributions(comm_fractions(contenders))
+    # First summation: computing contenders steal even CPU shares.
+    cpu_term = sum(pcomp[i] * i for i in range(1, len(pcomp)))
+    # Second summation: communicating contenders impose delay_comm^{i,j}.
+    if force_bucket is not None:
+        comm_term = sum(
+            pcomm[i] * delay_comm_sized.delay_for_bucket(i, force_bucket, extrapolate)
+            for i in range(1, len(pcomm))
+            if pcomm[i] > 0.0
+        )
+    else:
+        size = j if j is not None else max_message_size(contenders)
+        comm_term = sum(
+            pcomm[i] * delay_comm_sized.delay(i, size, extrapolate)
+            for i in range(1, len(pcomm))
+            if pcomm[i] > 0.0
+        )
+    return 1.0 + cpu_term + comm_term

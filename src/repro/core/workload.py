@@ -1,0 +1,113 @@
+"""Application-dependent workload characterisations.
+
+An :class:`ApplicationProfile` is what the paper assumes the system
+knows about each application sharing the platform: the fraction of time
+it communicates with the back-end, and the typical message size it
+uses. The paper: *"The percentages of computation and communication
+associated with each application ... can be either directly given by
+the users or calculated from computation and communication costs (in
+dedicated mode) provided by the user."* Both routes are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..errors import ModelError
+from ..units import check_fraction, check_nonnegative
+from .datasets import CommPattern
+
+__all__ = ["ApplicationProfile", "max_message_size", "comm_fractions"]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """What the contention model knows about one competing application.
+
+    Attributes
+    ----------
+    name:
+        Identifier (used by the run-time :class:`~repro.core.runtime.SlowdownManager`).
+    comm_fraction:
+        Long-run fraction of time the application spends communicating
+        with the back-end; it computes the remaining ``1 - comm_fraction``.
+    message_size:
+        Typical message size (words) the application transfers; feeds
+        the ``j`` bucket choice of ``delay_comm^{i,j}``. Zero is
+        allowed for pure CPU-bound applications.
+    """
+
+    name: str
+    comm_fraction: float
+    message_size: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.comm_fraction, "comm_fraction")
+        check_nonnegative(self.message_size, "message_size")
+        if self.comm_fraction > 0 and self.message_size <= 0:
+            raise ModelError(
+                f"application {self.name!r} communicates {self.comm_fraction:.0%} of the "
+                "time but declares no message size"
+            )
+
+    @property
+    def comp_fraction(self) -> float:
+        """Long-run fraction of time spent computing."""
+        return 1.0 - self.comm_fraction
+
+    @classmethod
+    def cpu_bound(cls, name: str) -> "ApplicationProfile":
+        """A purely compute-bound application (the Sun/CM2 contenders)."""
+        return cls(name=name, comm_fraction=0.0, message_size=0.0)
+
+    @classmethod
+    def from_costs(
+        cls,
+        name: str,
+        dedicated_comp: float,
+        dedicated_comm: float,
+        message_size: float = 0.0,
+    ) -> "ApplicationProfile":
+        """Derive the communication fraction from dedicated-mode costs.
+
+        ``comm_fraction = dcomm / (dcomp + dcomm)`` — the paper's second
+        route for obtaining the percentages.
+        """
+        comp = check_nonnegative(dedicated_comp, "dedicated_comp")
+        comm = check_nonnegative(dedicated_comm, "dedicated_comm")
+        total = comp + comm
+        if total <= 0:
+            raise ModelError(f"application {name!r} has zero total dedicated cost")
+        return cls(name=name, comm_fraction=comm / total, message_size=message_size)
+
+    @classmethod
+    def from_pattern(
+        cls,
+        name: str,
+        dedicated_comp: float,
+        dedicated_comm: float,
+        pattern: CommPattern,
+    ) -> "ApplicationProfile":
+        """Like :meth:`from_costs`, taking the message size from a pattern."""
+        return cls.from_costs(
+            name, dedicated_comp, dedicated_comm, message_size=pattern.max_message_size()
+        )
+
+    def with_fraction(self, comm_fraction: float) -> "ApplicationProfile":
+        """A copy with a different communication fraction."""
+        return replace(self, comm_fraction=comm_fraction)
+
+
+def comm_fractions(profiles: Iterable[ApplicationProfile]) -> list[float]:
+    """Communication fractions of *profiles*, in order."""
+    return [p.comm_fraction for p in profiles]
+
+
+def max_message_size(profiles: Sequence[ApplicationProfile]) -> float:
+    """Largest message size used by any profile (0 when none communicate).
+
+    §3.2.2: the ``j`` value "should reflect the maximum message size
+    used in the system".
+    """
+    return max((p.message_size for p in profiles), default=0.0)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while still letting programming errors
+(``TypeError``, ``ValueError`` from misuse of third-party APIs, ...)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "CalibrationError",
+    "ModelError",
+    "ScheduleError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while processes were still waiting.
+
+    Raised by :meth:`repro.sim.engine.Simulator.run` when ``until`` was not
+    reached, the event queue is empty, and at least one process has not
+    terminated — the classic symptom of a lost wake-up or a resource that
+    was never released.
+    """
+
+
+class CalibrationError(ReproError):
+    """Benchmark data was unsuitable for parameter estimation.
+
+    Examples: a ping-pong sweep with fewer than two distinct message sizes
+    (no regression possible), or a delay table probed at zero contention
+    levels.
+    """
+
+
+class ModelError(ReproError):
+    """Invalid inputs to one of the analytical contention models."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler was given an infeasible or inconsistent problem."""
+
+
+class WorkloadError(ReproError):
+    """A workload or trace generator received invalid parameters."""

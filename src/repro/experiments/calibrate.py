@@ -1,0 +1,346 @@
+"""The system test suites: calibration of both platforms.
+
+Everything the analytical model knows about a platform is produced
+here, by running the paper's benchmark procedures *on the simulated
+platform* — never by reading the ground-truth specs:
+
+* :func:`calibrate_cm2` — the two-benchmark α/β procedure of §3.1.1;
+* :func:`pingpong_sweep` + :func:`calibrate_paragon_comm` — ping-pong
+  regression and threshold search of §3.2.1;
+* :func:`measure_delay_comp` / :func:`measure_delay_comm` — the
+  ``delay_comp^i`` / ``delay_comm^i`` tables of §3.2.1 (contention
+  generators vs. the ping-pong benchmark);
+* :func:`measure_delay_comm_sized` — the ``delay_comm^{i,j}`` tables
+  of §3.2.2 (contention generators vs. a CPU-bound probe);
+* :func:`calibrate_paragon` — the whole §3.2 suite bundled into a
+  :class:`ParagonCalibration` (cached per spec: the paper stresses
+  these are computed "just once for each platform").
+
+All calibration runs are deterministic (always-on generators, no
+random draws), mirroring the paper's repeatable benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from ..apps.burst import message_burst
+from ..apps.contender import continuous_comm, cpu_bound
+from ..apps.pingpong import pingpong_burst, pingpong_burst_reverse
+from ..apps.program import frontend_program
+from ..core.calibration import (
+    build_delay_table,
+    build_sized_delay_table,
+    estimate_cm2_params,
+    fit_piecewise,
+)
+from ..core.params import (
+    DelayTable,
+    LinearCommParams,
+    PiecewiseCommParams,
+    SizedDelayTable,
+)
+from ..platforms.specs import SunCM2Spec, SunParagonSpec
+from ..platforms.suncm2 import SunCM2Platform
+from ..platforms.sunparagon import SunParagonPlatform
+from ..sim.engine import Simulator
+
+__all__ = [
+    "CM2Calibration",
+    "ParagonCalibration",
+    "DEFAULT_SWEEP_SIZES",
+    "calibrate_cm2",
+    "calibrate_paragon",
+    "calibrate_paragon_comm",
+    "pingpong_sweep",
+    "measure_delay_comp",
+    "measure_delay_comm",
+    "measure_delay_comm_sized",
+]
+
+#: Message sizes (words) of the ping-pong sweep. Straddles the wire's
+#: 1024-word buffer boundary so the piecewise fit has leverage on both
+#: sides, like the paper's benchmark.
+DEFAULT_SWEEP_SIZES: tuple[int, ...] = (1, 16, 64, 128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096)
+
+#: Burst length for calibration runs. Shorter than the paper's 1000 to
+#: keep the suite fast; per-message dedicated times are deterministic
+#: here, so burst length only needs to amortise the single ack.
+_CAL_BURST = 200
+
+#: Reference probe message size for the delay tables (see §3.2.1: one
+#: table per platform; the paper notes the probe-size effect is
+#: limited).
+_PROBE_SIZE = 200
+
+#: Dedicated CPU work (seconds) of the compute probe used for the
+#: delay_comm^{i,j} tables.
+_COMP_PROBE_WORK = 1.0
+
+
+@dataclass(frozen=True)
+class CM2Calibration:
+    """§3.1.1 outputs: symmetric (α, β) pairs for the Sun/CM2 link."""
+
+    params_out: LinearCommParams
+    params_in: LinearCommParams
+
+
+@dataclass(frozen=True)
+class ParagonCalibration:
+    """§3.2 outputs for one (spec, mode) pair."""
+
+    mode: str
+    params_out: PiecewiseCommParams
+    params_in: PiecewiseCommParams
+    delay_comp: DelayTable
+    delay_comm: DelayTable
+    delay_comm_sized: SizedDelayTable
+
+
+# ---------------------------------------------------------------------------
+# Sun/CM2 (§3.1.1)
+# ---------------------------------------------------------------------------
+
+
+def _cm2_transfer_time(spec: SunCM2Spec, size: float, count: int) -> float:
+    """Dedicated elapsed time of a transfer on a fresh Sun/CM2."""
+    sim = Simulator()
+    platform = SunCM2Platform(sim, spec=spec)
+
+    def bench():
+        start = sim.now
+        yield from platform.transfer(size, count, tag="cal")
+        return sim.now - start
+
+    proc = sim.process(bench(), name="cm2-cal")
+    return sim.run_until(proc)
+
+
+@lru_cache(maxsize=None)
+def calibrate_cm2(
+    spec: SunCM2Spec,
+    bulk_words: float = 1e5,
+    burst_messages: int = 2000,
+) -> CM2Calibration:
+    """Run both §3.1.1 benchmarks on the simulator and estimate (α, β).
+
+    Benchmark 1 (run per direction): one ``bulk_words``-element array
+    over, one word back — yields β. Benchmark 2: ``burst_messages``
+    single-element arrays each way — yields α under the
+    ``α_sun = α_cm2`` assumption.
+    """
+    bulk_out = _cm2_transfer_time(spec, bulk_words, 1) + _cm2_transfer_time(spec, 1, 1)
+    # The reverse-direction bulk benchmark; physically identical on this
+    # host-driven platform, but the procedure measures it independently.
+    bulk_in = _cm2_transfer_time(spec, bulk_words, 1) + _cm2_transfer_time(spec, 1, 1)
+    startup = 2 * _cm2_transfer_time(spec, 1, burst_messages)
+    params_out, params_in = estimate_cm2_params(
+        bulk_out, bulk_in, startup, bulk_words=bulk_words, burst_messages=burst_messages
+    )
+    return CM2Calibration(params_out=params_out, params_in=params_in)
+
+
+# ---------------------------------------------------------------------------
+# Sun/Paragon dedicated costs (§3.2.1)
+# ---------------------------------------------------------------------------
+
+
+def _dedicated_burst_time(
+    spec: SunParagonSpec, size: float, count: int, direction: str, mode: str
+) -> float:
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec)
+    if direction == "out":
+        probe = sim.process(
+            pingpong_burst(platform, size, count, mode=mode), name="cal-pp"
+        )
+    else:
+        probe = sim.process(
+            pingpong_burst_reverse(platform, size, count, mode=mode), name="cal-pp"
+        )
+    return sim.run_until(probe)
+
+
+def pingpong_sweep(
+    spec: SunParagonSpec,
+    sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
+    count: int = _CAL_BURST,
+    direction: str = "out",
+    mode: str = "1hop",
+) -> dict[int, float]:
+    """Per-message dedicated times over a size sweep.
+
+    Returns ``{size: burst_time / count}`` — the regression inputs.
+    The single 1-word ack is part of the measured burst, as in the
+    paper's benchmark; with ``count`` messages per burst its influence
+    is O(1/count).
+    """
+    return {
+        int(s): _dedicated_burst_time(spec, s, count, direction, mode) / count
+        for s in sizes
+    }
+
+
+def calibrate_paragon_comm(
+    spec: SunParagonSpec,
+    sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
+    count: int = _CAL_BURST,
+    mode: str = "1hop",
+) -> tuple[PiecewiseCommParams, PiecewiseCommParams]:
+    """Fit the two-piece (α, β) models for both directions."""
+    out_sweep = pingpong_sweep(spec, sizes, count, "out", mode)
+    in_sweep = pingpong_sweep(spec, sizes, count, "in", mode)
+    params_out = fit_piecewise(list(out_sweep), list(out_sweep.values()))
+    params_in = fit_piecewise(list(in_sweep), list(in_sweep.values()))
+    return params_out, params_in
+
+
+# ---------------------------------------------------------------------------
+# Sun/Paragon delay tables (§3.2.1, §3.2.2)
+# ---------------------------------------------------------------------------
+
+
+def _contended_pingpong_time(
+    spec: SunParagonSpec,
+    generators: int,
+    generator_kind: str,
+    generator_size: float,
+    generator_direction: str,
+    probe_size: float,
+    count: int,
+    mode: str,
+) -> float:
+    """Ping-pong burst time under *generators* always-on contenders."""
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec)
+    for g in range(generators):
+        if generator_kind == "cpu":
+            platform.spawn(cpu_bound(platform, tag=f"gen{g}"), name=f"gen{g}")
+        else:
+            platform.spawn(
+                continuous_comm(
+                    platform, generator_size, generator_direction, tag=f"gen{g}", mode=mode
+                ),
+                name=f"gen{g}",
+            )
+    probe = sim.process(pingpong_burst(platform, probe_size, count, mode=mode), name="probe")
+    return sim.run_until(probe)
+
+
+def measure_delay_comp(
+    spec: SunParagonSpec,
+    p_max: int = 4,
+    probe_size: float = _PROBE_SIZE,
+    count: int = _CAL_BURST,
+    mode: str = "1hop",
+) -> DelayTable:
+    """``delay_comp^i``: compute-intensive generators vs. ping-pong."""
+    dedicated = _contended_pingpong_time(spec, 0, "cpu", 0, "out", probe_size, count, mode)
+    contended = [
+        _contended_pingpong_time(spec, i, "cpu", 0, "out", probe_size, count, mode)
+        for i in range(1, p_max + 1)
+    ]
+    return build_delay_table(dedicated, contended, label="delay_comp")
+
+
+def measure_delay_comm(
+    spec: SunParagonSpec,
+    p_max: int = 4,
+    probe_size: float = _PROBE_SIZE,
+    count: int = _CAL_BURST,
+    mode: str = "1hop",
+    generator_size: float = 1.0,
+) -> DelayTable:
+    """``delay_comm^i``: communicating generators vs. ping-pong.
+
+    Per the paper, the table entry for level *i* is the average of the
+    delay imposed by *i* generators sending ``generator_size``-word
+    messages Sun → Paragon and the delay imposed by *i* generators
+    sending them Paragon → Sun (1-word messages in the paper's suite —
+    the unmodelled generator-size effect is a known error source).
+    """
+    dedicated = _contended_pingpong_time(spec, 0, "comm", generator_size, "out", probe_size, count, mode)
+    contended = []
+    for i in range(1, p_max + 1):
+        t_out = _contended_pingpong_time(
+            spec, i, "comm", generator_size, "out", probe_size, count, mode
+        )
+        t_in = _contended_pingpong_time(
+            spec, i, "comm", generator_size, "in", probe_size, count, mode
+        )
+        contended.append(0.5 * (t_out + t_in))
+    return build_delay_table(dedicated, contended, label="delay_comm")
+
+
+def _contended_compute_time(
+    spec: SunParagonSpec,
+    generators: int,
+    generator_size: float,
+    generator_direction: str,
+    work: float,
+    mode: str,
+) -> float:
+    """CPU-probe elapsed time under always-communicating contenders."""
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec)
+    for g in range(generators):
+        platform.spawn(
+            continuous_comm(
+                platform, generator_size, generator_direction, tag=f"gen{g}", mode=mode
+            ),
+            name=f"gen{g}",
+        )
+    probe = sim.process(frontend_program(platform, work, tag="probe"), name="probe")
+    return sim.run_until(probe)
+
+
+def measure_delay_comm_sized(
+    spec: SunParagonSpec,
+    p_max: int = 4,
+    j_values: Sequence[int] = (1, 500, 1000),
+    work: float = _COMP_PROBE_WORK,
+    mode: str = "1hop",
+) -> SizedDelayTable:
+    """``delay_comm^{i,j}``: sized communicating generators vs. CPU probe.
+
+    For each bucket *j* and level *i*, the entry averages the delays
+    imposed on a CPU-bound application by *i* generators transferring
+    *j*-word messages Sun → Paragon and Paragon → Sun (§3.2.2).
+    """
+    dedicated = _contended_compute_time(spec, 0, 1, "out", work, mode)
+    by_size: dict[int, list[float]] = {}
+    for j in j_values:
+        times = []
+        for i in range(1, p_max + 1):
+            t_out = _contended_compute_time(spec, i, j, "out", work, mode)
+            t_in = _contended_compute_time(spec, i, j, "in", work, mode)
+            times.append(0.5 * (t_out + t_in))
+        by_size[int(j)] = times
+    return build_sized_delay_table(dedicated, by_size, label="delay_comm_sized")
+
+
+# ---------------------------------------------------------------------------
+# Bundled suite
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def calibrate_paragon(
+    spec: SunParagonSpec,
+    mode: str = "1hop",
+    p_max: int = 4,
+    sizes: tuple[int, ...] = DEFAULT_SWEEP_SIZES,
+) -> ParagonCalibration:
+    """Run the full §3.2 calibration suite once for (spec, mode)."""
+    params_out, params_in = calibrate_paragon_comm(spec, sizes, mode=mode)
+    return ParagonCalibration(
+        mode=mode,
+        params_out=params_out,
+        params_in=params_in,
+        delay_comp=measure_delay_comp(spec, p_max=p_max, mode=mode),
+        delay_comm=measure_delay_comm(spec, p_max=p_max, mode=mode),
+        delay_comm_sized=measure_delay_comm_sized(spec, p_max=p_max, mode=mode),
+    )

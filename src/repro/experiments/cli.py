@@ -1,0 +1,165 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro``.
+
+Runs any (or all) of the reproduced tables and figures and prints their
+text reports. ``--quick`` shrinks sweeps for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .backend import (
+    gang_experiment,
+    mesh_contention_experiment,
+    sequencer_queueing_experiment,
+    tp_placement_experiment,
+)
+from .dispatch import library_dispatch_experiment
+from .figures import (
+    fig1_cm2_communication,
+    fig2_interleaving,
+    fig3_gauss_cm2,
+    fig4_paragon_dedicated,
+    fig5_paragon_comm_out,
+    fig6_paragon_comm_in,
+    fig7_sor_sun,
+    fig8_sor_sun,
+)
+from .export import write_results
+from .plots import chart_result
+from .sensitivity import (
+    cycle_length_sensitivity,
+    forecast_experiment,
+    fraction_sensitivity,
+    mixed_workload_experiment,
+)
+from .report import ExperimentResult
+from .robustness import (
+    robustness_paragon_comm,
+    robustness_paragon_comp,
+    saturation_sweep,
+    synthetic_cm2_experiment,
+)
+from .tables import tables_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Registry of every runnable experiment. Each driver accepts ``quick``.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "tables1_4": lambda quick=False: tables_experiment(),
+    "fig1": fig1_cm2_communication,
+    "fig2": fig2_interleaving,
+    "fig3": fig3_gauss_cm2,
+    "fig4": fig4_paragon_dedicated,
+    "fig5": fig5_paragon_comm_out,
+    "fig6": fig6_paragon_comm_in,
+    "fig7": fig7_sor_sun,
+    "fig8": fig8_sor_sun,
+    "synthetic_cm2": synthetic_cm2_experiment,
+    "robustness_comm": robustness_paragon_comm,
+    "robustness_comp": robustness_paragon_comp,
+    "saturation": saturation_sweep,
+    "mesh": mesh_contention_experiment,
+    "gang": gang_experiment,
+    "dispatch": library_dispatch_experiment,
+    "tp_placement": tp_placement_experiment,
+    "sequencer": sequencer_queueing_experiment,
+    "cycle_sensitivity": cycle_length_sensitivity,
+    "fraction_sensitivity": fraction_sensitivity,
+    "forecast": forecast_experiment,
+    "mixed_workload": mixed_workload_experiment,
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by registry name."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver(quick=quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of Figueira & Berman, 'Modeling the "
+            "Effects of Contention on the Performance of Heterogeneous Applications' "
+            "(HPDC 1996)."
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (e.g. fig5 tables1_4), or 'all' (default)",
+    )
+    parser.add_argument("--quick", action="store_true", help="shrink sweeps for a fast smoke run")
+    parser.add_argument("--chart", action="store_true", help="also render ASCII charts where available")
+    parser.add_argument("--outdir", default=None, help="also write results as JSON/CSV to this directory")
+    parser.add_argument("--summary", action="store_true", help="print a final paper-vs-measured summary table")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    results = []
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, quick=args.quick)
+        elapsed = time.perf_counter() - t0
+        results.append(result)
+        print(result.render())
+        if args.chart:
+            chart = chart_result(result)
+            if chart is not None:
+                print()
+                print(chart)
+        print(f"  [{elapsed:.1f}s]")
+        print()
+    if args.outdir:
+        written = write_results(results, args.outdir)
+        print(f"wrote {len(written)} files to {args.outdir}")
+    if args.summary:
+        print(render_summary(results))
+    return 0
+
+
+def render_summary(results: list[ExperimentResult]) -> str:
+    """One row per experiment: headline metric vs the paper's claim."""
+    from .report import render_table
+
+    rows = []
+    for result in results:
+        if result.metrics:
+            name, value = next(iter(result.metrics.items()))
+            headline = f"{name} = {value:.4g}" if isinstance(value, float) else f"{name} = {value}"
+        else:
+            headline = "-"
+        claim = result.paper_claim or "-"
+        if len(claim) > 58:
+            claim = claim[:55] + "..."
+        rows.append((result.experiment, headline, claim))
+    return "\n".join(
+        [
+            "",
+            "=" * 72,
+            "SUMMARY - paper vs measured",
+            "=" * 72,
+            render_table(("experiment", "headline metric", "paper"), rows),
+        ]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

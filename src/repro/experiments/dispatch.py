@@ -1,0 +1,202 @@
+"""Library-task dispatch: the paper's end purpose, validated end to end.
+
+§2: the model "provides a realistic estimate of the costs of computing
+a task on the front-end machine (with one algorithm) as compared to
+moving the data across the network link and computing the task
+(perhaps with a different algorithm) on the back-end machine" — e.g.
+matrix multiplication or sorting, which have efficient codes on both
+machines.
+
+:func:`library_dispatch_experiment` runs that loop for a family of
+matmul and bitonic-sort tasks under front-end contention, and then
+*validates the decision* by simulating both placements:
+
+* the **contention-aware** decision applies Equation (1) with the
+  ``p + 1`` slowdown;
+* the **contention-oblivious** decision applies Equation (1) with
+  dedicated costs (what a load-agnostic scheduler would do);
+* the simulator reveals the true winner and the time the aware
+  decision saves over the oblivious one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.contender import cpu_bound
+from ..core.prediction import PlacementPrediction, decide_placement
+from ..core.slowdown import cm2_slowdown
+from ..platforms.specs import DEFAULT_SUNCM2, SunCM2Spec
+from ..platforms.suncm2 import SunCM2Platform
+from ..sim.engine import Simulator
+from ..traces.analysis import measure_dedicated_cm2
+from ..traces.instructions import Trace
+from ..traces.gauss import gauss_cm2_trace
+from ..traces.library import (
+    bitonic_cm2_trace,
+    matmul_cm2_trace,
+    matmul_sun_cost,
+    sort_sun_cost,
+)
+from ..workloads.gauss import augment  # noqa: F401 - re-exported workload context
+from ..workloads.matmul import matmul_flops  # noqa: F401
+from .calibrate import calibrate_cm2
+from .report import ExperimentResult
+
+__all__ = ["library_dispatch_experiment", "gauss_sun_cost"]
+
+_MATMUL_SIZES = (16, 48, 160)
+_SORT_SIZES = (1024, 16384, 65536)
+_GAUSS_SIZES = (120, 200, 280)
+_MATMUL_SIZES_QUICK = (16, 96)
+_SORT_SIZES_QUICK = (1024, 16384)
+_GAUSS_SIZES_QUICK = (120, 220)
+
+
+def gauss_sun_cost(n: int, spec: SunCM2Spec) -> float:
+    """Dedicated front-end seconds of the workstation GE solver."""
+    from ..traces.gauss import gauss_flops
+
+    return gauss_flops(n) * spec.sun_flop_time
+
+
+def _simulate_frontend(spec: SunCM2Spec, work: float, p: int) -> float:
+    sim = Simulator()
+    platform = SunCM2Platform(sim, spec=spec)
+    for i in range(p):
+        platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+    probe = sim.process(platform.frontend_cpu.run_work(work, tag="probe"), name="probe")
+    sim.run_until(probe)
+    return sim.now
+
+
+def _simulate_backend(spec: SunCM2Spec, trace: Trace, p: int) -> float:
+    sim = Simulator()
+    platform = SunCM2Platform(sim, spec=spec)
+    for i in range(p):
+        platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+    probe = sim.process(platform.run_trace(trace, tag="probe"), name="probe")
+    return sim.run_until(probe).elapsed
+
+
+def _predict(
+    spec: SunCM2Spec,
+    sun_cost: float,
+    trace: Trace,
+    p: int,
+) -> PlacementPrediction:
+    cal = calibrate_cm2(spec)
+    dedicated = measure_dedicated_cm2(
+        Trace([i for i in trace if not _is_transfer(i)], name=trace.name), spec
+    )
+    pattern = trace.comm_pattern()
+    from ..core.commcost import dedicated_comm_cost  # local: avoid cycle at import
+
+    dcomm_out = dedicated_comm_cost(pattern.to_backend, cal.params_out)
+    dcomm_in = dedicated_comm_cost(pattern.to_frontend, cal.params_in)
+    slowdown = cm2_slowdown(p)
+    return decide_placement(
+        dcomp_frontend=sun_cost,
+        backend_costs=dedicated.costs,
+        dcomm_out=dcomm_out,
+        dcomm_in=dcomm_in,
+        comp_slowdown=slowdown,
+        comm_slowdown=slowdown,
+    )
+
+
+def _is_transfer(instruction) -> bool:
+    from ..traces.instructions import Transfer
+
+    return isinstance(instruction, Transfer)
+
+
+def library_dispatch_experiment(
+    spec: SunCM2Spec = DEFAULT_SUNCM2,
+    p: int = 3,
+    matmul_sizes: Sequence[int] | None = None,
+    sort_sizes: Sequence[int] | None = None,
+    gauss_sizes: Sequence[int] | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Dispatch matmul/sort/GE tasks under p CPU-bound contenders.
+
+    For each task: predict both placements with and without the
+    contention model, simulate both placements, and score the
+    decisions against the simulated truth. GE tasks sit in the window
+    where contention *flips* the optimal placement (the CM2's parallel
+    work does not stretch under front-end contention, front-end
+    execution does), so the oblivious scheduler mis-places them.
+    """
+    if matmul_sizes is None:
+        matmul_sizes = _MATMUL_SIZES_QUICK if quick else _MATMUL_SIZES
+    if sort_sizes is None:
+        sort_sizes = _SORT_SIZES_QUICK if quick else _SORT_SIZES
+    if gauss_sizes is None:
+        gauss_sizes = _GAUSS_SIZES_QUICK if quick else _GAUSS_SIZES
+
+    tasks: list[tuple[str, float, Trace]] = []
+    for n in matmul_sizes:
+        tasks.append((f"matmul n={n}", matmul_sun_cost(n, spec), matmul_cm2_trace(n, spec)))
+    for n in sort_sizes:
+        tasks.append((f"bitonic n={n}", sort_sun_cost(n, spec), bitonic_cm2_trace(n, spec)))
+    for n in gauss_sizes:
+        tasks.append(
+            (
+                f"gauss n={n}",
+                gauss_sun_cost(n, spec),
+                gauss_cm2_trace(n, spec, include_transfers=True),
+            )
+        )
+
+    rows = []
+    aware_correct = oblivious_correct = 0
+    total_saving = 0.0
+    for name, sun_cost, trace in tasks:
+        aware = _predict(spec, sun_cost, trace, p)
+        oblivious = _predict(spec, sun_cost, trace, 0)
+
+        t_front = _simulate_frontend(spec, sun_cost, p)
+        t_back = _simulate_backend(spec, trace, p)
+        true_winner = "cm2" if t_back < t_front else "sun"
+        aware_choice = "cm2" if aware.offload else "sun"
+        oblivious_choice = "cm2" if oblivious.offload else "sun"
+        aware_correct += aware_choice == true_winner
+        oblivious_correct += oblivious_choice == true_winner
+        aware_time = t_back if aware_choice == "cm2" else t_front
+        oblivious_time = t_back if oblivious_choice == "cm2" else t_front
+        total_saving += oblivious_time - aware_time
+        rows.append(
+            (
+                name,
+                t_front,
+                t_back,
+                true_winner,
+                aware_choice,
+                oblivious_choice,
+            )
+        )
+
+    return ExperimentResult(
+        experiment="dispatch",
+        title=f"Library-task dispatch (matmul/sort/GE) under p={p} CPU-bound contenders",
+        headers=(
+            "task",
+            "simulated on Sun",
+            "simulated on CM2 (incl. transfers)",
+            "true winner",
+            "aware choice",
+            "oblivious choice",
+        ),
+        rows=rows,
+        metrics={
+            "aware_correct": float(aware_correct),
+            "oblivious_correct": float(oblivious_correct),
+            "tasks": float(len(tasks)),
+            "time_saved_by_awareness_s": total_saving,
+        },
+        paper_claim=(
+            "contention must be factored into estimates for efficient allocation; "
+            "a contention-oblivious scheduler mis-places tasks"
+        ),
+    )

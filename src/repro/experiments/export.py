@@ -1,0 +1,107 @@
+"""Machine-readable export of experiment results.
+
+A reproduction package should let downstream users diff runs and feed
+results into their own tooling: :func:`to_json` / :func:`to_csv`
+serialise an :class:`~repro.experiments.report.ExperimentResult`, and
+:func:`write_results` lays a whole run out on disk
+(``<outdir>/<experiment>.json`` + ``.csv`` + a ``summary.json`` with
+every experiment's metrics).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from .report import ExperimentResult
+
+__all__ = ["to_json", "to_csv", "to_markdown", "write_results"]
+
+
+def _clean(value):
+    """JSON-compatible cell: NaN/inf become None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def to_json(result: ExperimentResult, indent: int | None = 2) -> str:
+    """Serialise one result (headers, rows, metrics, claims) as JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_clean(cell) for cell in row] for row in result.rows],
+        "metrics": {k: _clean(v) for k, v in result.metrics.items()},
+        "paper_claim": result.paper_claim,
+        "notes": result.notes,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """Serialise one result as a GitHub-flavoured markdown section."""
+    lines = [f"## {result.experiment} — {result.title}", ""]
+    lines.append("| " + " | ".join(result.headers) + " |")
+    lines.append("|" + "---|" * len(result.headers))
+    for row in result.rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append("-" if not math.isfinite(cell) else f"{cell:.4g}")
+            else:
+                cells.append(str(cell))
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.metrics:
+        lines.append("")
+        for name, value in result.metrics.items():
+            shown = "-" if isinstance(value, float) and not math.isfinite(value) else f"{value:.4g}"
+            lines.append(f"- **{name}**: {shown}")
+    if result.paper_claim:
+        lines.append(f"- paper: {result.paper_claim}")
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Serialise one result's data rows as CSV (headers included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_results(
+    results: Iterable[ExperimentResult], outdir: str | Path
+) -> list[Path]:
+    """Write every result as ``.json`` and ``.csv`` plus a summary.
+
+    Returns the list of files written. The directory is created if
+    needed; existing files are overwritten (a run is a unit).
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    summary: dict[str, dict] = {}
+    for result in results:
+        json_path = out / f"{result.experiment}.json"
+        json_path.write_text(to_json(result))
+        csv_path = out / f"{result.experiment}.csv"
+        csv_path.write_text(to_csv(result))
+        md_path = out / f"{result.experiment}.md"
+        md_path.write_text(to_markdown(result))
+        written.extend([json_path, csv_path, md_path])
+        summary[result.experiment] = {
+            "title": result.title,
+            "metrics": {k: _clean(v) for k, v in result.metrics.items()},
+            "paper_claim": result.paper_claim,
+        }
+    summary_path = out / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2))
+    written.append(summary_path)
+    return written

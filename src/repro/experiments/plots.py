@@ -1,0 +1,137 @@
+"""ASCII chart rendering for experiment results.
+
+The reproduction is terminal-first: every figure can be eyeballed as a
+text chart next to its numeric table (``python -m repro fig5 --chart``).
+No plotting dependency — just a scatter of per-series glyphs on a
+character grid with linear or log-scaled axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from .report import ExperimentResult
+
+__all__ = ["ascii_chart", "chart_result"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(values: Sequence[float], log: bool) -> list[float]:
+    if log:
+        return [math.log10(v) if v > 0 else math.nan for v in values]
+    return [float(v) for v in values]
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against a shared x-axis.
+
+    Parameters
+    ----------
+    x:
+        Common x values.
+    series:
+        ``{label: y values}``; each series gets its own glyph. NaNs
+        and (on a log axis) non-positive values are skipped.
+    width, height:
+        Plot area size in characters.
+    logy:
+        Log-scale the y axis.
+    title:
+        Optional heading line.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} has {len(ys)} points, x has {len(x)}")
+    if len(x) < 2:
+        raise ValueError("need at least two x points")
+    if width < 8 or height < 4:
+        raise ValueError("chart area too small")
+
+    xs = [float(v) for v in x]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        raise ValueError("x values are all identical")
+
+    scaled = {label: _scale(ys, logy) for label, ys in series.items()}
+    finite = [v for ys in scaled.values() for v in ys if v == v]
+    if not finite:
+        raise ValueError("no plottable values")
+    y_lo, y_hi = min(finite), max(finite)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (label, ys) in enumerate(scaled.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        for xv, yv in zip(xs, ys):
+            if yv != yv:
+                continue
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    def fmt(v: float) -> str:
+        real = 10**v if logy else v
+        return f"{real:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(fmt(y_hi)), len(fmt(y_lo)))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = fmt(y_hi)
+        elif r == height - 1:
+            label = fmt(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |{''.join(row)}")
+    lines.append(f"{'':>{axis_width}} +{'-' * width}")
+    x_axis = f"{fmt(x_lo) if not logy else x_lo:<{width // 2}}{x_hi:>{width // 2}}"
+    lines.append(f"{'':>{axis_width}}  {x_axis}")
+    legend = "   ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]} = {label}" for k, label in enumerate(series)
+    )
+    lines.append(f"{'':>{axis_width}}  {legend}")
+    return "\n".join(lines)
+
+
+#: For each chartable experiment: (x column, y columns, log-y?).
+_CHART_SPECS: dict[str, tuple[str, tuple[str, ...], bool]] = {
+    "fig1": ("M", ("actual p=0", "model p=0", "actual p=3", "model p=3"), True),
+    "fig3": ("M", ("dedicated", "actual p=3", "model p=3"), True),
+    "fig4": ("size (words)", ("1hop out", "2hops out"), False),
+    "fig5": ("size (words)", ("dedicated", "actual", "model"), False),
+    "fig6": ("size (words)", ("dedicated", "actual", "model"), False),
+    "fig7": ("M", ("dedicated", "actual", "model j=1", "model j=1000"), True),
+    "fig8": ("M", ("dedicated", "actual", "model j=1", "model j=500"), True),
+    "saturation": ("j (words)", (), False),  # y column resolved dynamically
+    "gang": ("gangs", ("actual (s)", "model (s)"), False),
+}
+
+
+def chart_result(result: ExperimentResult, width: int = 64, height: int = 18) -> str | None:
+    """Best-effort chart for a known experiment; None when not chartable."""
+    spec = _CHART_SPECS.get(result.experiment)
+    if spec is None:
+        return None
+    x_col, y_cols, logy = spec
+    if not y_cols:
+        y_cols = tuple(h for h in result.headers if h != x_col)
+    try:
+        x = result.column(x_col)
+        series = {name: result.column(name) for name in y_cols}
+    except ValueError:
+        return None
+    return ascii_chart(x, series, width=width, height=height, logy=logy, title=result.title)

@@ -1,0 +1,131 @@
+"""Result containers and ASCII rendering for the experiment harness.
+
+Every table/figure driver returns an :class:`ExperimentResult`, which
+knows how to render itself as the text table the paper's figure would
+plot, and how to summarise model accuracy the way the paper quotes it
+("our predictions were within an average error of X% of the actual
+measurements").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "mean_abs_pct_error",
+    "max_abs_pct_error",
+    "pct_error",
+]
+
+
+def pct_error(actual: float, predicted: float) -> float:
+    """Signed relative error of *predicted* vs *actual*, in percent."""
+    if actual == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return (predicted - actual) / actual * 100.0
+
+
+def mean_abs_pct_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean |relative error| in percent — the paper's accuracy metric."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape or a.size == 0:
+        raise ValueError("actual and predicted must be congruent and non-empty")
+    if np.any(a == 0):
+        raise ValueError("actual values must be nonzero for relative error")
+    return float(np.mean(np.abs((p - a) / a)) * 100.0)
+
+
+def max_abs_pct_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Maximum |relative error| in percent."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape or a.size == 0:
+        raise ValueError("actual and predicted must be congruent and non-empty")
+    if np.any(a == 0):
+        raise ValueError("actual values must be nonzero for relative error")
+    return float(np.max(np.abs((p - a) / a)) * 100.0)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e5 or magnitude < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.rjust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Short id, e.g. ``"fig5"`` or ``"tables1_4"``.
+    title:
+        Human-readable description (what the paper's caption says).
+    headers:
+        Column names of :attr:`rows`.
+    rows:
+        The data series the paper plots/tabulates.
+    metrics:
+        Named scalar summaries — typically mean/max absolute errors —
+        in declaration order.
+    paper_claim:
+        What the paper reports for this experiment, for side-by-side
+        comparison in EXPERIMENTS.md.
+    notes:
+        Anything a reader should know when comparing with the paper.
+    """
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    metrics: dict[str, float] = field(default_factory=dict)
+    paper_claim: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full text report: title, table, metrics, claim, notes."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        if self.metrics:
+            parts.append("")
+            for name, value in self.metrics.items():
+                parts.append(f"  {name}: {_format_cell(value)}")
+        if self.paper_claim:
+            parts.append(f"  paper: {self.paper_claim}")
+        if self.notes:
+            parts.append(f"  note: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """Extract one column of :attr:`rows` by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,348 @@
+"""Sensitivity of the model to its own assumptions.
+
+The Poisson-binomial machinery of §3.2 assumes the contending
+applications' phases are *independent* and that each application's
+state mixes quickly relative to the measured task. Neither is given:
+
+* :func:`cycle_length_sensitivity` — how does prediction error grow as
+  the contenders' compute/communicate cycles get longer (slower
+  mixing, so a run samples fewer independent overlap configurations)?
+  The paper implicitly relies on "long period of time, alternating
+  computation with communication cycles" (§2); this experiment
+  quantifies the boundary.
+* :func:`fraction_sensitivity` — error across the communication-
+  fraction spectrum for a fixed workload, locating the regimes the
+  paper flags (intensive communicators are the worst case).
+
+Both are reproduction *extensions*: the paper states the assumptions,
+we measure their price.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.burst import message_burst
+from ..apps.contender import alternating
+from ..core.commcost import dedicated_comm_cost
+from ..core.datasets import DataSet
+from ..core.slowdown import paragon_comm_slowdown
+from ..core.workload import ApplicationProfile
+from ..platforms.specs import DEFAULT_SUNPARAGON, SunParagonSpec
+from ..platforms.sunparagon import SunParagonPlatform
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from .calibrate import calibrate_paragon
+from .report import ExperimentResult, pct_error
+from .runner import repeat_mean
+
+__all__ = ["cycle_length_sensitivity", "fraction_sensitivity", "forecast_experiment", "mixed_workload_experiment"]
+
+
+def _contended_burst(
+    spec: SunParagonSpec,
+    streams: RandomStreams,
+    contenders: Sequence[ApplicationProfile],
+    mean_cycle: float,
+    size: int,
+    count: int,
+) -> float:
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec, streams=streams)
+    for k, prof in enumerate(contenders):
+        platform.spawn(
+            alternating(
+                platform,
+                prof.comm_fraction,
+                prof.message_size,
+                platform.rng(f"c{k}"),
+                mean_cycle=mean_cycle,
+                tag=prof.name,
+            ),
+            name=prof.name,
+        )
+    probe = sim.process(message_burst(platform, size, count, "out"))
+    return sim.run_until(probe)
+
+
+def cycle_length_sensitivity(
+    spec: SunParagonSpec = DEFAULT_SUNPARAGON,
+    cycles: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
+    size: int = 200,
+    count: int = 800,
+    repetitions: int = 4,
+    seed: int = 77,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Model error vs the contenders' mean cycle length.
+
+    The analytical slowdown is cycle-length-agnostic (it only sees the
+    long-run fractions); the simulated truth is not. Short cycles mix
+    well and match the independence assumption; cycles comparable to
+    the whole measured burst make the 'probability of overlap' framing
+    itself shaky, and the run-to-run variance explodes.
+    """
+    if quick:
+        cycles = tuple(cycles)[::3]
+        count, repetitions = 300, 2
+    cal = calibrate_paragon(spec)
+    contenders = [
+        ApplicationProfile("c40", 0.40, 200),
+        ApplicationProfile("c70", 0.70, 200),
+    ]
+    slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
+    dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
+    model = dcomm * slowdown
+
+    rows = []
+    for cycle in cycles:
+        rep = repeat_mean(
+            lambda streams: _contended_burst(spec, streams, contenders, cycle, size, count),
+            repetitions=repetitions,
+            seed=seed,
+        )
+        rows.append((cycle, rep.mean, rep.std, rep.cv, model, pct_error(rep.mean, model)))
+
+    cvs = [row[3] for row in rows]
+    return ExperimentResult(
+        experiment="cycle_sensitivity",
+        title="Model error vs contender cycle length (independence assumption)",
+        headers=("mean cycle (s)", "actual", "std", "cv", "model", "err %"),
+        rows=rows,
+        metrics={
+            "cv_shortest_cycle": cvs[0],
+            "cv_longest_cycle": cvs[-1],
+            "model_slowdown": slowdown,
+        },
+        paper_claim=(
+            "applications execute for a long period of time, alternating computation "
+            "with communication cycles (the regime where the probabilistic model holds)"
+        ),
+        notes="the model value is constant by construction; only the truth moves",
+    )
+
+
+def fraction_sensitivity(
+    spec: SunParagonSpec = DEFAULT_SUNPARAGON,
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    size: int = 200,
+    count: int = 800,
+    repetitions: int = 3,
+    seed: int = 78,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Model error vs one contender's communication fraction."""
+    if quick:
+        fractions = tuple(fractions)[::2]
+        count, repetitions = 300, 2
+    cal = calibrate_paragon(spec)
+    rows, errs = [], []
+    for fraction in fractions:
+        contenders = [ApplicationProfile("c", fraction, 200)]
+        slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
+        dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
+        model = dcomm * slowdown
+        rep = repeat_mean(
+            lambda streams: _contended_burst(spec, streams, contenders, 0.25, size, count),
+            repetitions=repetitions,
+            seed=seed,
+        )
+        err = pct_error(rep.mean, model)
+        errs.append(abs(err))
+        rows.append((fraction, rep.mean, model, err))
+    return ExperimentResult(
+        experiment="fraction_sensitivity",
+        title="Model error vs contender communication fraction",
+        headers=("comm fraction", "actual", "model", "err %"),
+        rows=rows,
+        metrics={"mean_abs_err_pct": sum(errs) / len(errs), "max_abs_err_pct": max(errs)},
+        paper_claim="worst errors when competing applications communicate intensively",
+    )
+
+
+def forecast_experiment(
+    spec: SunParagonSpec = DEFAULT_SUNPARAGON,
+    horizon: float = 120.0,
+    sample_interval: float = 1.0,
+    seed: int = 91,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Forecasting the front-end's availability (the NWS direction).
+
+    Simulates a Sun whose job mix churns (applications arrive and
+    depart stochastically), samples the CPU's availability to a new
+    task at a fixed interval, and scores one-step-ahead forecasters on
+    the recorded series. The adaptive forecaster should track the best
+    single predictor -- the property that made the Network Weather
+    Service practical.
+    """
+    from ..ext.forecast import (
+        AdaptiveForecaster,
+        ExponentialSmoothing,
+        LastValue,
+        MedianWindow,
+        RunningMean,
+        SlidingWindowMean,
+        forecast_series,
+    )
+    from ..platforms.sunparagon import SunParagonPlatform
+    from ..sim.rng import RandomStreams
+
+    if quick:
+        horizon = min(horizon, 30.0)
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec, streams=RandomStreams(seed))
+    rng = platform.rng("churn")
+
+    def churn():
+        """Applications arrive, compute for a random while, leave."""
+        while True:
+            yield sim.timeout(float(rng.exponential(4.0)))
+            duration = float(rng.exponential(6.0))
+
+            def job(end=sim.now + duration):
+                while sim.now < end:
+                    yield platform.frontend_cpu.execute(0.05, tag="churn")
+
+            sim.process(job(), daemon=True)
+
+    sim.process(churn(), daemon=True)
+
+    samples: list[float] = []
+
+    def sampler():
+        while True:
+            yield sim.timeout(sample_interval)
+            # Availability to a newcomer: 1 / (resident jobs + 1).
+            samples.append(1.0 / (platform.frontend_cpu.load + 1))
+
+    sim.process(sampler(), daemon=True)
+    sim.run(until=horizon)
+
+    forecasters = {
+        "last value": LastValue(),
+        "running mean": RunningMean(),
+        "window mean(8)": SlidingWindowMean(8),
+        "median(8)": MedianWindow(8),
+        "exp smooth(0.3)": ExponentialSmoothing(0.3),
+        "adaptive": AdaptiveForecaster(),
+    }
+    rows = []
+    rmses = {}
+    for name, forecaster in forecasters.items():
+        _, rmse = forecast_series(samples, forecaster)
+        rmses[name] = rmse
+        rows.append((name, rmse))
+    best_single = min(v for k, v in rmses.items() if k != "adaptive")
+    return ExperimentResult(
+        experiment="forecast",
+        title=f"Forecasting front-end availability over {horizon:.0f}s of job churn",
+        headers=("forecaster", "one-step RMSE"),
+        rows=rows,
+        metrics={
+            "samples": float(len(samples)),
+            "adaptive_rmse": rmses["adaptive"],
+            "best_single_rmse": best_single,
+            "adaptive_over_best": rmses["adaptive"] / best_single,
+        },
+        paper_claim=(
+            "extension beyond the paper: the NWS-style forecasting layer the "
+            "acknowledged collaborators built next"
+        ),
+    )
+
+
+def mixed_workload_experiment(
+    spec: SunParagonSpec = DEFAULT_SUNPARAGON,
+    comm_shares: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    total_comp: float = 2.0,
+    message_size: int = 400,
+    cycles: int = 40,
+    repetitions: int = 3,
+    seed: int = 55,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Predictions for applications that alternate compute and comm (Section 2).
+
+    The measured application is shaped like the paper's typical
+    heterogeneous codes: *cycles* rounds of front-end computation
+    followed by message exchanges with the back-end. The long-term
+    prediction applies the computation slowdown to the compute share
+    and the communication slowdown to the transfer share
+    (:func:`repro.core.prediction.predict_mixed_time`); the sweep walks
+    the probe's own communication share from pure compute to
+    comm-heavy.
+    """
+    from ..apps.program import cyclic_program
+    from ..core.prediction import predict_mixed_time
+    from ..core.slowdown import paragon_comp_slowdown
+
+    if quick:
+        comm_shares = tuple(comm_shares)[::2]
+        cycles, repetitions = 15, 2
+    cal = calibrate_paragon(spec)
+    contenders = [
+        ApplicationProfile("c35", 0.35, 200),
+        ApplicationProfile("c65", 0.65, 200),
+    ]
+    comp_slow = paragon_comp_slowdown(contenders, cal.delay_comm_sized)
+    comm_slow = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
+
+    per_message_dedicated = cal.params_out.message_time(message_size)
+    rows, errs = [], []
+    for share in comm_shares:
+        comp_per_cycle = total_comp * (1.0 - share) / cycles
+        # Choose the per-cycle message count so the *dedicated* comm
+        # time is `share` of the dedicated total.
+        if share > 0:
+            target_comm = total_comp * share
+            messages_per_cycle = max(1, round(target_comm / (cycles * per_message_dedicated)))
+        else:
+            messages_per_cycle = 0
+        n_messages = messages_per_cycle * cycles
+        # Messages alternate directions; split the dcomm accordingly.
+        n_out = (n_messages + 1) // 2
+        n_in = n_messages // 2
+        dcomm_out = dedicated_comm_cost([DataSet(n_out, float(message_size))], cal.params_out)
+        dcomm_in = dedicated_comm_cost([DataSet(n_in, float(message_size))], cal.params_in)
+        dcomp = comp_per_cycle * cycles
+        model = predict_mixed_time(dcomp, dcomm_out, dcomm_in, comp_slow, comm_slow)
+
+        def run(streams: RandomStreams) -> float:
+            sim = Simulator()
+            platform = SunParagonPlatform(sim, spec=spec, streams=streams)
+            for k, prof in enumerate(contenders):
+                platform.spawn(
+                    alternating(
+                        platform, prof.comm_fraction, prof.message_size,
+                        platform.rng(f"c{k}"), tag=prof.name,
+                    ),
+                    name=prof.name,
+                )
+            probe = sim.process(
+                cyclic_program(platform, cycles, comp_per_cycle,
+                               messages_per_cycle, float(message_size))
+            )
+            return sim.run_until(probe)
+
+        rep = repeat_mean(run, repetitions=repetitions, seed=seed)
+        err = pct_error(rep.mean, model)
+        errs.append(abs(err))
+        rows.append((share, dcomp + dcomm_out + dcomm_in, rep.mean, model, err))
+
+    return ExperimentResult(
+        experiment="mixed_workload",
+        title="Alternating compute/communicate application vs the long-term model",
+        headers=("comm share", "dedicated", "actual", "model", "err %"),
+        rows=rows,
+        metrics={
+            "mean_abs_err_pct": sum(errs) / len(errs),
+            "max_abs_err_pct": max(errs),
+            "comp_slowdown": comp_slow,
+            "comm_slowdown": comm_slow,
+        },
+        paper_claim=(
+            "typical applications alternate computation with communication cycles; "
+            "contention effects should be considered in the long term"
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Future-work extensions the paper's §4 sketches.
+
+Each module implements one sentence of the paper's "Summary and Future
+Work": memory constraints (:mod:`.memory`), I/O operations
+(:mod:`.io_model`), partially-overlapping contenders
+(:mod:`.timevarying`), task migration (:mod:`.migration`), and
+platforms larger than two machines (:mod:`.multimachine`).
+"""
+
+from .adaptive import AdaptiveOutcome, AdaptiveRunner, MigrationEvent
+from .forecast import (
+    AdaptiveForecaster,
+    ExponentialSmoothing,
+    Forecaster,
+    LastValue,
+    MedianWindow,
+    RunningMean,
+    SlidingWindowMean,
+    forecast_series,
+)
+from .gang import GangScheduler, gang_slowdown
+from .io_model import IOProfile, io_aware_comp_slowdown, io_bound, joint_activity_distribution
+from .memory import MemoryModel, memory_aware_slowdown
+from .migration import MigrationDecision, MigrationPlanner, should_migrate
+from .multimachine import HeterogeneousSystem, MachineState
+from .timevarying import LoadTimeline, Phase, predict_elapsed
+
+__all__ = [
+    "AdaptiveOutcome",
+    "AdaptiveRunner",
+    "AdaptiveForecaster",
+    "ExponentialSmoothing",
+    "Forecaster",
+    "GangScheduler",
+    "LastValue",
+    "MedianWindow",
+    "RunningMean",
+    "SlidingWindowMean",
+    "forecast_series",
+    "MigrationEvent",
+    "HeterogeneousSystem",
+    "gang_slowdown",
+    "IOProfile",
+    "LoadTimeline",
+    "MachineState",
+    "MemoryModel",
+    "MigrationDecision",
+    "MigrationPlanner",
+    "Phase",
+    "io_aware_comp_slowdown",
+    "io_bound",
+    "joint_activity_distribution",
+    "memory_aware_slowdown",
+    "predict_elapsed",
+    "should_migrate",
+]

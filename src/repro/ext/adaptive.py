@@ -1,0 +1,182 @@
+"""An adaptive run-time scheduler living inside the simulation.
+
+§4: *"Since system load may vary during the execution of an
+application, the slowdown factors should be recalculated when the job
+mix changes, and task migration should be considered."*
+
+:class:`AdaptiveRunner` executes a divisible front-end task on one of
+several simulated machines and re-evaluates the placement between
+chunks: when the current machine's observed job mix makes another
+machine's predicted remaining time (plus the migration cost) smaller
+by at least the hysteresis margin, the task migrates. The class is the
+§4 sentence made executable — a miniature application-level scheduler
+(the AppLeS direction the authors cite as reference [4]).
+
+The machines are plain :class:`~repro.sim.cpu.TimeSharedCPU` instances
+(any platform's front-end CPU qualifies); load observation uses the
+CPUs' own job counts, i.e. the runner sees what a real agent could see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Mapping, Sequence
+
+from ..errors import ModelError
+from ..sim.cpu import TimeSharedCPU
+from ..sim.engine import Event, Simulator
+from .migration import should_migrate
+
+__all__ = ["AdaptiveRunner", "AdaptiveOutcome", "MigrationEvent"]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One migration performed by the runner."""
+
+    time: float
+    source: str
+    target: str
+    remaining_work: float
+
+
+@dataclass
+class AdaptiveOutcome:
+    """What happened during an adaptive run."""
+
+    elapsed: float
+    finished_on: str
+    migrations: list[MigrationEvent] = field(default_factory=list)
+    chunks: int = 0
+
+
+class AdaptiveRunner:
+    """Chunked execution with contention-aware re-placement.
+
+    Parameters
+    ----------
+    sim:
+        The simulator all machines live in.
+    cpus:
+        ``{machine name: TimeSharedCPU}`` — candidate hosts.
+    speed:
+        Relative dedicated speed per machine (1.0 = reference; a
+        machine at 0.5 needs twice the work-time). Defaults to 1.0
+        everywhere.
+    migration_cost:
+        Seconds of wall-clock lost when moving the task (state
+        transfer); charged as a plain delay.
+    chunk:
+        Dedicated-work seconds executed between placement checks.
+    min_gain:
+        Hysteresis for :func:`repro.ext.migration.should_migrate`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpus: Mapping[str, TimeSharedCPU],
+        speed: Mapping[str, float] | None = None,
+        migration_cost: float = 0.5,
+        chunk: float = 0.25,
+        min_gain: float = 0.0,
+    ) -> None:
+        if not cpus:
+            raise ModelError("need at least one machine")
+        if chunk <= 0:
+            raise ModelError(f"chunk must be > 0, got {chunk!r}")
+        if migration_cost < 0:
+            raise ModelError(f"migration_cost must be >= 0, got {migration_cost!r}")
+        self.sim = sim
+        self.cpus = dict(cpus)
+        self.speed = {name: 1.0 for name in cpus}
+        if speed:
+            for name, s in speed.items():
+                if name not in self.cpus:
+                    raise ModelError(f"speed given for unknown machine {name!r}")
+                if s <= 0:
+                    raise ModelError(f"speed must be > 0, got {s!r} for {name!r}")
+                self.speed[name] = float(s)
+        self.migration_cost = migration_cost
+        self.chunk = chunk
+        self.min_gain = min_gain
+
+    # -- observation & prediction -------------------------------------------
+
+    def observed_slowdown(self, machine: str) -> float:
+        """Effective slowdown the task would see on *machine* right now.
+
+        Round-robin equal sharing: with ``L`` resident jobs the task
+        would get ``1/(L+1)`` of the CPU; the machine's dedicated
+        speed scales on top. The runner samples between its own chunks
+        (its job is not resident at that instant), so ``L`` is exactly
+        the competing population.
+        """
+        cpu = self.cpus[machine]
+        return (cpu.load + 1) / self.speed[machine]
+
+    def best_machine(self, current: str) -> tuple[str, float]:
+        """The machine with the smallest effective slowdown right now."""
+        best, best_slow = current, self.observed_slowdown(current)
+        for name in self.cpus:
+            if name == current:
+                continue
+            slow = self.observed_slowdown(name)
+            if slow < best_slow:
+                best, best_slow = name, slow
+        return best, best_slow
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self, work: float, start_machine: str, tag: str = "adaptive"
+    ) -> Generator[Event, Any, AdaptiveOutcome]:
+        """Execute *work* dedicated-seconds adaptively; returns the outcome.
+
+        Drive as a simulation process:
+        ``outcome = yield from runner.run(8.0, "ws1")``.
+        """
+        if work < 0:
+            raise ModelError(f"work must be >= 0, got {work!r}")
+        if start_machine not in self.cpus:
+            raise ModelError(f"unknown machine {start_machine!r}")
+        sim = self.sim
+        outcome = AdaptiveOutcome(elapsed=0.0, finished_on=start_machine)
+        start = sim.now
+        current = start_machine
+        remaining = work
+        while remaining > 1e-12:
+            piece = min(self.chunk, remaining)
+            # Work-time on this machine reflects its dedicated speed;
+            # contention stretching happens inside the shared CPU.
+            yield self.cpus[current].execute(piece / self.speed[current], tag=tag)
+            remaining -= piece
+            outcome.chunks += 1
+            if remaining <= 1e-12:
+                break
+            # Let same-instant events (competitors resubmitting their
+            # next burst) land before sampling the loads, otherwise a
+            # completion-synchronised competitor is invisible.
+            from ..sim.engine import PRIORITY_LATE
+
+            yield sim.timeout(0, priority=PRIORITY_LATE)
+            best, best_slow = self.best_machine(current)
+            if best != current:
+                current_slow = self.observed_slowdown(current)
+                if should_migrate(
+                    remaining, current_slow, best_slow, self.migration_cost, self.min_gain
+                ):
+                    if self.migration_cost > 0:
+                        yield sim.timeout(self.migration_cost)
+                    outcome.migrations.append(
+                        MigrationEvent(
+                            time=sim.now,
+                            source=current,
+                            target=best,
+                            remaining_work=remaining,
+                        )
+                    )
+                    current = best
+        outcome.elapsed = sim.now - start
+        outcome.finished_on = current
+        return outcome

@@ -1,0 +1,217 @@
+"""Load forecasting for run-time predictions (the NWS direction).
+
+The paper's slowdown factor is computed from the *current* job mix; its
+acknowledged collaborator Rich Wolski's Network Weather Service took
+the next step — forecasting resource availability from its measured
+history, so predictions reflect where the load is *going*. This module
+provides that layer for the reproduction's runtime tools:
+
+* simple predictors — :class:`LastValue`, :class:`RunningMean`,
+  :class:`SlidingWindowMean`, :class:`MedianWindow`,
+  :class:`ExponentialSmoothing`;
+* :class:`AdaptiveForecaster` — the NWS trick: run a family of
+  predictors side by side, track each one's mean squared error on the
+  observed series, and answer with the current best;
+* :func:`forecast_series` — offline evaluation of a forecaster over a
+  recorded series (one-step-ahead predictions + error summary).
+
+Feed it slowdown samples (e.g. ``SlowdownManager.comp_slowdown()`` at
+job-mix changes) or raw load observations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Protocol, Sequence
+
+from ..errors import ModelError
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "MedianWindow",
+    "ExponentialSmoothing",
+    "AdaptiveForecaster",
+    "forecast_series",
+]
+
+
+class Forecaster(Protocol):
+    """One-step-ahead predictor over a scalar series."""
+
+    def update(self, value: float) -> None:
+        """Feed one observation."""
+
+    def predict(self) -> float:
+        """Forecast the next observation (NaN before any data)."""
+
+
+class LastValue:
+    """Predict the most recent observation (the NWS baseline)."""
+
+    def __init__(self) -> None:
+        self._last = math.nan
+
+    def update(self, value: float) -> None:
+        self._last = float(value)
+
+    def predict(self) -> float:
+        return self._last
+
+
+class RunningMean:
+    """Predict the mean of everything seen so far."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = math.nan
+
+    def update(self, value: float) -> None:
+        self._count += 1
+        if self._count == 1:
+            self._mean = float(value)
+        else:
+            self._mean += (float(value) - self._mean) / self._count
+
+    def predict(self) -> float:
+        return self._mean
+
+
+class SlidingWindowMean:
+    """Predict the mean of the last *window* observations."""
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ModelError(f"window must be >= 1, got {window!r}")
+        self._values: deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def predict(self) -> float:
+        if not self._values:
+            return math.nan
+        return sum(self._values) / len(self._values)
+
+
+class MedianWindow:
+    """Predict the median of the last *window* observations.
+
+    Robust to the bursty outliers an OS load series carries — often the
+    NWS's winner on noisy traces.
+    """
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ModelError(f"window must be >= 1, got {window!r}")
+        self._values: deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def predict(self) -> float:
+        if not self._values:
+            return math.nan
+        ordered = sorted(self._values)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class ExponentialSmoothing:
+    """Predict an exponentially weighted moving average."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ModelError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self._state = math.nan
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._state != self._state:  # first observation
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1 - self.alpha) * self._state
+
+    def predict(self) -> float:
+        return self._state
+
+
+class AdaptiveForecaster:
+    """Answer with whichever member predictor currently has least MSE.
+
+    Each ``update`` first scores every member's standing prediction
+    against the arriving truth, then feeds the observation to all of
+    them — the postcasting scheme the Network Weather Service used.
+    """
+
+    def __init__(self, members: Sequence[Forecaster] | None = None) -> None:
+        if members is None:
+            members = (
+                LastValue(),
+                RunningMean(),
+                SlidingWindowMean(8),
+                MedianWindow(8),
+                ExponentialSmoothing(0.3),
+            )
+        if not members:
+            raise ModelError("need at least one member predictor")
+        self.members = list(members)
+        self._sse = [0.0] * len(self.members)
+        self._scored = [0] * len(self.members)
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        for k, member in enumerate(self.members):
+            prediction = member.predict()
+            if prediction == prediction:  # had data
+                self._sse[k] += (prediction - value) ** 2
+                self._scored[k] += 1
+            member.update(value)
+
+    def best_index(self) -> int:
+        """Index of the member with the lowest mean squared error."""
+        scores = [
+            self._sse[k] / self._scored[k] if self._scored[k] else math.inf
+            for k in range(len(self.members))
+        ]
+        best = min(range(len(scores)), key=lambda k: (scores[k], k))
+        return best
+
+    def predict(self) -> float:
+        return self.members[self.best_index()].predict()
+
+    def mse(self) -> list[float]:
+        """Per-member mean squared one-step error so far."""
+        return [
+            self._sse[k] / self._scored[k] if self._scored[k] else math.nan
+            for k in range(len(self.members))
+        ]
+
+
+def forecast_series(
+    values: Sequence[float], forecaster: Forecaster
+) -> tuple[list[float], float]:
+    """One-step-ahead predictions over *values*.
+
+    Returns ``(predictions, rmse)`` where ``predictions[k]`` is the
+    forecast of ``values[k]`` made after seeing ``values[:k]`` (NaN for
+    k = 0 with fresh predictors), and the RMSE skips NaN predictions.
+    """
+    predictions: list[float] = []
+    sse, scored = 0.0, 0
+    for value in values:
+        p = forecaster.predict()
+        predictions.append(p)
+        if p == p:
+            sse += (p - float(value)) ** 2
+            scored += 1
+        forecaster.update(value)
+    rmse = math.sqrt(sse / scored) if scored else math.nan
+    return predictions, rmse

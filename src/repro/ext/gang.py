@@ -1,0 +1,98 @@
+"""Gang scheduling on time-shared back-end nodes (§3.2 / §4).
+
+The paper: *"contention for CPU in each node may occur if the nodes
+are time-shared and gang-scheduling [7] is implemented. These effects
+can be included in T_p."*
+
+Gang scheduling switches an entire partition between applications at a
+coarse quantum: all of an application's processes run together, so its
+internal communication never waits for a descheduled peer, but it only
+receives ``1/g`` of the wall clock when ``g`` gangs share the
+partition. Two pieces here:
+
+* :class:`GangScheduler` — a simulated gang-scheduled partition: jobs
+  submit node-seconds of work; the partition rotates between resident
+  gangs with a whole-partition context-switch cost.
+* :func:`gang_slowdown` — the analytical T_p adjustment: a gang sharing
+  a partition with ``g − 1`` others runs ``g (1 + cs/q)`` times slower
+  than dedicated, the multiplier to fold into ``T_p`` before applying
+  Equation (1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import ModelError
+from ..sim.engine import Event, Simulator
+from ..sim.cpu import TimeSharedCPU
+from ..units import check_nonnegative, check_positive
+
+__all__ = ["GangScheduler", "gang_slowdown"]
+
+
+def gang_slowdown(gangs: int, quantum: float = 0.1, switch_cost: float = 0.0) -> float:
+    """T_p multiplier for a partition time-shared by *gangs* gangs.
+
+    ``gangs`` includes the application itself; with ``gangs == 1`` the
+    partition is dedicated and the factor is 1. The whole-partition
+    context switch inflates every quantum by ``switch_cost``.
+    """
+    if gangs < 1:
+        raise ModelError(f"need at least the application's own gang, got {gangs!r}")
+    check_positive(quantum, "quantum")
+    check_nonnegative(switch_cost, "switch_cost")
+    if gangs == 1:
+        return 1.0
+    return gangs * (1.0 + switch_cost / quantum)
+
+
+class GangScheduler:
+    """A gang-scheduled partition of ``nodes`` time-shared nodes.
+
+    Implemented on top of :class:`~repro.sim.cpu.TimeSharedCPU`: the
+    partition is one round-robin "CPU" whose service unit is a
+    *partition-second* (all nodes for one second); each gang is one
+    session tag, so the RR session machinery models whole-gang
+    switches faithfully, including the context-switch cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: int,
+        quantum: float = 0.1,
+        switch_cost: float = 2e-3,
+        name: str = "gang",
+    ) -> None:
+        if nodes < 1:
+            raise ModelError(f"partition needs >= 1 node, got {nodes!r}")
+        self.sim = sim
+        self.nodes = nodes
+        self.quantum = check_positive(quantum, "quantum")
+        self._cpu = TimeSharedCPU(
+            sim,
+            capacity=1.0,
+            discipline="rr",
+            quantum=quantum,
+            context_switch=check_nonnegative(switch_cost, "switch_cost"),
+            name=name,
+        )
+
+    @property
+    def resident_gangs(self) -> int:
+        """Gangs currently resident (with unfinished work)."""
+        return len({job.tag for job in self._cpu._jobs.values()})
+
+    def run(self, gang: str, node_seconds: float) -> Generator[Event, Any, float]:
+        """Run *node_seconds* of work for *gang*; returns elapsed time.
+
+        Work is expressed in node-seconds; a perfectly parallel job of
+        ``W`` node-seconds on this partition needs ``W / nodes``
+        partition-seconds of service.
+        """
+        if node_seconds < 0:
+            raise ModelError(f"work must be >= 0, got {node_seconds!r}")
+        start = self.sim.now
+        yield self._cpu.execute(node_seconds / self.nodes, tag=gang)
+        return self.sim.now - start

@@ -1,0 +1,188 @@
+"""I/O extension (§4: "... as well as I/O operations").
+
+The base model classifies a competing application's time as
+*computing* or *communicating*. Real workloads also block on local
+disk I/O, during which they occupy **neither** the CPU nor the link —
+treating an I/O-bound competitor as CPU-bound over-predicts its
+interference (the paper's intro explicitly distinguishes CPU- from
+I/O-bound load characteristics).
+
+This extension models each competitor with a three-way time split
+``(comp, comm, io)`` and generalises the Poisson-binomial machinery to
+the joint distribution of (number computing, number communicating);
+applications in their I/O phase simply drop out of both counts. Disk
+contention itself (competitors queueing on the *same* disk as the
+measured task) is captured by an extra measured table ``delay_io^i``,
+symmetric to the paper's ``delay_comm^i``.
+
+Simulation support: :func:`io_bound` is the matching emulated
+contention generator, using a :class:`~repro.sim.resources.FifoResource`
+as the disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from ..core.params import DelayTable
+from ..errors import ModelError, WorkloadError
+from ..sim.engine import Event
+from ..sim.resources import FifoResource
+from ..platforms.base import CoupledPlatform
+
+__all__ = [
+    "IOProfile",
+    "joint_activity_distribution",
+    "io_aware_comp_slowdown",
+    "io_bound",
+]
+
+
+@dataclass(frozen=True)
+class IOProfile:
+    """Three-way time split of a competing application.
+
+    Fractions must be nonnegative and sum to at most 1; the remainder
+    (if any) is treated as idle time, contributing no interference.
+    """
+
+    name: str
+    comp_fraction: float
+    comm_fraction: float = 0.0
+    io_fraction: float = 0.0
+    message_size: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, f in (
+            ("comp_fraction", self.comp_fraction),
+            ("comm_fraction", self.comm_fraction),
+            ("io_fraction", self.io_fraction),
+        ):
+            if not 0.0 <= f <= 1.0:
+                raise ModelError(f"{label} must be in [0, 1], got {f!r}")
+        if self.comp_fraction + self.comm_fraction + self.io_fraction > 1.0 + 1e-12:
+            raise ModelError(
+                f"fractions of {self.name!r} sum to more than 1: "
+                f"{self.comp_fraction} + {self.comm_fraction} + {self.io_fraction}"
+            )
+
+
+def joint_activity_distribution(profiles: Sequence[IOProfile]) -> np.ndarray:
+    """Joint distribution ``P[i computing, k communicating]``.
+
+    Returns an array ``J`` of shape ``(p+1, p+1)`` with
+    ``J[i, k] = P[exactly i compute AND exactly k communicate]``;
+    applications in I/O (or idle) phases count in neither axis. The DP
+    is the two-dimensional generalisation of the paper's ``O(p²)``
+    scheme and runs in ``O(p³)``.
+    """
+    joint = np.zeros((1, 1))
+    joint[0, 0] = 1.0
+    for profile in profiles:
+        p_comp = profile.comp_fraction
+        p_comm = profile.comm_fraction
+        p_neither = 1.0 - p_comp - p_comm  # io + idle
+        n = joint.shape[0]
+        new = np.zeros((n + 1, n + 1))
+        new[:n, :n] += joint * p_neither
+        new[1:, :n] += joint * p_comp
+        new[:n, 1:] += joint * p_comm
+        joint = new
+    return joint
+
+
+def io_aware_comp_slowdown(
+    profiles: Sequence[IOProfile],
+    delay_comm_for_size: DelayTable,
+    delay_io: DelayTable | None = None,
+    extrapolate: bool = False,
+) -> float:
+    """Computation slowdown with a three-way competitor model.
+
+    .. math::
+
+       slowdown = 1 + \\sum_i pcomp_i \\cdot i
+                  + \\sum_i pcomm_i \\cdot delay_{comm}^{i}
+                  + \\sum_i pio_i \\cdot delay_{io}^{i}
+
+    where the marginals come from :func:`joint_activity_distribution`
+    (``pio`` from the complementary axis when *delay_io* is given).
+    Passing profiles whose ``io_fraction`` is 0 and ``delay_io=None``
+    reduces exactly to the paper's §3.2.2 formula.
+    """
+    if not profiles:
+        return 1.0
+    joint = joint_activity_distribution(profiles)
+    pcomp = joint.sum(axis=1)  # marginal over communicators
+    pcomm = joint.sum(axis=0)
+    slowdown = 1.0
+    slowdown += sum(pcomp[i] * i for i in range(1, len(pcomp)))
+    slowdown += sum(
+        pcomm[i] * delay_comm_for_size.delay(i, extrapolate=extrapolate)
+        for i in range(1, len(pcomm))
+        if pcomm[i] > 0.0
+    )
+    if delay_io is not None:
+        pio = _io_marginal(profiles)
+        slowdown += sum(
+            pio[i] * delay_io.delay(i, extrapolate=extrapolate)
+            for i in range(1, len(pio))
+            if pio[i] > 0.0
+        )
+    return slowdown
+
+
+def _io_marginal(profiles: Sequence[IOProfile]) -> np.ndarray:
+    """Poisson-binomial marginal of the number of apps doing I/O."""
+    dist = np.array([1.0])
+    for profile in profiles:
+        f = profile.io_fraction
+        p = len(dist)
+        new = np.empty(p + 1)
+        new[0] = dist[0] * (1.0 - f)
+        if p > 1:
+            new[1:p] = dist[1:] * (1.0 - f) + dist[:-1] * f
+        new[p] = dist[p - 1] * f
+        dist = new
+    return dist
+
+
+def io_bound(
+    platform: CoupledPlatform,
+    disk: FifoResource,
+    io_service: float,
+    compute_chunk: float = 0.01,
+    io_fraction: float = 0.7,
+    tag: str = "iohog",
+) -> Generator[Event, Any, None]:
+    """An endless I/O-bound application: short CPU bursts, disk waits.
+
+    Parameters
+    ----------
+    platform:
+        Host platform (supplies the front-end CPU).
+    disk:
+        The disk resource the application blocks on.
+    io_service:
+        Disk service time per request, seconds.
+    compute_chunk:
+        CPU burst between I/O requests, seconds.
+    io_fraction:
+        Target long-run fraction of time in I/O; the generator scales
+        the number of back-to-back requests per cycle accordingly.
+    """
+    if io_service <= 0:
+        raise WorkloadError(f"io_service must be > 0, got {io_service!r}")
+    if compute_chunk <= 0:
+        raise WorkloadError(f"compute_chunk must be > 0, got {compute_chunk!r}")
+    if not 0.0 < io_fraction < 1.0:
+        raise WorkloadError(f"io_fraction must be in (0, 1), got {io_fraction!r}")
+    # Requests per cycle so that io_time/(io_time+cpu_time) ~ io_fraction.
+    requests = max(1, round(io_fraction * compute_chunk / ((1 - io_fraction) * io_service)))
+    while True:
+        yield platform.frontend_cpu.execute(compute_chunk, tag=tag)
+        for _ in range(requests):
+            yield from disk.acquire(io_service)

@@ -1,0 +1,99 @@
+"""Memory-constraint extension (§4: "extending our model to include
+memory constraints").
+
+The base model assumes "the working set of each application executing
+on the platform fits in memory, i.e., no delay is imposed by swapping"
+(§2). This extension drops that assumption: when the resident working
+sets overcommit physical memory, every memory access beyond the
+machine's capacity ratio pays a paging penalty, which multiplies into
+the slowdown factor.
+
+Model
+-----
+Let ``W`` be the sum of the working sets of all resident applications
+(the measured task plus its *p* competitors) and ``C`` the machine's
+physical memory. With ``W <= C`` nothing changes. With ``W > C``, the
+fraction of a working set that cannot stay resident is
+``1 - C/W``; touching a non-resident page costs ``page_penalty`` times
+more than a resident access. Assuming uniform access across the
+working set (the classic no-locality bound), computation inflates by
+
+.. math::
+
+   memfactor = 1 + (1 - C/W) \\cdot (page\\_penalty - 1)
+
+:class:`MemoryModel` computes that factor;
+:func:`memory_aware_slowdown` composes it with any base slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ModelError
+from ..units import check_positive
+
+__all__ = ["MemoryModel", "memory_aware_slowdown"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Paging-penalty model for an overcommitted machine.
+
+    Attributes
+    ----------
+    capacity:
+        Physical memory available to applications (any consistent
+        unit; megabytes in the examples).
+    page_penalty:
+        Cost ratio of a paged access to a resident access (``>= 1``).
+        Mid-90s disks against DRAM put this in the hundreds-to-
+        thousands; the examples use a deliberately tame value so the
+        effect is visible without being a cliff.
+    """
+
+    capacity: float
+    page_penalty: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity, "capacity")
+        if self.page_penalty < 1.0:
+            raise ModelError(f"page_penalty must be >= 1, got {self.page_penalty!r}")
+
+    def overcommit(self, working_sets: Iterable[float]) -> float:
+        """Total demand / capacity (``<= 1`` means everything fits)."""
+        total = 0.0
+        for k, w in enumerate(working_sets):
+            if w < 0:
+                raise ModelError(f"working_sets[{k}] must be >= 0, got {w!r}")
+            total += w
+        return total / self.capacity
+
+    def factor(self, working_sets: Iterable[float]) -> float:
+        """Computation inflation factor for the given resident set.
+
+        1.0 while everything fits; grows smoothly with overcommit.
+        """
+        ratio = self.overcommit(working_sets)
+        if ratio <= 1.0:
+            return 1.0
+        nonresident = 1.0 - 1.0 / ratio
+        return 1.0 + nonresident * (self.page_penalty - 1.0)
+
+
+def memory_aware_slowdown(
+    base_slowdown: float,
+    model: MemoryModel,
+    working_sets: Iterable[float],
+) -> float:
+    """Compose a contention slowdown with the paging factor.
+
+    Paging delays are orthogonal to CPU/link contention (the CPU is
+    surrendered during a page fault, the disk is a different resource),
+    so the factors multiply — the same structure the paper uses for
+    its own orthogonal terms.
+    """
+    if base_slowdown < 1.0:
+        raise ModelError(f"base slowdown must be >= 1, got {base_slowdown!r}")
+    return base_slowdown * model.factor(working_sets)

@@ -1,0 +1,168 @@
+"""Task-migration extension (§4: "task migration should be considered").
+
+When the job mix changes mid-execution, a running task's current
+placement may stop being the best one. Migration trades the one-off
+cost of moving the task's state against the rate difference between
+machines for the *remaining* work.
+
+:func:`should_migrate` is the point decision; :class:`MigrationPlanner`
+replays a :class:`~repro.ext.timevarying.LoadTimeline` and emits the
+migration decisions a runtime system would take at each job-mix change
+— including hysteresis (a minimum predicted gain) so the task does not
+thrash between machines on marginal differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.workload import ApplicationProfile
+from ..errors import ModelError
+from .timevarying import LoadTimeline
+
+__all__ = ["should_migrate", "MigrationDecision", "MigrationPlanner"]
+
+
+def should_migrate(
+    remaining_work: float,
+    current_slowdown: float,
+    target_slowdown: float,
+    migration_cost: float,
+    min_gain: float = 0.0,
+) -> bool:
+    """Migrate iff the predicted saving beats the cost (plus hysteresis).
+
+    Remaining elapsed here: ``remaining_work × current_slowdown``;
+    after migrating: ``migration_cost + remaining_work × target_slowdown``.
+    """
+    if remaining_work < 0:
+        raise ModelError(f"remaining_work must be >= 0, got {remaining_work!r}")
+    if current_slowdown < 1.0 or target_slowdown < 1.0:
+        raise ModelError("slowdown factors must be >= 1")
+    if migration_cost < 0:
+        raise ModelError(f"migration_cost must be >= 0, got {migration_cost!r}")
+    stay = remaining_work * current_slowdown
+    move = migration_cost + remaining_work * target_slowdown
+    return stay - move > min_gain
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One planner step at a job-mix change."""
+
+    time: float
+    machine: str
+    migrated: bool
+    remaining_work: float
+    predicted_remaining_elapsed: float
+
+
+class MigrationPlanner:
+    """Replay a load timeline and plan migrations for one task.
+
+    Parameters
+    ----------
+    machines:
+        Machine names the task may run on.
+    slowdown_of:
+        ``slowdown_of(machine, profiles) -> factor`` — the per-machine
+        contention model (competitor profiles are those *on that
+        machine*; this planner treats the timeline as describing every
+        machine's load via the profile's name prefix ``machine:``, or
+        uniformly when no prefix is used).
+    migration_cost:
+        ``migration_cost(src, dst) -> seconds`` — state-transfer cost.
+    min_gain:
+        Hysteresis: migrate only when the predicted saving exceeds
+        this many seconds.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[str],
+        slowdown_of: Callable[[str, Sequence[ApplicationProfile]], float],
+        migration_cost: Callable[[str, str], float],
+        min_gain: float = 0.0,
+    ) -> None:
+        if not machines:
+            raise ModelError("need at least one machine")
+        self.machines = tuple(machines)
+        self.slowdown_of = slowdown_of
+        self.migration_cost = migration_cost
+        self.min_gain = min_gain
+
+    def plan(
+        self,
+        work: float,
+        timeline: LoadTimeline,
+        start_machine: str | None = None,
+        start: float = 0.0,
+    ) -> list[MigrationDecision]:
+        """Decisions at the start and at each subsequent job-mix change.
+
+        The returned list traces the task until its work is exhausted
+        under the planned placements (progress between decisions is
+        integrated at the then-current machine's slowdown).
+        """
+        if work < 0:
+            raise ModelError(f"work must be >= 0, got {work!r}")
+        current = start_machine or self._best_machine(timeline, start, work)[0]
+        if current not in self.machines:
+            raise ModelError(f"unknown machine {start_machine!r}")
+        decisions = [self._decision(start, current, work, timeline, migrated=False)]
+        remaining = work
+        t = start
+        for boundary in timeline.boundaries_after(start):
+            # Progress up to the boundary at the current machine's rate.
+            phase = timeline.phase_at(t)
+            slowdown = self.slowdown_of(current, phase.profiles)
+            progress = (boundary - t) / slowdown
+            if progress >= remaining:
+                break  # finished before the mix changed again
+            remaining -= progress
+            t = boundary
+            best, best_slow = self._best_machine(timeline, t, remaining)
+            migrated = False
+            if best != current:
+                cur_slow = self.slowdown_of(current, timeline.phase_at(t).profiles)
+                if should_migrate(
+                    remaining,
+                    cur_slow,
+                    best_slow,
+                    self.migration_cost(current, best),
+                    self.min_gain,
+                ):
+                    current = best
+                    migrated = True
+            decisions.append(self._decision(t, current, remaining, timeline, migrated))
+        return decisions
+
+    def _best_machine(
+        self, timeline: LoadTimeline, t: float, remaining: float
+    ) -> tuple[str, float]:
+        phase = timeline.phase_at(t)
+        best, best_slow = None, float("inf")
+        for machine in self.machines:
+            slow = self.slowdown_of(machine, phase.profiles)
+            if slow < best_slow:
+                best, best_slow = machine, slow
+        assert best is not None
+        return best, best_slow
+
+    def _decision(
+        self,
+        t: float,
+        machine: str,
+        remaining: float,
+        timeline: LoadTimeline,
+        migrated: bool,
+    ) -> MigrationDecision:
+        slowdown = self.slowdown_of(machine, timeline.phase_at(t).profiles)
+        return MigrationDecision(
+            time=t,
+            machine=machine,
+            migrated=migrated,
+            remaining_work=remaining,
+            predicted_remaining_elapsed=remaining * slowdown,
+        )

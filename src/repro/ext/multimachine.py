@@ -1,0 +1,163 @@
+"""Multi-machine generalisation (§4: "the slowdown factors developed
+for these small platforms can be used for larger heterogeneous
+systems"; §1: "Generalization of these results to more than two
+machines is straightforward").
+
+:class:`HeterogeneousSystem` assembles per-machine contention state —
+each machine carries its own competitor profiles and calibrated delay
+tables — and produces contention-adjusted
+:class:`~repro.core.scheduler.MappingProblem` instances for the
+(unchanged) exhaustive mapper. The generalised Equation (1) falls out:
+a task should run wherever its contention-adjusted execution time plus
+the contention-adjusted transfers is smallest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.params import DelayTable, SizedDelayTable
+from ..core.scheduler import MappingProblem, MappingResult, best_mapping
+from ..core.slowdown import paragon_comm_slowdown, paragon_comp_slowdown
+from ..core.workload import ApplicationProfile
+from ..errors import ModelError, ScheduleError
+
+__all__ = ["MachineState", "HeterogeneousSystem"]
+
+
+@dataclass
+class MachineState:
+    """One machine's contention state and calibrated tables.
+
+    For a machine whose competitors are all CPU-bound and with no
+    calibrated tables, the computation slowdown degenerates to
+    ``p + 1`` — the Sun/CM2 special case.
+    """
+
+    name: str
+    profiles: list[ApplicationProfile] = field(default_factory=list)
+    delay_comp: DelayTable | None = None
+    delay_comm: DelayTable | None = None
+    delay_comm_sized: SizedDelayTable | None = None
+    extrapolate: bool = True
+
+    @property
+    def p(self) -> int:
+        return len(self.profiles)
+
+    def comp_slowdown(self) -> float:
+        """Computation slowdown on this machine."""
+        if not self.profiles:
+            return 1.0
+        if self.delay_comm_sized is None:
+            if any(pr.comm_fraction > 0 for pr in self.profiles):
+                raise ModelError(
+                    f"machine {self.name!r} has communicating competitors but no "
+                    "delay_comm_sized table"
+                )
+            return float(self.p + 1)
+        return paragon_comp_slowdown(
+            self.profiles, self.delay_comm_sized, extrapolate=self.extrapolate
+        )
+
+    def comm_slowdown(self) -> float:
+        """Slowdown of transfers initiated from this machine."""
+        if not self.profiles:
+            return 1.0
+        if self.delay_comp is None or self.delay_comm is None:
+            # CM2-style host-resident communication: pure CPU sharing.
+            if any(pr.comm_fraction > 0 for pr in self.profiles):
+                raise ModelError(
+                    f"machine {self.name!r} has communicating competitors but no "
+                    "delay_comp/delay_comm tables"
+                )
+            return float(self.p + 1)
+        return paragon_comm_slowdown(
+            self.profiles, self.delay_comp, self.delay_comm, extrapolate=self.extrapolate
+        )
+
+
+class HeterogeneousSystem:
+    """A set of machines with per-machine contention, plus link costs.
+
+    Parameters
+    ----------
+    machines:
+        The machine states, one per machine.
+    dedicated_comm:
+        ``{(src, dst): seconds}`` dedicated transfer costs for the
+        application chain's data between machine pairs.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[MachineState],
+        dedicated_comm: Mapping[tuple[str, str], float],
+    ) -> None:
+        if not machines:
+            raise ScheduleError("need at least one machine")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ScheduleError(f"duplicate machine names in {names}")
+        self.machines: dict[str, MachineState] = {m.name: m for m in machines}
+        self.dedicated_comm = dict(dedicated_comm)
+
+    # -- contention bookkeeping ------------------------------------------------
+
+    def arrive(self, machine: str, profile: ApplicationProfile) -> None:
+        """A competitor application starts on *machine*."""
+        self._machine(machine).profiles.append(profile)
+
+    def depart(self, machine: str, name: str) -> None:
+        """A competitor application on *machine* finishes."""
+        state = self._machine(machine)
+        before = len(state.profiles)
+        state.profiles = [p for p in state.profiles if p.name != name]
+        if len(state.profiles) == before:
+            raise ModelError(f"no application {name!r} on machine {machine!r}")
+
+    def _machine(self, name: str) -> MachineState:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise ScheduleError(f"unknown machine {name!r}") from None
+
+    # -- contention-adjusted mapping ---------------------------------------------
+
+    def adjusted_problem(
+        self,
+        tasks: Sequence[str],
+        dedicated_exec: Mapping[str, Mapping[str, float]],
+    ) -> MappingProblem:
+        """Build the contention-adjusted :class:`MappingProblem`.
+
+        Execution times are scaled by each machine's computation
+        slowdown; a transfer (src → dst) is scaled by the *larger* of
+        the two endpoint communication slowdowns (both endpoints must
+        drive the transfer; the busier one gates it).
+        """
+        comp = {name: state.comp_slowdown() for name, state in self.machines.items()}
+        comm = {name: state.comm_slowdown() for name, state in self.machines.items()}
+        exec_time = {
+            task: {m: dedicated_exec[task][m] * comp[m] for m in self.machines}
+            for task in tasks
+        }
+        comm_time = {
+            (src, dst): cost * max(comm[src], comm[dst])
+            for (src, dst), cost in self.dedicated_comm.items()
+        }
+        return MappingProblem(
+            tasks=tuple(tasks),
+            machines=tuple(self.machines),
+            exec_time=exec_time,
+            comm_time=comm_time,
+        )
+
+    def best_mapping(
+        self,
+        tasks: Sequence[str],
+        dedicated_exec: Mapping[str, Mapping[str, float]],
+    ) -> MappingResult:
+        """Generalised Equation (1): the best contention-aware mapping."""
+        return best_mapping(self.adjusted_problem(tasks, dedicated_exec))

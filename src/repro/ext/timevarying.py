@@ -1,0 +1,164 @@
+"""Time-varying load extension (§4: "characterize the setting in which
+contending applications execute for only part of the execution of a
+given application").
+
+The base model assumes "contention is experienced for the entire
+duration of an application" (§2). This extension represents the
+system's load as a piecewise-constant **job-mix timeline** — the
+slowdown factor is recalculated whenever the job mix changes, exactly
+as §2 prescribes ("recalculated every time the system status changes
+or when new applications arrive") — and integrates a task's progress
+through the phases.
+
+The key primitive is :func:`predict_elapsed`: a task needing ``W``
+dedicated seconds progresses at rate ``1/slowdown(phase)`` through each
+phase, so its elapsed time is the solution of
+
+.. math::
+
+   \\int_{t_0}^{t_0 + T} \\frac{dt}{slowdown(t)} = W.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.workload import ApplicationProfile
+from ..errors import ModelError
+
+__all__ = ["Phase", "LoadTimeline", "predict_elapsed"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One constant-job-mix interval.
+
+    ``start`` is the phase's begin time; it lasts until the next
+    phase's start (the final phase extends to infinity).
+    """
+
+    start: float
+    profiles: tuple[ApplicationProfile, ...]
+
+    @property
+    def p(self) -> int:
+        """Number of competing applications during the phase."""
+        return len(self.profiles)
+
+
+class LoadTimeline:
+    """A piecewise-constant record of which applications are running.
+
+    Build it event-by-event with :meth:`arrive` / :meth:`depart`
+    (which append phases), or all at once from explicit phases.
+    """
+
+    def __init__(self, phases: Sequence[Phase] = ()) -> None:
+        self.phases: list[Phase] = list(phases)
+        if not self.phases:
+            self.phases = [Phase(start=0.0, profiles=())]
+        for a, b in zip(self.phases, self.phases[1:]):
+            if b.start <= a.start:
+                raise ModelError("phase start times must strictly increase")
+
+    @property
+    def current_profiles(self) -> tuple[ApplicationProfile, ...]:
+        return self.phases[-1].profiles
+
+    def _append(self, t: float, profiles: tuple[ApplicationProfile, ...]) -> None:
+        last = self.phases[-1]
+        if t < last.start:
+            raise ModelError(
+                f"job-mix change at t={t!r} precedes the current phase ({last.start!r})"
+            )
+        if t == last.start:
+            # Replace a same-instant phase (multiple changes at once).
+            self.phases[-1] = Phase(start=t, profiles=profiles)
+        else:
+            self.phases.append(Phase(start=t, profiles=profiles))
+
+    def arrive(self, t: float, profile: ApplicationProfile) -> None:
+        """A new application joins the system at time *t*."""
+        if any(p.name == profile.name for p in self.current_profiles):
+            raise ModelError(f"application {profile.name!r} is already running")
+        self._append(t, self.current_profiles + (profile,))
+
+    def depart(self, t: float, name: str) -> None:
+        """Application *name* leaves the system at time *t*."""
+        remaining = tuple(p for p in self.current_profiles if p.name != name)
+        if len(remaining) == len(self.current_profiles):
+            raise ModelError(f"application {name!r} is not running")
+        self._append(t, remaining)
+
+    def phase_at(self, t: float) -> Phase:
+        """The phase in force at time *t*."""
+        if t < self.phases[0].start:
+            raise ModelError(f"t={t!r} precedes the timeline start")
+        starts = [ph.start for ph in self.phases]
+        idx = bisect.bisect_right(starts, t) - 1
+        return self.phases[idx]
+
+    def boundaries_after(self, t: float) -> list[float]:
+        """Phase-change instants strictly after *t*, in order."""
+        return [ph.start for ph in self.phases if ph.start > t]
+
+
+def predict_elapsed(
+    work: float,
+    timeline: LoadTimeline,
+    slowdown_of: Callable[[Sequence[ApplicationProfile]], float],
+    start: float = 0.0,
+) -> float:
+    """Elapsed time of a *work*-second task starting at *start*.
+
+    Parameters
+    ----------
+    work:
+        Dedicated-mode execution time of the task.
+    timeline:
+        The piecewise-constant job mix.
+    slowdown_of:
+        Maps a phase's competitor profiles to a slowdown factor — plug
+        in :func:`repro.core.slowdown.paragon_comp_slowdown` (partially
+        applied with the calibrated tables), ``cm2_slowdown`` via
+        profile count, or any custom model.
+    start:
+        Task start time on the timeline.
+
+    Returns
+    -------
+    float
+        Predicted elapsed (wall-clock) time — ``>= work``, with
+        equality when every traversed phase is empty.
+    """
+    if work < 0:
+        raise ModelError(f"work must be >= 0, got {work!r}")
+    remaining = work
+    t = start
+    boundaries = timeline.boundaries_after(start)
+    for boundary in boundaries:
+        if remaining <= 0:
+            break
+        phase = timeline.phase_at(t)
+        slowdown = _checked(slowdown_of(phase.profiles))
+        span = boundary - t
+        progress = span / slowdown
+        if progress >= remaining:
+            return (t + remaining * slowdown) - start
+        remaining -= progress
+        t = boundary
+    # Tail phase extends forever.
+    phase = timeline.phase_at(t)
+    slowdown = _checked(slowdown_of(phase.profiles))
+    if remaining > 0 and math.isinf(slowdown):
+        raise ModelError("task cannot finish: infinite slowdown in the final phase")
+    return (t + remaining * slowdown) - start
+
+
+def _checked(slowdown: float) -> float:
+    if slowdown < 1.0:
+        raise ModelError(f"slowdown_of returned {slowdown!r} (< 1)")
+    return slowdown

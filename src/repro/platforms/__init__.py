@@ -1,0 +1,35 @@
+"""Simulated coupled heterogeneous platforms (the paper's testbeds)."""
+
+from .base import CoupledPlatform
+from .specs import (
+    CpuSpec,
+    DEFAULT_SUNCM2,
+    DEFAULT_SUNPARAGON,
+    SunCM2Spec,
+    SunParagonSpec,
+    WireSpec,
+)
+from .mesh import MeshNetwork, MeshSpec, Partition, PartitionAllocator
+from .paragon_backend import BackendTaskResult, ParagonBackend
+from .suncm2 import SunCM2Platform, TraceRunResult
+from .sunparagon import MessageTiming, SunParagonPlatform
+
+__all__ = [
+    "CoupledPlatform",
+    "CpuSpec",
+    "DEFAULT_SUNCM2",
+    "DEFAULT_SUNPARAGON",
+    "BackendTaskResult",
+    "MeshNetwork",
+    "ParagonBackend",
+    "MeshSpec",
+    "MessageTiming",
+    "Partition",
+    "PartitionAllocator",
+    "SunCM2Platform",
+    "SunCM2Spec",
+    "SunParagonPlatform",
+    "SunParagonSpec",
+    "TraceRunResult",
+    "WireSpec",
+]

@@ -1,0 +1,102 @@
+"""Shared structure of the coupled heterogeneous platforms.
+
+A *coupled platform* in the paper's sense is a front-end workstation
+(time-shared, contended) plus a back-end MPP, joined by a link whose
+contention behaviour is platform-specific. The two concrete platforms
+(:class:`~repro.platforms.suncm2.SunCM2Platform`,
+:class:`~repro.platforms.sunparagon.SunParagonPlatform`) share the
+front-end CPU construction and the application-bookkeeping surface
+defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim.cpu import TimeSharedCPU
+from ..sim.engine import Event, Process, Simulator
+from ..sim.rng import RandomStreams
+from .specs import CpuSpec
+
+__all__ = ["CoupledPlatform"]
+
+
+class CoupledPlatform:
+    """Base class: a contended front-end CPU plus app bookkeeping.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this platform lives in.
+    cpu_spec:
+        Scheduling parameters of the front-end CPU.
+    streams:
+        Named random streams (contention generators draw from these).
+    name:
+        Label for monitoring.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu_spec: CpuSpec,
+        streams: RandomStreams | None = None,
+        name: str = "platform",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.streams = streams if streams is not None else RandomStreams(seed=0)
+        self.frontend_cpu = TimeSharedCPU(
+            sim,
+            capacity=cpu_spec.capacity,
+            discipline=cpu_spec.discipline,
+            quantum=cpu_spec.quantum,
+            context_switch=cpu_spec.context_switch,
+            name=f"{name}-cpu",
+        )
+        self._apps: list[Process] = []
+        if cpu_spec.daemon_interval > 0 and cpu_spec.daemon_work > 0:
+            sim.process(
+                self._os_daemon(cpu_spec.daemon_interval, cpu_spec.daemon_work),
+                name=f"{name}-os-daemon",
+            )
+
+    def _os_daemon(self, interval: float, work: float) -> Generator[Event, Any, None]:
+        """Background OS activity: exponential idle/burst cycles.
+
+        Note: a platform with the daemon enabled never drains its event
+        queue — drive such simulations with
+        :meth:`~repro.sim.engine.Simulator.run_until` or ``run(until=...)``.
+        """
+        rng = self.rng("os-daemon")
+        while True:
+            yield self.sim.timeout(float(rng.exponential(interval)))
+            yield self.frontend_cpu.execute(float(rng.exponential(work)), tag="_os")
+
+    # -- front-end computation ---------------------------------------------
+
+    def compute(self, work: float, tag: str = "anon") -> Generator[Event, Any, float]:
+        """Generator: run *work* dedicated-seconds on the front-end CPU.
+
+        Returns the wall-clock response time (== *work* only when the
+        CPU is otherwise idle).
+        """
+        response = yield self.frontend_cpu.execute(work, tag=tag)
+        return response
+
+    # -- application management ----------------------------------------------
+
+    def spawn(self, generator: Generator[Event, Any, Any], name: str) -> Process:
+        """Start an application process on this platform."""
+        proc = self.sim.process(generator, name=name)
+        self._apps.append(proc)
+        return proc
+
+    @property
+    def applications(self) -> tuple[Process, ...]:
+        """Processes spawned through :meth:`spawn`, in start order."""
+        return tuple(self._apps)
+
+    def rng(self, stream: str):
+        """Named random generator scoped to this platform."""
+        return self.streams.get(f"{self.name}/{stream}")

@@ -1,0 +1,264 @@
+"""The Paragon's 2-D mesh interconnect and partition allocation.
+
+§3.2 of the paper notes that, although the Paragon is space-shared,
+*"traffic on the mesh may affect an application's performance by
+slowing down its communication. This kind of inter-partition contention
+is addressed by Liu et al. [12] ... These effects can be included in
+T_p."* This module builds that substrate:
+
+* :class:`MeshNetwork` — a rows×cols mesh of nodes joined by
+  bidirectional links (each direction its own FIFO channel), with
+  deterministic dimension-ordered (XY) routing and per-hop
+  store-and-forward transfer of transport fragments. Messages crossing
+  a busy link queue behind it — the physical mechanism of
+  inter-partition contention.
+* :class:`PartitionAllocator` — node allocation in the two styles the
+  Liu et al. citation contrasts: ``contiguous`` rectangular
+  sub-meshes (messages stay inside the rectangle, minimal
+  interference) and ``scattered`` free-list allocation (fragmented
+  partitions whose traffic crosses other partitions' rows/columns).
+
+The `T_p` experiment built on these lives in
+:func:`repro.experiments.backend.mesh_contention_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Sequence
+
+from ..errors import ScheduleError, SimulationError, WorkloadError
+from ..sim.engine import Event, Simulator
+from ..sim.resources import FifoResource
+from ..units import check_nonnegative, check_positive
+
+__all__ = ["MeshSpec", "MeshNetwork", "Partition", "PartitionAllocator"]
+
+#: A node coordinate on the mesh.
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Ground truth for the mesh interconnect.
+
+    Attributes
+    ----------
+    rows, cols:
+        Mesh dimensions (the SDSC Paragon was a 16×...-node machine;
+        defaults keep experiments quick).
+    hop_latency:
+        Router/link startup per hop, seconds.
+    per_word:
+        Per-word occupancy of one link, seconds (NX-class links are an
+        order of magnitude faster than the external Ethernet).
+    packet_words:
+        Store-and-forward packet size: longer messages pipeline as
+        packets of at most this many words.
+    """
+
+    rows: int = 8
+    cols: int = 8
+    hop_latency: float = 5e-6
+    per_word: float = 2.5e-8
+    packet_words: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {self.rows}x{self.cols}")
+        check_nonnegative(self.hop_latency, "hop_latency")
+        check_nonnegative(self.per_word, "per_word")
+        check_positive(self.packet_words, "packet_words")
+
+    @property
+    def node_count(self) -> int:
+        return self.rows * self.cols
+
+
+class MeshNetwork:
+    """A rows×cols mesh with XY routing and contended links."""
+
+    def __init__(self, sim: Simulator, spec: MeshSpec = MeshSpec(), name: str = "mesh") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        # One FIFO per directed link, created lazily.
+        self._links: dict[tuple[Coord, Coord], FifoResource] = {}
+        self.messages = 0
+        self.total_hops = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def _check_node(self, node: Coord) -> None:
+        r, c = node
+        if not (0 <= r < self.spec.rows and 0 <= c < self.spec.cols):
+            raise SimulationError(f"node {node!r} outside the {self.spec.rows}x{self.spec.cols} mesh")
+
+    def route(self, src: Coord, dst: Coord) -> list[Coord]:
+        """Deterministic XY route: correct the column first, then the row.
+
+        Returns the node sequence including both endpoints.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        path = [src]
+        r, c = src
+        step = 1 if dst[1] > c else -1
+        while c != dst[1]:
+            c += step
+            path.append((r, c))
+        step = 1 if dst[0] > r else -1
+        while r != dst[0]:
+            r += step
+            path.append((r, c))
+        return path
+
+    def _link(self, a: Coord, b: Coord) -> FifoResource:
+        key = (a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = FifoResource(self.sim, capacity=1, name=f"{self.name}-{a}->{b}")
+            self._links[key] = link
+        return link
+
+    def links_used(self) -> int:
+        """Number of directed links that have carried traffic."""
+        return len(self._links)
+
+    # -- transfers -----------------------------------------------------------
+
+    def transfer(
+        self, src: Coord, dst: Coord, size_words: float
+    ) -> Generator[Event, Any, float]:
+        """Move one message src → dst; returns the elapsed time.
+
+        Store-and-forward per packet: each packet holds each link on
+        its path for ``hop_latency + packet/per_word`` seconds, in path
+        order, so messages crossing a congested link queue behind the
+        traffic already there.
+        """
+        if size_words < 0:
+            raise WorkloadError(f"message size must be >= 0, got {size_words!r}")
+        start = self.sim.now
+        path = self.route(src, dst)
+        self.messages += 1
+        if len(path) == 1:
+            return 0.0  # same node
+        packets = self._packets(size_words)
+        for packet in packets:
+            hold = self.spec.hop_latency + packet * self.spec.per_word
+            for a, b in zip(path[:-1], path[1:]):
+                self.total_hops += 1
+                yield from self._link(a, b).acquire(hold)
+        return self.sim.now - start
+
+    def _packets(self, size_words: float) -> list[float]:
+        limit = self.spec.packet_words
+        if size_words <= limit:
+            return [float(size_words)]
+        n = int(-(-size_words // limit))
+        return [size_words / n] * n
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A set of nodes granted to one application."""
+
+    nodes: tuple[Coord, ...]
+    contiguous: bool
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ScheduleError("a partition needs at least one node")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class PartitionAllocator:
+    """Space-sharing of the mesh's nodes.
+
+    Two policies:
+
+    * ``"contiguous"`` — first-fit rectangular sub-mesh; all
+      intra-partition XY routes stay inside the rectangle, so separate
+      partitions cannot interfere (the conventional allocator);
+    * ``"scattered"`` — take the first free nodes in row-major order
+      regardless of shape (the non-contiguous allocation of Liu et
+      al. [12]); routes between a fragmented partition's nodes cross
+      foreign rows/columns, creating the inter-partition contention
+      the paper cites.
+    """
+
+    def __init__(self, spec: MeshSpec = MeshSpec()) -> None:
+        self.spec = spec
+        self._free = {(r, c) for r in range(spec.rows) for c in range(spec.cols)}
+
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    def allocate(self, count: int, policy: str = "contiguous") -> Partition:
+        """Grant *count* nodes under *policy*.
+
+        Raises
+        ------
+        ScheduleError
+            If the request cannot be satisfied (not enough free nodes,
+            or no free rectangle of the needed shape for contiguous
+            allocation).
+        """
+        if count < 1:
+            raise ScheduleError(f"partition size must be >= 1, got {count!r}")
+        if count > len(self._free):
+            raise ScheduleError(
+                f"requested {count} nodes but only {len(self._free)} are free"
+            )
+        if policy == "contiguous":
+            nodes = self._find_rectangle(count)
+            if nodes is None:
+                raise ScheduleError(
+                    f"no free rectangle with {count} nodes (fragmentation); "
+                    "try policy='scattered'"
+                )
+            contiguous = True
+        elif policy == "scattered":
+            nodes = tuple(sorted(self._free))[:count]
+            contiguous = False
+        else:
+            raise ScheduleError(f"unknown policy {policy!r}")
+        self._free.difference_update(nodes)
+        return Partition(nodes=tuple(nodes), contiguous=contiguous)
+
+    def release(self, partition: Partition) -> None:
+        """Return a partition's nodes to the free pool."""
+        overlap = self._free.intersection(partition.nodes)
+        if overlap:
+            raise ScheduleError(f"nodes {sorted(overlap)} are already free")
+        self._free.update(partition.nodes)
+
+    def _find_rectangle(self, count: int) -> tuple[Coord, ...] | None:
+        """First-fit search over all rectangle shapes with >= count nodes.
+
+        Prefers the shape with the fewest wasted nodes, then the most
+        square one (shorter internal routes).
+        """
+        shapes = []
+        for h in range(1, self.spec.rows + 1):
+            w = -(-count // h)  # ceil
+            if w <= self.spec.cols:
+                shapes.append((h, w, h * w - count, abs(h - w)))
+        shapes.sort(key=lambda s: (s[2], s[3]))
+        for h, w, _waste, _sq in shapes:
+            for r0 in range(self.spec.rows - h + 1):
+                for c0 in range(self.spec.cols - w + 1):
+                    rect = [
+                        (r, c)
+                        for r in range(r0, r0 + h)
+                        for c in range(c0, c0 + w)
+                    ]
+                    if all(node in self._free for node in rect):
+                        # The whole rectangle is granted (internal
+                        # fragmentation is the price of contiguity).
+                        return tuple(rect)
+        return None

@@ -1,0 +1,180 @@
+"""The Paragon's back end as a first-class system: partitions + mesh.
+
+`SunParagonPlatform.backend_compute` models the space-shared ideal
+(elapsed = work / nodes). This module supplies the detailed back end
+for studies of the ``T_p`` effects the paper points at: node
+allocation on the physical mesh, intra-partition communication that
+can cross other partitions' traffic, and (optionally) gang-scheduled
+time-sharing of the nodes.
+
+A back-end task here is a sequence of BSP-style supersteps: every node
+computes, then exchanges with its ring neighbour inside the partition.
+That is the communication structure of the paper's own kernels (SOR's
+halo exchange, GE's pivot broadcast) reduced to its contention-relevant
+essence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..errors import ScheduleError, WorkloadError
+from ..ext.gang import GangScheduler
+from ..sim.engine import Event, Simulator
+from .mesh import MeshNetwork, MeshSpec, Partition, PartitionAllocator
+
+__all__ = ["ParagonBackend", "BackendTaskResult"]
+
+
+@dataclass(frozen=True)
+class BackendTaskResult:
+    """Measured outcome of one back-end task run."""
+
+    elapsed: float
+    compute_time: float
+    comm_time: float
+    partition: Partition
+
+    @property
+    def comm_fraction(self) -> float:
+        busy = self.compute_time + self.comm_time
+        return self.comm_time / busy if busy else 0.0
+
+
+class ParagonBackend:
+    """Mesh + allocator + (optional) gang scheduling for one machine.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    mesh_spec:
+        Geometry and link timing of the interconnect.
+    node_flop_time:
+        Seconds per flop on one node (compute phases are expressed in
+        flops per node per superstep).
+    gang_quantum, gang_switch_cost:
+        When ``gang_quantum`` is positive, every node is time-shared
+        between resident gangs at that quantum; zero (default) keeps
+        nodes dedicated to their partition (pure space sharing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mesh_spec: MeshSpec = MeshSpec(),
+        node_flop_time: float = 8.0e-8,
+        gang_quantum: float = 0.0,
+        gang_switch_cost: float = 2e-3,
+        name: str = "paragon-backend",
+    ) -> None:
+        if node_flop_time <= 0:
+            raise WorkloadError(f"node_flop_time must be > 0, got {node_flop_time!r}")
+        self.sim = sim
+        self.name = name
+        self.mesh = MeshNetwork(sim, mesh_spec, name=f"{name}-mesh")
+        self.allocator = PartitionAllocator(mesh_spec)
+        self.node_flop_time = node_flop_time
+        self._gang: GangScheduler | None = None
+        if gang_quantum > 0:
+            self._gang = GangScheduler(
+                sim,
+                nodes=mesh_spec.node_count,
+                quantum=gang_quantum,
+                switch_cost=gang_switch_cost,
+                name=f"{name}-gang",
+            )
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, nodes: int, policy: str = "contiguous") -> Partition:
+        """Grant a partition (see :class:`PartitionAllocator`)."""
+        return self.allocator.allocate(nodes, policy)
+
+    def release(self, partition: Partition) -> None:
+        self.allocator.release(partition)
+
+    # -- execution --------------------------------------------------------------
+
+    def run_task(
+        self,
+        partition: Partition,
+        supersteps: int,
+        flops_per_node: float,
+        exchange_words: float,
+        gang: str = "task",
+    ) -> Generator[Event, Any, BackendTaskResult]:
+        """Run a BSP task on *partition*; returns its measurements.
+
+        Each superstep: all nodes compute ``flops_per_node`` (in
+        parallel; under gang scheduling the whole partition's work goes
+        through the gang-shared node CPUs), then every node sends
+        ``exchange_words`` to its ring neighbour over the mesh
+        concurrently; the superstep ends when the slowest exchange
+        lands (BSP barrier).
+        """
+        if supersteps < 1:
+            raise WorkloadError(f"need >= 1 superstep, got {supersteps!r}")
+        if flops_per_node < 0 or exchange_words < 0:
+            raise WorkloadError("flops_per_node and exchange_words must be >= 0")
+        sim = self.sim
+        start = sim.now
+        compute_time = 0.0
+        comm_time = 0.0
+        nodes = partition.nodes
+        for _ in range(supersteps):
+            t0 = sim.now
+            work = flops_per_node * self.node_flop_time
+            if work > 0:
+                if self._gang is not None:
+                    # Whole-partition work through the gang scheduler:
+                    # node-seconds = per-node work x nodes; the gang
+                    # machinery models the time-sharing.
+                    yield from self._gang.run(gang, work * len(nodes))
+                else:
+                    yield sim.timeout(work)
+            compute_time += sim.now - t0
+
+            t0 = sim.now
+            if exchange_words > 0 and len(nodes) > 1:
+                sends = [
+                    sim.process(
+                        self.mesh.transfer(
+                            nodes[i], nodes[(i + 1) % len(nodes)], exchange_words
+                        ),
+                        name=f"{gang}-xchg-{i}",
+                    )
+                    for i in range(len(nodes))
+                ]
+                yield sim.all_of(sends)
+            comm_time += sim.now - t0
+        return BackendTaskResult(
+            elapsed=sim.now - start,
+            compute_time=compute_time,
+            comm_time=comm_time,
+            partition=partition,
+        )
+
+    def dedicated_estimate(
+        self,
+        nodes: int,
+        supersteps: int,
+        flops_per_node: float,
+        exchange_words: float,
+    ) -> float:
+        """Analytical dedicated ``T_p``: compute + uncontended ring hops.
+
+        A contiguous partition's ring exchange pipelines perfectly, so
+        the per-superstep communication is one packetised neighbour
+        transfer (all happen concurrently on disjoint links except the
+        wrap-around, which the estimate ignores — it is the model, not
+        the truth).
+        """
+        if nodes < 1:
+            raise ScheduleError(f"nodes must be >= 1, got {nodes!r}")
+        spec = self.mesh.spec
+        packets = max(1, int(-(-exchange_words // spec.packet_words)))
+        per_packet = spec.hop_latency + min(exchange_words, spec.packet_words) * spec.per_word
+        exchange = packets * per_packet if exchange_words > 0 and nodes > 1 else 0.0
+        return supersteps * (flops_per_node * self.node_flop_time + exchange)

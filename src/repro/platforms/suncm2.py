@@ -1,0 +1,219 @@
+"""The Sun/CM2 coupled platform simulator (§3.1).
+
+Architecture facts the simulator encodes (all from the paper):
+
+* The CM2 is an SIMD machine whose processors execute instructions
+  received from the Sun; it *never runs a program by itself*. There is
+  a single sequencer, so only one application can use the CM2 at a time
+  (:attr:`SunCM2Platform.sequencer`).
+* Data transfers are element-by-element copies performed by the Sun —
+  they are **CPU-resident**, so CPU-bound contenders slow communication
+  exactly as they slow computation (the ``p + 1`` factor).
+* While the CM2 executes parallel instructions, the Sun may pre-execute
+  serial code, buffered by the sequencer's bounded *lookahead* queue;
+  the CM2 idles when the (possibly contended) Sun cannot feed it fast
+  enough, and the Sun blocks when it needs a reduction result — the
+  interleaving of Figure 2.
+
+The executor optionally records a :class:`~repro.sim.monitors.Timeline`
+with ``sun``/``cm2`` actors, from which the Figure 2 reproduction is
+rendered and the §3.1.2 quantities measured:
+
+* ``dcomp_cm2``  — CM2 busy time (decode + execute),
+* ``didle_cm2``  — elapsed − dcomp (CM2 waiting on the Sun),
+* ``dserial_cm2`` — Sun CPU service consumed by the task's serial
+  stream (serial work + instruction issue + result pickup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..errors import WorkloadError
+from ..sim.engine import Event, Simulator
+from ..sim.monitors import Timeline
+from ..sim.resources import FifoResource, Store
+from ..sim.rng import RandomStreams
+from ..traces.instructions import Parallel, Reduction, Serial, Trace, Transfer
+from .base import CoupledPlatform
+from .specs import DEFAULT_SUNCM2, SunCM2Spec
+
+__all__ = ["SunCM2Platform", "TraceRunResult"]
+
+#: Sentinel closing the sequencer's instruction queue.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Measurements from one trace execution on the Sun/CM2.
+
+    Attributes
+    ----------
+    elapsed:
+        Wall-clock (virtual) duration of the run.
+    cm2_busy:
+        Total CM2 busy time — ``dcomp_cm2`` when measured dedicated.
+    cm2_idle:
+        ``elapsed − cm2_busy`` — ``didle_cm2`` when measured dedicated.
+    sun_serial:
+        Front-end CPU service consumed by serial work + issue + result
+        pickup — ``dserial_cm2`` when measured dedicated.
+    sun_transfer:
+        Front-end CPU service consumed by data transfers.
+    """
+
+    elapsed: float
+    cm2_busy: float
+    cm2_idle: float
+    sun_serial: float
+    sun_transfer: float
+
+
+class SunCM2Platform(CoupledPlatform):
+    """Simulated Sun front-end + CM2 SIMD back-end."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: SunCM2Spec = DEFAULT_SUNCM2,
+        streams: RandomStreams | None = None,
+        name: str = "suncm2",
+    ) -> None:
+        super().__init__(sim, spec.cpu, streams, name=name)
+        self.spec = spec
+        #: Single sequencer: one application on the CM2 at a time.
+        self.sequencer = FifoResource(sim, capacity=1, name=f"{name}-sequencer")
+
+    # -- communication -----------------------------------------------------
+
+    def transfer(
+        self, size_words: float, count: int = 1, tag: str = "xfer"
+    ) -> Generator[Event, Any, float]:
+        """Move ``count`` messages of ``size_words`` to/from the CM2.
+
+        Element-by-element host-driven copy: the whole cost is Sun CPU
+        work, so the returned wall-clock time stretches with CPU
+        contention. Direction does not matter on this platform (the
+        model fits symmetric α/β; the underlying copy loop is the same).
+        """
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count!r}")
+        work = count * self.spec.message_cpu_time(size_words)
+        response = yield self.frontend_cpu.execute(work, tag=tag)
+        return response
+
+    # -- trace execution ------------------------------------------------------
+
+    def run_trace(
+        self,
+        trace: Trace,
+        tag: str = "task",
+        timeline: Timeline | None = None,
+        acquire_sequencer: bool = True,
+    ) -> Generator[Event, Any, TraceRunResult]:
+        """Execute *trace* and return its :class:`TraceRunResult`.
+
+        This is a generator to be driven as a simulation process:
+        ``result = yield from platform.run_trace(trace)``.
+        """
+        sim = self.sim
+        seq_req = None
+        if acquire_sequencer:
+            seq_req = self.sequencer.request()
+            yield seq_req
+        try:
+            start = sim.now
+            serial_tag = f"{tag}/serial"
+            xfer_tag = f"{tag}/xfer"
+            serial_before = self.frontend_cpu.service_by_tag.get(serial_tag, 0.0)
+            xfer_before = self.frontend_cpu.service_by_tag.get(xfer_tag, 0.0)
+
+            queue: Store = Store(sim, capacity=self.spec.lookahead, name=f"{tag}-iq")
+            backend_busy = [0.0]
+            backend = sim.process(
+                self._backend(queue, backend_busy, timeline), name=f"{tag}-cm2"
+            )
+
+            for ins in trace:
+                if isinstance(ins, Serial):
+                    t0 = sim.now
+                    yield self.frontend_cpu.execute(ins.work, tag=serial_tag)
+                    self._mark(timeline, t0, "sun", "serial")
+                elif isinstance(ins, Parallel):
+                    t0 = sim.now
+                    yield self.frontend_cpu.execute(self.spec.issue_cost, tag=serial_tag)
+                    self._mark(timeline, t0, "sun", "issue")
+                    t0 = sim.now
+                    yield queue.put((ins.work, None))
+                    self._mark(timeline, t0, "sun", "stall", "queue full")
+                elif isinstance(ins, Reduction):
+                    t0 = sim.now
+                    yield self.frontend_cpu.execute(self.spec.issue_cost, tag=serial_tag)
+                    self._mark(timeline, t0, "sun", "issue")
+                    done = sim.event(name=f"{tag}-reduction")
+                    yield queue.put((ins.work, done))
+                    t0 = sim.now
+                    yield done
+                    self._mark(timeline, t0, "sun", "wait", "reduction result")
+                    t0 = sim.now
+                    yield self.frontend_cpu.execute(self.spec.result_return, tag=serial_tag)
+                    self._mark(timeline, t0, "sun", "serial", "pick up result")
+                elif isinstance(ins, Transfer):
+                    t0 = sim.now
+                    yield from self.transfer(ins.size, ins.count, tag=xfer_tag)
+                    self._mark(timeline, t0, "sun", "transfer")
+                else:  # pragma: no cover - Trace() already validates
+                    raise WorkloadError(f"unknown instruction {ins!r}")
+
+            yield queue.put(_STOP)
+            yield backend
+            elapsed = sim.now - start
+            sun_serial = self.frontend_cpu.service_by_tag.get(serial_tag, 0.0) - serial_before
+            sun_transfer = self.frontend_cpu.service_by_tag.get(xfer_tag, 0.0) - xfer_before
+            return TraceRunResult(
+                elapsed=elapsed,
+                cm2_busy=backend_busy[0],
+                cm2_idle=max(0.0, elapsed - backend_busy[0]),
+                sun_serial=sun_serial,
+                sun_transfer=sun_transfer,
+            )
+        finally:
+            if seq_req is not None:
+                self.sequencer.release(seq_req)
+
+    def _backend(
+        self, queue: Store, busy_accumulator: list[float], timeline: Timeline | None
+    ) -> Generator[Event, Any, None]:
+        """The CM2 sequencer loop: pop, decode, execute, signal."""
+        sim = self.sim
+        while True:
+            t0 = sim.now
+            item = yield queue.get()
+            if item is _STOP:
+                self._mark(timeline, t0, "cm2", "idle", "stream ended")
+                return
+            self._mark(timeline, t0, "cm2", "idle", "waiting for instruction")
+            work, done_event = item
+            t0 = sim.now
+            if self.spec.decode_overhead > 0:
+                yield sim.timeout(self.spec.decode_overhead)
+            if work > 0:
+                yield sim.timeout(work)
+            busy_accumulator[0] += sim.now - t0
+            self._mark(timeline, t0, "cm2", "execute")
+            if done_event is not None:
+                done_event.succeed(sim.now)
+
+    def _mark(
+        self, timeline: Timeline | None, start: float, actor: str, state: str, detail: str = ""
+    ) -> None:
+        """Record the interval [start, now] on *timeline* (if any).
+
+        Callers invoke this immediately after an activity completes, so
+        the interval's end is the current simulation time. Zero-length
+        intervals are dropped by the Timeline itself.
+        """
+        if timeline is not None:
+            timeline.add(start, self.sim.now, actor, state, detail)

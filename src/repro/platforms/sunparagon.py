@@ -1,0 +1,190 @@
+"""The Sun/Paragon coupled platform simulator (§3.2).
+
+The Sun and the Paragon are independent machines joined by an Ethernet
+that only they sit on — the *link* is dedicated to the machine pair but
+**shared by the applications** running on them, which is where the
+communication contention of §3.2.1 comes from. On top of that, every
+message costs the Sun CPU a data-format conversion, so CPU-bound
+contenders delay communication too.
+
+Two communication modes, as in the paper:
+
+* **1-HOP** — the Sun talks TCP/IP directly to a compute node;
+* **2-HOPS** — the Sun talks TCP/IP to a *service node*, which forwards
+  over NX to the compute node. The extra leg serialises at the service
+  node but is fast, so the two modes "present very similar behaviour"
+  (Figure 4).
+
+Computation on the Paragon itself is space-shared: an application gets
+a dedicated partition of nodes, so back-end compute time is not
+contended in this model (inter-partition mesh traffic and gang
+scheduling, which the paper cites as includable in ``T_p``, are
+provided by :mod:`repro.ext`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..errors import SimulationError, WorkloadError
+from ..sim.engine import Event, Simulator
+from ..sim.link import Link
+from ..sim.resources import FifoResource
+from ..sim.rng import RandomStreams
+from .base import CoupledPlatform
+from .specs import DEFAULT_SUNPARAGON, SunParagonSpec
+
+__all__ = ["SunParagonPlatform", "MessageTiming"]
+
+_MODES = ("1hop", "2hops")
+
+
+@dataclass(frozen=True)
+class MessageTiming:
+    """Breakdown of one message's journey (for diagnostics/tests)."""
+
+    conversion: float
+    wire_queue: float
+    wire: float
+    forward: float
+    total: float
+
+
+class SunParagonPlatform(CoupledPlatform):
+    """Simulated Sun front-end + Intel Paragon back-end."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: SunParagonSpec = DEFAULT_SUNPARAGON,
+        streams: RandomStreams | None = None,
+        name: str = "sunparagon",
+    ) -> None:
+        super().__init__(sim, spec.cpu, streams, name=name)
+        self.spec = spec
+        #: The shared Ethernet: a half-duplex FIFO medium.
+        self.link = Link(sim, wire_time=spec.wire.occupancy, name=f"{name}-ether")
+        #: The service node used by 2-HOPS transfers.
+        self.service_node = FifoResource(
+            sim, capacity=spec.service_node_capacity, name=f"{name}-svc"
+        )
+        #: Per-tag log of message sizes, the resource-manager view a
+        #: :class:`~repro.core.measurement.UsageMonitor` consumes.
+        self.message_log: dict[str, list[float]] = {}
+
+    # -- message primitives -------------------------------------------------
+
+    def send(
+        self, size_words: float, tag: str = "msg", mode: str = "1hop"
+    ) -> Generator[Event, Any, MessageTiming]:
+        """One message Sun → Paragon.
+
+        Sequence: data-format conversion on the (contended) Sun CPU,
+        then the wire FIFO, then — in 2-HOPS mode — the service-node NX
+        forward, then per-message handling at the destination node.
+        """
+        self._check_mode(mode)
+        sim = self.sim
+        t_start = sim.now
+        self.message_log.setdefault(tag, []).append(float(size_words))
+        conversion = wire = queued = forward = 0.0
+        for frag in self.spec.wire.fragment_sizes(size_words):
+            t0 = sim.now
+            yield self.frontend_cpu.execute(self.spec.conversion_cpu_time(frag), tag=tag)
+            conversion += sim.now - t0
+            t0 = sim.now
+            q = yield from self.link.transfer(frag, "out")
+            queued += q
+            wire += sim.now - t0 - q
+            if mode == "2hops":
+                t0 = sim.now
+                yield from self._nx_forward(frag)
+                forward += sim.now - t0
+            # Each fragment is its own packet: the destination node
+            # handles it individually (which is also why contention
+            # effects saturate with message size — a big message is
+            # indistinguishable from back-to-back buffer-sized ones).
+            if self.spec.node_handling > 0:
+                yield sim.timeout(self.spec.node_handling)
+        return MessageTiming(
+            conversion=conversion,
+            wire_queue=queued,
+            wire=wire,
+            forward=forward,
+            total=sim.now - t_start,
+        )
+
+    def recv(
+        self, size_words: float, tag: str = "msg", mode: str = "1hop"
+    ) -> Generator[Event, Any, MessageTiming]:
+        """One message Paragon → Sun.
+
+        Mirror image of :meth:`send`: node handling, (2-HOPS) NX leg,
+        the wire, then format conversion on the contended Sun CPU.
+        """
+        self._check_mode(mode)
+        sim = self.sim
+        t_start = sim.now
+        self.message_log.setdefault(tag, []).append(float(size_words))
+        conversion = wire = queued = forward = 0.0
+        for frag in self.spec.wire.fragment_sizes(size_words):
+            if self.spec.node_handling > 0:
+                yield sim.timeout(self.spec.node_handling)
+            if mode == "2hops":
+                t0 = sim.now
+                yield from self._nx_forward(frag)
+                forward += sim.now - t0
+            t0 = sim.now
+            q = yield from self.link.transfer(frag, "in")
+            queued += q
+            wire += sim.now - t0 - q
+            t0 = sim.now
+            yield self.frontend_cpu.execute(self.spec.conversion_cpu_time(frag), tag=tag)
+            conversion += sim.now - t0
+        return MessageTiming(
+            conversion=conversion,
+            wire_queue=queued,
+            wire=wire,
+            forward=forward,
+            total=sim.now - t_start,
+        )
+
+    def message(
+        self, size_words: float, direction: str, tag: str = "msg", mode: str = "1hop"
+    ) -> Generator[Event, Any, MessageTiming]:
+        """Dispatch on direction: ``"out"`` → :meth:`send`, ``"in"`` → :meth:`recv`."""
+        if direction == "out":
+            result = yield from self.send(size_words, tag=tag, mode=mode)
+        elif direction == "in":
+            result = yield from self.recv(size_words, tag=tag, mode=mode)
+        else:
+            raise WorkloadError(f"direction must be 'out' or 'in', got {direction!r}")
+        return result
+
+    # -- back-end computation ---------------------------------------------------
+
+    def backend_compute(self, work: float, nodes: int = 16) -> Generator[Event, Any, float]:
+        """Run *work* single-node-seconds on a dedicated partition.
+
+        Space-sharing means no contention: elapsed = work / nodes.
+        """
+        if nodes < 1:
+            raise WorkloadError(f"partition needs >= 1 node, got {nodes!r}")
+        if work < 0:
+            raise WorkloadError(f"work must be >= 0, got {work!r}")
+        duration = work / nodes
+        t0 = self.sim.now
+        if duration > 0:
+            yield self.sim.timeout(duration)
+        return self.sim.now - t0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _nx_forward(self, size_words: float) -> Generator[Event, Any, None]:
+        yield from self.service_node.acquire(self.spec.nx_time(size_words))
+
+    @staticmethod
+    def _check_mode(mode: str) -> None:
+        if mode not in _MODES:
+            raise SimulationError(f"mode must be one of {_MODES}, got {mode!r}")

@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate.
+
+This subpackage is the reproduction's stand-in for the physical 1996
+hardware: a generator-coroutine DES kernel (:mod:`.engine`), waitable
+resources (:mod:`.resources`), a time-shared CPU (:mod:`.cpu`), a
+contended network link (:mod:`.link`), deterministic random streams
+(:mod:`.rng`) and measurement instruments (:mod:`.monitors`).
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from .cpu import TimeSharedCPU
+from .link import Link
+from .monitors import Interval, Tally, Timeline, TimeWeighted
+from .resources import FifoResource, Request, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FifoResource",
+    "Interrupt",
+    "Interval",
+    "Link",
+    "Process",
+    "PRIORITY_LATE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "RandomStreams",
+    "Request",
+    "Simulator",
+    "Store",
+    "Tally",
+    "Timeout",
+    "Timeline",
+    "TimeSharedCPU",
+    "TimeWeighted",
+]

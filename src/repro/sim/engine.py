@@ -1,0 +1,549 @@
+"""A self-contained discrete-event simulation (DES) kernel.
+
+The kernel implements process-based simulation in the style popularised
+by SimPy, but is written from scratch so the reproduction carries no
+external simulation dependency. Processes are plain Python generators
+that ``yield`` :class:`Event` objects; the simulator advances virtual
+time by popping events off a binary heap.
+
+Design notes
+------------
+* **Determinism.** Events scheduled for the same time are ordered by
+  ``(time, priority, sequence)`` where ``sequence`` is a monotonically
+  increasing counter. Two runs with the same seed therefore produce
+  bit-identical schedules — essential for reproducible experiments.
+* **Failure propagation.** An event may *fail* with an exception; the
+  exception is thrown into every waiting process. A process that dies
+  with an unhandled exception marks its process-event as failed, so the
+  error surfaces at :meth:`Simulator.run` rather than being swallowed.
+* **Interrupts.** :meth:`Process.interrupt` throws an
+  :class:`Interrupt` into a process at the current simulation time,
+  which is how preemptive disciplines (and the task-migration
+  extension) are built.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(3.0)
+...     return "done at %g" % sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> proc.value
+'done at 3'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]
+
+#: Scheduling priority for events that must run before normal events at
+#: the same timestamp (e.g. resource releases).
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+#: Priority for events that should run after normal events at the same
+#: timestamp (e.g. monitoring probes).
+PRIORITY_LATE = 2
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event goes through three stages:
+
+    1. *untriggered* — created, not yet scheduled;
+    2. *triggered* — given a value (or an exception) and placed on the
+       simulator's queue;
+    3. *processed* — popped from the queue; its callbacks have run.
+
+    Processes wait for events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_name")
+
+    def __init__(self, sim: "Simulator", name: str | None = None) -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._processed = False
+        self._name = name
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with *value* at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed with *exception*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:
+        label = self._name or type(self).__name__
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{label} {state} at t={self.sim.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.
+
+    Created via :meth:`Simulator.timeout`; triggers itself immediately at
+    construction, so a Timeout is *always* already scheduled.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
+        super().__init__(sim, name=f"Timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, priority, delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the object passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """A running generator, itself usable as an event.
+
+    The process-event triggers when the generator terminates: with the
+    generator's return value on normal exit, or failed with the raised
+    exception otherwise.
+    """
+
+    __slots__ = ("_generator", "_target", "_interrupts", "daemon")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+        daemon: bool = False,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
+        self._generator = generator
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        #: Daemon processes (resource schedulers, background services)
+        #: may legitimately outlive all useful work; the deadlock check
+        #: at :meth:`Simulator.run` ignores them.
+        self.daemon = daemon
+        # Bootstrap: resume the generator once at the current time.
+        init = Event(sim, name="ProcessInit")
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process is an error; interrupting a
+        process that is itself the caller is not allowed (a process
+        cannot interrupt itself synchronously).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self!r}")
+        if self.sim.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        self._interrupts.append(Interrupt(cause))
+        # Detach from the current target; the interrupt is delivered via
+        # an urgent zero-delay event so ordering stays deterministic.
+        wakeup = Event(self.sim, name="InterruptDelivery")
+        wakeup._ok = True
+        wakeup._value = None
+        wakeup.callbacks.append(self._deliver_interrupt)
+        self.sim._schedule(wakeup, PRIORITY_URGENT)
+
+    # -- internal ----------------------------------------------------------
+
+    def _deliver_interrupt(self, _event: Event) -> None:
+        if not self.is_alive or not self._interrupts:
+            return
+        # Unhook from the event we were waiting on (it may still fire, but
+        # must no longer resume us for that wait).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        exc = self._interrupts.pop(0)
+        self._step(exc, is_exception=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, is_exception=False)
+        else:
+            self._step(event._value, is_exception=True)
+
+    def _step(self, value: Any, *, is_exception: bool) -> None:
+        sim = self.sim
+        prev = sim.active_process
+        sim.active_process = self
+        try:
+            if is_exception:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            sim.active_process = prev
+            self._ok = True
+            self._value = stop.value
+            sim._schedule(self, PRIORITY_NORMAL)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process as failed.
+            sim.active_process = prev
+            self._ok = False
+            self._value = exc
+            sim._schedule(self, PRIORITY_NORMAL)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate: fail the event
+            sim.active_process = prev
+            self._ok = False
+            self._value = exc
+            sim._schedule(self, PRIORITY_NORMAL)
+            return
+        finally:
+            if sim.active_process is self:
+                sim.active_process = prev
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self._name!r} yielded {target!r}; processes must yield Event objects"
+            )
+            self._step(err, is_exception=True)
+            return
+        if target.sim is not sim:
+            err = SimulationError("yielded an event belonging to a different Simulator")
+            self._step(err, is_exception=True)
+            return
+        if target._processed:
+            # Already-processed events resume the process immediately (at
+            # the current time) with the stored value.
+            immediate = Event(sim, name="ImmediateResume")
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate.callbacks.append(self._resume)
+            sim._schedule(immediate, PRIORITY_URGENT)
+            self._target = immediate
+            return
+        self._target = target
+        assert target.callbacks is not None
+        target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str) -> None:
+        super().__init__(sim, name=name)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("all events in a condition must share a Simulator")
+        self._pending = sum(1 for ev in self.events if not ev._processed)
+        if self._pending == 0:
+            self._finalize()
+        else:
+            for ev in self.events:
+                if not ev._processed:
+                    assert ev.callbacks is not None
+                    ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        self._check()
+
+    def _check(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _finalize(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        # Filter on *processed*, not merely triggered: a Timeout is
+        # triggered from birth, but only counts once it has fired.
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+
+class AllOf(Condition):
+    """Triggers when *all* child events have been processed successfully.
+
+    The value is a dict mapping each child event to its value.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, name="AllOf")
+
+    def _check(self) -> None:
+        if self._pending == 0 and not self.triggered:
+            self.succeed(self._results())
+
+    def _finalize(self) -> None:
+        self.succeed(self._results())
+
+
+class AnyOf(Condition):
+    """Triggers when *any* child event has been processed successfully."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, name="AnyOf")
+
+    def _check(self) -> None:
+        if not self.triggered and self._pending < len(self.events):
+            self.succeed(self._results())
+
+    def _finalize(self) -> None:
+        self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: owns virtual time and the pending-event heap."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self.active_process: Process | None = None
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._processes: list[Process] = []
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self, name: str | None = None) -> Event:
+        """Create an untriggered event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value, priority)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+        daemon: bool = False,
+    ) -> Process:
+        """Start *generator* as a simulation process.
+
+        Pass ``daemon=True`` for background services (schedulers,
+        monitors) that idle forever by design — they are excluded from
+        deadlock detection.
+        """
+        proc = Process(self, generator, name=name, daemon=daemon)
+        self._processes.append(proc)
+        return proc
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all *events* succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering when any of *events* succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing ``now`` to its time)."""
+        if not self._heap:
+            raise SimulationError("step() called on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        # An event that failed and had nobody waiting for it would
+        # silently swallow its exception; surface it instead — unless it
+        # is a Process (a detached process may legitimately fail only if
+        # someone inspects it; we still surface it to avoid silent loss).
+        if event._ok is False and not callbacks and not isinstance(event, Process):
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or simulated time reaches *until*.
+
+        Raises
+        ------
+        DeadlockError
+            If the queue empties while some started process is still
+            alive (waiting on an event that can never fire).
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+        zombies = [p for p in self._processes if p.is_alive and not p.daemon]
+        if zombies and until is None:
+            names = ", ".join(repr(p._name) for p in zombies[:5])
+            raise DeadlockError(
+                f"event queue empty but {len(zombies)} process(es) still waiting: {names}"
+            )
+
+    def run_until(self, event: Event, limit: float | None = None) -> Any:
+        """Run until *event* has been processed; return its value.
+
+        Unlike :meth:`run`, this tolerates non-terminating background
+        processes (contention generators): the loop simply stops once
+        the event of interest fires. Re-raises the event's exception if
+        it failed.
+
+        Parameters
+        ----------
+        event:
+            The event to wait for.
+        limit:
+            Optional wall-of-virtual-time safety limit; exceeded ⇒
+            :class:`~repro.errors.DeadlockError`.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise DeadlockError(f"event queue empty before {event!r} fired")
+            if limit is not None and self.peek() > limit:
+                raise DeadlockError(f"{event!r} did not fire before t={limit!r}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def run_process(self, generator: Generator[Event, Any, Any], until: Optional[float] = None) -> Any:
+        """Convenience: start *generator*, run, and return its value.
+
+        Re-raises the process's exception if it failed.
+        """
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise DeadlockError(f"process {proc!r} did not finish by until={until!r}")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,123 @@
+"""Network link model with FIFO contention.
+
+The Sun/Paragon platform's Ethernet is modeled as a half-duplex shared
+medium: messages from all applications, in both directions, are
+serialised through a single FIFO channel. Each message occupies the
+wire for a duration given by a ground-truth *wire-time curve* (a
+function of the message size in words), which the platform specs make
+piecewise linear — the physical origin of the piecewise cost model the
+paper fits in §3.2.1.
+
+Contention for the link is therefore *queueing* contention: while one
+application's message is on the wire, everybody else's messages wait.
+The analytical model approximates this queueing with the multiplicative
+``delay_comm`` factors; the gap between FIFO queueing and that
+approximation is a deliberate source of model error, as on the real
+platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..units import check_nonnegative
+from .engine import Event, Simulator
+from .resources import FifoResource
+
+__all__ = ["Link", "WireTime"]
+
+#: Type of a ground-truth wire-occupancy function: seconds as a function
+#: of message size in words.
+WireTime = Callable[[float], float]
+
+
+class Link:
+    """A half-duplex (or optionally full-duplex) FIFO message channel.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    wire_time:
+        Ground-truth occupancy (seconds) for a message of a given size
+        in words. Must be nonnegative for all sizes used.
+    full_duplex:
+        When True, each direction has its own independent channel.
+        The 1996 Ethernet between the Sun and the Paragon was a shared
+        medium, so experiments use the default half-duplex mode.
+    name:
+        Label for monitoring output.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        wire_time: WireTime,
+        full_duplex: bool = False,
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.wire_time = wire_time
+        self.full_duplex = full_duplex
+        self.name = name
+        if full_duplex:
+            self._channels = {
+                "out": FifoResource(sim, 1, name=f"{name}-out"),
+                "in": FifoResource(sim, 1, name=f"{name}-in"),
+            }
+        else:
+            shared = FifoResource(sim, 1, name=name)
+            self._channels = {"out": shared, "in": shared}
+        self.messages_sent = 0
+        self.words_sent = 0.0
+        self.wire_busy = 0.0
+
+    def _channel(self, direction: str) -> FifoResource:
+        try:
+            return self._channels[direction]
+        except KeyError:
+            raise ValueError(f"direction must be 'out' or 'in', got {direction!r}") from None
+
+    def occupancy(self, size_words: float) -> float:
+        """Ground-truth wire time for one message of *size_words*."""
+        size_words = check_nonnegative(size_words, "size_words")
+        t = float(self.wire_time(size_words))
+        if t < 0:
+            raise ValueError(f"wire_time returned negative occupancy {t!r} for size {size_words!r}")
+        return t
+
+    def transfer(self, size_words: float, direction: str = "out") -> Generator[Event, Any, float]:
+        """Generator: occupy the wire FIFO for one message.
+
+        Use as ``wait = yield from link.transfer(200, "out")`` inside a
+        process; returns the queueing delay experienced (seconds spent
+        waiting for the wire, excluding the wire occupancy itself).
+        """
+        channel = self._channel(direction)
+        hold = self.occupancy(size_words)
+        t0 = self.sim.now
+        req = channel.request()
+        yield req
+        queued = self.sim.now - t0
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            channel.release(req)
+        self.messages_sent += 1
+        self.words_sent += size_words
+        self.wire_busy += hold
+        return queued
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Fraction of time the wire carried a message."""
+        t = horizon if horizon is not None else self.sim.now
+        if t <= 0:
+            return 0.0
+        if self.full_duplex:
+            return self.wire_busy / (2 * t)
+        return self.wire_busy / t
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged number of messages waiting for the wire."""
+        values = [ch.mean_queue_length() for ch in set(self._channels.values())]
+        return sum(values)

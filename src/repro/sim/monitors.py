@@ -1,0 +1,194 @@
+"""Measurement instruments for simulation runs.
+
+These are the reproduction's "stopwatches and strip charts": simple
+accumulators that applications and platforms feed while running, from
+which experiments extract the numbers the paper reports (elapsed times,
+busy fractions, serial/parallel/idle breakdowns for Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Tally", "TimeWeighted", "Timeline", "Interval"]
+
+
+class Tally:
+    """Streaming count/mean/variance of observations (Welford's method)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN with fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    def __repr__(self) -> str:
+        return f"Tally(n={self.count}, mean={self.mean:.6g})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    ``record(t, v)`` declares that the signal takes value *v* from time
+    *t* onward; the time average over ``[t0, horizon]`` is then
+    available from :meth:`average`.
+    """
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._last_t = float(start_time)
+        self._start = float(start_time)
+        self._value = float(initial)
+        self._area = 0.0
+
+    @property
+    def current(self) -> float:
+        """The most recently recorded value."""
+        return self._value
+
+    def record(self, t: float, value: float) -> None:
+        """Set the signal to *value* at time *t* (t must not decrease)."""
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t!r} < {self._last_t!r}")
+        self._area += (t - self._last_t) * self._value
+        self._last_t = t
+        self._value = float(value)
+
+    def average(self, horizon: float) -> float:
+        """Time average over ``[start, horizon]``."""
+        if horizon < self._last_t:
+            raise ValueError("horizon precedes the last recorded change")
+        span = horizon - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + (horizon - self._last_t) * self._value
+        return area / span
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A labelled span of simulated time (one row of a Figure-2 chart)."""
+
+    start: float
+    end: float
+    actor: str
+    state: str
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """An ordered record of labelled intervals, per actor.
+
+    Platforms append intervals while executing instruction traces; the
+    Figure 2 reproduction renders them side by side, and
+    :meth:`time_in_state` computes the ``didle``/``dserial`` breakdowns
+    of §3.1.2.
+    """
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, start: float, end: float, actor: str, state: str, detail: str = "") -> None:
+        """Append one interval (must be well-formed: end >= start)."""
+        if end < start:
+            raise ValueError(f"interval ends before it starts: [{start!r}, {end!r}]")
+        if end > start:  # zero-length intervals carry no information
+            self.intervals.append(Interval(start, end, actor, state, detail))
+
+    def actors(self) -> list[str]:
+        """Distinct actor names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for iv in self.intervals:
+            seen.setdefault(iv.actor, None)
+        return list(seen)
+
+    def for_actor(self, actor: str) -> Iterator[Interval]:
+        """Iterate the intervals belonging to *actor*, in order."""
+        return (iv for iv in self.intervals if iv.actor == actor)
+
+    def time_in_state(self, actor: str, state: str) -> float:
+        """Total duration *actor* spent in *state*."""
+        return sum(iv.duration for iv in self.for_actor(actor) if iv.state == state)
+
+    @property
+    def span(self) -> float:
+        """Total time covered, from the earliest start to the latest end."""
+        if not self.intervals:
+            return 0.0
+        return max(iv.end for iv in self.intervals) - min(iv.start for iv in self.intervals)
+
+    def render_gantt(self, width: int = 64, glyphs: dict[str, str] | None = None) -> str:
+        """ASCII Gantt chart: one row per actor, one glyph per state.
+
+        Figure 2 of the paper, as text. States map to glyphs either via
+        *glyphs* or by first letter; gaps render as spaces; overlapping
+        intervals resolve to the later-recorded one.
+        """
+        if not self.intervals:
+            return "(empty timeline)"
+        if width < 8:
+            raise ValueError("width must be >= 8")
+        t0 = min(iv.start for iv in self.intervals)
+        t1 = max(iv.end for iv in self.intervals)
+        scale = (t1 - t0) / width
+        states = sorted({iv.state for iv in self.intervals})
+        mapping = dict(glyphs or {})
+        for state in states:
+            if state not in mapping:
+                candidate = state[0]
+                while candidate in mapping.values():
+                    candidate = chr(ord(candidate) + 1)
+                mapping[state] = candidate
+        label_width = max(len(a) for a in self.actors())
+        lines = []
+        for actor in self.actors():
+            row = [" "] * width
+            for iv in self.for_actor(actor):
+                lo = int((iv.start - t0) / scale) if scale else 0
+                hi = int(-(-(iv.end - t0) // scale)) if scale else width
+                for col in range(max(0, lo), min(width, max(hi, lo + 1))):
+                    row[col] = mapping[iv.state]
+            lines.append(f"{actor:>{label_width}} |{''.join(row)}|")
+        legend = "   ".join(f"{g} = {s}" for s, g in sorted(mapping.items(), key=lambda kv: kv[0]))
+        lines.append(f"{'':>{label_width}}  {legend}")
+        lines.append(f"{'':>{label_width}}  t = {t0:.4g} .. {t1:.4g} s")
+        return "\n".join(lines)

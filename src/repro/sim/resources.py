@@ -1,0 +1,201 @@
+"""Generic waitable resources for the DES kernel.
+
+Provides the classic counted FIFO resource (:class:`FifoResource`) used
+for links and service nodes, plus a small :class:`Store` used for
+bounded producer/consumer queues (the CM2 sequencer's instruction
+lookahead queue is a ``Store`` of parallel instructions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from ..errors import SimulationError
+from .engine import Event, Simulator, PRIORITY_URGENT
+
+__all__ = ["Request", "FifoResource", "Store"]
+
+
+class Request(Event):
+    """The event returned by :meth:`FifoResource.request`.
+
+    Succeeds when the resource grants a unit to the requester. Must be
+    passed back to :meth:`FifoResource.release` exactly once.
+    """
+
+    __slots__ = ("resource", "granted")
+
+    def __init__(self, resource: "FifoResource") -> None:
+        super().__init__(resource.sim, name=f"Request({resource.name})")
+        self.resource = resource
+        self.granted = False
+
+
+class FifoResource:
+    """A resource with ``capacity`` identical units and FIFO granting.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> link = FifoResource(sim, capacity=1, name="link")
+    >>> def user(sim, link):
+    ...     req = link.request()
+    ...     yield req
+    ...     yield sim.timeout(1.0)
+    ...     link.release(req)
+    >>> _ = sim.process(user(sim, link)); _ = sim.process(user(sim, link))
+    >>> sim.run(); sim.now
+    2.0
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        # Monitoring accumulators.
+        self._busy_area = 0.0  # integral of in_use over time
+        self._queue_area = 0.0  # integral of queue length over time
+        self._last_change = sim.now
+        self.total_grants = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Number of units currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event fires when granted."""
+        self._account()
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the unit held by *request* to the pool."""
+        if request.resource is not self:
+            raise SimulationError("release() of a request from a different resource")
+        self._account()
+        if request.granted:
+            self._in_use -= 1
+            request.granted = False
+        else:
+            # Cancel a still-queued request.
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError("request was never granted nor queued") from None
+        while self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def acquire(self, hold: float) -> Generator[Event, Any, None]:
+        """Generator helper: request, hold for *hold* seconds, release.
+
+        Usage inside a process: ``yield from resource.acquire(1.5)``.
+        """
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.release(req)
+
+    # -- statistics -----------------------------------------------------------
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Time-averaged fraction of capacity in use since construction."""
+        self._account()
+        horizon = elapsed if elapsed is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return self._busy_area / (horizon * self.capacity)
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged number of waiting requests."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._queue_area / self.sim.now
+
+    # -- internal --------------------------------------------------------------
+
+    def _grant(self, req: Request) -> None:
+        self._in_use += 1
+        req.granted = True
+        self.total_grants += 1
+        req.succeed(self, priority=PRIORITY_URGENT)
+
+    def _account(self) -> None:
+        dt = self.sim.now - self._last_change
+        if dt > 0:
+            self._busy_area += dt * self._in_use
+            self._queue_area += dt * len(self._waiting)
+            self._last_change = self.sim.now
+
+
+class Store:
+    """A bounded FIFO buffer of Python objects.
+
+    ``put`` blocks (the returned event stays untriggered) while the
+    store is full; ``get`` blocks while it is empty. Used for the CM2
+    instruction lookahead queue and for mailbox-style app coordination.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | float = float("inf"), name: str = "store") -> None:
+        if capacity != float("inf") and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Deposit *item*; the event fires once there is room."""
+        ev = Event(self.sim, name=f"Put({self.name})")
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item, priority=PRIORITY_URGENT)
+            ev.succeed(None, priority=PRIORITY_URGENT)
+        elif not self.is_full:
+            self._items.append(item)
+            ev.succeed(None, priority=PRIORITY_URGENT)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; the event's value is the item."""
+        ev = Event(self.sim, name=f"Get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft(), priority=PRIORITY_URGENT)
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed(None, priority=PRIORITY_URGENT)
+        else:
+            self._getters.append(ev)
+        return ev

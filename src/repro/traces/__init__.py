@@ -1,0 +1,29 @@
+"""Instruction traces: IR, benchmark generators, dedicated analysis."""
+
+from .analysis import DedicatedMeasurement, measure_dedicated_cm2
+from .gauss import gauss_cm2_trace, gauss_flops
+from .instructions import Instruction, Parallel, Reduction, Serial, Trace, Transfer
+from .library import bitonic_cm2_trace, matmul_cm2_trace, matmul_sun_cost, sort_sun_cost
+from .sor import SOR_FLOPS_PER_POINT, sor_cm2_trace, sor_sun_work
+from .synthetic import synthetic_cm2_trace
+
+__all__ = [
+    "DedicatedMeasurement",
+    "Instruction",
+    "Parallel",
+    "Reduction",
+    "SOR_FLOPS_PER_POINT",
+    "Serial",
+    "Trace",
+    "Transfer",
+    "bitonic_cm2_trace",
+    "gauss_cm2_trace",
+    "matmul_cm2_trace",
+    "matmul_sun_cost",
+    "sort_sun_cost",
+    "gauss_flops",
+    "measure_dedicated_cm2",
+    "sor_cm2_trace",
+    "sor_sun_work",
+    "synthetic_cm2_trace",
+]

@@ -1,0 +1,71 @@
+"""Dedicated-mode measurement of traces (the model's inputs).
+
+The paper assumes "computation times have already been calculated for a
+dedicated environment". This module performs that calculation for a
+trace: it runs the trace on a *fresh, otherwise idle* simulated
+Sun/CM2 and extracts the §3.1.2 quantities the prediction formulas
+need (``dcomp_cm2``, ``didle_cm2``, ``dserial_cm2``), packaged as a
+:class:`~repro.core.prediction.BackendTaskCosts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from ..core.prediction import BackendTaskCosts
+from ..sim.engine import Simulator
+from ..sim.monitors import Timeline
+from .instructions import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (platforms import traces)
+    from ..platforms.specs import SunCM2Spec
+    from ..platforms.suncm2 import TraceRunResult
+
+__all__ = ["DedicatedMeasurement", "measure_dedicated_cm2"]
+
+
+@dataclass(frozen=True)
+class DedicatedMeasurement:
+    """A dedicated-mode run's raw result and derived model inputs."""
+
+    run: "TraceRunResult"
+    costs: BackendTaskCosts
+
+    @property
+    def elapsed(self) -> float:
+        """Dedicated elapsed time of the trace."""
+        return self.run.elapsed
+
+
+def measure_dedicated_cm2(
+    trace: Trace,
+    spec: "SunCM2Spec",
+    timeline: Timeline | None = None,
+) -> DedicatedMeasurement:
+    """Run *trace* on an idle Sun/CM2 and derive its model inputs.
+
+    The mapping from measurement to model parameters follows §3.1.2:
+
+    * ``dcomp_cm2``  ← CM2 busy time,
+    * ``didle_cm2``  ← elapsed − dcomp (so that the dedicated branch of
+      the ``max`` formula reproduces the dedicated elapsed exactly),
+    * ``dserial_cm2`` ← front-end CPU service consumed by the task's
+      serial stream (serial work + issue + result pickup).
+    """
+    from ..platforms.suncm2 import SunCM2Platform
+
+    sim = Simulator()
+    platform = SunCM2Platform(sim, spec=spec)
+    proc = sim.process(
+        platform.run_trace(trace, tag="dedicated", timeline=timeline),
+        name="dedicated-measure",
+    )
+    run: "TraceRunResult" = sim.run_until(proc)
+    costs = BackendTaskCosts(
+        dcomp=run.cm2_busy,
+        didle=run.cm2_idle,
+        dserial=run.sun_serial,
+    )
+    return DedicatedMeasurement(run=run, costs=costs)

@@ -1,0 +1,90 @@
+"""Instruction traces for the Gaussian Elimination benchmark.
+
+Figure 3 of the paper executes "a Gaussian Elimination program on a
+matrix of size M × M+1 on the CM2": per elimination step, the Sun runs
+serial bookkeeping (loop control, pivot administration) while the CM2
+performs the rank-1 row update over the shrinking trailing submatrix.
+
+**SIMD execution shape.** A CM-Fortran elimination step updates the
+*full* M×(M+1) array under a WHERE mask — the virtual-processor grid is
+fixed, masked-off elements still occupy their processors — so every
+iteration issues the same amount of back-end work, ``M·(M+1)``
+element-updates. (Contrast a MIMD implementation, which would shrink
+the trailing submatrix each step; :func:`gauss_flops` documents the
+*useful* flops for the real NumPy workload.)
+
+The trace's work amounts come from the ground-truth per-operation rates
+in :class:`~repro.platforms.specs.SunCM2Spec`. With the default rates
+the serial stream costs ``ge_serial_per_iter`` per step and the
+parallel stream ``M·(M+1) · ge_parallel_per_element``; under
+``p = 3`` CPU-bound contenders, iterations are serial-bound (and thus
+contention-sensitive) exactly while ``4 × serial > parallel``, which
+places the paper's crossover at ``M ≈ 200``, matching Figure 3.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..platforms.specs import SunCM2Spec
+from .instructions import Parallel, Reduction, Serial, Trace, Transfer
+
+__all__ = ["gauss_cm2_trace", "gauss_flops"]
+
+
+def gauss_flops(m: int) -> int:
+    """Floating-point operations of GE on an M×(M+1) augmented system.
+
+    Forward elimination: ``Σ_k (m−k−1) · (m−k+1) · 2 ≈ 2M³/3``; plus
+    back substitution ``≈ M²``.
+    """
+    forward = sum(2 * (m - k - 1) * (m - k + 1) for k in range(m - 1))
+    back = m * m
+    return forward + back
+
+
+def gauss_cm2_trace(
+    m: int,
+    spec: SunCM2Spec,
+    sync_every: int = 64,
+    include_transfers: bool = False,
+) -> Trace:
+    """GE on the CM2: M elimination steps over an M×(M+1) system.
+
+    Parameters
+    ----------
+    m:
+        System dimension.
+    spec:
+        Ground-truth Sun/CM2 rates.
+    sync_every:
+        Every *sync_every* steps the Sun performs a stability check
+        that needs a value back from the CM2 (a :class:`Reduction`),
+        capping how far the instruction stream can run ahead. CM-
+        Fortran GE without partial pivoting streams freely otherwise.
+    include_transfers:
+        Ship the augmented matrix to the CM2 first (M messages of M+1
+        words) and the solution vector back (1 message of M words).
+    """
+    if m < 2:
+        raise WorkloadError(f"system dimension must be >= 2, got {m!r}")
+    if sync_every < 1:
+        raise WorkloadError(f"sync_every must be >= 1, got {sync_every!r}")
+
+    half_serial = 0.5 * spec.ge_serial_per_iter
+    # SIMD full-array masked update: constant per-step back-end work.
+    update = m * (m + 1) * spec.ge_parallel_per_element
+    instructions = []
+    if include_transfers:
+        instructions.append(Transfer(size=float(m + 1), count=m, direction="out"))
+    for k in range(m):
+        instructions.append(Serial(half_serial))
+        if (k + 1) % sync_every == 0:
+            # Periodic stability check: the Sun waits for a scalar.
+            instructions.append(Reduction((m - k + 1) * spec.ge_parallel_per_element))
+        instructions.append(Parallel(update))
+        instructions.append(Serial(half_serial))
+    # Back substitution: one parallel pass over the triangular system.
+    instructions.append(Parallel(m * m * spec.ge_parallel_per_element))
+    if include_transfers:
+        instructions.append(Transfer(size=float(m), count=1, direction="in"))
+    return Trace(instructions, name=f"gauss-cm2-m{m}")

@@ -1,0 +1,175 @@
+"""Instruction-stream intermediate representation.
+
+A heterogeneous application's task is represented the way Figure 2 of
+the paper draws it: an ordered stream of
+
+* :class:`Serial` instructions — scalar/serial work executed on the
+  front-end (the Sun), subject to CPU contention;
+* :class:`Parallel` instructions — work shipped to the back-end
+  sequencer (CM2) or partition (Paragon); the front-end only pays a
+  small issue cost and may run ahead;
+* :class:`Reduction` instructions — parallel work whose *result* the
+  front-end must wait for (e.g. a global sum), stalling the front-end;
+* :class:`Transfer` instructions — data movement between the machines,
+  expressed as ``count`` messages of ``size`` words in one direction.
+
+Trace generators (:mod:`repro.traces.sor`, :mod:`repro.traces.gauss`,
+:mod:`repro.traces.synthetic`) build streams whose serial/parallel/
+communication structure matches the paper's CM-Fortran benchmarks; the
+platform simulators execute them, and :mod:`repro.traces.analysis`
+derives the model's dedicated-mode inputs (``dcomp``, ``dserial``,
+``didle``, communication patterns) from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+from ..core.datasets import CommPattern, DataSet
+from ..errors import WorkloadError
+
+__all__ = [
+    "Serial",
+    "Parallel",
+    "Reduction",
+    "Transfer",
+    "Instruction",
+    "Trace",
+]
+
+
+@dataclass(frozen=True)
+class Serial:
+    """``work`` seconds of dedicated front-end CPU time."""
+
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise WorkloadError(f"serial work must be >= 0, got {self.work!r}")
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """``work`` seconds of back-end execution, issued asynchronously."""
+
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise WorkloadError(f"parallel work must be >= 0, got {self.work!r}")
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """Back-end work whose result the front-end blocks on."""
+
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise WorkloadError(f"reduction work must be >= 0, got {self.work!r}")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """``count`` messages of ``size`` words, front-end ↔ back-end.
+
+    ``direction`` is ``"out"`` (to the back-end) or ``"in"``.
+    """
+
+    size: float
+    count: int = 1
+    direction: str = "out"
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise WorkloadError(f"message size must be >= 0, got {self.size!r}")
+        if self.count < 0:
+            raise WorkloadError(f"message count must be >= 0, got {self.count!r}")
+        if self.direction not in ("out", "in"):
+            raise WorkloadError(f"direction must be 'out' or 'in', got {self.direction!r}")
+
+
+Instruction = Union[Serial, Parallel, Reduction, Transfer]
+
+
+class Trace:
+    """An ordered instruction stream with summary accessors."""
+
+    def __init__(self, instructions: Iterable[Instruction], name: str = "trace") -> None:
+        self.instructions: tuple[Instruction, ...] = tuple(instructions)
+        self.name = name
+        for ins in self.instructions:
+            if not isinstance(ins, (Serial, Parallel, Reduction, Transfer)):
+                raise WorkloadError(f"not an instruction: {ins!r}")
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __add__(self, other: "Trace") -> "Trace":
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return Trace(self.instructions + other.instructions, name=self.name)
+
+    # -- static summaries (dedicated-mode model inputs) ------------------------
+
+    @property
+    def total_serial(self) -> float:
+        """Total front-end serial work in the stream (seconds)."""
+        return sum(i.work for i in self.instructions if isinstance(i, Serial))
+
+    @property
+    def total_parallel(self) -> float:
+        """Total back-end work (Parallel + Reduction) in the stream."""
+        return sum(
+            i.work for i in self.instructions if isinstance(i, (Parallel, Reduction))
+        )
+
+    @property
+    def parallel_count(self) -> int:
+        """Number of instructions dispatched to the back-end."""
+        return sum(1 for i in self.instructions if isinstance(i, (Parallel, Reduction)))
+
+    def comm_pattern(self) -> CommPattern:
+        """Aggregate the stream's transfers into a :class:`CommPattern`.
+
+        Adjacent same-size transfers in the same direction merge into a
+        single data set (they are one "group of same-sized messages" in
+        the paper's vocabulary).
+        """
+        out: list[DataSet] = []
+        inward: list[DataSet] = []
+        for ins in self.instructions:
+            if not isinstance(ins, Transfer) or ins.count == 0:
+                continue
+            bucket = out if ins.direction == "out" else inward
+            if bucket and bucket[-1].size == ins.size:
+                bucket[-1] = DataSet(count=bucket[-1].count + ins.count, size=ins.size)
+            else:
+                bucket.append(DataSet(count=ins.count, size=ins.size))
+        return CommPattern(to_backend=tuple(out), to_frontend=tuple(inward))
+
+    def scaled(self, serial: float = 1.0, parallel: float = 1.0) -> "Trace":
+        """A copy with serial/back-end work scaled by the given factors.
+
+        Useful for sensitivity studies (how does the crossover move as
+        the serial fraction changes?).
+        """
+        if serial < 0 or parallel < 0:
+            raise WorkloadError("scale factors must be >= 0")
+        scaled: list[Instruction] = []
+        for ins in self.instructions:
+            if isinstance(ins, Serial):
+                scaled.append(Serial(ins.work * serial))
+            elif isinstance(ins, Parallel):
+                scaled.append(Parallel(ins.work * parallel))
+            elif isinstance(ins, Reduction):
+                scaled.append(Reduction(ins.work * parallel))
+            else:
+                scaled.append(ins)
+        return Trace(scaled, name=f"{self.name}-scaled")

@@ -1,0 +1,88 @@
+"""Traces for the §2 library tasks: matrix multiplication and sorting.
+
+"Our model provides a realistic estimate of the costs of computing a
+task on the front-end machine (with one algorithm) as compared to
+moving the data across the network link and computing the task
+(perhaps with a different algorithm) on the back-end machine."
+
+Each task therefore comes as a *pair*: a front-end dedicated cost
+(derived from the operation counts of the workstation algorithm) and a
+back-end instruction trace (the data-parallel algorithm), plus the
+shipping pattern. The dispatch machinery
+(:func:`repro.experiments.dispatch.library_dispatch`) feeds both sides
+into Equation (1).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..platforms.specs import SunCM2Spec
+from ..workloads.matmul import matmul_flops
+from ..workloads.sorting import bitonic_stages, sort_compare_ops
+from .instructions import Parallel, Serial, Trace, Transfer
+
+__all__ = [
+    "matmul_cm2_trace",
+    "matmul_sun_cost",
+    "bitonic_cm2_trace",
+    "sort_sun_cost",
+]
+
+#: Messages ship in rows/chunks of this many words on the CM2 link.
+_CHUNK = 1024
+
+
+def _shipping(total_words: int, direction: str) -> Transfer:
+    count = max(1, -(-total_words // _CHUNK))
+    return Transfer(size=total_words / count, count=count, direction=direction)
+
+
+def matmul_sun_cost(n: int, spec: SunCM2Spec) -> float:
+    """Dedicated front-end seconds of the workstation matmul."""
+    return matmul_flops(n) * spec.sun_flop_time
+
+
+def matmul_cm2_trace(n: int, spec: SunCM2Spec, include_transfers: bool = True) -> Trace:
+    """SIMD matmul: n outer-product steps over the full n×n array.
+
+    Per step the Sun broadcasts loop control (serial) and the CM2
+    performs one multiply-accumulate over all n² elements.
+    """
+    if n < 1:
+        raise WorkloadError(f"dimension must be >= 1, got {n!r}")
+    step_work = 2 * n * n * spec.elementwise_op_time  # one MAC per element
+    control = 2.0e-4
+    instructions = []
+    if include_transfers:
+        instructions.append(_shipping(2 * n * n, "out"))  # both operands
+    for _ in range(n):
+        instructions.append(Serial(control))
+        instructions.append(Parallel(step_work))
+    if include_transfers:
+        instructions.append(_shipping(n * n, "in"))  # the product
+    return Trace(instructions, name=f"matmul-cm2-n{n}")
+
+
+def sort_sun_cost(n: int, spec: SunCM2Spec) -> float:
+    """Dedicated front-end seconds of the workstation quicksort."""
+    return sort_compare_ops(n, "quicksort") * spec.sun_compare_time
+
+
+def bitonic_cm2_trace(n: int, spec: SunCM2Spec, include_transfers: bool = True) -> Trace:
+    """SIMD bitonic sort: one Parallel instruction per network stage.
+
+    Each stage gathers the partner lane and applies the masked
+    min/max across all n keys (~3 element-wise ops).
+    """
+    stages = bitonic_stages(n)  # validates power-of-two length
+    stage_work = 3 * n * spec.elementwise_op_time
+    control = 1.5e-4
+    instructions = []
+    if include_transfers:
+        instructions.append(_shipping(n, "out"))
+    for _ in range(stages):
+        instructions.append(Serial(control))
+        instructions.append(Parallel(stage_work))
+    if include_transfers:
+        instructions.append(_shipping(n, "in"))
+    return Trace(instructions, name=f"bitonic-cm2-n{n}")

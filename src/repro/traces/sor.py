@@ -1,0 +1,88 @@
+"""Instruction traces for the SOR (Laplace) benchmark.
+
+The paper uses "an SOR algorithm, which solves Laplace's equation" as
+one of its two scientific benchmarks. Two execution shapes appear:
+
+* **SOR on the CM2** (context of Figure 1): each sweep is one big
+  parallel grid update issued by the Sun, with a small serial loop-
+  control cost and a periodic convergence-check reduction;
+* **SOR on the Sun** (Figures 7/8): the whole solver is front-end CPU
+  work.
+
+Work amounts are derived from the ground-truth per-operation rates in
+the platform specs — i.e. they state what this program *actually costs*
+on the simulated hardware. The analytical model never reads them; it
+measures a dedicated run (or is handed user-supplied dedicated costs,
+as the paper assumes).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..platforms.specs import SunCM2Spec, SunParagonSpec
+from .instructions import Parallel, Reduction, Serial, Trace, Transfer
+
+__all__ = ["sor_cm2_trace", "sor_sun_work", "SOR_FLOPS_PER_POINT"]
+
+#: Floating-point work per grid point per SOR sweep: a 5-point stencil
+#: (4 adds, 1 multiply) plus the relaxation update (1 multiply, 1 add).
+SOR_FLOPS_PER_POINT = 7
+
+
+def sor_cm2_trace(
+    m: int,
+    iterations: int,
+    spec: SunCM2Spec,
+    check_every: int = 10,
+    include_transfers: bool = False,
+) -> Trace:
+    """SOR on the CM2: *iterations* parallel sweeps over an M×M grid.
+
+    Parameters
+    ----------
+    m:
+        Grid dimension.
+    iterations:
+        Number of SOR sweeps.
+    spec:
+        Ground-truth Sun/CM2 rates.
+    check_every:
+        A convergence check (a global-norm :class:`Reduction`, which
+        stalls the Sun) runs every *check_every* sweeps.
+    include_transfers:
+        Ship the M×M grid to the CM2 first and back afterwards, as M
+        messages of M words each way (the Figure 1 communication
+        pattern).
+    """
+    if m < 1:
+        raise WorkloadError(f"grid dimension must be >= 1, got {m!r}")
+    if iterations < 1:
+        raise WorkloadError(f"need >= 1 iteration, got {iterations!r}")
+    if check_every < 1:
+        raise WorkloadError(f"check_every must be >= 1, got {check_every!r}")
+
+    sweep_work = m * m * spec.sor_parallel_per_point
+    instructions = []
+    if include_transfers:
+        instructions.append(Transfer(size=float(m), count=m, direction="out"))
+    for k in range(iterations):
+        instructions.append(Serial(spec.sor_serial_per_iter))
+        instructions.append(Parallel(sweep_work))
+        if (k + 1) % check_every == 0:
+            # Global residual norm: the Sun must wait for the value.
+            instructions.append(Reduction(0.2 * sweep_work))
+    if include_transfers:
+        instructions.append(Transfer(size=float(m), count=m, direction="in"))
+    return Trace(instructions, name=f"sor-cm2-m{m}")
+
+
+def sor_sun_work(m: int, iterations: int, spec: SunParagonSpec) -> float:
+    """Dedicated front-end CPU seconds of SOR on the Sun (Figures 7/8).
+
+    ``iterations × M² × flops/point × seconds/flop``.
+    """
+    if m < 1:
+        raise WorkloadError(f"grid dimension must be >= 1, got {m!r}")
+    if iterations < 1:
+        raise WorkloadError(f"need >= 1 iteration, got {iterations!r}")
+    return iterations * m * m * SOR_FLOPS_PER_POINT * spec.sun_flop_time

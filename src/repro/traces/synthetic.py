@@ -1,0 +1,91 @@
+"""Synthetic benchmark traces (the paper's generality check, §3.1.2).
+
+"We have performed a large number of experiments using synthetic
+benchmarks, which employ a representative subset of the operations
+provided by the CM2 and used in high-performance programs, in order to
+verify the generality of the model."
+
+:func:`synthetic_cm2_trace` draws a random instruction mix with a
+target serial-work fraction; sweeping that fraction explores both
+branches of the §3.1.2 ``max()`` formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..platforms.specs import SunCM2Spec
+from .instructions import Parallel, Reduction, Serial, Trace, Transfer
+
+__all__ = ["synthetic_cm2_trace"]
+
+
+def synthetic_cm2_trace(
+    rng: np.random.Generator,
+    total_work: float,
+    serial_fraction: float,
+    spec: SunCM2Spec,
+    n_instructions: int = 200,
+    reduction_share: float = 0.1,
+    transfer_words: float = 0.0,
+    name: str = "synthetic",
+) -> Trace:
+    """A random CM2 instruction mix.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (instruction sizes are exponential draws,
+        normalised to the exact totals).
+    total_work:
+        Total dedicated work in the stream, seconds (serial + parallel).
+    serial_fraction:
+        Share of *total_work* executed serially on the Sun.
+    spec:
+        Ground-truth rates (unused for sizing, kept for signature
+        symmetry with the other generators and future per-op costs).
+    n_instructions:
+        Number of serial/parallel instruction pairs to draw.
+    reduction_share:
+        Fraction of the parallel instructions emitted as blocking
+        :class:`Reduction` ops instead of :class:`Parallel`.
+    transfer_words:
+        When positive, a transfer of this many words (as one message)
+        is placed at the start and the end of the stream.
+    """
+    if total_work <= 0:
+        raise WorkloadError(f"total_work must be > 0, got {total_work!r}")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise WorkloadError(f"serial_fraction must be in [0, 1], got {serial_fraction!r}")
+    if n_instructions < 1:
+        raise WorkloadError(f"need >= 1 instruction, got {n_instructions!r}")
+    if not 0.0 <= reduction_share <= 1.0:
+        raise WorkloadError(f"reduction_share must be in [0, 1], got {reduction_share!r}")
+
+    serial_total = total_work * serial_fraction
+    parallel_total = total_work - serial_total
+
+    def _chunks(total: float) -> np.ndarray:
+        raw = rng.exponential(1.0, size=n_instructions)
+        return raw / raw.sum() * total
+
+    serial_chunks = _chunks(serial_total) if serial_total > 0 else np.zeros(n_instructions)
+    parallel_chunks = (
+        _chunks(parallel_total) if parallel_total > 0 else np.zeros(n_instructions)
+    )
+
+    instructions = []
+    if transfer_words > 0:
+        instructions.append(Transfer(size=transfer_words, count=1, direction="out"))
+    for s, p in zip(serial_chunks, parallel_chunks):
+        if s > 0:
+            instructions.append(Serial(float(s)))
+        if p > 0:
+            if rng.random() < reduction_share:
+                instructions.append(Reduction(float(p)))
+            else:
+                instructions.append(Parallel(float(p)))
+    if transfer_words > 0:
+        instructions.append(Transfer(size=transfer_words, count=1, direction="in"))
+    return Trace(instructions, name=name)

@@ -1,0 +1,78 @@
+"""Unit conventions and conversion helpers.
+
+The paper — and therefore this library — expresses message sizes in
+**words** (4-byte words, the natural unit on the Sun/CM2 and Sun/Paragon
+platforms of 1996) and all times in **seconds**. Bandwidths are in
+**words per second** ("effective bandwidth" in the paper's terminology:
+the achieved transfer rate, not the link's peak rate).
+
+Keeping the unit discipline in one module avoids the classic HPC
+modeling bug of mixing bytes and words, or milliseconds and seconds, in
+cost formulas.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BYTES_PER_WORD",
+    "words_to_bytes",
+    "bytes_to_words",
+    "seconds",
+    "per_second",
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+]
+
+#: Size of one machine word in bytes on the modeled platforms.
+BYTES_PER_WORD = 4
+
+
+def words_to_bytes(words: float) -> float:
+    """Convert a size in words to bytes."""
+    return words * BYTES_PER_WORD
+
+
+def bytes_to_words(nbytes: float) -> float:
+    """Convert a size in bytes to (possibly fractional) words."""
+    return nbytes / BYTES_PER_WORD
+
+
+def seconds(value: float) -> float:
+    """Identity marker used in platform specs to document the unit."""
+    return float(value)
+
+
+def per_second(value: float) -> float:
+    """Identity marker for rates (words/second, operations/second)."""
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that *value* is strictly positive and return it as float.
+
+    Raises
+    ------
+    ValueError
+        If ``value <= 0`` or is not finite.
+    """
+    v = float(value)
+    if not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that *value* is >= 0 and return it as float."""
+    v = float(value)
+    if v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v

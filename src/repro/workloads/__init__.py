@@ -1,0 +1,32 @@
+"""Real numerical benchmark codes (SOR, Gaussian elimination)."""
+
+from .gauss import GaussResult, augment, solve_gauss
+from .matmul import blocked_matmul, matmul_flops, matmul_words
+from .generators import (
+    laplace_boundary_hot_edge,
+    laplace_boundary_linear,
+    random_dominant_system,
+    random_spd_system,
+)
+from .sor import SORResult, laplace_residual, optimal_omega, solve_laplace_sor
+from .sorting import bitonic_sort, bitonic_stages, sort_compare_ops
+
+__all__ = [
+    "GaussResult",
+    "bitonic_sort",
+    "bitonic_stages",
+    "blocked_matmul",
+    "matmul_flops",
+    "matmul_words",
+    "sort_compare_ops",
+    "SORResult",
+    "augment",
+    "laplace_boundary_hot_edge",
+    "laplace_boundary_linear",
+    "laplace_residual",
+    "optimal_omega",
+    "random_dominant_system",
+    "random_spd_system",
+    "solve_gauss",
+    "solve_laplace_sor",
+]

@@ -1,0 +1,89 @@
+"""Gaussian elimination on an augmented M×(M+1) system.
+
+The paper's second scientific benchmark. This is the real numerical
+code: forward elimination with partial pivoting over the augmented
+matrix (the paper's "matrix of size M × M+1"), then back substitution.
+The elimination update is vectorised as a rank-1 outer-product update
+of the trailing submatrix — the same data-parallel shape the CM-Fortran
+version executed on the CM2, which is why the trace generator models
+one :class:`~repro.traces.instructions.Parallel` instruction per
+elimination step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["GaussResult", "solve_gauss", "augment"]
+
+
+@dataclass(frozen=True)
+class GaussResult:
+    """Outcome of a Gaussian-elimination solve."""
+
+    solution: np.ndarray
+    pivots: np.ndarray
+    residual: float
+
+
+def augment(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Build the M×(M+1) augmented matrix ``[A | b]``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise WorkloadError(f"A must be square, got shape {a.shape}")
+    if b.shape != (a.shape[0],):
+        raise WorkloadError(f"b must have shape ({a.shape[0]},), got {b.shape}")
+    return np.hstack([a, b[:, None]])
+
+
+def solve_gauss(a: np.ndarray, b: np.ndarray, pivoting: bool = True) -> GaussResult:
+    """Solve ``A x = b`` by Gaussian elimination on ``[A | b]``.
+
+    Parameters
+    ----------
+    a, b:
+        The system. *A* must be square and (numerically) nonsingular.
+    pivoting:
+        Use partial (row) pivoting. Disabling it mirrors the streaming
+        CM-Fortran variant but fails on systems needing row exchanges.
+
+    Returns
+    -------
+    GaussResult
+        Solution vector, pivot rows chosen per step, and the max-norm
+        residual ``‖A x − b‖∞``.
+    """
+    aug = augment(a, b)
+    m = aug.shape[0]
+    pivots = np.empty(m, dtype=int)
+
+    for k in range(m):
+        if pivoting:
+            rel = int(np.argmax(np.abs(aug[k:, k])))
+            pivot_row = k + rel
+        else:
+            pivot_row = k
+        pivot = aug[pivot_row, k]
+        if pivot == 0.0 or not np.isfinite(pivot):
+            raise WorkloadError(f"singular system: zero pivot at step {k}")
+        pivots[k] = pivot_row
+        if pivot_row != k:
+            aug[[k, pivot_row]] = aug[[pivot_row, k]]
+        if k + 1 < m:
+            # Rank-1 update of the trailing submatrix (the CM2's
+            # data-parallel instruction for this step).
+            factors = aug[k + 1 :, k] / aug[k, k]
+            aug[k + 1 :, k:] -= np.outer(factors, aug[k, k:])
+
+    # Back substitution on the upper-triangular augmented system.
+    x = np.empty(m)
+    for k in range(m - 1, -1, -1):
+        x[k] = (aug[k, m] - aug[k, k + 1 :m] @ x[k + 1 :]) / aug[k, k]
+
+    residual = float(np.abs(np.asarray(a, dtype=float) @ x - np.asarray(b, dtype=float)).max())
+    return GaussResult(solution=x, pivots=pivots, residual=residual)

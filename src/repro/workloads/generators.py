@@ -1,0 +1,72 @@
+"""Problem generators for the numerical workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "random_spd_system",
+    "random_dominant_system",
+    "laplace_boundary_linear",
+    "laplace_boundary_hot_edge",
+]
+
+
+def random_dominant_system(
+    m: int, rng: np.random.Generator, scale: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random strictly diagonally dominant system (always solvable).
+
+    Diagonal dominance guarantees Gaussian elimination succeeds even
+    without pivoting, which the no-pivot tests rely on.
+    """
+    if m < 1:
+        raise WorkloadError(f"dimension must be >= 1, got {m!r}")
+    a = rng.standard_normal((m, m)) * scale
+    a[np.arange(m), np.arange(m)] = np.abs(a).sum(axis=1) + 1.0
+    b = rng.standard_normal(m) * scale
+    return a, b
+
+
+def random_spd_system(
+    m: int, rng: np.random.Generator, scale: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random symmetric positive-definite system."""
+    if m < 1:
+        raise WorkloadError(f"dimension must be >= 1, got {m!r}")
+    g = rng.standard_normal((m, m)) * scale
+    a = g @ g.T + m * np.eye(m)
+    b = rng.standard_normal(m) * scale
+    return a, b
+
+
+def laplace_boundary_linear(m: int, top: float = 1.0, bottom: float = 0.0) -> np.ndarray:
+    """Laplace grid with linear-in-y boundary values.
+
+    The exact solution of Laplace's equation with these boundaries is
+    the linear interpolation between *bottom* and *top* — an analytic
+    target the SOR tests compare against.
+    """
+    if m < 1:
+        raise WorkloadError(f"interior dimension must be >= 1, got {m!r}")
+    n = m + 2
+    y = np.linspace(bottom, top, n)
+    grid = np.tile(y[:, None], (1, n))
+    # Interior initial guess: zeros (the solver must recover the ramp).
+    grid[1:-1, 1:-1] = 0.0
+    return grid
+
+
+def laplace_boundary_hot_edge(m: int, hot: float = 100.0) -> np.ndarray:
+    """Laplace grid with one hot edge and three cold edges.
+
+    The classic heated-plate configuration the 1990s benchmarks used.
+    """
+    if m < 1:
+        raise WorkloadError(f"interior dimension must be >= 1, got {m!r}")
+    n = m + 2
+    grid = np.zeros((n, n))
+    grid[0, :] = hot
+    return grid

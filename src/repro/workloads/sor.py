@@ -1,0 +1,119 @@
+"""Successive Over-Relaxation solver for Laplace's equation.
+
+The paper's first scientific benchmark: "an SOR algorithm, which solves
+Laplace's equation". This is the *real* numerical code — a vectorised
+red-black SOR on an M×M interior grid with Dirichlet boundary
+conditions — used to (a) validate that the benchmark we model is a
+correct solver and (b) supply operation counts to the trace
+generators.
+
+The solver is NumPy-vectorised (red-black colouring makes each
+half-sweep a pure array expression), per the scientific-Python
+guidance: no Python-level loops over grid points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["SORResult", "solve_laplace_sor", "optimal_omega", "laplace_residual"]
+
+
+@dataclass(frozen=True)
+class SORResult:
+    """Outcome of an SOR solve."""
+
+    grid: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    omega: float
+
+
+def optimal_omega(m: int) -> float:
+    """Chebyshev-optimal relaxation factor for an M×M Laplace grid.
+
+    ``ω* = 2 / (1 + sin(π/(M+1)))`` — the classic result for the
+    5-point Laplacian with Dirichlet boundaries.
+    """
+    if m < 1:
+        raise WorkloadError(f"grid dimension must be >= 1, got {m!r}")
+    return 2.0 / (1.0 + np.sin(np.pi / (m + 1)))
+
+
+def laplace_residual(grid: np.ndarray) -> float:
+    """Max-norm of the discrete Laplacian over the interior of *grid*."""
+    interior = grid[1:-1, 1:-1]
+    lap = (
+        grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+    ) / 4.0 - interior
+    return float(np.abs(lap).max()) if lap.size else 0.0
+
+
+def solve_laplace_sor(
+    boundary: np.ndarray,
+    omega: float | None = None,
+    tolerance: float = 1e-8,
+    max_iterations: int = 10_000,
+) -> SORResult:
+    """Solve Laplace's equation with red-black SOR.
+
+    Parameters
+    ----------
+    boundary:
+        A 2-D array whose border rows/columns hold the Dirichlet
+        boundary values; the interior is used as the initial guess.
+        Must be at least 3×3.
+    omega:
+        Relaxation factor in (0, 2); defaults to the Chebyshev-optimal
+        value for the grid's interior size.
+    tolerance:
+        Convergence threshold on the max-norm residual.
+    max_iterations:
+        Iteration cap; exceeding it returns ``converged=False``.
+
+    Returns
+    -------
+    SORResult
+        The solved grid (a copy), iterations used, final residual.
+    """
+    grid = np.array(boundary, dtype=float, copy=True)
+    if grid.ndim != 2 or grid.shape[0] < 3 or grid.shape[1] < 3:
+        raise WorkloadError(f"grid must be 2-D and at least 3x3, got shape {grid.shape}")
+    interior_m = grid.shape[0] - 2
+    if omega is None:
+        omega = optimal_omega(interior_m)
+    if not 0.0 < omega < 2.0:
+        raise WorkloadError(f"omega must be in (0, 2), got {omega!r}")
+    if tolerance <= 0:
+        raise WorkloadError(f"tolerance must be > 0, got {tolerance!r}")
+    if max_iterations < 1:
+        raise WorkloadError(f"max_iterations must be >= 1, got {max_iterations!r}")
+
+    # Red-black colouring on the interior: checkerboard masks.
+    rows, cols = np.indices((grid.shape[0] - 2, grid.shape[1] - 2))
+    red = (rows + cols) % 2 == 0
+    black = ~red
+
+    iterations = 0
+    residual = laplace_residual(grid)
+    while residual > tolerance and iterations < max_iterations:
+        for mask in (red, black):
+            neighbours = (
+                grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+            ) / 4.0
+            interior = grid[1:-1, 1:-1]
+            interior[mask] += omega * (neighbours[mask] - interior[mask])
+        iterations += 1
+        residual = laplace_residual(grid)
+    return SORResult(
+        grid=grid,
+        iterations=iterations,
+        residual=residual,
+        converged=residual <= tolerance,
+        omega=float(omega),
+    )

@@ -1,0 +1,86 @@
+"""Sorting — the paper's other both-machines library task (§2).
+
+Two flavours matching the two architectures:
+
+* :func:`bitonic_sort` — the data-parallel bitonic network, the
+  natural SIMD algorithm (every compare-exchange stage is one masked
+  full-array operation, exactly the shape a CM-2 executes); requires a
+  power-of-two length. Vectorised with NumPy, no Python-level loops
+  over elements.
+* :func:`quicksort_flops`-style counts for the front-end comparison
+  sort are folded into :func:`sort_compare_ops`.
+
+Operation counts feed the trace generators and the dispatch example.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["bitonic_sort", "bitonic_stages", "sort_compare_ops"]
+
+
+def bitonic_stages(n: int) -> int:
+    """Number of compare-exchange stages of the bitonic network.
+
+    ``log2(n) · (log2(n) + 1) / 2`` stages, each touching all n keys.
+    """
+    if n < 1 or n & (n - 1):
+        raise WorkloadError(f"bitonic network needs a power-of-two length, got {n!r}")
+    k = n.bit_length() - 1
+    return k * (k + 1) // 2
+
+
+def sort_compare_ops(n: int, algorithm: str = "quicksort") -> float:
+    """Expected comparison count of the front-end sort.
+
+    ``quicksort``: ~2 n ln n average-case comparisons;
+    ``bitonic``: n/2 compare-exchanges per stage.
+    """
+    if n < 1:
+        raise WorkloadError(f"length must be >= 1, got {n!r}")
+    if algorithm == "quicksort":
+        return 2.0 * n * math.log(max(n, 2))
+    if algorithm == "bitonic":
+        return bitonic_stages(n) * (n / 2)
+    raise WorkloadError(f"unknown algorithm {algorithm!r}")
+
+
+def bitonic_sort(values: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Sort a power-of-two-length array with the bitonic network.
+
+    Each stage is a pure array expression (gather the partner lane,
+    min/max under the direction mask) — the data-parallel execution
+    shape the CM-2 trace generator models one :class:`Parallel`
+    instruction per stage for.
+    """
+    data = np.array(values, dtype=float, copy=True)
+    if data.ndim != 1:
+        raise WorkloadError(f"need a 1-D array, got shape {data.shape}")
+    n = data.size
+    if n == 0:
+        return data
+    if n & (n - 1):
+        raise WorkloadError(f"bitonic sort needs a power-of-two length, got {n}")
+    idx = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            partner = idx ^ j
+            ascending_block = (idx & k) == 0
+            lower_lane = (idx & j) == 0
+            partner_vals = data[partner]
+            keep_min = ascending_block == lower_lane
+            lo = np.minimum(data, partner_vals)
+            hi = np.maximum(data, partner_vals)
+            data = np.where(keep_min, lo, hi)
+            j //= 2
+        k *= 2
+    if descending:
+        data = data[::-1].copy()
+    return data

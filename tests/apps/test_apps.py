@@ -1,0 +1,185 @@
+"""Behavioural tests for probes, benchmarks and contention generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.burst import message_burst
+from repro.apps.contender import alternating, continuous_comm, cpu_bound, dedicated_message_time
+from repro.apps.pingpong import pingpong_burst, pingpong_burst_reverse
+from repro.apps.program import frontend_program, transfer_program
+from repro.errors import WorkloadError
+from repro.platforms.suncm2 import SunCM2Platform
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def paragon(quiet_paragon_spec):
+    sim = Simulator()
+    return sim, SunParagonPlatform(sim, spec=quiet_paragon_spec)
+
+
+class TestPingPong:
+    def test_dedicated_burst_time(self, paragon, quiet_paragon_spec):
+        sim, platform = paragon
+        probe = sim.process(pingpong_burst(platform, 200, count=50))
+        elapsed = sim.run_until(probe)
+        expected = 50 * quiet_paragon_spec.message_dedicated_time(
+            200
+        ) + quiet_paragon_spec.message_dedicated_time(1)
+        assert elapsed == pytest.approx(expected, rel=1e-6)
+
+    def test_reverse_burst(self, paragon, quiet_paragon_spec):
+        sim, platform = paragon
+        probe = sim.process(pingpong_burst_reverse(platform, 200, count=50))
+        elapsed = sim.run_until(probe)
+        # Symmetric platform: same as the forward burst.
+        expected = 50 * quiet_paragon_spec.message_dedicated_time(
+            200
+        ) + quiet_paragon_spec.message_dedicated_time(1)
+        assert elapsed == pytest.approx(expected, rel=1e-6)
+
+    def test_count_validation(self, paragon):
+        sim, platform = paragon
+        with pytest.raises(WorkloadError):
+            sim.run_until(sim.process(pingpong_burst(platform, 200, count=0)))
+
+
+class TestBurst:
+    def test_burst_scales_linearly(self, paragon, quiet_paragon_spec):
+        sim, platform = paragon
+        p = sim.process(message_burst(platform, 100, count=30, direction="out"))
+        elapsed = sim.run_until(p)
+        assert elapsed == pytest.approx(
+            30 * quiet_paragon_spec.message_dedicated_time(100), rel=1e-6
+        )
+
+    def test_burst_in_direction(self, paragon):
+        sim, platform = paragon
+        p = sim.process(message_burst(platform, 100, count=10, direction="in"))
+        assert sim.run_until(p) > 0
+
+
+class TestPrograms:
+    def test_frontend_program_dedicated(self, paragon):
+        sim, platform = paragon
+        p = sim.process(frontend_program(platform, 0.5))
+        assert sim.run_until(p) == pytest.approx(0.5, rel=1e-9)
+
+    def test_transfer_program_round_trip(self, quiet_cm2_spec):
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+        one_way = sim.process(
+            transfer_program(platform, 128, 8, round_trip=False), name="a"
+        )
+        t1 = sim.run_until(one_way)
+        sim2 = Simulator()
+        platform2 = SunCM2Platform(sim2, spec=quiet_cm2_spec)
+        both = sim2.process(transfer_program(platform2, 128, 8, round_trip=True))
+        t2 = sim2.run_until(both)
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+
+class TestContenders:
+    def test_cpu_bound_keeps_cpu_busy(self, paragon):
+        sim, platform = paragon
+        platform.spawn(cpu_bound(platform, tag="hog"), name="hog")
+        sim.run(until=1.0)
+        assert platform.frontend_cpu.utilization(1.0) == pytest.approx(1.0, abs=0.01)
+
+    def test_cpu_bound_chunk_validation(self, paragon):
+        _, platform = paragon
+        gen = cpu_bound(platform, chunk=0.0)
+        with pytest.raises(WorkloadError):
+            next(gen)
+
+    def test_continuous_comm_saturates_link(self, paragon):
+        sim, platform = paragon
+        platform.spawn(continuous_comm(platform, 200, "out", tag="gen"), name="gen")
+        sim.run(until=1.0)
+        # Wire occupancy fraction for 200-word messages.
+        spec = platform.spec
+        cycle = spec.message_dedicated_time(200)
+        expected = spec.wire.occupancy(200) / cycle
+        assert platform.link.utilization(1.0) == pytest.approx(expected, rel=0.05)
+
+    def test_alternating_longrun_fraction(self, quiet_paragon_spec):
+        """The generator's long-run dedicated-equivalent communication
+        fraction approximates its target when running alone."""
+        sim = Simulator()
+        platform = SunParagonPlatform(
+            sim, spec=quiet_paragon_spec, streams=RandomStreams(7)
+        )
+        target = 0.4
+        platform.spawn(
+            alternating(platform, target, 200, platform.rng("c"), tag="alt"),
+            name="alt",
+        )
+        horizon = 60.0
+        sim.run(until=horizon)
+        cpu_time = platform.frontend_cpu.service_by_tag.get("alt", 0.0)
+        # Communication time = everything not spent computing. The
+        # conversion stage is CPU too, so subtract it via message count.
+        per_msg_conv = quiet_paragon_spec.conversion_cpu_time(200)
+        messages = platform.link.messages_sent
+        comp_time = cpu_time - messages * per_msg_conv
+        comm_time = horizon - comp_time
+        assert comm_time / horizon == pytest.approx(target, abs=0.08)
+
+    def test_alternating_validation(self, paragon):
+        _, platform = paragon
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            next(alternating(platform, 1.5, 100, rng))
+        with pytest.raises(WorkloadError):
+            next(alternating(platform, 0.5, 0, rng))
+        with pytest.raises(WorkloadError):
+            next(alternating(platform, 0.5, 100, rng, direction="sideways"))
+
+    def test_dedicated_message_time_matches_spec(self, paragon, quiet_paragon_spec):
+        _, platform = paragon
+        assert dedicated_message_time(platform, 300) == pytest.approx(
+            quiet_paragon_spec.message_dedicated_time(300)
+        )
+
+    def test_fixed_direction_contender(self, paragon):
+        sim, platform = paragon
+        platform.spawn(
+            alternating(platform, 1.0, 100, platform.rng("c"), direction="out", tag="g"),
+            name="g",
+        )
+        sim.run(until=0.5)
+        assert platform.link.messages_sent > 0
+
+
+class TestCyclicProgram:
+    def test_dedicated_time_decomposes(self, paragon, quiet_paragon_spec):
+        from repro.apps.program import cyclic_program
+
+        sim, platform = paragon
+        cycles, comp, msgs, size = 5, 0.02, 2, 300.0
+        p = sim.process(cyclic_program(platform, cycles, comp, msgs, size))
+        elapsed = sim.run_until(p)
+        expected = cycles * (
+            comp + msgs * quiet_paragon_spec.message_dedicated_time(size)
+        )
+        assert elapsed == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_messages_is_pure_compute(self, paragon):
+        from repro.apps.program import cyclic_program
+
+        sim, platform = paragon
+        p = sim.process(cyclic_program(platform, 3, 0.1, 0, 100.0))
+        assert sim.run_until(p) == pytest.approx(0.3, rel=1e-9)
+
+    def test_validation(self, paragon):
+        from repro.apps.program import cyclic_program
+        from repro.errors import WorkloadError
+
+        _, platform = paragon
+        with pytest.raises(WorkloadError):
+            next(cyclic_program(platform, 0, 0.1, 1, 100.0))

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+``quiet_*`` specs disable the OS-daemon background noise so unit tests
+see deterministic, analytically checkable timings; the calibration
+fixtures are session-scoped because the suites are deliberately
+"computed just once per platform" (and cost a couple of seconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.calibrate import calibrate_cm2, calibrate_paragon
+from repro.platforms.specs import CpuSpec, SunCM2Spec, SunParagonSpec
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def quiet_cpu() -> CpuSpec:
+    """Round-robin CPU without background daemon noise."""
+    return CpuSpec(daemon_interval=0.0, daemon_work=0.0)
+
+
+@pytest.fixture(scope="session")
+def quiet_cm2_spec(quiet_cpu: CpuSpec) -> SunCM2Spec:
+    return SunCM2Spec(cpu=quiet_cpu)
+
+
+@pytest.fixture(scope="session")
+def quiet_paragon_spec(quiet_cpu: CpuSpec) -> SunParagonSpec:
+    return SunParagonSpec(cpu=quiet_cpu)
+
+
+@pytest.fixture(scope="session")
+def paragon_cal(quiet_paragon_spec: SunParagonSpec):
+    """Full §3.2 calibration on the quiet platform (session-cached)."""
+    return calibrate_paragon(quiet_paragon_spec, p_max=3)
+
+
+@pytest.fixture(scope="session")
+def cm2_cal(quiet_cm2_spec: SunCM2Spec):
+    """§3.1.1 calibration on the quiet platform (session-cached)."""
+    return calibrate_cm2(quiet_cm2_spec)

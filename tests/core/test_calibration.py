@@ -1,0 +1,198 @@
+"""Unit and property tests for parameter estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calibration import (
+    build_delay_table,
+    build_sized_delay_table,
+    estimate_cm2_params,
+    find_saturation_threshold,
+    fit_linear,
+    fit_piecewise,
+    relative_delays,
+)
+from repro.core.params import LinearCommParams, PiecewiseCommParams
+from repro.errors import CalibrationError
+
+
+class TestEstimateCM2:
+    def test_recovers_parameters(self):
+        """Synthetic benchmark times from known (α, β) round-trip."""
+        alpha, beta = 1.2e-3, 5e5
+        bulk_words, burst = 1e6, 1e6
+        bulk_time = (alpha + bulk_words / beta) + (alpha + 1 / beta)
+        startup_time = 2 * burst * (alpha + 1 / beta)
+        out, inn = estimate_cm2_params(bulk_time, bulk_time, startup_time)
+        # The procedure's bulk-dominance approximation leaves ~0.1-0.2%
+        # bias in beta and a small bias in alpha.
+        assert out.beta == pytest.approx(beta, rel=3e-3)
+        assert out.alpha == pytest.approx(alpha, rel=1e-2)
+        assert inn.beta == pytest.approx(beta, rel=3e-3)
+
+    def test_asymmetric_betas(self):
+        # Startup benchmark consistent with alpha = 1e-3 given the betas:
+        # per message 2*alpha + 1/beta_sun + 1/beta_cm2 = 2.006e-3.
+        out, inn = estimate_cm2_params(2.0, 4.0, 2.006, bulk_words=1e6, burst_messages=1e3)
+        assert out.beta == pytest.approx(5e5)
+        assert inn.beta == pytest.approx(2.5e5)
+        assert out.alpha == pytest.approx(1e-3)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(CalibrationError):
+            estimate_cm2_params(0.0, 1.0, 1.0)
+        with pytest.raises(CalibrationError):
+            estimate_cm2_params(1.0, 1.0, -1.0)
+
+    def test_violated_assumption_detected(self):
+        # A startup benchmark faster than the bandwidth terms implies
+        # negative alpha -> must be flagged, not silently returned.
+        with pytest.raises(CalibrationError, match="negative latency"):
+            estimate_cm2_params(1.0, 1.0, 1e-9, bulk_words=1e6, burst_messages=1e6)
+
+
+class TestFitLinear:
+    def test_exact_recovery(self):
+        truth = LinearCommParams(alpha=2e-3, beta=8e5)
+        sizes = np.array([1, 10, 100, 1000, 4000])
+        times = [truth.message_time(s) for s in sizes]
+        fit = fit_linear(sizes, times)
+        assert fit.alpha == pytest.approx(truth.alpha, rel=1e-9)
+        assert fit.beta == pytest.approx(truth.beta, rel=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1e-2),
+        st.floats(min_value=1e4, max_value=1e7),
+    )
+    def test_recovery_property(self, alpha, beta):
+        truth = LinearCommParams(alpha=alpha, beta=beta)
+        sizes = [1, 64, 512, 2048]
+        fit = fit_linear(sizes, [truth.message_time(s) for s in sizes])
+        assert fit.message_time(300) == pytest.approx(truth.message_time(300), rel=1e-6)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        truth = LinearCommParams(alpha=1e-3, beta=1e6)
+        sizes = np.linspace(1, 4096, 40)
+        times = np.array([truth.message_time(s) for s in sizes])
+        noisy = times * (1 + rng.normal(0, 0.02, times.shape))
+        fit = fit_linear(sizes, noisy)
+        assert fit.beta == pytest.approx(truth.beta, rel=0.1)
+
+    def test_negative_intercept_clamped(self):
+        # Times through the origin: intercept ~0, never negative.
+        fit = fit_linear([100, 200, 300], [1e-4, 2e-4, 3e-4])
+        assert fit.alpha >= 0.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([100], [1e-3])
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([100, 100], [1e-3, 2e-3])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1, 1000], [1.0, 0.5])
+
+
+class TestFitPiecewise:
+    TRUTH = PiecewiseCommParams(
+        threshold=1024,
+        small=LinearCommParams(alpha=0.8e-3, beta=8e5),
+        large=LinearCommParams(alpha=2.0e-3, beta=1.25e6),
+    )
+    SIZES = (16, 32, 64, 128, 256, 512, 1024, 1536, 2048, 3072, 4096)
+
+    def _times(self):
+        return [self.TRUTH.message_time(s) for s in self.SIZES]
+
+    def test_threshold_search_finds_truth(self):
+        fit = fit_piecewise(self.SIZES, self._times())
+        assert fit.threshold == 1024
+        assert fit.small.alpha == pytest.approx(0.8e-3, rel=1e-6)
+        assert fit.large.beta == pytest.approx(1.25e6, rel=1e-6)
+
+    def test_fixed_threshold(self):
+        fit = fit_piecewise(self.SIZES, self._times(), threshold=1024)
+        assert fit.small.beta == pytest.approx(8e5, rel=1e-6)
+
+    def test_bad_fixed_threshold_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_piecewise(self.SIZES, self._times(), threshold=20)  # 1 point below
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_piecewise([1, 2, 3], [1.0, 2.0, 3.0])
+
+    def test_unsorted_input_accepted(self):
+        order = np.random.default_rng(1).permutation(len(self.SIZES))
+        sizes = np.array(self.SIZES)[order]
+        times = np.array(self._times())[order]
+        fit = fit_piecewise(sizes, times)
+        assert fit.threshold == 1024
+
+
+class TestDelayTables:
+    def test_relative_delays(self):
+        assert relative_delays(2.0, [3.0, 4.0]) == pytest.approx([0.5, 1.0])
+
+    def test_noise_clamped_to_zero(self):
+        assert relative_delays(2.0, [1.9]) == [0.0]
+
+    def test_invalid_dedicated_rejected(self):
+        with pytest.raises(CalibrationError):
+            relative_delays(0.0, [1.0])
+
+    def test_build_delay_table(self):
+        table = build_delay_table(1.0, [1.5, 2.0, 2.5], label="t")
+        assert table.delays == (0.5, 1.0, 1.5)
+        assert table.label == "t"
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            build_delay_table(1.0, [])
+
+    def test_build_sized(self):
+        sized = build_sized_delay_table(
+            1.0,
+            {1: [1.2, 1.4], 500: [1.5, 2.0], 1000: [1.55, 2.05]},
+        )
+        assert sized.buckets == (1, 500, 1000)
+        assert sized.tables[500].delays == (0.5, 1.0)
+        # 500 -> 1000 delays within 5%: saturation detected at 500.
+        assert sized.saturation == 500
+
+    def test_build_sized_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            build_sized_delay_table(1.0, {})
+
+
+class TestSaturationThreshold:
+    def test_plateau_found(self):
+        sizes = [1, 100, 500, 1000, 2000, 4000]
+        delays = [0.1, 0.4, 0.8, 1.0, 1.01, 1.0]
+        assert find_saturation_threshold(sizes, delays) == 1000
+
+    def test_never_settles(self):
+        assert find_saturation_threshold([1, 2, 3], [1.0, 2.0, 4.0]) is None
+
+    def test_single_point(self):
+        assert find_saturation_threshold([1], [0.5]) is None
+
+    def test_all_flat(self):
+        assert find_saturation_threshold([1, 2, 3], [1.0, 1.0, 1.0]) == 1
+
+    def test_last_point_alone_does_not_count(self):
+        sizes = [1, 10, 100]
+        delays = [0.1, 9.0, 1.0]
+        assert find_saturation_threshold(sizes, delays) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CalibrationError):
+            find_saturation_threshold([1, 2], [1.0])

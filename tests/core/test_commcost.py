@@ -1,0 +1,85 @@
+"""Unit tests for the dedicated communication cost formulas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commcost import (
+    dedicated_comm_cost,
+    dedicated_dataset_cost,
+    dedicated_pattern_cost,
+)
+from repro.core.datasets import CommPattern, DataSet
+from repro.core.params import LinearCommParams, PiecewiseCommParams
+
+LINEAR = LinearCommParams(alpha=1e-3, beta=1e6)
+PIECEWISE = PiecewiseCommParams(
+    threshold=1024,
+    small=LinearCommParams(alpha=1e-3, beta=5e5),
+    large=LinearCommParams(alpha=3e-3, beta=2e6),
+)
+
+
+class TestDatasetCost:
+    def test_formula(self):
+        """N_i × (α + size_i / β) — the §3.1.1 formula verbatim."""
+        ds = DataSet(count=10, size=500)
+        assert dedicated_dataset_cost(ds, LINEAR) == pytest.approx(10 * (1e-3 + 500 / 1e6))
+
+    def test_piecewise_uses_correct_piece_per_dataset(self):
+        small = DataSet(count=1, size=100)
+        large = DataSet(count=1, size=2048)
+        assert dedicated_dataset_cost(small, PIECEWISE) == pytest.approx(1e-3 + 100 / 5e5)
+        assert dedicated_dataset_cost(large, PIECEWISE) == pytest.approx(3e-3 + 2048 / 2e6)
+
+    def test_zero_count_costs_nothing(self):
+        assert dedicated_dataset_cost(DataSet(0, 100), LINEAR) == 0.0
+
+
+class TestCommCost:
+    def test_sums_over_datasets(self):
+        datasets = [DataSet(2, 100), DataSet(3, 200)]
+        expected = sum(dedicated_dataset_cost(d, LINEAR) for d in datasets)
+        assert dedicated_comm_cost(datasets, LINEAR) == pytest.approx(expected)
+
+    def test_empty_is_zero(self):
+        assert dedicated_comm_cost([], LINEAR) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=1e5),
+            ),
+            max_size=8,
+        )
+    )
+    def test_additive_and_nonnegative(self, specs):
+        datasets = [DataSet(c, s) for c, s in specs]
+        total = dedicated_comm_cost(datasets, PIECEWISE)
+        assert total >= 0
+        parts = sum(dedicated_comm_cost([d], PIECEWISE) for d in datasets)
+        assert total == pytest.approx(parts)
+
+    def test_monotone_in_size(self):
+        base = dedicated_comm_cost([DataSet(5, 100)], LINEAR)
+        bigger = dedicated_comm_cost([DataSet(5, 200)], LINEAR)
+        assert bigger > base
+
+
+class TestPatternCost:
+    def test_directions_use_their_params(self):
+        pattern = CommPattern(
+            to_backend=(DataSet(1, 100),), to_frontend=(DataSet(1, 100),)
+        )
+        params_in = LinearCommParams(alpha=2e-3, beta=1e6)
+        out_cost, in_cost = dedicated_pattern_cost(pattern, LINEAR, params_in)
+        assert out_cost == pytest.approx(1e-3 + 1e-4)
+        assert in_cost == pytest.approx(2e-3 + 1e-4)
+
+    def test_params_in_defaults_to_out(self):
+        pattern = CommPattern.symmetric([DataSet(1, 100)])
+        out_cost, in_cost = dedicated_pattern_cost(pattern, LINEAR)
+        assert out_cost == in_cost

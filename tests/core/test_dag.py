@@ -1,0 +1,156 @@
+"""Unit and property tests for the DAG mapper."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dag import TaskGraph, critical_path_bound, eft_mapping, evaluate_dag_mapping
+from repro.core.scheduler import MappingProblem, evaluate_mapping
+from repro.errors import ScheduleError
+
+MACHINES = ("m1", "m2")
+EXEC = {
+    "a": {"m1": 2.0, "m2": 3.0},
+    "b": {"m1": 4.0, "m2": 1.0},
+    "c": {"m1": 1.0, "m2": 5.0},
+    "d": {"m1": 2.0, "m2": 2.0},
+}
+COMM = {("m1", "m2"): 1.0, ("m2", "m1"): 1.5}
+
+DIAMOND = TaskGraph(
+    tasks=("a", "b", "c", "d"),
+    edges={("a", "b"): 1.0, ("a", "c"): 1.0, ("b", "d"): 1.0, ("c", "d"): 1.0},
+)
+
+
+class TestTaskGraph:
+    def test_topological_order_valid(self):
+        order = DIAMOND.topological_order()
+        pos = {t: k for k, t in enumerate(order)}
+        for (a, b) in DIAMOND.edges:
+            assert pos[a] < pos[b]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ScheduleError, match="cycle"):
+            TaskGraph(tasks=("a", "b"), edges={("a", "b"): 1.0, ("b", "a"): 1.0})
+
+    def test_chain_factory(self):
+        chain = TaskGraph.chain(["t1", "t2", "t3"])
+        assert set(chain.edges) == {("t1", "t2"), ("t2", "t3")}
+
+    def test_unknown_edge_task_rejected(self):
+        with pytest.raises(ScheduleError):
+            TaskGraph(tasks=("a",), edges={("a", "z"): 1.0})
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ScheduleError):
+            TaskGraph(tasks=("a",), edges={("a", "a"): 1.0})
+
+    def test_duplicate_tasks_rejected(self):
+        with pytest.raises(ScheduleError):
+            TaskGraph(tasks=("a", "a"))
+
+    def test_predecessors_successors(self):
+        assert {p for p, _ in DIAMOND.predecessors("d")} == {"b", "c"}
+        assert {s for s, _ in DIAMOND.successors("a")} == {"b", "c"}
+
+
+class TestEvaluate:
+    def test_serial_chain_matches_chain_scheduler(self):
+        """A path DAG under serial evaluation == the paper's chain model."""
+        chain = TaskGraph.chain(["a", "b", "c"])
+        problem = MappingProblem(
+            tasks=("a", "b", "c"),
+            machines=MACHINES,
+            exec_time={t: EXEC[t] for t in ("a", "b", "c")},
+            comm_time=COMM,
+        )
+        for combo in itertools.product(MACHINES, repeat=3):
+            assignment = dict(zip(("a", "b", "c"), combo))
+            assert evaluate_dag_mapping(chain, EXEC, COMM, assignment) == pytest.approx(
+                evaluate_mapping(problem, combo)
+            )
+
+    def test_concurrent_overlaps_independent_tasks(self):
+        graph = TaskGraph(tasks=("a", "b"))  # no edges
+        assignment = {"a": "m1", "b": "m2"}
+        serial = evaluate_dag_mapping(graph, EXEC, COMM, assignment, concurrent=False)
+        concurrent = evaluate_dag_mapping(graph, EXEC, COMM, assignment, concurrent=True)
+        assert concurrent == pytest.approx(max(2.0, 1.0))
+        assert serial == pytest.approx(2.0 + 1.0)
+
+    def test_concurrent_machine_serialisation(self):
+        graph = TaskGraph(tasks=("a", "b"))
+        assignment = {"a": "m1", "b": "m1"}
+        assert evaluate_dag_mapping(graph, EXEC, COMM, assignment, concurrent=True) == (
+            pytest.approx(6.0)
+        )
+
+    def test_concurrent_diamond_hand_computed(self):
+        assignment = {"a": "m1", "b": "m2", "c": "m1", "d": "m2"}
+        # a on m1 ends 2; b: arrives 2+1=3, ends 4; c on m1: machine free
+        # at 2, ends 3; d on m2: inputs b@4, c@3+1=4; machine free 4 -> ends 6.
+        value = evaluate_dag_mapping(DIAMOND, EXEC, COMM, assignment, concurrent=True)
+        assert value == pytest.approx(6.0)
+
+    def test_edge_scale_multiplies_transfer(self):
+        graph = TaskGraph(tasks=("a", "b"), edges={("a", "b"): 3.0})
+        assignment = {"a": "m1", "b": "m2"}
+        value = evaluate_dag_mapping(graph, EXEC, COMM, assignment)
+        assert value == pytest.approx(2.0 + 3.0 * 1.0 + 1.0)
+
+    def test_missing_assignment_rejected(self):
+        with pytest.raises(ScheduleError):
+            evaluate_dag_mapping(DIAMOND, EXEC, COMM, {"a": "m1"})
+
+    def test_missing_comm_pair_rejected(self):
+        graph = TaskGraph.chain(["a", "b"])
+        with pytest.raises(ScheduleError):
+            evaluate_dag_mapping(graph, EXEC, {}, {"a": "m1", "b": "m2"})
+
+
+class TestBoundsAndHeuristic:
+    def test_critical_path_is_a_lower_bound(self):
+        bound = critical_path_bound(DIAMOND, EXEC)
+        for combo in itertools.product(MACHINES, repeat=4):
+            assignment = dict(zip(DIAMOND.tasks, combo))
+            value = evaluate_dag_mapping(DIAMOND, EXEC, COMM, assignment, concurrent=True)
+            assert value >= bound - 1e-9
+
+    def test_eft_respects_precedence_and_quality(self):
+        assignment = eft_mapping(DIAMOND, EXEC, COMM)
+        assert set(assignment) == set(DIAMOND.tasks)
+        value = evaluate_dag_mapping(DIAMOND, EXEC, COMM, assignment, concurrent=True)
+        best = min(
+            evaluate_dag_mapping(
+                DIAMOND, EXEC, COMM, dict(zip(DIAMOND.tasks, combo)), concurrent=True
+            )
+            for combo in itertools.product(MACHINES, repeat=4)
+        )
+        # A good list scheduler lands within 50% of optimal on this toy.
+        assert value <= best * 1.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_eft_never_beats_the_bound_and_matches_eval(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        tasks = tuple(f"t{i}" for i in range(n))
+        # Random DAG: edges only from lower to higher index (acyclic).
+        edges = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if data.draw(st.booleans()):
+                    edges[(tasks[i], tasks[j])] = data.draw(
+                        st.floats(min_value=0.0, max_value=3.0)
+                    )
+        graph = TaskGraph(tasks=tasks, edges=edges)
+        exec_time = {
+            t: {m: data.draw(st.floats(min_value=0.1, max_value=10.0)) for m in MACHINES}
+            for t in tasks
+        }
+        assignment = eft_mapping(graph, exec_time, COMM)
+        value = evaluate_dag_mapping(graph, exec_time, COMM, assignment, concurrent=True)
+        assert value >= critical_path_bound(graph, exec_time) - 1e-9

@@ -1,0 +1,65 @@
+"""Unit tests for data sets and communication patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datasets import CommPattern, DataSet, matrix_transfer
+from repro.errors import ModelError
+
+
+class TestDataSet:
+    def test_total_words(self):
+        assert DataSet(count=10, size=256).total_words == 2560
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DataSet(count=-1, size=10)
+        with pytest.raises(ModelError):
+            DataSet(count=1, size=-10)
+
+    def test_zero_count_allowed(self):
+        assert DataSet(count=0, size=10).total_words == 0
+
+
+class TestCommPattern:
+    def test_totals(self):
+        pattern = CommPattern(
+            to_backend=(DataSet(2, 100),),
+            to_frontend=(DataSet(3, 50),),
+        )
+        assert pattern.total_words == 350
+        assert pattern.total_messages == 5
+
+    def test_symmetric(self):
+        pattern = CommPattern.symmetric([DataSet(4, 64)])
+        assert pattern.to_backend == pattern.to_frontend
+        assert pattern.total_words == 2 * 4 * 64
+
+    def test_iteration_directions(self):
+        pattern = CommPattern(to_backend=(DataSet(1, 10),), to_frontend=(DataSet(2, 20),))
+        assert list(pattern) == [("out", DataSet(1, 10)), ("in", DataSet(2, 20))]
+
+    def test_max_message_size(self):
+        pattern = CommPattern(
+            to_backend=(DataSet(1, 100),), to_frontend=(DataSet(1, 900),)
+        )
+        assert pattern.max_message_size() == 900
+
+    def test_max_message_size_empty(self):
+        assert CommPattern().max_message_size() == 0.0
+
+
+class TestMatrixTransfer:
+    def test_row_messages(self):
+        pattern = matrix_transfer(64)
+        assert pattern.to_backend == (DataSet(count=64, size=64.0),)
+        assert pattern.total_words == 2 * 64 * 64
+
+    def test_single_message(self):
+        pattern = matrix_transfer(64, row_messages=False)
+        assert pattern.to_backend == (DataSet(count=1, size=4096.0),)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            matrix_transfer(0)

@@ -1,0 +1,107 @@
+"""Tests for observation-derived application profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.contender import alternating, cpu_bound
+from repro.apps.program import frontend_program
+from repro.core.measurement import UsageMonitor
+from repro.core.slowdown import paragon_comp_slowdown
+from repro.errors import ModelError
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def platform_with(spec, streams_seed=5):
+    sim = Simulator()
+    return sim, SunParagonPlatform(sim, spec=spec, streams=RandomStreams(streams_seed))
+
+
+class TestUsageMonitor:
+    def test_recovers_comm_fraction_solo(self, quiet_paragon_spec):
+        """A lone alternating app's observed fraction matches its target."""
+        sim, plat = platform_with(quiet_paragon_spec)
+        plat.spawn(alternating(plat, 0.4, 300, plat.rng("a"), tag="app"), name="app")
+        monitor = UsageMonitor(plat)
+        sim.run(until=60.0)
+        profile = monitor.profile("app")
+        assert profile.comm_fraction == pytest.approx(0.4, abs=0.06)
+        assert profile.message_size == 300.0
+
+    def test_cpu_bound_app_observed_as_pure_compute(self, quiet_paragon_spec):
+        sim, plat = platform_with(quiet_paragon_spec)
+        plat.spawn(cpu_bound(plat, tag="hog"), name="hog")
+        monitor = UsageMonitor(plat)
+        sim.run(until=5.0)
+        profile = monitor.profile("hog")
+        assert profile.comm_fraction == 0.0
+
+    def test_snapshot_orders_by_activity_and_excludes_os(self, quiet_paragon_spec):
+        sim, plat = platform_with(quiet_paragon_spec)
+        plat.spawn(cpu_bound(plat, tag="big"), name="big")
+        plat.spawn(
+            alternating(plat, 0.3, 100, plat.rng("s"), mean_cycle=0.5, tag="small"),
+            name="small",
+        )
+        monitor = UsageMonitor(plat)
+        sim.run(until=10.0)
+        profiles = monitor.snapshot()
+        names = [p.name for p in profiles]
+        assert "_os" not in names
+        assert set(names) == {"big", "small"}
+
+    def test_window_only_counts_new_activity(self, quiet_paragon_spec):
+        sim, plat = platform_with(quiet_paragon_spec)
+        plat.spawn(alternating(plat, 0.5, 200, plat.rng("a"), tag="app"), name="app")
+        sim.run(until=20.0)
+        monitor = UsageMonitor(plat)  # opens window at t=20
+        sim.run(until=21.0)
+        usage = monitor.usage()["app"]
+        # One second of window cannot contain 20 seconds of activity.
+        assert usage.cpu_service + usage.comm_dedicated < 1.5
+
+    def test_unknown_tag_rejected(self, quiet_paragon_spec):
+        sim, plat = platform_with(quiet_paragon_spec)
+        monitor = UsageMonitor(plat)
+        sim.run(until=0.1)
+        with pytest.raises(ModelError):
+            monitor.profile("ghost")
+
+    def test_empty_window_rejected(self, quiet_paragon_spec):
+        _, plat = platform_with(quiet_paragon_spec)
+        with pytest.raises(ModelError):
+            UsageMonitor(plat).snapshot()
+
+
+class TestClosedLoop:
+    def test_observe_predict_validate(self, quiet_paragon_spec, paragon_cal):
+        """The full autonomous pipeline of §2: the resource manager
+        observes the running applications, derives their profiles,
+        computes the slowdown, and the prediction matches an
+        independent measured run."""
+        # Phase 1: observe the contenders for a while.
+        sim, plat = platform_with(quiet_paragon_spec, streams_seed=11)
+        plat.spawn(alternating(plat, 0.35, 200, plat.rng("a"), tag="a"), name="a")
+        plat.spawn(alternating(plat, 0.7, 200, plat.rng("b"), tag="b"), name="b")
+        monitor = UsageMonitor(plat)
+        sim.run(until=60.0)
+        profiles = monitor.snapshot()
+        assert len(profiles) == 2
+
+        slowdown = paragon_comp_slowdown(profiles, paragon_cal.delay_comm_sized)
+
+        # Phase 2: an independent run measures a compute probe under
+        # the same contender population.
+        work = 1.5
+        totals = []
+        for rep in range(3):
+            sim2, plat2 = platform_with(quiet_paragon_spec, streams_seed=100 + rep)
+            plat2.spawn(alternating(plat2, 0.35, 200, plat2.rng("a"), tag="a"), name="a")
+            plat2.spawn(alternating(plat2, 0.7, 200, plat2.rng("b"), tag="b"), name="b")
+            probe = sim2.process(frontend_program(plat2, work))
+            totals.append(sim2.run_until(probe))
+        actual = sum(totals) / len(totals)
+        predicted = work * slowdown
+        assert predicted == pytest.approx(actual, rel=0.25)

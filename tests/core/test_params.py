@@ -1,0 +1,176 @@
+"""Unit tests for the system-parameter containers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given as _hyp_given, settings as _hyp_settings, strategies as _hyp_st
+
+from repro.core.params import (
+    DelayTable,
+    LinearCommParams,
+    PiecewiseCommParams,
+    SMALL_MESSAGE_CUTOFF,
+    SizedDelayTable,
+)
+from repro.errors import ModelError
+
+
+class TestLinearCommParams:
+    def test_message_time(self):
+        p = LinearCommParams(alpha=1e-3, beta=1e6)
+        assert p.message_time(1000) == pytest.approx(2e-3)
+
+    def test_zero_size(self):
+        p = LinearCommParams(alpha=1e-3, beta=1e6)
+        assert p.message_time(0) == pytest.approx(1e-3)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            LinearCommParams(alpha=-1e-3, beta=1e6)
+
+    def test_nonpositive_beta_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCommParams(alpha=0.0, beta=0.0)
+
+    def test_negative_size_rejected(self):
+        p = LinearCommParams(alpha=0.0, beta=1.0)
+        with pytest.raises(ModelError):
+            p.message_time(-1)
+
+
+class TestPiecewiseCommParams:
+    @pytest.fixture
+    def params(self):
+        return PiecewiseCommParams(
+            threshold=1024,
+            small=LinearCommParams(alpha=1e-3, beta=5e5),
+            large=LinearCommParams(alpha=2e-3, beta=1e6),
+        )
+
+    def test_piece_selection(self, params):
+        assert params.piece_for(100) is params.small
+        assert params.piece_for(1024) is params.small  # boundary inclusive
+        assert params.piece_for(1025) is params.large
+
+    def test_message_time_uses_correct_piece(self, params):
+        assert params.message_time(500) == pytest.approx(1e-3 + 500 / 5e5)
+        assert params.message_time(2048) == pytest.approx(2e-3 + 2048 / 1e6)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseCommParams(
+                threshold=0,
+                small=LinearCommParams(0, 1),
+                large=LinearCommParams(0, 1),
+            )
+
+
+class TestDelayTable:
+    def test_lookup(self):
+        t = DelayTable((0.5, 1.0, 1.5))
+        assert t.delay(1) == 0.5
+        assert t.delay(3) == 1.5
+        assert t.max_level == 3
+
+    def test_level_zero_rejected(self):
+        t = DelayTable((0.5,))
+        with pytest.raises(ModelError):
+            t.delay(0)
+
+    def test_out_of_range_rejected_by_default(self):
+        t = DelayTable((0.5, 1.0))
+        with pytest.raises(ModelError):
+            t.delay(3)
+
+    def test_linear_extrapolation(self):
+        t = DelayTable((0.5, 1.0))
+        assert t.delay(4, extrapolate=True) == pytest.approx(2.0)
+
+    def test_extrapolation_clamps_at_zero(self):
+        t = DelayTable((1.0, 0.5))  # decreasing table
+        assert t.delay(5, extrapolate=True) == 0.0
+
+    def test_single_entry_extrapolates_flat(self):
+        t = DelayTable((0.7,))
+        assert t.delay(9, extrapolate=True) == 0.7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            DelayTable(())
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ModelError):
+            DelayTable((-0.1,))
+
+
+class TestSizedDelayTable:
+    @pytest.fixture
+    def sized(self):
+        return SizedDelayTable(
+            tables={
+                1: DelayTable((0.1, 0.2)),
+                500: DelayTable((0.4, 0.8)),
+                1000: DelayTable((0.5, 1.0)),
+            }
+        )
+
+    def test_buckets_sorted(self, sized):
+        assert sized.buckets == (1, 500, 1000)
+
+    def test_closest_bucket(self, sized):
+        assert sized.select_bucket(400) == 500
+        assert sized.select_bucket(800) == 1000
+        assert sized.select_bucket(600) == 500
+
+    def test_footnote2_small_cutoff(self, sized):
+        """j = 1 is only used for message sizes below 95 words."""
+        assert sized.select_bucket(10) == 1
+        assert sized.select_bucket(94) == 1
+        assert sized.select_bucket(95) == 500
+        assert sized.select_bucket(200) == 500
+
+    def test_saturation_above_largest_bucket(self, sized):
+        assert sized.select_bucket(4096) == 1000
+
+    def test_delay_dispatch(self, sized):
+        assert sized.delay(2, 450) == 0.8
+        assert sized.delay(1, 10) == 0.1
+
+    def test_force_bucket(self, sized):
+        assert sized.delay_for_bucket(2, 1) == 0.2
+        with pytest.raises(ModelError):
+            sized.delay_for_bucket(1, 777)
+
+    def test_negative_size_rejected(self, sized):
+        with pytest.raises(ModelError):
+            sized.select_bucket(-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            SizedDelayTable(tables={})
+
+    def test_single_bucket_always_selected(self):
+        sized = SizedDelayTable(tables={500: DelayTable((0.4,))})
+        assert sized.select_bucket(1) == 500
+        assert sized.select_bucket(10_000) == 500
+
+    def test_cutoff_constant_matches_paper(self):
+        assert SMALL_MESSAGE_CUTOFF == 95
+
+
+class TestBucketSelectionProperties:
+    @_hyp_settings(max_examples=100, deadline=None)
+    @_hyp_given(_hyp_st.floats(min_value=0, max_value=10_000))
+    def test_selection_total_and_stable(self, size):
+        """Every size maps to exactly one available bucket, and mapping
+        a bucket's own size returns that bucket (idempotence)."""
+        sized = SizedDelayTable(
+            tables={
+                1: DelayTable((0.1,)),
+                500: DelayTable((0.4,)),
+                1000: DelayTable((0.5,)),
+            }
+        )
+        bucket = sized.select_bucket(size)
+        assert bucket in sized.buckets
+        assert sized.select_bucket(bucket) == bucket

@@ -1,0 +1,141 @@
+"""Unit tests for performance predictions and Equation (1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prediction import (
+    BackendTaskCosts,
+    decide_placement,
+    predict_backend_time,
+    predict_comm_cost,
+    predict_frontend_time,
+    should_offload,
+)
+from repro.errors import ModelError
+
+
+class TestBackendTaskCosts:
+    def test_dedicated_elapsed(self):
+        costs = BackendTaskCosts(dcomp=2.0, didle=0.5, dserial=1.0)
+        assert costs.dedicated_elapsed == pytest.approx(2.5)
+
+    def test_serial_dominated_dedicated(self):
+        costs = BackendTaskCosts(dcomp=1.0, didle=0.0, dserial=3.0)
+        assert costs.dedicated_elapsed == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendTaskCosts(dcomp=-1, didle=0, dserial=0)
+
+
+class TestPredictions:
+    def test_frontend_scales_with_slowdown(self):
+        assert predict_frontend_time(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_frontend_dedicated(self):
+        assert predict_frontend_time(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            predict_frontend_time(1.0, 0.5)
+
+    def test_backend_max_formula_parallel_bound(self):
+        """§3.1.2: T = max(dcomp + didle, dserial × slowdown)."""
+        costs = BackendTaskCosts(dcomp=10.0, didle=1.0, dserial=2.0)
+        assert predict_backend_time(costs, 4.0) == pytest.approx(11.0)
+
+    def test_backend_max_formula_serial_bound(self):
+        costs = BackendTaskCosts(dcomp=2.0, didle=0.5, dserial=2.0)
+        assert predict_backend_time(costs, 4.0) == pytest.approx(8.0)
+
+    def test_backend_dedicated_reduces_to_elapsed(self):
+        costs = BackendTaskCosts(dcomp=2.0, didle=0.7, dserial=1.5)
+        assert predict_backend_time(costs, 1.0) == pytest.approx(costs.dedicated_elapsed)
+
+    def test_comm_cost(self):
+        assert predict_comm_cost(0.5, 3.0) == pytest.approx(1.5)
+
+
+class TestEquationOne:
+    def test_offload_when_backend_wins(self):
+        assert should_offload(t_frontend=10.0, t_backend=3.0, c_out=2.0, c_in=2.0)
+
+    def test_stay_when_transfers_dominate(self):
+        assert not should_offload(t_frontend=10.0, t_backend=3.0, c_out=4.0, c_in=4.0)
+
+    def test_tie_stays_on_frontend(self):
+        """Eq (1) uses strict '>': ties do not justify the move."""
+        assert not should_offload(10.0, 6.0, 2.0, 2.0)
+
+
+class TestDecidePlacement:
+    def test_full_pipeline(self):
+        costs = BackendTaskCosts(dcomp=3.0, didle=0.5, dserial=1.0)
+        pred = decide_placement(
+            dcomp_frontend=20.0,
+            backend_costs=costs,
+            dcomm_out=1.0,
+            dcomm_in=1.0,
+            comp_slowdown=2.0,
+            comm_slowdown=2.0,
+        )
+        assert pred.t_frontend == pytest.approx(40.0)
+        assert pred.t_backend == pytest.approx(3.5)
+        assert pred.backend_total == pytest.approx(3.5 + 2.0 + 2.0)
+        assert pred.offload
+        assert pred.best_time == pytest.approx(7.5)
+        assert pred.advantage == pytest.approx(32.5)
+
+    def test_contention_flips_decision(self):
+        """The paper's core story: contention changes where to run."""
+        costs = BackendTaskCosts(dcomp=4.0, didle=0.0, dserial=0.5)
+
+        def decision(comp_slow, comm_slow):
+            return decide_placement(
+                dcomp_frontend=6.0,
+                backend_costs=costs,
+                dcomm_out=2.0,
+                dcomm_in=2.0,
+                comp_slowdown=comp_slow,
+                comm_slowdown=comm_slow,
+            ).offload
+
+        assert not decision(1.0, 1.0)  # dedicated: 6 < 4 + 4 -> stay
+        assert decision(3.0, 1.0)  # CPU contention: 18 > 4 + 4 -> offload
+        # Link contention heavy enough outweighs the CPU gain (the
+        # Table 4 effect): 6x3 = 18 vs 4 + (3+3)x3 = 22 -> stay.
+        assert not decide_placement(
+            dcomp_frontend=6.0,
+            backend_costs=costs,
+            dcomm_out=3.0,
+            dcomm_in=3.0,
+            comp_slowdown=3.0,
+            comm_slowdown=3.0,
+        ).offload  # 6x3=18 vs 4 + 18 = 22 -> stay
+
+    def test_separate_backend_serial_slowdown(self):
+        costs = BackendTaskCosts(dcomp=1.0, didle=0.0, dserial=2.0)
+        pred = decide_placement(
+            dcomp_frontend=1.0,
+            backend_costs=costs,
+            dcomm_out=0.0,
+            dcomm_in=0.0,
+            comp_slowdown=1.0,
+            comm_slowdown=1.0,
+            backend_serial_slowdown=5.0,
+        )
+        assert pred.t_backend == pytest.approx(10.0)
+
+
+class TestMixedPrediction:
+    def test_decomposition(self):
+        from repro.core.prediction import predict_mixed_time
+
+        value = predict_mixed_time(2.0, 0.5, 0.5, 3.0, 2.0)
+        assert value == pytest.approx(2.0 * 3.0 + 1.0 * 2.0)
+
+    def test_dedicated_reduces_to_sum(self):
+        from repro.core.prediction import predict_mixed_time
+
+        assert predict_mixed_time(1.0, 0.3, 0.2, 1.0, 1.0) == pytest.approx(1.5)

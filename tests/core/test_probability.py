@@ -1,0 +1,132 @@
+"""Unit and property tests for the Poisson-binomial machinery."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probability import (
+    add_application,
+    comm_comp_distributions,
+    expected_active,
+    overlap_distribution,
+    remove_application,
+)
+from repro.errors import ModelError
+
+fractions_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=0, max_size=8
+)
+
+
+def brute_force(fractions: list[float]) -> np.ndarray:
+    """Enumerate all 2^p activity subsets (the definition)."""
+    p = len(fractions)
+    dist = np.zeros(p + 1)
+    for active in itertools.product([0, 1], repeat=p):
+        prob = 1.0
+        for f, a in zip(fractions, active):
+            prob *= f if a else (1.0 - f)
+        dist[sum(active)] += prob
+    return dist
+
+
+class TestOverlapDistribution:
+    def test_paper_worked_example(self):
+        """§3.2.1: p = 2, comm fractions 0.2 and 0.3."""
+        pcomm, pcomp = comm_comp_distributions([0.2, 0.3])
+        assert pcomm[1] == pytest.approx(0.2 * 0.7 + 0.3 * 0.8)
+        assert pcomm[2] == pytest.approx(0.2 * 0.3)
+        assert pcomp[1] == pytest.approx(0.2 * 0.7 + 0.3 * 0.8)
+        assert pcomp[2] == pytest.approx(0.7 * 0.8)
+
+    def test_empty_population(self):
+        dist = overlap_distribution([])
+        assert dist.tolist() == [1.0]
+
+    def test_single_application(self):
+        dist = overlap_distribution([0.3])
+        assert dist == pytest.approx([0.7, 0.3])
+
+    def test_all_always_active(self):
+        dist = overlap_distribution([1.0, 1.0, 1.0])
+        assert dist[-1] == pytest.approx(1.0)
+        assert dist[:-1] == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_all_never_active(self):
+        dist = overlap_distribution([0.0, 0.0])
+        assert dist[0] == pytest.approx(1.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_distribution([1.5])
+        with pytest.raises(ValueError):
+            overlap_distribution([-0.1])
+
+    @settings(max_examples=100, deadline=None)
+    @given(fractions_lists)
+    def test_matches_brute_force(self, fractions):
+        dist = overlap_distribution(fractions)
+        assert dist == pytest.approx(brute_force(fractions), abs=1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(fractions_lists)
+    def test_sums_to_one(self, fractions):
+        assert overlap_distribution(fractions).sum() == pytest.approx(1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(fractions_lists)
+    def test_expected_active_is_sum_of_fractions(self, fractions):
+        dist = overlap_distribution(fractions)
+        assert expected_active(dist) == pytest.approx(sum(fractions), abs=1e-9)
+
+    def test_pcomp_is_reverse_of_pcomm(self):
+        """Two-phase apps: #comp = p - #comm exactly."""
+        pcomm, pcomp = comm_comp_distributions([0.2, 0.5, 0.9])
+        assert pcomp == pytest.approx(pcomm[::-1])
+
+
+class TestIncrementalUpdates:
+    @settings(max_examples=100, deadline=None)
+    @given(fractions_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_add_matches_rebuild(self, fractions, extra):
+        incremental = add_application(overlap_distribution(fractions), extra)
+        rebuilt = overlap_distribution(fractions + [extra])
+        assert incremental == pytest.approx(rebuilt, abs=1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(fractions_lists, st.floats(min_value=0.01, max_value=0.99))
+    def test_add_remove_roundtrip(self, fractions, extra):
+        base = overlap_distribution(fractions)
+        roundtrip = remove_application(add_application(base, extra), extra)
+        assert roundtrip == pytest.approx(base, abs=1e-9)
+
+    def test_remove_extreme_fraction_zero(self):
+        base = overlap_distribution([0.5])
+        out = remove_application(add_application(base, 0.0), 0.0)
+        assert out == pytest.approx(base)
+
+    def test_remove_extreme_fraction_one(self):
+        base = overlap_distribution([0.5])
+        out = remove_application(add_application(base, 1.0), 1.0)
+        assert out == pytest.approx(base)
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ModelError):
+            remove_application(np.array([1.0]), 0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.05, max_value=0.95), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_remove_any_member(self, fractions, idx):
+        """Removing any member yields the distribution of the rest."""
+        idx = idx % len(fractions)
+        full = overlap_distribution(fractions)
+        rest = fractions[:idx] + fractions[idx + 1 :]
+        removed = remove_application(full, fractions[idx])
+        assert removed == pytest.approx(overlap_distribution(rest), abs=1e-8)

@@ -1,0 +1,140 @@
+"""Unit and property tests for the run-time slowdown manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import DelayTable, SizedDelayTable
+from repro.core.probability import overlap_distribution
+from repro.core.runtime import SlowdownManager
+from repro.core.slowdown import paragon_comm_slowdown, paragon_comp_slowdown
+from repro.core.workload import ApplicationProfile
+from repro.errors import ModelError
+
+DELAY_COMP = DelayTable((0.5, 1.1, 1.8, 2.5, 3.2))
+DELAY_COMM = DelayTable((0.2, 0.7, 1.3, 1.9, 2.5))
+SIZED = SizedDelayTable(
+    tables={
+        1: DelayTable((0.1, 0.25, 0.4, 0.6, 0.8)),
+        500: DelayTable((0.4, 0.9, 1.4, 1.9, 2.4)),
+        1000: DelayTable((0.5, 1.1, 1.7, 2.3, 2.9)),
+    }
+)
+
+
+def manager() -> SlowdownManager:
+    return SlowdownManager(DELAY_COMP, DELAY_COMM, SIZED)
+
+
+def profile(name: str, fraction: float, size: float = 200) -> ApplicationProfile:
+    return ApplicationProfile(name, fraction, size if fraction > 0 else 0.0)
+
+
+class TestPopulation:
+    def test_empty_slowdowns_are_one(self):
+        mgr = manager()
+        assert mgr.comm_slowdown() == 1.0
+        assert mgr.comp_slowdown() == 1.0
+        assert mgr.p == 0
+
+    def test_arrive_depart_roundtrip(self):
+        mgr = manager()
+        mgr.arrive(profile("a", 0.3))
+        mgr.arrive(profile("b", 0.7))
+        assert mgr.p == 2
+        mgr.depart("a")
+        assert mgr.p == 1
+        assert "b" in mgr and "a" not in mgr
+
+    def test_duplicate_arrival_rejected(self):
+        mgr = manager()
+        mgr.arrive(profile("a", 0.3))
+        with pytest.raises(ModelError):
+            mgr.arrive(profile("a", 0.5))
+
+    def test_unknown_departure_rejected(self):
+        with pytest.raises(ModelError):
+            manager().depart("ghost")
+
+    def test_cpu_bound_count(self):
+        mgr = manager()
+        mgr.arrive(ApplicationProfile.cpu_bound("h1"))
+        mgr.arrive(profile("c", 0.5))
+        assert mgr.cpu_bound_count() == 1
+
+    def test_max_message_size(self):
+        mgr = manager()
+        mgr.arrive(profile("a", 0.5, 800))
+        mgr.arrive(profile("b", 0.5, 300))
+        assert mgr.max_message_size() == 800
+
+    def test_snapshot_is_copy(self):
+        mgr = manager()
+        mgr.arrive(profile("a", 0.5))
+        snap = mgr.snapshot()
+        mgr.depart("a")
+        assert "a" in snap
+
+
+class TestConsistencyWithBatchFormulas:
+    """The incremental manager must agree with the one-shot formulas."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=0, max_size=5))
+    def test_comm_slowdown_matches(self, fractions):
+        mgr = manager()
+        profiles = [profile(f"a{i}", f) for i, f in enumerate(fractions)]
+        for p in profiles:
+            mgr.arrive(p)
+        assert mgr.comm_slowdown() == pytest.approx(
+            paragon_comm_slowdown(profiles, DELAY_COMP, DELAY_COMM)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=0, max_size=5))
+    def test_comp_slowdown_matches(self, fractions):
+        mgr = manager()
+        profiles = [profile(f"a{i}", f) for i, f in enumerate(fractions)]
+        for p in profiles:
+            mgr.arrive(p)
+        assert mgr.comp_slowdown() == pytest.approx(
+            paragon_comp_slowdown(profiles, SIZED)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_departure_keeps_distributions_exact(self, fractions, idx):
+        idx = idx % len(fractions)
+        mgr = manager()
+        for i, f in enumerate(fractions):
+            mgr.arrive(profile(f"a{i}", f))
+        mgr.depart(f"a{idx}")
+        rest = [f for i, f in enumerate(fractions) if i != idx]
+        assert mgr.pcomm == pytest.approx(overlap_distribution(rest), abs=1e-8)
+        assert mgr.pcomp == pytest.approx(
+            overlap_distribution([1 - f for f in rest]), abs=1e-8
+        )
+
+    def test_arrivals_never_rebuild(self):
+        """Paper claim: O(p) incremental updates on arrival."""
+        mgr = manager()
+        for i in range(5):
+            mgr.arrive(profile(f"a{i}", 0.1 * (i + 1)))
+        assert mgr.rebuilds == 0
+
+    def test_extreme_fraction_departure_falls_back_cleanly(self):
+        mgr = manager()
+        mgr.arrive(profile("edge", 1.0))
+        mgr.arrive(profile("mid", 0.5))
+        mgr.depart("edge")
+        assert mgr.pcomm == pytest.approx(overlap_distribution([0.5]), abs=1e-9)
+
+    def test_explicit_j_query(self):
+        mgr = manager()
+        mgr.arrive(profile("a", 0.5, 800))
+        assert mgr.comp_slowdown(j=1) != mgr.comp_slowdown(j=1000)

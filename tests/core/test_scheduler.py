@@ -1,0 +1,201 @@
+"""Unit and property tests for the contention-aware mapper."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import MappingProblem, best_mapping, evaluate_mapping, rank_mappings
+from repro.errors import ScheduleError
+
+
+def paper_problem() -> MappingProblem:
+    return MappingProblem(
+        tasks=("A", "B"),
+        machines=("M1", "M2"),
+        exec_time={"A": {"M1": 12, "M2": 18}, "B": {"M1": 4, "M2": 30}},
+        comm_time={("M1", "M2"): 7, ("M2", "M1"): 8},
+    )
+
+
+class TestEvaluateMapping:
+    def test_same_machine_no_comm(self):
+        assert evaluate_mapping(paper_problem(), ("M1", "M1")) == 16
+
+    def test_split_pays_transfer(self):
+        assert evaluate_mapping(paper_problem(), ("M2", "M1")) == 18 + 8 + 4
+
+    def test_all_four_mappings(self):
+        prob = paper_problem()
+        expected = {
+            ("M1", "M1"): 16,
+            ("M1", "M2"): 12 + 7 + 30,
+            ("M2", "M1"): 18 + 8 + 4,
+            ("M2", "M2"): 48,
+        }
+        for combo, cost in expected.items():
+            assert evaluate_mapping(prob, combo) == cost
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ScheduleError):
+            evaluate_mapping(paper_problem(), ("M1",))
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ScheduleError):
+            evaluate_mapping(paper_problem(), ("M1", "M3"))
+
+    def test_missing_comm_pair_rejected(self):
+        prob = MappingProblem(
+            tasks=("A", "B"),
+            machines=("M1", "M2"),
+            exec_time={"A": {"M1": 1, "M2": 1}, "B": {"M1": 1, "M2": 1}},
+            comm_time={},
+        )
+        with pytest.raises(ScheduleError):
+            evaluate_mapping(prob, ("M1", "M2"))
+
+
+class TestPaperTables:
+    def test_tables_1_2_dedicated(self):
+        result = best_mapping(paper_problem())
+        assert result.assignment == ("M1", "M1")
+        assert result.elapsed == 16
+
+    def test_table_3_cpu_contention(self):
+        problem = paper_problem().with_slowdowns({"M1": 3.0})
+        assert problem.exec_time["A"]["M1"] == 36
+        assert problem.exec_time["B"]["M1"] == 12
+        result = best_mapping(problem)
+        assert result.assignment == ("M2", "M1")
+        assert result.elapsed == 38
+
+    def test_table_4_link_contention_too(self):
+        problem = paper_problem().with_slowdowns({"M1": 3.0}, 3.0)
+        assert problem.comm_time[("M1", "M2")] == 21
+        assert problem.comm_time[("M2", "M1")] == 24
+        result = best_mapping(problem)
+        assert result.assignment == ("M1", "M1")
+        assert result.elapsed == 48
+
+    def test_per_pair_comm_slowdown(self):
+        problem = paper_problem().with_slowdowns({}, {("M1", "M2"): 2.0})
+        assert problem.comm_time[("M1", "M2")] == 14
+        assert problem.comm_time[("M2", "M1")] == 8
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ScheduleError):
+            paper_problem().with_slowdowns({"M1": 0.5})
+        with pytest.raises(ScheduleError):
+            paper_problem().with_slowdowns({}, 0.9)
+
+
+class TestSearch:
+    def test_rank_is_sorted(self):
+        ranked = rank_mappings(paper_problem())
+        assert len(ranked) == 4
+        costs = [r.elapsed for r in ranked]
+        assert costs == sorted(costs)
+
+    def test_best_agrees_with_rank(self):
+        assert best_mapping(paper_problem()) == rank_mappings(paper_problem())[0]
+
+    def test_search_space_guard(self):
+        prob = MappingProblem(
+            tasks=tuple("t%d" % i for i in range(10)),
+            machines=("a", "b", "c"),
+            exec_time={f"t{i}": {"a": 1, "b": 1, "c": 1} for i in range(10)},
+            comm_time={
+                (x, y): 1.0 for x in "abc" for y in "abc" if x != y
+            },
+        )
+        with pytest.raises(ScheduleError):
+            best_mapping(prob, max_candidates=100)
+        # And succeeds when the limit allows it.
+        assert best_mapping(prob, max_candidates=100_000).elapsed == 10
+
+    def test_placement_dict(self):
+        result = best_mapping(paper_problem())
+        assert result.placement(("A", "B")) == {"A": "M1", "B": "M1"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_branch_and_bound_equals_exhaustive(self, data):
+        n_tasks = data.draw(st.integers(min_value=1, max_value=4))
+        n_machines = data.draw(st.integers(min_value=1, max_value=3))
+        tasks = tuple(f"t{i}" for i in range(n_tasks))
+        machines = tuple(f"m{j}" for j in range(n_machines))
+        cost = st.floats(min_value=0.0, max_value=100.0)
+        exec_time = {
+            t: {m: data.draw(cost) for m in machines} for t in tasks
+        }
+        comm_time = {
+            (a, b): data.draw(cost)
+            for a in machines
+            for b in machines
+            if a != b
+        }
+        prob = MappingProblem(tasks, machines, exec_time, comm_time)
+        best = best_mapping(prob)
+        ranked_best = rank_mappings(prob)[0]
+        # The DFS accumulates costs incrementally, so equal mappings can
+        # differ in the last float bits; compare values with tolerance
+        # and check the reported cost is consistent with the assignment.
+        assert best.elapsed == pytest.approx(ranked_best.elapsed, rel=1e-9, abs=1e-9)
+        assert evaluate_mapping(prob, best.assignment) == pytest.approx(
+            best.elapsed, rel=1e-9, abs=1e-9
+        )
+
+
+class TestValidation:
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ScheduleError):
+            MappingProblem((), ("m",), {}, {})
+
+    def test_missing_exec_time_rejected(self):
+        with pytest.raises(ScheduleError):
+            MappingProblem(("A",), ("M1", "M2"), {"A": {"M1": 1}}, {})
+
+    def test_negative_exec_time_rejected(self):
+        with pytest.raises(ScheduleError):
+            MappingProblem(("A",), ("M1",), {"A": {"M1": -1}}, {})
+
+
+class TestSlowdownInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=10.0),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_unit_slowdown_is_identity(self, f1, f2):
+        """with_slowdowns(factor 1.0 everywhere) changes nothing."""
+        prob = paper_problem()
+        same = prob.with_slowdowns({"M1": 1.0, "M2": 1.0}, 1.0)
+        assert same.exec_time == prob.exec_time
+        assert same.comm_time == prob.comm_time
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=20.0))
+    def test_uniform_slowdown_preserves_optimum(self, factor):
+        """Scaling every machine and link by the same factor scales
+        the makespan but cannot change the best assignment."""
+        prob = paper_problem()
+        scaled = prob.with_slowdowns({"M1": factor, "M2": factor}, factor)
+        base = best_mapping(prob)
+        after = best_mapping(scaled)
+        assert after.assignment == base.assignment
+        assert after.elapsed == pytest.approx(base.elapsed * factor)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=20.0))
+    def test_slowdown_composition(self, factor):
+        """Applying slowdowns twice multiplies the factors."""
+        prob = paper_problem()
+        once = prob.with_slowdowns({"M1": factor})
+        twice = once.with_slowdowns({"M1": factor})
+        direct = prob.with_slowdowns({"M1": factor * factor})
+        for task in prob.tasks:
+            assert twice.exec_time[task]["M1"] == pytest.approx(
+                direct.exec_time[task]["M1"]
+            )

@@ -1,0 +1,146 @@
+"""Unit tests for the three slowdown formulas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import DelayTable, SizedDelayTable
+from repro.core.probability import comm_comp_distributions
+from repro.core.slowdown import (
+    cm2_slowdown,
+    paragon_comm_slowdown,
+    paragon_comp_slowdown,
+    weighted_delay,
+)
+from repro.core.workload import ApplicationProfile
+from repro.errors import ModelError
+
+DELAY_COMP = DelayTable((0.5, 1.1, 1.8, 2.5), label="comp")
+DELAY_COMM = DelayTable((0.2, 0.7, 1.3, 1.9), label="comm")
+SIZED = SizedDelayTable(
+    tables={
+        1: DelayTable((0.1, 0.25, 0.4, 0.6)),
+        500: DelayTable((0.4, 0.9, 1.4, 1.9)),
+        1000: DelayTable((0.5, 1.1, 1.7, 2.3)),
+    }
+)
+
+
+def profiles(*specs):
+    return [
+        ApplicationProfile(f"a{i}", comm_fraction=f, message_size=s)
+        for i, (f, s) in enumerate(specs)
+    ]
+
+
+class TestCM2Slowdown:
+    def test_p_plus_one(self):
+        for p in range(5):
+            assert cm2_slowdown(p) == p + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            cm2_slowdown(-1)
+
+
+class TestWeightedDelay:
+    def test_hand_computed(self):
+        pcomm, _ = comm_comp_distributions([0.2, 0.3])
+        expected = pcomm[1] * 0.2 + pcomm[2] * 0.7
+        assert weighted_delay(pcomm, DELAY_COMM) == pytest.approx(expected)
+
+    def test_index_zero_ignored(self):
+        import numpy as np
+
+        dist = np.array([1.0])  # nobody ever active
+        assert weighted_delay(dist, DELAY_COMM) == 0.0
+
+
+class TestParagonCommSlowdown:
+    def test_dedicated_is_one(self):
+        assert paragon_comm_slowdown([], DELAY_COMP, DELAY_COMM) == 1.0
+
+    def test_paper_structure(self):
+        """1 + Σ pcomp·delay_comp + Σ pcomm·delay_comm, by hand."""
+        apps = profiles((0.2, 200), (0.3, 200))
+        pcomm, pcomp = comm_comp_distributions([0.2, 0.3])
+        expected = (
+            1.0
+            + pcomp[1] * 0.5
+            + pcomp[2] * 1.1
+            + pcomm[1] * 0.2
+            + pcomm[2] * 0.7
+        )
+        assert paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM) == pytest.approx(expected)
+
+    def test_all_cpu_bound_uses_only_comp_table(self):
+        apps = [ApplicationProfile.cpu_bound(f"c{i}") for i in range(2)]
+        # pcomp = [0,0,1]: both always compute.
+        assert paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM) == pytest.approx(1.0 + 1.1)
+
+    def test_always_communicating(self):
+        apps = profiles((1.0, 100), (1.0, 100))
+        assert paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM) == pytest.approx(1.0 + 0.7)
+
+    def test_at_least_one(self):
+        apps = profiles((0.5, 100))
+        assert paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM) >= 1.0
+
+    def test_out_of_range_level_raises_without_extrapolate(self):
+        apps = profiles(*[(0.5, 100)] * 6)
+        with pytest.raises(ModelError):
+            paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM)
+        # ... and works with extrapolation enabled.
+        value = paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM, extrapolate=True)
+        assert value > 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=3))
+    def test_monotone_under_more_contenders(self, fractions):
+        apps = profiles(*[(f, 100 if f > 0 else 0) for f in fractions])
+        base = paragon_comm_slowdown(apps, DELAY_COMP, DELAY_COMM)
+        more = paragon_comm_slowdown(
+            apps + profiles((0.5, 100)), DELAY_COMP, DELAY_COMM
+        )
+        assert more >= base - 1e-12
+
+
+class TestParagonCompSlowdown:
+    def test_dedicated_is_one(self):
+        assert paragon_comp_slowdown([], SIZED) == 1.0
+
+    def test_pure_cpu_contenders_reduce_to_p_plus_one(self):
+        """With only CPU-bound contenders, Σ pcomp_i · i = p."""
+        apps = [ApplicationProfile.cpu_bound(f"c{i}") for i in range(3)]
+        assert paragon_comp_slowdown(apps, SIZED) == pytest.approx(4.0)
+
+    def test_hand_computed_mixed(self):
+        apps = profiles((0.66, 800), (0.33, 1200))
+        pcomm, pcomp = comm_comp_distributions([0.66, 0.33])
+        # j defaults to max message size (1200) -> bucket 1000.
+        expected = (
+            1.0
+            + pcomp[1] * 1
+            + pcomp[2] * 2
+            + pcomm[1] * 0.5
+            + pcomm[2] * 1.1
+        )
+        assert paragon_comp_slowdown(apps, SIZED) == pytest.approx(expected)
+
+    def test_force_bucket_changes_value(self):
+        apps = profiles((0.66, 800), (0.33, 1200))
+        j1 = paragon_comp_slowdown(apps, SIZED, force_bucket=1)
+        j1000 = paragon_comp_slowdown(apps, SIZED, force_bucket=1000)
+        assert j1 < j1000  # bigger contender messages steal more CPU
+
+    def test_explicit_j_overrides_max_size(self):
+        apps = profiles((0.5, 1200))
+        explicit = paragon_comp_slowdown(apps, SIZED, j=500)
+        forced = paragon_comp_slowdown(apps, SIZED, force_bucket=500)
+        assert explicit == pytest.approx(forced)
+
+    def test_bad_bucket_rejected(self):
+        apps = profiles((0.5, 100))
+        with pytest.raises(ModelError):
+            paragon_comp_slowdown(apps, SIZED, force_bucket=123)

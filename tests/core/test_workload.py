@@ -1,0 +1,62 @@
+"""Unit tests for application profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datasets import CommPattern, DataSet
+from repro.core.workload import ApplicationProfile, comm_fractions, max_message_size
+from repro.errors import ModelError
+
+
+class TestApplicationProfile:
+    def test_comp_fraction_complements(self):
+        p = ApplicationProfile("x", comm_fraction=0.3, message_size=100)
+        assert p.comp_fraction == pytest.approx(0.7)
+
+    def test_cpu_bound_factory(self):
+        p = ApplicationProfile.cpu_bound("hog")
+        assert p.comm_fraction == 0.0
+        assert p.comp_fraction == 1.0
+
+    def test_from_costs(self):
+        """The paper's derivation: fraction = dcomm / (dcomp + dcomm)."""
+        p = ApplicationProfile.from_costs("x", dedicated_comp=8.0, dedicated_comm=2.0,
+                                          message_size=100)
+        assert p.comm_fraction == pytest.approx(0.2)
+
+    def test_from_costs_zero_total_rejected(self):
+        with pytest.raises(ModelError):
+            ApplicationProfile.from_costs("x", 0.0, 0.0)
+
+    def test_from_pattern_takes_max_size(self):
+        pattern = CommPattern(to_backend=(DataSet(1, 100), DataSet(1, 700)))
+        p = ApplicationProfile.from_pattern("x", 1.0, 1.0, pattern)
+        assert p.message_size == 700
+
+    def test_communicating_without_size_rejected(self):
+        with pytest.raises(ModelError):
+            ApplicationProfile("x", comm_fraction=0.5, message_size=0.0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("x", comm_fraction=1.5, message_size=1)
+
+    def test_with_fraction(self):
+        p = ApplicationProfile("x", 0.3, 100)
+        q = p.with_fraction(0.6)
+        assert q.comm_fraction == 0.6
+        assert q.name == "x" and q.message_size == 100
+
+
+class TestHelpers:
+    def test_comm_fractions_order(self):
+        ps = [ApplicationProfile("a", 0.1, 10), ApplicationProfile("b", 0.9, 10)]
+        assert comm_fractions(ps) == [0.1, 0.9]
+
+    def test_max_message_size(self):
+        ps = [ApplicationProfile("a", 0.5, 800), ApplicationProfile("b", 0.5, 1200)]
+        assert max_message_size(ps) == 1200
+
+    def test_max_message_size_empty(self):
+        assert max_message_size([]) == 0.0

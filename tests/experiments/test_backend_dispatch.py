@@ -1,0 +1,92 @@
+"""Band tests for the T_p experiments and the dispatch case study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.backend import (
+    fragment_pool,
+    gang_experiment,
+    mesh_contention_experiment,
+)
+from repro.experiments.dispatch import library_dispatch_experiment
+from repro.platforms.mesh import MeshSpec, PartitionAllocator
+
+
+class TestFragmentPool:
+    def test_holds_about_half(self):
+        alloc = PartitionAllocator(MeshSpec(rows=4, cols=8))
+        held = fragment_pool(alloc, np.random.default_rng(0), hold_fraction=0.5)
+        assert len(held) == 16
+        assert alloc.free_nodes == 16
+
+
+class TestMeshExperiment:
+    def test_policy_tradeoff(self, ):
+        result = mesh_contention_experiment(quick=True)
+        # Contiguous rectangles: no inter-partition interference.
+        assert result.metrics["contiguous_slowdown"] == pytest.approx(1.0, abs=0.02)
+        # Scattered interleaving: measurable interference.
+        assert result.metrics["scattered_slowdown"] > 1.03
+        # Fragmentation blocks the contiguous allocator outright.
+        outcomes = {row[0]: row[1] for row in result.rows}
+        assert "REJECTED" in outcomes["contiguous (fragmented pool)"]
+
+
+class TestGangExperiment:
+    def test_model_tracks_simulator(self):
+        result = gang_experiment(quick=True)
+        assert result.metrics["mean_abs_err_pct"] < 5.0
+        # T_p multiplier grows with the number of gangs.
+        actuals = result.column("actual (s)")
+        assert actuals == sorted(actuals)
+
+
+class TestDispatchExperiment:
+    def test_aware_scheduler_never_worse(self, quiet_cm2_spec):
+        result = library_dispatch_experiment(spec=quiet_cm2_spec, quick=True)
+        assert result.metrics["aware_correct"] >= result.metrics["oblivious_correct"]
+        assert result.metrics["aware_correct"] >= result.metrics["tasks"] - 1
+
+    def test_contention_flips_a_gauss_task(self, quiet_cm2_spec):
+        """The paper's thesis: the load changes where GE should run."""
+        result = library_dispatch_experiment(
+            spec=quiet_cm2_spec, quick=False,
+            matmul_sizes=(), sort_sizes=(), gauss_sizes=(200,),
+        )
+        row = result.rows[0]
+        aware, oblivious = row[4], row[5]
+        assert aware == "cm2" and oblivious == "sun"
+        assert result.metrics["time_saved_by_awareness_s"] > 0
+
+    def test_small_tasks_stay_on_frontend(self, quiet_cm2_spec):
+        result = library_dispatch_experiment(
+            spec=quiet_cm2_spec, matmul_sizes=(16,), sort_sizes=(1024,), gauss_sizes=()
+        )
+        for row in result.rows:
+            assert row[3] == "sun"  # true winner
+            assert row[4] == "sun"  # aware agrees
+
+
+class TestTpPlacement:
+    def test_crossover_exists(self):
+        from repro.experiments.backend import tp_placement_experiment
+
+        result = tp_placement_experiment(quick=True)
+        winners = result.column("winner")
+        # Small grids stay on the Sun, large ones move to the Paragon.
+        assert winners[0] == "sun"
+        assert winners[-1] == "paragon"
+        assert result.metrics["crossover_M"] > 0
+
+
+class TestSequencerQueueing:
+    def test_jobs_serialise(self):
+        from repro.experiments.backend import sequencer_queueing_experiment
+
+        result = sequencer_queueing_experiment(quick=True)
+        # Completion times step up by ~1x single-job time each.
+        assert result.metrics["max_serialisation_err"] < 0.1
+        ratios = result.column("completion / single")
+        assert ratios == sorted(ratios)

@@ -1,0 +1,81 @@
+"""Tests for the calibration suites against ground truth.
+
+The core honesty check of the reproduction: parameters estimated by
+running the paper's benchmarks on the simulator must recover the
+(hidden) ground-truth spec within benchmark-procedure tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibrate import (
+    calibrate_cm2,
+    measure_delay_comm_sized,
+    pingpong_sweep,
+)
+
+
+class TestCM2Calibration:
+    def test_recovers_ground_truth(self, cm2_cal, quiet_cm2_spec):
+        truth_beta = 1.0 / quiet_cm2_spec.transfer_per_word
+        assert cm2_cal.params_out.beta == pytest.approx(truth_beta, rel=0.02)
+        assert cm2_cal.params_out.alpha == pytest.approx(
+            quiet_cm2_spec.transfer_alpha, rel=0.02
+        )
+
+    def test_symmetric_directions(self, cm2_cal):
+        assert cm2_cal.params_in.beta == pytest.approx(cm2_cal.params_out.beta, rel=0.01)
+
+    def test_cached_per_spec(self, quiet_cm2_spec):
+        assert calibrate_cm2(quiet_cm2_spec) is calibrate_cm2(quiet_cm2_spec)
+
+
+class TestParagonCalibration:
+    def test_threshold_found_at_buffer_size(self, paragon_cal, quiet_paragon_spec):
+        """The fitted piecewise threshold lands on the transport buffer."""
+        assert paragon_cal.params_out.threshold == quiet_paragon_spec.wire.buffer_words
+        assert paragon_cal.params_in.threshold == quiet_paragon_spec.wire.buffer_words
+
+    def test_small_piece_matches_ground_truth(self, paragon_cal, quiet_paragon_spec):
+        """Below the threshold, effective per-word time = conversion +
+        wire per-word costs."""
+        spec = quiet_paragon_spec
+        truth_per_word = spec.conv_per_word + spec.wire.per_word
+        fitted_per_word = 1.0 / paragon_cal.params_out.small.beta
+        assert fitted_per_word == pytest.approx(truth_per_word, rel=0.03)
+
+    def test_predicts_dedicated_bursts(self, paragon_cal, quiet_paragon_spec):
+        """The fitted model reproduces unseen dedicated measurements."""
+        sweep = pingpong_sweep(quiet_paragon_spec, sizes=(48, 300, 900, 1800), count=100)
+        for size, measured in sweep.items():
+            predicted = paragon_cal.params_out.message_time(size)
+            assert predicted == pytest.approx(measured, rel=0.05)
+
+    def test_delay_tables_monotone_in_contention(self, paragon_cal):
+        for table in (paragon_cal.delay_comp, paragon_cal.delay_comm):
+            delays = table.delays
+            assert all(b >= a - 1e-9 for a, b in zip(delays, delays[1:]))
+
+    def test_delay_comp_positive(self, paragon_cal):
+        assert paragon_cal.delay_comp.delays[0] > 0
+
+    def test_sized_tables_have_paper_buckets(self, paragon_cal):
+        assert paragon_cal.delay_comm_sized.buckets == (1, 500, 1000)
+
+    def test_bigger_j_not_smaller_delay_at_high_contention(self, paragon_cal):
+        """delay^{i,1} < delay^{i,500} for all i — tiny-message
+        generators steal the least CPU per unit time."""
+        sized = paragon_cal.delay_comm_sized
+        for i in range(1, 4):
+            assert sized.delay_for_bucket(i, 1) < sized.delay_for_bucket(i, 500)
+
+    def test_saturation_beyond_buffer(self, quiet_paragon_spec):
+        """delay^{i,j} identical for j = 1024 and j = 2048: fragmentation
+        makes big messages behave as back-to-back buffer-fulls."""
+        sized = measure_delay_comm_sized(
+            quiet_paragon_spec, p_max=2, j_values=(1024, 2048), work=0.4
+        )
+        d1 = sized.tables[1024].delays
+        d2 = sized.tables[2048].delays
+        assert d2 == pytest.approx(d1, rel=0.02)

@@ -1,0 +1,109 @@
+"""Unit tests for JSON/CSV export and the CLI entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.export import to_csv, to_json, write_results
+from repro.experiments.report import ExperimentResult
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment="demo",
+        title="a demo",
+        headers=("x", "y"),
+        rows=[(1, 2.5), (2, float("nan"))],
+        metrics={"err": 3.25, "bad": float("inf")},
+        paper_claim="claims",
+        notes="notes",
+    )
+
+
+class TestJson:
+    def test_roundtrip(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["experiment"] == "demo"
+        assert payload["headers"] == ["x", "y"]
+        assert payload["rows"][0] == [1, 2.5]
+        assert payload["metrics"]["err"] == 3.25
+
+    def test_non_finite_become_null(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["rows"][1][1] is None
+        assert payload["metrics"]["bad"] is None
+
+
+class TestCsv:
+    def test_headers_and_rows(self, result):
+        lines = to_csv(result).strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+
+class TestWriteResults:
+    def test_files_on_disk(self, result, tmp_path):
+        written = write_results([result], tmp_path)
+        names = {p.name for p in written}
+        assert names == {"demo.json", "demo.csv", "demo.md", "summary.json"}
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["demo"]["metrics"]["err"] == 3.25
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "run1"
+        write_results([result], target)
+        assert (target / "demo.json").exists()
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "tables1_4" in out
+
+    def test_run_one_quick(self, capsys):
+        assert main(["tables1_4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Motivating example" in out
+        assert "A->M2 B->M1" in out
+
+    def test_outdir(self, capsys, tmp_path):
+        assert main(["tables1_4", "--quick", "--outdir", str(tmp_path)]) == 0
+        assert (tmp_path / "tables1_4.json").exists()
+        assert (tmp_path / "summary.json").exists()
+
+    def test_chart_flag(self, capsys, quiet_cm2_spec, monkeypatch):
+        # fig2 has no chart spec; gang does. Run gang quick with chart.
+        assert main(["gang", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o = actual (s)" in out
+
+    def test_unknown_name_fails(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+
+class TestMarkdown:
+    def test_structure(self, result):
+        from repro.experiments.export import to_markdown
+
+        text = to_markdown(result)
+        assert text.startswith("## demo")
+        assert "| x | y |" in text
+        assert "**err**: 3.25" in text
+        assert "- paper: claims" in text
+
+    def test_non_finite_rendered_as_dash(self, result):
+        from repro.experiments.export import to_markdown
+
+        assert "| 2 | - |" in to_markdown(result)
+
+    def test_written_by_write_results(self, result, tmp_path):
+        from repro.experiments.export import write_results
+
+        write_results([result], tmp_path)
+        assert (tmp_path / "demo.md").exists()

@@ -1,0 +1,122 @@
+"""Smoke + accuracy-band tests for every figure driver.
+
+Each driver runs in ``quick`` mode; assertions target the *shape* the
+paper reports (who wins, where crossovers fall, error bands), with
+generous tolerances so stochastic repetitions stay stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, run_experiment
+from repro.experiments.figures import (
+    fig1_cm2_communication,
+    fig2_interleaving,
+    fig3_gauss_cm2,
+    fig4_paragon_dedicated,
+    fig5_paragon_comm_out,
+    fig6_paragon_comm_in,
+    fig7_sor_sun,
+    fig8_sor_sun,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+class TestFig1:
+    def test_quick(self, quiet_cm2_spec):
+        result = fig1_cm2_communication(spec=quiet_cm2_spec, quick=True)
+        # Paper: within 11-15% average error; our simulated production
+        # system is cleaner, so the band is comfortably met.
+        assert result.metrics["mean_abs_err_contended_pct"] < 15.0
+        assert result.metrics["mean_abs_err_dedicated_pct"] < 15.0
+        # Contention slows transfers by ~p+1.
+        actual0 = result.column("actual p=0")
+        actual3 = result.column("actual p=3")
+        for a0, a3 in zip(actual0, actual3):
+            assert a3 / a0 == pytest.approx(4.0, rel=0.15)
+
+
+class TestFig2:
+    def test_interleaving_invariant(self, quiet_cm2_spec):
+        result = fig2_interleaving(spec=quiet_cm2_spec)
+        assert result.metrics["didle_le_dserial"] == 1.0
+        # The rendered timeline shows both overlap and a wait phase.
+        states = {row[2] for row in result.rows}
+        assert "serial" in states and "wait" in states
+        cm2_states = {row[3] for row in result.rows}
+        assert "execute" in cm2_states and "idle" in cm2_states
+
+
+class TestFig3:
+    def test_crossover_behaviour(self, quiet_cm2_spec):
+        result = fig3_gauss_cm2(spec=quiet_cm2_spec, sizes=(50, 150, 300), p=3)
+        assert result.metrics["mean_abs_err_pct"] < 15.0
+        slower = result.column("slower?")
+        # Contention hurts at small M and stops mattering at large M.
+        assert slower[0] == "yes"
+        assert slower[-1] == "no"
+
+
+class TestFig4:
+    def test_modes_similar_and_piecewise(self, quiet_paragon_spec):
+        result = fig4_paragon_dedicated(
+            spec=quiet_paragon_spec, sizes=(16, 256, 1024, 2048, 4096), count=200
+        )
+        assert result.metrics["max_2hops_over_1hop_ratio"] < 1.5
+        # Piecewise linearity: incremental cost per word changes at the
+        # 1024-word threshold.
+        sizes = result.column("size (words)")
+        t = result.column("1hop out")
+        slope_small = (t[2] - t[1]) / (sizes[2] - sizes[1])
+        slope_large = (t[4] - t[3]) / (sizes[4] - sizes[3])
+        assert slope_large > slope_small * 1.2
+
+
+class TestFig5and6:
+    def test_fig5_error_band(self, quiet_paragon_spec):
+        result = fig5_paragon_comm_out(spec=quiet_paragon_spec, quick=True)
+        # Paper: 12% average; allow headroom for the quick sweep.
+        assert result.metrics["mean_abs_err_pct"] < 30.0
+        assert result.metrics["model_slowdown"] > 1.3
+
+    def test_fig6_error_band(self, quiet_paragon_spec):
+        result = fig6_paragon_comm_in(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["mean_abs_err_pct"] < 30.0
+
+    def test_contention_visible(self, quiet_paragon_spec):
+        result = fig5_paragon_comm_out(spec=quiet_paragon_spec, quick=True)
+        for dedicated, actual in zip(result.column("dedicated"), result.column("actual")):
+            assert actual > dedicated * 1.2
+
+
+class TestFig7and8:
+    def test_fig7_j_ordering(self, quiet_paragon_spec):
+        """Paper: j=1 is the bad choice for big-message contenders."""
+        result = fig7_sor_sun(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["mean_abs_err_j1_pct"] > result.metrics["mean_abs_err_j1000_pct"]
+        assert result.metrics["mean_abs_err_j1000_pct"] < 20.0
+        assert result.metrics["auto_bucket_j"] == 1000
+
+    def test_fig8_auto_bucket(self, quiet_paragon_spec):
+        """Paper: with 500/200-word contenders, j=500 is the bucket."""
+        result = fig8_sor_sun(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["auto_bucket_j"] == 500
+        assert result.metrics["mean_abs_err_auto_pct"] < 20.0
+        assert result.metrics["mean_abs_err_j1_pct"] > result.metrics["mean_abs_err_auto_pct"]
+
+
+class TestCLIRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "tables1_4", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "synthetic_cm2", "robustness_comm",
+            "robustness_comp", "saturation", "mesh", "gang", "dispatch",
+            "cycle_sensitivity", "fraction_sensitivity", "tp_placement", "forecast", "mixed_workload", "sequencer",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            run_experiment("nope")

@@ -1,0 +1,56 @@
+"""Calibration robustness under heavier production noise.
+
+The paper measured on loaded SDSC machines; the reproduction's
+default daemon adds ~2 % background load. These tests crank the noise
+up and verify the whole pipeline degrades gracefully instead of
+breaking: calibration still lands near ground truth and the model
+stays inside a widened error band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.contender import cpu_bound
+from repro.apps.program import transfer_program
+from repro.core.prediction import predict_comm_cost
+from repro.core.slowdown import cm2_slowdown
+from repro.experiments.calibrate import calibrate_cm2, calibrate_paragon_comm
+from repro.platforms.specs import CpuSpec, SunCM2Spec, SunParagonSpec
+from repro.platforms.suncm2 import SunCM2Platform
+from repro.sim.engine import Simulator
+
+#: A machine with 10% stochastic background load (5x the default).
+NOISY_CPU = CpuSpec(daemon_interval=0.1, daemon_work=0.01)
+
+
+class TestNoisyCalibration:
+    def test_cm2_parameters_absorb_noise(self):
+        spec = SunCM2Spec(cpu=NOISY_CPU)
+        cal = calibrate_cm2(spec)
+        # The fitted beta reflects the *effective* rate on the noisy
+        # machine: ground-truth beta deflated by the ~10% daemon share.
+        truth_beta = 1.0 / spec.transfer_per_word
+        assert cal.params_out.beta == pytest.approx(truth_beta * 0.9, rel=0.1)
+
+    def test_paragon_threshold_survives_noise(self):
+        spec = SunParagonSpec(cpu=NOISY_CPU)
+        params_out, _ = calibrate_paragon_comm(spec)
+        assert params_out.threshold == spec.wire.buffer_words
+
+    def test_model_still_tracks_noisy_system(self):
+        """fig1-style check on the 10%-noise machine: calibration and
+        measurement share the noise, so the model keeps working."""
+        spec = SunCM2Spec(cpu=NOISY_CPU)
+        cal = calibrate_cm2(spec)
+        m, p = 256, 3
+        dcomm = 2 * m * cal.params_out.message_time(float(m))
+
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=spec)
+        for i in range(p):
+            platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+        probe = sim.process(transfer_program(platform, float(m), m, round_trip=True))
+        actual = sim.run_until(probe)
+        predicted = predict_comm_cost(dcomm, cm2_slowdown(p))
+        assert predicted == pytest.approx(actual, rel=0.2)

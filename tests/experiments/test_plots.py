@@ -1,0 +1,72 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plots import ascii_chart, chart_result
+from repro.experiments.report import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6)
+        assert "o" in chart
+        assert "o = a" in chart
+
+    def test_two_series_distinct_glyphs(self):
+        chart = ascii_chart(
+            [1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]}, width=20, height=6
+        )
+        assert "o = up" in chart and "x = down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_axis_labels(self):
+        chart = ascii_chart([1, 2], {"a": [10.0, 1000.0]}, logy=True, width=20, height=6)
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_title_included(self):
+        chart = ascii_chart([1, 2], {"a": [1, 2]}, title="my chart", width=20, height=6)
+        assert chart.splitlines()[0] == "my chart"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 1], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0, 2.0]}, width=2)
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, width=20, height=6)
+        assert "o" in chart
+
+    def test_nonpositive_skipped_on_log_axis(self):
+        chart = ascii_chart([1, 2, 3], {"a": [0.0, 10.0, 100.0]}, logy=True,
+                            width=20, height=6)
+        assert "o" in chart
+
+
+class TestChartResult:
+    def test_known_experiment(self):
+        result = ExperimentResult(
+            experiment="fig5",
+            title="t",
+            headers=("size (words)", "dedicated", "actual", "std", "model", "err %"),
+            rows=[(16, 1.0, 2.0, 0.1, 1.9, -5.0), (64, 1.2, 2.4, 0.1, 2.3, -4.0)],
+        )
+        chart = chart_result(result)
+        assert chart is not None
+        assert "actual" in chart
+
+    def test_unknown_experiment_returns_none(self):
+        result = ExperimentResult("tables1_4", "t", ("a",), [(1,)])
+        assert chart_result(result) is None
+
+    def test_missing_columns_returns_none(self):
+        result = ExperimentResult("fig5", "t", ("other",), [(1,)])
+        assert chart_result(result) is None

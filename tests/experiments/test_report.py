@@ -1,0 +1,82 @@
+"""Unit tests for result rendering and error metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.report import (
+    ExperimentResult,
+    max_abs_pct_error,
+    mean_abs_pct_error,
+    pct_error,
+    render_table,
+)
+
+
+class TestErrorMetrics:
+    def test_pct_error_signed(self):
+        assert pct_error(100.0, 110.0) == pytest.approx(10.0)
+        assert pct_error(100.0, 90.0) == pytest.approx(-10.0)
+
+    def test_pct_error_zero_actual(self):
+        assert pct_error(0.0, 0.0) == 0.0
+        assert math.isinf(pct_error(0.0, 1.0))
+
+    def test_mean_abs(self):
+        assert mean_abs_pct_error([100, 100], [110, 80]) == pytest.approx(15.0)
+
+    def test_max_abs(self):
+        assert max_abs_pct_error([100, 100], [110, 80]) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([], [])
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([0.0], [1.0])
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(("name", "value"), [("a", 1.0), ("bb", 22.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [("only-one",)])
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(1.23456789,), (1.2e-7,), (float("nan"),)])
+        assert "1.235" in text
+        assert "1.200e-07" in text
+        assert "-" in text
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            experiment="figX",
+            title="a title",
+            headers=("m", "v"),
+            rows=[(1, 2.0)],
+            metrics={"err": 3.5},
+            paper_claim="the paper says so",
+            notes="a note",
+        )
+        text = result.render()
+        assert "figX" in text and "a title" in text
+        assert "err: 3.5" in text
+        assert "the paper says so" in text
+        assert "a note" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("e", "t", ("m", "v"), [(1, 2.0), (3, 4.0)])
+        assert result.column("v") == [2.0, 4.0]
+        with pytest.raises(ValueError):
+            result.column("zzz")

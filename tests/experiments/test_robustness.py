@@ -1,0 +1,52 @@
+"""Smoke + band tests for the robustness experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.robustness import (
+    robustness_paragon_comm,
+    robustness_paragon_comp,
+    saturation_sweep,
+    synthetic_cm2_experiment,
+)
+
+
+class TestSyntheticCM2:
+    def test_error_band(self, quiet_cm2_spec):
+        result = synthetic_cm2_experiment(spec=quiet_cm2_spec, quick=True)
+        # Paper: within 15%; allow some headroom at quick scale.
+        assert result.metrics["mean_abs_err_pct"] < 20.0
+
+    def test_covers_both_branches(self, quiet_cm2_spec):
+        """Sweeping serial fraction must exercise both branches of the
+        max() formula: at low fraction the model equals the dedicated
+        elapsed; at high fraction it's serial-bound."""
+        result = synthetic_cm2_experiment(
+            spec=quiet_cm2_spec, serial_fractions=(0.05, 0.9), total_work=0.5
+        )
+        rows = result.rows
+        low, high = rows[0], rows[-1]
+        assert low[3] == pytest.approx(low[1], rel=0.05)  # model == dedicated
+        assert high[3] > high[1] * 2  # serial-bound model >> dedicated
+
+
+class TestRobustnessParagon:
+    def test_comm_band(self, quiet_paragon_spec):
+        result = robustness_paragon_comm(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["max_abs_err_pct"] < 45.0
+
+    def test_comp_band(self, quiet_paragon_spec):
+        result = robustness_paragon_comp(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["max_abs_err_pct"] < 40.0
+
+
+class TestSaturation:
+    def test_delay_flat_beyond_buffer(self, quiet_paragon_spec):
+        result = saturation_sweep(spec=quiet_paragon_spec, quick=True)
+        rows = dict(result.rows)
+        # j = 2000 fragments into two 1000-word packets: identical
+        # steady-state interference to j = 1000.
+        assert rows[2000] == pytest.approx(rows[1000], rel=0.05)
+        # ... and well above the 1-word generator's delay.
+        assert rows[1000] > rows[1] * 1.5

@@ -1,0 +1,72 @@
+"""Unit tests for the repetition harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import Replication, repeat_mean
+from repro.sim.rng import RandomStreams
+
+
+class TestReplication:
+    def test_statistics(self):
+        rep = Replication((1.0, 2.0, 3.0))
+        assert rep.mean == pytest.approx(2.0)
+        assert rep.n == 3
+        assert rep.std > 0
+        assert rep.cv == pytest.approx(rep.std / 2.0)
+
+    def test_single_value_zero_std(self):
+        rep = Replication((5.0,))
+        assert rep.std == 0.0
+
+
+class TestRepeatMean:
+    def test_deterministic_function(self):
+        rep = repeat_mean(lambda streams: 7.0, repetitions=4)
+        assert rep.mean == 7.0
+        assert rep.std == 0.0
+
+    def test_streams_differ_across_reps(self):
+        seen = []
+
+        def measure(streams: RandomStreams) -> float:
+            value = float(streams.get("x").random())
+            seen.append(value)
+            return value
+
+        repeat_mean(measure, repetitions=3, seed=1)
+        assert len(set(seen)) == 3
+
+    def test_reproducible_across_calls(self):
+        def measure(streams: RandomStreams) -> float:
+            return float(streams.get("x").random())
+
+        a = repeat_mean(measure, repetitions=3, seed=9)
+        b = repeat_mean(measure, repetitions=3, seed=9)
+        assert a.values == b.values
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repeat_mean(lambda s: 0.0, repetitions=0)
+
+
+class TestConfidenceInterval:
+    def test_ci_contains_mean(self):
+        rep = Replication((1.0, 1.2, 0.9, 1.1))
+        lo, hi = rep.ci95()
+        assert lo < rep.mean < hi
+        assert rep.within(rep.mean)
+
+    def test_single_sample_degenerates(self):
+        rep = Replication((5.0,))
+        assert rep.ci95() == (5.0, 5.0)
+        assert rep.within(5.0)
+        assert not rep.within(5.1)
+
+    def test_tighter_with_more_samples(self):
+        narrow = Replication(tuple([1.0, 1.1] * 10))
+        wide = Replication((1.0, 1.1))
+        n_lo, n_hi = narrow.ci95()
+        w_lo, w_hi = wide.ci95()
+        assert (n_hi - n_lo) < (w_hi - w_lo)

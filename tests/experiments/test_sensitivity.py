@@ -1,0 +1,52 @@
+"""Band tests for the assumption-sensitivity experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import cycle_length_sensitivity, fraction_sensitivity
+
+
+class TestCycleSensitivity:
+    def test_variance_grows_with_cycle_length(self, quiet_paragon_spec):
+        result = cycle_length_sensitivity(
+            spec=quiet_paragon_spec,
+            cycles=(0.05, 1.0),
+            count=300,
+            repetitions=4,
+        )
+        assert result.metrics["cv_longest_cycle"] > result.metrics["cv_shortest_cycle"]
+
+    def test_model_constant_across_cycles(self, quiet_paragon_spec):
+        result = cycle_length_sensitivity(spec=quiet_paragon_spec, quick=True)
+        models = result.column("model")
+        assert len(set(models)) == 1
+
+
+class TestFractionSensitivity:
+    def test_error_band(self, quiet_paragon_spec):
+        result = fraction_sensitivity(spec=quiet_paragon_spec, quick=True)
+        # Paper band: typical <= 15%, intensive communicators worse but
+        # bounded (~30%).
+        assert result.metrics["mean_abs_err_pct"] < 20.0
+        assert result.metrics["max_abs_err_pct"] < 35.0
+
+
+class TestForecastExperiment:
+    def test_adaptive_tracks_best_single(self, quiet_paragon_spec):
+        from repro.experiments.sensitivity import forecast_experiment
+
+        result = forecast_experiment(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["samples"] > 10
+        # The adaptive forecaster stays close to the best single
+        # predictor on the recorded series.
+        assert result.metrics["adaptive_over_best"] < 1.5
+
+
+class TestMixedWorkload:
+    def test_long_term_model_band(self, quiet_paragon_spec):
+        from repro.experiments.sensitivity import mixed_workload_experiment
+
+        result = mixed_workload_experiment(spec=quiet_paragon_spec, quick=True)
+        assert result.metrics["mean_abs_err_pct"] < 20.0
+        # The probe slows down under contention at every mix.
+        for row in result.rows:
+            assert row[2] > row[1]  # actual > dedicated

@@ -1,0 +1,29 @@
+"""Tests for the Tables 1-4 reproduction."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import example_problem, tables_experiment
+
+
+class TestTablesExperiment:
+    def test_all_three_scenarios_match_paper(self):
+        result = tables_experiment()
+        assert result.metrics["scenarios_matching_paper"] == 3.0
+        assert all(row[5] == "yes" for row in result.rows)
+
+    def test_reported_times(self):
+        result = tables_experiment()
+        times = result.column("time")
+        assert times == [16.0, 38.0, 48.0]
+
+    def test_example_problem_matches_tables_1_2(self):
+        prob = example_problem()
+        assert prob.exec_time["A"]["M1"] == 12.0
+        assert prob.exec_time["B"]["M2"] == 30.0
+        assert prob.comm_time[("M1", "M2")] == 7.0
+        assert prob.comm_time[("M2", "M1")] == 8.0
+
+    def test_render_smoke(self):
+        text = tables_experiment().render()
+        assert "tables1_4" in text
+        assert "A->M2 B->M1" in text

@@ -1,0 +1,130 @@
+"""Behavioural tests for the adaptive in-simulation scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ext.adaptive import AdaptiveRunner
+from repro.sim.cpu import TimeSharedCPU
+from repro.sim.engine import Simulator
+
+
+def build(sim: Simulator, names=("m1", "m2"), **kwargs) -> AdaptiveRunner:
+    cpus = {name: TimeSharedCPU(sim, discipline="ps", name=name) for name in names}
+    return AdaptiveRunner(sim, cpus, **kwargs)
+
+
+def hog(cpu: TimeSharedCPU, tag: str):
+    while True:
+        yield cpu.execute(0.05, tag=tag)
+
+
+class TestAdaptiveRunner:
+    def test_uncontended_run_is_dedicated(self):
+        sim = Simulator()
+        runner = build(sim)
+
+        def main():
+            outcome = yield from runner.run(2.0, "m1")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        assert outcome.elapsed == pytest.approx(2.0, rel=1e-6)
+        assert outcome.migrations == []
+        assert outcome.finished_on == "m1"
+
+    def test_migrates_away_from_contention(self):
+        sim = Simulator()
+        runner = build(sim, migration_cost=0.1)
+        sim.process(hog(runner.cpus["m1"], "hog"), daemon=True)
+
+        def main():
+            outcome = yield from runner.run(4.0, "m1")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        assert outcome.finished_on == "m2"
+        assert len(outcome.migrations) == 1
+        # Far faster than staying: staying would cost ~8s.
+        assert outcome.elapsed < 6.0
+
+    def test_adaptive_beats_static_under_midrun_arrival(self):
+        """A contender arrives mid-run: the adaptive task escapes it."""
+
+        def run(adaptive: bool) -> float:
+            sim = Simulator()
+            runner = build(sim, migration_cost=0.2)
+
+            def late_hog():
+                yield sim.timeout(1.0)
+                while True:
+                    yield runner.cpus["m1"].execute(0.05, tag="hog")
+
+            sim.process(late_hog(), daemon=True)
+            if adaptive:
+                def main():
+                    outcome = yield from runner.run(4.0, "m1")
+                    return outcome.elapsed
+
+                return sim.run_until(sim.process(main()))
+            done = runner.cpus["m1"].execute(4.0, tag="static")
+            sim.run_until(done)
+            return sim.now
+
+        static = run(adaptive=False)   # 1s free + 3s at x2 = ~7s
+        adaptive = run(adaptive=True)  # migrates shortly after t=1
+        assert adaptive < static - 1.0
+
+    def test_hysteresis_prevents_thrash(self):
+        sim = Simulator()
+        runner = build(sim, migration_cost=0.0, min_gain=100.0)
+        sim.process(hog(runner.cpus["m1"], "hog"), daemon=True)
+
+        def main():
+            outcome = yield from runner.run(1.0, "m1")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        assert outcome.migrations == []
+
+    def test_speed_ratio_respected(self):
+        sim = Simulator()
+        runner = build(sim, speed={"m2": 0.25})
+
+        def main():
+            outcome = yield from runner.run(1.0, "m2")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        # m2 runs at quarter speed and m1 is idle: the runner should
+        # hop to m1 almost immediately.
+        assert outcome.finished_on == "m1"
+        assert outcome.elapsed < 4.0 * 0.75
+
+    def test_expensive_migration_keeps_task_put(self):
+        sim = Simulator()
+        runner = build(sim, migration_cost=1e6)
+        sim.process(hog(runner.cpus["m1"], "hog"), daemon=True)
+
+        def main():
+            outcome = yield from runner.run(1.0, "m1")
+            return outcome
+
+        outcome = sim.run_until(sim.process(main()))
+        assert outcome.finished_on == "m1"
+        assert outcome.elapsed == pytest.approx(2.0, rel=0.1)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ModelError):
+            AdaptiveRunner(sim, {})
+        runner = build(sim)
+        with pytest.raises(ModelError):
+            next(runner.run(1.0, "nowhere"))
+        with pytest.raises(ModelError):
+            build(sim, chunk=0.0)
+        with pytest.raises(ModelError):
+            build(sim, speed={"m1": -1.0})
+        with pytest.raises(ModelError):
+            build(sim, speed={"zzz": 1.0})

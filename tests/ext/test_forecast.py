@@ -1,0 +1,131 @@
+"""Unit and property tests for the load forecasters."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.ext.forecast import (
+    AdaptiveForecaster,
+    ExponentialSmoothing,
+    LastValue,
+    MedianWindow,
+    RunningMean,
+    SlidingWindowMean,
+    forecast_series,
+)
+
+ALL_PREDICTORS = [
+    LastValue,
+    RunningMean,
+    lambda: SlidingWindowMean(4),
+    lambda: MedianWindow(4),
+    lambda: ExponentialSmoothing(0.3),
+    AdaptiveForecaster,
+]
+
+
+class TestBasics:
+    def test_nan_before_data(self):
+        for factory in ALL_PREDICTORS:
+            assert math.isnan(factory().predict())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-100, max_value=100), st.integers(min_value=1, max_value=20))
+    def test_constant_series_predicted_exactly(self, value, n):
+        for factory in ALL_PREDICTORS:
+            f = factory()
+            for _ in range(n):
+                f.update(value)
+            assert f.predict() == pytest.approx(value)
+
+    def test_last_value(self):
+        f = LastValue()
+        f.update(1.0)
+        f.update(5.0)
+        assert f.predict() == 5.0
+
+    def test_running_mean(self):
+        f = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            f.update(v)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_sliding_window_forgets(self):
+        f = SlidingWindowMean(2)
+        for v in (100.0, 1.0, 3.0):
+            f.update(v)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_median_robust_to_outlier(self):
+        f = MedianWindow(5)
+        for v in (1.0, 1.0, 1.0, 1.0, 1000.0):
+            f.update(v)
+        assert f.predict() == 1.0
+
+    def test_exponential_smoothing_tracks(self):
+        f = ExponentialSmoothing(0.5)
+        f.update(0.0)
+        f.update(10.0)
+        assert f.predict() == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SlidingWindowMean(0)
+        with pytest.raises(ModelError):
+            MedianWindow(0)
+        with pytest.raises(ModelError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ModelError):
+            AdaptiveForecaster([])
+
+
+class TestAdaptive:
+    def test_picks_last_value_on_trend(self):
+        """On a strong trend, LastValue beats the long-memory means."""
+        adaptive = AdaptiveForecaster()
+        for v in np.linspace(0, 100, 60):
+            adaptive.update(float(v))
+        assert isinstance(adaptive.members[adaptive.best_index()], LastValue)
+
+    def test_picks_robust_member_on_noise(self):
+        """On zero-mean white noise, the long average beats LastValue."""
+        rng = np.random.default_rng(3)
+        adaptive = AdaptiveForecaster()
+        for v in rng.normal(10.0, 2.0, 300):
+            adaptive.update(float(v))
+        mse = adaptive.mse()
+        last_value_mse = mse[0]
+        assert min(mse) < last_value_mse
+
+    def test_adaptive_close_to_best_member(self):
+        rng = np.random.default_rng(7)
+        series = list(rng.normal(5.0, 1.0, 200))
+        _, adaptive_rmse = forecast_series(series, AdaptiveForecaster())
+        member_rmses = []
+        for factory in ALL_PREDICTORS[:-1]:
+            _, rmse = forecast_series(series, factory())
+            member_rmses.append(rmse)
+        assert adaptive_rmse <= min(member_rmses) * 1.2
+
+
+class TestForecastSeries:
+    def test_predictions_are_one_step_ahead(self):
+        predictions, _ = forecast_series([1.0, 2.0, 3.0], LastValue())
+        assert math.isnan(predictions[0])
+        assert predictions[1] == 1.0
+        assert predictions[2] == 2.0
+
+    def test_rmse_computation(self):
+        _, rmse = forecast_series([1.0, 2.0, 2.0], LastValue())
+        # errors: (1-2)^2 and (2-2)^2 -> rmse = sqrt(0.5)
+        assert rmse == pytest.approx(math.sqrt(0.5))
+
+    def test_empty_series(self):
+        predictions, rmse = forecast_series([], LastValue())
+        assert predictions == []
+        assert math.isnan(rmse)

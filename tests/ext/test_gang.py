@@ -1,0 +1,95 @@
+"""Unit tests for gang scheduling (T_p effects)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ext.gang import GangScheduler, gang_slowdown
+from repro.sim.engine import Simulator
+
+
+class TestGangSlowdown:
+    def test_dedicated_partition(self):
+        assert gang_slowdown(1) == 1.0
+
+    def test_linear_in_gangs(self):
+        assert gang_slowdown(3, quantum=0.1, switch_cost=0.0) == 3.0
+
+    def test_switch_cost_inflates(self):
+        assert gang_slowdown(2, quantum=0.1, switch_cost=0.01) == pytest.approx(2.2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            gang_slowdown(0)
+        with pytest.raises(ValueError):
+            gang_slowdown(2, quantum=0.0)
+
+
+class TestGangScheduler:
+    def test_dedicated_run(self):
+        sim = Simulator()
+        sched = GangScheduler(sim, nodes=8, quantum=0.1, switch_cost=0.0)
+
+        def probe():
+            elapsed = yield from sched.run("probe", 8.0)
+            return elapsed
+
+        assert sim.run_until(sim.process(probe())) == pytest.approx(1.0)
+
+    def test_two_gangs_share(self):
+        sim = Simulator()
+        sched = GangScheduler(sim, nodes=4, quantum=0.05, switch_cost=0.0)
+
+        def background():
+            while True:
+                yield from sched.run("bg", 1e6)
+
+        sim.process(background(), daemon=True)
+
+        def probe():
+            elapsed = yield from sched.run("probe", 4.0)
+            return elapsed
+
+        elapsed = sim.run_until(sim.process(probe()))
+        assert elapsed == pytest.approx(2.0, rel=0.1)
+
+    def test_matches_analytical_model(self):
+        for gangs in (1, 2, 3):
+            sim = Simulator()
+            sched = GangScheduler(sim, nodes=8, quantum=0.05, switch_cost=1e-3)
+            for g in range(gangs - 1):
+                def bg(tag=f"bg{g}"):
+                    while True:
+                        yield from sched.run(tag, 1e6)
+
+                sim.process(bg(), daemon=True)
+
+            def probe():
+                elapsed = yield from sched.run("probe", 8.0)
+                return elapsed
+
+            actual = sim.run_until(sim.process(probe()))
+            model = 1.0 * gang_slowdown(gangs, 0.05, 1e-3)
+            assert actual == pytest.approx(model, rel=0.05)
+
+    def test_whole_gang_switch_semantics(self):
+        """Work within one gang does not pay context switches."""
+        sim = Simulator()
+        sched = GangScheduler(sim, nodes=2, quantum=0.05, switch_cost=0.01)
+
+        def probe():
+            for _ in range(5):
+                yield from sched.run("probe", 0.2)
+            return sim.now
+
+        elapsed = sim.run_until(sim.process(probe()))
+        assert elapsed == pytest.approx(0.5, rel=1e-6)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ModelError):
+            GangScheduler(sim, nodes=0)
+        sched = GangScheduler(sim, nodes=2)
+        with pytest.raises(ModelError):
+            next(sched.run("g", -1.0))

@@ -1,0 +1,147 @@
+"""Unit tests for the I/O extension."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import DelayTable
+from repro.errors import ModelError, WorkloadError
+from repro.ext.io_model import (
+    IOProfile,
+    io_aware_comp_slowdown,
+    io_bound,
+    joint_activity_distribution,
+)
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoResource
+
+DELAY_COMM = DelayTable((0.4, 0.9, 1.4, 1.9, 2.4))
+DELAY_IO = DelayTable((0.1, 0.2, 0.3, 0.4, 0.5))
+
+
+def brute_force_joint(profiles: list[IOProfile]) -> np.ndarray:
+    p = len(profiles)
+    joint = np.zeros((p + 1, p + 1))
+    for states in itertools.product(["comp", "comm", "other"], repeat=p):
+        prob = 1.0
+        for prof, s in zip(profiles, states):
+            prob *= {
+                "comp": prof.comp_fraction,
+                "comm": prof.comm_fraction,
+                "other": 1 - prof.comp_fraction - prof.comm_fraction,
+            }[s]
+        joint[states.count("comp"), states.count("comm")] += prob
+    return joint
+
+
+class TestIOProfile:
+    def test_valid(self):
+        IOProfile("x", 0.5, 0.3, 0.2)
+
+    def test_oversum_rejected(self):
+        with pytest.raises(ModelError):
+            IOProfile("x", 0.5, 0.4, 0.2)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ModelError):
+            IOProfile("x", -0.1)
+
+
+class TestJointDistribution:
+    def test_sums_to_one(self):
+        profiles = [IOProfile("a", 0.5, 0.3, 0.2), IOProfile("b", 0.4, 0.4, 0.1)]
+        assert joint_activity_distribution(profiles).sum() == pytest.approx(1.0)
+
+    def test_empty(self):
+        joint = joint_activity_distribution([])
+        assert joint.shape == (1, 1)
+        assert joint[0, 0] == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1),
+                st.floats(min_value=0, max_value=1),
+                st.floats(min_value=0, max_value=1),
+            ).map(lambda t: (t[0] / (sum(t) + 1e-9), t[1] / (sum(t) + 1e-9))),
+            max_size=5,
+        )
+    )
+    def test_matches_brute_force(self, specs):
+        profiles = [IOProfile(f"a{i}", c, m) for i, (c, m) in enumerate(specs)]
+        joint = joint_activity_distribution(profiles)
+        assert joint == pytest.approx(brute_force_joint(profiles), abs=1e-10)
+
+    def test_two_phase_reduces_to_poisson_binomial(self):
+        """With io = 0, the comm marginal equals the base model's."""
+        from repro.core.probability import overlap_distribution
+
+        profiles = [IOProfile("a", 0.7, 0.3), IOProfile("b", 0.2, 0.8)]
+        joint = joint_activity_distribution(profiles)
+        assert joint.sum(axis=0) == pytest.approx(overlap_distribution([0.3, 0.8]))
+
+
+class TestIOAwareSlowdown:
+    def test_empty_is_one(self):
+        assert io_aware_comp_slowdown([], DELAY_COMM) == 1.0
+
+    def test_reduces_to_base_model_without_io(self):
+        from repro.core.params import SizedDelayTable
+        from repro.core.slowdown import paragon_comp_slowdown
+        from repro.core.workload import ApplicationProfile
+
+        base_profiles = [
+            ApplicationProfile("a", 0.3, 200),
+            ApplicationProfile("b", 0.8, 200),
+        ]
+        io_profiles = [IOProfile("a", 0.7, 0.3), IOProfile("b", 0.2, 0.8)]
+        sized = SizedDelayTable(tables={200: DELAY_COMM})
+        base = paragon_comp_slowdown(base_profiles, sized)
+        extended = io_aware_comp_slowdown(io_profiles, DELAY_COMM)
+        assert extended == pytest.approx(base)
+
+    def test_io_bound_contender_interferes_less_than_cpu_bound(self):
+        """An app spending half its time in I/O steals less CPU than a
+        pure CPU hog — the motivating observation."""
+        cpu_hog = [IOProfile("h", comp_fraction=1.0)]
+        io_hog = [IOProfile("h", comp_fraction=0.5, io_fraction=0.5)]
+        assert io_aware_comp_slowdown(io_hog, DELAY_COMM) < io_aware_comp_slowdown(
+            cpu_hog, DELAY_COMM
+        )
+
+    def test_io_table_adds_disk_contention(self):
+        profiles = [IOProfile("a", 0.4, 0.0, 0.6)]
+        without = io_aware_comp_slowdown(profiles, DELAY_COMM)
+        with_io = io_aware_comp_slowdown(profiles, DELAY_COMM, delay_io=DELAY_IO)
+        assert with_io > without
+
+
+class TestIOBoundGenerator:
+    def test_runs_and_blocks_on_disk(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+        disk = FifoResource(sim, capacity=1, name="disk")
+        platform.spawn(
+            io_bound(platform, disk, io_service=0.005, compute_chunk=0.005,
+                     io_fraction=0.5, tag="io"),
+            name="io",
+        )
+        sim.run(until=2.0)
+        cpu_share = platform.frontend_cpu.service_by_tag.get("io", 0.0) / 2.0
+        assert 0.3 < cpu_share < 0.7  # roughly half computing, half I/O
+        assert disk.total_grants > 0
+
+    def test_validation(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+        disk = FifoResource(sim, 1)
+        with pytest.raises(WorkloadError):
+            next(io_bound(platform, disk, io_service=0.0))
+        with pytest.raises(WorkloadError):
+            next(io_bound(platform, disk, io_service=0.01, io_fraction=1.0))

@@ -1,0 +1,61 @@
+"""Unit tests for the memory-constraint extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.ext.memory import MemoryModel, memory_aware_slowdown
+
+
+class TestMemoryModel:
+    def test_no_penalty_when_everything_fits(self):
+        model = MemoryModel(capacity=100.0, page_penalty=50.0)
+        assert model.factor([30, 40, 30]) == 1.0
+        assert model.factor([]) == 1.0
+
+    def test_penalty_grows_with_overcommit(self):
+        model = MemoryModel(capacity=100.0, page_penalty=10.0)
+        mild = model.factor([60, 60])
+        severe = model.factor([200, 200])
+        assert 1.0 < mild < severe
+
+    def test_exact_formula(self):
+        model = MemoryModel(capacity=100.0, page_penalty=11.0)
+        # demand 200 -> nonresident half -> 1 + 0.5 * 10 = 6
+        assert model.factor([200]) == pytest.approx(6.0)
+
+    def test_overcommit_ratio(self):
+        model = MemoryModel(capacity=50.0)
+        assert model.overcommit([25, 50]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(capacity=0.0)
+        with pytest.raises(ModelError):
+            MemoryModel(capacity=1.0, page_penalty=0.5)
+        with pytest.raises(ModelError):
+            MemoryModel(capacity=1.0).factor([-5])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), max_size=6))
+    def test_factor_at_least_one_and_bounded(self, working_sets):
+        model = MemoryModel(capacity=100.0, page_penalty=20.0)
+        f = model.factor(working_sets)
+        assert 1.0 <= f <= 20.0
+
+
+class TestComposition:
+    def test_multiplies_base(self):
+        model = MemoryModel(capacity=100.0, page_penalty=11.0)
+        assert memory_aware_slowdown(2.0, model, [200]) == pytest.approx(12.0)
+
+    def test_fits_leaves_base_unchanged(self):
+        model = MemoryModel(capacity=100.0)
+        assert memory_aware_slowdown(3.0, model, [10]) == 3.0
+
+    def test_base_validation(self):
+        model = MemoryModel(capacity=100.0)
+        with pytest.raises(ModelError):
+            memory_aware_slowdown(0.5, model, [10])

@@ -1,0 +1,103 @@
+"""Unit tests for the task-migration extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import ApplicationProfile
+from repro.errors import ModelError
+from repro.ext.migration import MigrationPlanner, should_migrate
+from repro.ext.timevarying import LoadTimeline
+
+
+def prof(name: str) -> ApplicationProfile:
+    return ApplicationProfile(name, 0.0)
+
+
+class TestShouldMigrate:
+    def test_clear_win(self):
+        # stay: 10x3 = 30; move: 5 + 10x1 = 15.
+        assert should_migrate(10.0, 3.0, 1.0, migration_cost=5.0)
+
+    def test_cost_kills_marginal_win(self):
+        # stay: 10x1.2 = 12; move: 5 + 10 = 15.
+        assert not should_migrate(10.0, 1.2, 1.0, migration_cost=5.0)
+
+    def test_little_remaining_work_never_pays(self):
+        assert not should_migrate(0.1, 5.0, 1.0, migration_cost=2.0)
+
+    def test_hysteresis(self):
+        # saving = 10x2 - (0 + 10x1) = 10.
+        assert should_migrate(10.0, 2.0, 1.0, 0.0, min_gain=9.0)
+        assert not should_migrate(10.0, 2.0, 1.0, 0.0, min_gain=11.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            should_migrate(-1.0, 2.0, 1.0, 0.0)
+        with pytest.raises(ModelError):
+            should_migrate(1.0, 0.5, 1.0, 0.0)
+        with pytest.raises(ModelError):
+            should_migrate(1.0, 1.0, 1.0, -1.0)
+
+
+class TestMigrationPlanner:
+    @staticmethod
+    def planner(cost: float = 0.5, min_gain: float = 0.0) -> MigrationPlanner:
+        # Machine "m1" is slowed by contenders; "m2" is always free but
+        # its dedicated rate is encoded as a constant 1.5x slowdown.
+        def slowdown_of(machine, profiles):
+            if machine == "m1":
+                return float(1 + len(profiles))
+            return 1.5
+
+        return MigrationPlanner(
+            machines=("m1", "m2"),
+            slowdown_of=slowdown_of,
+            migration_cost=lambda a, b: cost,
+            min_gain=min_gain,
+        )
+
+    def test_no_load_changes_no_migration(self):
+        decisions = self.planner().plan(2.0, LoadTimeline(), start_machine="m1")
+        assert len(decisions) == 1
+        assert decisions[0].machine == "m1"
+        assert not decisions[0].migrated
+
+    def test_migrates_when_contention_arrives(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))  # m1 slowdown becomes 2 > 1.5
+        decisions = self.planner().plan(10.0, tl, start_machine="m1")
+        assert decisions[-1].machine == "m2"
+        assert decisions[-1].migrated
+
+    def test_stays_when_migration_too_expensive(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        decisions = self.planner(cost=100.0).plan(10.0, tl, start_machine="m1")
+        assert all(d.machine == "m1" for d in decisions)
+
+    def test_finishes_before_change_no_decision(self):
+        tl = LoadTimeline()
+        tl.arrive(50.0, prof("x"))
+        decisions = self.planner().plan(1.0, tl, start_machine="m1")
+        assert len(decisions) == 1
+
+    def test_default_start_machine_is_best(self):
+        tl = LoadTimeline()
+        tl.arrive(0.0, prof("x"))  # m1 starts at slowdown 2 vs m2's 1.5
+        decisions = self.planner().plan(1.0, tl)
+        assert decisions[0].machine == "m2"
+
+    def test_unknown_start_machine_rejected(self):
+        with pytest.raises(ModelError):
+            self.planner().plan(1.0, LoadTimeline(), start_machine="m9")
+
+    def test_remaining_work_decreases(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.depart(2.0, "x")
+        tl.arrive(3.0, prof("y"))
+        decisions = self.planner(cost=100.0).plan(10.0, tl, start_machine="m1")
+        works = [d.remaining_work for d in decisions]
+        assert works == sorted(works, reverse=True)
+        assert all(w >= 0 for w in works)

@@ -1,0 +1,115 @@
+"""Unit tests for the multi-machine generalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DelayTable, SizedDelayTable
+from repro.core.workload import ApplicationProfile
+from repro.errors import ModelError, ScheduleError
+from repro.ext.multimachine import HeterogeneousSystem, MachineState
+
+DELAY_COMP = DelayTable((0.5, 1.1, 1.8))
+DELAY_COMM = DelayTable((0.2, 0.7, 1.3))
+SIZED = SizedDelayTable(tables={500: DelayTable((0.4, 0.9, 1.4))})
+
+
+def three_machine_system() -> HeterogeneousSystem:
+    machines = [
+        MachineState("ws1", delay_comp=DELAY_COMP, delay_comm=DELAY_COMM,
+                     delay_comm_sized=SIZED),
+        MachineState("ws2", delay_comp=DELAY_COMP, delay_comm=DELAY_COMM,
+                     delay_comm_sized=SIZED),
+        MachineState("mpp"),  # CM2-style: CPU-bound contention only
+    ]
+    comm = {
+        (a, b): 2.0
+        for a in ("ws1", "ws2", "mpp")
+        for b in ("ws1", "ws2", "mpp")
+        if a != b
+    }
+    return HeterogeneousSystem(machines, comm)
+
+
+EXEC = {
+    "t1": {"ws1": 10.0, "ws2": 12.0, "mpp": 4.0},
+    "t2": {"ws1": 3.0, "ws2": 3.5, "mpp": 9.0},
+}
+
+
+class TestMachineState:
+    def test_empty_machine_slowdowns_one(self):
+        state = MachineState("m")
+        assert state.comp_slowdown() == 1.0
+        assert state.comm_slowdown() == 1.0
+
+    def test_cpu_bound_degenerates_to_p_plus_one(self):
+        state = MachineState("m")
+        state.profiles = [ApplicationProfile.cpu_bound(f"h{i}") for i in range(2)]
+        assert state.comp_slowdown() == 3.0
+        assert state.comm_slowdown() == 3.0
+
+    def test_communicating_without_tables_rejected(self):
+        state = MachineState("m")
+        state.profiles = [ApplicationProfile("c", 0.5, 100)]
+        with pytest.raises(ModelError):
+            state.comp_slowdown()
+        with pytest.raises(ModelError):
+            state.comm_slowdown()
+
+    def test_with_tables_uses_paragon_formulas(self):
+        state = MachineState(
+            "m", delay_comp=DELAY_COMP, delay_comm=DELAY_COMM, delay_comm_sized=SIZED
+        )
+        state.profiles = [ApplicationProfile("c", 0.5, 500)]
+        assert state.comp_slowdown() > 1.0
+        assert state.comm_slowdown() > 1.0
+
+
+class TestHeterogeneousSystem:
+    def test_dedicated_mapping(self):
+        system = three_machine_system()
+        result = system.best_mapping(("t1", "t2"), EXEC)
+        # t1 on mpp (4) + transfer (2) + t2 on ws1 (3) = 9 beats all.
+        assert result.placement(("t1", "t2")) == {"t1": "mpp", "t2": "ws1"}
+        assert result.elapsed == pytest.approx(9.0)
+
+    def test_contention_flips_mapping(self):
+        """Load the MPP's front end with CPU hogs: t1 moves away."""
+        system = three_machine_system()
+        for k in range(3):
+            system.arrive("mpp", ApplicationProfile.cpu_bound(f"hog{k}"))
+        result = system.best_mapping(("t1", "t2"), EXEC)
+        assert result.placement(("t1", "t2"))["t1"] != "mpp"
+
+    def test_transfer_scaled_by_busier_endpoint(self):
+        system = three_machine_system()
+        for k in range(2):
+            system.arrive("ws1", ApplicationProfile.cpu_bound(f"hog{k}"))
+        problem = system.adjusted_problem(("t1", "t2"), EXEC)
+        # ws1 has calibrated tables: with two always-computing hogs,
+        # comm slowdown = 1 + delay_comp^2 = 2.1.
+        assert problem.comm_time[("ws2", "ws1")] == pytest.approx(2.0 * 2.1)
+        assert problem.comm_time[("ws2", "mpp")] == pytest.approx(2.0)
+
+    def test_arrive_depart(self):
+        system = three_machine_system()
+        system.arrive("ws1", ApplicationProfile.cpu_bound("h"))
+        assert system.machines["ws1"].p == 1
+        system.depart("ws1", "h")
+        assert system.machines["ws1"].p == 0
+        with pytest.raises(ModelError):
+            system.depart("ws1", "h")
+
+    def test_unknown_machine_rejected(self):
+        system = three_machine_system()
+        with pytest.raises(ScheduleError):
+            system.arrive("nowhere", ApplicationProfile.cpu_bound("h"))
+
+    def test_duplicate_machine_names_rejected(self):
+        with pytest.raises(ScheduleError):
+            HeterogeneousSystem([MachineState("m"), MachineState("m")], {})
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ScheduleError):
+            HeterogeneousSystem([], {})

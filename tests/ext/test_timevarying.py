@@ -1,0 +1,154 @@
+"""Unit tests for the time-varying load extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workload import ApplicationProfile
+from repro.errors import ModelError
+from repro.ext.timevarying import LoadTimeline, Phase, predict_elapsed
+
+
+def count_slowdown(profiles) -> float:
+    """Toy model: slowdown = p + 1 (the CM2 form)."""
+    return float(len(profiles) + 1)
+
+
+def prof(name: str, fraction: float = 0.0) -> ApplicationProfile:
+    return ApplicationProfile(name, fraction, 100 if fraction else 0)
+
+
+class TestLoadTimeline:
+    def test_starts_empty(self):
+        tl = LoadTimeline()
+        assert tl.current_profiles == ()
+        assert tl.phase_at(5.0).p == 0
+
+    def test_arrive_depart(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.arrive(2.0, prof("y"))
+        tl.depart(3.0, "x")
+        assert tl.phase_at(0.5).p == 0
+        assert tl.phase_at(1.5).p == 1
+        assert tl.phase_at(2.5).p == 2
+        assert tl.phase_at(10.0).p == 1
+
+    def test_phase_boundary_inclusive(self):
+        tl = LoadTimeline()
+        tl.arrive(2.0, prof("x"))
+        assert tl.phase_at(2.0).p == 1
+
+    def test_duplicate_arrival_rejected(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        with pytest.raises(ModelError):
+            tl.arrive(2.0, prof("x"))
+
+    def test_unknown_departure_rejected(self):
+        with pytest.raises(ModelError):
+            LoadTimeline().depart(1.0, "ghost")
+
+    def test_time_must_not_decrease(self):
+        tl = LoadTimeline()
+        tl.arrive(5.0, prof("x"))
+        with pytest.raises(ModelError):
+            tl.arrive(4.0, prof("y"))
+
+    def test_same_instant_changes_merge(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.arrive(1.0, prof("y"))
+        assert tl.phase_at(1.0).p == 2
+        assert len(tl.phases) == 2  # initial empty + merged change
+
+    def test_boundaries_after(self):
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.depart(4.0, "x")
+        assert tl.boundaries_after(0.0) == [1.0, 4.0]
+        assert tl.boundaries_after(1.0) == [4.0]
+
+    def test_explicit_phases_validation(self):
+        with pytest.raises(ModelError):
+            LoadTimeline([Phase(1.0, ()), Phase(1.0, ())])
+
+    def test_query_before_start_rejected(self):
+        tl = LoadTimeline([Phase(5.0, ())])
+        with pytest.raises(ModelError):
+            tl.phase_at(1.0)
+
+
+class TestPredictElapsed:
+    def test_empty_timeline_is_dedicated(self):
+        assert predict_elapsed(3.0, LoadTimeline(), count_slowdown) == pytest.approx(3.0)
+
+    def test_constant_contention(self):
+        tl = LoadTimeline()
+        tl.arrive(0.0, prof("x"))
+        assert predict_elapsed(3.0, tl, count_slowdown) == pytest.approx(6.0)
+
+    def test_contender_for_part_of_execution(self):
+        """The §4 scenario: a contender present only mid-execution."""
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.depart(3.0, "x")
+        # 1s free (1 work) + 2s at x2 (1 work) + 2s free (2 work) = 5s.
+        assert predict_elapsed(4.0, tl, count_slowdown) == pytest.approx(5.0)
+
+    def test_task_finishes_before_load_change(self):
+        tl = LoadTimeline()
+        tl.arrive(10.0, prof("x"))
+        assert predict_elapsed(2.0, tl, count_slowdown) == pytest.approx(2.0)
+
+    def test_task_starting_mid_timeline(self):
+        tl = LoadTimeline()
+        tl.arrive(0.0, prof("x"))
+        tl.depart(4.0, "x")
+        # Start at t=3: 1s at x2 (0.5 work) + 1.5s free = 2.5s elapsed.
+        assert predict_elapsed(2.0, tl, count_slowdown, start=3.0) == pytest.approx(2.5)
+
+    def test_zero_work(self):
+        assert predict_elapsed(0.0, LoadTimeline(), count_slowdown) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ModelError):
+            predict_elapsed(-1.0, LoadTimeline(), count_slowdown)
+
+    def test_bad_slowdown_function_rejected(self):
+        with pytest.raises(ModelError):
+            predict_elapsed(1.0, LoadTimeline(), lambda ps: 0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=0, max_size=5),
+    )
+    def test_elapsed_at_least_work(self, work, gaps):
+        """Contention can only stretch execution."""
+        tl = LoadTimeline()
+        t = 0.0
+        for k, gap in enumerate(gaps):
+            t += gap
+            tl.arrive(t, prof(f"a{k}"))
+        elapsed = predict_elapsed(work, tl, count_slowdown)
+        assert elapsed >= work - 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=5.0))
+    def test_consistency_with_integral(self, work):
+        """Progress integrated over the predicted window equals work."""
+        tl = LoadTimeline()
+        tl.arrive(1.0, prof("x"))
+        tl.arrive(2.0, prof("y"))
+        tl.depart(4.0, "x")
+        elapsed = predict_elapsed(work, tl, count_slowdown)
+        # Numerically integrate 1/slowdown over [0, elapsed] (midpoint rule).
+        import numpy as np
+
+        n = 4000
+        ts = np.linspace(0, elapsed, n + 1)[:-1] + elapsed / (2 * n)
+        rates = np.array([1.0 / count_slowdown(tl.phase_at(t).profiles) for t in ts])
+        integral = rates.mean() * elapsed
+        assert integral == pytest.approx(work, rel=5e-3, abs=5e-3)

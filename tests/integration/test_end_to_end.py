@@ -1,0 +1,175 @@
+"""End-to-end integration: calibrate → predict → simulate → compare.
+
+These tests exercise the full pipeline the paper describes — run the
+system test suite once, take user-style workload descriptions, produce
+slowdown-adjusted predictions, and check them against independent
+simulated measurements — across both platforms and the extensions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.burst import message_burst
+from repro.apps.contender import alternating, cpu_bound
+from repro.apps.program import frontend_program
+from repro.core.commcost import dedicated_comm_cost
+from repro.core.datasets import DataSet
+from repro.core.prediction import predict_backend_time, predict_comm_cost, predict_frontend_time
+from repro.core.runtime import SlowdownManager
+from repro.core.slowdown import cm2_slowdown, paragon_comm_slowdown, paragon_comp_slowdown
+from repro.core.workload import ApplicationProfile
+from repro.ext.timevarying import LoadTimeline, predict_elapsed
+from repro.platforms.suncm2 import SunCM2Platform
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traces.analysis import measure_dedicated_cm2
+from repro.traces.gauss import gauss_cm2_trace
+from repro.traces.sor import sor_sun_work
+
+
+class TestCM2Pipeline:
+    def test_communication_prediction(self, cm2_cal, quiet_cm2_spec):
+        """Calibrated dcomm x (p+1) vs an independent simulated run."""
+        m, p = 320, 2
+        dataset = [DataSet(count=m, size=float(m))]
+        dcomm = dedicated_comm_cost(dataset, cm2_cal.params_out) + dedicated_comm_cost(
+            dataset, cm2_cal.params_in
+        )
+        predicted = predict_comm_cost(dcomm, cm2_slowdown(p))
+
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+        for i in range(p):
+            platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+
+        def probe():
+            elapsed = yield from platform.transfer(m, count=m, tag="probe")
+            elapsed2 = yield from platform.transfer(m, count=m, tag="probe")
+            return elapsed + elapsed2
+
+        actual = sim.run_until(sim.process(probe()))
+        assert predicted == pytest.approx(actual, rel=0.15)
+
+    def test_computation_prediction_both_regimes(self, quiet_cm2_spec):
+        """The max() formula tracks the simulator on both sides of the
+        Figure 3 crossover."""
+        for m in (60, 320):
+            trace = gauss_cm2_trace(m, quiet_cm2_spec)
+            dedicated = measure_dedicated_cm2(trace, quiet_cm2_spec)
+            predicted = predict_backend_time(dedicated.costs, cm2_slowdown(3))
+
+            sim = Simulator()
+            platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+            for i in range(3):
+                platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+            probe = sim.process(platform.run_trace(trace, tag="probe"))
+            actual = sim.run_until(probe).elapsed
+            assert predicted == pytest.approx(actual, rel=0.15)
+
+
+class TestParagonPipeline:
+    CONTENDERS = (
+        ApplicationProfile("c1", comm_fraction=0.3, message_size=200),
+        ApplicationProfile("c2", comm_fraction=0.6, message_size=200),
+    )
+
+    def _with_contenders(self, spec, streams):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=spec, streams=streams)
+        for k, prof in enumerate(self.CONTENDERS):
+            platform.spawn(
+                alternating(
+                    platform, prof.comm_fraction, prof.message_size,
+                    platform.rng(f"c{k}"), tag=prof.name,
+                ),
+                name=prof.name,
+            )
+        return sim, platform
+
+    def test_communication_prediction(self, paragon_cal, quiet_paragon_spec):
+        slowdown = paragon_comm_slowdown(
+            list(self.CONTENDERS), paragon_cal.delay_comp, paragon_cal.delay_comm
+        )
+        size, count = 256, 400
+        dcomm = dedicated_comm_cost([DataSet(count, size)], paragon_cal.params_out)
+        predicted = predict_comm_cost(dcomm, slowdown)
+
+        totals = []
+        for rep in range(3):
+            sim, platform = self._with_contenders(
+                quiet_paragon_spec, RandomStreams(100 + rep)
+            )
+            probe = sim.process(message_burst(platform, size, count, "out"))
+            totals.append(sim.run_until(probe))
+        actual = sum(totals) / len(totals)
+        assert predicted == pytest.approx(actual, rel=0.30)
+
+    def test_computation_prediction(self, paragon_cal, quiet_paragon_spec):
+        slowdown = paragon_comp_slowdown(
+            list(self.CONTENDERS), paragon_cal.delay_comm_sized
+        )
+        work = sor_sun_work(250, 30, quiet_paragon_spec)
+        predicted = predict_frontend_time(work, slowdown)
+
+        totals = []
+        for rep in range(3):
+            sim, platform = self._with_contenders(
+                quiet_paragon_spec, RandomStreams(200 + rep)
+            )
+            probe = sim.process(frontend_program(platform, work))
+            totals.append(sim.run_until(probe))
+        actual = sum(totals) / len(totals)
+        assert predicted == pytest.approx(actual, rel=0.25)
+
+    def test_runtime_manager_matches_batch(self, paragon_cal):
+        """The SlowdownManager's incremental answers equal the batch
+        formulas over an arrival/departure history."""
+        mgr = SlowdownManager(
+            paragon_cal.delay_comp,
+            paragon_cal.delay_comm,
+            paragon_cal.delay_comm_sized,
+        )
+        mgr.arrive(self.CONTENDERS[0])
+        mgr.arrive(self.CONTENDERS[1])
+        mgr.arrive(ApplicationProfile("late", 0.8, 500))
+        mgr.depart("c1")
+        remaining = [self.CONTENDERS[1], ApplicationProfile("late", 0.8, 500)]
+        assert mgr.comm_slowdown() == pytest.approx(
+            paragon_comm_slowdown(remaining, paragon_cal.delay_comp, paragon_cal.delay_comm)
+        )
+        assert mgr.comp_slowdown() == pytest.approx(
+            paragon_comp_slowdown(remaining, paragon_cal.delay_comm_sized)
+        )
+
+
+class TestTimeVaryingPipeline:
+    def test_partial_contention_prediction(self, quiet_cm2_spec):
+        """§4 scenario end-to-end on the simulator: a CPU-bound
+        contender present for only part of a front-end task."""
+        work = 2.0
+        t_arrive, t_depart = 0.5, 1.5
+
+        # Simulated actual.
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+
+        def hog_window():
+            yield sim.timeout(t_arrive)
+            while sim.now < t_depart + 2.0:
+                yield platform.frontend_cpu.execute(0.01, tag="hog")
+
+        sim.process(hog_window(), daemon=True)
+        probe = sim.process(frontend_program(platform, work, tag="probe"))
+        actual = sim.run_until(probe)
+
+        # Model: phase-integrated prediction. The hog's presence window
+        # on the *wall clock* is [0.5, ~2.8]; the probe finishes inside
+        # it, so approximating the window end loosely is fine.
+        timeline = LoadTimeline()
+        timeline.arrive(t_arrive, ApplicationProfile.cpu_bound("hog"))
+        predicted = predict_elapsed(
+            work, timeline, lambda ps: float(len(ps) + 1)
+        )
+        assert predicted == pytest.approx(actual, rel=0.1)

@@ -1,0 +1,35 @@
+"""Registry-wide integration: every experiment runs, renders, exports.
+
+A single broad net that catches driver regressions anywhere in the
+registry — each experiment must run in quick mode, produce a non-empty
+renderable result, and survive every export format.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, run_experiment
+from repro.experiments.export import to_csv, to_json, to_markdown
+from repro.experiments.plots import chart_result
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_end_to_end(name, tmp_path):
+    result = run_experiment(name, quick=True)
+    assert result.experiment == name or name == "tables1_4"
+    assert result.rows, f"{name} produced no rows"
+    text = result.render()
+    assert result.title in text
+
+    payload = json.loads(to_json(result))
+    assert payload["rows"]
+    csv_text = to_csv(result)
+    assert csv_text.count("\n") >= len(result.rows)
+    md = to_markdown(result)
+    assert md.startswith("## ")
+    # Charting must never raise: either a chart or None.
+    chart = chart_result(result)
+    assert chart is None or isinstance(chart, str)

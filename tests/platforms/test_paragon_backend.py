@@ -1,0 +1,110 @@
+"""Behavioural tests for the detailed Paragon back end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platforms.mesh import MeshSpec
+from repro.platforms.paragon_backend import ParagonBackend
+from repro.sim.engine import Simulator
+
+SPEC = MeshSpec(rows=4, cols=4)
+
+
+def run_task(backend, partition, **kwargs):
+    sim = backend.sim
+
+    def probe():
+        result = yield from backend.run_task(partition, **kwargs)
+        return result
+
+    return sim.run_until(sim.process(probe()))
+
+
+class TestSpaceShared:
+    def test_compute_only_task(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC, node_flop_time=1e-7)
+        part = backend.allocate(4)
+        result = run_task(backend, part, supersteps=10, flops_per_node=1e6,
+                          exchange_words=0)
+        assert result.compute_time == pytest.approx(10 * 1e6 * 1e-7)
+        assert result.comm_time == 0.0
+        assert result.comm_fraction == 0.0
+
+    def test_exchange_adds_comm_time(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC)
+        part = backend.allocate(4)
+        result = run_task(backend, part, supersteps=5, flops_per_node=1e5,
+                          exchange_words=256)
+        assert result.comm_time > 0
+        assert result.elapsed == pytest.approx(result.compute_time + result.comm_time)
+
+    def test_dedicated_estimate_close_for_contiguous(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC)
+        part = backend.allocate(4, "contiguous")
+        measured = run_task(backend, part, supersteps=20, flops_per_node=2e5,
+                            exchange_words=128)
+        estimate = backend.dedicated_estimate(4, 20, 2e5, 128)
+        # The estimate ignores the ring wrap-around hop; stays within ~3x
+        # on comm and tight on the total (compute dominates here).
+        assert measured.elapsed == pytest.approx(estimate, rel=0.5)
+
+    def test_single_node_partition_never_communicates(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC)
+        part = backend.allocate(1)
+        result = run_task(backend, part, supersteps=3, flops_per_node=1e5,
+                          exchange_words=512)
+        assert result.comm_time == 0.0
+
+    def test_two_tasks_on_disjoint_rectangles_do_not_interact(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC)
+        p1 = backend.allocate(4, "contiguous")
+        p2 = backend.allocate(4, "contiguous")
+        r1 = sim.process(backend.run_task(p1, 10, 1e5, 256, gang="a"))
+        r2 = sim.process(backend.run_task(p2, 10, 1e5, 256, gang="b"))
+        done = sim.all_of([r1, r2])
+        sim.run_until(done)
+        assert r1.value.elapsed == pytest.approx(r2.value.elapsed, rel=1e-6)
+
+    def test_validation(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC)
+        part = backend.allocate(2)
+        with pytest.raises(WorkloadError):
+            next(backend.run_task(part, 0, 1.0, 1.0))
+        with pytest.raises(WorkloadError):
+            ParagonBackend(sim, SPEC, node_flop_time=0.0)
+
+
+class TestGangScheduled:
+    def test_gang_sharing_slows_compute(self):
+        def elapsed(background_gangs: int) -> float:
+            sim = Simulator()
+            backend = ParagonBackend(sim, SPEC, gang_quantum=0.05)
+            part = backend.allocate(4)
+            for g in range(background_gangs):
+                def bg(tag=f"bg{g}"):
+                    while True:
+                        yield from backend._gang.run(tag, 1e9)
+
+                sim.process(bg(), daemon=True)
+            return run_task(
+                backend, part, supersteps=4, flops_per_node=5e5, exchange_words=0
+            ).elapsed
+
+        assert elapsed(1) > 1.8 * elapsed(0)
+
+    def test_gang_mode_still_finishes_exchange(self):
+        sim = Simulator()
+        backend = ParagonBackend(sim, SPEC, gang_quantum=0.05)
+        part = backend.allocate(4)
+        result = run_task(backend, part, supersteps=3, flops_per_node=1e5,
+                          exchange_words=64)
+        assert result.elapsed > 0
+        assert result.comm_time > 0

@@ -1,0 +1,125 @@
+"""Unit and property tests for the ground-truth platform specs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platforms.specs import (
+    CpuSpec,
+    DEFAULT_SUNCM2,
+    DEFAULT_SUNPARAGON,
+    SunCM2Spec,
+    SunParagonSpec,
+    WireSpec,
+)
+
+
+class TestWireSpec:
+    def test_small_message_single_fragment(self):
+        wire = WireSpec()
+        assert wire.fragment_sizes(100) == [100.0]
+        assert wire.fragment_sizes(1024) == [1024.0]
+
+    def test_large_message_fragments_evenly(self):
+        wire = WireSpec()
+        frags = wire.fragment_sizes(2048)
+        assert len(frags) == 2
+        assert frags == [1024.0, 1024.0]
+
+    def test_uneven_split(self):
+        wire = WireSpec()
+        frags = wire.fragment_sizes(1500)
+        assert len(frags) == 2
+        assert sum(frags) == pytest.approx(1500)
+        assert all(f <= 1024 for f in frags)
+
+    def test_zero_size_is_one_empty_fragment(self):
+        assert WireSpec().fragment_sizes(0) == [0.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WireSpec().fragment_sizes(-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_fragments_conserve_payload(self, size):
+        wire = WireSpec()
+        frags = wire.fragment_sizes(size)
+        assert sum(frags) == pytest.approx(size)
+        assert all(0 <= f <= wire.buffer_words for f in frags)
+
+    def test_message_wire_time_kink(self):
+        """Per-fragment startups make the cost piecewise linear with a
+        slope change exactly at the buffer size."""
+        wire = WireSpec()
+        below = wire.message_wire_time(1024)
+        above = wire.message_wire_time(1025)
+        assert above - below > wire.alpha * 0.9  # an extra startup appears
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1, max_value=1e5), st.floats(min_value=1, max_value=1e5))
+    def test_wire_time_monotone(self, a, b):
+        wire = WireSpec()
+        lo, hi = min(a, b), max(a, b)
+        assert wire.message_wire_time(lo) <= wire.message_wire_time(hi) + 1e-12
+
+
+class TestCpuSpec:
+    def test_defaults_valid(self):
+        CpuSpec()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec(quantum=0)
+        with pytest.raises(ValueError):
+            CpuSpec(capacity=-1)
+        with pytest.raises(ValueError):
+            CpuSpec(daemon_interval=-1)
+
+
+class TestSunCM2Spec:
+    def test_message_cpu_time(self):
+        spec = DEFAULT_SUNCM2
+        assert spec.message_cpu_time(1000) == pytest.approx(
+            spec.transfer_alpha + 1000 * spec.transfer_per_word
+        )
+
+    def test_lookahead_validation(self):
+        with pytest.raises(ValueError):
+            SunCM2Spec(lookahead=0)
+
+
+class TestSunParagonSpec:
+    def test_conversion_time(self):
+        spec = DEFAULT_SUNPARAGON
+        assert spec.conversion_cpu_time(500) == pytest.approx(
+            spec.conv_fixed + 500 * spec.conv_per_word
+        )
+
+    def test_dedicated_message_time_small(self):
+        spec = DEFAULT_SUNPARAGON
+        expected = (
+            spec.conversion_cpu_time(200)
+            + spec.wire.occupancy(200)
+            + spec.node_handling
+        )
+        assert spec.message_dedicated_time(200) == pytest.approx(expected)
+
+    def test_dedicated_message_time_2hops_adds_nx(self):
+        spec = DEFAULT_SUNPARAGON
+        t1 = spec.message_dedicated_time(200, "1hop")
+        t2 = spec.message_dedicated_time(200, "2hops")
+        assert t2 - t1 == pytest.approx(spec.nx_time(200))
+
+    def test_fragmented_message_saturates_per_word_cost(self):
+        """Above the buffer, doubling the size doubles the cost: the
+        per-unit-time behaviour no longer depends on message size."""
+        spec = DEFAULT_SUNPARAGON
+        t1 = spec.message_dedicated_time(2048)
+        t2 = spec.message_dedicated_time(4096)
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_service_node_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SunParagonSpec(service_node_capacity=0)

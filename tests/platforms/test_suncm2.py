@@ -1,0 +1,166 @@
+"""Behavioural tests for the Sun/CM2 platform simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.contender import cpu_bound
+from repro.platforms.suncm2 import SunCM2Platform
+from repro.sim.engine import Simulator
+from repro.sim.monitors import Timeline
+from repro.traces.instructions import Parallel, Reduction, Serial, Trace, Transfer
+
+
+def run_trace(spec, trace, p_hogs=0, timeline=None):
+    sim = Simulator()
+    platform = SunCM2Platform(sim, spec=spec)
+    for i in range(p_hogs):
+        platform.spawn(cpu_bound(platform, tag=f"hog{i}"), name=f"hog{i}")
+    probe = sim.process(platform.run_trace(trace, tag="probe", timeline=timeline))
+    return sim.run_until(probe)
+
+
+class TestTransfer:
+    def test_dedicated_transfer_time(self, quiet_cm2_spec):
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+
+        def probe():
+            elapsed = yield from platform.transfer(256, count=4)
+            return elapsed
+
+        p = sim.process(probe())
+        elapsed = sim.run_until(p)
+        assert elapsed == pytest.approx(4 * quiet_cm2_spec.message_cpu_time(256), rel=1e-6)
+
+    def test_transfer_slows_with_cpu_contention(self, quiet_cm2_spec):
+        """The §3.1.1 finding: CM2 transfers are CPU-resident, so p
+        CPU-bound contenders slow them by ~(p + 1)."""
+        def timed(p):
+            sim = Simulator()
+            platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+            for i in range(p):
+                platform.spawn(cpu_bound(platform, tag=f"h{i}"), name=f"h{i}")
+
+            def probe():
+                elapsed = yield from platform.transfer(512, count=64)
+                return elapsed
+
+            return sim.run_until(sim.process(probe()))
+
+        dedicated = timed(0)
+        # Context-switch overhead inflates the ratio ~5% above the
+        # fluid p + 1 — exactly the kind of residual the paper's model
+        # absorbs into its error budget.
+        for p in (1, 3):
+            assert timed(p) / dedicated == pytest.approx(p + 1, rel=0.08)
+
+    def test_negative_count_rejected(self, quiet_cm2_spec):
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+
+        def probe():
+            yield from platform.transfer(1, count=-1)
+
+        with pytest.raises(Exception):
+            sim.run_until(sim.process(probe()))
+
+
+class TestTraceExecution:
+    def test_elapsed_equals_dcomp_plus_didle(self, quiet_cm2_spec):
+        """By construction didle := elapsed − dcomp (§3.1.2 mapping)."""
+        trace = Trace([Serial(0.01), Parallel(0.02), Serial(0.01), Parallel(0.02)])
+        result = run_trace(quiet_cm2_spec, trace)
+        assert result.cm2_busy + result.cm2_idle == pytest.approx(result.elapsed)
+
+    def test_didle_le_dserial_invariant(self, quiet_cm2_spec):
+        """§3.1.2: didle never exceeds dserial (lookahead overlap)."""
+        for serial, parallel in [(0.01, 0.001), (0.001, 0.01), (0.005, 0.005)]:
+            trace = Trace([Serial(serial), Parallel(parallel)] * 20)
+            result = run_trace(quiet_cm2_spec, trace)
+            assert result.cm2_idle <= result.sun_serial + 1e-9
+
+    def test_parallel_work_accounted(self, quiet_cm2_spec):
+        trace = Trace([Parallel(0.05), Parallel(0.05)])
+        result = run_trace(quiet_cm2_spec, trace)
+        expected = 0.1 + 2 * quiet_cm2_spec.decode_overhead
+        assert result.cm2_busy == pytest.approx(expected, rel=1e-6)
+
+    def test_serial_work_accounted(self, quiet_cm2_spec):
+        trace = Trace([Serial(0.02), Parallel(0.01), Serial(0.03)])
+        result = run_trace(quiet_cm2_spec, trace)
+        expected = 0.05 + quiet_cm2_spec.issue_cost
+        assert result.sun_serial == pytest.approx(expected, rel=1e-6)
+
+    def test_transfer_work_tracked_separately(self, quiet_cm2_spec):
+        trace = Trace([Transfer(size=100, count=2), Serial(0.01)])
+        result = run_trace(quiet_cm2_spec, trace)
+        assert result.sun_transfer == pytest.approx(
+            2 * quiet_cm2_spec.message_cpu_time(100), rel=1e-6
+        )
+        assert result.sun_serial == pytest.approx(0.01, rel=1e-6)
+
+    def test_reduction_blocks_frontend(self, quiet_cm2_spec):
+        """A reduction forces the Sun to wait for the CM2's result, so
+        elapsed >= reduction work even with no serial work after it."""
+        trace = Trace([Reduction(0.1)])
+        result = run_trace(quiet_cm2_spec, trace)
+        assert result.elapsed >= 0.1
+
+    def test_overlap_shortens_elapsed(self, quiet_cm2_spec):
+        """Sun pre-executes serial code while the CM2 computes: the
+        elapsed time is far below the serial+parallel sum."""
+        trace = Trace([Serial(0.005), Parallel(0.005)] * 40)
+        result = run_trace(quiet_cm2_spec, trace)
+        total_work = trace.total_serial + trace.total_parallel
+        assert result.elapsed < 0.75 * total_work
+
+    def test_lookahead_bounds_runahead(self):
+        """With lookahead 1 the Sun stalls on every parallel dispatch
+        while the CM2 is busy; deeper lookahead strictly helps when
+        serial work is scarce."""
+        from repro.platforms.specs import CpuSpec, SunCM2Spec
+
+        def elapsed_with(lookahead):
+            spec = SunCM2Spec(
+                cpu=CpuSpec(daemon_interval=0, daemon_work=0), lookahead=lookahead
+            )
+            trace = Trace([Serial(0.0001), Parallel(0.01)] * 30)
+            return run_trace(spec, trace).elapsed
+
+        assert elapsed_with(8) <= elapsed_with(1) + 1e-9
+
+    def test_contended_run_matches_max_model_when_serial_bound(self, quiet_cm2_spec):
+        """When dserial × (p+1) dominates, the §3.1.2 max() formula is
+        a tight prediction."""
+        trace = Trace([Serial(0.004), Parallel(0.001)] * 50)
+        dedicated = run_trace(quiet_cm2_spec, trace)
+        contended = run_trace(quiet_cm2_spec, trace, p_hogs=3)
+        model = max(dedicated.cm2_busy + dedicated.cm2_idle, dedicated.sun_serial * 4)
+        assert contended.elapsed == pytest.approx(model, rel=0.1)
+
+    def test_sequencer_exclusivity(self, quiet_cm2_spec):
+        """Two trace programs serialise on the single sequencer."""
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+        trace = Trace([Parallel(0.05)])
+        p1 = sim.process(platform.run_trace(trace, tag="a"))
+        p2 = sim.process(platform.run_trace(trace, tag="b"))
+        sim.run_until(p2)
+        sim.run_until(p1)
+        # Serial execution: total span >= 2x one run's parallel work.
+        assert sim.now >= 0.1
+
+    def test_timeline_recording(self, quiet_cm2_spec):
+        timeline = Timeline()
+        trace = Trace([Serial(0.01), Parallel(0.02), Reduction(0.01)])
+        run_trace(quiet_cm2_spec, trace, timeline=timeline)
+        actors = timeline.actors()
+        assert "sun" in actors and "cm2" in actors
+        assert timeline.time_in_state("cm2", "execute") > 0
+        assert timeline.time_in_state("sun", "serial") > 0
+
+    def test_empty_trace(self, quiet_cm2_spec):
+        result = run_trace(quiet_cm2_spec, Trace([]))
+        assert result.elapsed >= 0
+        assert result.cm2_busy == 0

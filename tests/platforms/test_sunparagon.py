@@ -1,0 +1,136 @@
+"""Behavioural tests for the Sun/Paragon platform simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.contender import continuous_comm, cpu_bound
+from repro.errors import SimulationError, WorkloadError
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.sim.engine import Simulator
+
+
+def send_one(spec, size, mode="1hop", direction="out"):
+    sim = Simulator()
+    platform = SunParagonPlatform(sim, spec=spec)
+
+    def probe():
+        timing = yield from platform.message(size, direction, mode=mode)
+        return timing
+
+    return sim.run_until(sim.process(probe()))
+
+
+class TestMessagePrimitives:
+    def test_send_total_matches_spec(self, quiet_paragon_spec):
+        timing = send_one(quiet_paragon_spec, 200)
+        assert timing.total == pytest.approx(
+            quiet_paragon_spec.message_dedicated_time(200), rel=1e-6
+        )
+
+    def test_recv_total_matches_spec(self, quiet_paragon_spec):
+        timing = send_one(quiet_paragon_spec, 200, direction="in")
+        assert timing.total == pytest.approx(
+            quiet_paragon_spec.message_dedicated_time(200), rel=1e-6
+        )
+
+    def test_2hops_adds_forward_leg(self, quiet_paragon_spec):
+        t1 = send_one(quiet_paragon_spec, 200, mode="1hop")
+        t2 = send_one(quiet_paragon_spec, 200, mode="2hops")
+        assert t1.forward == 0.0
+        assert t2.forward == pytest.approx(quiet_paragon_spec.nx_time(200), rel=1e-6)
+
+    def test_breakdown_sums_to_total(self, quiet_paragon_spec):
+        timing = send_one(quiet_paragon_spec, 512)
+        parts = timing.conversion + timing.wire_queue + timing.wire + timing.forward
+        # node handling is the only piece outside the breakdown
+        assert timing.total == pytest.approx(
+            parts + quiet_paragon_spec.node_handling, rel=1e-6
+        )
+
+    def test_fragmented_message(self, quiet_paragon_spec):
+        """A 2048-word message pays two startups of everything."""
+        t_small = send_one(quiet_paragon_spec, 1024)
+        t_big = send_one(quiet_paragon_spec, 2048)
+        assert t_big.total == pytest.approx(2 * t_small.total, rel=1e-6)
+
+    def test_invalid_mode_rejected(self, quiet_paragon_spec):
+        with pytest.raises(SimulationError):
+            send_one(quiet_paragon_spec, 1, mode="3hops")
+
+    def test_invalid_direction_rejected(self, quiet_paragon_spec):
+        with pytest.raises(WorkloadError):
+            send_one(quiet_paragon_spec, 1, direction="up")
+
+
+class TestContentionChannels:
+    def test_cpu_hogs_delay_conversion_only(self, quiet_paragon_spec):
+        """CPU contention stretches the conversion stage (§3.2.1), not
+        the wire occupancy."""
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+        platform.spawn(cpu_bound(platform, tag="hog"), name="hog")
+
+        def probe():
+            timing = yield from platform.send(200, tag="probe")
+            return timing
+
+        contended = sim.run_until(sim.process(probe()))
+        dedicated = send_one(quiet_paragon_spec, 200)
+        assert contended.conversion > dedicated.conversion * 1.5
+        assert contended.wire == pytest.approx(dedicated.wire, rel=1e-6)
+
+    def test_communicating_contender_queues_the_wire(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+        platform.spawn(
+            continuous_comm(platform, 1024, "out", tag="gen"), name="gen"
+        )
+
+        def probe():
+            yield sim.timeout(0.01)  # let the generator occupy the wire
+            timing = yield from platform.send(200, tag="probe")
+            return timing
+
+        timing = sim.run_until(sim.process(probe()))
+        assert timing.wire_queue > 0.0
+
+    def test_half_duplex_wire_shared_between_directions(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+        done = []
+
+        def sender():
+            yield from platform.send(1024, tag="s")
+            done.append(("out", sim.now))
+
+        def receiver():
+            yield from platform.recv(1024, tag="r")
+            done.append(("in", sim.now))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run(until=1.0)
+        # Both complete, but their wire phases serialised: the total
+        # span exceeds one message's wire time significantly.
+        assert len(done) == 2
+
+    def test_backend_compute_space_shared(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+
+        def probe():
+            elapsed = yield from platform.backend_compute(16.0, nodes=16)
+            return elapsed
+
+        assert sim.run_until(sim.process(probe())) == pytest.approx(1.0)
+
+    def test_backend_compute_validation(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+
+        def probe():
+            yield from platform.backend_compute(1.0, nodes=0)
+
+        with pytest.raises(WorkloadError):
+            sim.run_until(sim.process(probe()))

@@ -1,0 +1,176 @@
+"""Unit and property tests for the time-shared CPU models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.cpu import TimeSharedCPU
+
+
+def _run_jobs(discipline: str, works: list[float], quantum: float = 0.01, cs: float = 0.0,
+              priorities: list[int] | None = None):
+    """Submit all jobs at t=0; return (completion_times, cpu)."""
+    sim = Simulator()
+    cpu = TimeSharedCPU(sim, discipline=discipline, quantum=quantum, context_switch=cs)
+    priorities = priorities or [0] * len(works)
+    events = [cpu.execute(w, priority=pr, tag=f"job{i}") for i, (w, pr) in enumerate(zip(works, priorities))]
+    sim.run(until=10_000)
+    return [ev.value if ev.triggered else None for ev in events], cpu, sim
+
+
+class TestProcessorSharing:
+    def test_single_job_runs_at_full_speed(self):
+        times, cpu, _ = _run_jobs("ps", [3.0])
+        assert times[0] == pytest.approx(3.0)
+
+    def test_two_equal_jobs_share_equally(self):
+        times, _, _ = _run_jobs("ps", [1.0, 1.0])
+        assert times == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_p_plus_one_slowdown(self):
+        # One 1s job against p=3 long jobs: finishes at ~4s while the
+        # hogs still run — the paper's slowdown = p + 1.
+        times, _, _ = _run_jobs("ps", [1.0, 10.0, 10.0, 10.0])
+        assert times[0] == pytest.approx(4.0)
+
+    def test_short_job_departure_speeds_up_rest(self):
+        # 1s and 3s job: share until t=2 (each got 1s), then the long
+        # job runs alone: finishes at 2 + 2 = 4.
+        times, _, _ = _run_jobs("ps", [1.0, 3.0])
+        assert times == [pytest.approx(2.0), pytest.approx(4.0)]
+
+    def test_strict_priority_starves_lower_class(self):
+        times, _, _ = _run_jobs("ps", [2.0, 2.0], priorities=[0, 1])
+        assert times[0] == pytest.approx(2.0)
+        assert times[1] == pytest.approx(4.0)
+
+    def test_zero_work_completes_immediately(self, sim):
+        cpu = TimeSharedCPU(sim, discipline="ps")
+        ev = cpu.execute(0.0)
+        assert ev.triggered
+        assert ev.value == 0.0
+
+    def test_negative_work_rejected(self, sim):
+        cpu = TimeSharedCPU(sim, discipline="ps")
+        with pytest.raises(ValueError):
+            cpu.execute(-1.0)
+
+    def test_late_arrival(self):
+        sim = Simulator()
+        cpu = TimeSharedCPU(sim, discipline="ps")
+
+        def scenario(sim, cpu):
+            first = cpu.execute(2.0, tag="first")
+            yield sim.timeout(1.0)
+            second = cpu.execute(2.0, tag="second")
+            yield sim.all_of([first, second])
+            return sim.now
+
+        # first runs alone 0-1 (1s done), shares 1-3 (1s more) -> done t=3;
+        # second: 1s served by t=3, runs alone 3-4.
+        assert sim.run_process(scenario(sim, cpu)) == pytest.approx(4.0)
+
+    def test_busy_time_accounting(self):
+        times, cpu, sim = _run_jobs("ps", [1.0, 1.0])
+        assert cpu.busy_time == pytest.approx(2.0)
+        assert cpu.utilization(4.0) == pytest.approx(0.5)
+
+    def test_service_by_tag(self):
+        _, cpu, _ = _run_jobs("ps", [1.0, 2.0])
+        assert cpu.service_by_tag["job0"] == pytest.approx(1.0)
+        assert cpu.service_by_tag["job1"] == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=6))
+    def test_work_conservation(self, works):
+        """Total service delivered equals total work submitted, and the
+        CPU is never idle while jobs remain (makespan == total work)."""
+        times, cpu, sim = _run_jobs("ps", works)
+        assert all(t is not None for t in times)
+        assert cpu.busy_time == pytest.approx(sum(works), rel=1e-9)
+        assert max(times) == pytest.approx(sum(works), rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.05, max_value=3.0), min_size=2, max_size=5))
+    def test_equal_jobs_finish_together(self, works):
+        """Identical jobs submitted together finish at the same time."""
+        w = works[0]
+        times, _, _ = _run_jobs("ps", [w] * len(works))
+        assert all(t == pytest.approx(times[0]) for t in times)
+
+
+class TestRoundRobin:
+    def test_single_job_exact(self):
+        times, _, _ = _run_jobs("rr", [1.0], quantum=0.01)
+        assert times[0] == pytest.approx(1.0)
+
+    def test_two_jobs_approximate_fair_share(self):
+        times, _, _ = _run_jobs("rr", [1.0, 1.0], quantum=0.01)
+        # Both finish within one quantum of the fluid limit (t=2).
+        assert times[0] == pytest.approx(2.0, abs=0.02)
+        assert times[1] == pytest.approx(2.0, abs=0.02)
+
+    def test_context_switch_overhead(self):
+        times_no_cs, _, _ = _run_jobs("rr", [1.0, 1.0], quantum=0.01, cs=0.0)
+        times_cs, cpu_cs, _ = _run_jobs("rr", [1.0, 1.0], quantum=0.01, cs=0.001)
+        assert max(times_cs) > max(times_no_cs)
+        assert cpu_cs.switches > 0
+
+    def test_work_conservation_without_cs(self):
+        works = [0.5, 1.5, 0.25]
+        times, cpu, _ = _run_jobs("rr", works, quantum=0.01)
+        assert cpu.busy_time == pytest.approx(sum(works), rel=1e-9)
+        assert max(times) == pytest.approx(sum(works), rel=1e-9)
+
+    def test_session_continuation_keeps_cpu(self):
+        """A tag submitting back-to-back small jobs keeps its slot: the
+        total latency of N sequential small jobs matches one combined
+        job of the same total size, instead of paying a rotation each."""
+
+        def sequential_latency(chunks: int, total: float) -> float:
+            sim = Simulator()
+            cpu = TimeSharedCPU(sim, discipline="rr", quantum=0.01)
+            hog = cpu.execute(100.0, tag="hog")
+
+            def probe(sim, cpu):
+                start = sim.now
+                for _ in range(chunks):
+                    yield cpu.execute(total / chunks, tag="probe")
+                return sim.now - start
+
+            p = sim.process(probe(sim, cpu))
+            return sim.run_until(p)
+
+        one_chunk = sequential_latency(1, 0.05)
+        many_chunks = sequential_latency(10, 0.05)
+        # Without sessions, 10 chunks would cost ~10 rotations (~0.1s
+        # extra against one hog); with sessions they cost about the same.
+        assert many_chunks == pytest.approx(one_chunk, rel=0.25)
+
+    def test_priority_classes(self):
+        times, _, _ = _run_jobs("rr", [0.5, 0.5], quantum=0.01, priorities=[1, 0])
+        assert times[1] == pytest.approx(0.5, abs=0.02)
+        assert times[0] == pytest.approx(1.0, abs=0.03)
+
+    def test_p_plus_one_approximation(self):
+        """The paper's slowdown model: a task against p CPU-bound jobs
+        runs ~(p+1)x slower under round robin."""
+        for p in (1, 2, 3):
+            times, _, _ = _run_jobs("rr", [1.0] + [50.0] * p, quantum=0.001)
+            assert times[0] == pytest.approx(p + 1.0, rel=0.02)
+
+    def test_invalid_discipline(self, sim):
+        with pytest.raises(ValueError):
+            TimeSharedCPU(sim, discipline="fifo")
+
+    def test_load_property(self, sim):
+        cpu = TimeSharedCPU(sim, discipline="rr")
+        cpu.execute(1.0)
+        cpu.execute(1.0)
+        assert cpu.load == 2
+
+    def test_jobs_completed_counter(self):
+        _, cpu, _ = _run_jobs("rr", [0.1, 0.2, 0.3])
+        assert cpu.jobs_completed == 3

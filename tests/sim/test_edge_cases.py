@@ -1,0 +1,137 @@
+"""Edge cases across the substrate: interrupts vs resources, zero sizes.
+
+These document (and pin) the intended semantics of awkward-but-legal
+situations an extension author will eventually hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Interrupt, Simulator
+from repro.sim.resources import FifoResource
+from repro.platforms.sunparagon import SunParagonPlatform
+from repro.platforms.suncm2 import SunCM2Platform
+
+
+class TestInterruptResourceInteraction:
+    def test_interrupted_waiter_cancels_its_request(self, sim):
+        """The canonical pattern: catch the interrupt, release the
+        still-queued request, and the resource stays consistent."""
+        res = FifoResource(sim, capacity=1)
+        order = []
+
+        def holder():
+            yield from res.acquire(5.0)
+            order.append(("holder-done", sim.now))
+
+        def waiter():
+            req = res.request()
+            try:
+                yield req
+            except Interrupt:
+                res.release(req)  # cancel the queued request
+                order.append(("waiter-cancelled", sim.now))
+                return
+            res.release(req)
+
+        def third():
+            yield sim.timeout(2.0)
+            yield from res.acquire(1.0)
+            order.append(("third-done", sim.now))
+
+        sim.process(holder())
+        w = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            w.interrupt("changed my mind")
+
+        sim.process(interrupter())
+        sim.process(third())
+        sim.run()
+        assert ("waiter-cancelled", 1.0) in order
+        # The third process gets the resource right after the holder,
+        # unobstructed by the cancelled request.
+        assert ("third-done", 6.0) in order
+
+    def test_interrupt_while_holding_does_not_leak(self, sim):
+        res = FifoResource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            finally:
+                res.release(req)
+
+        h = sim.process(holder())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            h.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert res.in_use == 0
+
+
+class TestZeroSizeMessages:
+    def test_paragon_zero_size_message_still_costs_startup(self, quiet_paragon_spec):
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+
+        def probe():
+            timing = yield from platform.send(0.0, tag="z")
+            return timing
+
+        timing = sim.run_until(sim.process(probe()))
+        assert timing.total == pytest.approx(
+            quiet_paragon_spec.message_dedicated_time(0.0), rel=1e-9
+        )
+        assert timing.total > 0
+
+    def test_cm2_zero_count_transfer_is_free(self, quiet_cm2_spec):
+        sim = Simulator()
+        platform = SunCM2Platform(sim, spec=quiet_cm2_spec)
+
+        def probe():
+            elapsed = yield from platform.transfer(100.0, count=0, tag="z")
+            return elapsed
+
+        assert sim.run_until(sim.process(probe())) == 0.0
+
+
+class TestSimultaneousEverything:
+    def test_many_processes_at_one_instant(self, sim):
+        """A thousand zero-delay processes resolve deterministically."""
+        results = []
+
+        def proc(k):
+            yield sim.timeout(0.0)
+            results.append(k)
+
+        for k in range(1000):
+            sim.process(proc(k))
+        sim.run()
+        assert results == list(range(1000))
+
+    def test_chained_immediate_events(self, sim):
+        """Events triggering each other at one instant all resolve."""
+        depth = 200
+        events = [sim.event(name=f"e{k}") for k in range(depth)]
+
+        def chain(k):
+            yield events[k]
+            if k + 1 < depth:
+                events[k + 1].succeed()
+
+        for k in range(depth):
+            sim.process(chain(k))
+        events[0].succeed()
+        sim.run()
+        assert sim.now == 0.0
+        assert all(ev.processed for ev in events)

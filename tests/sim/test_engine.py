@@ -1,0 +1,382 @@
+"""Unit tests for the DES kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    PRIORITY_LATE,
+    PRIORITY_URGENT,
+    Simulator,
+)
+
+
+class TestEventLifecycle:
+    def test_new_event_is_untriggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+        assert ev.ok
+
+    def test_fail_stores_exception(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError())
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_unwaited_failed_event_surfaces_at_run(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError, match="lost"):
+            sim.run()
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_timeout_carries_value(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert sim.run_process(proc(sim)) == "hello"
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_at_now(self, sim):
+        def proc(sim):
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc(sim)) == 0.0
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        assert sim.run_process(proc(sim)) == "done"
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.5)
+            return sim.now
+
+        assert sim.run_process(proc(sim)) == 3.5
+
+    def test_process_is_event(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return 7
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value * 2
+
+        assert sim.run_process(parent(sim)) == 14
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("child died")
+
+        def parent(sim):
+            try:
+                yield sim.process(child(sim))
+            except ValueError as exc:
+                return str(exc)
+            return "no error"
+
+        assert sim.run_process(parent(sim)) == "child died"
+
+    def test_failed_process_reraised_by_run_process(self, sim):
+        def proc(sim):
+            yield sim.timeout(0.5)
+            raise KeyError("gone")
+
+        with pytest.raises(KeyError):
+            sim.run_process(proc(sim))
+
+    def test_yield_non_event_fails_process(self, sim):
+        def proc(sim):
+            yield 42  # type: ignore[misc]
+
+        with pytest.raises(SimulationError, match="must yield Event"):
+            sim.run_process(proc(sim))
+
+    def test_wait_on_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+
+        def late_waiter(sim, ev):
+            yield sim.timeout(3.0)
+            value = yield ev
+            return value
+
+        assert sim.run_process(late_waiter(sim, ev)) == "early"
+
+    def test_cross_simulator_event_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        foreign = sim2.event()
+
+        def proc(sim):
+            yield foreign
+
+        with pytest.raises(SimulationError, match="different Simulator"):
+            sim1.run_process(proc(sim1))
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_is_alive(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def victim(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+            return "finished"
+
+        def attacker(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("stop it")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == ("interrupted", "stop it", 2.0)
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def victim(sim):
+            yield sim.timeout(100.0)
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run(until=10)
+        assert v.triggered and not v.ok
+        assert isinstance(v.value, Interrupt)
+
+    def test_interrupt_dead_process_rejected(self, sim):
+        def victim(sim):
+            yield sim.timeout(1.0)
+
+        v = sim.process(victim(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            v.interrupt()
+
+    def test_interrupted_process_can_continue(self, sim):
+        def victim(sim):
+            total = 0.0
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(5.0)
+            return sim.now
+
+        def attacker(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == 7.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        def proc(sim):
+            t1, t2 = sim.timeout(1.0, value="a"), sim.timeout(3.0, value="b")
+            results = yield sim.all_of([t1, t2])
+            return (sim.now, sorted(results.values()))
+
+        assert sim.run_process(proc(sim)) == (3.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, sim):
+        def proc(sim):
+            t1, t2 = sim.timeout(1.0, value="fast"), sim.timeout(3.0, value="slow")
+            results = yield sim.any_of([t1, t2])
+            return (sim.now, list(results.values()))
+
+        assert sim.run_process(proc(sim)) == (1.0, ["fast"])
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def proc(sim):
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(proc(sim)) == 0.0
+
+    def test_all_of_propagates_failure(self, sim):
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("bad")
+
+        def proc(sim):
+            p = sim.process(failing(sim))
+            t = sim.timeout(5.0)
+            try:
+                yield sim.all_of([p, t])
+            except RuntimeError:
+                return "failed"
+            return "ok"
+
+        assert sim.run_process(proc(sim)) == "failed"
+
+
+class TestScheduling:
+    def test_priority_order_at_same_time(self, sim):
+        order = []
+
+        def recorder(sim, label, priority):
+            yield sim.timeout(1.0, priority=priority)
+            order.append(label)
+
+        sim.process(recorder(sim, "late", PRIORITY_LATE))
+        sim.process(recorder(sim, "urgent", PRIORITY_URGENT))
+        sim.process(recorder(sim, "normal", 1))
+        sim.run()
+        assert order == ["urgent", "normal", "late"]
+
+    def test_fifo_within_priority(self, sim):
+        order = []
+
+        def recorder(sim, label):
+            yield sim.timeout(1.0)
+            order.append(label)
+
+        for label in "abc":
+            sim.process(recorder(sim, label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_time(self, sim):
+        def ticker(sim):
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(sim))
+        sim.run(until=5.5)
+        assert sim.now == 5.5
+
+    def test_run_until_past_rejected(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=0.5)
+
+    def test_peek_and_step(self, sim):
+        sim.timeout(2.0)
+        assert sim.peek() == 2.0
+        sim.step()
+        assert sim.now == 2.0
+        assert sim.peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_deadlock_detection(self, sim):
+        def stuck(sim):
+            yield sim.event()  # never triggered
+
+        sim.process(stuck(sim))
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_run_until_event(self, sim):
+        def ticker(sim):
+            while True:
+                yield sim.timeout(1.0)
+
+        def probe(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        sim.process(ticker(sim))
+        p = sim.process(probe(sim))
+        assert sim.run_until(p) == "done"
+        assert sim.now == 3.0
+
+    def test_run_until_limit(self, sim):
+        def slow(sim):
+            yield sim.timeout(100.0)
+
+        p = sim.process(slow(sim))
+        with pytest.raises(DeadlockError):
+            sim.run_until(p, limit=10.0)
+
+    def test_determinism(self):
+        def build_and_run() -> list[tuple[str, float]]:
+            sim = Simulator()
+            log = []
+
+            def worker(sim, name, delay):
+                for _ in range(3):
+                    yield sim.timeout(delay)
+                    log.append((name, sim.now))
+
+            sim.process(worker(sim, "x", 1.0))
+            sim.process(worker(sim, "y", 1.0))
+            sim.process(worker(sim, "z", 0.5))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

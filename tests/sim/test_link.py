@@ -1,0 +1,119 @@
+"""Unit tests for the contended link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+def _wire(s: float) -> float:
+    return 1e-3 + s * 1e-6
+
+
+class TestLink:
+    def test_occupancy_matches_curve(self, sim):
+        link = Link(sim, wire_time=_wire)
+        assert link.occupancy(1000) == pytest.approx(2e-3)
+
+    def test_negative_size_rejected(self, sim):
+        link = Link(sim, wire_time=_wire)
+        with pytest.raises(ValueError):
+            link.occupancy(-1)
+
+    def test_negative_wire_time_detected(self, sim):
+        link = Link(sim, wire_time=lambda s: -1.0)
+        with pytest.raises(ValueError):
+            link.occupancy(10)
+
+    def test_single_transfer_time(self, sim):
+        link = Link(sim, wire_time=_wire)
+
+        def proc(sim, link):
+            queued = yield from link.transfer(1000, "out")
+            return (sim.now, queued)
+
+        now, queued = sim.run_process(proc(sim, link))
+        assert now == pytest.approx(2e-3)
+        assert queued == 0.0
+
+    def test_half_duplex_serialises_directions(self, sim):
+        link = Link(sim, wire_time=lambda s: 1.0)
+        done = []
+
+        def sender(sim, link, direction):
+            yield from link.transfer(1, direction)
+            done.append((direction, sim.now))
+
+        sim.process(sender(sim, link, "out"))
+        sim.process(sender(sim, link, "in"))
+        sim.run()
+        assert done == [("out", 1.0), ("in", 2.0)]
+
+    def test_full_duplex_parallel_directions(self, sim):
+        link = Link(sim, wire_time=lambda s: 1.0, full_duplex=True)
+        done = []
+
+        def sender(sim, link, direction):
+            yield from link.transfer(1, direction)
+            done.append((direction, sim.now))
+
+        sim.process(sender(sim, link, "out"))
+        sim.process(sender(sim, link, "in"))
+        sim.run()
+        assert done == [("out", 1.0), ("in", 1.0)]
+
+    def test_queueing_delay_reported(self, sim):
+        link = Link(sim, wire_time=lambda s: 1.0)
+
+        def first(sim, link):
+            yield from link.transfer(1, "out")
+
+        def second(sim, link):
+            queued = yield from link.transfer(1, "out")
+            return queued
+
+        sim.process(first(sim, link))
+        p = sim.process(second(sim, link))
+        sim.run()
+        assert p.value == pytest.approx(1.0)
+
+    def test_fifo_order_across_apps(self, sim):
+        link = Link(sim, wire_time=lambda s: 0.5)
+        order = []
+
+        def sender(sim, link, label, arrive):
+            yield sim.timeout(arrive)
+            yield from link.transfer(1, "out")
+            order.append(label)
+
+        sim.process(sender(sim, link, "b", 0.1))
+        sim.process(sender(sim, link, "a", 0.0))
+        sim.process(sender(sim, link, "c", 0.2))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_invalid_direction(self, sim):
+        link = Link(sim, wire_time=_wire)
+
+        def proc(sim, link):
+            yield from link.transfer(1, "sideways")
+
+        with pytest.raises(ValueError):
+            sim.run_process(proc(sim, link))
+
+    def test_statistics(self, sim):
+        link = Link(sim, wire_time=lambda s: 0.5)
+
+        def proc(sim, link):
+            for _ in range(4):
+                yield from link.transfer(100, "out")
+            yield sim.timeout(2.0)
+
+        sim.process(proc(sim, link))
+        sim.run()
+        assert link.messages_sent == 4
+        assert link.words_sent == 400
+        assert link.wire_busy == pytest.approx(2.0)
+        assert link.utilization() == pytest.approx(0.5)

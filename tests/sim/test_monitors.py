@@ -1,0 +1,149 @@
+"""Unit and property tests for the measurement instruments."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.monitors import Interval, Tally, Timeline, TimeWeighted
+
+
+class TestTally:
+    def test_empty(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+
+    def test_single_observation(self):
+        t = Tally()
+        t.record(5.0)
+        assert t.mean == 5.0
+        assert math.isnan(t.variance)
+        assert t.minimum == t.maximum == 5.0
+
+    def test_known_values(self):
+        t = Tally()
+        t.extend([1.0, 2.0, 3.0, 4.0])
+        assert t.mean == pytest.approx(2.5)
+        assert t.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert t.total == 10.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_matches_numpy(self, values):
+        t = Tally()
+        t.extend(values)
+        assert t.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert t.std == pytest.approx(np.std(values, ddof=1), rel=1e-9, abs=1e-6)
+        assert t.minimum == min(values)
+        assert t.maximum == max(values)
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        tw = TimeWeighted(initial=3.0)
+        assert tw.average(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        tw = TimeWeighted()
+        tw.record(0.0, 1.0)
+        tw.record(5.0, 3.0)
+        assert tw.average(10.0) == pytest.approx(2.0)
+
+    def test_time_must_not_decrease(self):
+        tw = TimeWeighted()
+        tw.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.record(4.0, 2.0)
+
+    def test_horizon_before_last_change_rejected(self):
+        tw = TimeWeighted()
+        tw.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.average(4.0)
+
+    def test_current(self):
+        tw = TimeWeighted()
+        tw.record(1.0, 7.0)
+        assert tw.current == 7.0
+
+
+class TestTimeline:
+    def test_add_and_query(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "sun", "serial")
+        tl.add(1.0, 3.0, "sun", "wait")
+        tl.add(0.0, 3.0, "cm2", "execute")
+        assert tl.time_in_state("sun", "serial") == pytest.approx(1.0)
+        assert tl.time_in_state("sun", "wait") == pytest.approx(2.0)
+        assert tl.time_in_state("cm2", "execute") == pytest.approx(3.0)
+        assert tl.actors() == ["sun", "cm2"]
+        assert tl.span == pytest.approx(3.0)
+
+    def test_zero_length_intervals_dropped(self):
+        tl = Timeline()
+        tl.add(1.0, 1.0, "sun", "serial")
+        assert tl.intervals == []
+
+    def test_backwards_interval_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add(2.0, 1.0, "sun", "serial")
+
+    def test_interval_duration(self):
+        iv = Interval(1.0, 3.5, "sun", "serial")
+        assert iv.duration == pytest.approx(2.5)
+
+    def test_for_actor_filters(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a", "x")
+        tl.add(0.0, 1.0, "b", "y")
+        assert [iv.actor for iv in tl.for_actor("a")] == ["a"]
+
+    def test_empty_span(self):
+        assert Timeline().span == 0.0
+
+
+class TestGantt:
+    def _timeline(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "sun", "serial")
+        tl.add(1.0, 3.0, "sun", "wait")
+        tl.add(0.5, 3.0, "cm2", "execute")
+        tl.add(0.0, 0.5, "cm2", "idle")
+        return tl
+
+    def test_renders_rows_and_legend(self):
+        text = self._timeline().render_gantt(width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("sun |")
+        assert lines[1].startswith("cm2 |")
+        assert "s = serial" in text and "w = wait" in text
+        assert "e = execute" in text and "i = idle" in text
+
+    def test_glyph_collisions_resolved(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a", "serial")
+        tl.add(1.0, 2.0, "a", "send")  # both start with 's'
+        text = tl.render_gantt(width=16)
+        assert "s = " in text and "t = send" in text or "serial" in text
+        # Two distinct glyphs must appear in the legend.
+        legend = text.splitlines()[-2]
+        assert legend.count("=") == 2
+
+    def test_custom_glyphs(self):
+        text = self._timeline().render_gantt(width=16, glyphs={"serial": "#"})
+        assert "# = serial" in text
+
+    def test_empty_timeline(self):
+        assert Timeline().render_gantt() == "(empty timeline)"
+
+    def test_width_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            self._timeline().render_gantt(width=4)

@@ -1,0 +1,54 @@
+"""Unit tests for deterministic random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=42).get("x").random(10)
+        b = RandomStreams(seed=42).get("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(seed=42)
+        a = streams.get("x").random(10)
+        b = streams.get("y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("x").random(10)
+        b = RandomStreams(seed=2).get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_cached(self):
+        streams = RandomStreams(seed=0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_fork_deterministic(self):
+        a = RandomStreams(seed=5).fork(3).get("x").random(5)
+        b = RandomStreams(seed=5).fork(3).get("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(seed=5)
+        child = parent.fork(1)
+        assert not np.array_equal(parent.get("x").random(5), child.get("x").random(5))
+
+    def test_forks_mutually_independent(self):
+        parent = RandomStreams(seed=5)
+        a = parent.fork(1).get("x").random(5)
+        b = parent.fork(2).get("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_name_hash_is_process_independent(self):
+        # The key derivation must not rely on salted hash(): verify the
+        # well-known value stays stable across interpreter runs by
+        # checking it is a pure function of the inputs.
+        from repro.sim.rng import _stable_key
+
+        assert _stable_key("contender-0") == _stable_key("contender-0")
+        assert _stable_key("a") != _stable_key("b")

@@ -1,0 +1,80 @@
+"""Unit tests for unit conventions and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_word_conversions_roundtrip(self):
+        assert units.bytes_to_words(units.words_to_bytes(123)) == 123
+
+    def test_bytes_per_word(self):
+        assert units.words_to_bytes(1) == 4
+
+    def test_check_positive(self):
+        assert units.check_positive(2, "x") == 2.0
+        with pytest.raises(ValueError):
+            units.check_positive(0, "x")
+        with pytest.raises(ValueError):
+            units.check_positive(float("nan"), "x")
+
+    def test_check_nonnegative(self):
+        assert units.check_nonnegative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            units.check_nonnegative(-1e-9, "x")
+
+    def test_check_fraction(self):
+        assert units.check_fraction(0.5, "x") == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                units.check_fraction(bad, "x")
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.SimulationError,
+            errors.DeadlockError,
+            errors.CalibrationError,
+            errors.ModelError,
+            errors.ScheduleError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_sim_exports_resolve(self):
+        import repro.sim as sim
+
+        for name in sim.__all__:
+            assert getattr(sim, name) is not None
+
+    def test_experiments_exports_resolve(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            assert getattr(experiments, name) is not None
+
+    def test_ext_exports_resolve(self):
+        import repro.ext as ext
+
+        for name in ext.__all__:
+            assert getattr(ext, name) is not None

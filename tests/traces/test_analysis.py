@@ -1,0 +1,45 @@
+"""Tests for dedicated-mode trace measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.analysis import measure_dedicated_cm2
+from repro.traces.gauss import gauss_cm2_trace
+from repro.traces.instructions import Parallel, Serial, Trace
+
+
+class TestMeasureDedicated:
+    def test_costs_consistent(self, quiet_cm2_spec):
+        trace = Trace([Serial(0.01), Parallel(0.02)] * 10)
+        m = measure_dedicated_cm2(trace, quiet_cm2_spec)
+        assert m.costs.dcomp + m.costs.didle == pytest.approx(m.elapsed)
+        assert m.costs.didle <= m.costs.dserial + 1e-9
+
+    def test_serial_only_trace(self, quiet_cm2_spec):
+        trace = Trace([Serial(0.05)])
+        m = measure_dedicated_cm2(trace, quiet_cm2_spec)
+        assert m.costs.dcomp == 0.0
+        assert m.costs.dserial == pytest.approx(0.05, rel=1e-6)
+
+    def test_parallel_dominated_trace(self, quiet_cm2_spec):
+        trace = Trace([Parallel(0.1)] * 5)
+        m = measure_dedicated_cm2(trace, quiet_cm2_spec)
+        assert m.costs.dcomp == pytest.approx(
+            0.5 + 5 * quiet_cm2_spec.decode_overhead, rel=1e-6
+        )
+
+    def test_gauss_measurement_scales(self, quiet_cm2_spec):
+        small = measure_dedicated_cm2(gauss_cm2_trace(30, quiet_cm2_spec), quiet_cm2_spec)
+        large = measure_dedicated_cm2(gauss_cm2_trace(60, quiet_cm2_spec), quiet_cm2_spec)
+        # dcomp ~ M^3: doubling M gives ~8x.
+        assert large.costs.dcomp / small.costs.dcomp == pytest.approx(8.0, rel=0.15)
+        # dserial ~ M: doubling M gives ~2x.
+        assert large.costs.dserial / small.costs.dserial == pytest.approx(2.0, rel=0.1)
+
+    def test_deterministic(self, quiet_cm2_spec):
+        trace = gauss_cm2_trace(20, quiet_cm2_spec)
+        a = measure_dedicated_cm2(trace, quiet_cm2_spec)
+        b = measure_dedicated_cm2(trace, quiet_cm2_spec)
+        assert a.elapsed == b.elapsed
+        assert a.costs == b.costs

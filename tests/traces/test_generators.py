@@ -1,0 +1,138 @@
+"""Unit tests for the SOR / GE / synthetic trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces.gauss import gauss_cm2_trace, gauss_flops
+from repro.traces.instructions import Parallel, Reduction, Serial, Transfer
+from repro.traces.sor import SOR_FLOPS_PER_POINT, sor_cm2_trace, sor_sun_work
+from repro.traces.synthetic import synthetic_cm2_trace
+
+
+class TestSorTraces:
+    def test_cm2_trace_structure(self, quiet_cm2_spec):
+        trace = sor_cm2_trace(64, iterations=20, spec=quiet_cm2_spec, check_every=10)
+        parallels = [i for i in trace if isinstance(i, Parallel)]
+        reductions = [i for i in trace if isinstance(i, Reduction)]
+        assert len(parallels) == 20
+        assert len(reductions) == 2
+        assert all(
+            p.work == pytest.approx(64 * 64 * quiet_cm2_spec.sor_parallel_per_point)
+            for p in parallels
+        )
+
+    def test_cm2_trace_transfers(self, quiet_cm2_spec):
+        trace = sor_cm2_trace(32, 5, quiet_cm2_spec, include_transfers=True)
+        transfers = [i for i in trace if isinstance(i, Transfer)]
+        assert len(transfers) == 2
+        assert transfers[0].direction == "out" and transfers[1].direction == "in"
+        assert transfers[0].count == 32 and transfers[0].size == 32.0
+
+    def test_sun_work_formula(self, quiet_paragon_spec):
+        work = sor_sun_work(100, 30, quiet_paragon_spec)
+        assert work == pytest.approx(
+            30 * 100 * 100 * SOR_FLOPS_PER_POINT * quiet_paragon_spec.sun_flop_time
+        )
+
+    def test_sun_work_quadratic_in_m(self, quiet_paragon_spec):
+        assert sor_sun_work(200, 30, quiet_paragon_spec) == pytest.approx(
+            4 * sor_sun_work(100, 30, quiet_paragon_spec)
+        )
+
+    def test_validation(self, quiet_cm2_spec, quiet_paragon_spec):
+        with pytest.raises(WorkloadError):
+            sor_cm2_trace(0, 10, quiet_cm2_spec)
+        with pytest.raises(WorkloadError):
+            sor_cm2_trace(10, 0, quiet_cm2_spec)
+        with pytest.raises(WorkloadError):
+            sor_sun_work(0, 10, quiet_paragon_spec)
+
+
+class TestGaussTraces:
+    def test_flops_cubic(self):
+        assert gauss_flops(100) == pytest.approx(2 * 100**3 / 3, rel=0.05)
+
+    def test_trace_serial_total(self, quiet_cm2_spec):
+        m = 50
+        trace = gauss_cm2_trace(m, quiet_cm2_spec)
+        assert trace.total_serial == pytest.approx(m * quiet_cm2_spec.ge_serial_per_iter)
+
+    def test_trace_parallel_constant_per_step(self, quiet_cm2_spec):
+        """SIMD full-array updates: every elimination step issues the
+        same amount of back-end work."""
+        m = 40
+        trace = gauss_cm2_trace(m, quiet_cm2_spec)
+        parallels = [i for i in trace if isinstance(i, Parallel)]
+        # m elimination steps + 1 back-substitution pass
+        assert len(parallels) == m + 1
+        step_work = m * (m + 1) * quiet_cm2_spec.ge_parallel_per_element
+        assert all(p.work == pytest.approx(step_work) for p in parallels[:-1])
+
+    def test_sync_every_controls_reductions(self, quiet_cm2_spec):
+        trace = gauss_cm2_trace(128, quiet_cm2_spec, sync_every=32)
+        reductions = [i for i in trace if isinstance(i, Reduction)]
+        assert len(reductions) == 4
+
+    def test_transfers_optional(self, quiet_cm2_spec):
+        bare = gauss_cm2_trace(10, quiet_cm2_spec)
+        with_xfer = gauss_cm2_trace(10, quiet_cm2_spec, include_transfers=True)
+        assert bare.comm_pattern().total_messages == 0
+        pattern = with_xfer.comm_pattern()
+        assert pattern.to_backend[0].count == 10
+        assert pattern.to_backend[0].size == 11.0
+
+    def test_validation(self, quiet_cm2_spec):
+        with pytest.raises(WorkloadError):
+            gauss_cm2_trace(1, quiet_cm2_spec)
+        with pytest.raises(WorkloadError):
+            gauss_cm2_trace(10, quiet_cm2_spec, sync_every=0)
+
+
+class TestSyntheticTraces:
+    def test_totals_normalised(self, quiet_cm2_spec):
+        rng = np.random.default_rng(3)
+        trace = synthetic_cm2_trace(rng, total_work=2.0, serial_fraction=0.3,
+                                    spec=quiet_cm2_spec)
+        assert trace.total_serial == pytest.approx(0.6, rel=1e-9)
+        assert trace.total_parallel == pytest.approx(1.4, rel=1e-9)
+
+    def test_pure_serial(self, quiet_cm2_spec):
+        rng = np.random.default_rng(3)
+        trace = synthetic_cm2_trace(rng, 1.0, 1.0, quiet_cm2_spec)
+        assert trace.total_parallel == 0.0
+
+    def test_pure_parallel(self, quiet_cm2_spec):
+        rng = np.random.default_rng(3)
+        trace = synthetic_cm2_trace(rng, 1.0, 0.0, quiet_cm2_spec)
+        assert trace.total_serial == 0.0
+
+    def test_reduction_share(self, quiet_cm2_spec):
+        rng = np.random.default_rng(3)
+        none = synthetic_cm2_trace(rng, 1.0, 0.5, quiet_cm2_spec, reduction_share=0.0)
+        assert not any(isinstance(i, Reduction) for i in none)
+        rng = np.random.default_rng(3)
+        every = synthetic_cm2_trace(rng, 1.0, 0.5, quiet_cm2_spec, reduction_share=1.0)
+        assert not any(isinstance(i, Parallel) for i in every)
+
+    def test_transfer_bookends(self, quiet_cm2_spec):
+        rng = np.random.default_rng(3)
+        trace = synthetic_cm2_trace(
+            rng, 1.0, 0.5, quiet_cm2_spec, transfer_words=512
+        )
+        assert isinstance(trace.instructions[0], Transfer)
+        assert isinstance(trace.instructions[-1], Transfer)
+
+    def test_determinism_per_seed(self, quiet_cm2_spec):
+        a = synthetic_cm2_trace(np.random.default_rng(9), 1.0, 0.4, quiet_cm2_spec)
+        b = synthetic_cm2_trace(np.random.default_rng(9), 1.0, 0.4, quiet_cm2_spec)
+        assert a.instructions == b.instructions
+
+    def test_validation(self, quiet_cm2_spec):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            synthetic_cm2_trace(rng, 0.0, 0.5, quiet_cm2_spec)
+        with pytest.raises(WorkloadError):
+            synthetic_cm2_trace(rng, 1.0, 1.5, quiet_cm2_spec)

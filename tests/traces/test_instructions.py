@@ -1,0 +1,75 @@
+"""Unit tests for the instruction IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datasets import DataSet
+from repro.errors import WorkloadError
+from repro.traces.instructions import Parallel, Reduction, Serial, Trace, Transfer
+
+
+class TestInstructions:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Serial(-1.0)
+        with pytest.raises(WorkloadError):
+            Parallel(-1.0)
+        with pytest.raises(WorkloadError):
+            Reduction(-1.0)
+        with pytest.raises(WorkloadError):
+            Transfer(size=-1)
+        with pytest.raises(WorkloadError):
+            Transfer(size=1, count=-1)
+        with pytest.raises(WorkloadError):
+            Transfer(size=1, direction="up")
+
+
+class TestTrace:
+    def test_totals(self):
+        trace = Trace([Serial(1.0), Parallel(2.0), Reduction(0.5), Serial(0.25)])
+        assert trace.total_serial == pytest.approx(1.25)
+        assert trace.total_parallel == pytest.approx(2.5)
+        assert trace.parallel_count == 2
+        assert len(trace) == 4
+
+    def test_rejects_non_instructions(self):
+        with pytest.raises(WorkloadError):
+            Trace([Serial(1.0), "junk"])  # type: ignore[list-item]
+
+    def test_concatenation(self):
+        a = Trace([Serial(1.0)])
+        b = Trace([Parallel(1.0)])
+        combined = a + b
+        assert len(combined) == 2
+        assert combined.total_serial == 1.0
+        assert combined.total_parallel == 1.0
+
+    def test_comm_pattern_merges_adjacent(self):
+        trace = Trace(
+            [
+                Transfer(size=100, count=2, direction="out"),
+                Transfer(size=100, count=3, direction="out"),
+                Transfer(size=50, count=1, direction="out"),
+                Transfer(size=100, count=4, direction="in"),
+            ]
+        )
+        pattern = trace.comm_pattern()
+        assert pattern.to_backend == (DataSet(5, 100), DataSet(1, 50))
+        assert pattern.to_frontend == (DataSet(4, 100),)
+
+    def test_comm_pattern_skips_empty_transfers(self):
+        trace = Trace([Transfer(size=100, count=0)])
+        assert trace.comm_pattern().total_messages == 0
+
+    def test_scaled(self):
+        trace = Trace([Serial(1.0), Parallel(2.0), Reduction(1.0), Transfer(size=10)])
+        scaled = trace.scaled(serial=2.0, parallel=0.5)
+        assert scaled.total_serial == pytest.approx(2.0)
+        assert scaled.total_parallel == pytest.approx(1.5)
+        # Transfers untouched.
+        assert scaled.comm_pattern().total_words == 10
+
+    def test_scaled_validation(self):
+        with pytest.raises(WorkloadError):
+            Trace([]).scaled(serial=-1)

@@ -1,0 +1,75 @@
+"""Tests for the library-task trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces.instructions import Parallel, Serial, Transfer
+from repro.traces.library import (
+    bitonic_cm2_trace,
+    matmul_cm2_trace,
+    matmul_sun_cost,
+    sort_sun_cost,
+)
+from repro.workloads.sorting import bitonic_stages
+
+
+class TestMatmulTrace:
+    def test_structure(self, quiet_cm2_spec):
+        n = 32
+        trace = matmul_cm2_trace(n, quiet_cm2_spec)
+        parallels = [i for i in trace if isinstance(i, Parallel)]
+        assert len(parallels) == n
+        assert all(
+            p.work == pytest.approx(2 * n * n * quiet_cm2_spec.elementwise_op_time)
+            for p in parallels
+        )
+
+    def test_shipping_volume(self, quiet_cm2_spec):
+        n = 32
+        pattern = matmul_cm2_trace(n, quiet_cm2_spec).comm_pattern()
+        assert sum(d.total_words for d in pattern.to_backend) == pytest.approx(2 * n * n)
+        assert sum(d.total_words for d in pattern.to_frontend) == pytest.approx(n * n)
+
+    def test_transfers_optional(self, quiet_cm2_spec):
+        trace = matmul_cm2_trace(16, quiet_cm2_spec, include_transfers=False)
+        assert not any(isinstance(i, Transfer) for i in trace)
+
+    def test_sun_cost_cubic(self, quiet_cm2_spec):
+        assert matmul_sun_cost(64, quiet_cm2_spec) / matmul_sun_cost(
+            32, quiet_cm2_spec
+        ) == pytest.approx(8.0, rel=0.1)
+
+    def test_validation(self, quiet_cm2_spec):
+        with pytest.raises(WorkloadError):
+            matmul_cm2_trace(0, quiet_cm2_spec)
+
+
+class TestBitonicTrace:
+    def test_one_parallel_per_stage(self, quiet_cm2_spec):
+        n = 256
+        trace = bitonic_cm2_trace(n, quiet_cm2_spec)
+        parallels = [i for i in trace if isinstance(i, Parallel)]
+        assert len(parallels) == bitonic_stages(n)
+
+    def test_shipping_volume(self, quiet_cm2_spec):
+        n = 2048
+        pattern = bitonic_cm2_trace(n, quiet_cm2_spec).comm_pattern()
+        assert sum(d.total_words for d in pattern.to_backend) == pytest.approx(n)
+        assert sum(d.total_words for d in pattern.to_frontend) == pytest.approx(n)
+
+    def test_power_of_two_required(self, quiet_cm2_spec):
+        with pytest.raises(WorkloadError):
+            bitonic_cm2_trace(1000, quiet_cm2_spec)
+
+    def test_sun_cost_n_log_n(self, quiet_cm2_spec):
+        ratio = sort_sun_cost(4096, quiet_cm2_spec) / sort_sun_cost(2048, quiet_cm2_spec)
+        assert 2.0 < ratio < 2.4  # n log n doubling
+
+    def test_serial_stream_scales_with_stages(self, quiet_cm2_spec):
+        t_small = bitonic_cm2_trace(256, quiet_cm2_spec, include_transfers=False)
+        t_large = bitonic_cm2_trace(1024, quiet_cm2_spec, include_transfers=False)
+        assert t_large.total_serial / t_small.total_serial == pytest.approx(
+            bitonic_stages(1024) / bitonic_stages(256)
+        )

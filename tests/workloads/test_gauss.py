@@ -1,0 +1,103 @@
+"""Correctness tests for the real Gaussian elimination solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.gauss import GaussResult, augment, solve_gauss
+from repro.workloads.generators import random_dominant_system, random_spd_system
+
+
+class TestSolveGauss:
+    def test_known_system(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([3.0, 5.0])
+        result = solve_gauss(a, b)
+        assert result.solution == pytest.approx(np.linalg.solve(a, b))
+        assert result.residual < 1e-12
+
+    def test_identity(self):
+        b = np.array([1.0, 2.0, 3.0])
+        result = solve_gauss(np.eye(3), b)
+        assert result.solution == pytest.approx(b)
+
+    def test_pivoting_required_system(self):
+        """Zero leading pivot: only partial pivoting survives."""
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        result = solve_gauss(a, b, pivoting=True)
+        assert result.solution == pytest.approx([3.0, 2.0])
+        with pytest.raises(WorkloadError, match="singular"):
+            solve_gauss(a, b, pivoting=False)
+
+    def test_no_pivot_on_dominant_system(self):
+        a, b = random_dominant_system(20, np.random.default_rng(0))
+        result = solve_gauss(a, b, pivoting=False)
+        assert result.solution == pytest.approx(np.linalg.solve(a, b), rel=1e-8)
+
+    def test_singular_detected(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(WorkloadError, match="singular"):
+            solve_gauss(a, np.array([1.0, 2.0]))
+
+    def test_pivot_rows_recorded(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = solve_gauss(a, np.array([1.0, 1.0]))
+        assert result.pivots[0] == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10_000))
+    def test_matches_numpy_on_random_systems(self, m, seed):
+        a, b = random_dominant_system(m, np.random.default_rng(seed))
+        result = solve_gauss(a, b)
+        expected = np.linalg.solve(a, b)
+        assert result.solution == pytest.approx(expected, rel=1e-7, abs=1e-9)
+        assert result.residual < 1e-8 * max(1.0, np.abs(b).max())
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10_000))
+    def test_spd_systems(self, m, seed):
+        a, b = random_spd_system(m, np.random.default_rng(seed))
+        result = solve_gauss(a, b)
+        assert result.solution == pytest.approx(np.linalg.solve(a, b), rel=1e-6, abs=1e-8)
+
+    def test_inputs_not_mutated(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([3.0, 5.0])
+        a0, b0 = a.copy(), b.copy()
+        solve_gauss(a, b)
+        assert np.array_equal(a, a0) and np.array_equal(b, b0)
+
+
+class TestAugment:
+    def test_shape(self):
+        a, b = np.eye(3), np.ones(3)
+        assert augment(a, b).shape == (3, 4)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(WorkloadError):
+            augment(np.ones((2, 3)), np.ones(2))
+
+    def test_mismatched_b_rejected(self):
+        with pytest.raises(WorkloadError):
+            augment(np.eye(3), np.ones(2))
+
+
+class TestGenerators:
+    def test_dominant_system_is_dominant(self):
+        a, _ = random_dominant_system(15, np.random.default_rng(1))
+        diag = np.abs(np.diag(a))
+        off = np.abs(a).sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_spd_system_is_spd(self):
+        a, _ = random_spd_system(10, np.random.default_rng(1))
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            random_dominant_system(0, np.random.default_rng(0))

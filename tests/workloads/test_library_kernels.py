@@ -1,0 +1,83 @@
+"""Correctness tests for the §2 library kernels (matmul, sorting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.matmul import blocked_matmul, matmul_flops, matmul_words
+from repro.workloads.sorting import bitonic_sort, bitonic_stages, sort_compare_ops
+
+
+class TestBlockedMatmul:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((40, 60)), rng.standard_normal((60, 30))
+        assert np.allclose(blocked_matmul(a, b, block=16), a @ b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_matches_numpy_property(self, m, k, n, block):
+        rng = np.random.default_rng(m * 1000 + k * 10 + n)
+        a, b = rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        assert np.allclose(blocked_matmul(a, b, block=block), a @ b)
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            blocked_matmul(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(WorkloadError):
+            blocked_matmul(np.ones((2, 2)), np.ones((2, 2)), block=0)
+
+    def test_counts(self):
+        assert matmul_flops(10) == 2 * 1000 - 100
+        assert matmul_words(10) == 300
+        with pytest.raises(WorkloadError):
+            matmul_flops(0)
+
+
+class TestBitonicSort:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=10_000))
+    def test_sorts_correctly(self, k, seed):
+        n = 2**k
+        values = np.random.default_rng(seed).standard_normal(n)
+        assert np.array_equal(bitonic_sort(values), np.sort(values))
+
+    def test_descending(self):
+        values = np.array([3.0, 1.0, 2.0, 0.0])
+        assert np.array_equal(bitonic_sort(values, descending=True), [3.0, 2.0, 1.0, 0.0])
+
+    def test_duplicates(self):
+        values = np.array([2.0, 2.0, 1.0, 1.0])
+        assert np.array_equal(bitonic_sort(values), np.sort(values))
+
+    def test_empty(self):
+        assert bitonic_sort(np.array([])).size == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            bitonic_sort(np.arange(5.0))
+
+    def test_input_not_mutated(self):
+        values = np.array([3.0, 1.0])
+        bitonic_sort(values)
+        assert np.array_equal(values, [3.0, 1.0])
+
+    def test_stage_count(self):
+        # log2(16) = 4 -> 4*5/2 = 10 stages.
+        assert bitonic_stages(16) == 10
+        with pytest.raises(WorkloadError):
+            bitonic_stages(10)
+
+    def test_compare_ops(self):
+        assert sort_compare_ops(1024, "bitonic") == bitonic_stages(1024) * 512
+        assert sort_compare_ops(1024, "quicksort") > 1024
+        with pytest.raises(WorkloadError):
+            sort_compare_ops(10, "bogo")

@@ -1,0 +1,95 @@
+"""Correctness tests for the real SOR solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import laplace_boundary_hot_edge, laplace_boundary_linear
+from repro.workloads.sor import laplace_residual, optimal_omega, solve_laplace_sor
+
+
+class TestSolveLaplace:
+    def test_linear_ramp_exact_solution(self):
+        """Laplace with linear boundary values has the linear solution."""
+        m = 15
+        result = solve_laplace_sor(laplace_boundary_linear(m), tolerance=1e-10)
+        assert result.converged
+        exact = np.tile(np.linspace(0, 1, m + 2)[:, None], (1, m + 2))
+        assert np.abs(result.grid - exact).max() < 1e-7
+
+    def test_constant_boundary_gives_constant(self):
+        grid = np.full((10, 10), 7.0)
+        grid[1:-1, 1:-1] = 0.0
+        result = solve_laplace_sor(grid, tolerance=1e-10)
+        assert result.converged
+        assert np.abs(result.grid - 7.0).max() < 1e-7
+
+    def test_hot_edge_properties(self):
+        """Maximum principle: interior values lie strictly between the
+        boundary extremes; solution is symmetric left-right."""
+        result = solve_laplace_sor(laplace_boundary_hot_edge(12, hot=100.0),
+                                   tolerance=1e-9)
+        assert result.converged
+        interior = result.grid[1:-1, 1:-1]
+        assert interior.min() > 0.0
+        assert interior.max() < 100.0
+        assert np.allclose(result.grid, result.grid[:, ::-1], atol=1e-6)
+
+    def test_residual_decreases(self):
+        grid = laplace_boundary_hot_edge(10)
+        initial = laplace_residual(grid)
+        result = solve_laplace_sor(grid, tolerance=1e-12, max_iterations=5)
+        assert result.residual < initial
+
+    def test_iteration_cap_reported(self):
+        result = solve_laplace_sor(laplace_boundary_hot_edge(20), tolerance=1e-14,
+                                   max_iterations=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_optimal_omega_converges_faster_than_gauss_seidel(self):
+        grid = laplace_boundary_hot_edge(20)
+        optimal = solve_laplace_sor(grid, tolerance=1e-8)
+        gauss_seidel = solve_laplace_sor(grid, omega=1.0, tolerance=1e-8)
+        assert optimal.iterations < gauss_seidel.iterations
+
+    def test_input_not_mutated(self):
+        grid = laplace_boundary_linear(8)
+        before = grid.copy()
+        solve_laplace_sor(grid, tolerance=1e-6)
+        assert np.array_equal(grid, before)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            solve_laplace_sor(np.zeros((2, 2)))
+        with pytest.raises(WorkloadError):
+            solve_laplace_sor(np.zeros((5, 5)), omega=2.5)
+        with pytest.raises(WorkloadError):
+            solve_laplace_sor(np.zeros((5, 5)), tolerance=0.0)
+        with pytest.raises(WorkloadError):
+            solve_laplace_sor(np.zeros((5, 5)), max_iterations=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=4, max_value=20), st.floats(min_value=-10, max_value=10))
+    def test_linear_ramp_property(self, m, top):
+        result = solve_laplace_sor(
+            laplace_boundary_linear(m, top=top, bottom=0.0), tolerance=1e-9
+        )
+        exact = np.tile(np.linspace(0.0, top, m + 2)[:, None], (1, m + 2))
+        assert np.abs(result.grid - exact).max() < 1e-5 * max(1.0, abs(top))
+
+
+class TestOptimalOmega:
+    def test_in_valid_range(self):
+        for m in (1, 10, 100, 1000):
+            assert 1.0 <= optimal_omega(m) < 2.0
+
+    def test_increases_with_grid_size(self):
+        assert optimal_omega(100) > optimal_omega(10)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            optimal_omega(0)
