@@ -1,0 +1,33 @@
+"""Smoke benchmark for the resilience subsystem.
+
+Times the chaos driver's fault-rate sweep on the default (noisy)
+platform and sanity-checks the resilience contract on the way: the
+control row injects nothing, faulted rows inject something, and the
+table-less fallback model keeps answering.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.chaos import chaos_experiment
+
+from conftest import run_once
+
+#: Three-point sweep: control, the acceptance-criterion 10%, and heavy.
+_SMOKE_RATES = (0.0, 0.1, 0.2)
+
+
+def test_chaos_sweep_smoke(benchmark, paragon_spec):
+    result = run_once(
+        benchmark,
+        chaos_experiment,
+        spec=paragon_spec,
+        fault_rates=_SMOKE_RATES,
+        work=0.5,
+        repetitions=1,
+    )
+    by_rate = {row[0]: row[6] for row in result.rows}
+    assert by_rate[0.0] == 0
+    assert by_rate[0.2] > 0
+    assert result.metrics["degradation_events"] >= 1
+    print()
+    print(result.render())

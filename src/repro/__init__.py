@@ -20,12 +20,24 @@ Subpackages
     Instruction traces and the real SOR / Gaussian-elimination codes.
 ``repro.experiments``
     Calibration suites and drivers for every table and figure.
+``repro.reliability``
+    Fault injection, supervised execution and graceful degradation.
 ``repro.ext``
     The paper's future-work extensions (memory, I/O, time-varying
     load, migration, multi-machine platforms).
 """
 
-from . import core, sim
+from . import core, reliability, sim
 from ._version import __version__
+from .reliability import Confidence, FaultPlan, retry_with_backoff, supervise
 
-__all__ = ["core", "sim", "__version__"]
+__all__ = [
+    "core",
+    "reliability",
+    "sim",
+    "__version__",
+    "Confidence",
+    "FaultPlan",
+    "retry_with_backoff",
+    "supervise",
+]

@@ -20,16 +20,25 @@ finishes (:meth:`repro.sim.engine.Simulator.run_until`).
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 import numpy as np
 
 from ..errors import WorkloadError
-from ..sim.engine import Event
+from ..sim.engine import Event, Interrupt
 from ..platforms.sunparagon import SunParagonPlatform
 from ..platforms.base import CoupledPlatform
 
-__all__ = ["cpu_bound", "continuous_comm", "alternating", "dedicated_message_time"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultInjector
+
+__all__ = [
+    "cpu_bound",
+    "continuous_comm",
+    "alternating",
+    "churned",
+    "dedicated_message_time",
+]
 
 #: Default CPU chunk for compute loops: long enough to be cheap to
 #: simulate, short enough that contender arrival/departure granularity
@@ -63,6 +72,53 @@ def continuous_comm(
     """
     while True:
         yield from platform.message(size_words, direction, tag=tag, mode=mode)
+
+
+def churned(
+    platform: CoupledPlatform,
+    factory: Callable[[], Generator[Event, Any, Any]],
+    injector: "FaultInjector",
+    name: str = "churn",
+) -> Generator[Event, Any, None]:
+    """Run a contender under crash/restart churn from a fault plan.
+
+    Wraps *factory* (a zero-argument callable building a fresh contender
+    generator, e.g. ``lambda: cpu_bound(platform)``) in a supervision
+    loop: each incarnation lives for an exponential lifetime drawn from
+    the injector's ``crash_rate``, is crashed with an
+    :class:`~repro.sim.engine.Interrupt`, and restarts after the plan's
+    ``restart_delay``. The crash takes effect at the contender's next
+    yield point; in-flight CPU work drains (a 1996 kernel finishes the
+    current slice too), while the interrupt-safe link/resource layer
+    releases any wire the victim held or queued for.
+
+    With churn disabled (``crash_rate == 0``) the wrapper degenerates to
+    running a single incarnation untouched — and draws no random
+    numbers, preserving zero-fault reproducibility.
+    """
+    sim = platform.sim
+    incarnation = 0
+    while True:
+        proc = sim.process(factory(), name=f"{name}#{incarnation}")
+        lifetime = injector.crash_lifetime()
+        if lifetime is None:
+            # No churn planned: shadow the single incarnation forever.
+            yield proc
+            return
+        yield sim.any_of([proc, sim.timeout(lifetime)])
+        if not proc.is_alive:
+            # The contender terminated on its own; nothing left to churn.
+            return
+        proc.interrupt("fault-injected crash")
+        try:
+            yield proc  # let the victim unwind at this instant
+        except Interrupt:
+            pass
+        injector.count("contender_crash")
+        pause = injector.restart_pause()
+        if pause > 0:
+            yield sim.timeout(pause)
+        incarnation += 1
 
 
 def dedicated_message_time(

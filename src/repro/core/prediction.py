@@ -24,16 +24,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ModelError
+from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
 from ..units import check_nonnegative
 
 __all__ = [
     "BackendTaskCosts",
     "PlacementPrediction",
+    "ConfidentPlacement",
     "predict_frontend_time",
     "predict_backend_time",
     "predict_comm_cost",
     "should_offload",
     "decide_placement",
+    "decide_placement_tagged",
 ]
 
 
@@ -200,3 +203,56 @@ def decide_placement(
         c_out=predict_comm_cost(dcomm_out, comm_slowdown),
         c_in=predict_comm_cost(dcomm_in, comm_slowdown),
     )
+
+
+@dataclass(frozen=True)
+class ConfidentPlacement:
+    """A :class:`PlacementPrediction` with the confidence of its inputs.
+
+    ``confidence`` is the minimum over the slowdown factors that fed the
+    comparison — the Equation (1) verdict is only as trustworthy as its
+    least-calibrated input.
+    """
+
+    prediction: PlacementPrediction
+    confidence: Confidence
+
+    @property
+    def offload(self) -> bool:
+        return self.prediction.offload
+
+    @property
+    def best_time(self) -> float:
+        return self.prediction.best_time
+
+
+def decide_placement_tagged(
+    dcomp_frontend: float,
+    backend_costs: BackendTaskCosts,
+    dcomm_out: float,
+    dcomm_in: float,
+    comp_slowdown: TaggedSlowdown,
+    comm_slowdown: TaggedSlowdown,
+    backend_serial_slowdown: TaggedSlowdown | None = None,
+) -> ConfidentPlacement:
+    """:func:`decide_placement` over confidence-tagged slowdowns.
+
+    Feed it the output of
+    :meth:`~repro.core.runtime.SlowdownManager.comp_slowdown_tagged` /
+    :meth:`~repro.core.runtime.SlowdownManager.comm_slowdown_tagged` and
+    the placement decision stays available even when the model has
+    degraded to its analytic fallbacks — tagged so the caller knows.
+    """
+    prediction = decide_placement(
+        dcomp_frontend,
+        backend_costs,
+        dcomm_out,
+        dcomm_in,
+        comp_slowdown.value,
+        comm_slowdown.value,
+        None if backend_serial_slowdown is None else backend_serial_slowdown.value,
+    )
+    tags = [comp_slowdown.confidence, comm_slowdown.confidence]
+    if backend_serial_slowdown is not None:
+        tags.append(backend_serial_slowdown.confidence)
+    return ConfidentPlacement(prediction=prediction, confidence=combine_confidence(*tags))

@@ -21,6 +21,13 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..errors import ModelError
+from ..reliability.degrade import (
+    Confidence,
+    DegradationLog,
+    TaggedSlowdown,
+    analytic_comm_slowdown,
+    analytic_comp_slowdown,
+)
 from .params import DelayTable, SizedDelayTable
 from .probability import (
     add_application,
@@ -39,21 +46,29 @@ class SlowdownManager:
     Parameters
     ----------
     delay_comp:
-        Calibrated ``delay_comp^i`` table (communication slowdown).
+        Calibrated ``delay_comp^i`` table: the delay imposed by *i*
+        compute-bound contenders — a term of the §3.2.1 *communication*
+        slowdown. ``None`` degrades communication queries to the
+        analytic fallback (see :meth:`comm_slowdown_tagged`).
     delay_comm:
-        Calibrated ``delay_comm^i`` table (communication slowdown).
+        Calibrated ``delay_comm^i`` table: the delay imposed by *i*
+        communicating contenders — the other term of the §3.2.1
+        *communication* slowdown. ``None`` degrades like *delay_comp*.
     delay_comm_sized:
-        Calibrated ``delay_comm^{i,j}`` tables (computation slowdown).
+        Calibrated ``delay_comm^{i,j}`` tables: the message-size-bucketed
+        delays of the §3.2.2 *computation* slowdown. ``None`` degrades
+        computation queries to the analytic fallback.
     extrapolate:
         Allow delay-table extrapolation beyond the calibrated maximum
-        contention level.
+        contention level (the plain query methods; the tagged methods
+        always fall back, tagging the answer instead of raising).
     """
 
     def __init__(
         self,
-        delay_comp: DelayTable,
-        delay_comm: DelayTable,
-        delay_comm_sized: SizedDelayTable,
+        delay_comp: DelayTable | None,
+        delay_comm: DelayTable | None,
+        delay_comm_sized: SizedDelayTable | None,
         extrapolate: bool = False,
     ) -> None:
         self.delay_comp = delay_comp
@@ -65,6 +80,8 @@ class SlowdownManager:
         self._pcomp = np.array([1.0])
         #: Number of O(p²) full rebuilds performed (departure fallback).
         self.rebuilds = 0
+        #: Every answer served below CALIBRATED confidence, by source.
+        self.degradations = DegradationLog()
 
     # -- population management ------------------------------------------------
 
@@ -127,9 +144,18 @@ class SlowdownManager:
     # -- slowdown queries -----------------------------------------------------------
 
     def comm_slowdown(self) -> float:
-        """Current communication slowdown (§3.2.1) — O(p)."""
+        """Current communication slowdown (§3.2.1) — O(p).
+
+        With a missing table this delegates to the fallback chain of
+        :meth:`comm_slowdown_tagged` (dropping the tag); with tables
+        present and ``extrapolate=False``, contention beyond the
+        calibrated range raises :class:`~repro.errors.ModelError` as it
+        always did.
+        """
         if not self._profiles:
             return 1.0
+        if self.delay_comp is None or self.delay_comm is None:
+            return self.comm_slowdown_tagged().value
         return (
             1.0
             + weighted_delay(self._pcomp, self.delay_comp, self.extrapolate)
@@ -140,10 +166,13 @@ class SlowdownManager:
         """Current computation slowdown (§3.2.2) — O(p).
 
         *j* defaults to the maximum message size among registered
-        applications, per the paper's recommendation.
+        applications, per the paper's recommendation. Missing-table
+        behaviour mirrors :meth:`comm_slowdown`.
         """
         if not self._profiles:
             return 1.0
+        if self.delay_comm_sized is None:
+            return self.comp_slowdown_tagged(j).value
         cpu_term = float(np.dot(np.arange(len(self._pcomp)), self._pcomp))
         # Subtracting nothing: index 0 contributes 0 to the dot product.
         size = j if j is not None else self.max_message_size()
@@ -154,6 +183,67 @@ class SlowdownManager:
                     i, size, self.extrapolate
                 )
         return 1.0 + cpu_term + comm_term
+
+    # -- degradation-aware queries ---------------------------------------------
+
+    def _max_active_level(self, dist: np.ndarray) -> int:
+        """Largest contention level with nonzero probability mass."""
+        return max((i for i in range(1, len(dist)) if dist[i] > 0.0), default=0)
+
+    def comm_slowdown_tagged(self) -> TaggedSlowdown:
+        """Communication slowdown through the fallback chain — never raises.
+
+        Chain: calibrated tables → linear extrapolation beyond the
+        calibrated range (EXTRAPOLATED) → the ``1 + Σ f_k`` closed form
+        when a table is missing entirely (ANALYTIC). Every degraded
+        answer is recorded in :attr:`degradations`.
+        """
+        if not self._profiles:
+            return TaggedSlowdown(1.0, Confidence.CALIBRATED)
+        if self.delay_comp is None or self.delay_comm is None:
+            self.degradations.record("comm", Confidence.ANALYTIC)
+            fractions = [p.comm_fraction for p in self._profiles.values()]
+            return TaggedSlowdown(analytic_comm_slowdown(fractions), Confidence.ANALYTIC)
+        value = (
+            1.0
+            + weighted_delay(self._pcomp, self.delay_comp, extrapolate=True)
+            + weighted_delay(self._pcomm, self.delay_comm, extrapolate=True)
+        )
+        within = (
+            self._max_active_level(self._pcomp) <= self.delay_comp.max_level
+            and self._max_active_level(self._pcomm) <= self.delay_comm.max_level
+        )
+        if within:
+            return TaggedSlowdown(value, Confidence.CALIBRATED)
+        self.degradations.record("comm", Confidence.EXTRAPOLATED)
+        return TaggedSlowdown(value, Confidence.EXTRAPOLATED)
+
+    def comp_slowdown_tagged(self, j: float | None = None) -> TaggedSlowdown:
+        """Computation slowdown through the fallback chain — never raises.
+
+        Chain: calibrated ``delay_comm^{i,j}`` bucket → extrapolation
+        beyond its contention range (EXTRAPOLATED) → the ``p + 1``
+        equal-share law when the sized tables are missing (ANALYTIC).
+        """
+        if not self._profiles:
+            return TaggedSlowdown(1.0, Confidence.CALIBRATED)
+        if self.delay_comm_sized is None:
+            self.degradations.record("comp", Confidence.ANALYTIC)
+            return TaggedSlowdown(analytic_comp_slowdown(self.p), Confidence.ANALYTIC)
+        cpu_term = float(np.dot(np.arange(len(self._pcomp)), self._pcomp))
+        size = j if j is not None else self.max_message_size()
+        comm_term = 0.0
+        for i in range(1, len(self._pcomm)):
+            if self._pcomm[i] > 0.0:
+                comm_term += self._pcomm[i] * self.delay_comm_sized.delay(i, size, True)
+        value = 1.0 + cpu_term + comm_term
+        comm_level = self._max_active_level(self._pcomm)
+        if comm_level > 0:
+            bucket = self.delay_comm_sized.select_bucket(size)
+            if comm_level > self.delay_comm_sized.tables[bucket].max_level:
+                self.degradations.record("comp", Confidence.EXTRAPOLATED)
+                return TaggedSlowdown(value, Confidence.EXTRAPOLATED)
+        return TaggedSlowdown(value, Confidence.CALIBRATED)
 
     def cpu_bound_count(self) -> int:
         """Number of registered pure CPU-bound applications (p of §3.1)."""

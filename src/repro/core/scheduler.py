@@ -27,8 +27,17 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..errors import ScheduleError
+from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
 
-__all__ = ["MappingProblem", "MappingResult", "evaluate_mapping", "best_mapping", "rank_mappings"]
+__all__ = [
+    "MappingProblem",
+    "MappingResult",
+    "ConfidentMapping",
+    "evaluate_mapping",
+    "best_mapping",
+    "best_mapping_tagged",
+    "rank_mappings",
+]
 
 
 @dataclass(frozen=True)
@@ -235,3 +244,51 @@ def best_mapping(problem: MappingProblem, max_candidates: int = 1_000_000) -> Ma
     extend([], 0.0)
     assert best_assignment is not None
     return MappingResult(assignment=best_assignment, elapsed=best_cost)
+
+
+@dataclass(frozen=True)
+class ConfidentMapping:
+    """A :class:`MappingResult` with the confidence of the slowdowns behind it."""
+
+    result: MappingResult
+    confidence: Confidence
+
+    @property
+    def assignment(self) -> tuple[str, ...]:
+        return self.result.assignment
+
+    @property
+    def elapsed(self) -> float:
+        return self.result.elapsed
+
+
+def best_mapping_tagged(
+    problem: MappingProblem,
+    comp_slowdown: Mapping[str, TaggedSlowdown],
+    comm_slowdown: TaggedSlowdown | Mapping[tuple[str, str], TaggedSlowdown] | None = None,
+    max_candidates: int = 1_000_000,
+) -> ConfidentMapping:
+    """:func:`best_mapping` over a *dedicated* problem and tagged slowdowns.
+
+    Applies the slowdown factors via :meth:`MappingProblem.with_slowdowns`
+    and runs the search, returning the winner together with the combined
+    (minimum) confidence of every slowdown that shaped the cost
+    matrices. This is the degradation-aware entry point: with tables
+    missing, the :class:`~repro.core.runtime.SlowdownManager` hands over
+    ANALYTIC-tagged factors and the scheduler still ranks placements —
+    the caller just sees how much trust the ranking deserves.
+    """
+    tags = [t.confidence for t in comp_slowdown.values()]
+    comp_values = {machine: t.value for machine, t in comp_slowdown.items()}
+    comm_values: Mapping[tuple[str, str], float] | float
+    if comm_slowdown is None:
+        comm_values = 1.0
+    elif isinstance(comm_slowdown, TaggedSlowdown):
+        tags.append(comm_slowdown.confidence)
+        comm_values = comm_slowdown.value
+    else:
+        tags.extend(t.confidence for t in comm_slowdown.values())
+        comm_values = {pair: t.value for pair, t in comm_slowdown.items()}
+    contended = problem.with_slowdowns(comp_values, comm_values)
+    result = best_mapping(contended, max_candidates=max_candidates)
+    return ConfidentMapping(result=result, confidence=combine_confidence(*tags))

@@ -13,7 +13,9 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "DeadlockError",
+    "WatchdogError",
     "CalibrationError",
+    "ProbeError",
     "ModelError",
     "ScheduleError",
     "WorkloadError",
@@ -35,6 +37,45 @@ class DeadlockError(SimulationError):
     reached, the event queue is empty, and at least one process has not
     terminated — the classic symptom of a lost wake-up or a resource that
     was never released.
+
+    Beyond the message, the exception carries the simulator state needed
+    to diagnose (or report) the stall without a debugger attached:
+
+    Attributes
+    ----------
+    sim_time:
+        Virtual time at which the simulation stalled.
+    pending:
+        Names of the still-alive non-daemon processes (possibly
+        truncated; ``len(pending) <= pending_count``).
+    pending_count:
+        Total number of still-alive non-daemon processes.
+    queue_size:
+        Number of events left on the heap when the stall was detected
+        (0 for a drained queue, > 0 when a virtual-time limit tripped).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        sim_time: float = 0.0,
+        pending: tuple[str, ...] = (),
+        pending_count: int | None = None,
+        queue_size: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.sim_time = float(sim_time)
+        self.pending = tuple(pending)
+        self.pending_count = len(self.pending) if pending_count is None else int(pending_count)
+        self.queue_size = int(queue_size)
+
+
+class WatchdogError(SimulationError):
+    """A supervised run exceeded one of its watchdog budgets.
+
+    Raised by :meth:`repro.reliability.supervise.FailureReport.raise_if_failed`
+    when a wall-clock, virtual-time or event budget was exhausted.
     """
 
 
@@ -44,6 +85,16 @@ class CalibrationError(ReproError):
     Examples: a ping-pong sweep with fewer than two distinct message sizes
     (no regression possible), or a delay table probed at zero contention
     levels.
+    """
+
+
+class ProbeError(CalibrationError):
+    """A single calibration probe run failed (and may be retried).
+
+    Distinct from :class:`CalibrationError` proper: a probe failure is a
+    *transient* measurement loss (in the reproduction, injected by the
+    fault plan; on a real platform, a crashed benchmark process), while
+    a CalibrationError means the collected data itself is unusable.
     """
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..apps.burst import message_burst
 from ..apps.contender import continuous_comm, cpu_bound
@@ -42,10 +42,15 @@ from ..core.params import (
     PiecewiseCommParams,
     SizedDelayTable,
 )
+from ..errors import ProbeError
 from ..platforms.specs import SunCM2Spec, SunParagonSpec
 from ..platforms.suncm2 import SunCM2Platform
 from ..platforms.sunparagon import SunParagonPlatform
+from ..reliability.retry import retry_with_backoff
 from ..sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultInjector
 
 __all__ = [
     "CM2Calibration",
@@ -78,6 +83,45 @@ _PROBE_SIZE = 200
 #: Dedicated CPU work (seconds) of the compute probe used for the
 #: delay_comm^{i,j} tables.
 _COMP_PROBE_WORK = 1.0
+
+#: Retry budget for calibration probes under fault injection. Injected
+#: probe failures are Bernoulli per attempt, so 5 attempts survive
+#: failure rates well past the 10 % chaos-suite setting
+#: (P[all fail] = rate^5).
+_PROBE_ATTEMPTS = 5
+
+
+def _run_probe(
+    measure: Callable[[], float],
+    label: str,
+    injector: "FaultInjector | None",
+    retry_attempts: int = _PROBE_ATTEMPTS,
+) -> float:
+    """Run one calibration probe, injecting failures and retrying.
+
+    With no injector this is a plain call — zero overhead, zero random
+    draws. With one, each attempt first consults
+    :meth:`~repro.reliability.faults.FaultInjector.probe_fails`; an
+    injected failure raises :class:`~repro.errors.ProbeError` and
+    :func:`~repro.reliability.retry.retry_with_backoff` re-runs the
+    probe (the measurement itself is deterministic, so a surviving
+    attempt returns the exact dedicated/contended time). Exhausting the
+    budget re-raises the last ``ProbeError``.
+    """
+    if injector is None:
+        return measure()
+
+    def attempt() -> float:
+        if injector.probe_fails(label):
+            raise ProbeError(f"injected probe failure: {label}")
+        return measure()
+
+    return retry_with_backoff(
+        attempt,
+        attempts=retry_attempts,
+        retry_on=ProbeError,
+        seed=injector.plan.seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -170,16 +214,25 @@ def pingpong_sweep(
     count: int = _CAL_BURST,
     direction: str = "out",
     mode: str = "1hop",
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> dict[int, float]:
     """Per-message dedicated times over a size sweep.
 
     Returns ``{size: burst_time / count}`` — the regression inputs.
     The single 1-word ack is part of the measured burst, as in the
     paper's benchmark; with ``count`` messages per burst its influence
-    is O(1/count).
+    is O(1/count). An *injector* makes each size probe fail with the
+    plan's ``probe_failure_rate`` and retries it (see :func:`_run_probe`).
     """
     return {
-        int(s): _dedicated_burst_time(spec, s, count, direction, mode) / count
+        int(s): _run_probe(
+            lambda s=s: _dedicated_burst_time(spec, s, count, direction, mode),
+            f"pingpong/{direction}/{int(s)}",
+            injector,
+            retry_attempts,
+        )
+        / count
         for s in sizes
     }
 
@@ -189,10 +242,12 @@ def calibrate_paragon_comm(
     sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
     count: int = _CAL_BURST,
     mode: str = "1hop",
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> tuple[PiecewiseCommParams, PiecewiseCommParams]:
     """Fit the two-piece (α, β) models for both directions."""
-    out_sweep = pingpong_sweep(spec, sizes, count, "out", mode)
-    in_sweep = pingpong_sweep(spec, sizes, count, "in", mode)
+    out_sweep = pingpong_sweep(spec, sizes, count, "out", mode, injector, retry_attempts)
+    in_sweep = pingpong_sweep(spec, sizes, count, "in", mode, injector, retry_attempts)
     params_out = fit_piecewise(list(out_sweep), list(out_sweep.values()))
     params_in = fit_piecewise(list(in_sweep), list(in_sweep.values()))
     return params_out, params_in
@@ -236,11 +291,25 @@ def measure_delay_comp(
     probe_size: float = _PROBE_SIZE,
     count: int = _CAL_BURST,
     mode: str = "1hop",
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> DelayTable:
     """``delay_comp^i``: compute-intensive generators vs. ping-pong."""
-    dedicated = _contended_pingpong_time(spec, 0, "cpu", 0, "out", probe_size, count, mode)
+    dedicated = _run_probe(
+        lambda: _contended_pingpong_time(spec, 0, "cpu", 0, "out", probe_size, count, mode),
+        "delay_comp/0",
+        injector,
+        retry_attempts,
+    )
     contended = [
-        _contended_pingpong_time(spec, i, "cpu", 0, "out", probe_size, count, mode)
+        _run_probe(
+            lambda i=i: _contended_pingpong_time(
+                spec, i, "cpu", 0, "out", probe_size, count, mode
+            ),
+            f"delay_comp/{i}",
+            injector,
+            retry_attempts,
+        )
         for i in range(1, p_max + 1)
     ]
     return build_delay_table(dedicated, contended, label="delay_comp")
@@ -253,6 +322,8 @@ def measure_delay_comm(
     count: int = _CAL_BURST,
     mode: str = "1hop",
     generator_size: float = 1.0,
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> DelayTable:
     """``delay_comm^i``: communicating generators vs. ping-pong.
 
@@ -262,14 +333,31 @@ def measure_delay_comm(
     sending them Paragon → Sun (1-word messages in the paper's suite —
     the unmodelled generator-size effect is a known error source).
     """
-    dedicated = _contended_pingpong_time(spec, 0, "comm", generator_size, "out", probe_size, count, mode)
+    dedicated = _run_probe(
+        lambda: _contended_pingpong_time(
+            spec, 0, "comm", generator_size, "out", probe_size, count, mode
+        ),
+        "delay_comm/0",
+        injector,
+        retry_attempts,
+    )
     contended = []
     for i in range(1, p_max + 1):
-        t_out = _contended_pingpong_time(
-            spec, i, "comm", generator_size, "out", probe_size, count, mode
+        t_out = _run_probe(
+            lambda i=i: _contended_pingpong_time(
+                spec, i, "comm", generator_size, "out", probe_size, count, mode
+            ),
+            f"delay_comm/{i}/out",
+            injector,
+            retry_attempts,
         )
-        t_in = _contended_pingpong_time(
-            spec, i, "comm", generator_size, "in", probe_size, count, mode
+        t_in = _run_probe(
+            lambda i=i: _contended_pingpong_time(
+                spec, i, "comm", generator_size, "in", probe_size, count, mode
+            ),
+            f"delay_comm/{i}/in",
+            injector,
+            retry_attempts,
         )
         contended.append(0.5 * (t_out + t_in))
     return build_delay_table(dedicated, contended, label="delay_comm")
@@ -303,6 +391,8 @@ def measure_delay_comm_sized(
     j_values: Sequence[int] = (1, 500, 1000),
     work: float = _COMP_PROBE_WORK,
     mode: str = "1hop",
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> SizedDelayTable:
     """``delay_comm^{i,j}``: sized communicating generators vs. CPU probe.
 
@@ -310,13 +400,28 @@ def measure_delay_comm_sized(
     imposed on a CPU-bound application by *i* generators transferring
     *j*-word messages Sun → Paragon and Paragon → Sun (§3.2.2).
     """
-    dedicated = _contended_compute_time(spec, 0, 1, "out", work, mode)
+    dedicated = _run_probe(
+        lambda: _contended_compute_time(spec, 0, 1, "out", work, mode),
+        "delay_comm_sized/0",
+        injector,
+        retry_attempts,
+    )
     by_size: dict[int, list[float]] = {}
     for j in j_values:
         times = []
         for i in range(1, p_max + 1):
-            t_out = _contended_compute_time(spec, i, j, "out", work, mode)
-            t_in = _contended_compute_time(spec, i, j, "in", work, mode)
+            t_out = _run_probe(
+                lambda i=i, j=j: _contended_compute_time(spec, i, j, "out", work, mode),
+                f"delay_comm_sized/{j}/{i}/out",
+                injector,
+                retry_attempts,
+            )
+            t_in = _run_probe(
+                lambda i=i, j=j: _contended_compute_time(spec, i, j, "in", work, mode),
+                f"delay_comm_sized/{j}/{i}/in",
+                injector,
+                retry_attempts,
+            )
             times.append(0.5 * (t_out + t_in))
         by_size[int(j)] = times
     return build_sized_delay_table(dedicated, by_size, label="delay_comm_sized")
@@ -327,20 +432,61 @@ def measure_delay_comm_sized(
 # ---------------------------------------------------------------------------
 
 
+def _calibrate_paragon_suite(
+    spec: SunParagonSpec,
+    mode: str,
+    p_max: int,
+    sizes: tuple[int, ...],
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
+) -> ParagonCalibration:
+    params_out, params_in = calibrate_paragon_comm(
+        spec, sizes, mode=mode, injector=injector, retry_attempts=retry_attempts
+    )
+    return ParagonCalibration(
+        mode=mode,
+        params_out=params_out,
+        params_in=params_in,
+        delay_comp=measure_delay_comp(
+            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+        ),
+        delay_comm=measure_delay_comm(
+            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+        ),
+        delay_comm_sized=measure_delay_comm_sized(
+            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+        ),
+    )
+
+
 @lru_cache(maxsize=None)
+def _calibrate_paragon_cached(
+    spec: SunParagonSpec, mode: str, p_max: int, sizes: tuple[int, ...]
+) -> ParagonCalibration:
+    return _calibrate_paragon_suite(spec, mode, p_max, sizes)
+
+
 def calibrate_paragon(
     spec: SunParagonSpec,
     mode: str = "1hop",
     p_max: int = 4,
     sizes: tuple[int, ...] = DEFAULT_SWEEP_SIZES,
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
 ) -> ParagonCalibration:
-    """Run the full §3.2 calibration suite once for (spec, mode)."""
-    params_out, params_in = calibrate_paragon_comm(spec, sizes, mode=mode)
-    return ParagonCalibration(
-        mode=mode,
-        params_out=params_out,
-        params_in=params_in,
-        delay_comp=measure_delay_comp(spec, p_max=p_max, mode=mode),
-        delay_comm=measure_delay_comm(spec, p_max=p_max, mode=mode),
-        delay_comm_sized=measure_delay_comm_sized(spec, p_max=p_max, mode=mode),
-    )
+    """Run the full §3.2 calibration suite once for (spec, mode).
+
+    Fault-free calls are cached per ``(spec, mode, p_max, sizes)`` — the
+    paper stresses the tables are computed "just once for each
+    platform". Calls with an *injector* bypass the cache: an injector is
+    stateful (its RNG streams and counters advance per probe), so its
+    runs are neither cacheable nor allowed to pollute the fault-free
+    entries. Probe failures are retried per :func:`_run_probe`; because
+    the underlying measurements are deterministic, a faulted calibration
+    that converges is *identical* to the fault-free one.
+    """
+    if injector is not None:
+        return _calibrate_paragon_suite(
+            spec, mode, p_max, tuple(sizes), injector, retry_attempts
+        )
+    return _calibrate_paragon_cached(spec, mode, p_max, tuple(sizes))

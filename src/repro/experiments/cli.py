@@ -11,6 +11,7 @@ import sys
 import time
 from typing import Callable
 
+from .chaos import chaos_experiment
 from .backend import (
     gang_experiment,
     mesh_contention_experiment,
@@ -71,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fraction_sensitivity": fraction_sensitivity,
     "forecast": forecast_experiment,
     "mixed_workload": mixed_workload_experiment,
+    "chaos": chaos_experiment,
 }
 
 

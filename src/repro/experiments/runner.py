@@ -15,9 +15,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..errors import ReproError
+from ..reliability.retry import retry_with_backoff
 from ..sim.rng import RandomStreams
 
 __all__ = ["Replication", "repeat_mean"]
+
+#: Salt applied per retry attempt when re-forking a replication's
+#: streams — a fixed prime so retried runs are reproducible yet
+#: decorrelated from the failed attempt.
+_RETRY_SALT = 7919
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,8 @@ def repeat_mean(
     measure: Callable[[RandomStreams], float],
     repetitions: int = 3,
     seed: int = 0,
+    retry_attempts: int = 1,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
 ) -> Replication:
     """Run *measure* with *repetitions* independent stream families.
 
@@ -80,9 +89,36 @@ def repeat_mean(
         Number of independent runs.
     seed:
         Base seed; repetition *k* uses ``RandomStreams(seed).fork(k)``.
+    retry_attempts:
+        Attempts per replication (default 1: fail fast, the historical
+        behaviour). With more, a replication whose run raises *retry_on*
+        is re-measured with a re-salted stream fork
+        (``base.fork(k + 7919 * attempt)``) — fresh randomness, same
+        reproducibility — via
+        :func:`~repro.reliability.retry.retry_with_backoff`.
+    retry_on:
+        Exception type(s) worth retrying (default
+        :class:`~repro.errors.ReproError`; programming errors always
+        propagate).
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
     base = RandomStreams(seed)
-    values = tuple(measure(base.fork(k)) for k in range(repetitions))
+
+    def one(k: int) -> float:
+        attempt = 0
+
+        def run() -> float:
+            nonlocal attempt
+            streams = base.fork(k + _RETRY_SALT * attempt)
+            attempt += 1
+            return measure(streams)
+
+        if retry_attempts <= 1:
+            return run()
+        return retry_with_backoff(
+            run, attempts=retry_attempts, retry_on=retry_on, seed=seed
+        )
+
+    values = tuple(one(k) for k in range(repetitions))
     return Replication(values=values)

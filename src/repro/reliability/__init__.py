@@ -1,0 +1,49 @@
+"""Fault injection, supervised execution and graceful degradation.
+
+The resilience layer of the reproduction, in three parts mirroring how
+a run-time contention model survives a production machine:
+
+* :mod:`~repro.reliability.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`: deterministic, seeded chaos for the simulated
+  platforms (link degradation and drops, CPU stalls, contender
+  crash/restart churn, calibration-probe failures);
+* :mod:`~repro.reliability.retry` / :mod:`~repro.reliability.supervise`
+  — :func:`retry_with_backoff` for transient measurement failures and
+  :func:`supervise` for watchdog-bounded simulation runs that end in a
+  structured :class:`FailureReport` instead of a bare exception;
+* :mod:`~repro.reliability.degrade` — the :class:`Confidence`-tagged
+  fallback chain (calibrated → extrapolated → analytic) that keeps the
+  model answering when its tables are missing or stale.
+
+``experiments/chaos.py`` sweeps fault rates through all three at once
+and reports prediction error versus fault rate.
+"""
+
+from .degrade import (
+    Confidence,
+    DegradationLog,
+    TaggedSlowdown,
+    analytic_comm_slowdown,
+    analytic_comp_slowdown,
+    combine_confidence,
+)
+from .faults import NO_FAULTS, FaultInjector, FaultPlan
+from .report import FailureReport, Outcome
+from .retry import retry_with_backoff
+from .supervise import supervise
+
+__all__ = [
+    "Confidence",
+    "DegradationLog",
+    "TaggedSlowdown",
+    "analytic_comm_slowdown",
+    "analytic_comp_slowdown",
+    "combine_confidence",
+    "FaultInjector",
+    "FaultPlan",
+    "NO_FAULTS",
+    "FailureReport",
+    "Outcome",
+    "retry_with_backoff",
+    "supervise",
+]

@@ -1,0 +1,151 @@
+"""Graceful model degradation: confidence-tagged slowdown predictions.
+
+The calibrated delay tables are the model's best information — and the
+first thing a production system loses: a probe fails, the contention
+level climbs past the calibrated range, a table was never measured for
+this platform. The resilience contract is that predictions *degrade*
+instead of raising, sliding down a fallback chain:
+
+1. **CALIBRATED** — the measured delay-table entry (the paper's model
+   exactly as published);
+2. **EXTRAPOLATED** — a linear extension of the measured table beyond
+   the calibrated contention range (stale/short tables);
+3. **ANALYTIC** — the closed forms that need *no* calibration at all:
+   the §3.1 equal-CPU-share law ``slowdown = p + 1`` for computation,
+   and the linear FIFO-occupancy form ``1 + Σ f_k`` for communication.
+
+Every degraded answer is tagged with a :class:`Confidence` so the
+scheduler can rank placements knowing how much to trust each number,
+and recorded in a :class:`DegradationLog` so operators can see the
+model running on fumes.
+
+This module deliberately imports nothing from :mod:`repro.core` — it is
+the vocabulary both layers share, and the dependency must point from
+core to here, never back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Confidence",
+    "TaggedSlowdown",
+    "DegradationLog",
+    "combine_confidence",
+    "analytic_comp_slowdown",
+    "analytic_comm_slowdown",
+]
+
+
+class Confidence(enum.IntEnum):
+    """How much calibration backs a prediction (higher is better).
+
+    Ordered so that ``min()`` over the inputs of a composite prediction
+    yields the composite's honest confidence.
+    """
+
+    #: Closed-form fallback; no calibrated data was used.
+    ANALYTIC = 0
+    #: Calibrated tables, linearly extended beyond their measured range.
+    EXTRAPOLATED = 1
+    #: Fully inside the calibrated tables.
+    CALIBRATED = 2
+
+
+def combine_confidence(*confidences: Confidence) -> Confidence:
+    """The confidence of a value computed from several tagged inputs.
+
+    A chain is as trustworthy as its weakest link: the minimum.
+    An empty combination is CALIBRATED (nothing degraded anything).
+    """
+    return Confidence(min(confidences, default=Confidence.CALIBRATED))
+
+
+@dataclass(frozen=True)
+class TaggedSlowdown:
+    """A slowdown factor together with the confidence of its provenance."""
+
+    value: float
+    confidence: Confidence
+
+    def __post_init__(self) -> None:
+        if self.value < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.value!r}")
+
+    def __float__(self) -> float:
+        return self.value
+
+
+class DegradationLog:
+    """Counts every time a prediction fell off the calibrated path.
+
+    One log per :class:`~repro.core.runtime.SlowdownManager` (or per
+    service instance); ``total`` is the headline counter the chaos
+    experiment reports.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[str, Confidence], int] = {}
+
+    def record(self, source: str, level: Confidence) -> None:
+        """Record one degraded answer from *source* at *level*."""
+        key = (source, level)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """Total degradation events recorded."""
+        return sum(self._counts.values())
+
+    def by_level(self) -> dict[Confidence, int]:
+        """Degradation events aggregated per confidence level."""
+        out: dict[Confidence, int] = {}
+        for (_, level), n in self._counts.items():
+            out[level] = out.get(level, 0) + n
+        return out
+
+    def by_source(self) -> dict[str, int]:
+        """Degradation events aggregated per source label."""
+        out: dict[str, int] = {}
+        for (source, _), n in self._counts.items():
+            out[source] = out.get(source, 0) + n
+        return out
+
+    def snapshot(self) -> dict[tuple[str, Confidence], int]:
+        """Copy of the raw (source, level) → count table."""
+        return dict(self._counts)
+
+
+def analytic_comp_slowdown(p: int) -> float:
+    """Calibration-free computation slowdown: ``p + 1`` (§3.1).
+
+    The paper's equal-share law — CPU cycles split evenly among the
+    ``p + 1`` resident processes — treats every contender as a full
+    competitor, which makes this fallback deliberately pessimistic for
+    mostly-communicating contenders.
+    """
+    if p < 0:
+        raise ValueError(f"number of contenders must be >= 0, got {p!r}")
+    return float(p + 1)
+
+
+def analytic_comm_slowdown(comm_fractions: Iterable[float] | Sequence[float]) -> float:
+    """Calibration-free communication slowdown: ``1 + Σ f_k``.
+
+    Each contender occupies the shared wire/conversion path for its
+    long-run communication fraction, and a FIFO medium serves one
+    message at a time, so the expected number of active communicators
+    is the linear first-order delay. Ignores the CPU-conversion
+    coupling the calibrated ``delay_comp`` table captures, which makes
+    this fallback deliberately optimistic — the chaos experiment
+    quantifies the gap.
+    """
+    total = 1.0
+    for k, f in enumerate(comm_fractions):
+        if not 0.0 <= f <= 1.0:
+            raise ValueError(f"comm_fractions[{k}] must be in [0, 1], got {f!r}")
+        total += f
+    return total

@@ -1,0 +1,261 @@
+"""Deterministic fault injection for the simulated platforms.
+
+The paper's model is a *run-time* artifact: on a production system the
+slowdown factor is recalculated as applications come and go, probes
+fail, and load shifts under the measurement. The reproduction therefore
+needs a way to manufacture exactly that weather — reproducibly. A
+:class:`FaultPlan` describes *what* can go wrong and how often; a
+:class:`FaultInjector` derives every perturbation from the plan's seed
+through named :class:`~repro.sim.rng.RandomStreams`, so two runs with
+the same plan produce bit-identical fault schedules.
+
+Injection sites (each opt-in, each a no-op when its rate is zero):
+
+* **wire** — per-fragment link degradation (occupancy × factor) and
+  drop/retransmit faults (:meth:`FaultInjector.perturb_wire`, consumed
+  by :class:`repro.sim.link.Link`);
+* **cpu** — per-job stalls that inflate submitted work
+  (:meth:`FaultInjector.perturb_cpu`, consumed by
+  :class:`repro.sim.cpu.TimeSharedCPU`);
+* **contenders** — crash/restart churn
+  (:meth:`FaultInjector.crash_lifetime` /
+  :meth:`FaultInjector.restart_pause`, consumed by
+  :func:`repro.apps.contender.churned`);
+* **probes** — calibration-probe failures
+  (:meth:`FaultInjector.probe_fails`, consumed by
+  :mod:`repro.experiments.calibrate` and retried with
+  :func:`repro.reliability.retry.retry_with_backoff`).
+
+A crucial invariant, load-bearing for reproducibility: **an inactive
+site draws no random numbers.** A zero-rate plan therefore leaves every
+simulation byte-for-byte identical to one run with no injector at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ModelError
+from ..sim.rng import RandomStreams
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "LinkFaultModel",
+    "CpuFaultModel",
+    "NO_FAULTS",
+]
+
+
+class LinkFaultModel(Protocol):  # pragma: no cover - structural type
+    """What :class:`repro.sim.link.Link` expects from its chaos hook."""
+
+    def perturb_wire(self, size_words: float, hold: float) -> float: ...
+
+
+class CpuFaultModel(Protocol):  # pragma: no cover - structural type
+    """What :class:`repro.sim.cpu.TimeSharedCPU` expects from its hook."""
+
+    def perturb_cpu(self, work: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seed-deterministic description of injected faults.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for every fault draw; the whole schedule is a pure
+        function of ``(plan, simulation)``.
+    link_degrade_rate:
+        Probability that one wire transfer is degraded.
+    link_degrade_factor:
+        Occupancy multiplier applied to a degraded transfer (>= 1).
+    link_drop_rate:
+        Probability that one wire transfer is dropped and must be
+        retransmitted (each retransmission re-pays the occupancy and is
+        itself subject to another drop, up to *max_retransmits*).
+    max_retransmits:
+        Cap on consecutive retransmissions of a single transfer.
+    cpu_stall_rate:
+        Probability that one submitted CPU job is stalled.
+    cpu_stall_factor:
+        Work multiplier applied to a stalled job (>= 1).
+    crash_rate:
+        Contender crash intensity (crashes per second of virtual time;
+        a churned contender's lifetime is Exponential(1/crash_rate)).
+    restart_delay:
+        Mean pause (seconds) before a crashed contender restarts.
+    probe_failure_rate:
+        Probability that one calibration probe fails with
+        :class:`~repro.errors.ProbeError` (and is retried).
+    """
+
+    seed: int = 0
+    link_degrade_rate: float = 0.0
+    link_degrade_factor: float = 2.0
+    link_drop_rate: float = 0.0
+    max_retransmits: int = 3
+    cpu_stall_rate: float = 0.0
+    cpu_stall_factor: float = 1.5
+    crash_rate: float = 0.0
+    restart_delay: float = 0.1
+    probe_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("link_degrade_rate", "link_drop_rate", "cpu_stall_rate", "probe_failure_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("link_degrade_factor", "cpu_stall_factor"):
+            value = getattr(self, name)
+            if value < 1.0:
+                raise ModelError(f"{name} must be >= 1, got {value!r}")
+        if self.crash_rate < 0:
+            raise ModelError(f"crash_rate must be >= 0, got {self.crash_rate!r}")
+        if self.restart_delay < 0:
+            raise ModelError(f"restart_delay must be >= 0, got {self.restart_delay!r}")
+        if self.max_retransmits < 0:
+            raise ModelError(f"max_retransmits must be >= 0, got {self.max_retransmits!r}")
+        if self.probe_failure_rate >= 1.0 and self.probe_failure_rate != 0.0:
+            raise ModelError("probe_failure_rate of 1.0 can never converge; use < 1")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault site has a nonzero rate."""
+        return (
+            self.link_degrade_rate > 0
+            or self.link_drop_rate > 0
+            or self.cpu_stall_rate > 0
+            or self.crash_rate > 0
+            or self.probe_failure_rate > 0
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, crash_rate: float | None = None) -> "FaultPlan":
+        """One-knob plan: every Bernoulli site fires with *rate*.
+
+        The chaos experiment sweeps this knob. ``crash_rate`` defaults
+        to ``rate`` crashes per virtual second.
+        """
+        return cls(
+            seed=seed,
+            link_degrade_rate=rate,
+            link_drop_rate=rate,
+            cpu_stall_rate=rate,
+            crash_rate=rate if crash_rate is None else crash_rate,
+            probe_failure_rate=rate,
+        )
+
+
+#: The do-nothing plan; an injector built from it perturbs nothing and
+#: draws no random numbers.
+NO_FAULTS = FaultPlan()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against the simulation layers.
+
+    One injector holds one independent random stream per fault site
+    (derived from ``plan.seed``), plus counters of everything it
+    injected — the observability half of the chaos contract.
+
+    Usage::
+
+        injector = FaultInjector(FaultPlan.uniform(0.1, seed=7))
+        injector.arm(platform)          # hook the link and the CPU
+        platform.spawn(churned(platform, factory, injector), name="c0")
+
+    ``arm`` is idempotent and cheap; un-armed platforms are untouched.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._streams = RandomStreams(seed=plan.seed)
+        #: Per-site tallies of injected faults, e.g. ``{"wire_degrade": 3}``.
+        self.injected: dict[str, int] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def count(self, kind: str, increment: int = 1) -> None:
+        """Tally *increment* injected faults of *kind*."""
+        self.injected[kind] = self.injected.get(kind, 0) + increment
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far, across all sites."""
+        return sum(self.injected.values())
+
+    def _rng(self, site: str):
+        return self._streams.get(f"faults/{site}")
+
+    # -- wiring ------------------------------------------------------------
+
+    def arm(self, platform) -> None:
+        """Attach the wire and CPU hooks to *platform* (best effort).
+
+        Works with any platform exposing ``link`` and/or
+        ``frontend_cpu`` attributes; missing attributes are skipped so
+        the same call services both testbeds.
+        """
+        link = getattr(platform, "link", None)
+        if link is not None:
+            link.faults = self
+        cpu = getattr(platform, "frontend_cpu", None)
+        if cpu is not None:
+            cpu.faults = self
+
+    # -- fault sites -------------------------------------------------------
+
+    def perturb_wire(self, size_words: float, hold: float) -> float:
+        """Degrade and/or drop one wire transfer; returns total occupancy."""
+        plan = self.plan
+        total = hold
+        if plan.link_degrade_rate > 0 and self._rng("wire").random() < plan.link_degrade_rate:
+            total *= plan.link_degrade_factor
+            self.count("wire_degrade")
+        if plan.link_drop_rate > 0:
+            rng = self._rng("wire-drop")
+            retransmits = 0
+            while retransmits < plan.max_retransmits and rng.random() < plan.link_drop_rate:
+                # The dropped copy occupied the wire too; pay it again.
+                total += hold
+                retransmits += 1
+            if retransmits:
+                self.count("wire_drop", retransmits)
+        return total
+
+    def perturb_cpu(self, work: float) -> float:
+        """Stall one CPU job; returns the (possibly inflated) work."""
+        plan = self.plan
+        if plan.cpu_stall_rate > 0 and self._rng("cpu").random() < plan.cpu_stall_rate:
+            self.count("cpu_stall")
+            return work * plan.cpu_stall_factor
+        return work
+
+    def crash_lifetime(self) -> float | None:
+        """Draw the next contender lifetime, or None when churn is off."""
+        if self.plan.crash_rate <= 0:
+            return None
+        return float(self._rng("churn").exponential(1.0 / self.plan.crash_rate))
+
+    def restart_pause(self) -> float:
+        """Draw the pause before a crashed contender restarts."""
+        if self.plan.restart_delay <= 0:
+            return 0.0
+        return float(self._rng("churn-restart").exponential(self.plan.restart_delay))
+
+    def probe_fails(self, label: str = "probe") -> bool:
+        """Decide whether one calibration probe run fails.
+
+        Draws (and counts) only when the site is active, preserving the
+        zero-rate reproducibility invariant.
+        """
+        if self.plan.probe_failure_rate <= 0:
+            return False
+        if self._rng("probe").random() < self.plan.probe_failure_rate:
+            self.count(f"probe_failure:{label}")
+            return True
+        return False

@@ -1,0 +1,126 @@
+"""Structured outcomes for supervised simulation runs.
+
+A supervised run never escapes as a bare exception: it always yields a
+:class:`FailureReport` that says *what* ended the run (completion, a
+deadlock, an exhausted watchdog budget, an application error) together
+with the simulator state needed to diagnose it — virtual time, events
+processed, wall-clock seconds, the still-pending process names and the
+event-queue size at the end.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DeadlockError, WatchdogError
+
+__all__ = ["Outcome", "FailureReport"]
+
+
+class Outcome(enum.Enum):
+    """How a supervised run ended."""
+
+    #: The run finished: queue drained (or the ``until`` horizon /
+    #: awaited event was reached) with no live non-daemon process stuck.
+    COMPLETED = "completed"
+    #: Queue drained while non-daemon processes were still waiting.
+    DEADLOCK = "deadlock"
+    #: The host wall-clock budget was exhausted.
+    WALLCLOCK_EXCEEDED = "wallclock_exceeded"
+    #: The virtual-time budget was exhausted before completion.
+    SIMTIME_EXCEEDED = "simtime_exceeded"
+    #: The event budget was exhausted before completion.
+    EVENT_BUDGET_EXCEEDED = "event_budget_exceeded"
+    #: A process (or event callback) raised out of the simulation.
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """The structured result of one supervised run.
+
+    Attributes
+    ----------
+    outcome:
+        Why the run ended.
+    sim_time:
+        Virtual time when the run ended.
+    events_processed:
+        Number of events stepped by this supervised run.
+    wall_seconds:
+        Host wall-clock seconds consumed.
+    pending:
+        Names of still-alive non-daemon processes (possibly truncated).
+    pending_count:
+        Total number of still-alive non-daemon processes.
+    queue_size:
+        Events left on the heap when the run ended.
+    error:
+        The exception that ended the run, for :attr:`Outcome.ERROR` and
+        :attr:`Outcome.DEADLOCK` outcomes; None otherwise.
+    """
+
+    outcome: Outcome
+    sim_time: float
+    events_processed: int
+    wall_seconds: float
+    pending: tuple[str, ...] = ()
+    pending_count: int = 0
+    queue_size: int = 0
+    error: BaseException | None = field(default=None, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed normally."""
+        return self.outcome is Outcome.COMPLETED
+
+    def raise_if_failed(self) -> "FailureReport":
+        """Re-raise a failed run's cause (or a WatchdogError); else self.
+
+        * :attr:`Outcome.ERROR` / :attr:`Outcome.DEADLOCK` re-raise the
+          original exception;
+        * exhausted budgets raise :class:`~repro.errors.WatchdogError`
+          carrying this report as ``report``;
+        * :attr:`Outcome.COMPLETED` returns the report unchanged, so
+          ``supervise(...).raise_if_failed()`` chains.
+        """
+        if self.ok:
+            return self
+        if self.error is not None:
+            raise self.error
+        exc = WatchdogError(self.describe())
+        exc.report = self  # type: ignore[attr-defined]
+        raise exc
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"{self.outcome.value} at t={self.sim_time:g}",
+            f"{self.events_processed} events",
+            f"{self.wall_seconds:.3f}s wall",
+        ]
+        if self.pending_count:
+            names = ", ".join(self.pending) or "?"
+            parts.append(f"{self.pending_count} pending ({names})")
+        if self.queue_size:
+            parts.append(f"{self.queue_size} events queued")
+        if self.error is not None and self.outcome is Outcome.ERROR:
+            parts.append(f"error: {self.error!r}")
+        return "; ".join(parts)
+
+    @classmethod
+    def from_deadlock(
+        cls, exc: DeadlockError, events_processed: int, wall_seconds: float
+    ) -> "FailureReport":
+        """Package a structured :class:`~repro.errors.DeadlockError`."""
+        return cls(
+            outcome=Outcome.DEADLOCK,
+            sim_time=exc.sim_time,
+            events_processed=events_processed,
+            wall_seconds=wall_seconds,
+            pending=exc.pending,
+            pending_count=exc.pending_count,
+            queue_size=exc.queue_size,
+            error=exc,
+        )

@@ -1,0 +1,105 @@
+"""Retry with deterministic decorrelated-jitter backoff.
+
+Calibration probes and Monte-Carlo replications are cheap to re-run and
+their failures (injected or real) are transient, so the right response
+to a failed measurement is a bounded retry — not a poisoned mean or an
+aborted suite. :func:`retry_with_backoff` packages the policy:
+
+* retries only library-level failures (``retry_on``, default
+  :class:`~repro.errors.ReproError`) — programming errors propagate
+  unchanged on the first raise;
+* backoff delays follow *decorrelated jitter*
+  (``delay = min(max_delay, U(base_delay, previous * multiplier))``),
+  drawn from a seeded generator so a retry schedule is reproducible;
+* after ``attempts`` total tries the **last** error is re-raised.
+
+Inside the virtual-time world there is nothing to sleep through — the
+probe rebuilds a fresh simulator — so the computed delays are reported
+through ``on_retry`` (and applied via ``sleep`` when given) rather than
+blocking the host by default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    multiplier: float = 3.0,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+    sleep: Callable[[float], Any] | None = None,
+    on_retry: Callable[[int, float, BaseException], Any] | None = None,
+) -> T:
+    """Call *fn* up to *attempts* times, backing off between failures.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable to (re)try.
+    attempts:
+        Total tries, ``>= 1``. With ``attempts=1`` this is a plain call.
+    base_delay, max_delay, multiplier:
+        Decorrelated-jitter parameters: the k-th backoff is drawn
+        uniformly from ``[base_delay, previous * multiplier]`` and
+        clamped to ``max_delay``.
+    retry_on:
+        Exception class(es) worth retrying. Anything else propagates
+        immediately — a ``TypeError`` is a bug, not bad weather.
+    rng:
+        Generator for the jitter draws; defaults to a fresh
+        ``default_rng(seed)`` so schedules are reproducible.
+    seed:
+        Seed for the default generator (ignored when *rng* is given).
+    sleep:
+        Optional callable receiving each delay (e.g. ``time.sleep`` for
+        wall-clock probes). Default: the delay is computed and reported
+        but not slept — virtual-time experiments have no wall clock.
+    on_retry:
+        Optional observer called as ``on_retry(attempt, delay, error)``
+        after each failed attempt that will be retried (attempt is
+        1-based).
+
+    Raises
+    ------
+    The last *retry_on* error once attempts are exhausted; any
+    non-*retry_on* exception immediately.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts!r}")
+    if base_delay < 0 or max_delay < base_delay:
+        raise ValueError(
+            f"need 0 <= base_delay <= max_delay, got {base_delay!r}, {max_delay!r}"
+        )
+    if multiplier < 1.0:
+        raise ValueError(f"multiplier must be >= 1, got {multiplier!r}")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    delay = base_delay
+    last_error: BaseException | None = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:  # type: ignore[misc]
+            last_error = exc
+            if attempt == attempts:
+                break
+            delay = min(max_delay, float(generator.uniform(base_delay, max(base_delay, delay * multiplier))))
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if sleep is not None:
+                sleep(delay)
+    assert last_error is not None
+    raise last_error

@@ -1,0 +1,150 @@
+"""Watchdog-supervised simulation runs.
+
+:func:`supervise` is the resilient replacement for calling
+:meth:`repro.sim.engine.Simulator.run` (or ``run_until``) directly: it
+drives the event loop step by step under three watchdog budgets —
+
+* **wall clock** (``max_wall_seconds``): the host-time budget, the only
+  defense against a simulation that is *making progress* but will not
+  finish in this lifetime;
+* **virtual time** (``max_sim_time``): a deadline in simulated seconds,
+  the classic "this burst should have finished by now" check;
+* **events** (``max_events``): a budget on scheduler steps, which
+  catches zero-delay livelock loops that burn events without advancing
+  either clock;
+
+— and never lets a failure escape as a bare exception. Every run ends
+in a structured :class:`~repro.reliability.report.FailureReport`; call
+:meth:`~repro.reliability.report.FailureReport.raise_if_failed` to
+restore raise-on-failure semantics where that is the right interface.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import DeadlockError
+from ..sim.engine import Event, Simulator
+from .report import FailureReport, Outcome
+
+__all__ = ["supervise"]
+
+#: How many events to process between wall-clock checks: a compromise
+#: between watchdog latency and per-step overhead.
+_WALL_CHECK_STRIDE = 128
+
+
+def supervise(
+    sim: Simulator,
+    until: float | None = None,
+    until_event: Event | None = None,
+    max_events: int | None = None,
+    max_wall_seconds: float | None = None,
+    max_sim_time: float | None = None,
+) -> FailureReport:
+    """Run *sim* to completion under watchdog budgets; never raises.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to drive.
+    until:
+        Optional virtual-time horizon; reaching it is a *success*
+        (mirrors ``Simulator.run(until=...)``).
+    until_event:
+        Optional event to wait for; the run completes when it has been
+        processed (mirrors ``Simulator.run_until``), tolerating
+        non-terminating background processes. A failed event yields an
+        :attr:`Outcome.ERROR` report carrying its exception.
+    max_events:
+        Event budget; exceeding it yields
+        :attr:`Outcome.EVENT_BUDGET_EXCEEDED`.
+    max_wall_seconds:
+        Host wall-clock budget; exceeding it yields
+        :attr:`Outcome.WALLCLOCK_EXCEEDED`.
+    max_sim_time:
+        Virtual-time budget; needing to advance past it yields
+        :attr:`Outcome.SIMTIME_EXCEEDED`. Unlike *until*, exceeding
+        this budget is a *failure*.
+
+    Returns
+    -------
+    FailureReport
+        Always — inspect ``report.ok`` / ``report.outcome``, or call
+        ``report.raise_if_failed()`` for exception semantics.
+    """
+    t_wall0 = time.monotonic()
+    steps = 0
+
+    def report(outcome: Outcome, error: BaseException | None = None) -> FailureReport:
+        pending = sim.pending_processes()
+        return FailureReport(
+            outcome=outcome,
+            sim_time=sim.now,
+            events_processed=steps,
+            wall_seconds=time.monotonic() - t_wall0,
+            pending=tuple((p._name or "?") for p in pending[:5]),
+            pending_count=len(pending),
+            queue_size=len(sim._heap),
+            error=error,
+        )
+
+    if until is not None and until < sim.now:
+        return report(
+            Outcome.ERROR,
+            ValueError(f"until={until!r} is in the past (now={sim.now!r})"),
+        )
+
+    while True:
+        # Completion checks first, so already-satisfied goals cost nothing.
+        if until_event is not None and until_event.processed:
+            if not until_event.ok:
+                return report(Outcome.ERROR, until_event.value)
+            return report(Outcome.COMPLETED)
+        if not sim._heap:
+            if until_event is not None:
+                return report(
+                    Outcome.DEADLOCK,
+                    DeadlockError(
+                        f"event queue empty before {until_event!r} fired",
+                        sim_time=sim.now,
+                        pending=sim.pending_names(),
+                        pending_count=len(sim.pending_processes()),
+                        queue_size=0,
+                    ),
+                )
+            if until is not None:
+                sim.now = until
+            zombies = sim.pending_processes()
+            if zombies and until is None:
+                names = ", ".join(repr(p._name) for p in zombies[:5])
+                return report(
+                    Outcome.DEADLOCK,
+                    DeadlockError(
+                        f"event queue empty but {len(zombies)} process(es) still waiting: {names}",
+                        sim_time=sim.now,
+                        pending=tuple((p._name or "?") for p in zombies[:5]),
+                        pending_count=len(zombies),
+                        queue_size=0,
+                    ),
+                )
+            return report(Outcome.COMPLETED)
+        horizon = sim.peek()
+        if until is not None and horizon > until:
+            sim.now = until
+            return report(Outcome.COMPLETED)
+        if max_sim_time is not None and horizon > max_sim_time:
+            return report(Outcome.SIMTIME_EXCEEDED)
+        if max_events is not None and steps >= max_events:
+            return report(Outcome.EVENT_BUDGET_EXCEEDED)
+        if (
+            max_wall_seconds is not None
+            and steps % _WALL_CHECK_STRIDE == 0
+            and time.monotonic() - t_wall0 > max_wall_seconds
+        ):
+            return report(Outcome.WALLCLOCK_EXCEEDED)
+        try:
+            sim.step()
+        except BaseException as exc:  # noqa: BLE001 - package, don't propagate
+            return report(Outcome.ERROR, exc)
+        steps += 1

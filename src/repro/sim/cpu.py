@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Deque, Dict
+from typing import TYPE_CHECKING, Any, Deque, Dict
 
 from ..errors import SimulationError
 from ..units import check_nonnegative, check_positive
 from .engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import CpuFaultModel
 
 __all__ = ["TimeSharedCPU"]
 
@@ -90,6 +93,7 @@ class TimeSharedCPU:
         quantum: float = 0.01,
         context_switch: float = 0.0,
         name: str = "cpu",
+        faults: "CpuFaultModel | None" = None,
     ) -> None:
         if discipline not in ("ps", "rr"):
             raise ValueError(f"discipline must be 'ps' or 'rr', got {discipline!r}")
@@ -99,6 +103,10 @@ class TimeSharedCPU:
         self.quantum = check_positive(quantum, "quantum") if discipline == "rr" else float(quantum)
         self.context_switch = check_nonnegative(context_switch, "context_switch")
         self.name = name
+        #: Optional chaos hook (see :mod:`repro.reliability.faults`):
+        #: inflates submitted work to model injected CPU stalls. ``None``
+        #: (the default) leaves scheduling byte-for-byte unperturbed.
+        self.faults = faults
 
         self._ids = itertools.count()
         self._jobs: Dict[int, _Job] = {}
@@ -132,6 +140,8 @@ class TimeSharedCPU:
         if work <= _EPSILON:
             done.succeed(0.0)
             return done
+        if self.faults is not None:
+            work = self.faults.perturb_cpu(work)
         job = _Job(next(self._ids), work, int(priority), done, tag, self.sim.now)
         self._jobs[job.jid] = job
         if self.discipline == "rr":

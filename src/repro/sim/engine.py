@@ -463,6 +463,14 @@ class Simulator:
         """Time of the next scheduled event, or ``inf`` if none remain."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def pending_processes(self) -> list[Process]:
+        """Still-alive non-daemon processes (the deadlock suspects)."""
+        return [p for p in self._processes if p.is_alive and not p.daemon]
+
+    def pending_names(self, limit: int = 5) -> tuple[str, ...]:
+        """Names of up to *limit* pending processes, for diagnostics."""
+        return tuple((p._name or "?") for p in self.pending_processes()[:limit])
+
     def step(self) -> None:
         """Process exactly one event (advancing ``now`` to its time)."""
         if not self._heap:
@@ -502,11 +510,15 @@ class Simulator:
             self.step()
         if until is not None:
             self.now = until
-        zombies = [p for p in self._processes if p.is_alive and not p.daemon]
+        zombies = self.pending_processes()
         if zombies and until is None:
             names = ", ".join(repr(p._name) for p in zombies[:5])
             raise DeadlockError(
-                f"event queue empty but {len(zombies)} process(es) still waiting: {names}"
+                f"event queue empty but {len(zombies)} process(es) still waiting: {names}",
+                sim_time=self.now,
+                pending=tuple(p._name or "?" for p in zombies[:5]),
+                pending_count=len(zombies),
+                queue_size=0,
             )
 
     def run_until(self, event: Event, limit: float | None = None) -> Any:
@@ -527,9 +539,21 @@ class Simulator:
         """
         while not event.processed:
             if not self._heap:
-                raise DeadlockError(f"event queue empty before {event!r} fired")
+                raise DeadlockError(
+                    f"event queue empty before {event!r} fired",
+                    sim_time=self.now,
+                    pending=self.pending_names(),
+                    pending_count=len(self.pending_processes()),
+                    queue_size=0,
+                )
             if limit is not None and self.peek() > limit:
-                raise DeadlockError(f"{event!r} did not fire before t={limit!r}")
+                raise DeadlockError(
+                    f"{event!r} did not fire before t={limit!r}",
+                    sim_time=self.now,
+                    pending=self.pending_names(),
+                    pending_count=len(self.pending_processes()),
+                    queue_size=len(self._heap),
+                )
             self.step()
         if not event.ok:
             raise event.value
@@ -543,7 +567,13 @@ class Simulator:
         proc = self.process(generator)
         self.run(until=until)
         if not proc.triggered:
-            raise DeadlockError(f"process {proc!r} did not finish by until={until!r}")
+            raise DeadlockError(
+                f"process {proc!r} did not finish by until={until!r}",
+                sim_time=self.now,
+                pending=self.pending_names(),
+                pending_count=len(self.pending_processes()),
+                queue_size=len(self._heap),
+            )
         if not proc.ok:
             raise proc.value
         return proc.value

@@ -20,9 +20,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
+from typing import TYPE_CHECKING
+
 from ..units import check_nonnegative
 from .engine import Event, Simulator
 from .resources import FifoResource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import LinkFaultModel
 
 __all__ = ["Link", "WireTime"]
 
@@ -55,11 +60,17 @@ class Link:
         wire_time: WireTime,
         full_duplex: bool = False,
         name: str = "link",
+        faults: "LinkFaultModel | None" = None,
     ) -> None:
         self.sim = sim
         self.wire_time = wire_time
         self.full_duplex = full_duplex
         self.name = name
+        #: Optional chaos hook (see :mod:`repro.reliability.faults`):
+        #: perturbs per-message wire occupancy to model degradation and
+        #: drop/retransmit faults. ``None`` (the default) leaves the
+        #: link's behaviour byte-for-byte identical to a fault-free run.
+        self.faults = faults
         if full_duplex:
             self._channels = {
                 "out": FifoResource(sim, 1, name=f"{name}-out"),
@@ -95,13 +106,18 @@ class Link:
         """
         channel = self._channel(direction)
         hold = self.occupancy(size_words)
+        if self.faults is not None:
+            hold = self.faults.perturb_wire(size_words, hold)
         t0 = self.sim.now
         req = channel.request()
-        yield req
-        queued = self.sim.now - t0
         try:
+            yield req
+            queued = self.sim.now - t0
             yield self.sim.timeout(hold)
         finally:
+            # Interrupt-safe: releases a held unit *or* cancels a
+            # still-queued request, so a crashed sender cannot wedge
+            # the wire for everybody else.
             channel.release(req)
         self.messages_sent += 1
         self.words_sent += size_words

@@ -106,10 +106,13 @@ class FifoResource:
         """Generator helper: request, hold for *hold* seconds, release.
 
         Usage inside a process: ``yield from resource.acquire(1.5)``.
+        Interrupt-safe: an interrupt delivered while still *queued*
+        cancels the request instead of leaking it (release() handles
+        both granted and still-waiting requests).
         """
         req = self.request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(hold)
         finally:
             self.release(req)

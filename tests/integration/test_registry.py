@@ -33,3 +33,17 @@ def test_experiment_end_to_end(name, tmp_path):
     # Charting must never raise: either a chart or None.
     chart = chart_result(result)
     assert chart is None or isinstance(chart, str)
+
+
+def test_reliability_api_exported_at_top_level():
+    """The resilience entry points ship as first-class package API."""
+    import repro
+    from repro.reliability import degrade, faults, retry
+    from repro.reliability import supervise as supervise_mod  # shadowed by the function
+
+    assert repro.FaultPlan is faults.FaultPlan
+    assert repro.Confidence is degrade.Confidence
+    assert repro.retry_with_backoff is retry.retry_with_backoff
+    assert repro.supervise is supervise_mod
+    for name in ("FaultPlan", "Confidence", "retry_with_backoff", "supervise", "reliability"):
+        assert name in repro.__all__

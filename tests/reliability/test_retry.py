@@ -1,0 +1,138 @@
+"""retry_with_backoff: policy, determinism, error discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ProbeError, ReproError
+from repro.reliability import retry_with_backoff
+
+
+class Flaky:
+    """Fails the first *failures* calls, then returns *value*."""
+
+    def __init__(self, failures: int, value: float = 42.0, exc: type = ProbeError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient #{self.calls}")
+        return self.value
+
+
+class TestPolicy:
+    def test_success_first_try_calls_once(self):
+        fn = Flaky(0)
+        assert retry_with_backoff(fn) == 42.0
+        assert fn.calls == 1
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        assert retry_with_backoff(fn, attempts=3) == 42.0
+        assert fn.calls == 3
+
+    def test_exhaustion_reraises_last_error(self):
+        fn = Flaky(10)
+        with pytest.raises(ProbeError, match="transient #3"):
+            retry_with_backoff(fn, attempts=3)
+        assert fn.calls == 3
+
+    def test_no_retry_on_non_repro_error(self):
+        calls = []
+
+        def bug():
+            calls.append(1)
+            raise TypeError("a bug, not bad weather")
+
+        with pytest.raises(TypeError):
+            retry_with_backoff(bug, attempts=5)
+        assert len(calls) == 1
+
+    def test_retry_on_narrows_the_retryable_set(self):
+        # CalibrationError is a ReproError but not a ProbeError.
+        fn = Flaky(1, exc=CalibrationError)
+        with pytest.raises(CalibrationError):
+            retry_with_backoff(fn, attempts=3, retry_on=ProbeError)
+        assert fn.calls == 1
+
+    def test_retry_on_base_class_catches_subclass(self):
+        fn = Flaky(1, exc=ProbeError)
+        assert retry_with_backoff(fn, attempts=2, retry_on=ReproError) == 42.0
+
+    def test_attempts_one_is_a_plain_call(self):
+        fn = Flaky(1)
+        with pytest.raises(ProbeError):
+            retry_with_backoff(fn, attempts=1)
+        assert fn.calls == 1
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            retry_with_backoff(lambda: 1, attempts=0)
+
+    def test_rejects_bad_delays(self):
+        with pytest.raises(ValueError, match="base_delay"):
+            retry_with_backoff(lambda: 1, base_delay=2.0, max_delay=1.0)
+
+    def test_rejects_sub_unit_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            retry_with_backoff(lambda: 1, multiplier=0.5)
+
+
+class TestJitterDeterminism:
+    @staticmethod
+    def _observed_delays(seed: int, failures: int = 4) -> list[float]:
+        delays: list[float] = []
+        retry_with_backoff(
+            Flaky(failures),
+            attempts=failures + 1,
+            seed=seed,
+            on_retry=lambda attempt, delay, exc: delays.append(delay),
+        )
+        return delays
+
+    def test_same_seed_same_schedule(self):
+        assert self._observed_delays(7) == self._observed_delays(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._observed_delays(7) != self._observed_delays(8)
+
+    def test_delays_obey_decorrelated_jitter_bounds(self):
+        base, cap, mult = 0.05, 2.0, 3.0
+        delays = self._observed_delays(3)
+        prev = base
+        for d in delays:
+            assert base <= d <= min(cap, max(base, prev * mult))
+            prev = d
+
+    def test_explicit_rng_overrides_seed(self):
+        delays_a: list[float] = []
+        delays_b: list[float] = []
+        for sink in (delays_a, delays_b):
+            retry_with_backoff(
+                Flaky(3),
+                attempts=4,
+                rng=np.random.default_rng(123),
+                seed=999,  # ignored when rng is given
+                on_retry=lambda attempt, delay, exc, sink=sink: sink.append(delay),
+            )
+        assert delays_a == delays_b
+
+    def test_sleep_receives_each_delay(self):
+        slept: list[float] = []
+        observed: list[float] = []
+        retry_with_backoff(
+            Flaky(2),
+            attempts=3,
+            seed=5,
+            sleep=slept.append,
+            on_retry=lambda attempt, delay, exc: observed.append(delay),
+        )
+        assert slept == observed
+        assert len(slept) == 2

@@ -1,0 +1,171 @@
+"""supervise(): watchdogs, structured outcomes, no escaping exceptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, WatchdogError
+from repro.reliability import FailureReport, Outcome, supervise
+from repro.sim.engine import Simulator
+
+
+def ticker(sim, period=1.0):
+    while True:
+        yield sim.timeout(period)
+
+
+class TestCompletion:
+    def test_empty_simulator_completes(self, sim):
+        report = supervise(sim)
+        assert report.ok
+        assert report.outcome is Outcome.COMPLETED
+        assert report.events_processed == 0
+
+    def test_terminating_process_completes(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+
+        sim.process(proc(), name="p")
+        report = supervise(sim)
+        assert report.ok
+        assert sim.now == 3.0
+        assert report.sim_time == 3.0
+        assert report.events_processed > 0
+        assert report.raise_if_failed() is report
+
+    def test_until_horizon_is_success(self, sim):
+        sim.process(ticker(sim), name="bg")
+        report = supervise(sim, until=5.5)
+        assert report.ok
+        assert sim.now == 5.5
+
+    def test_until_event_tolerates_background(self, sim):
+        sim.process(ticker(sim, 0.1), name="bg")
+
+        def probe():
+            yield sim.timeout(1.0)
+            return 17.0
+
+        proc = sim.process(probe(), name="probe")
+        report = supervise(sim, until_event=proc)
+        assert report.ok
+        assert proc.value == 17.0
+
+    def test_until_in_the_past_is_error(self, sim):
+        sim.process(ticker(sim), name="bg")
+        supervise(sim, until=2.0)
+        report = supervise(sim, until=1.0)
+        assert report.outcome is Outcome.ERROR
+        assert isinstance(report.error, ValueError)
+
+
+class TestDeadlock:
+    def test_stuck_process_reports_deadlock(self, sim):
+        def stuck():
+            yield sim.event()  # never triggered
+
+        sim.process(stuck(), name="victim")
+        report = supervise(sim)
+        assert not report.ok
+        assert report.outcome is Outcome.DEADLOCK
+        assert isinstance(report.error, DeadlockError)
+        assert "victim" in report.pending
+        assert report.pending_count == 1
+        with pytest.raises(DeadlockError):
+            report.raise_if_failed()
+
+    def test_until_event_never_firing_is_deadlock(self, sim):
+        target = sim.event()
+        report = supervise(sim, until_event=target)
+        assert report.outcome is Outcome.DEADLOCK
+
+
+class TestWatchdogs:
+    def test_event_budget(self, sim):
+        sim.process(ticker(sim, 0.001), name="bg")
+        report = supervise(sim, max_events=50)
+        assert report.outcome is Outcome.EVENT_BUDGET_EXCEEDED
+        assert report.events_processed == 50
+        assert report.queue_size > 0
+
+    def test_sim_time_budget_is_a_failure(self, sim):
+        sim.process(ticker(sim, 10.0), name="bg")
+        report = supervise(sim, max_sim_time=25.0)
+        assert report.outcome is Outcome.SIMTIME_EXCEEDED
+        assert report.sim_time <= 25.0
+
+    def test_wall_clock_budget(self, sim):
+        sim.process(ticker(sim, 0.001), name="bg")
+        report = supervise(sim, max_wall_seconds=0.0)
+        assert report.outcome is Outcome.WALLCLOCK_EXCEEDED
+
+    def test_watchdog_raise_carries_report(self, sim):
+        sim.process(ticker(sim), name="bg")
+        report = supervise(sim, max_events=3)
+        with pytest.raises(WatchdogError) as err:
+            report.raise_if_failed()
+        assert err.value.report is report
+
+
+class TestErrors:
+    def test_detached_process_failure_stays_silent(self, sim):
+        """Engine semantics: a detached process may fail without ending
+        the run (churned contenders die of unhandled Interrupts). The
+        failure is observed by supervising the process as until_event."""
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        sim.process(bad(), name="bad")
+        report = supervise(sim)
+        assert report.ok
+
+    def test_until_event_failure_is_packaged(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("probe died")
+
+        proc = sim.process(bad(), name="bad")
+        report = supervise(sim, until_event=proc)
+        assert report.outcome is Outcome.ERROR
+        assert isinstance(report.error, RuntimeError)
+
+
+class TestReport:
+    def test_describe_mentions_outcome_and_pending(self, sim):
+        def stuck():
+            yield sim.event()
+
+        sim.process(stuck(), name="victim")
+        report = supervise(sim)
+        text = report.describe()
+        assert "deadlock" in text
+        assert "victim" in text
+
+    def test_from_deadlock_round_trip(self):
+        exc = DeadlockError(
+            "stuck", sim_time=4.0, pending=("a", "b"), pending_count=2, queue_size=0
+        )
+        report = FailureReport.from_deadlock(exc, events_processed=9, wall_seconds=0.1)
+        assert report.outcome is Outcome.DEADLOCK
+        assert report.sim_time == 4.0
+        assert report.pending == ("a", "b")
+        assert report.error is exc
+
+    def test_equivalence_with_plain_run(self, quiet_paragon_spec):
+        """Supervision must not change what the simulation computes."""
+        from repro.apps.pingpong import pingpong_burst
+        from repro.platforms.sunparagon import SunParagonPlatform
+
+        def burst_time(use_supervise: bool) -> float:
+            sim = Simulator()
+            platform = SunParagonPlatform(sim, spec=quiet_paragon_spec)
+            probe = sim.process(pingpong_burst(platform, 100, 20), name="probe")
+            if use_supervise:
+                supervise(sim, until_event=probe).raise_if_failed()
+                return float(probe.value)
+            return float(sim.run_until(probe))
+
+        assert burst_time(True) == burst_time(False)
