@@ -9,6 +9,7 @@ table-less fallback model keeps answering.
 from __future__ import annotations
 
 from repro.experiments.chaos import chaos_experiment
+from repro.obs import observed
 
 from conftest import run_once
 
@@ -31,3 +32,29 @@ def test_chaos_sweep_smoke(benchmark, paragon_spec):
     assert result.metrics["degradation_events"] >= 1
     print()
     print(result.render())
+
+
+def test_chaos_sweep_traced(benchmark, paragon_spec):
+    """The same sweep under an active observability context.
+
+    Checks the end-to-end tracing contract the CLI's ``--trace`` flag
+    relies on: the run emits spans of every pipeline stage and stamps
+    its result with a :class:`~repro.obs.RunManifest`.
+    """
+
+    def run():
+        with observed(seed=0) as ctx:
+            result = chaos_experiment(
+                spec=paragon_spec,
+                fault_rates=_SMOKE_RATES,
+                work=0.5,
+                repetitions=1,
+            )
+            for kind in ("sim", "prediction", "experiment"):
+                assert ctx.tracer.by_kind(kind), f"no {kind!r} spans captured"
+        return result
+
+    result = run_once(benchmark, run)
+    assert result.manifest is not None
+    assert result.manifest.experiment == "chaos"
+    assert result.manifest.metrics.counters.get("supervise.runs", 0) >= len(_SMOKE_RATES)

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke job: lint (when available), tier-1 tests, and one traced chaos
+# run whose JSON-lines trace is validated end to end.
+#
+# Usage: scripts/smoke.sh   (from the repository root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== traced chaos run =="
+trace="$(mktemp -t chaos-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+python -m repro chaos --quick --trace "$trace"
+
+echo "== trace validation =="
+python - "$trace" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path, encoding="utf-8") as handle:
+    lines = [line for line in handle if line.strip()]
+assert lines, "trace is empty"
+spans = [json.loads(line) for line in lines]  # every line standalone JSON
+
+# A fresh process exercises the whole pipeline: simulation, calibration
+# probes, prediction calls and retry attempts must all have left spans.
+kinds = {s["kind"] for s in spans}
+missing = {"sim", "calibration", "prediction", "retry"} - kinds
+assert not missing, f"missing span kinds: {sorted(missing)}"
+
+# Structural sanity: IDs are consistent and parents exist.
+ids = {s["span_id"] for s in spans}
+assert len(ids) == len(spans), "duplicate span IDs"
+dangling = [s["name"] for s in spans if s["parent_id"] not in ids | {None}]
+assert not dangling, f"spans with unknown parents: {dangling}"
+
+from repro.obs import Tracer  # round-trip through the typed loader
+
+loaded = Tracer.read_jsonl(path)
+assert len(loaded) == len(spans)
+print(f"ok: {len(spans)} spans, kinds={sorted(kinds)}")
+EOF
+
+echo "== smoke ok =="

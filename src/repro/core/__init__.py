@@ -27,8 +27,10 @@ from .params import (
 )
 from .prediction import (
     BackendTaskCosts,
+    ConfidentPlacement,
     PlacementPrediction,
     decide_placement,
+    decide_placement_tagged,
     predict_backend_time,
     predict_comm_cost,
     predict_frontend_time,
@@ -44,9 +46,11 @@ from .probability import (
 )
 from .runtime import SlowdownManager
 from .scheduler import (
+    ConfidentMapping,
     MappingProblem,
     MappingResult,
     best_mapping,
+    best_mapping_tagged,
     evaluate_mapping,
     rank_mappings,
 )
@@ -62,6 +66,8 @@ __all__ = [
     "ApplicationProfile",
     "BackendTaskCosts",
     "CommPattern",
+    "ConfidentMapping",
+    "ConfidentPlacement",
     "DataSet",
     "DelayTable",
     "LinearCommParams",
@@ -80,12 +86,14 @@ __all__ = [
     "evaluate_dag_mapping",
     "add_application",
     "best_mapping",
+    "best_mapping_tagged",
     "build_delay_table",
     "build_sized_delay_table",
     "cm2_slowdown",
     "comm_comp_distributions",
     "comm_fractions",
     "decide_placement",
+    "decide_placement_tagged",
     "dedicated_comm_cost",
     "dedicated_dataset_cost",
     "dedicated_pattern_cost",

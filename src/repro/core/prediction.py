@@ -21,9 +21,11 @@ and the paper's Equation (1): offload a task to the back-end only when
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..errors import ModelError
+from ..obs import context as _obs
 from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
 from ..units import check_nonnegative
 
@@ -167,16 +169,89 @@ class PlacementPrediction:
         return abs(self.t_frontend - self.backend_total)
 
 
+def _split_slowdown(
+    slowdown: "float | TaggedSlowdown | None",
+) -> tuple[float | None, Confidence | None]:
+    """(value, confidence) of a slowdown input.
+
+    A bare float is taken at face value — the caller asserts the
+    number, so it carries CALIBRATED confidence; a
+    :class:`~repro.reliability.degrade.TaggedSlowdown` carries its own
+    tag; ``None`` passes through (no value, no opinion).
+    """
+    if slowdown is None:
+        return None, None
+    if isinstance(slowdown, TaggedSlowdown):
+        return slowdown.value, slowdown.confidence
+    return float(slowdown), Confidence.CALIBRATED
+
+
+@dataclass(frozen=True)
+class ConfidentPlacement:
+    """A :class:`PlacementPrediction` with the confidence of its inputs.
+
+    ``confidence`` is the minimum over the slowdown factors that fed the
+    comparison — the Equation (1) verdict is only as trustworthy as its
+    least-calibrated input. Every :class:`PlacementPrediction` property
+    is forwarded, so a ``ConfidentPlacement`` drops into any call site
+    that read the bare prediction.
+    """
+
+    prediction: PlacementPrediction
+    confidence: Confidence
+
+    @property
+    def t_frontend(self) -> float:
+        return self.prediction.t_frontend
+
+    @property
+    def t_backend(self) -> float:
+        return self.prediction.t_backend
+
+    @property
+    def c_out(self) -> float:
+        return self.prediction.c_out
+
+    @property
+    def c_in(self) -> float:
+        return self.prediction.c_in
+
+    @property
+    def backend_total(self) -> float:
+        return self.prediction.backend_total
+
+    @property
+    def offload(self) -> bool:
+        return self.prediction.offload
+
+    @property
+    def best_time(self) -> float:
+        return self.prediction.best_time
+
+    @property
+    def advantage(self) -> float:
+        return self.prediction.advantage
+
+
 def decide_placement(
     dcomp_frontend: float,
     backend_costs: BackendTaskCosts,
     dcomm_out: float,
     dcomm_in: float,
-    comp_slowdown: float,
-    comm_slowdown: float,
-    backend_serial_slowdown: float | None = None,
-) -> PlacementPrediction:
-    """Assemble a :class:`PlacementPrediction` from dedicated costs.
+    comp_slowdown: float | TaggedSlowdown,
+    comm_slowdown: float | TaggedSlowdown,
+    backend_serial_slowdown: float | TaggedSlowdown | None = None,
+) -> ConfidentPlacement:
+    """Assemble a confidence-carrying placement from dedicated costs.
+
+    Slowdowns may be bare floats (taken at face value: CALIBRATED) or
+    :class:`~repro.reliability.degrade.TaggedSlowdown` values from
+    :meth:`~repro.core.runtime.SlowdownManager.comp_slowdown_tagged` /
+    :meth:`~repro.core.runtime.SlowdownManager.comm_slowdown_tagged`;
+    either way the result is a :class:`ConfidentPlacement` whose
+    ``confidence`` is the weakest input's. The placement decision thus
+    stays available even when the model has degraded to its analytic
+    fallbacks — tagged so the caller knows.
 
     Parameters
     ----------
@@ -196,34 +271,29 @@ def decide_placement(
         defaults to *comp_slowdown* (they coincide on the Sun/CM2,
         where all contention is front-end CPU contention).
     """
-    serial_slow = backend_serial_slowdown if backend_serial_slowdown is not None else comp_slowdown
-    return PlacementPrediction(
-        t_frontend=predict_frontend_time(dcomp_frontend, comp_slowdown),
-        t_backend=predict_backend_time(backend_costs, serial_slow),
-        c_out=predict_comm_cost(dcomm_out, comm_slowdown),
-        c_in=predict_comm_cost(dcomm_in, comm_slowdown),
-    )
-
-
-@dataclass(frozen=True)
-class ConfidentPlacement:
-    """A :class:`PlacementPrediction` with the confidence of its inputs.
-
-    ``confidence`` is the minimum over the slowdown factors that fed the
-    comparison — the Equation (1) verdict is only as trustworthy as its
-    least-calibrated input.
-    """
-
-    prediction: PlacementPrediction
-    confidence: Confidence
-
-    @property
-    def offload(self) -> bool:
-        return self.prediction.offload
-
-    @property
-    def best_time(self) -> float:
-        return self.prediction.best_time
+    comp_value, comp_conf = _split_slowdown(comp_slowdown)
+    comm_value, comm_conf = _split_slowdown(comm_slowdown)
+    serial_value, serial_conf = _split_slowdown(backend_serial_slowdown)
+    assert comp_value is not None and comm_value is not None
+    tags = [comp_conf, comm_conf]
+    if serial_conf is not None:
+        tags.append(serial_conf)
+    serial_slow = serial_value if serial_value is not None else comp_value
+    with _obs.span("predict.placement", kind="prediction") as sp:
+        prediction = PlacementPrediction(
+            t_frontend=predict_frontend_time(dcomp_frontend, comp_value),
+            t_backend=predict_backend_time(backend_costs, serial_slow),
+            c_out=predict_comm_cost(dcomm_out, comm_value),
+            c_in=predict_comm_cost(dcomm_in, comm_value),
+        )
+        result = ConfidentPlacement(
+            prediction=prediction, confidence=combine_confidence(*tags)
+        )
+        sp.set("offload", result.offload)
+        sp.set("confidence", result.confidence.name)
+        sp.set("best_time", result.best_time)
+    _obs.inc("prediction.placements")
+    return result
 
 
 def decide_placement_tagged(
@@ -235,24 +305,28 @@ def decide_placement_tagged(
     comm_slowdown: TaggedSlowdown,
     backend_serial_slowdown: TaggedSlowdown | None = None,
 ) -> ConfidentPlacement:
-    """:func:`decide_placement` over confidence-tagged slowdowns.
+    """Deprecated alias of :func:`decide_placement`.
 
-    Feed it the output of
-    :meth:`~repro.core.runtime.SlowdownManager.comp_slowdown_tagged` /
-    :meth:`~repro.core.runtime.SlowdownManager.comm_slowdown_tagged` and
-    the placement decision stays available even when the model has
-    degraded to its analytic fallbacks — tagged so the caller knows.
+    The tagged/untagged split is gone: :func:`decide_placement` now
+    accepts floats and :class:`TaggedSlowdown` values alike and always
+    returns a :class:`ConfidentPlacement`. This shim only warns and
+    forwards.
+
+    .. deprecated:: 1.1
+       Call :func:`decide_placement` directly.
     """
-    prediction = decide_placement(
+    warnings.warn(
+        "decide_placement_tagged() is deprecated; decide_placement() now "
+        "accepts tagged slowdowns and always returns a ConfidentPlacement",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return decide_placement(
         dcomp_frontend,
         backend_costs,
         dcomm_out,
         dcomm_in,
-        comp_slowdown.value,
-        comm_slowdown.value,
-        None if backend_serial_slowdown is None else backend_serial_slowdown.value,
+        comp_slowdown,
+        comm_slowdown,
+        backend_serial_slowdown,
     )
-    tags = [comp_slowdown.confidence, comm_slowdown.confidence]
-    if backend_serial_slowdown is not None:
-        tags.append(backend_serial_slowdown.confidence)
-    return ConfidentPlacement(prediction=prediction, confidence=combine_confidence(*tags))

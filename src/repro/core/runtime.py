@@ -21,6 +21,7 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..errors import ModelError
+from ..obs import context as _obs
 from ..reliability.degrade import (
     Confidence,
     DegradationLog,
@@ -156,6 +157,7 @@ class SlowdownManager:
             return 1.0
         if self.delay_comp is None or self.delay_comm is None:
             return self.comm_slowdown_tagged().value
+        _obs.inc("slowdown.comm.hit")
         return (
             1.0
             + weighted_delay(self._pcomp, self.delay_comp, self.extrapolate)
@@ -173,6 +175,7 @@ class SlowdownManager:
             return 1.0
         if self.delay_comm_sized is None:
             return self.comp_slowdown_tagged(j).value
+        _obs.inc("slowdown.comp.hit")
         cpu_term = float(np.dot(np.arange(len(self._pcomp)), self._pcomp))
         # Subtracting nothing: index 0 contributes 0 to the dot product.
         size = j if j is not None else self.max_message_size()
@@ -202,6 +205,7 @@ class SlowdownManager:
             return TaggedSlowdown(1.0, Confidence.CALIBRATED)
         if self.delay_comp is None or self.delay_comm is None:
             self.degradations.record("comm", Confidence.ANALYTIC)
+            _obs.inc("slowdown.comm.miss")
             fractions = [p.comm_fraction for p in self._profiles.values()]
             return TaggedSlowdown(analytic_comm_slowdown(fractions), Confidence.ANALYTIC)
         value = (
@@ -214,8 +218,10 @@ class SlowdownManager:
             and self._max_active_level(self._pcomm) <= self.delay_comm.max_level
         )
         if within:
+            _obs.inc("slowdown.comm.hit")
             return TaggedSlowdown(value, Confidence.CALIBRATED)
         self.degradations.record("comm", Confidence.EXTRAPOLATED)
+        _obs.inc("slowdown.comm.extrapolated")
         return TaggedSlowdown(value, Confidence.EXTRAPOLATED)
 
     def comp_slowdown_tagged(self, j: float | None = None) -> TaggedSlowdown:
@@ -229,6 +235,7 @@ class SlowdownManager:
             return TaggedSlowdown(1.0, Confidence.CALIBRATED)
         if self.delay_comm_sized is None:
             self.degradations.record("comp", Confidence.ANALYTIC)
+            _obs.inc("slowdown.comp.miss")
             return TaggedSlowdown(analytic_comp_slowdown(self.p), Confidence.ANALYTIC)
         cpu_term = float(np.dot(np.arange(len(self._pcomp)), self._pcomp))
         size = j if j is not None else self.max_message_size()
@@ -242,7 +249,9 @@ class SlowdownManager:
             bucket = self.delay_comm_sized.select_bucket(size)
             if comm_level > self.delay_comm_sized.tables[bucket].max_level:
                 self.degradations.record("comp", Confidence.EXTRAPOLATED)
+                _obs.inc("slowdown.comp.extrapolated")
                 return TaggedSlowdown(value, Confidence.EXTRAPOLATED)
+        _obs.inc("slowdown.comp.hit")
         return TaggedSlowdown(value, Confidence.CALIBRATED)
 
     def cpu_bound_count(self) -> int:

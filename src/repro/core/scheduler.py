@@ -23,10 +23,12 @@ This module provides that example's machinery in general form:
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..errors import ScheduleError
+from ..obs import context as _obs
 from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
 
 __all__ = [
@@ -191,20 +193,8 @@ def rank_mappings(problem: MappingProblem) -> list[MappingResult]:
     return results
 
 
-def best_mapping(problem: MappingProblem, max_candidates: int = 1_000_000) -> MappingResult:
-    """The minimum-elapsed-time assignment.
-
-    Uses exhaustive enumeration with a prefix-cost cutoff (a running
-    partial sum already exceeding the incumbent prunes the subtree),
-    which keeps moderate instances fast without changing the result.
-
-    Raises
-    ------
-    ScheduleError
-        If the search space exceeds *max_candidates* (a guard against
-        accidentally exponential calls; raise the limit explicitly for
-        big instances).
-    """
+def _search_best(problem: MappingProblem, max_candidates: int) -> MappingResult:
+    """Exhaustive minimum-elapsed-time search with a prefix-cost cutoff."""
     space = len(problem.machines) ** len(problem.tasks)
     if space > max_candidates:
         raise ScheduleError(
@@ -248,7 +238,12 @@ def best_mapping(problem: MappingProblem, max_candidates: int = 1_000_000) -> Ma
 
 @dataclass(frozen=True)
 class ConfidentMapping:
-    """A :class:`MappingResult` with the confidence of the slowdowns behind it."""
+    """A :class:`MappingResult` with the confidence of the slowdowns behind it.
+
+    Forwards the :class:`MappingResult` surface (``assignment``,
+    ``elapsed``, :meth:`placement`) so it drops into call sites that
+    consumed the bare result.
+    """
 
     result: MappingResult
     confidence: Confidence
@@ -261,6 +256,76 @@ class ConfidentMapping:
     def elapsed(self) -> float:
         return self.result.elapsed
 
+    def placement(self, tasks: Sequence[str]) -> dict[str, str]:
+        """Assignment as a {task: machine} dict."""
+        return self.result.placement(tasks)
+
+
+def _tagged_value(slowdown: float | TaggedSlowdown, tags: list[Confidence]) -> float:
+    """Collect a slowdown input's confidence into *tags*, return its value."""
+    if isinstance(slowdown, TaggedSlowdown):
+        tags.append(slowdown.confidence)
+        return slowdown.value
+    tags.append(Confidence.CALIBRATED)
+    return float(slowdown)
+
+
+def best_mapping(
+    problem: MappingProblem,
+    comp_slowdown: Mapping[str, float | TaggedSlowdown] | None = None,
+    comm_slowdown: (
+        float | TaggedSlowdown | Mapping[tuple[str, str], float | TaggedSlowdown] | None
+    ) = None,
+    max_candidates: int = 1_000_000,
+) -> ConfidentMapping:
+    """The minimum-elapsed-time assignment, with the confidence behind it.
+
+    Uses exhaustive enumeration with a prefix-cost cutoff (a running
+    partial sum already exceeding the incumbent prunes the subtree),
+    which keeps moderate instances fast without changing the result.
+
+    With no slowdown arguments the problem's matrices are searched as
+    given (the caller asserts them: CALIBRATED confidence). With
+    *comp_slowdown* / *comm_slowdown* the factors are first applied via
+    :meth:`MappingProblem.with_slowdowns` — each may be a bare float
+    (CALIBRATED) or a :class:`~repro.reliability.degrade.TaggedSlowdown`
+    from the :class:`~repro.core.runtime.SlowdownManager` — and the
+    result's ``confidence`` is the minimum over every factor that shaped
+    the cost matrices. With tables missing the manager hands over
+    ANALYTIC-tagged factors and the scheduler still ranks placements;
+    the caller just sees how much trust the ranking deserves.
+
+    Raises
+    ------
+    ScheduleError
+        If the search space exceeds *max_candidates* (a guard against
+        accidentally exponential calls; raise the limit explicitly for
+        big instances).
+    """
+    tags: list[Confidence] = []
+    contended = problem
+    if comp_slowdown is not None or comm_slowdown is not None:
+        comp_values = {
+            machine: _tagged_value(t, tags) for machine, t in (comp_slowdown or {}).items()
+        }
+        comm_values: Mapping[tuple[str, str], float] | float
+        if comm_slowdown is None:
+            comm_values = 1.0
+        elif isinstance(comm_slowdown, Mapping):
+            comm_values = {pair: _tagged_value(t, tags) for pair, t in comm_slowdown.items()}
+        else:
+            comm_values = _tagged_value(comm_slowdown, tags)
+        contended = problem.with_slowdowns(comp_values, comm_values)
+    with _obs.span("schedule.best_mapping", kind="prediction") as sp:
+        result = _search_best(contended, max_candidates)
+        confident = ConfidentMapping(result=result, confidence=combine_confidence(*tags))
+        sp.set("tasks", len(problem.tasks))
+        sp.set("machines", len(problem.machines))
+        sp.set("elapsed", result.elapsed)
+        sp.set("confidence", confident.confidence.name)
+    _obs.inc("prediction.mappings")
+    return confident
+
 
 def best_mapping_tagged(
     problem: MappingProblem,
@@ -268,27 +333,24 @@ def best_mapping_tagged(
     comm_slowdown: TaggedSlowdown | Mapping[tuple[str, str], TaggedSlowdown] | None = None,
     max_candidates: int = 1_000_000,
 ) -> ConfidentMapping:
-    """:func:`best_mapping` over a *dedicated* problem and tagged slowdowns.
+    """Deprecated alias of :func:`best_mapping`.
 
-    Applies the slowdown factors via :meth:`MappingProblem.with_slowdowns`
-    and runs the search, returning the winner together with the combined
-    (minimum) confidence of every slowdown that shaped the cost
-    matrices. This is the degradation-aware entry point: with tables
-    missing, the :class:`~repro.core.runtime.SlowdownManager` hands over
-    ANALYTIC-tagged factors and the scheduler still ranks placements —
-    the caller just sees how much trust the ranking deserves.
+    The tagged/untagged split is gone: :func:`best_mapping` now takes
+    the slowdown factors directly (floats or tagged) and always returns
+    a :class:`ConfidentMapping`. This shim only warns and forwards.
+
+    .. deprecated:: 1.1
+       Call :func:`best_mapping` directly.
     """
-    tags = [t.confidence for t in comp_slowdown.values()]
-    comp_values = {machine: t.value for machine, t in comp_slowdown.items()}
-    comm_values: Mapping[tuple[str, str], float] | float
-    if comm_slowdown is None:
-        comm_values = 1.0
-    elif isinstance(comm_slowdown, TaggedSlowdown):
-        tags.append(comm_slowdown.confidence)
-        comm_values = comm_slowdown.value
-    else:
-        tags.extend(t.confidence for t in comm_slowdown.values())
-        comm_values = {pair: t.value for pair, t in comm_slowdown.items()}
-    contended = problem.with_slowdowns(comp_values, comm_values)
-    result = best_mapping(contended, max_candidates=max_candidates)
-    return ConfidentMapping(result=result, confidence=combine_confidence(*tags))
+    warnings.warn(
+        "best_mapping_tagged() is deprecated; best_mapping() now accepts "
+        "tagged slowdowns and always returns a ConfidentMapping",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return best_mapping(
+        problem,
+        comp_slowdown=comp_slowdown,
+        comm_slowdown=comm_slowdown,
+        max_candidates=max_candidates,
+    )

@@ -43,6 +43,7 @@ from ..core.params import (
     SizedDelayTable,
 )
 from ..errors import ProbeError
+from ..obs import context as _obs
 from ..platforms.specs import SunCM2Spec, SunParagonSpec
 from ..platforms.suncm2 import SunCM2Platform
 from ..platforms.sunparagon import SunParagonPlatform
@@ -108,20 +109,22 @@ def _run_probe(
     attempt returns the exact dedicated/contended time). Exhausting the
     budget re-raises the last ``ProbeError``.
     """
-    if injector is None:
-        return measure()
+    with _obs.span("calibrate.probe", kind="calibration", label=label):
+        _obs.inc("calibration.probes")
+        if injector is None:
+            return measure()
 
-    def attempt() -> float:
-        if injector.probe_fails(label):
-            raise ProbeError(f"injected probe failure: {label}")
-        return measure()
+        def attempt() -> float:
+            if injector.probe_fails(label):
+                raise ProbeError(f"injected probe failure: {label}")
+            return measure()
 
-    return retry_with_backoff(
-        attempt,
-        attempts=retry_attempts,
-        retry_on=ProbeError,
-        seed=injector.plan.seed,
-    )
+        return retry_with_backoff(
+            attempt,
+            attempts=retry_attempts,
+            retry_on=ProbeError,
+            seed=injector.plan.seed,
+        )
 
 
 @dataclass(frozen=True)

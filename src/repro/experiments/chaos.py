@@ -31,6 +31,8 @@ from ..apps.program import frontend_program
 from ..core.prediction import predict_frontend_time
 from ..core.runtime import SlowdownManager
 from ..core.workload import ApplicationProfile
+from ..obs import MetricsSnapshot, RunManifest, platform_summary
+from ..obs import context as _obs
 from ..platforms.specs import DEFAULT_SUNPARAGON, SunParagonSpec
 from ..platforms.sunparagon import SunParagonPlatform
 from ..reliability.faults import FaultInjector, FaultPlan
@@ -97,8 +99,12 @@ def chaos_experiment(
         degraded.arrive(prof)
     tagged_cal = calibrated.comp_slowdown_tagged()
     tagged_deg = degraded.comp_slowdown_tagged()
-    model_cal = predict_frontend_time(work, tagged_cal.value)
-    model_deg = predict_frontend_time(work, tagged_deg.value)
+    with _obs.span("chaos.predict", kind="prediction") as sp:
+        model_cal = predict_frontend_time(work, tagged_cal.value)
+        model_deg = predict_frontend_time(work, tagged_deg.value)
+        sp.set("calibrated", model_cal)
+        sp.set("fallback", model_deg)
+        sp.set("confidence", tagged_deg.confidence.name)
 
     rows = []
     actuals, injected_totals = [], []
@@ -137,7 +143,9 @@ def chaos_experiment(
             report.raise_if_failed()
             return float(probe.value)
 
-        rep = repeat_mean(run, repetitions=repetitions, seed=seed)
+        # retry_attempts=2: a replication wedged by injected faults gets
+        # one re-salted re-run before the sweep point is abandoned.
+        rep = repeat_mean(run, repetitions=repetitions, seed=seed, retry_attempts=2)
         rows.append(
             (
                 rate,
@@ -151,6 +159,23 @@ def chaos_experiment(
         )
         actuals.append(rep.mean)
         injected_totals.append(injector.total_injected)
+
+    ctx = _obs.current()
+    manifest = RunManifest.stamp(
+        experiment="chaos",
+        seed=seed,
+        platform=platform_summary(spec),
+        calibration={
+            "mode": cal.mode,
+            "delay_comp_levels": cal.delay_comp.max_level,
+            "delay_comm_levels": cal.delay_comm.max_level,
+            "confidence": tagged_cal.confidence.name,
+            "fallback_confidence": tagged_deg.confidence.name,
+        },
+        metrics=ctx.snapshot() if ctx is not None else MetricsSnapshot(),
+        trace_id=ctx.tracer.trace_id if ctx is not None else "",
+        extra={"fault_rates": [float(r) for r in fault_rates], "quick": quick},
+    )
 
     n = len(actuals)
     return ExperimentResult(
@@ -179,4 +204,5 @@ def chaos_experiment(
             "resilience extension (not in the paper): accuracy decays "
             "gracefully with fault rate; the table-less fallback still answers"
         ),
+        manifest=manifest,
     )

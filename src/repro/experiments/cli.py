@@ -7,10 +7,13 @@ text reports. ``--quick`` shrinks sweeps for smoke runs.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable
 
+from ..obs import MetricsRegistry, ObsContext, RunManifest, Tracer, observed
+from ..obs import context as _obs
 from .chaos import chaos_experiment
 from .backend import (
     gang_experiment,
@@ -77,14 +80,33 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by registry name."""
+    """Run one experiment by registry name.
+
+    Inside an observed run (the ``--trace`` flag) the driver executes
+    under an ``experiment.<name>`` span, and any result the driver did
+    not stamp itself gets a generic :class:`~repro.obs.RunManifest`
+    carrying the run's metric snapshot and trace identity.
+    """
     try:
         driver = EXPERIMENTS[name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
         ) from None
-    return driver(quick=quick)
+    ctx = _obs.current()
+    if ctx is None:
+        return driver(quick=quick)
+    with ctx.tracer.span(f"experiment.{name}", kind="experiment", quick=quick):
+        result = driver(quick=quick)
+    ctx.metrics.counter("experiment.runs").inc()
+    if result.manifest is None:
+        result.manifest = RunManifest.stamp(
+            experiment=name,
+            metrics=ctx.snapshot(),
+            trace_id=ctx.tracer.trace_id,
+            extra={"quick": quick},
+        )
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,6 +129,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--outdir", default=None, help="also write results as JSON/CSV to this directory")
     parser.add_argument("--summary", action="store_true", help="print a final paper-vs-measured summary table")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="observe the run (spans + metrics) and write the trace as JSON-lines to PATH",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="identity seed for deterministic span IDs (default 0)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -115,20 +149,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    ctx = None
+    if args.trace:
+        ctx = ObsContext(
+            tracer=Tracer(seed=args.trace_seed), metrics=MetricsRegistry()
+        )
     results = []
-    for name in names:
-        t0 = time.perf_counter()
-        result = run_experiment(name, quick=args.quick)
-        elapsed = time.perf_counter() - t0
-        results.append(result)
-        print(result.render())
-        if args.chart:
-            chart = chart_result(result)
-            if chart is not None:
-                print()
-                print(chart)
-        print(f"  [{elapsed:.1f}s]")
-        print()
+    with observed(ctx) if ctx is not None else contextlib.nullcontext():
+        for name in names:
+            t0 = time.perf_counter()
+            result = run_experiment(name, quick=args.quick)
+            elapsed = time.perf_counter() - t0
+            results.append(result)
+            print(result.render())
+            if args.chart:
+                chart = chart_result(result)
+                if chart is not None:
+                    print()
+                    print(chart)
+            print(f"  [{elapsed:.1f}s]")
+            print()
+    if ctx is not None:
+        count = ctx.tracer.write_jsonl(args.trace)
+        print(f"wrote {count} spans to {args.trace}")
     if args.outdir:
         written = write_results(results, args.outdir)
         print(f"wrote {len(written)} files to {args.outdir}")

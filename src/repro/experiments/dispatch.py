@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..apps.contender import cpu_bound
-from ..core.prediction import PlacementPrediction, decide_placement
+from ..core.prediction import ConfidentPlacement, decide_placement
 from ..core.slowdown import cm2_slowdown
 from ..platforms.specs import DEFAULT_SUNCM2, SunCM2Spec
 from ..platforms.suncm2 import SunCM2Platform
@@ -84,7 +84,7 @@ def _predict(
     sun_cost: float,
     trace: Trace,
     p: int,
-) -> PlacementPrediction:
+) -> ConfidentPlacement:
     cal = calibrate_cm2(spec)
     dedicated = measure_dedicated_cm2(
         Trace([i for i in trace if not _is_transfer(i)], name=trace.name), spec

@@ -30,16 +30,16 @@ def _clean(value):
 
 
 def to_json(result: ExperimentResult, indent: int | None = 2) -> str:
-    """Serialise one result (headers, rows, metrics, claims) as JSON."""
-    payload = {
-        "experiment": result.experiment,
-        "title": result.title,
-        "headers": list(result.headers),
-        "rows": [[_clean(cell) for cell in row] for row in result.rows],
-        "metrics": {k: _clean(v) for k, v in result.metrics.items()},
-        "paper_claim": result.paper_claim,
-        "notes": result.notes,
-    }
+    """Serialise one result (headers, rows, metrics, claims) as JSON.
+
+    Delegates to :meth:`~repro.experiments.report.ExperimentResult.to_dict`
+    (the shared ``ToDict`` protocol), then relaxes the round-trip
+    sentinels back to ``null`` — the human-facing export format keeps
+    its historical "non-finite is absent" convention.
+    """
+    payload = result.to_dict()
+    payload["rows"] = [[_clean(cell) for cell in row] for row in result.rows]
+    payload["metrics"] = {k: _clean(v) for k, v in result.metrics.items()}
     return json.dumps(payload, indent=indent)
 
 

@@ -10,9 +10,12 @@ measurements").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+
+from ..obs.manifest import RunManifest
+from ..obs.serialize import jsonable, unjsonable
 
 __all__ = [
     "ExperimentResult",
@@ -101,6 +104,9 @@ class ExperimentResult:
         comparison in EXPERIMENTS.md.
     notes:
         Anything a reader should know when comparing with the paper.
+    manifest:
+        Optional :class:`~repro.obs.manifest.RunManifest` provenance
+        stamp (seed, platform, calibration, metric snapshot).
     """
 
     experiment: str
@@ -110,6 +116,7 @@ class ExperimentResult:
     metrics: dict[str, float] = field(default_factory=dict)
     paper_claim: str = ""
     notes: str = ""
+    manifest: RunManifest | None = None
 
     def render(self) -> str:
         """Full text report: title, table, metrics, claim, notes."""
@@ -129,3 +136,34 @@ class ExperimentResult:
         """Extract one column of :attr:`rows` by header name."""
         idx = self.headers.index(name)
         return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """Serialise through the :class:`~repro.obs.serialize.ToDict` protocol.
+
+        Non-finite floats become the ``"nan"``/``"inf"``/``"-inf"``
+        sentinels so :meth:`from_dict` reconstructs an equal result.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": jsonable(self.rows),
+            "metrics": jsonable(self.metrics),
+            "paper_claim": self.paper_claim,
+            "notes": self.notes,
+            "manifest": None if self.manifest is None else self.manifest.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentResult":
+        manifest = payload.get("manifest")
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=[tuple(unjsonable(cell) for cell in row) for row in payload["rows"]],
+            metrics={k: unjsonable(v) for k, v in payload.get("metrics", {}).items()},
+            paper_claim=payload.get("paper_claim", ""),
+            notes=payload.get("notes", ""),
+            manifest=None if manifest is None else RunManifest.from_dict(manifest),
+        )

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import context as _obs
 from ..reliability.retry import retry_with_backoff
 from ..sim.rng import RandomStreams
 
@@ -120,5 +121,12 @@ def repeat_mean(
             run, attempts=retry_attempts, retry_on=retry_on, seed=seed
         )
 
-    values = tuple(one(k) for k in range(repetitions))
+    def observed_one(k: int) -> float:
+        with _obs.span("experiment.replication", kind="experiment", replication=k) as sp:
+            value = one(k)
+            sp.set("value", value)
+        _obs.inc("experiment.replications")
+        return value
+
+    values = tuple(observed_one(k) for k in range(repetitions))
     return Replication(values=values)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core.params import DelayTable, SizedDelayTable
-from ..core.scheduler import MappingProblem, MappingResult, best_mapping
+from ..core.scheduler import ConfidentMapping, MappingProblem, best_mapping
 from ..core.slowdown import paragon_comm_slowdown, paragon_comp_slowdown
 from ..core.workload import ApplicationProfile
 from ..errors import ModelError, ScheduleError
@@ -158,6 +158,6 @@ class HeterogeneousSystem:
         self,
         tasks: Sequence[str],
         dedicated_exec: Mapping[str, Mapping[str, float]],
-    ) -> MappingResult:
+    ) -> ConfidentMapping:
         """Generalised Equation (1): the best contention-aware mapping."""
         return best_mapping(self.adjusted_problem(tasks, dedicated_exec))

@@ -1,0 +1,68 @@
+"""Observability: tracing, metrics, profiling and run manifests.
+
+The auditing layer the contention model needs to be trusted by a
+scheduler: *which* slowdown source fired, *which* calibration fed a
+prediction, *how long* each stage took, *what* state the model was in
+when a number was produced. Four pieces:
+
+* :mod:`~repro.obs.trace` — hierarchical :class:`Span` records with
+  seed-deterministic IDs and JSON-lines export;
+* :mod:`~repro.obs.metrics` — :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` instruments in a :class:`MetricsRegistry`, with
+  snapshot/diff (absorbing the simulator's :class:`Tally` and
+  :class:`TimeWeighted` accumulators);
+* :mod:`~repro.obs.context` — the ambient :class:`ObsContext` and the
+  no-op-when-disabled hooks instrumented code calls;
+* :mod:`~repro.obs.manifest` — the :class:`RunManifest` provenance
+  stamp carried by exported results.
+
+Everything is off by default. ``with observed() as ctx:`` turns it on
+for a block; the CLI's ``--trace out.jsonl`` turns it on for a run.
+:mod:`~repro.obs.serialize` defines the ``ToDict`` protocol every
+result object (spans, manifests, experiment results, failure reports,
+degradation logs) serialises through.
+"""
+
+from .context import ObsContext, current, enabled, inc, observe, observed, set_gauge, span
+from .manifest import RunManifest, platform_summary
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tally,
+    TimeWeighted,
+)
+from .profile import timed, timed_block
+from .serialize import ToDict, jsonable, read_jsonl, unjsonable, write_jsonl
+from .trace import Span, Tracer
+
+__all__ = [
+    "ObsContext",
+    "current",
+    "enabled",
+    "observed",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+    "RunManifest",
+    "platform_summary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Tally",
+    "TimeWeighted",
+    "timed",
+    "timed_block",
+    "ToDict",
+    "jsonable",
+    "unjsonable",
+    "read_jsonl",
+    "write_jsonl",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,149 @@
+"""The ambient observability context and its zero-cost-when-off hooks.
+
+One :class:`ObsContext` bundles the :class:`~repro.obs.trace.Tracer`
+and :class:`~repro.obs.metrics.MetricsRegistry` of an observed run.
+Instrumented code everywhere in the stack — the event loop, the
+slowdown manager, the retry policy, the experiment harness — calls the
+module-level hooks (:func:`span`, :func:`inc`, :func:`observe`,
+:func:`set_gauge`) which consult the ambient context:
+
+* **disabled** (the default — no context active): every hook is a
+  near-free no-op (one global read and a ``None`` check), so untraced
+  runs stay byte-identical and within noise of the uninstrumented
+  code;
+* **enabled** (inside ``with observed(...)``): spans and metrics flow
+  into the active context.
+
+Contexts nest; the innermost wins; activation is strictly scoped, so a
+traced experiment cannot leak instrumentation into the next one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+from .trace import Span, Tracer
+
+__all__ = [
+    "ObsContext",
+    "current",
+    "enabled",
+    "observed",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+
+class ObsContext:
+    """Tracer + metrics (+ options) for one observed run."""
+
+    __slots__ = ("tracer", "metrics", "profile_steps")
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        seed: int = 0,
+        profile_steps: bool = False,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(seed=seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Time every event-loop step into the ``sim.step_seconds``
+        #: histogram (opt-in: per-step clock reads are the one hook
+        #: too hot to leave always-on even when observing).
+        self.profile_steps = profile_steps
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Convenience passthrough to the registry's snapshot."""
+        return self.metrics.snapshot()
+
+
+#: The ambient context; ``None`` means observability is off.
+_current: ObsContext | None = None
+
+
+def current() -> ObsContext | None:
+    """The active context, or ``None`` when observability is disabled."""
+    return _current
+
+
+def enabled() -> bool:
+    """True inside a ``with observed(...)`` block."""
+    return _current is not None
+
+
+@contextlib.contextmanager
+def observed(ctx: ObsContext | None = None, **kwargs: Any) -> Iterator[ObsContext]:
+    """Activate *ctx* (or a fresh ``ObsContext(**kwargs)``) for the block.
+
+    Yields the active context; restores the previous one (usually
+    ``None``) on exit, even on error.
+    """
+    global _current
+    active = ctx if ctx is not None else ObsContext(**kwargs)
+    previous = _current
+    _current = active
+    try:
+        yield active
+    finally:
+        _current = previous
+
+
+class _NullSpan:
+    """Do-nothing stand-in yielded by :func:`span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, _key: str, _value: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, kind: str = "", **attributes: Any):
+    """Open a span on the active tracer; a shared no-op when disabled.
+
+    The disabled path allocates nothing: it returns one module-level
+    stateless null object, so instrumented call sites cost a global
+    read, a ``None`` check and a ``with`` frame.
+    """
+    ctx = _current
+    if ctx is None:
+        return _NULL_SPAN
+    return ctx.tracer.span(name, kind, **attributes)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment counter *name* on the active registry (no-op when off)."""
+    ctx = _current
+    if ctx is not None:
+        ctx.metrics.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record *value* into histogram *name* (no-op when off)."""
+    ctx = _current
+    if ctx is not None:
+        ctx.metrics.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* to *value* (no-op when off)."""
+    ctx = _current
+    if ctx is not None:
+        ctx.metrics.gauge(name).set(value)
+
+
+# Re-exported for callers that type-annotate against the yielded span.
+SpanLike = Span | _NullSpan

@@ -1,0 +1,107 @@
+"""Run manifests: the provenance stamp on every result.
+
+A :class:`RunManifest` records everything needed to audit or reproduce
+one experiment/benchmark run — the seed, the platform specification,
+where the calibration came from, and the metric snapshot the run left
+behind. Result objects carry it through
+:meth:`~repro.experiments.report.ExperimentResult.to_dict`, so an
+exported JSON file is self-describing: not just *what* was measured
+but *under which model state*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .._version import __version__
+from .metrics import MetricsSnapshot
+
+__all__ = ["RunManifest", "platform_summary"]
+
+
+def platform_summary(spec: Any) -> dict:
+    """Flatten a platform spec (frozen dataclass) into a plain dict.
+
+    Non-dataclass specs fall back to ``repr`` under a single key, so
+    the manifest never fails on an exotic platform object.
+    """
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        return {"type": type(spec).__name__, **dataclasses.asdict(spec)}
+    return {"type": type(spec).__name__, "repr": repr(spec)}
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one run.
+
+    Attributes
+    ----------
+    experiment:
+        Registry id of the experiment (or benchmark name).
+    seed:
+        Base seed of the run's random streams; ``None`` for fully
+        deterministic drivers.
+    platform:
+        Flattened platform spec (see :func:`platform_summary`).
+    calibration:
+        Calibration provenance — mode, table depths, confidence of the
+        slowdowns that fed the run; free-form but JSON-compatible.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsSnapshot` (usually
+        the diff attributable to this run).
+    trace_id:
+        The tracer identity the run's spans carry, when traced.
+    created_unix:
+        Wall-clock stamp (excluded from equality: re-serialising at a
+        different moment must not make two manifests unequal... it is
+        provenance, not identity).
+    version:
+        The ``repro`` package version that produced the run.
+    extra:
+        Anything driver-specific (sweep parameters, quick flags).
+    """
+
+    experiment: str
+    seed: int | None = None
+    platform: dict = field(default_factory=dict)
+    calibration: dict = field(default_factory=dict)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    trace_id: str = ""
+    created_unix: float = field(default=0.0, compare=False)
+    version: str = __version__
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def stamp(cls, experiment: str, **kwargs: Any) -> "RunManifest":
+        """Build a manifest stamped with the current wall clock."""
+        return cls(experiment=experiment, created_unix=time.time(), **kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "platform": dict(self.platform),
+            "calibration": dict(self.calibration),
+            "metrics": self.metrics.to_dict(),
+            "trace_id": self.trace_id,
+            "created_unix": self.created_unix,
+            "version": self.version,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunManifest":
+        return cls(
+            experiment=payload["experiment"],
+            seed=payload.get("seed"),
+            platform=dict(payload.get("platform", {})),
+            calibration=dict(payload.get("calibration", {})),
+            metrics=MetricsSnapshot.from_dict(payload.get("metrics", {})),
+            trace_id=payload.get("trace_id", ""),
+            created_unix=float(payload.get("created_unix", 0.0)),
+            version=payload.get("version", __version__),
+            extra=dict(payload.get("extra", {})),
+        )

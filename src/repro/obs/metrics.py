@@ -1,0 +1,308 @@
+"""Metric instruments: counters, gauges, histograms and the registry.
+
+Generalises the simulator's measurement instruments into a subsystem
+the whole stack shares: :class:`Tally` and :class:`TimeWeighted` (moved
+here from ``repro.sim.monitors``, which re-exports them unchanged) are
+the streaming accumulators; :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` wrap them under stable names inside a
+:class:`MetricsRegistry`; :meth:`MetricsRegistry.snapshot` freezes a
+run's numbers into a serialisable :class:`MetricsSnapshot`, and
+:meth:`MetricsSnapshot.diff` attributes the change between two
+snapshots to the work in between — the per-run accounting the
+:class:`~repro.obs.manifest.RunManifest` stamps onto results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Tally",
+    "TimeWeighted",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+
+class Tally:
+    """Streaming count/mean/variance of observations (Welford's method)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN with fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    def __repr__(self) -> str:
+        return f"Tally(n={self.count}, mean={self.mean:.6g})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    ``record(t, v)`` declares that the signal takes value *v* from time
+    *t* onward; the time average over ``[t0, horizon]`` is then
+    available from :meth:`average`.
+    """
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._last_t = float(start_time)
+        self._start = float(start_time)
+        self._value = float(initial)
+        self._area = 0.0
+
+    @property
+    def current(self) -> float:
+        """The most recently recorded value."""
+        return self._value
+
+    def record(self, t: float, value: float) -> None:
+        """Set the signal to *value* at time *t* (t must not decrease)."""
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t!r} < {self._last_t!r}")
+        self._area += (t - self._last_t) * self._value
+        self._last_t = t
+        self._value = float(value)
+
+    def average(self, horizon: float) -> float:
+        """Time average over ``[start, horizon]``."""
+        if horizon < self._last_t:
+            raise ValueError("horizon precedes the last recorded change")
+        span = horizon - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + (horizon - self._last_t) * self._value
+        return area / span
+
+
+class Counter:
+    """A monotonically increasing integer (events seen, faults injected)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be >= 0: counters only go up)."""
+        if n < 0:
+            raise ValueError(f"counters only increase, got inc({n!r})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A level that goes up and down (queue depth, registered apps)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value:g})"
+
+
+class Histogram:
+    """A distribution of observations, backed by a :class:`Tally`."""
+
+    __slots__ = ("tally",)
+
+    def __init__(self) -> None:
+        self.tally = Tally()
+
+    def observe(self, value: float) -> None:
+        self.tally.record(value)
+
+    @property
+    def count(self) -> int:
+        return self.tally.count
+
+    @property
+    def mean(self) -> float:
+        return self.tally.mean
+
+    def __repr__(self) -> str:
+        return f"Histogram(n={self.count}, mean={self.mean:.6g})"
+
+
+def _hist_stats(tally: Tally) -> dict[str, float]:
+    return {
+        "count": tally.count,
+        "total": tally.total,
+        "mean": tally.mean,
+        "min": tally.minimum if tally.count else math.nan,
+        "max": tally.maximum if tally.count else math.nan,
+    }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A registry's numbers frozen at one instant.
+
+    ``counters`` map to their cumulative values, ``gauges`` to their
+    current level, ``histograms`` to ``{count, total, mean, min, max}``
+    summaries. Snapshots are cheap value objects: diffable,
+    serialisable, comparable.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Change from *earlier* to this snapshot.
+
+        Counters subtract (a counter absent earlier counts from zero);
+        gauges keep this snapshot's level (a gauge is a state, not a
+        flow); histograms subtract counts and totals, derive the mean
+        of the delta, and report min/max as NaN — the extremes of the
+        in-between observations are not recoverable from summaries.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+        }
+        histograms: dict[str, dict[str, float]] = {}
+        for name, stats in self.histograms.items():
+            before = earlier.histograms.get(
+                name, {"count": 0, "total": 0.0}
+            )
+            dcount = stats["count"] - before["count"]
+            dtotal = stats["total"] - before["total"]
+            histograms[name] = {
+                "count": dcount,
+                "total": dtotal,
+                "mean": dtotal / dcount if dcount else math.nan,
+                "min": math.nan,
+                "max": math.nan,
+            }
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges), histograms=histograms
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsSnapshot":
+        return cls(
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in payload.get("gauges", {}).items()},
+            histograms={
+                k: {s: float(x) if s != "count" else x for s, x in v.items()}
+                for k, v in payload.get("histograms", {}).items()
+            },
+        )
+
+
+class MetricsRegistry:
+    """Named instruments for one observed run.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; a name is bound to exactly one instrument kind (asking
+    for ``counter("x")`` after ``gauge("x")`` is an error — silent
+    type-morphing metrics are how dashboards lie).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other_kind}, cannot rebind as {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_unbound(name, "counter")
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_unbound(name, "gauge")
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_unbound(name, "histogram")
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    def names(self) -> list[str]:
+        """Every bound metric name, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument's current state."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={k: _hist_stats(h.tally) for k, h in self._histograms.items()},
+        )

@@ -1,0 +1,74 @@
+"""Lightweight profiling hooks: ``@timed`` and ``timed_block``.
+
+Both feed a histogram (wall seconds per call) and, optionally, a span
+per call into the ambient :mod:`~repro.obs.context`. When no context
+is active they reduce to the bare function call — one global read and
+a ``None`` check — so decorating a hot path costs nothing in untraced
+runs and never perturbs simulated results (they measure host time,
+which the virtual clock cannot see).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from typing import Any, Callable, Iterator, TypeVar
+
+from . import context as _ctx
+
+__all__ = ["timed", "timed_block"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def timed(name: str | None = None, spans: bool = False) -> Callable[[F], F]:
+    """Decorator: histogram every call's wall time under *name*.
+
+    Parameters
+    ----------
+    name:
+        Metric name; defaults to ``"timed.<qualname>"``.
+    spans:
+        Also emit a span per call (off by default: histograms cost
+        O(1) space, spans O(calls)).
+    """
+
+    def wrap(fn: F) -> F:
+        metric = name or f"timed.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            ctx = _ctx.current()
+            if ctx is None:
+                return fn(*args, **kwargs)
+            if spans:
+                with ctx.tracer.span(metric, kind="profile"):
+                    t0 = time.perf_counter()
+                    try:
+                        return fn(*args, **kwargs)
+                    finally:
+                        ctx.metrics.histogram(metric).observe(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                ctx.metrics.histogram(metric).observe(time.perf_counter() - t0)
+
+        return inner  # type: ignore[return-value]
+
+    return wrap
+
+
+@contextlib.contextmanager
+def timed_block(name: str) -> Iterator[None]:
+    """Histogram the wall time of a ``with`` block under *name*."""
+    ctx = _ctx.current()
+    if ctx is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        ctx.metrics.histogram(name).observe(time.perf_counter() - t0)

@@ -1,0 +1,107 @@
+"""The ``ToDict`` serialization protocol.
+
+Every result-like object in the reproduction — experiment results,
+failure reports, degradation logs, run manifests, trace spans — speaks
+one serialization dialect: ``to_dict()`` produces a plain,
+JSON-compatible dictionary, and the companion ``from_dict()``
+classmethod reconstructs an equal object. The contract:
+
+* ``to_dict()`` returns only JSON types (dict/list/str/int/float/bool/
+  None) — no tuples, enums, numpy scalars or exception objects;
+* ``type(obj).from_dict(obj.to_dict()) == obj`` for every field that
+  participates in equality (fields excluded from ``__eq__``, like a
+  captured exception object, may be flattened to a string);
+* non-finite floats survive the trip (JSON itself cannot carry them,
+  so :func:`jsonable` maps NaN/±inf to sentinel strings and
+  :func:`unjsonable` maps them back).
+
+:func:`write_jsonl` / :func:`read_jsonl` lay sequences of such dicts
+out as JSON-lines files — the trace export format.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "ToDict",
+    "jsonable",
+    "unjsonable",
+    "dumps_line",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Sentinels standing in for the floats JSON cannot represent.
+_NONFINITE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+@runtime_checkable
+class ToDict(Protocol):
+    """Structural type of every serialisable result object."""
+
+    def to_dict(self) -> dict: ...
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert *value* to strict JSON types.
+
+    Tuples become lists, non-finite floats become the strings
+    ``"nan"``/``"inf"``/``"-inf"``, and anything exposing ``to_dict``
+    is expanded. Unknown objects raise ``TypeError`` at ``json.dumps``
+    time rather than being silently stringified.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return "nan" if value != value else ("inf" if value > 0 else "-inf")
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, ToDict) and not isinstance(value, type):
+        return jsonable(value.to_dict())
+    return value
+
+
+def unjsonable(value: Any) -> Any:
+    """Inverse of :func:`jsonable` for the non-finite sentinels.
+
+    Lists stay lists (callers that need tuples convert at their own
+    field boundaries, where the expected shape is known).
+    """
+    if isinstance(value, str) and value in _NONFINITE:
+        return _NONFINITE[value]
+    if isinstance(value, list):
+        return [unjsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: unjsonable(v) for k, v in value.items()}
+    return value
+
+
+def dumps_line(payload: dict) -> str:
+    """One compact JSON-lines record (no newline appended)."""
+    return json.dumps(jsonable(payload), separators=(",", ":"), sort_keys=True)
+
+
+def write_jsonl(path: str | Path, payloads: Iterable[dict]) -> int:
+    """Write *payloads* to *path* as JSON-lines; returns the line count."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with out.open("w", encoding="utf-8") as handle:
+        for payload in payloads:
+            handle.write(dumps_line(payload))
+            handle.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield each non-blank line of *path* as a decoded dict."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield unjsonable(json.loads(line))

@@ -1,0 +1,205 @@
+"""Structured, hierarchical tracing with deterministic span identity.
+
+A :class:`Tracer` produces :class:`Span` records for the stages of an
+observed run — simulations, calibration probes, prediction calls,
+experiment replications, retries. Spans nest via an explicit stack
+(the reproduction is single-threaded by design), and their IDs are
+derived from ``(seed, ordinal)`` rather than a wall clock or a global
+RNG, so two runs of the same seeded experiment produce the *same span
+identities* and traces can be diffed across runs. Wall-clock
+timestamps still vary run to run — identity is deterministic, duration
+is a measurement.
+
+Export is JSON-lines (one span per line, completion order) via
+:meth:`Tracer.write_jsonl`; :meth:`Tracer.read_jsonl` round-trips a
+file back into :class:`Span` objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .serialize import read_jsonl, write_jsonl
+
+__all__ = ["Span", "Tracer"]
+
+
+def _derive_id(seed: int, ordinal: int) -> str:
+    """16-hex-digit ID, a pure function of the tracer seed and ordinal."""
+    digest = hashlib.blake2b(
+        f"{seed}:{ordinal}".encode("ascii"), digest_size=8
+    )
+    return digest.hexdigest()
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of a run.
+
+    Attributes
+    ----------
+    name:
+        What happened, dotted-hierarchical (``"sim.run"``,
+        ``"calibration.probe"``).
+    kind:
+        Coarse stage class used for filtering: ``"sim"``,
+        ``"calibration"``, ``"prediction"``, ``"retry"``,
+        ``"experiment"`` — free-form, those are the conventions.
+    trace_id, span_id, parent_id:
+        Deterministic identity; ``parent_id`` is ``None`` for roots.
+    start, end:
+        Host ``perf_counter`` timestamps (seconds; meaningful as
+        differences within one process).
+    attributes:
+        Free-form JSON-compatible details (``set`` to add).
+    status, error:
+        ``"ok"`` or ``"error"``; *error* carries the exception summary.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    kind: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between enter and exit."""
+        return self.end - self.start
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute (chains)."""
+        self.attributes[key] = value
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Span":
+        return cls(
+            name=payload["name"],
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            kind=payload.get("kind", ""),
+            start=float(payload.get("start", 0.0)),
+            end=float(payload.get("end", 0.0)),
+            attributes=dict(payload.get("attributes", {})),
+            status=payload.get("status", "ok"),
+            error=payload.get("error", ""),
+        )
+
+
+class _SpanContext:
+    """Context manager binding one span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span.start = self._tracer._clock()
+        self._tracer._stack.append(self._span.span_id)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        span = self._span
+        span.end = self._tracer._clock()
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+        stack = self._tracer._stack
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        self._tracer.spans.append(span)
+        return False
+
+
+class Tracer:
+    """Builds nested spans with seed-deterministic identity.
+
+    Parameters
+    ----------
+    seed:
+        Identity seed: span IDs are ``blake2b(seed:ordinal)``, ordinals
+        assigned in span-entry order. Same seed + same execution order
+        ⇒ same IDs.
+    clock:
+        Timestamp source (override in tests for deterministic
+        durations); defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, seed: int = 0, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.seed = int(seed)
+        self.trace_id = _derive_id(self.seed, 0)
+        self._ordinal = 0
+        self._clock = clock
+        self._stack: list[str] = []
+        #: Finished spans, in completion order.
+        self.spans: list[Span] = []
+
+    def span(self, name: str, kind: str = "", **attributes: Any) -> _SpanContext:
+        """Open a child span of whatever span is currently active.
+
+        Use as a context manager; the yielded :class:`Span` accepts
+        further attributes via :meth:`Span.set`. A span that exits with
+        an exception is recorded with ``status="error"`` and the
+        exception propagates.
+        """
+        self._ordinal += 1
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=_derive_id(self.seed, self._ordinal),
+            parent_id=self._stack[-1] if self._stack else None,
+            kind=kind,
+            attributes=dict(attributes),
+        )
+        return _SpanContext(self, span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_kind(self, kind: str) -> list[Span]:
+        """Finished spans of one kind, in completion order."""
+        return [s for s in self.spans if s.kind == kind]
+
+    def roots(self) -> list[Span]:
+        """Finished spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        """Finished direct children of *span*."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Export every finished span as JSON-lines; returns the count."""
+        return write_jsonl(path, (s.to_dict() for s in self.spans))
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[Span]:
+        """Load spans back from a :meth:`write_jsonl` file."""
+        return [Span.from_dict(payload) for payload in read_jsonl(path)]

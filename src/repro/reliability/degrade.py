@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 __all__ = [
     "Confidence",
@@ -117,6 +117,33 @@ class DegradationLog:
     def snapshot(self) -> dict[tuple[str, Confidence], int]:
         """Copy of the raw (source, level) → count table."""
         return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DegradationLog):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def to_dict(self) -> dict:
+        """Serialise through the :class:`~repro.obs.serialize.ToDict` protocol.
+
+        Tuple keys cannot be JSON object keys, so the table flattens to
+        sorted ``[source, level_name, count]`` triples.
+        """
+        return {
+            "counts": [
+                [source, level.name, n]
+                for (source, level), n in sorted(
+                    self._counts.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                )
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DegradationLog":
+        log = cls()
+        for source, level_name, n in payload.get("counts", []):
+            log._counts[(str(source), Confidence[level_name])] = int(n)
+        return log
 
 
 def analytic_comp_slowdown(p: int) -> float:

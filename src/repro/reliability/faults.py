@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from ..errors import ModelError
+from ..obs import context as _obs
 from ..sim.rng import RandomStreams
 
 __all__ = [
@@ -182,6 +183,7 @@ class FaultInjector:
     def count(self, kind: str, increment: int = 1) -> None:
         """Tally *increment* injected faults of *kind*."""
         self.injected[kind] = self.injected.get(kind, 0) + increment
+        _obs.inc(f"faults.{kind}", increment)
 
     @property
     def total_injected(self) -> int:

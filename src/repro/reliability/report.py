@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..errors import DeadlockError, WatchdogError
 
@@ -108,6 +109,37 @@ class FailureReport:
         if self.error is not None and self.outcome is Outcome.ERROR:
             parts.append(f"error: {self.error!r}")
         return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Serialise through the :class:`~repro.obs.serialize.ToDict` protocol.
+
+        The captured exception object cannot survive JSON; it is
+        flattened to its ``repr``. Since :attr:`error` is excluded from
+        equality, ``from_dict(to_dict())`` still reconstructs an equal
+        report.
+        """
+        return {
+            "outcome": self.outcome.value,
+            "sim_time": self.sim_time,
+            "events_processed": self.events_processed,
+            "wall_seconds": self.wall_seconds,
+            "pending": list(self.pending),
+            "pending_count": self.pending_count,
+            "queue_size": self.queue_size,
+            "error": None if self.error is None else repr(self.error),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FailureReport":
+        return cls(
+            outcome=Outcome(payload["outcome"]),
+            sim_time=float(payload["sim_time"]),
+            events_processed=int(payload["events_processed"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            pending=tuple(payload.get("pending", ())),
+            pending_count=int(payload.get("pending_count", 0)),
+            queue_size=int(payload.get("queue_size", 0)),
+        )
 
     @classmethod
     def from_deadlock(

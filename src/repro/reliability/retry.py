@@ -26,6 +26,7 @@ from typing import Any, Callable, TypeVar
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import context as _obs
 
 __all__ = ["retry_with_backoff"]
 
@@ -90,16 +91,23 @@ def retry_with_backoff(
     delay = base_delay
     last_error: BaseException | None = None
     for attempt in range(1, attempts + 1):
-        try:
-            return fn()
-        except retry_on as exc:  # type: ignore[misc]
-            last_error = exc
-            if attempt == attempts:
-                break
-            delay = min(max_delay, float(generator.uniform(base_delay, max(base_delay, delay * multiplier))))
-            if on_retry is not None:
-                on_retry(attempt, delay, exc)
-            if sleep is not None:
-                sleep(delay)
+        with _obs.span("retry.attempt", kind="retry", attempt=attempt, of=attempts) as sp:
+            try:
+                result = fn()
+            except retry_on as exc:  # type: ignore[misc]
+                sp.set("retried", True)
+                _obs.inc("retry.failures")
+                last_error = exc
+            else:
+                _obs.inc("retry.attempts")
+                return result
+        _obs.inc("retry.attempts")
+        if attempt == attempts:
+            break
+        delay = min(max_delay, float(generator.uniform(base_delay, max(base_delay, delay * multiplier))))
+        if on_retry is not None:
+            on_retry(attempt, delay, last_error)
+        if sleep is not None:
+            sleep(delay)
     assert last_error is not None
     raise last_error

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from ..errors import DeadlockError
+from ..obs import context as _obs
 from ..sim.engine import Event, Simulator
 from .report import FailureReport, Outcome
 
@@ -73,6 +74,25 @@ def supervise(
         Always — inspect ``report.ok`` / ``report.outcome``, or call
         ``report.raise_if_failed()`` for exception semantics.
     """
+    with _obs.span("sim.supervise", kind="sim") as sp:
+        result = _supervise_impl(sim, until, until_event, max_events, max_wall_seconds, max_sim_time)
+        sp.set("outcome", result.outcome.name)
+        sp.set("events", result.events_processed)
+        sp.set("sim_time", result.sim_time)
+    _obs.inc("supervise.runs")
+    if not result.ok:
+        _obs.inc("supervise.failures")
+    return result
+
+
+def _supervise_impl(
+    sim: Simulator,
+    until: float | None,
+    until_event: Event | None,
+    max_events: int | None,
+    max_wall_seconds: float | None,
+    max_sim_time: float | None,
+) -> FailureReport:
     t_wall0 = time.monotonic()
     steps = 0
 

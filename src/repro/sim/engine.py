@@ -36,9 +36,11 @@ Example
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
+from ..obs import context as _obs
 
 __all__ = [
     "Event",
@@ -416,6 +418,11 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._processes: list[Process] = []
+        #: Events stepped by this simulator over its lifetime.
+        self.events_processed = 0
+        # Per-step timing sink, bound by run()/run_until() only when an
+        # observability context with profile_steps is active.
+        self._profile_hist = None
 
     # -- event factories ----------------------------------------------------
 
@@ -475,6 +482,8 @@ class Simulator:
         """Process exactly one event (advancing ``now`` to its time)."""
         if not self._heap:
             raise SimulationError("step() called on an empty event queue")
+        prof = self._profile_hist
+        t0 = time.perf_counter() if prof is not None else 0.0
         when, _prio, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
@@ -485,6 +494,9 @@ class Simulator:
         assert callbacks is not None
         for callback in callbacks:
             callback(event)
+        self.events_processed += 1
+        if prof is not None:
+            prof.observe(time.perf_counter() - t0)
         # An event that failed and had nobody waiting for it would
         # silently swallow its exception; surface it instead — unless it
         # is a Process (a detached process may legitimately fail only if
@@ -495,12 +507,41 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties or simulated time reaches *until*.
 
+        When an observability context is active the run is wrapped in a
+        ``sim.run`` span and feeds the ``sim.events`` counter and
+        ``sim.run_seconds`` histogram; with no context the only cost
+        over the bare loop is one ``None`` check.
+
         Raises
         ------
         DeadlockError
             If the queue empties while some started process is still
             alive (waiting on an event that can never fire).
         """
+        ctx = _obs.current()
+        if ctx is None:
+            self._run_impl(until)
+            return
+        with ctx.tracer.span("sim.run", kind="sim") as sp:
+            self._observed_drive(ctx, sp, lambda: self._run_impl(until))
+
+    def _observed_drive(self, ctx, sp, drive: Callable[[], None]) -> None:
+        """Execute *drive* under the active context's instruments."""
+        e0 = self.events_processed
+        t0 = time.perf_counter()
+        if ctx.profile_steps:
+            self._profile_hist = ctx.metrics.histogram("sim.step_seconds")
+        try:
+            drive()
+        finally:
+            self._profile_hist = None
+            stepped = self.events_processed - e0
+            sp.set("events", stepped)
+            sp.set("sim_time", self.now)
+            ctx.metrics.counter("sim.events").inc(stepped)
+            ctx.metrics.histogram("sim.run_seconds").observe(time.perf_counter() - t0)
+
+    def _run_impl(self, until: Optional[float] = None) -> None:
         if until is not None and until < self.now:
             raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
         while self._heap:
@@ -537,6 +578,17 @@ class Simulator:
             Optional wall-of-virtual-time safety limit; exceeded ⇒
             :class:`~repro.errors.DeadlockError`.
         """
+        ctx = _obs.current()
+        if ctx is None:
+            return self._run_until_impl(event, limit)
+        with ctx.tracer.span("sim.run_until", kind="sim") as sp:
+            out: list[Any] = []
+            self._observed_drive(
+                ctx, sp, lambda: out.append(self._run_until_impl(event, limit))
+            )
+            return out[0]
+
+    def _run_until_impl(self, event: Event, limit: float | None = None) -> Any:
         while not event.processed:
             if not self._heap:
                 raise DeadlockError(

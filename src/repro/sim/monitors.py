@@ -4,100 +4,22 @@ These are the reproduction's "stopwatches and strip charts": simple
 accumulators that applications and platforms feed while running, from
 which experiments extract the numbers the paper reports (elapsed times,
 busy fractions, serial/parallel/idle breakdowns for Figure 2).
+
+The scalar accumulators :class:`Tally` and :class:`TimeWeighted` now
+live in :mod:`repro.obs.metrics` — the observability subsystem
+generalises them into named counters/gauges/histograms with snapshots
+and diffing — and are re-exported here unchanged for every existing
+import site.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
+
+from ..obs.metrics import Tally, TimeWeighted
 
 __all__ = ["Tally", "TimeWeighted", "Timeline", "Interval"]
-
-
-class Tally:
-    """Streaming count/mean/variance of observations (Welford's method)."""
-
-    def __init__(self) -> None:
-        self.count = 0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
-        self.total = 0.0
-
-    def record(self, value: float) -> None:
-        """Add one observation."""
-        value = float(value)
-        self.count += 1
-        self.total += value
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-
-    def extend(self, values: Iterable[float]) -> None:
-        """Add many observations."""
-        for v in values:
-            self.record(v)
-
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean of the observations (NaN when empty)."""
-        return self._mean if self.count else math.nan
-
-    @property
-    def variance(self) -> float:
-        """Sample variance (ddof=1); NaN with fewer than two samples."""
-        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
-
-    @property
-    def std(self) -> float:
-        """Sample standard deviation."""
-        v = self.variance
-        return math.sqrt(v) if v == v else math.nan
-
-    def __repr__(self) -> str:
-        return f"Tally(n={self.count}, mean={self.mean:.6g})"
-
-
-class TimeWeighted:
-    """Time-weighted average of a piecewise-constant signal.
-
-    ``record(t, v)`` declares that the signal takes value *v* from time
-    *t* onward; the time average over ``[t0, horizon]`` is then
-    available from :meth:`average`.
-    """
-
-    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
-        self._last_t = float(start_time)
-        self._start = float(start_time)
-        self._value = float(initial)
-        self._area = 0.0
-
-    @property
-    def current(self) -> float:
-        """The most recently recorded value."""
-        return self._value
-
-    def record(self, t: float, value: float) -> None:
-        """Set the signal to *value* at time *t* (t must not decrease)."""
-        if t < self._last_t:
-            raise ValueError(f"time went backwards: {t!r} < {self._last_t!r}")
-        self._area += (t - self._last_t) * self._value
-        self._last_t = t
-        self._value = float(value)
-
-    def average(self, horizon: float) -> float:
-        """Time average over ``[start, horizon]``."""
-        if horizon < self._last_t:
-            raise ValueError("horizon precedes the last recorded change")
-        span = horizon - self._start
-        if span <= 0:
-            return self._value
-        area = self._area + (horizon - self._last_t) * self._value
-        return area / span
 
 
 @dataclass(frozen=True)

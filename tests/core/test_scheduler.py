@@ -99,7 +99,7 @@ class TestSearch:
         assert costs == sorted(costs)
 
     def test_best_agrees_with_rank(self):
-        assert best_mapping(paper_problem()) == rank_mappings(paper_problem())[0]
+        assert best_mapping(paper_problem()).result == rank_mappings(paper_problem())[0]
 
     def test_search_space_guard(self):
         prob = MappingProblem(

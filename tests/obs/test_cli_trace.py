@@ -1,0 +1,46 @@
+"""End-to-end: the CLI's ``--trace`` flag emits a valid JSON-lines trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import main
+from repro.obs import Tracer
+from repro.obs import context as obs
+
+
+def test_trace_flag_writes_spans(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["chaos", "--quick", "--trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote" in out and str(path) in out
+
+    # Every line is standalone JSON and round-trips into Span objects.
+    lines = path.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        json.loads(line)
+    spans = Tracer.read_jsonl(path)
+    assert len(spans) == len(lines)
+
+    # "calibration" also appears in a fresh process; inside the test
+    # suite the session-scoped calibration cache may already be warm.
+    kinds = {s.kind for s in spans}
+    assert {"sim", "prediction", "retry", "experiment"} <= kinds
+    names = {s.name for s in spans}
+    assert "experiment.chaos" in names
+    assert "experiment.replication" in names
+
+    # One root per experiment run; everything else hangs off it.
+    roots = [s for s in spans if s.parent_id is None]
+    assert [s.name for s in roots] == ["experiment.chaos"]
+    ids = {s.span_id for s in spans}
+    assert all(s.parent_id in ids for s in spans if s.parent_id is not None)
+
+    # The flag's observation is strictly scoped: nothing leaks after main().
+    assert obs.current() is None
+
+
+def test_untraced_cli_run_leaves_no_context(capsys):
+    assert main(["fig2", "--quick"]) == 0
+    assert obs.current() is None

@@ -1,0 +1,132 @@
+"""Ambient context activation, no-op hooks, and profiling helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ObsContext, observed, timed, timed_block
+from repro.obs import context as obs
+from repro.sim.engine import Simulator
+
+
+class TestDisabled:
+    def test_hooks_are_noops_without_context(self):
+        assert obs.current() is None
+        assert not obs.enabled()
+        # None of these may raise or allocate per-call state.
+        obs.inc("x")
+        obs.observe("h", 1.0)
+        obs.set_gauge("g", 2.0)
+        with obs.span("anything", kind="sim") as sp:
+            sp.set("k", "v")  # chains on the null span too
+
+    def test_null_span_is_shared_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_timed_reduces_to_bare_call(self):
+        calls = []
+
+        @timed("m")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6
+        assert calls == [3]
+
+    def test_timed_block_passthrough(self):
+        with timed_block("m"):
+            pass
+
+
+class TestEnabled:
+    def test_observed_activates_and_restores(self):
+        assert obs.current() is None
+        with observed(seed=1) as ctx:
+            assert obs.current() is ctx
+            assert obs.enabled()
+        assert obs.current() is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with observed():
+                raise RuntimeError
+        assert obs.current() is None
+
+    def test_contexts_nest_innermost_wins(self):
+        with observed(seed=1) as outer:
+            with observed(seed=2) as inner:
+                assert obs.current() is inner
+                obs.inc("only.inner")
+            assert obs.current() is outer
+        assert outer.metrics.snapshot().counters == {}
+        assert inner.metrics.snapshot().counters == {"only.inner": 1}
+
+    def test_explicit_context_object(self):
+        ctx = ObsContext(seed=5)
+        with observed(ctx) as active:
+            assert active is ctx
+
+    def test_hooks_flow_into_active_context(self):
+        with observed() as ctx:
+            obs.inc("c", 2)
+            obs.observe("h", 3.0)
+            obs.set_gauge("g", 4.0)
+            with obs.span("stage", kind="sim") as sp:
+                sp.set("n", 1)
+        snap = ctx.snapshot()
+        assert snap.counters == {"c": 2}
+        assert snap.gauges == {"g": 4.0}
+        assert snap.histograms["h"]["count"] == 1
+        assert [s.name for s in ctx.tracer.spans] == ["stage"]
+
+    def test_timed_records_histogram(self):
+        @timed("fn.seconds")
+        def fn():
+            return 1
+
+        with observed() as ctx:
+            fn()
+            fn()
+        assert ctx.metrics.histogram("fn.seconds").count == 2
+
+    def test_timed_with_spans(self):
+        @timed("fn.seconds", spans=True)
+        def fn():
+            return 1
+
+        with observed() as ctx:
+            fn()
+        assert ctx.metrics.histogram("fn.seconds").count == 1
+        assert [s.kind for s in ctx.tracer.spans] == ["profile"]
+
+    def test_timed_block_records(self):
+        with observed() as ctx:
+            with timed_block("blk"):
+                pass
+        assert ctx.metrics.histogram("blk").count == 1
+
+
+class TestDeterminism:
+    """Observing a run must not change simulated results."""
+
+    def _drive(self):
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield sim.timeout(0.5)
+
+        sim.process(ticker(sim, 100))
+        sim.run()
+        return sim.now
+
+    def test_traced_run_matches_untraced(self):
+        untraced = self._drive()
+        with observed(profile_steps=True) as ctx:
+            traced = self._drive()
+        assert traced == untraced
+        assert ctx.metrics.counter("sim.events").value > 0
+        assert ctx.tracer.by_kind("sim")
+        # profile_steps feeds the per-step histogram.
+        assert ctx.metrics.histogram("sim.step_seconds").count > 0

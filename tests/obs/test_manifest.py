@@ -1,0 +1,135 @@
+"""RunManifest stamping, platform summaries, and ToDict round-trips.
+
+Also the cross-module round-trip contracts: every result-like object in
+the stack speaks the same ``to_dict``/``from_dict`` dialect.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import DeadlockError
+from repro.experiments.report import ExperimentResult
+from repro.obs import MetricsSnapshot, RunManifest, platform_summary
+from repro.obs.serialize import ToDict, jsonable
+from repro.platforms.specs import DEFAULT_SUNPARAGON
+from repro.reliability.degrade import Confidence, DegradationLog
+from repro.reliability.report import FailureReport, Outcome
+
+
+class TestPlatformSummary:
+    def test_dataclass_spec_flattens(self):
+        summary = platform_summary(DEFAULT_SUNPARAGON)
+        assert summary["type"] == "SunParagonSpec"
+        assert "frontend" in summary or len(summary) > 1
+        json.dumps(jsonable(summary))  # JSON-compatible throughout
+
+    def test_exotic_object_falls_back_to_repr(self):
+        summary = platform_summary(object())
+        assert summary["type"] == "object"
+        assert "repr" in summary
+
+
+class TestRunManifest:
+    def _manifest(self):
+        return RunManifest.stamp(
+            experiment="chaos",
+            seed=23,
+            platform=platform_summary(DEFAULT_SUNPARAGON),
+            calibration={"mode": "paragon", "confidence": "CALIBRATED"},
+            metrics=MetricsSnapshot(counters={"sim.events": 10}),
+            trace_id="abcd",
+            extra={"quick": True},
+        )
+
+    def test_stamp_sets_wall_clock_and_version(self):
+        m = self._manifest()
+        assert m.created_unix > 0
+        assert m.version
+
+    def test_round_trip_equality(self):
+        m = self._manifest()
+        assert RunManifest.from_dict(m.to_dict()) == m
+
+    def test_created_unix_excluded_from_equality(self):
+        m = self._manifest()
+        payload = m.to_dict()
+        payload["created_unix"] = 0.0
+        assert RunManifest.from_dict(payload) == m
+
+    def test_manifest_is_jsonable(self):
+        line = json.dumps(jsonable(self._manifest().to_dict()))
+        assert RunManifest.from_dict(json.loads(line)).experiment == "chaos"
+
+    def test_speaks_todict_protocol(self):
+        assert isinstance(self._manifest(), ToDict)
+        assert isinstance(MetricsSnapshot(), ToDict)
+
+
+class TestFailureReportRoundTrip:
+    def test_clean_report(self):
+        report = FailureReport(
+            outcome=Outcome.COMPLETED,
+            sim_time=4.5,
+            events_processed=100,
+            wall_seconds=0.01,
+        )
+        assert FailureReport.from_dict(report.to_dict()) == report
+
+    def test_error_flattened_to_repr(self):
+        exc = DeadlockError("stuck", sim_time=1.0, pending=("p",), pending_count=1)
+        report = FailureReport.from_deadlock(exc, events_processed=5, wall_seconds=0.1)
+        payload = report.to_dict()
+        assert payload["outcome"] == "deadlock"
+        assert isinstance(payload["error"], str)
+        # error is compare=False, so the trip still reconstructs equal.
+        assert FailureReport.from_dict(payload) == report
+        json.dumps(jsonable(payload))
+
+
+class TestExperimentResultRoundTrip:
+    def test_with_manifest_and_nonfinite_cells(self):
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            headers=("n", "value"),
+            rows=[(1, 2.5), (2, float("nan")), (3, float("inf"))],
+            metrics={"err": float("nan"), "ok": 1.0},
+            paper_claim="claim",
+            notes="note",
+            manifest=RunManifest.stamp(experiment="figX", seed=1),
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = ExperimentResult.from_dict(payload)
+        assert back.experiment == result.experiment
+        assert back.headers == result.headers
+        assert back.rows[0] == (1, 2.5)
+        assert back.rows[1][1] != back.rows[1][1]  # NaN survived
+        assert back.rows[2][1] == float("inf")
+        assert back.metrics["ok"] == 1.0
+        assert back.manifest == result.manifest
+
+    def test_without_manifest(self):
+        result = ExperimentResult(
+            experiment="figY", title="t", headers=("a",), rows=[(1,)]
+        )
+        back = ExperimentResult.from_dict(result.to_dict())
+        assert back.manifest is None
+        assert back.rows == [(1,)]
+
+
+class TestDegradationLogRoundTrip:
+    def test_empty(self):
+        log = DegradationLog()
+        assert DegradationLog.from_dict(log.to_dict()) == log
+
+    def test_populated(self):
+        log = DegradationLog()
+        log.record("comp", Confidence.ANALYTIC)
+        log.record("comp", Confidence.ANALYTIC)
+        log.record("comm", Confidence.EXTRAPOLATED)
+        back = DegradationLog.from_dict(log.to_dict())
+        assert back == log
+        assert back.total == 3
+        assert back.by_level() == {Confidence.ANALYTIC: 2, Confidence.EXTRAPOLATED: 1}
+        json.dumps(log.to_dict())

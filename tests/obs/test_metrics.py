@@ -1,0 +1,173 @@
+"""Metric instruments, the registry, and snapshot/diff semantics.
+
+Includes the ``repro.sim.monitors`` edge cases exercised *through the
+shim*: the simulator's ``Tally``/``TimeWeighted`` now live in
+``repro.obs.metrics`` and ``monitors`` re-exports them, so these tests
+pin both the behaviour and the aliasing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tally,
+    TimeWeighted,
+)
+
+
+class TestMonitorsShim:
+    """The moved accumulators stay importable from their old home."""
+
+    def test_monitors_reexports_same_classes(self):
+        from repro.sim import monitors
+
+        assert monitors.Tally is Tally
+        assert monitors.TimeWeighted is TimeWeighted
+
+    def test_empty_tally_mean_and_variance_are_nan(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+        assert math.isnan(t.std)
+
+    def test_single_sample_variance_is_nan(self):
+        t = Tally()
+        t.record(3.0)
+        assert t.mean == 3.0
+        assert math.isnan(t.variance)
+
+    def test_tally_statistics(self):
+        t = Tally()
+        t.extend([1.0, 2.0, 3.0, 4.0])
+        assert t.count == 4
+        assert t.mean == pytest.approx(2.5)
+        assert t.variance == pytest.approx(5.0 / 3.0)
+        assert t.minimum == 1.0
+        assert t.maximum == 4.0
+        assert t.total == 10.0
+
+    def test_time_weighted_zero_elapsed_returns_current(self):
+        tw = TimeWeighted(start_time=5.0, initial=2.0)
+        assert tw.average(5.0) == 2.0
+
+    def test_time_weighted_average(self):
+        tw = TimeWeighted()
+        tw.record(1.0, 10.0)  # 0 on [0,1), 10 on [1,3)
+        assert tw.average(3.0) == pytest.approx(20.0 / 3.0)
+        assert tw.current == 10.0
+
+    def test_time_weighted_rejects_time_reversal(self):
+        tw = TimeWeighted()
+        tw.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.record(1.0, 1.0)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge()
+        g.set(3.0)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+    def test_histogram_wraps_tally(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.count == 2
+        assert h.mean == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+        assert reg.names() == ["x", "y", "z"]
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.histogram("x")
+
+    def test_snapshot_freezes_values(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(7)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat").observe(1.0)
+        snap = reg.snapshot()
+        reg.counter("events").inc(100)  # after the snapshot
+        assert snap.counters == {"events": 7}
+        assert snap.gauges == {"depth": 2.0}
+        assert snap.histograms["lat"]["count"] == 1
+        assert snap.histograms["lat"]["mean"] == 1.0
+
+    def test_empty_histogram_snapshot_has_nan_extremes(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        stats = reg.snapshot().histograms["lat"]
+        assert stats["count"] == 0
+        assert math.isnan(stats["mean"])
+        assert math.isnan(stats["min"])
+        assert math.isnan(stats["max"])
+
+
+class TestSnapshotDiff:
+    def test_counters_subtract(self):
+        before = MetricsSnapshot(counters={"a": 3})
+        after = MetricsSnapshot(counters={"a": 10, "b": 2})
+        d = after.diff(before)
+        assert d.counters == {"a": 7, "b": 2}
+
+    def test_gauges_keep_later_level(self):
+        before = MetricsSnapshot(gauges={"g": 5.0})
+        after = MetricsSnapshot(gauges={"g": 2.0})
+        assert after.diff(before).gauges == {"g": 2.0}
+
+    def test_histograms_subtract_counts_and_totals(self):
+        before = MetricsSnapshot(
+            histograms={"h": {"count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0}}
+        )
+        after = MetricsSnapshot(
+            histograms={"h": {"count": 5, "total": 19.0, "mean": 3.8, "min": 1.0, "max": 9.0}}
+        )
+        d = after.diff(before).histograms["h"]
+        assert d["count"] == 3
+        assert d["total"] == 15.0
+        assert d["mean"] == pytest.approx(5.0)
+        assert math.isnan(d["min"]) and math.isnan(d["max"])
+
+    def test_empty_delta_mean_is_nan(self):
+        snap = MetricsSnapshot(
+            histograms={"h": {"count": 1, "total": 2.0, "mean": 2.0, "min": 2.0, "max": 2.0}}
+        )
+        assert math.isnan(snap.diff(snap).histograms["h"]["mean"])
+
+    def test_to_from_dict_round_trip(self):
+        snap = MetricsSnapshot(
+            counters={"a": 3},
+            gauges={"g": 1.5},
+            histograms={"h": {"count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0}},
+        )
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap

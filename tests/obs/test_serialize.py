@@ -1,0 +1,87 @@
+"""The ToDict protocol and the JSON-lines substrate."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.serialize import (
+    ToDict,
+    dumps_line,
+    jsonable,
+    read_jsonl,
+    unjsonable,
+    write_jsonl,
+)
+
+
+class TestJsonable:
+    def test_tuples_become_lists(self):
+        assert jsonable((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+    def test_nonfinite_floats_become_sentinels(self):
+        assert jsonable(math.nan) == "nan"
+        assert jsonable(math.inf) == "inf"
+        assert jsonable(-math.inf) == "-inf"
+
+    def test_finite_floats_pass_through(self):
+        assert jsonable(1.5) == 1.5
+        assert jsonable(0.0) == 0.0
+
+    def test_dict_keys_stringified(self):
+        assert jsonable({1: "a"}) == {"1": "a"}
+
+    def test_to_dict_objects_expanded(self):
+        class Box:
+            def to_dict(self):
+                return {"x": (1, math.nan)}
+
+        assert isinstance(Box(), ToDict)
+        assert jsonable(Box()) == {"x": [1, "nan"]}
+
+    def test_unjsonable_inverts_sentinels(self):
+        out = unjsonable({"a": "nan", "b": ["inf", "-inf", "plain"]})
+        assert out["a"] != out["a"]  # NaN
+        assert out["b"][0] == math.inf
+        assert out["b"][1] == -math.inf
+        assert out["b"][2] == "plain"
+
+    def test_round_trip_preserves_structure(self):
+        payload = {"rows": [[1.0, math.inf], [2.0, 3.0]], "name": "x"}
+        back = unjsonable(json.loads(dumps_line(payload)))
+        assert back == {"rows": [[1.0, math.inf], [2.0, 3.0]], "name": "x"}
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        payloads = [{"a": 1}, {"b": math.nan}, {"c": [1, 2]}]
+        assert write_jsonl(path, payloads) == 3
+        back = list(read_jsonl(path))
+        assert back[0] == {"a": 1}
+        assert back[1]["b"] != back[1]["b"]  # NaN survived
+        assert back[2] == {"c": [1, 2]}
+
+    def test_one_line_per_payload(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_jsonl(path, [{"a": 1}, {"b": 2}])
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # each line is standalone valid JSON
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"a":1}\n\n{"b":2}\n')
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "out.jsonl"
+        assert write_jsonl(path, [{"a": 1}]) == 1
+        assert path.exists()
+
+    def test_unknown_objects_raise(self, tmp_path):
+        with pytest.raises(TypeError):
+            dumps_line({"bad": object()})

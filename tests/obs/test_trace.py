@@ -1,0 +1,133 @@
+"""Tracer: deterministic identity, nesting, errors, JSONL export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+
+
+def _fake_clock():
+    t = [0.0]
+
+    def tick():
+        t[0] += 1.0
+        return t[0]
+
+    return tick
+
+
+class TestIdentity:
+    def test_same_seed_same_ids(self):
+        def run(seed):
+            tr = Tracer(seed=seed)
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    pass
+            return [(s.name, s.span_id, s.parent_id, s.trace_id) for s in tr.spans]
+
+        assert run(42) == run(42)
+
+    def test_different_seed_different_ids(self):
+        a, b = Tracer(seed=1), Tracer(seed=2)
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        assert a.spans[0].span_id != b.spans[0].span_id
+        assert a.trace_id != b.trace_id
+
+    def test_ids_are_16_hex_digits(self):
+        tr = Tracer(seed=0)
+        with tr.span("x"):
+            pass
+        assert len(tr.trace_id) == 16
+        int(tr.spans[0].span_id, 16)
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner"):
+                pass
+        inner_span, outer_span = tr.spans  # completion order: inner first
+        assert inner_span.name == "inner"
+        assert inner_span.parent_id == outer.span_id
+        assert outer_span.parent_id is None
+        assert tr.roots() == [outer_span]
+        assert tr.children(outer_span) == [inner_span]
+
+    def test_siblings_share_parent(self):
+        tr = Tracer()
+        with tr.span("root") as root:
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        a, b = tr.spans[0], tr.spans[1]
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_by_kind_filters(self):
+        tr = Tracer()
+        with tr.span("s", kind="sim"):
+            pass
+        with tr.span("p", kind="prediction"):
+            pass
+        assert [s.name for s in tr.by_kind("sim")] == ["s"]
+        assert [s.name for s in tr.by_kind("prediction")] == ["p"]
+        assert tr.by_kind("nope") == []
+        assert len(tr) == 2
+
+
+class TestLifecycle:
+    def test_durations_from_injected_clock(self):
+        tr = Tracer(clock=_fake_clock())
+        with tr.span("x"):
+            pass
+        span = tr.spans[0]
+        assert span.start == 1.0 and span.end == 2.0
+        assert span.duration == 1.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tr = Tracer()
+        with tr.span("x", kind="sim", n=3) as sp:
+            sp.set("outcome", "ok").set("events", 7)
+        assert tr.spans[0].attributes == {"n": 3, "outcome": "ok", "events": 7}
+
+    def test_error_status_and_propagation(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tr.span("x"):
+                raise RuntimeError("boom")
+        span = tr.spans[0]
+        assert span.status == "error"
+        assert span.error == "RuntimeError: boom"
+        assert span.end >= span.start
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = Tracer(seed=9, clock=_fake_clock())
+        with tr.span("outer", kind="experiment", quick=True):
+            with tr.span("inner", kind="sim") as sp:
+                sp.set("events", 12)
+        path = tmp_path / "trace.jsonl"
+        assert tr.write_jsonl(path) == 2
+        back = Tracer.read_jsonl(path)
+        assert back == tr.spans
+
+    def test_span_to_from_dict(self):
+        span = Span(
+            name="x",
+            trace_id="t",
+            span_id="s",
+            parent_id="p",
+            kind="retry",
+            start=1.0,
+            end=2.5,
+            attributes={"attempt": 1},
+            status="error",
+            error="ValueError: nope",
+        )
+        assert Span.from_dict(span.to_dict()) == span

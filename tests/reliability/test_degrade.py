@@ -138,30 +138,39 @@ class TestTaggedPrediction:
     def test_matches_untagged_decision(self):
         comp = TaggedSlowdown(2.0, Confidence.CALIBRATED)
         comm = TaggedSlowdown(1.5, Confidence.CALIBRATED)
-        tagged = decide_placement_tagged(3.0, self.COSTS, 0.4, 0.4, comp, comm)
+        tagged = decide_placement(3.0, self.COSTS, 0.4, 0.4, comp, comm)
         plain = decide_placement(3.0, self.COSTS, 0.4, 0.4, 2.0, 1.5)
-        assert tagged.prediction == plain
+        assert tagged.prediction == plain.prediction
         assert tagged.confidence is Confidence.CALIBRATED
+        assert plain.confidence is Confidence.CALIBRATED  # bare floats are asserted
         assert tagged.offload == plain.offload
         assert tagged.best_time == plain.best_time
 
     def test_confidence_is_weakest_input(self):
         comp = TaggedSlowdown(2.0, Confidence.CALIBRATED)
         comm = TaggedSlowdown(1.5, Confidence.ANALYTIC)
-        tagged = decide_placement_tagged(3.0, self.COSTS, 0.4, 0.4, comp, comm)
+        tagged = decide_placement(3.0, self.COSTS, 0.4, 0.4, comp, comm)
         assert tagged.confidence is Confidence.ANALYTIC
 
     def test_backend_serial_override_counts(self):
         comp = TaggedSlowdown(2.0, Confidence.CALIBRATED)
         comm = TaggedSlowdown(1.5, Confidence.CALIBRATED)
         serial = TaggedSlowdown(4.0, Confidence.EXTRAPOLATED)
-        tagged = decide_placement_tagged(
+        tagged = decide_placement(
             3.0, self.COSTS, 0.4, 0.4, comp, comm, backend_serial_slowdown=serial
         )
         assert tagged.confidence is Confidence.EXTRAPOLATED
         assert tagged.prediction.t_backend == pytest.approx(
             max(1.2, 0.6 * 4.0)
         )
+
+    def test_deprecated_alias_warns_and_agrees(self):
+        comp = TaggedSlowdown(2.0, Confidence.CALIBRATED)
+        comm = TaggedSlowdown(1.5, Confidence.EXTRAPOLATED)
+        with pytest.warns(DeprecationWarning):
+            old = decide_placement_tagged(3.0, self.COSTS, 0.4, 0.4, comp, comm)
+        new = decide_placement(3.0, self.COSTS, 0.4, 0.4, comp, comm)
+        assert old == new
 
 
 class TestTaggedMapping:
@@ -173,19 +182,20 @@ class TestTaggedMapping:
     )
 
     def test_matches_untagged_search(self):
-        tagged = best_mapping_tagged(
+        tagged = best_mapping(
             self.PROBLEM,
             {"m1": TaggedSlowdown(3.0, Confidence.CALIBRATED)},
             TaggedSlowdown(1.0, Confidence.CALIBRATED),
         )
         plain = best_mapping(self.PROBLEM.with_slowdowns({"m1": 3.0}, 1.0))
-        assert tagged.result == plain
+        assert tagged.result == plain.result
         assert tagged.assignment == plain.assignment
         assert tagged.elapsed == plain.elapsed
         assert tagged.confidence is Confidence.CALIBRATED
+        assert plain.confidence is Confidence.CALIBRATED
 
     def test_analytic_inputs_still_rank(self):
-        tagged = best_mapping_tagged(
+        tagged = best_mapping(
             self.PROBLEM,
             {
                 "m1": TaggedSlowdown(analytic_comp_slowdown(2), Confidence.ANALYTIC),
@@ -196,7 +206,7 @@ class TestTaggedMapping:
         assert tagged.assignment  # a ranking was produced regardless
 
     def test_per_pair_comm_slowdowns(self):
-        tagged = best_mapping_tagged(
+        tagged = best_mapping(
             self.PROBLEM,
             {"m1": TaggedSlowdown(1.0, Confidence.CALIBRATED)},
             {
@@ -205,3 +215,9 @@ class TestTaggedMapping:
             },
         )
         assert tagged.confidence is Confidence.EXTRAPOLATED
+
+    def test_deprecated_alias_warns_and_agrees(self):
+        slowdowns = {"m1": TaggedSlowdown(3.0, Confidence.EXTRAPOLATED)}
+        with pytest.warns(DeprecationWarning):
+            old = best_mapping_tagged(self.PROBLEM, slowdowns)
+        assert old == best_mapping(self.PROBLEM, slowdowns)
