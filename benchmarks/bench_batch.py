@@ -1,0 +1,58 @@
+"""Benchmarks for the vectorized prediction kernels (`repro.core.batch`).
+
+The headline acceptance number for the batch API: scoring a 10k-point
+candidate grid through :func:`repro.core.batch.decide_placement_batch`
+must beat a scalar :func:`repro.core.prediction.decide_placement` loop
+by >= 10x. Both sides are benchmarked here so the ratio is visible in
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import placement_grid
+from repro.core.prediction import BackendTaskCosts, decide_placement
+
+GRID = 10_000
+
+
+def _grid_arrays():
+    rng = np.random.default_rng(12345)
+    return {
+        "dcomp_frontend": rng.uniform(0.5, 5.0, GRID),
+        "backend_dcomp": rng.uniform(0.1, 2.0, GRID),
+        "backend_didle": rng.uniform(0.0, 0.5, GRID),
+        "backend_dserial": rng.uniform(0.05, 1.0, GRID),
+        "dcomm_out": rng.uniform(0.01, 0.5, GRID),
+        "dcomm_in": rng.uniform(0.01, 0.5, GRID),
+    }
+
+
+def test_placement_grid_batch(benchmark):
+    arrays = _grid_arrays()
+
+    def run():
+        grid = placement_grid(comp_slowdown=3.0, comm_slowdown=2.0, **arrays)
+        return grid.best_time.sum()
+
+    benchmark(run)
+
+
+def test_placement_scalar_loop(benchmark):
+    arrays = _grid_arrays()
+    columns = list(zip(*(arrays[key].tolist() for key in sorted(arrays))))
+
+    def run():
+        total = 0.0
+        for backend_dcomp, backend_didle, backend_dserial, dcomm_in, dcomm_out, dcomp in columns:
+            costs = BackendTaskCosts(
+                dcomp=backend_dcomp, didle=backend_didle, dserial=backend_dserial
+            )
+            placement = decide_placement(
+                dcomp, costs, dcomm_out, dcomm_in, comp_slowdown=3.0, comm_slowdown=2.0
+            )
+            total += placement.prediction.best_time
+        return total
+
+    benchmark(run)

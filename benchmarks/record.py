@@ -1,0 +1,99 @@
+"""Run the benchmark suite and record per-benchmark statistics.
+
+Thin driver around ``pytest-benchmark``: it runs a benchmark selection
+(default: every ``bench_*.py`` in this directory) with
+``--benchmark-json``, then reduces the raw report to a stable summary —
+per-benchmark mean/stddev/min/max/median seconds and round counts,
+plus the machine info pytest-benchmark captured — and writes it as
+JSON (default ``BENCH_perf.json`` in the repository root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--out FILE] [selection ...]
+
+where ``selection`` is any pytest node selection (files, directories,
+``-k`` comes through ``--`` free-form args are *not* supported — pass
+file paths). ``scripts/bench.sh`` is the canonical entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["summarize", "main"]
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce a pytest-benchmark JSON report to the recorded summary."""
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks[bench["name"]] = {
+            "mean_s": stats.get("mean"),
+            "stddev_s": stats.get("stddev"),
+            "min_s": stats.get("min"),
+            "max_s": stats.get("max"),
+            "median_s": stats.get("median"),
+            "rounds": stats.get("rounds"),
+        }
+    return {
+        "datetime": raw.get("datetime"),
+        "machine_info": {
+            key: raw.get("machine_info", {}).get(key)
+            for key in ("node", "processor", "machine", "python_version", "cpu")
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and write a BENCH_perf.json summary."
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="summary output path (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "selection",
+        nargs="*",
+        help="pytest selection (default: the benchmarks/ directory)",
+    )
+    args = parser.parse_args(argv)
+
+    selection = args.selection or [str(Path(__file__).resolve().parent)]
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = Path(handle.name)
+    try:
+        code = subprocess.call(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                *selection,
+                "-q",
+                "--benchmark-only",
+                f"--benchmark-json={raw_path}",
+            ]
+        )
+        if code != 0:
+            return code
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+    summary = summarize(raw)
+    out = Path(args.out)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(summary['benchmarks'])} benchmark records to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

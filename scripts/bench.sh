@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Performance job: run the pytest-benchmark suite and record
+# per-benchmark mean/stddev to BENCH_perf.json (repository root).
+#
+# Usage: scripts/bench.sh [pytest selection ...]
+#   e.g. scripts/bench.sh benchmarks/bench_simulator.py benchmarks/bench_batch.py
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python benchmarks/record.py --out BENCH_perf.json "$@"

@@ -18,6 +18,24 @@ fi
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== parallel determinism =="
+python - <<'EOF'
+from repro.experiments.runner import repeat_mean
+from repro.sim.rng import RandomStreams
+
+
+def draw(streams: RandomStreams) -> float:
+    return float(streams.get("x").random())
+
+
+serial = repeat_mean(draw, repetitions=8, seed=97, workers=1)
+parallel = repeat_mean(draw, repetitions=8, seed=97, workers=2)
+assert parallel.values == serial.values, (
+    f"parallel map changed values: {parallel.values} != {serial.values}"
+)
+print(f"ok: workers=2 bit-identical to serial over {serial.n} replications")
+EOF
+
 echo "== traced chaos run =="
 trace="$(mktemp -t chaos-trace.XXXXXX.jsonl)"
 trap 'rm -f "$trace"' EXIT

@@ -14,6 +14,20 @@ from .calibration import (
     fit_piecewise,
     relative_delays,
 )
+from .batch import (
+    PlacementGrid,
+    backend_times,
+    cm2_slowdowns,
+    comm_costs,
+    decide_placement_batch,
+    fragmented_message_times,
+    frontend_times,
+    linear_message_times,
+    message_times,
+    mixed_times,
+    piecewise_message_times,
+    placement_grid,
+)
 from .commcost import dedicated_comm_cost, dedicated_dataset_cost, dedicated_pattern_cost
 from .dag import TaskGraph, critical_path_bound, eft_mapping, evaluate_dag_mapping
 from .measurement import TagUsage, UsageMonitor
@@ -74,6 +88,7 @@ __all__ = [
     "MappingProblem",
     "MappingResult",
     "PiecewiseCommParams",
+    "PlacementGrid",
     "PlacementPrediction",
     "SMALL_MESSAGE_CUTOFF",
     "SizedDelayTable",
@@ -85,14 +100,18 @@ __all__ = [
     "eft_mapping",
     "evaluate_dag_mapping",
     "add_application",
+    "backend_times",
     "best_mapping",
     "best_mapping_tagged",
     "build_delay_table",
     "build_sized_delay_table",
     "cm2_slowdown",
+    "cm2_slowdowns",
     "comm_comp_distributions",
+    "comm_costs",
     "comm_fractions",
     "decide_placement",
+    "decide_placement_batch",
     "decide_placement_tagged",
     "dedicated_comm_cost",
     "dedicated_dataset_cost",
@@ -103,11 +122,18 @@ __all__ = [
     "find_saturation_threshold",
     "fit_linear",
     "fit_piecewise",
+    "fragmented_message_times",
+    "frontend_times",
+    "linear_message_times",
     "matrix_transfer",
     "max_message_size",
+    "message_times",
+    "mixed_times",
     "overlap_distribution",
     "paragon_comm_slowdown",
     "paragon_comp_slowdown",
+    "piecewise_message_times",
+    "placement_grid",
     "predict_backend_time",
     "predict_comm_cost",
     "predict_mixed_time",

@@ -1,0 +1,397 @@
+"""NumPy-vectorized kernels for the analytic contention model.
+
+The paper's whole point is that slowdown-adjusted predictions are cheap
+enough to drive scheduling decisions online. This module is the single
+home of the model's arithmetic, written over arrays so a scheduler can
+score thousands of candidates in one call:
+
+* :func:`linear_message_times` / :func:`piecewise_message_times` — the
+  §3.1.1 / §3.2.1 per-message cost curves over arrays of sizes (both
+  regimes around the 1024-word threshold resolved in one
+  :func:`numpy.where`);
+* :func:`cm2_slowdowns` — the §3.1 ``p + 1`` factor over contention
+  grids;
+* :func:`frontend_times` / :func:`backend_times` / :func:`comm_costs` /
+  :func:`mixed_times` — the §3.1.2 / §3.2.2 elapsed-time predictions,
+  including ``max(dcomp + didle, dserial · slowdown)``;
+* :func:`placement_grid` / :func:`decide_placement_batch` — Equation
+  (1) over a whole candidate grid, returning array results or
+  :class:`~repro.core.prediction.ConfidentPlacement` objects.
+
+The scalar entry points (:mod:`repro.core.prediction`,
+:meth:`repro.core.params.LinearCommParams.message_time`,
+:func:`repro.core.slowdown.cm2_slowdown`,
+:meth:`repro.platforms.specs.SunParagonSpec.message_dedicated_time`)
+delegate here, so there is exactly one implementation of every formula;
+the scalar and batch paths agree bit for bit because both run the same
+IEEE-754 double operations in the same order.
+
+Validation mirrors the scalar contracts: negative durations raise
+:class:`ValueError` (like ``check_nonnegative``), negative message
+sizes and sub-1 slowdowns raise :class:`~repro.errors.ModelError` (like
+the parameter containers), while NaN/inf sentinels propagate through
+the arithmetic untouched — exactly what the scalar guards do, since
+``nan < 0`` is false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import ModelError
+from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .params import LinearCommParams, PiecewiseCommParams
+    from .prediction import ConfidentPlacement
+
+__all__ = [
+    "linear_message_times",
+    "piecewise_message_times",
+    "message_times",
+    "fragmented_message_times",
+    "cm2_slowdowns",
+    "frontend_times",
+    "backend_times",
+    "comm_costs",
+    "mixed_times",
+    "PlacementGrid",
+    "placement_grid",
+    "decide_placement_batch",
+]
+
+#: dtype of every kernel: plain IEEE-754 doubles, the same arithmetic
+#: the scalar functions perform.
+_F = np.float64
+
+
+def _asarray(
+    values: Any,
+    name: str,
+    *,
+    nonnegative: bool = False,
+    exc: type[Exception] = ValueError,
+) -> np.ndarray:
+    """Coerce to a float64 array, optionally rejecting negatives.
+
+    NaN passes the negativity check (``nan < 0`` is false), matching
+    the scalar ``check_nonnegative`` guard.
+    """
+    arr = np.asarray(values, dtype=_F)
+    if nonnegative and np.any(arr < 0):
+        bad = arr[arr < 0].flat[0]
+        raise exc(f"{name} must be >= 0, got {float(bad)!r}")
+    return arr
+
+
+def _sizes_array(values: Any) -> np.ndarray:
+    """Message sizes: negative raises ModelError, as in ``params.py``."""
+    return _asarray(values, "message size", nonnegative=True, exc=ModelError)
+
+
+def _check_slowdowns(arr: np.ndarray, name: str = "slowdown") -> np.ndarray:
+    """Every slowdown factor must be >= 1 (NaN sentinels pass through)."""
+    if np.any(arr < 1.0):
+        bad = arr[arr < 1.0].flat[0]
+        raise ModelError(f"{name} must be >= 1, got {float(bad)!r}")
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# Communication cost curves (§3.1.1, §3.2.1)
+# ---------------------------------------------------------------------------
+
+
+def linear_message_times(sizes: Any, params: "LinearCommParams") -> np.ndarray:
+    """``α + size/β`` over an array of message sizes (§3.1.1)."""
+    sizes = _sizes_array(sizes)
+    return params.alpha + sizes / params.beta
+
+
+def piecewise_message_times(sizes: Any, params: "PiecewiseCommParams") -> np.ndarray:
+    """The two-piece §3.2.1 cost curve over an array of message sizes.
+
+    Both regimes are evaluated over the whole array and the threshold
+    selects per element in one :func:`numpy.where`; a NaN size falls in
+    the large regime (``nan <= threshold`` is false), matching the
+    scalar :meth:`~repro.core.params.PiecewiseCommParams.piece_for`.
+    """
+    sizes = _sizes_array(sizes)
+    small = params.small.alpha + sizes / params.small.beta
+    large = params.large.alpha + sizes / params.large.beta
+    return np.where(sizes <= params.threshold, small, large)
+
+
+def message_times(sizes: Any, params: Any) -> np.ndarray:
+    """Dispatch on the parameterisation: linear or piecewise.
+
+    Accepts either a :class:`~repro.core.params.LinearCommParams` or a
+    :class:`~repro.core.params.PiecewiseCommParams` (anything carrying
+    a ``threshold`` is treated as piecewise).
+    """
+    if hasattr(params, "threshold"):
+        return piecewise_message_times(sizes, params)
+    return linear_message_times(sizes, params)
+
+
+def fragmented_message_times(
+    sizes: Any,
+    buffer_words: float,
+    fixed_per_fragment: float,
+    per_word: float,
+) -> np.ndarray:
+    """Ground-truth per-message time under transport fragmentation.
+
+    A message larger than *buffer_words* is split into ``ceil(size /
+    buffer)`` equal fragments (a message at or under the buffer is one
+    fragment, even at size zero), each paying *fixed_per_fragment* plus
+    its words at *per_word* — the physical origin of the piecewise
+    §3.2.1 curve. The per-message total is ``count × per-fragment
+    cost``. Negative sizes raise :class:`ValueError`, matching
+    :meth:`~repro.platforms.specs.WireSpec.fragment_sizes`.
+    """
+    sizes = _asarray(sizes, "message size", nonnegative=True)
+    counts = np.where(sizes <= buffer_words, 1.0, np.ceil(sizes / buffer_words))
+    fragment = sizes / counts
+    return counts * (fixed_per_fragment + fragment * per_word)
+
+
+# ---------------------------------------------------------------------------
+# Slowdown and elapsed-time kernels (§3.1, §3.1.2, §3.2.2)
+# ---------------------------------------------------------------------------
+
+
+def cm2_slowdowns(extra_processes: Any) -> np.ndarray:
+    """``slowdown = p + 1`` over an array of contention levels (§3.1).
+
+    Levels are taken as given (no truncation); the scalar
+    :func:`~repro.core.slowdown.cm2_slowdown` coerces its argument to
+    ``int`` before delegating here.
+    """
+    p = np.asarray(extra_processes, dtype=_F)
+    if np.any(p < 0):
+        bad = p[p < 0].flat[0]
+        raise ModelError(f"number of extra processes must be >= 0, got {float(bad)!r}")
+    return p + 1.0
+
+
+def frontend_times(dcomp: Any, slowdowns: Any) -> np.ndarray:
+    """``T_front = dcomp × slowdown`` broadcast over grids (§3.1.2)."""
+    dcomp = _asarray(dcomp, "dcomp", nonnegative=True)
+    slowdowns = _check_slowdowns(_asarray(slowdowns, "slowdown"))
+    return dcomp * slowdowns
+
+
+def backend_times(dcomp: Any, didle: Any, dserial: Any, slowdowns: Any) -> np.ndarray:
+    """``T_back = max(dcomp + didle, dserial × slowdown)`` over grids (§3.1.2)."""
+    dcomp = _asarray(dcomp, "dcomp", nonnegative=True)
+    didle = _asarray(didle, "didle", nonnegative=True)
+    dserial = _asarray(dserial, "dserial", nonnegative=True)
+    slowdowns = _check_slowdowns(_asarray(slowdowns, "slowdown"))
+    return np.maximum(dcomp + didle, dserial * slowdowns)
+
+
+def comm_costs(dcomm: Any, slowdowns: Any) -> np.ndarray:
+    """``C = dcomm × slowdown`` over grids (§3.1.1 / §3.2.1)."""
+    dcomm = _asarray(dcomm, "dcomm", nonnegative=True)
+    slowdowns = _check_slowdowns(_asarray(slowdowns, "slowdown"))
+    return dcomm * slowdowns
+
+
+def mixed_times(
+    dcomp: Any,
+    dcomm_out: Any,
+    dcomm_in: Any,
+    comp_slowdowns: Any,
+    comm_slowdowns: Any,
+) -> np.ndarray:
+    """Vectorized :func:`~repro.core.prediction.predict_mixed_time`.
+
+    ``T = dcomp · s_comp + (dcomm_out + dcomm_in) · s_comm`` with every
+    input broadcast; evaluated in the same operation order as the
+    scalar (frontend term, then the *summed* transfer term — only the
+    sum is sign-checked, as in the scalar), so the two paths agree bit
+    for bit.
+    """
+    dcomm_out = np.asarray(dcomm_out, dtype=_F)
+    dcomm_in = np.asarray(dcomm_in, dtype=_F)
+    return frontend_times(dcomp, comp_slowdowns) + comm_costs(
+        dcomm_out + dcomm_in, comm_slowdowns
+    )
+
+
+# ---------------------------------------------------------------------------
+# Equation (1) over candidate grids
+# ---------------------------------------------------------------------------
+
+
+def _split_batch_slowdown(
+    slowdown: Any, tags: list[Confidence]
+) -> np.ndarray | None:
+    """Value array of one batch slowdown input, collecting its tag.
+
+    Mirrors the scalar ``_split_slowdown``: a :class:`TaggedSlowdown`
+    carries its own confidence, raw numbers/arrays are taken at face
+    value (CALIBRATED), ``None`` passes through with no opinion.
+    """
+    if slowdown is None:
+        return None
+    if isinstance(slowdown, TaggedSlowdown):
+        tags.append(slowdown.confidence)
+        return np.asarray(slowdown.value, dtype=_F)
+    tags.append(Confidence.CALIBRATED)
+    return np.asarray(slowdown, dtype=_F)
+
+
+@dataclass(frozen=True)
+class PlacementGrid:
+    """Array-backed Equation-(1) comparison for a whole candidate grid.
+
+    The array analogue of
+    :class:`~repro.core.prediction.PlacementPrediction`: every field is
+    a broadcast-shaped :class:`numpy.ndarray` and the derived
+    quantities use the same formulas as the scalar properties.
+    ``confidence`` is shared by the whole grid — the minimum over the
+    slowdown inputs that shaped it.
+    """
+
+    t_frontend: np.ndarray
+    t_backend: np.ndarray
+    c_out: np.ndarray
+    c_in: np.ndarray
+    confidence: Confidence
+
+    @property
+    def backend_total(self) -> np.ndarray:
+        """Back-end elapsed time including both transfers."""
+        return self.t_backend + self.c_out + self.c_in
+
+    @property
+    def offload(self) -> np.ndarray:
+        """Equation (1) verdict per candidate (True → back-end wins)."""
+        return self.t_frontend > self.backend_total
+
+    @property
+    def best_time(self) -> np.ndarray:
+        """Predicted elapsed time of the better placement, per candidate."""
+        return np.minimum(self.t_frontend, self.backend_total)
+
+    @property
+    def advantage(self) -> np.ndarray:
+        """Time saved by the better placement, per candidate."""
+        return np.abs(self.t_frontend - self.backend_total)
+
+    @property
+    def size(self) -> int:
+        return int(self.t_frontend.size)
+
+    def placements(self) -> "list[ConfidentPlacement]":
+        """Materialise scalar :class:`ConfidentPlacement` objects.
+
+        Flattens the grid C-order; each element drops into any call
+        site that consumed a scalar ``decide_placement`` result.
+        """
+        from .prediction import ConfidentPlacement, PlacementPrediction
+
+        conf = self.confidence
+        return [
+            ConfidentPlacement(
+                prediction=PlacementPrediction(
+                    t_frontend=tf, t_backend=tb, c_out=co, c_in=ci
+                ),
+                confidence=conf,
+            )
+            for tf, tb, co, ci in zip(
+                self.t_frontend.ravel().tolist(),
+                self.t_backend.ravel().tolist(),
+                self.c_out.ravel().tolist(),
+                self.c_in.ravel().tolist(),
+            )
+        ]
+
+
+def placement_grid(
+    dcomp_frontend: Any,
+    backend_dcomp: Any,
+    backend_didle: Any,
+    backend_dserial: Any,
+    dcomm_out: Any,
+    dcomm_in: Any,
+    comp_slowdown: Any,
+    comm_slowdown: Any,
+    backend_serial_slowdown: Any = None,
+) -> PlacementGrid:
+    """Score a whole candidate grid through Equation (1) in one call.
+
+    Every argument broadcasts against the others (NumPy rules): fix the
+    task's dedicated costs and sweep a slowdown grid, sweep task sizes
+    under one contention level, or both at once. Slowdown inputs may be
+    raw arrays/floats (CALIBRATED) or
+    :class:`~repro.reliability.degrade.TaggedSlowdown` values (whose
+    ``value`` may itself be an array); the grid's ``confidence`` is the
+    weakest input's, exactly as in the scalar
+    :func:`~repro.core.prediction.decide_placement`.
+    """
+    tags: list[Confidence] = []
+    comp = _split_batch_slowdown(comp_slowdown, tags)
+    comm = _split_batch_slowdown(comm_slowdown, tags)
+    serial = _split_batch_slowdown(backend_serial_slowdown, tags)
+    if comp is None or comm is None:
+        raise ModelError("comp_slowdown and comm_slowdown are required")
+    if serial is None:
+        serial = comp
+    return PlacementGrid(
+        t_frontend=frontend_times(dcomp_frontend, comp),
+        t_backend=backend_times(backend_dcomp, backend_didle, backend_dserial, serial),
+        c_out=comm_costs(dcomm_out, comm),
+        c_in=comm_costs(dcomm_in, comm),
+        confidence=combine_confidence(*tags),
+    )
+
+
+def decide_placement_batch(
+    dcomp_frontend: Any,
+    backend_dcomp: Any,
+    backend_didle: Any,
+    backend_dserial: Any,
+    dcomm_out: Any,
+    dcomm_in: Any,
+    comp_slowdown: Any,
+    comm_slowdown: Any,
+    backend_serial_slowdown: Any = None,
+) -> "list[ConfidentPlacement]":
+    """Batched :func:`~repro.core.prediction.decide_placement`.
+
+    Broadcasts the inputs (see :func:`placement_grid`), scores the
+    whole grid in vectorized arithmetic, and materialises one
+    :class:`~repro.core.prediction.ConfidentPlacement` per candidate
+    (flattened C-order). Each result is element-for-element identical
+    to a scalar ``decide_placement`` call with the same inputs.
+
+    One ``predict.placement_batch`` span covers the whole call and the
+    ``prediction.placements`` counter advances by the grid size, so
+    observed runs account batched and scalar scoring identically.
+    """
+    from ..obs import context as _obs
+
+    with _obs.span("predict.placement_batch", kind="prediction") as sp:
+        grid = placement_grid(
+            dcomp_frontend,
+            backend_dcomp,
+            backend_didle,
+            backend_dserial,
+            dcomm_out,
+            dcomm_in,
+            comp_slowdown,
+            comm_slowdown,
+            backend_serial_slowdown,
+        )
+        results = grid.placements()
+        sp.set("candidates", len(results))
+        sp.set("offloads", int(np.count_nonzero(grid.offload)))
+        sp.set("confidence", grid.confidence.name)
+    _obs.inc("prediction.placements", len(results))
+    return results

@@ -59,10 +59,14 @@ class LinearCommParams:
         check_positive(self.beta, "beta")
 
     def message_time(self, size_words: float) -> float:
-        """Dedicated-mode time to move one message of *size_words*."""
-        if size_words < 0:
-            raise ModelError(f"message size must be >= 0, got {size_words!r}")
-        return self.alpha + size_words / self.beta
+        """Dedicated-mode time to move one message of *size_words*.
+
+        Delegates to :func:`repro.core.batch.linear_message_times` —
+        the batch kernel is the single implementation of the curve.
+        """
+        from .batch import linear_message_times
+
+        return float(linear_message_times(size_words, self))
 
 
 @dataclass(frozen=True)
@@ -85,8 +89,15 @@ class PiecewiseCommParams:
         return self.small if size_words <= self.threshold else self.large
 
     def message_time(self, size_words: float) -> float:
-        """Dedicated-mode time to move one message of *size_words*."""
-        return self.piece_for(size_words).message_time(size_words)
+        """Dedicated-mode time to move one message of *size_words*.
+
+        Delegates to :func:`repro.core.batch.piecewise_message_times`
+        — the batch kernel is the single implementation of the curve
+        (both regimes evaluated, the threshold selecting per element).
+        """
+        from .batch import piecewise_message_times
+
+        return float(piecewise_message_times(size_words, self))
 
 
 @dataclass(frozen=True)

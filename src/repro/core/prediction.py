@@ -24,10 +24,10 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
-from ..errors import ModelError
 from ..obs import context as _obs
 from ..reliability.degrade import Confidence, TaggedSlowdown, combine_confidence
 from ..units import check_nonnegative
+from . import batch as _batch
 
 __all__ = [
     "BackendTaskCosts",
@@ -77,11 +77,12 @@ class BackendTaskCosts:
 
 
 def predict_frontend_time(dcomp: float, slowdown: float) -> float:
-    """``T_front = dcomp × slowdown`` (§3.1.2 / §3.2.2)."""
-    check_nonnegative(dcomp, "dcomp")
-    if slowdown < 1.0:
-        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
-    return dcomp * slowdown
+    """``T_front = dcomp × slowdown`` (§3.1.2 / §3.2.2).
+
+    Delegates to :func:`repro.core.batch.frontend_times` — the batch
+    kernel is the single implementation of the formula.
+    """
+    return float(_batch.frontend_times(dcomp, slowdown))
 
 
 def predict_backend_time(costs: BackendTaskCosts, slowdown: float) -> float:
@@ -91,18 +92,20 @@ def predict_backend_time(costs: BackendTaskCosts, slowdown: float) -> float:
     contention grows, the contended serial stream on the front-end
     eventually becomes the bottleneck — the effect behind the Figure 3
     crossover at M ≈ 200.
+
+    Delegates to :func:`repro.core.batch.backend_times` — the batch
+    kernel is the single implementation of the formula.
     """
-    if slowdown < 1.0:
-        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
-    return max(costs.dcomp + costs.didle, costs.dserial * slowdown)
+    return float(_batch.backend_times(costs.dcomp, costs.didle, costs.dserial, slowdown))
 
 
 def predict_comm_cost(dcomm: float, slowdown: float) -> float:
-    """``C = dcomm × slowdown`` (§3.1.1 / §3.2.1)."""
-    check_nonnegative(dcomm, "dcomm")
-    if slowdown < 1.0:
-        raise ModelError(f"slowdown must be >= 1, got {slowdown!r}")
-    return dcomm * slowdown
+    """``C = dcomm × slowdown`` (§3.1.1 / §3.2.1).
+
+    Delegates to :func:`repro.core.batch.comm_costs` — the batch
+    kernel is the single implementation of the formula.
+    """
+    return float(_batch.comm_costs(dcomm, slowdown))
 
 
 def should_offload(t_frontend: float, t_backend: float, c_out: float, c_in: float) -> bool:
@@ -130,10 +133,11 @@ def predict_mixed_time(
 
     Cycle boundaries are ignored — exactly the long-term view the
     paper argues for; the mixed-workload experiment quantifies how
-    well it holds.
+    well it holds. Delegates to :func:`repro.core.batch.mixed_times` —
+    the batch kernel is the single implementation of the formula.
     """
-    return predict_frontend_time(dcomp, comp_slowdown) + predict_comm_cost(
-        dcomm_out + dcomm_in, comm_slowdown
+    return float(
+        _batch.mixed_times(dcomp, dcomm_out, dcomm_in, comp_slowdown, comm_slowdown)
     )
 
 

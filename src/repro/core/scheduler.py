@@ -218,10 +218,22 @@ def _search_best(problem: MappingProblem, max_candidates: int) -> MappingResult:
             best_assignment = tuple(prefix)
             return
         task = tasks[k]
-        for machine in machines:
-            step = problem.exec_time[task][machine]
-            if k > 0:
-                step += problem.transfer(prefix[-1], machine)
+        row = problem.exec_time[task]
+        # Expand cheapest immediate step first: the DFS then reaches a
+        # near-optimal complete assignment early, and the tightened
+        # incumbent prunes most of the remaining subtrees. The stable
+        # sort keeps the original machine order on equal-cost steps, so
+        # ties still resolve deterministically.
+        if k == 0:
+            steps = [(row[machine], machine) for machine in machines]
+        else:
+            prev = prefix[-1]
+            steps = [
+                (row[machine] + problem.transfer(prev, machine), machine)
+                for machine in machines
+            ]
+        steps.sort(key=lambda sm: sm[0])
+        for step, machine in steps:
             prefix.append(machine)
             extend(prefix, cost + step)
             prefix.pop()

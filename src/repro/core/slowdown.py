@@ -57,11 +57,16 @@ def cm2_slowdown(extra_processes: int) -> float:
     processes, so with ``p`` extra CPU-bound competitors every task —
     and every element-by-element CM2 transfer, which is CPU-resident —
     runs ``p + 1`` times slower.
+
+    Delegates to :func:`repro.core.batch.cm2_slowdowns` — the batch
+    kernel is the single implementation of the formula.
     """
     p = int(extra_processes)
     if p < 0:
         raise ModelError(f"number of extra processes must be >= 0, got {extra_processes!r}")
-    return float(p + 1)
+    from .batch import cm2_slowdowns
+
+    return float(cm2_slowdowns(p))
 
 
 def weighted_delay(

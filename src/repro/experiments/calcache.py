@@ -1,0 +1,255 @@
+"""On-disk persistence for calibration results.
+
+The paper stresses that the calibration tables are computed "just once
+for each platform"; the in-memory ``lru_cache`` in
+:mod:`repro.experiments.calibrate` honours that within one process, and
+this module extends it *across* processes: a completed
+:class:`~repro.experiments.calibrate.ParagonCalibration` is written to
+a JSON file named by a content hash of everything that determines it —
+the full platform spec, the routing mode, ``p_max`` and the sweep
+sizes — and a later process with the same inputs loads the file instead
+of re-running the benchmark suite.
+
+Invalidation is purely structural (see ``docs/performance.md``):
+
+* any change to the spec, mode, ``p_max`` or sizes changes the hash,
+  so stale entries are never *read* — they are simply orphaned;
+* :data:`CACHE_VERSION` is part of the hash, so changing the
+  serialization format or the calibration procedure itself only
+  requires bumping the version;
+* a corrupt, truncated or foreign file silently counts as a miss.
+
+The cache is **opt-in**: it is active only when a directory has been
+configured, via :func:`set_cache_dir`, the ``REPRO_CAL_CACHE``
+environment variable, or the experiment CLI's ``--cal-cache`` flag.
+Fault-injected calibrations never touch the disk cache (they bypass
+the in-memory cache for the same reason — the injector is stateful).
+
+JSON round-trips Python floats exactly (``repr``-based encoding), so a
+loaded calibration is bit-identical to the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..core.params import (
+    DelayTable,
+    LinearCommParams,
+    PiecewiseCommParams,
+    SizedDelayTable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platforms.specs import SunParagonSpec
+    from .calibrate import ParagonCalibration
+
+__all__ = [
+    "CACHE_VERSION",
+    "cache_dir",
+    "set_cache_dir",
+    "clear_cache",
+    "paragon_key",
+    "load_paragon",
+    "store_paragon",
+]
+
+#: Bump whenever the serialization format *or* the calibration
+#: procedure changes — the version participates in the content hash,
+#: so old entries become unreachable rather than wrong.
+CACHE_VERSION = 1
+
+#: Environment variable consulted for the default cache directory.
+_ENV_VAR = "REPRO_CAL_CACHE"
+
+_cache_dir: Path | None = None
+_cache_dir_initialised = False
+
+
+def cache_dir() -> Path | None:
+    """The active cache directory, or ``None`` when the cache is off."""
+    global _cache_dir, _cache_dir_initialised
+    if not _cache_dir_initialised:
+        env = os.environ.get(_ENV_VAR)
+        _cache_dir = Path(env) if env else None
+        _cache_dir_initialised = True
+    return _cache_dir
+
+
+def set_cache_dir(path: str | os.PathLike | None) -> None:
+    """Point the cache at *path* (created lazily), or disable with ``None``."""
+    global _cache_dir, _cache_dir_initialised
+    _cache_dir = Path(path) if path is not None else None
+    _cache_dir_initialised = True
+
+
+def clear_cache(path: str | os.PathLike | None = None) -> int:
+    """Delete all cache entries under *path* (default: the active dir).
+
+    Returns the number of entry files removed. A missing directory is
+    an empty cache, not an error.
+    """
+    base = Path(path) if path is not None else cache_dir()
+    if base is None or not base.is_dir():
+        return 0
+    removed = 0
+    for entry in base.glob("*.json"):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - racing deleters
+            pass
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def paragon_key(
+    spec: "SunParagonSpec", mode: str, p_max: int, sizes: tuple[int, ...]
+) -> str:
+    """Content hash naming the cache entry for one calibration input set."""
+    payload = {
+        "kind": "paragon",
+        "version": CACHE_VERSION,
+        "spec": dataclasses.asdict(spec),
+        "mode": mode,
+        "p_max": int(p_max),
+        "sizes": [int(s) for s in sizes],
+    }
+    return hashlib.blake2b(_canonical(payload).encode(), digest_size=16).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# (De)serialization
+# ---------------------------------------------------------------------------
+
+
+def _linear_to_dict(params: LinearCommParams) -> dict:
+    return {"alpha": params.alpha, "beta": params.beta}
+
+
+def _linear_from_dict(data: dict) -> LinearCommParams:
+    return LinearCommParams(alpha=float(data["alpha"]), beta=float(data["beta"]))
+
+
+def _piecewise_to_dict(params: PiecewiseCommParams) -> dict:
+    return {
+        "threshold": params.threshold,
+        "small": _linear_to_dict(params.small),
+        "large": _linear_to_dict(params.large),
+    }
+
+
+def _piecewise_from_dict(data: dict) -> PiecewiseCommParams:
+    return PiecewiseCommParams(
+        threshold=float(data["threshold"]),
+        small=_linear_from_dict(data["small"]),
+        large=_linear_from_dict(data["large"]),
+    )
+
+
+def _delay_to_dict(table: DelayTable) -> dict:
+    return {"delays": list(table.delays), "label": table.label}
+
+
+def _delay_from_dict(data: dict) -> DelayTable:
+    return DelayTable(
+        delays=tuple(float(d) for d in data["delays"]), label=str(data["label"])
+    )
+
+
+def _sized_to_dict(table: SizedDelayTable) -> dict:
+    return {
+        "tables": {str(j): _delay_to_dict(t) for j, t in table.tables.items()},
+        "small_cutoff": table.small_cutoff,
+        "saturation": table.saturation,
+    }
+
+
+def _sized_from_dict(data: dict) -> SizedDelayTable:
+    saturation = data["saturation"]
+    return SizedDelayTable(
+        tables={int(j): _delay_from_dict(t) for j, t in data["tables"].items()},
+        small_cutoff=int(data["small_cutoff"]),
+        saturation=float(saturation) if saturation is not None else None,
+    )
+
+
+def _paragon_to_dict(cal: "ParagonCalibration") -> dict:
+    return {
+        "version": CACHE_VERSION,
+        "mode": cal.mode,
+        "params_out": _piecewise_to_dict(cal.params_out),
+        "params_in": _piecewise_to_dict(cal.params_in),
+        "delay_comp": _delay_to_dict(cal.delay_comp),
+        "delay_comm": _delay_to_dict(cal.delay_comm),
+        "delay_comm_sized": _sized_to_dict(cal.delay_comm_sized),
+    }
+
+
+def _paragon_from_dict(data: dict) -> "ParagonCalibration":
+    from .calibrate import ParagonCalibration
+
+    return ParagonCalibration(
+        mode=str(data["mode"]),
+        params_out=_piecewise_from_dict(data["params_out"]),
+        params_in=_piecewise_from_dict(data["params_in"]),
+        delay_comp=_delay_from_dict(data["delay_comp"]),
+        delay_comm=_delay_from_dict(data["delay_comm"]),
+        delay_comm_sized=_sized_from_dict(data["delay_comm_sized"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry IO
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(key: str) -> Path | None:
+    base = cache_dir()
+    return base / f"paragon-{key}.json" if base is not None else None
+
+
+def load_paragon(key: str) -> "ParagonCalibration | None":
+    """Load the entry named *key*, or ``None`` on miss/corruption/off."""
+    path = _entry_path(key)
+    if path is None:
+        return None
+    try:
+        data = json.loads(path.read_text())
+        if data.get("version") != CACHE_VERSION:
+            return None
+        return _paragon_from_dict(data)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def store_paragon(key: str, cal: "ParagonCalibration") -> Path | None:
+    """Write *cal* under *key* atomically; no-op when the cache is off.
+
+    Failures to persist (read-only directory, full disk) are swallowed —
+    the cache is an accelerator, never a correctness dependency.
+    """
+    path = _entry_path(key)
+    if path is None:
+        return None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(_paragon_to_dict(cal), indent=1))
+        tmp.replace(path)
+        return path
+    except OSError:  # pragma: no cover - environment-dependent
+        return None

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import inspect
 import sys
 import time
 from typing import Callable
@@ -79,13 +80,29 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+def _driver_kwargs(driver: Callable, quick: bool, workers: int) -> dict:
+    """Build the kwargs a driver supports: always ``quick``, and
+    ``workers`` only for drivers whose sweeps are parallelizable."""
+    kwargs: dict = {"quick": quick}
+    if workers != 1:
+        try:
+            if "workers" in inspect.signature(driver).parameters:
+                kwargs["workers"] = workers
+        except (TypeError, ValueError):  # pragma: no cover - builtin drivers
+            pass
+    return kwargs
+
+
+def run_experiment(name: str, quick: bool = False, workers: int = 1) -> ExperimentResult:
     """Run one experiment by registry name.
 
     Inside an observed run (the ``--trace`` flag) the driver executes
     under an ``experiment.<name>`` span, and any result the driver did
     not stamp itself gets a generic :class:`~repro.obs.RunManifest`
-    carrying the run's metric snapshot and trace identity.
+    carrying the run's metric snapshot and trace identity. *workers*
+    fans replication sweeps out over a process pool for drivers that
+    support it — values are bit-identical to the serial run (see
+    ``docs/performance.md``).
     """
     try:
         driver = EXPERIMENTS[name]
@@ -93,11 +110,12 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
         raise SystemExit(
             f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
         ) from None
+    kwargs = _driver_kwargs(driver, quick, workers)
     ctx = _obs.current()
     if ctx is None:
-        return driver(quick=quick)
+        return driver(**kwargs)
     with ctx.tracer.span(f"experiment.{name}", kind="experiment", quick=quick):
-        result = driver(quick=quick)
+        result = driver(**kwargs)
     ctx.metrics.counter("experiment.runs").inc()
     if result.manifest is None:
         result.manifest = RunManifest.stamp(
@@ -141,7 +159,41 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="identity seed for deterministic span IDs (default 0)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool width for replication sweeps (default 1: serial; "
+            "0 means one per CPU). Results are bit-identical at any width."
+        ),
+    )
+    parser.add_argument(
+        "--cal-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist calibration results as JSON under DIR and reuse them "
+            "across processes (also settable via $REPRO_CAL_CACHE)"
+        ),
+    )
+    parser.add_argument(
+        "--clear-cal-cache",
+        action="store_true",
+        help="delete all entries in the calibration cache dir before running",
+    )
     args = parser.parse_args(argv)
+
+    from . import calcache
+
+    if args.cal_cache:
+        calcache.set_cache_dir(args.cal_cache)
+    if args.clear_cal_cache:
+        removed = calcache.clear_cache()
+        print(f"cleared {removed} calibration cache entries")
+    from ..parallel import default_workers
+
+    workers = args.workers if args.workers > 0 else default_workers()
 
     if args.list:
         for name in EXPERIMENTS:
@@ -158,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     with observed(ctx) if ctx is not None else contextlib.nullcontext():
         for name in names:
             t0 = time.perf_counter()
-            result = run_experiment(name, quick=args.quick)
+            result = run_experiment(name, quick=args.quick, workers=workers)
             elapsed = time.perf_counter() - t0
             results.append(result)
             print(result.render())

@@ -14,6 +14,7 @@ only used to *build* the simulated systems.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..apps.burst import message_burst
@@ -377,6 +378,29 @@ def _paragon_burst_contended(
     return sim.run_until(probe)
 
 
+@dataclass(frozen=True)
+class _ContendedBurstMeasure:
+    """Picklable ``repeat_mean`` measure for one Figure 5/6 sweep point.
+
+    Frozen-dataclass callables cross the process-pool boundary (the
+    local lambdas they replace do not), so these sweeps can fan their
+    replications out via ``repeat_mean(..., workers=N)``.
+    """
+
+    spec: SunParagonSpec
+    size: int
+    count: int
+    direction: str
+    contenders: tuple[ApplicationProfile, ...]
+    mode: str
+
+    def __call__(self, streams: RandomStreams) -> float:
+        return _paragon_burst_contended(
+            self.spec, streams, self.size, self.count, self.direction,
+            self.contenders, self.mode,
+        )
+
+
 def _fig56(
     experiment: str,
     direction: str,
@@ -388,6 +412,7 @@ def _fig56(
     seed: int,
     quick: bool,
     paper_claim: str,
+    workers: int = 1,
 ) -> ExperimentResult:
     if sizes is None:
         sizes = _FIG46_SIZES_QUICK if quick else _FIG46_SIZES
@@ -401,11 +426,12 @@ def _fig56(
     rows, actuals, models = [], [], []
     for size in sizes:
         rep = repeat_mean(
-            lambda streams: _paragon_burst_contended(
-                spec, streams, size, count, direction, contenders, cal.mode
+            _ContendedBurstMeasure(
+                spec, size, count, direction, tuple(contenders), cal.mode
             ),
             repetitions=repetitions,
             seed=seed,
+            workers=workers,
         )
         dcomm = dedicated_comm_cost([DataSet(count=count, size=float(size))], params)
         model = predict_comm_cost(dcomm, slowdown)
@@ -438,6 +464,7 @@ def fig5_paragon_comm_out(
     repetitions: int = 3,
     seed: int = 42,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 5: contended bursts Sun → Paragon, modeled vs actual."""
     return _fig56(
@@ -451,6 +478,7 @@ def fig5_paragon_comm_out(
         seed,
         quick,
         paper_claim="average error within 12%",
+        workers=workers,
     )
 
 
@@ -462,6 +490,7 @@ def fig6_paragon_comm_in(
     repetitions: int = 3,
     seed: int = 43,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 6: contended bursts Paragon → Sun, modeled vs actual."""
     return _fig56(
@@ -475,6 +504,7 @@ def fig6_paragon_comm_in(
         seed,
         quick,
         paper_claim="average error within 14%",
+        workers=workers,
     )
 
 
@@ -525,6 +555,19 @@ def _sor_sun_contended(
     return sim.run_until(probe)
 
 
+@dataclass(frozen=True)
+class _SorSunMeasure:
+    """Picklable ``repeat_mean`` measure for one Figure 7/8 sweep point."""
+
+    spec: SunParagonSpec
+    m: int
+    contenders: tuple[ApplicationProfile, ...]
+    mode: str
+
+    def __call__(self, streams: RandomStreams) -> float:
+        return _sor_sun_contended(self.spec, streams, self.m, self.contenders, self.mode)
+
+
 def _fig78(
     experiment: str,
     contenders: Sequence[ApplicationProfile],
@@ -534,6 +577,7 @@ def _fig78(
     seed: int,
     quick: bool,
     paper_claim: str,
+    workers: int = 1,
 ) -> ExperimentResult:
     if sizes is None:
         sizes = _FIG78_SIZES_QUICK if quick else _FIG78_SIZES
@@ -555,9 +599,10 @@ def _fig78(
     models: dict[int, list[float]] = {j: [] for j in buckets}
     for m in sizes:
         rep = repeat_mean(
-            lambda streams: _sor_sun_contended(spec, streams, m, contenders, cal.mode),
+            _SorSunMeasure(spec, m, tuple(contenders), cal.mode),
             repetitions=repetitions,
             seed=seed,
+            workers=workers,
         )
         dcomp = sor_sun_work(m, _SOR_ITERATIONS, spec)
         row: list = [m, dcomp, rep.mean]
@@ -592,6 +637,7 @@ def fig7_sor_sun(
     repetitions: int = 3,
     seed: int = 7,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 7: SOR on the Sun; contenders 66% @ 800 w, 33% @ 1200 w.
 
@@ -607,6 +653,7 @@ def fig7_sor_sun(
         seed,
         quick,
         paper_claim="err 4% (j=1000), 16% (j=500), 32% (j=1)",
+        workers=workers,
     )
 
 
@@ -616,6 +663,7 @@ def fig8_sor_sun(
     repetitions: int = 3,
     seed: int = 8,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 8: SOR on the Sun; contenders 40% @ 500 w, 76% @ 200 w.
 
@@ -631,4 +679,5 @@ def fig8_sor_sun(
         seed,
         quick,
         paper_claim="err 5% (j=500), 25% (j=1 and j=1000)",
+        workers=workers,
     )

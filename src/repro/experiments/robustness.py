@@ -19,6 +19,7 @@ claims in prose; each gets a driver here:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -135,6 +136,44 @@ def _spawn_contenders(platform: SunParagonPlatform, contenders, mode: str) -> No
         )
 
 
+@dataclass(frozen=True)
+class _ContendedBurstProbe:
+    """Picklable measure: one contended burst probe run (§3.2.1)."""
+
+    spec: SunParagonSpec
+    contenders: tuple[ApplicationProfile, ...]
+    probe_size: int
+    count: int
+    mode: str
+
+    def __call__(self, streams: RandomStreams) -> float:
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
+        _spawn_contenders(platform, self.contenders, self.mode)
+        probe = sim.process(
+            message_burst(platform, self.probe_size, self.count, "out", mode=self.mode),
+            name="probe",
+        )
+        return sim.run_until(probe)
+
+
+@dataclass(frozen=True)
+class _ContendedCpuProbe:
+    """Picklable measure: one contended CPU probe run (§3.2.2)."""
+
+    spec: SunParagonSpec
+    contenders: tuple[ApplicationProfile, ...]
+    work: float
+    mode: str
+
+    def __call__(self, streams: RandomStreams) -> float:
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
+        _spawn_contenders(platform, self.contenders, self.mode)
+        probe = sim.process(frontend_program(platform, self.work), name="probe")
+        return sim.run_until(probe)
+
+
 def robustness_paragon_comm(
     spec: SunParagonSpec = DEFAULT_SUNPARAGON,
     scenarios: int = 6,
@@ -143,6 +182,7 @@ def robustness_paragon_comm(
     repetitions: int = 2,
     seed: int = 13,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Varied contender sets vs. the communication slowdown model."""
     if quick:
@@ -153,18 +193,12 @@ def robustness_paragon_comm(
     for s in range(scenarios):
         contenders = _random_contenders(rng, int(rng.integers(1, 4)))
         slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
-
-        def run(streams: RandomStreams) -> float:
-            sim = Simulator()
-            platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-            _spawn_contenders(platform, contenders, cal.mode)
-            probe = sim.process(
-                message_burst(platform, probe_size, count, "out", mode=cal.mode),
-                name="probe",
-            )
-            return sim.run_until(probe)
-
-        rep = repeat_mean(run, repetitions=repetitions, seed=seed + s)
+        measure = _ContendedBurstProbe(
+            spec, tuple(contenders), probe_size, count, cal.mode
+        )
+        rep = repeat_mean(
+            measure, repetitions=repetitions, seed=seed + s, workers=workers
+        )
         dcomm = dedicated_comm_cost(
             [DataSet(count=count, size=float(probe_size))], cal.params_out
         )
@@ -193,6 +227,7 @@ def robustness_paragon_comp(
     repetitions: int = 2,
     seed: int = 17,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Varied contender sets vs. the computation slowdown model."""
     if quick:
@@ -203,15 +238,10 @@ def robustness_paragon_comp(
     for s in range(scenarios):
         contenders = _random_contenders(rng, int(rng.integers(1, 4)))
         slowdown = paragon_comp_slowdown(contenders, cal.delay_comm_sized)
-
-        def run(streams: RandomStreams) -> float:
-            sim = Simulator()
-            platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-            _spawn_contenders(platform, contenders, cal.mode)
-            probe = sim.process(frontend_program(platform, work), name="probe")
-            return sim.run_until(probe)
-
-        rep = repeat_mean(run, repetitions=repetitions, seed=seed + s)
+        measure = _ContendedCpuProbe(spec, tuple(contenders), work, cal.mode)
+        rep = repeat_mean(
+            measure, repetitions=repetitions, seed=seed + s, workers=workers
+        )
         model = predict_frontend_time(work, slowdown)
         desc = " ".join(f"{p.comm_fraction:.2f}@{int(p.message_size)}" for p in contenders)
         rows.append((s, desc, rep.mean, model, pct_error(rep.mean, model)))

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..obs import context as _obs
+from ..parallel import ParallelExecutor
 from ..reliability.retry import retry_with_backoff
 from ..sim.rng import RandomStreams
 
@@ -48,9 +49,17 @@ class Replication:
 
     @property
     def cv(self) -> float:
-        """Coefficient of variation (std/mean)."""
+        """Coefficient of variation (std/mean).
+
+        A zero mean with nonzero dispersion has *infinite* relative
+        variation, so that case reports ``float("inf")`` rather than
+        pretending to be noiseless; only a genuinely degenerate sample
+        (zero mean **and** zero spread) reports 0.0.
+        """
         m = self.mean
-        return self.std / m if m else 0.0
+        if m:
+            return self.std / m
+        return float("inf") if self.std else 0.0
 
     def ci95(self) -> tuple[float, float]:
         """95 % t-confidence interval for the mean.
@@ -71,12 +80,52 @@ class Replication:
         return lo <= value <= hi
 
 
+@dataclass(frozen=True)
+class _ReplicationTask:
+    """One replication as a picklable callable: ``task(k) -> value``.
+
+    Frozen dataclasses of picklable fields cross the process-pool
+    boundary intact (closures would not), and replication *k* derives
+    its streams purely from ``(seed, k)`` — which is why running it in
+    a worker process yields the exact value the serial loop computes.
+    """
+
+    measure: Callable[[RandomStreams], float]
+    seed: int
+    retry_attempts: int
+    retry_on: type[BaseException] | tuple[type[BaseException], ...]
+
+    def __call__(self, k: int) -> float:
+        with _obs.span("experiment.replication", kind="experiment", replication=k) as sp:
+            value = self._one(k)
+            sp.set("value", value)
+        _obs.inc("experiment.replications")
+        return value
+
+    def _one(self, k: int) -> float:
+        base = RandomStreams(self.seed)
+        attempt = 0
+
+        def run() -> float:
+            nonlocal attempt
+            streams = base.fork(k + _RETRY_SALT * attempt)
+            attempt += 1
+            return self.measure(streams)
+
+        if self.retry_attempts <= 1:
+            return run()
+        return retry_with_backoff(
+            run, attempts=self.retry_attempts, retry_on=self.retry_on, seed=self.seed
+        )
+
+
 def repeat_mean(
     measure: Callable[[RandomStreams], float],
     repetitions: int = 3,
     seed: int = 0,
     retry_attempts: int = 1,
     retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
+    workers: int = 1,
 ) -> Replication:
     """Run *measure* with *repetitions* independent stream families.
 
@@ -101,32 +150,21 @@ def repeat_mean(
         Exception type(s) worth retrying (default
         :class:`~repro.errors.ReproError`; programming errors always
         propagate).
+    workers:
+        Process-pool width for the replications (default 1: serial).
+        Replication *k* derives all randomness from ``(seed, k)``
+        alone, so any worker count yields **bit-identical**
+        ``Replication.values`` — parallelism changes wall-clock only.
+        Parallel runs require *measure* to be picklable (a module-level
+        function or frozen-dataclass callable); unpicklable measures
+        fall back to the serial path. Worker spans/metrics are merged
+        back into an active parent observability context.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
-    base = RandomStreams(seed)
-
-    def one(k: int) -> float:
-        attempt = 0
-
-        def run() -> float:
-            nonlocal attempt
-            streams = base.fork(k + _RETRY_SALT * attempt)
-            attempt += 1
-            return measure(streams)
-
-        if retry_attempts <= 1:
-            return run()
-        return retry_with_backoff(
-            run, attempts=retry_attempts, retry_on=retry_on, seed=seed
-        )
-
-    def observed_one(k: int) -> float:
-        with _obs.span("experiment.replication", kind="experiment", replication=k) as sp:
-            value = one(k)
-            sp.set("value", value)
-        _obs.inc("experiment.replications")
-        return value
-
-    values = tuple(observed_one(k) for k in range(repetitions))
-    return Replication(values=values)
+    task = _ReplicationTask(
+        measure=measure, seed=seed, retry_attempts=retry_attempts, retry_on=retry_on
+    )
+    executor = ParallelExecutor(workers=workers)
+    values = executor.map(task, range(repetitions))
+    return Replication(values=tuple(values))

@@ -20,6 +20,7 @@ we measure their price.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..apps.burst import message_burst
@@ -65,6 +66,22 @@ def _contended_burst(
     return sim.run_until(probe)
 
 
+@dataclass(frozen=True)
+class _ContendedBurstPoint:
+    """Picklable ``repeat_mean`` measure for one sensitivity sweep point."""
+
+    spec: SunParagonSpec
+    contenders: tuple[ApplicationProfile, ...]
+    mean_cycle: float
+    size: int
+    count: int
+
+    def __call__(self, streams: RandomStreams) -> float:
+        return _contended_burst(
+            self.spec, streams, self.contenders, self.mean_cycle, self.size, self.count
+        )
+
+
 def cycle_length_sensitivity(
     spec: SunParagonSpec = DEFAULT_SUNPARAGON,
     cycles: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
@@ -73,6 +90,7 @@ def cycle_length_sensitivity(
     repetitions: int = 4,
     seed: int = 77,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Model error vs the contenders' mean cycle length.
 
@@ -97,9 +115,10 @@ def cycle_length_sensitivity(
     rows = []
     for cycle in cycles:
         rep = repeat_mean(
-            lambda streams: _contended_burst(spec, streams, contenders, cycle, size, count),
+            _ContendedBurstPoint(spec, tuple(contenders), cycle, size, count),
             repetitions=repetitions,
             seed=seed,
+            workers=workers,
         )
         rows.append((cycle, rep.mean, rep.std, rep.cv, model, pct_error(rep.mean, model)))
 
@@ -130,6 +149,7 @@ def fraction_sensitivity(
     repetitions: int = 3,
     seed: int = 78,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Model error vs one contender's communication fraction."""
     if quick:
@@ -143,9 +163,10 @@ def fraction_sensitivity(
         dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
         model = dcomm * slowdown
         rep = repeat_mean(
-            lambda streams: _contended_burst(spec, streams, contenders, 0.25, size, count),
+            _ContendedBurstPoint(spec, tuple(contenders), 0.25, size, count),
             repetitions=repetitions,
             seed=seed,
+            workers=workers,
         )
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
@@ -252,6 +273,37 @@ def forecast_experiment(
     )
 
 
+@dataclass(frozen=True)
+class _CyclicMeasure:
+    """Picklable ``repeat_mean`` measure for one mixed-workload point."""
+
+    spec: SunParagonSpec
+    contenders: tuple[ApplicationProfile, ...]
+    cycles: int
+    comp_per_cycle: float
+    messages_per_cycle: int
+    message_size: float
+
+    def __call__(self, streams: RandomStreams) -> float:
+        from ..apps.program import cyclic_program
+
+        sim = Simulator()
+        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
+        for k, prof in enumerate(self.contenders):
+            platform.spawn(
+                alternating(
+                    platform, prof.comm_fraction, prof.message_size,
+                    platform.rng(f"c{k}"), tag=prof.name,
+                ),
+                name=prof.name,
+            )
+        probe = sim.process(
+            cyclic_program(platform, self.cycles, self.comp_per_cycle,
+                           self.messages_per_cycle, self.message_size)
+        )
+        return sim.run_until(probe)
+
+
 def mixed_workload_experiment(
     spec: SunParagonSpec = DEFAULT_SUNPARAGON,
     comm_shares: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
@@ -261,6 +313,7 @@ def mixed_workload_experiment(
     repetitions: int = 3,
     seed: int = 55,
     quick: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Predictions for applications that alternate compute and comm (Section 2).
 
@@ -273,7 +326,6 @@ def mixed_workload_experiment(
     the probe's own communication share from pure compute to
     comm-heavy.
     """
-    from ..apps.program import cyclic_program
     from ..core.prediction import predict_mixed_time
     from ..core.slowdown import paragon_comp_slowdown
 
@@ -308,24 +360,11 @@ def mixed_workload_experiment(
         dcomp = comp_per_cycle * cycles
         model = predict_mixed_time(dcomp, dcomm_out, dcomm_in, comp_slow, comm_slow)
 
-        def run(streams: RandomStreams) -> float:
-            sim = Simulator()
-            platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-            for k, prof in enumerate(contenders):
-                platform.spawn(
-                    alternating(
-                        platform, prof.comm_fraction, prof.message_size,
-                        platform.rng(f"c{k}"), tag=prof.name,
-                    ),
-                    name=prof.name,
-                )
-            probe = sim.process(
-                cyclic_program(platform, cycles, comp_per_cycle,
-                               messages_per_cycle, float(message_size))
-            )
-            return sim.run_until(probe)
-
-        rep = repeat_mean(run, repetitions=repetitions, seed=seed)
+        measure = _CyclicMeasure(
+            spec, tuple(contenders), cycles, comp_per_cycle,
+            messages_per_cycle, float(message_size),
+        )
+        rep = repeat_mean(measure, repetitions=repetitions, seed=seed, workers=workers)
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
         rows.append((share, dcomp + dcomm_out + dcomm_in, rep.mean, model, err))

@@ -72,6 +72,47 @@ class Tally:
         v = self.variance
         return math.sqrt(v) if v == v else math.nan
 
+    def state_dict(self) -> dict[str, float]:
+        """Full transferable state (enough to :meth:`merge_state`).
+
+        Unlike the ``{count, total, mean, min, max}`` summary in a
+        :class:`MetricsSnapshot`, this includes the Welford ``m2``
+        term, so tallies accumulated in worker processes can be folded
+        into the parent without losing variance information.
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self.minimum,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+    def merge_state(self, state: Mapping[str, float]) -> None:
+        """Fold another tally's :meth:`state_dict` into this one.
+
+        Chan et al.'s parallel combination of Welford accumulators:
+        exact counts/totals/extremes, numerically stable mean and m2.
+        """
+        n_b = int(state["count"])
+        if n_b == 0:
+            return
+        n_a = self.count
+        mean_b = float(state["mean"])
+        if n_a == 0:
+            self._mean = mean_b
+            self._m2 = float(state["m2"])
+        else:
+            delta = mean_b - self._mean
+            n = n_a + n_b
+            self._mean += delta * n_b / n
+            self._m2 += float(state["m2"]) + delta * delta * n_a * n_b / n
+        self.count = n_a + n_b
+        self.total += float(state["total"])
+        self.minimum = min(self.minimum, float(state["min"]))
+        self.maximum = max(self.maximum, float(state["max"]))
+
     def __repr__(self) -> str:
         return f"Tally(n={self.count}, mean={self.mean:.6g})"
 
@@ -306,3 +347,33 @@ class MetricsRegistry:
             gauges={k: g.value for k, g in self._gauges.items()},
             histograms={k: _hist_stats(h.tally) for k, h in self._histograms.items()},
         )
+
+    def state_dict(self) -> dict:
+        """Complete transferable state of every instrument.
+
+        Unlike :meth:`snapshot`, histograms carry their full
+        :meth:`Tally.state_dict` (including ``m2``), so a registry
+        populated in a worker process can be shipped across a pickle
+        boundary and folded losslessly into the parent's registry with
+        :meth:`merge_state`.
+        """
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.tally.state_dict() for k, h in self._histograms.items()},
+        }
+
+    def merge_state(self, payload: Mapping) -> None:
+        """Fold a worker registry's :meth:`state_dict` into this one.
+
+        Counters add, histograms combine their tallies (exact counts
+        and totals, stable mean/variance), gauges take the incoming
+        level — a gauge is a state, and the worker's reading is the
+        most recent one.
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, state in payload.get("histograms", {}).items():
+            self.histogram(name).tally.merge_state(state)

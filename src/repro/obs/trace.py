@@ -195,6 +195,27 @@ class Tracer:
         """Finished direct children of *span*."""
         return [s for s in self.spans if s.parent_id == span.span_id]
 
+    def absorb(self, spans: list[Span], parent_id: str | None = None) -> int:
+        """Adopt finished *spans* from another tracer (a worker process).
+
+        Every span is rewritten onto this tracer's ``trace_id``; spans
+        that were roots in the worker are re-parented under *parent_id*
+        (default: whatever span is currently active here), so a
+        replication fanned out to a process pool hangs off the same
+        experiment span it would have nested under serially. Worker
+        tracers must use a distinct identity seed so their span IDs
+        cannot collide with the parent's. Returns the number adopted.
+        """
+        if parent_id is None:
+            parent_id = self._stack[-1] if self._stack else None
+        worker_ids = {s.span_id for s in spans}
+        for span in spans:
+            span.trace_id = self.trace_id
+            if span.parent_id is None or span.parent_id not in worker_ids:
+                span.parent_id = parent_id
+            self.spans.append(span)
+        return len(spans)
+
     def write_jsonl(self, path: str | Path) -> int:
         """Export every finished span as JSON-lines; returns the count."""
         return write_jsonl(path, (s.to_dict() for s in self.spans))

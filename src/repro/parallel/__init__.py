@@ -1,0 +1,13 @@
+"""Deterministic parallel execution of replication and sweep workloads.
+
+One class, one contract: :class:`~repro.parallel.executor.ParallelExecutor`
+maps a picklable callable over items on a process pool and returns
+results in input order, falling back to inline execution when
+``workers <= 1`` or the pool is unavailable — so enabling parallelism
+never changes a single computed value, only the wall-clock. See
+``docs/performance.md`` for the determinism contract.
+"""
+
+from .executor import ParallelExecutor, default_workers
+
+__all__ = ["ParallelExecutor", "default_workers"]

@@ -1,0 +1,190 @@
+"""Deterministic process-pool fan-out for replication sweeps.
+
+The Monte-Carlo layer repeats every contended measurement with
+independent stream families; the replications are embarrassingly
+parallel *by construction* — replication *k* seeds itself from
+``RandomStreams(seed).fork(k)`` regardless of which process runs it.
+:class:`ParallelExecutor` exploits that: it maps a picklable callable
+over items on a :class:`concurrent.futures.ProcessPoolExecutor` and
+returns results **in input order**, so a parallel run is
+value-identical to a serial one (the determinism contract
+``docs/performance.md`` documents).
+
+Observability survives the fan-out: when the parent is inside
+``with observed(...)``, each worker item runs under its own fresh
+:class:`~repro.obs.context.ObsContext` (tracer seeded deterministically
+from the parent's identity seed and the item index) and ships its
+spans and full metric state back with the result; the parent then
+merges counters/histograms into its :class:`~repro.obs.MetricsRegistry`
+and adopts the spans under the currently active span via
+:meth:`~repro.obs.Tracer.absorb`.
+
+Fallbacks keep the executor safe to wire in everywhere: ``workers <= 1``
+runs inline (no pool, no pickling), and when the pool cannot be used —
+the platform lacks working multiprocessing, or the callable fails to
+pickle — the whole map transparently re-runs serially. Mapped
+callables must therefore be deterministic and effect-free apart from
+their return value; module-level functions or frozen-dataclass
+instances pickle, closures and lambdas do not.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Iterable, Sequence
+
+from ..obs import MetricsRegistry, ObsContext, Tracer, observed
+from ..obs import context as _obs
+
+__all__ = ["ParallelExecutor", "default_workers"]
+
+#: Multiplier decorrelating worker tracer seeds from the parent's
+#: (same role as the fork multiplier in ``repro.sim.rng``).
+_SEED_MULT = 1_000_003
+
+
+def default_workers() -> int:
+    """CPU count of the host (at least 1) — the ``workers=None`` default."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _worker_seed(parent_seed: int, index: int) -> int:
+    """Deterministic tracer seed for worker item *index*.
+
+    Offset by 1 so item 0 does not reproduce the parent tracer's own
+    seed — worker span IDs must never collide with parent span IDs.
+    """
+    return (parent_seed * _SEED_MULT + index + 1) & 0x7FFF_FFFF
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: Sequence[tuple[int, Any]],
+    obs_seed_base: int | None,
+) -> list[tuple[int, Any, dict | None, list[dict] | None]]:
+    """Execute one chunk of (index, item) pairs inside a worker process.
+
+    With observability requested, every item gets its own context so
+    the parent can attribute spans and metrics per item; the payload
+    travels back as plain dicts (spans) and a registry ``state_dict``.
+    """
+    out: list[tuple[int, Any, dict | None, list[dict] | None]] = []
+    for index, item in chunk:
+        if obs_seed_base is None:
+            out.append((index, fn(item), None, None))
+            continue
+        ctx = ObsContext(
+            tracer=Tracer(seed=_worker_seed(obs_seed_base, index)),
+            metrics=MetricsRegistry(),
+        )
+        with observed(ctx):
+            value = fn(item)
+        out.append(
+            (
+                index,
+                value,
+                ctx.metrics.state_dict(),
+                [s.to_dict() for s in ctx.tracer.spans],
+            )
+        )
+    return out
+
+
+class ParallelExecutor:
+    """Ordered, deterministic map over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count. ``None`` means one per CPU
+        (:func:`default_workers`); ``<= 1`` runs everything inline in
+        the calling process — the guaranteed-available path.
+    chunk_size:
+        Items handed to a worker per task. ``None`` picks
+        ``ceil(len(items) / workers)`` — one chunk per worker, the
+        right shape for replication counts within an order of magnitude
+        of the worker count.
+
+    The executor is stateless between :meth:`map` calls (each call
+    builds and tears down its own pool), so instances are cheap and
+    safely reusable.
+    """
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None) -> None:
+        self.workers = default_workers() if workers is None else int(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        self.chunk_size = chunk_size
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply *fn* to every item; results in input order.
+
+        Serial when ``workers <= 1`` or the pool is unusable; parallel
+        otherwise. Exceptions raised by *fn* itself propagate either
+        way — only pool-infrastructure failures trigger the serial
+        fallback (in which case no partial worker observability is
+        merged; the serial re-run produces it all in-process).
+        """
+        seq = list(items)
+        if self.workers <= 1 or len(seq) <= 1:
+            return [fn(item) for item in seq]
+        try:
+            return self._map_pool(fn, seq)
+        except _FALLBACK_ERRORS:
+            return [fn(item) for item in seq]
+
+    # -- internals ----------------------------------------------------------
+
+    def _map_pool(self, fn: Callable[[Any], Any], seq: list[Any]) -> list[Any]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = _obs.current()
+        obs_seed_base = ctx.tracer.seed if ctx is not None else None
+        indexed = list(enumerate(seq))
+        size = self.chunk_size or -(-len(indexed) // self.workers)
+        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        results: list[tuple[int, Any, dict | None, list[dict] | None]] = []
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(_run_chunk, fn, chunk, obs_seed_base) for chunk in chunks
+            ]
+            for future in futures:
+                results.extend(future.result())
+        results.sort(key=lambda r: r[0])
+        if ctx is not None:
+            self._merge_obs(ctx, results)
+        return [value for _, value, _, _ in results]
+
+    @staticmethod
+    def _merge_obs(
+        ctx: ObsContext,
+        results: list[tuple[int, Any, dict | None, list[dict] | None]],
+    ) -> None:
+        from ..obs import Span
+
+        for _, _, metrics_state, span_dicts in results:
+            if metrics_state is not None:
+                ctx.metrics.merge_state(metrics_state)
+            if span_dicts:
+                ctx.tracer.absorb([Span.from_dict(d) for d in span_dicts])
+
+
+def _fallback_errors() -> tuple[type[BaseException], ...]:
+    errors: list[type[BaseException]] = [
+        pickle.PicklingError,
+        AttributeError,  # unpicklable local/lambda callables
+        TypeError,  # "cannot pickle ..." objects
+        OSError,  # no fork/sem support on the platform
+        ImportError,
+    ]
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+
+        errors.append(BrokenProcessPool)
+    except ImportError:  # pragma: no cover - stdlib always has it
+        pass
+    return tuple(errors)
+
+
+_FALLBACK_ERRORS = _fallback_errors()

@@ -253,20 +253,16 @@ class SunParagonSpec:
     def message_dedicated_time(self, size_words: float, mode: str = "1hop") -> float:
         """Ground-truth dedicated end-to-end time of one message.
 
-        Sums conversion + wire + node handling (+ NX) over the
+        Prices conversion + wire + node handling (+ NX) over the
         transport fragments. Used by contention generators to translate
-        a time budget into a message count, and by tests.
+        a time budget into a message count, and by tests. Delegates to
+        :func:`repro.platforms.sunparagon.dedicated_message_times` (and
+        through it to the :mod:`repro.core.batch` fragmentation
+        kernel), so scalar and batch pricing share one formula.
         """
-        total = 0.0
-        for frag in self.wire.fragment_sizes(size_words):
-            total += (
-                self.conversion_cpu_time(frag)
-                + self.wire.occupancy(frag)
-                + self.node_handling
-            )
-            if mode == "2hops":
-                total += self.nx_time(frag)
-        return total
+        from .sunparagon import dedicated_message_times
+
+        return float(dedicated_message_times(size_words, self, mode))
 
 
 #: Default ground-truth instances used by the experiments.

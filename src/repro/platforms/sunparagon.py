@@ -35,9 +35,30 @@ from ..sim.rng import RandomStreams
 from .base import CoupledPlatform
 from .specs import DEFAULT_SUNPARAGON, SunParagonSpec
 
-__all__ = ["SunParagonPlatform", "MessageTiming"]
+__all__ = ["SunParagonPlatform", "MessageTiming", "dedicated_message_times"]
 
 _MODES = ("1hop", "2hops")
+
+
+def dedicated_message_times(sizes: Any, spec: SunParagonSpec = DEFAULT_SUNPARAGON, mode: str = "1hop"):
+    """Ground-truth dedicated per-message times over an array of sizes.
+
+    Vectorized pricing of whole message-size sweeps: each message pays,
+    per transport fragment, the format conversion, the wire occupancy,
+    the node handling and — in 2-HOPS mode — the NX forward. Delegates
+    to :func:`repro.core.batch.fragmented_message_times`, the single
+    implementation of the fragmentation cost formula; the scalar
+    :meth:`~repro.platforms.specs.SunParagonSpec.message_dedicated_time`
+    goes through the same kernel.
+    """
+    from ..core.batch import fragmented_message_times
+
+    fixed = spec.conv_fixed + spec.wire.alpha + spec.node_handling
+    per_word = spec.conv_per_word + spec.wire.per_word
+    if mode == "2hops":
+        fixed += spec.nx_alpha
+        per_word += spec.nx_per_word
+    return fragmented_message_times(sizes, spec.wire.buffer_words, fixed, per_word)
 
 
 @dataclass(frozen=True)

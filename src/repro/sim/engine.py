@@ -168,11 +168,18 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
-        super().__init__(sim, name=f"Timeout({delay:g})")
+        # No eager name: formatting one per timeout used to be the
+        # single hottest line of the simulator (timeouts are the bulk
+        # of all events); __repr__ renders the label on demand instead.
+        super().__init__(sim)
         self.delay = delay
         self._ok = True
         self._value = value
         sim._schedule(self, priority, delay)
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else "triggered"
+        return f"<Timeout({self.delay:g}) {state} at t={self.sim.now:g}>"
 
 
 class Interrupt(Exception):
@@ -410,7 +417,22 @@ class AnyOf(Condition):
 
 
 class Simulator:
-    """The event loop: owns virtual time and the pending-event heap."""
+    """The event loop: owns virtual time and the pending-event heap.
+
+    ``__slots__`` keeps the per-simulator attribute access on the hot
+    dispatch path dict-free — experiments create thousands of
+    simulators and step millions of events through them.
+    """
+
+    __slots__ = (
+        "now",
+        "active_process",
+        "_heap",
+        "_sequence",
+        "_processes",
+        "events_processed",
+        "_profile_hist",
+    )
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = float(start_time)
@@ -479,11 +501,25 @@ class Simulator:
         return tuple((p._name or "?") for p in self.pending_processes()[:limit])
 
     def step(self) -> None:
-        """Process exactly one event (advancing ``now`` to its time)."""
+        """Process exactly one event (advancing ``now`` to its time).
+
+        The profiling check happens *before* dispatch: with no
+        observability context requesting per-step timings the event is
+        dispatched by :meth:`_step_once` with zero instrumentation —
+        no clock reads, no histogram lookups.
+        """
         if not self._heap:
             raise SimulationError("step() called on an empty event queue")
         prof = self._profile_hist
-        t0 = time.perf_counter() if prof is not None else 0.0
+        if prof is None:
+            self._step_once()
+            return
+        t0 = time.perf_counter()
+        self._step_once()
+        prof.observe(time.perf_counter() - t0)
+
+    def _step_once(self) -> None:
+        """Bare event dispatch — the instrument-free hot path."""
         when, _prio, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
@@ -495,8 +531,6 @@ class Simulator:
         for callback in callbacks:
             callback(event)
         self.events_processed += 1
-        if prof is not None:
-            prof.observe(time.perf_counter() - t0)
         # An event that failed and had nobody waiting for it would
         # silently swallow its exception; surface it instead — unless it
         # is a Process (a detached process may legitimately fail only if
@@ -544,11 +578,16 @@ class Simulator:
     def _run_impl(self, until: Optional[float] = None) -> None:
         if until is not None and until < self.now:
             raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
-        while self._heap:
-            if until is not None and self.peek() > until:
+        # Pre-check profiling once: the obs-off loop binds the bare
+        # dispatcher and the heap locally instead of re-testing
+        # ``_profile_hist`` per event.
+        heap = self._heap
+        step = self._step_once if self._profile_hist is None else self.step
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            step()
         if until is not None:
             self.now = until
         zombies = self.pending_processes()
@@ -589,8 +628,10 @@ class Simulator:
             return out[0]
 
     def _run_until_impl(self, event: Event, limit: float | None = None) -> Any:
-        while not event.processed:
-            if not self._heap:
+        heap = self._heap
+        step = self._step_once if self._profile_hist is None else self.step
+        while not event._processed:
+            if not heap:
                 raise DeadlockError(
                     f"event queue empty before {event!r} fired",
                     sim_time=self.now,
@@ -598,7 +639,7 @@ class Simulator:
                     pending_count=len(self.pending_processes()),
                     queue_size=0,
                 )
-            if limit is not None and self.peek() > limit:
+            if limit is not None and heap[0][0] > limit:
                 raise DeadlockError(
                     f"{event!r} did not fire before t={limit!r}",
                     sim_time=self.now,
@@ -606,7 +647,7 @@ class Simulator:
                     pending_count=len(self.pending_processes()),
                     queue_size=len(self._heap),
                 )
-            self.step()
+            step()
         if not event.ok:
             raise event.value
         return event.value

@@ -1,0 +1,280 @@
+"""Property tests for the vectorized kernels in `repro.core.batch`.
+
+The batch kernels are the single home of the model's arithmetic; every
+scalar entry point delegates to them. These tests pin the contract from
+both sides:
+
+* against *independent* pure-Python reference implementations, element
+  for element, to within 1 ulp (in practice bitwise — same IEEE-754
+  operations in the same order);
+* against the scalar entry points themselves, bitwise;
+* at the piecewise threshold boundary and with NaN/inf sentinels;
+* on the validation contracts (exception types match the scalar path).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import batch
+from repro.core.params import LinearCommParams, PiecewiseCommParams
+from repro.core.prediction import (
+    BackendTaskCosts,
+    decide_placement,
+    predict_backend_time,
+    predict_comm_cost,
+    predict_frontend_time,
+    predict_mixed_time,
+)
+from repro.core.slowdown import cm2_slowdown
+from repro.errors import ModelError
+from repro.platforms.specs import DEFAULT_SUNPARAGON
+from repro.reliability.degrade import Confidence, TaggedSlowdown
+
+LINEAR = LinearCommParams(alpha=3.2e-3, beta=0.9e6)
+PIECEWISE = PiecewiseCommParams(
+    threshold=1024.0,
+    small=LinearCommParams(alpha=2.1e-3, beta=1.3e6),
+    large=LinearCommParams(alpha=3.7e-3, beta=1.05e6),
+)
+
+
+def assert_ulp_close(actual: np.ndarray, expected: list[float]) -> None:
+    """Element-for-element equality to within 1 ulp (NaN matches NaN)."""
+    actual = np.atleast_1d(actual)
+    assert actual.size == len(expected)
+    for got, want in zip(actual.tolist(), expected):
+        if math.isnan(want):
+            assert math.isnan(got)
+        elif got != want:
+            assert abs(got - want) <= math.ulp(want), (got, want)
+
+
+def random_sizes(n: int = 300, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 5000.0, n)
+
+
+# ---------------------------------------------------------------------------
+# Communication cost curves
+# ---------------------------------------------------------------------------
+
+
+def test_linear_matches_reference_over_random_grid():
+    sizes = random_sizes()
+    expected = [LINEAR.alpha + s / LINEAR.beta for s in sizes.tolist()]
+    assert_ulp_close(batch.linear_message_times(sizes, LINEAR), expected)
+
+
+def test_piecewise_matches_reference_over_random_grid():
+    sizes = random_sizes(seed=2)
+
+    def ref(s: float) -> float:
+        piece = PIECEWISE.small if s <= PIECEWISE.threshold else PIECEWISE.large
+        return piece.alpha + s / piece.beta
+
+    expected = [ref(s) for s in sizes.tolist()]
+    assert_ulp_close(batch.piecewise_message_times(sizes, PIECEWISE), expected)
+
+
+def test_piecewise_threshold_boundary():
+    """Sizes straddling the threshold pick the correct regime exactly."""
+    t = PIECEWISE.threshold
+    boundary = [0.0, np.nextafter(t, -np.inf), t, np.nextafter(t, np.inf), 2 * t]
+    times = batch.piecewise_message_times(boundary, PIECEWISE)
+    for s, got in zip(boundary, times.tolist()):
+        piece = PIECEWISE.piece_for(s)
+        assert got == piece.alpha + s / piece.beta
+    # At the threshold itself, the small regime applies (<=).
+    assert times[2] == PIECEWISE.small.alpha + t / PIECEWISE.small.beta
+
+
+def test_message_times_dispatches_on_parameterisation():
+    sizes = [1.0, 100.0, 2000.0]
+    assert np.array_equal(
+        batch.message_times(sizes, LINEAR), batch.linear_message_times(sizes, LINEAR)
+    )
+    assert np.array_equal(
+        batch.message_times(sizes, PIECEWISE),
+        batch.piecewise_message_times(sizes, PIECEWISE),
+    )
+
+
+def test_scalar_message_time_is_the_batch_kernel():
+    for s in (0.0, 1.0, 512.0, 1024.0, 1025.0, 4096.0):
+        assert LINEAR.message_time(s) == float(batch.linear_message_times(s, LINEAR))
+        assert PIECEWISE.message_time(s) == float(
+            batch.piecewise_message_times(s, PIECEWISE)
+        )
+
+
+def test_nan_and_inf_sentinels_propagate():
+    out = batch.piecewise_message_times([float("nan"), float("inf")], PIECEWISE)
+    assert math.isnan(out[0])
+    assert out[1] == float("inf")
+    lin = batch.linear_message_times([float("nan"), float("inf")], LINEAR)
+    assert math.isnan(lin[0])
+    assert lin[1] == float("inf")
+
+
+def test_negative_sizes_raise_model_error():
+    with pytest.raises(ModelError):
+        batch.linear_message_times([1.0, -2.0], LINEAR)
+    with pytest.raises(ModelError):
+        batch.piecewise_message_times(-1.0, PIECEWISE)
+
+
+def test_fragmented_matches_spec_reference():
+    spec = DEFAULT_SUNPARAGON
+    wire = spec.wire
+    sizes = random_sizes(seed=3)
+    fixed = spec.conv_fixed + wire.alpha + spec.node_handling
+    per_word = spec.conv_per_word + wire.per_word
+
+    def ref(s: float) -> float:
+        count = 1.0 if s <= wire.buffer_words else math.ceil(s / wire.buffer_words)
+        return count * (fixed + (s / count) * per_word)
+
+    expected = [ref(s) for s in sizes.tolist()]
+    got = batch.fragmented_message_times(sizes, wire.buffer_words, fixed, per_word)
+    assert_ulp_close(got, expected)
+    # The scalar spec method delegates to the same kernel.
+    for s in (0.0, 1.0, 1024.0, 1025.0, 5000.0):
+        assert spec.message_dedicated_time(s) == float(
+            batch.fragmented_message_times(s, wire.buffer_words, fixed, per_word)
+        )
+
+
+def test_fragmented_negative_raises_value_error():
+    with pytest.raises(ValueError):
+        batch.fragmented_message_times([-1.0], 1024.0, 1e-3, 1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Slowdown / elapsed-time kernels
+# ---------------------------------------------------------------------------
+
+
+def test_cm2_slowdowns_match_scalar():
+    levels = list(range(0, 10))
+    got = batch.cm2_slowdowns(levels)
+    assert got.tolist() == [cm2_slowdown(p) for p in levels]
+    with pytest.raises(ModelError):
+        batch.cm2_slowdowns([-1])
+
+
+def test_elapsed_kernels_match_scalar_predictions():
+    rng = np.random.default_rng(4)
+    n = 200
+    dcomp = rng.uniform(0.0, 5.0, n)
+    didle = rng.uniform(0.0, 1.0, n)
+    dserial = rng.uniform(0.0, 2.0, n)
+    dcomm = rng.uniform(0.0, 1.0, n)
+    slow = rng.uniform(1.0, 6.0, n)
+
+    front = batch.frontend_times(dcomp, slow)
+    back = batch.backend_times(dcomp, didle, dserial, slow)
+    comm = batch.comm_costs(dcomm, slow)
+    for k in range(n):
+        costs = BackendTaskCosts(dcomp=dcomp[k], didle=didle[k], dserial=dserial[k])
+        assert front[k] == predict_frontend_time(dcomp[k], slow[k])
+        assert back[k] == predict_backend_time(costs, slow[k])
+        assert comm[k] == predict_comm_cost(dcomm[k], slow[k])
+
+
+def test_mixed_times_match_scalar():
+    rng = np.random.default_rng(5)
+    n = 100
+    dcomp = rng.uniform(0.0, 5.0, n)
+    out = rng.uniform(0.0, 1.0, n)
+    inn = rng.uniform(0.0, 1.0, n)
+    s_comp = rng.uniform(1.0, 4.0, n)
+    s_comm = rng.uniform(1.0, 4.0, n)
+    got = batch.mixed_times(dcomp, out, inn, s_comp, s_comm)
+    for k in range(n):
+        assert got[k] == predict_mixed_time(dcomp[k], out[k], inn[k], s_comp[k], s_comm[k])
+
+
+def test_sub_one_slowdowns_raise_model_error():
+    with pytest.raises(ModelError):
+        batch.frontend_times([1.0], [0.5])
+    with pytest.raises(ModelError):
+        batch.backend_times([1.0], [0.0], [1.0], [0.99])
+    with pytest.raises(ModelError):
+        batch.comm_costs([1.0], [0.0])
+
+
+def test_negative_durations_raise_value_error():
+    with pytest.raises(ValueError):
+        batch.frontend_times([-1.0], [2.0])
+    with pytest.raises(ValueError):
+        batch.backend_times([1.0], [-0.1], [1.0], [2.0])
+
+
+# ---------------------------------------------------------------------------
+# Placement grids
+# ---------------------------------------------------------------------------
+
+
+def test_placement_grid_matches_scalar_decide_placement():
+    rng = np.random.default_rng(6)
+    n = 250
+    args = dict(
+        dcomp_frontend=rng.uniform(0.5, 5.0, n),
+        backend_dcomp=rng.uniform(0.1, 2.0, n),
+        backend_didle=rng.uniform(0.0, 0.5, n),
+        backend_dserial=rng.uniform(0.05, 1.0, n),
+        dcomm_out=rng.uniform(0.01, 0.5, n),
+        dcomm_in=rng.uniform(0.01, 0.5, n),
+    )
+    results = batch.decide_placement_batch(
+        comp_slowdown=3.0, comm_slowdown=2.0, **args
+    )
+    assert len(results) == n
+    for k, got in enumerate(results):
+        want = decide_placement(
+            args["dcomp_frontend"][k],
+            BackendTaskCosts(
+                dcomp=args["backend_dcomp"][k],
+                didle=args["backend_didle"][k],
+                dserial=args["backend_dserial"][k],
+            ),
+            args["dcomm_out"][k],
+            args["dcomm_in"][k],
+            comp_slowdown=3.0,
+            comm_slowdown=2.0,
+        )
+        assert got.t_frontend == want.t_frontend
+        assert got.t_backend == want.t_backend
+        assert got.c_out == want.c_out
+        assert got.c_in == want.c_in
+        assert got.offload == want.offload
+        assert got.best_time == want.best_time
+        assert got.confidence == want.confidence
+
+
+def test_placement_grid_broadcasts_and_tags_confidence():
+    grid = batch.placement_grid(
+        dcomp_frontend=np.array([1.0, 2.0, 3.0]),
+        backend_dcomp=0.5,
+        backend_didle=0.0,
+        backend_dserial=0.2,
+        dcomm_out=0.1,
+        dcomm_in=0.1,
+        comp_slowdown=TaggedSlowdown(value=2.0, confidence=Confidence.ANALYTIC),
+        comm_slowdown=1.5,
+    )
+    assert grid.size == 3
+    assert grid.confidence is Confidence.ANALYTIC
+    assert grid.offload.shape == (3,)
+    assert all(p.confidence is Confidence.ANALYTIC for p in grid.placements())
+
+
+def test_placement_grid_requires_both_slowdowns():
+    with pytest.raises(ModelError):
+        batch.placement_grid(1.0, 0.5, 0.0, 0.2, 0.1, 0.1, None, 2.0)
+    with pytest.raises(ModelError):
+        batch.placement_grid(1.0, 0.5, 0.0, 0.2, 0.1, 0.1, 2.0, None)

@@ -199,3 +199,48 @@ class TestSlowdownInvariance:
             assert twice.exec_time[task]["M1"] == pytest.approx(
                 direct.exec_time[task]["M1"]
             )
+
+
+class TestSortedExpansionRegression:
+    """The cheapest-step-first DFS ordering must not change results.
+
+    Randomized instance set: on continuous random costs the optimum is
+    unique with probability 1, so the pruned search must return exactly
+    the assignment exhaustive ranking finds.
+    """
+
+    def _random_problem(self, rng, tasks: int, machines: int) -> MappingProblem:
+        task_names = tuple(f"t{i}" for i in range(tasks))
+        machine_names = tuple(f"m{j}" for j in range(machines))
+        exec_time = {
+            t: {m: float(rng.uniform(0.5, 20.0)) for m in machine_names}
+            for t in task_names
+        }
+        comm_time = {
+            (a, b): float(rng.uniform(0.1, 10.0))
+            for a in machine_names
+            for b in machine_names
+            if a != b
+        }
+        return MappingProblem(
+            tasks=task_names,
+            machines=machine_names,
+            exec_time=exec_time,
+            comm_time=comm_time,
+        )
+
+    def test_assignment_unchanged_on_randomized_instances(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2024)
+        for _ in range(40):
+            tasks = int(rng.integers(1, 5))
+            machines = int(rng.integers(1, 5))
+            problem = self._random_problem(rng, tasks, machines)
+            expected = rank_mappings(problem)[0]
+            got = best_mapping(problem)
+            assert got.assignment == expected.assignment
+            # The DFS folds exec+transfer per level before accumulating,
+            # so its float association differs from evaluate_mapping's
+            # by at most an ulp or two.
+            assert got.elapsed == pytest.approx(expected.elapsed, rel=1e-12)

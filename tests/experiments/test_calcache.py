@@ -1,0 +1,131 @@
+"""Unit tests for the on-disk calibration cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import calcache
+from repro.experiments.calibrate import (
+    DEFAULT_SWEEP_SIZES,
+    ParagonCalibration,
+    _calibrate_paragon_cached,
+)
+from repro.core.params import (
+    DelayTable,
+    LinearCommParams,
+    PiecewiseCommParams,
+    SizedDelayTable,
+)
+from repro.obs import MetricsRegistry, ObsContext, Tracer, observed
+from repro.platforms.specs import DEFAULT_SUNPARAGON
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """Point the module cache at a temp dir, restoring the off state."""
+    calcache.set_cache_dir(tmp_path)
+    yield tmp_path
+    calcache.set_cache_dir(None)
+
+
+def sample_calibration() -> ParagonCalibration:
+    linear = LinearCommParams(alpha=1.5e-3, beta=1.1e6)
+    piecewise = PiecewiseCommParams(
+        threshold=1024.0, small=linear, large=LinearCommParams(alpha=2.5e-3, beta=0.9e6)
+    )
+    return ParagonCalibration(
+        mode="1hop",
+        params_out=piecewise,
+        params_in=piecewise,
+        delay_comp=DelayTable(delays=(0.4, 1.0, 1.6), label="delay_comp"),
+        delay_comm=DelayTable(delays=(0.6, 1.3), label="delay_comm"),
+        delay_comm_sized=SizedDelayTable(
+            tables={
+                1: DelayTable(delays=(0.1, 0.2), label="j1"),
+                500: DelayTable(delays=(0.5, 0.9), label="j500"),
+            },
+            saturation=1000.0,
+        ),
+    )
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        key = calcache.paragon_key(DEFAULT_SUNPARAGON, "1hop", 4, DEFAULT_SWEEP_SIZES)
+        assert key == calcache.paragon_key(
+            DEFAULT_SUNPARAGON, "1hop", 4, DEFAULT_SWEEP_SIZES
+        )
+
+    def test_key_depends_on_every_input(self):
+        base = calcache.paragon_key(DEFAULT_SUNPARAGON, "1hop", 4, (1, 2))
+        spec2 = dataclasses.replace(DEFAULT_SUNPARAGON, nx_alpha=0.123)
+        assert calcache.paragon_key(spec2, "1hop", 4, (1, 2)) != base
+        assert calcache.paragon_key(DEFAULT_SUNPARAGON, "2hops", 4, (1, 2)) != base
+        assert calcache.paragon_key(DEFAULT_SUNPARAGON, "1hop", 5, (1, 2)) != base
+        assert calcache.paragon_key(DEFAULT_SUNPARAGON, "1hop", 4, (1, 3)) != base
+
+
+class TestEntryIO:
+    def test_round_trip_is_exact(self, cache_dir):
+        cal = sample_calibration()
+        path = calcache.store_paragon("k1", cal)
+        assert path is not None and path.exists()
+        loaded = calcache.load_paragon("k1")
+        assert loaded == cal  # frozen dataclasses: field-exact equality
+
+    def test_missing_entry_is_none(self, cache_dir):
+        assert calcache.load_paragon("nope") is None
+
+    def test_corrupt_entry_is_none(self, cache_dir):
+        (cache_dir / "paragon-bad.json").write_text("{not json")
+        assert calcache.load_paragon("bad") is None
+
+    def test_version_mismatch_is_none(self, cache_dir):
+        calcache.store_paragon("k2", sample_calibration())
+        path = cache_dir / "paragon-k2.json"
+        data = json.loads(path.read_text())
+        data["version"] = calcache.CACHE_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert calcache.load_paragon("k2") is None
+
+    def test_disabled_cache_is_inert(self):
+        calcache.set_cache_dir(None)
+        assert calcache.store_paragon("k3", sample_calibration()) is None
+        assert calcache.load_paragon("k3") is None
+
+    def test_clear_cache(self, cache_dir):
+        calcache.store_paragon("a", sample_calibration())
+        calcache.store_paragon("b", sample_calibration())
+        assert calcache.clear_cache() == 2
+        assert calcache.load_paragon("a") is None
+
+    def test_clear_missing_dir_is_zero(self, tmp_path):
+        assert calcache.clear_cache(tmp_path / "absent") == 0
+
+
+class TestCalibrateIntegration:
+    def test_miss_then_hit_across_memory_cache_resets(self, cache_dir):
+        """Simulates two processes: calling past the lru_cache (via
+        ``__wrapped__``) forces each call to the disk layer, so the
+        second one must hit.  The lru_cache itself is left untouched —
+        other tests rely on its object identity."""
+        uncached = _calibrate_paragon_cached.__wrapped__
+        spec = dataclasses.replace(DEFAULT_SUNPARAGON, nx_alpha=0.000312)
+        sizes = tuple(DEFAULT_SWEEP_SIZES)
+        ctx = ObsContext(tracer=Tracer(seed=1), metrics=MetricsRegistry())
+        with observed(ctx):
+            first = uncached(spec, "1hop", 2, sizes)
+        snap = ctx.metrics.snapshot()
+        assert snap.counters.get("calibration.cache.miss") == 1
+        assert "calibration.cache.hit" not in snap.counters
+
+        ctx2 = ObsContext(tracer=Tracer(seed=2), metrics=MetricsRegistry())
+        with observed(ctx2):
+            second = uncached(spec, "1hop", 2, sizes)
+        snap2 = ctx2.metrics.snapshot()
+        assert snap2.counters.get("calibration.cache.hit") == 1
+        assert "calibration.cache.miss" not in snap2.counters
+        assert second == first  # loaded bit-identical to computed

@@ -20,6 +20,18 @@ class TestReplication:
         rep = Replication((5.0,))
         assert rep.std == 0.0
 
+    def test_cv_zero_mean_nonzero_spread_is_infinite(self):
+        # A zero mean with dispersion has unbounded *relative* variation;
+        # reporting 0.0 here used to masquerade as "noiseless".
+        rep = Replication((-1.0, 1.0))
+        assert rep.mean == 0.0
+        assert rep.std > 0.0
+        assert rep.cv == float("inf")
+
+    def test_cv_degenerate_zero_sample_is_zero(self):
+        rep = Replication((0.0, 0.0, 0.0))
+        assert rep.cv == 0.0
+
 
 class TestRepeatMean:
     def test_deterministic_function(self):
@@ -49,6 +61,24 @@ class TestRepeatMean:
     def test_validation(self):
         with pytest.raises(ValueError):
             repeat_mean(lambda s: 0.0, repetitions=0)
+
+    def test_parallel_values_bit_identical_to_serial(self):
+        serial = repeat_mean(_stream_draw, repetitions=6, seed=21, workers=1)
+        parallel = repeat_mean(_stream_draw, repetitions=6, seed=21, workers=4)
+        assert parallel.values == serial.values
+
+    def test_unpicklable_measure_falls_back_to_serial(self):
+        # A lambda cannot cross the process-pool boundary; the executor
+        # must transparently re-run serially with identical values.
+        serial = repeat_mean(lambda s: float(s.get("x").random()), repetitions=3, seed=2)
+        fallback = repeat_mean(
+            lambda s: float(s.get("x").random()), repetitions=3, seed=2, workers=4
+        )
+        assert fallback.values == serial.values
+
+
+def _stream_draw(streams: RandomStreams) -> float:
+    return float(streams.get("x").random())
 
 
 class TestConfidenceInterval:

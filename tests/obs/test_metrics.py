@@ -171,3 +171,54 @@ class TestSnapshotDiff:
             histograms={"h": {"count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0}},
         )
         assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+
+class TestStateMerge:
+    def test_tally_merge_matches_single_stream(self):
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        a_vals = rng.uniform(0.0, 5.0, 40).tolist()
+        b_vals = rng.uniform(2.0, 9.0, 25).tolist()
+        a, b, whole = Tally(), Tally(), Tally()
+        for v in a_vals:
+            a.record(v)
+            whole.record(v)
+        for v in b_vals:
+            b.record(v)
+            whole.record(v)
+        a.merge_state(b.state_dict())
+        assert a.count == whole.count
+        assert a.total == pytest.approx(whole.total)
+        assert a.mean == pytest.approx(whole.mean)
+        assert a.variance == pytest.approx(whole.variance)
+        assert a.minimum == whole.minimum
+        assert a.maximum == whole.maximum
+
+    def test_tally_merge_empty_is_noop(self):
+        a = Tally()
+        a.record(3.0)
+        before = a.state_dict()
+        a.merge_state(Tally().state_dict())
+        assert a.state_dict() == before
+
+    def test_tally_merge_into_empty_copies(self):
+        b = Tally()
+        b.record(1.0)
+        b.record(2.0)
+        a = Tally()
+        a.merge_state(b.state_dict())
+        assert a.count == 2
+        assert a.mean == pytest.approx(1.5)
+
+    def test_registry_merge_state(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("n").inc(2)
+        worker.counter("n").inc(3)
+        worker.gauge("depth").set(4.0)
+        worker.histogram("lat").observe(0.5)
+        parent.merge_state(worker.state_dict())
+        snap = parent.snapshot()
+        assert snap.counters["n"] == 5
+        assert snap.gauges["depth"] == 4.0
+        assert snap.histograms["lat"]["count"] == 1

@@ -131,3 +131,39 @@ class TestExport:
             error="ValueError: nope",
         )
         assert Span.from_dict(span.to_dict()) == span
+
+
+class TestAbsorb:
+    def _worker_spans(self, seed: int) -> list[Span]:
+        worker = Tracer(seed=seed)
+        with worker.span("outer", kind="test"):
+            with worker.span("inner", kind="test"):
+                pass
+        return [Span.from_dict(s.to_dict()) for s in worker.spans]
+
+    def test_absorb_rehomes_trace_and_roots(self):
+        parent = Tracer(seed=1)
+        with parent.span("map", kind="test"):
+            absorbed = parent.absorb(self._worker_spans(seed=99))
+        assert absorbed == 2
+        names = {s.name: s for s in parent.spans}
+        assert names["outer"].trace_id == parent.trace_id
+        assert names["inner"].trace_id == parent.trace_id
+        # The worker's root is re-parented under the active span; the
+        # worker-internal parent link survives.
+        assert names["outer"].parent_id == names["map"].span_id
+        assert names["inner"].parent_id == names["outer"].span_id
+
+    def test_absorb_outside_any_span_makes_roots(self):
+        parent = Tracer(seed=2)
+        parent.absorb(self._worker_spans(seed=50))
+        outer = next(s for s in parent.spans if s.name == "outer")
+        assert outer.parent_id is None
+
+    def test_absorb_no_id_collisions_with_distinct_seeds(self):
+        parent = Tracer(seed=3)
+        with parent.span("map", kind="test"):
+            parent.absorb(self._worker_spans(seed=1000))
+            parent.absorb(self._worker_spans(seed=1001))
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))

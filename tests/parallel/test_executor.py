@@ -1,0 +1,111 @@
+"""Unit tests for the deterministic process-pool executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsContext, Tracer, observed
+from repro.obs import context as _obs
+from repro.parallel import ParallelExecutor, default_workers
+from repro.parallel.executor import _worker_seed
+
+
+@dataclass(frozen=True)
+class Square:
+    """Picklable module-level callable for pool tests."""
+
+    offset: int = 0
+
+    def __call__(self, x: int) -> int:
+        return x * x + self.offset
+
+
+@dataclass(frozen=True)
+class Observed:
+    """Callable that emits a span and a counter per item."""
+
+    def __call__(self, x: int) -> int:
+        with _obs.span("item.work", kind="test", item=x):
+            _obs.inc("items.done")
+        return x + 1
+
+
+class TestSerialPath:
+    def test_workers_one_runs_inline(self):
+        executor = ParallelExecutor(workers=1)
+        assert executor.map(Square(), range(5)) == [0, 1, 4, 9, 16]
+
+    def test_single_item_runs_inline_regardless_of_workers(self):
+        executor = ParallelExecutor(workers=8)
+        assert executor.map(Square(), [3]) == [9]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(workers=4).map(Square(), []) == []
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            ParallelExecutor(workers=1).map(boom, [1, 2])
+
+
+class TestPoolPath:
+    def test_results_in_input_order(self):
+        executor = ParallelExecutor(workers=3)
+        items = list(range(17))
+        assert executor.map(Square(offset=1), items) == [x * x + 1 for x in items]
+
+    def test_explicit_chunk_size(self):
+        executor = ParallelExecutor(workers=2, chunk_size=2)
+        assert executor.map(Square(), range(7)) == [x * x for x in range(7)]
+
+    def test_matches_serial_exactly(self):
+        items = list(range(12))
+        serial = ParallelExecutor(workers=1).map(Square(offset=3), items)
+        parallel = ParallelExecutor(workers=4).map(Square(offset=3), items)
+        assert parallel == serial
+
+    def test_lambda_falls_back_to_serial(self):
+        executor = ParallelExecutor(workers=4)
+        assert executor.map(lambda x: x * 2, range(6)) == [0, 2, 4, 6, 8, 10]
+
+
+class TestValidation:
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+    def test_default_workers_at_least_one(self):
+        assert default_workers() >= 1
+        assert ParallelExecutor().workers == default_workers()
+
+    def test_worker_seed_never_collides_with_parent(self):
+        seeds = {_worker_seed(7, index) for index in range(100)}
+        assert len(seeds) == 100
+        assert 7 not in {_worker_seed(0, 0)}  # offset keeps item 0 distinct
+
+
+class TestObservabilityMerge:
+    def test_counters_and_spans_merged_into_parent(self):
+        ctx = ObsContext(tracer=Tracer(seed=5), metrics=MetricsRegistry())
+        with observed(ctx):
+            with ctx.tracer.span("parent.map", kind="test"):
+                values = ParallelExecutor(workers=2).map(Observed(), range(4))
+        assert values == [1, 2, 3, 4]
+        snap = ctx.metrics.snapshot()
+        assert snap.counters.get("items.done") == 4
+        work = [s for s in ctx.tracer.spans if s.name == "item.work"]
+        assert len(work) == 4
+        # Worker spans are re-homed: parent trace id, parented under the
+        # span active at merge time, no ID collisions.
+        parent = next(s for s in ctx.tracer.spans if s.name == "parent.map")
+        assert all(s.trace_id == ctx.tracer.trace_id for s in work)
+        assert all(s.parent_id == parent.span_id for s in work)
+        assert len({s.span_id for s in ctx.tracer.spans}) == len(ctx.tracer.spans)
+
+    def test_unobserved_run_carries_no_context(self):
+        values = ParallelExecutor(workers=2).map(Observed(), range(3))
+        assert values == [1, 2, 3]
