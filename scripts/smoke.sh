@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Smoke job: lint (when available), tier-1 tests, and one traced chaos
-# run whose JSON-lines trace is validated end to end.
+# Smoke job: lint (when available), tier-1 tests, a kill-and-resume
+# check of the run journal, and one traced chaos run whose JSON-lines
+# trace is validated end to end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
 set -euo pipefail
@@ -35,6 +36,58 @@ assert parallel.values == serial.values, (
 )
 print(f"ok: workers=2 bit-identical to serial over {serial.n} replications")
 EOF
+
+echo "== kill -9 and resume =="
+resume_dir="$(mktemp -d -t resume-smoke.XXXXXX)"
+# Reference: an uninterrupted journaled sweep.
+python -m repro saturation chaos --quick \
+    --journal "$resume_dir/ref.jsonl" --outdir "$resume_dir/ref" >/dev/null
+
+# Interrupted run: SIGKILL the sweep mid-flight, then resume it.
+python -m repro saturation chaos --quick \
+    --journal "$resume_dir/run.jsonl" --outdir "$resume_dir/out" >/dev/null &
+victim=$!
+sleep 2.5
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+[ -s "$resume_dir/run.jsonl" ] || {
+    echo "error: journal empty before the kill (sweep too fast/slow?)" >&2
+    exit 1
+}
+python -m repro saturation chaos --quick \
+    --resume "$resume_dir/run.jsonl" --outdir "$resume_dir/out"
+
+python - "$resume_dir" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+resume_dir = Path(sys.argv[1])
+
+
+def strip_volatile(obj):
+    """Drop the wall-clock stamp; everything else must be bit-identical."""
+    if isinstance(obj, dict):
+        return {
+            k: strip_volatile(v) for k, v in obj.items() if k != "created_unix"
+        }
+    if isinstance(obj, list):
+        return [strip_volatile(v) for v in obj]
+    return obj
+
+
+checked = 0
+for ref_file in sorted((resume_dir / "ref").glob("*.json")):
+    resumed_file = resume_dir / "out" / ref_file.name
+    assert resumed_file.exists(), f"missing after resume: {ref_file.name}"
+    ref = strip_volatile(json.loads(ref_file.read_text()))
+    out = strip_volatile(json.loads(resumed_file.read_text()))
+    assert ref == out, f"resumed output differs in {ref_file.name}"
+    checked += 1
+assert checked, "no JSON results to compare"
+print(f"ok: SIGKILLed+resumed sweep bit-identical across {checked} files")
+EOF
+rm -rf "$resume_dir"
 
 echo "== traced chaos run =="
 trace="$(mktemp -t chaos-trace.XXXXXX.jsonl)"

@@ -18,6 +18,7 @@ fractions). This module holds the system-dependent side:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -54,8 +55,8 @@ class LinearCommParams:
     beta: float
 
     def __post_init__(self) -> None:
-        if self.alpha < 0:
-            raise ModelError(f"alpha must be >= 0, got {self.alpha!r}")
+        if not math.isfinite(self.alpha) or self.alpha < 0:
+            raise ModelError(f"alpha must be finite and >= 0, got {self.alpha!r}")
         check_positive(self.beta, "beta")
 
     def message_time(self, size_words: float) -> float:
@@ -120,8 +121,8 @@ class DelayTable:
         if not self.delays:
             raise ModelError("a DelayTable needs at least one entry (i = 1)")
         for i, d in enumerate(self.delays, start=1):
-            if d < 0:
-                raise ModelError(f"delay^({i}) must be >= 0, got {d!r}")
+            if not math.isfinite(d) or d < 0:
+                raise ModelError(f"delay^({i}) must be finite and >= 0, got {d!r}")
 
     @property
     def max_level(self) -> int:

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ValidationError",
     "SimulationError",
     "DeadlockError",
     "WatchdogError",
     "CalibrationError",
     "ProbeError",
+    "CircuitOpenError",
     "ModelError",
     "ScheduleError",
     "WorkloadError",
@@ -24,6 +26,18 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid value supplied at the library's public API boundary.
+
+    Raised by the :mod:`repro.units` check helpers (and through them by
+    the platform-spec and model-parameter constructors) when a numeric
+    input is NaN, infinite, or outside its documented range. Subclasses
+    :class:`ValueError` too, so callers that historically caught
+    ``ValueError`` keep working while new code can catch the typed
+    taxonomy.
+    """
 
 
 class SimulationError(ReproError):
@@ -95,6 +109,21 @@ class ProbeError(CalibrationError):
     *transient* measurement loss (in the reproduction, injected by the
     fault plan; on a real platform, a crashed benchmark process), while
     a CalibrationError means the collected data itself is unusable.
+    """
+
+
+class CircuitOpenError(ProbeError):
+    """A circuit breaker rejected the call without attempting it.
+
+    Raised by :meth:`repro.reliability.breaker.CircuitBreaker.call` (and
+    by :func:`repro.reliability.retry.retry_with_backoff` when given a
+    breaker) once the breaker has tripped open: the protected operation
+    has failed persistently and further attempts are refused until the
+    recovery window elapses — or forever, when the breaker's deadline
+    budget is exhausted. Subclasses :class:`ProbeError` because the
+    canonical protected operation is a calibration probe, and callers
+    handling probe loss should handle breaker rejection the same way:
+    degrade, don't abort.
     """
 
 

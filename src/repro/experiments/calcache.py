@@ -35,6 +35,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -44,6 +45,7 @@ from ..core.params import (
     PiecewiseCommParams,
     SizedDelayTable,
 )
+from ..obs import context as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..platforms.specs import SunParagonSpec
@@ -241,15 +243,35 @@ def store_paragon(key: str, cal: "ParagonCalibration") -> Path | None:
 
     Failures to persist (read-only directory, full disk) are swallowed —
     the cache is an accelerator, never a correctness dependency.
+
+    Safe under concurrent writers: each writer stages into its own
+    ``mkstemp`` file (``O_EXCL`` guarantees uniqueness — a pid-derived
+    name is not enough, since pids recycle and threads share one) and
+    the last rename wins; both writers produced the same content, so
+    "last" is indistinguishable from "first". A writer that finds the
+    entry already present counts a ``calibration.cache.collision`` —
+    the signal that two processes just duplicated a calibration run.
     """
     path = _entry_path(key)
     if path is None:
         return None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(_paragon_to_dict(cal), indent=1))
-        tmp.replace(path)
+        if path.exists():
+            _obs.inc("calibration.cache.collision")
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(_paragon_to_dict(cal), indent=1))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
     except OSError:  # pragma: no cover - environment-dependent
         return None

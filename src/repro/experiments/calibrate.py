@@ -42,15 +42,17 @@ from ..core.params import (
     PiecewiseCommParams,
     SizedDelayTable,
 )
-from ..errors import ProbeError
+from ..errors import CalibrationError, ProbeError
 from ..obs import context as _obs
 from ..platforms.specs import SunCM2Spec, SunParagonSpec
 from ..platforms.suncm2 import SunCM2Platform
 from ..platforms.sunparagon import SunParagonPlatform
+from ..reliability.degrade import Confidence
 from ..reliability.retry import retry_with_backoff
 from ..sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.breaker import CircuitBreaker
     from ..reliability.faults import FaultInjector
 
 __all__ = [
@@ -59,6 +61,7 @@ __all__ = [
     "DEFAULT_SWEEP_SIZES",
     "calibrate_cm2",
     "calibrate_paragon",
+    "calibrate_paragon_resilient",
     "calibrate_paragon_comm",
     "pingpong_sweep",
     "measure_delay_comp",
@@ -97,25 +100,34 @@ def _run_probe(
     label: str,
     injector: "FaultInjector | None",
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> float:
     """Run one calibration probe, injecting failures and retrying.
 
-    With no injector this is a plain call — zero overhead, zero random
-    draws. With one, each attempt first consults
+    With no injector (and no breaker) this is a plain call — zero
+    overhead, zero random draws. With an injector, each attempt first
+    consults
     :meth:`~repro.reliability.faults.FaultInjector.probe_fails`; an
     injected failure raises :class:`~repro.errors.ProbeError` and
     :func:`~repro.reliability.retry.retry_with_backoff` re-runs the
     probe (the measurement itself is deterministic, so a surviving
     attempt returns the exact dedicated/contended time). Exhausting the
     budget re-raises the last ``ProbeError``.
+
+    A *breaker* guards every attempt: once it trips (persistent probe
+    failure anywhere in the suite, or its deadline budget spent), this
+    and all subsequent probes raise
+    :class:`~repro.errors.CircuitOpenError` immediately instead of
+    burning ``retry_attempts`` per probe — the caller falls through to
+    the degradation chain at once.
     """
     with _obs.span("calibrate.probe", kind="calibration", label=label):
         _obs.inc("calibration.probes")
-        if injector is None:
+        if injector is None and breaker is None:
             return measure()
 
         def attempt() -> float:
-            if injector.probe_fails(label):
+            if injector is not None and injector.probe_fails(label):
                 raise ProbeError(f"injected probe failure: {label}")
             return measure()
 
@@ -123,7 +135,8 @@ def _run_probe(
             attempt,
             attempts=retry_attempts,
             retry_on=ProbeError,
-            seed=injector.plan.seed,
+            seed=injector.plan.seed if injector is not None else 0,
+            breaker=breaker,
         )
 
 
@@ -219,6 +232,7 @@ def pingpong_sweep(
     mode: str = "1hop",
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> dict[int, float]:
     """Per-message dedicated times over a size sweep.
 
@@ -234,6 +248,7 @@ def pingpong_sweep(
             f"pingpong/{direction}/{int(s)}",
             injector,
             retry_attempts,
+            breaker,
         )
         / count
         for s in sizes
@@ -247,10 +262,15 @@ def calibrate_paragon_comm(
     mode: str = "1hop",
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> tuple[PiecewiseCommParams, PiecewiseCommParams]:
     """Fit the two-piece (α, β) models for both directions."""
-    out_sweep = pingpong_sweep(spec, sizes, count, "out", mode, injector, retry_attempts)
-    in_sweep = pingpong_sweep(spec, sizes, count, "in", mode, injector, retry_attempts)
+    out_sweep = pingpong_sweep(
+        spec, sizes, count, "out", mode, injector, retry_attempts, breaker
+    )
+    in_sweep = pingpong_sweep(
+        spec, sizes, count, "in", mode, injector, retry_attempts, breaker
+    )
     params_out = fit_piecewise(list(out_sweep), list(out_sweep.values()))
     params_in = fit_piecewise(list(in_sweep), list(in_sweep.values()))
     return params_out, params_in
@@ -296,6 +316,7 @@ def measure_delay_comp(
     mode: str = "1hop",
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> DelayTable:
     """``delay_comp^i``: compute-intensive generators vs. ping-pong."""
     dedicated = _run_probe(
@@ -303,6 +324,7 @@ def measure_delay_comp(
         "delay_comp/0",
         injector,
         retry_attempts,
+        breaker,
     )
     contended = [
         _run_probe(
@@ -312,6 +334,7 @@ def measure_delay_comp(
             f"delay_comp/{i}",
             injector,
             retry_attempts,
+            breaker,
         )
         for i in range(1, p_max + 1)
     ]
@@ -327,6 +350,7 @@ def measure_delay_comm(
     generator_size: float = 1.0,
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> DelayTable:
     """``delay_comm^i``: communicating generators vs. ping-pong.
 
@@ -343,6 +367,7 @@ def measure_delay_comm(
         "delay_comm/0",
         injector,
         retry_attempts,
+        breaker,
     )
     contended = []
     for i in range(1, p_max + 1):
@@ -353,6 +378,7 @@ def measure_delay_comm(
             f"delay_comm/{i}/out",
             injector,
             retry_attempts,
+            breaker,
         )
         t_in = _run_probe(
             lambda i=i: _contended_pingpong_time(
@@ -361,6 +387,7 @@ def measure_delay_comm(
             f"delay_comm/{i}/in",
             injector,
             retry_attempts,
+            breaker,
         )
         contended.append(0.5 * (t_out + t_in))
     return build_delay_table(dedicated, contended, label="delay_comm")
@@ -396,6 +423,7 @@ def measure_delay_comm_sized(
     mode: str = "1hop",
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> SizedDelayTable:
     """``delay_comm^{i,j}``: sized communicating generators vs. CPU probe.
 
@@ -408,6 +436,7 @@ def measure_delay_comm_sized(
         "delay_comm_sized/0",
         injector,
         retry_attempts,
+        breaker,
     )
     by_size: dict[int, list[float]] = {}
     for j in j_values:
@@ -418,12 +447,14 @@ def measure_delay_comm_sized(
                 f"delay_comm_sized/{j}/{i}/out",
                 injector,
                 retry_attempts,
+                breaker,
             )
             t_in = _run_probe(
                 lambda i=i, j=j: _contended_compute_time(spec, i, j, "in", work, mode),
                 f"delay_comm_sized/{j}/{i}/in",
                 injector,
                 retry_attempts,
+                breaker,
             )
             times.append(0.5 * (t_out + t_in))
         by_size[int(j)] = times
@@ -442,22 +473,43 @@ def _calibrate_paragon_suite(
     sizes: tuple[int, ...],
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> ParagonCalibration:
     params_out, params_in = calibrate_paragon_comm(
-        spec, sizes, mode=mode, injector=injector, retry_attempts=retry_attempts
+        spec,
+        sizes,
+        mode=mode,
+        injector=injector,
+        retry_attempts=retry_attempts,
+        breaker=breaker,
     )
     return ParagonCalibration(
         mode=mode,
         params_out=params_out,
         params_in=params_in,
         delay_comp=measure_delay_comp(
-            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+            spec,
+            p_max=p_max,
+            mode=mode,
+            injector=injector,
+            retry_attempts=retry_attempts,
+            breaker=breaker,
         ),
         delay_comm=measure_delay_comm(
-            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+            spec,
+            p_max=p_max,
+            mode=mode,
+            injector=injector,
+            retry_attempts=retry_attempts,
+            breaker=breaker,
         ),
         delay_comm_sized=measure_delay_comm_sized(
-            spec, p_max=p_max, mode=mode, injector=injector, retry_attempts=retry_attempts
+            spec,
+            p_max=p_max,
+            mode=mode,
+            injector=injector,
+            retry_attempts=retry_attempts,
+            breaker=breaker,
         ),
     )
 
@@ -497,6 +549,7 @@ def calibrate_paragon(
     sizes: tuple[int, ...] = DEFAULT_SWEEP_SIZES,
     injector: "FaultInjector | None" = None,
     retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
 ) -> ParagonCalibration:
     """Run the full §3.2 calibration suite once for (spec, mode).
 
@@ -512,9 +565,55 @@ def calibrate_paragon(
     entries. Probe failures are retried per :func:`_run_probe`; because
     the underlying measurements are deterministic, a faulted calibration
     that converges is *identical* to the fault-free one.
+
+    A *breaker* also bypasses both caches (it is stateful in the same
+    way) and guards every probe of the suite: persistent failure trips
+    it and the suite aborts with
+    :class:`~repro.errors.CircuitOpenError` instead of retrying each
+    remaining probe to exhaustion. Use
+    :func:`calibrate_paragon_resilient` to turn that abort into a
+    degraded-confidence fallback.
     """
-    if injector is not None:
+    if injector is not None or breaker is not None:
         return _calibrate_paragon_suite(
-            spec, mode, p_max, tuple(sizes), injector, retry_attempts
+            spec, mode, p_max, tuple(sizes), injector, retry_attempts, breaker
         )
     return _calibrate_paragon_cached(spec, mode, p_max, tuple(sizes))
+
+
+def calibrate_paragon_resilient(
+    spec: SunParagonSpec,
+    mode: str = "1hop",
+    p_max: int = 4,
+    sizes: tuple[int, ...] = DEFAULT_SWEEP_SIZES,
+    injector: "FaultInjector | None" = None,
+    retry_attempts: int = _PROBE_ATTEMPTS,
+    breaker: "CircuitBreaker | None" = None,
+) -> tuple[ParagonCalibration | None, Confidence]:
+    """Calibrate if possible; degrade to the analytic model if not.
+
+    The crash-tolerant entry point for sweeps: a calibration that
+    cannot complete — probes failing past the retry budget, the
+    *breaker* tripping or running out of deadline budget, or the
+    collected data being unusable — returns ``(None, ANALYTIC)``
+    instead of raising, so the caller feeds
+    ``SlowdownManager(None, None, None)`` and keeps answering from the
+    analytic fallback chain. A completed suite returns
+    ``(calibration, CALIBRATED)``.
+    """
+    try:
+        cal = calibrate_paragon(
+            spec,
+            mode=mode,
+            p_max=p_max,
+            sizes=sizes,
+            injector=injector,
+            retry_attempts=retry_attempts,
+            breaker=breaker,
+        )
+    except CalibrationError:
+        # Covers ProbeError and CircuitOpenError (both subclasses): the
+        # platform would not yield a full table set.
+        _obs.inc("calibration.degraded")
+        return None, Confidence.ANALYTIC
+    return cal, Confidence.CALIBRATED

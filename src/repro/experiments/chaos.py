@@ -24,6 +24,7 @@ byte-for-byte those of a fault-free run.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Sequence
 
 from ..apps.contender import alternating, churned
@@ -35,13 +36,15 @@ from ..obs import MetricsSnapshot, RunManifest, platform_summary
 from ..obs import context as _obs
 from ..platforms.specs import DEFAULT_SUNPARAGON, SunParagonSpec
 from ..platforms.sunparagon import SunParagonPlatform
+from ..reliability.breaker import CircuitBreaker
 from ..reliability.faults import FaultInjector, FaultPlan
 from ..reliability.supervise import supervise
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
-from .calibrate import calibrate_paragon
+from . import journal as _journal
+from .calibrate import calibrate_paragon, calibrate_paragon_resilient
 from .report import ExperimentResult, mean_abs_pct_error, pct_error
-from .runner import repeat_mean
+from .runner import Replication, repeat_mean
 
 __all__ = ["chaos_experiment", "DEFAULT_FAULT_RATES"]
 
@@ -106,6 +109,7 @@ def chaos_experiment(
         sp.set("fallback", model_deg)
         sp.set("confidence", tagged_deg.confidence.name)
 
+    spec_desc = dataclasses.asdict(spec)
     rows = []
     actuals, injected_totals = [], []
     for rate in fault_rates:
@@ -145,7 +149,30 @@ def chaos_experiment(
 
         # retry_attempts=2: a replication wedged by injected faults gets
         # one re-salted re-run before the sweep point is abandoned.
-        rep = repeat_mean(run, repetitions=repetitions, seed=seed, retry_attempts=2)
+        #
+        # Journaling happens at the rate level, not inside repeat_mean:
+        # ``run`` is a closure (it captures the armed injector), so the
+        # runner correctly refuses to key it — but the whole rate point
+        # is determined by (spec, rate, work, repetitions, seed), and
+        # the injector's tally has to ride along in the payload because
+        # a resumed run never re-arms the injector.
+        def rate_point(injector: FaultInjector = injector) -> dict:
+            rep = repeat_mean(run, repetitions=repetitions, seed=seed, retry_attempts=2)
+            return {"values": list(rep.values), "injected": injector.total_injected}
+
+        data = _journal.point(
+            "chaos.rate",
+            {
+                "spec": spec_desc,
+                "rate": float(rate),
+                "work": float(work),
+                "repetitions": int(repetitions),
+                "seed": int(seed),
+            },
+            rate_point,
+        )
+        rep = Replication(values=tuple(float(v) for v in data["values"]))
+        injected = int(data["injected"])
         rows.append(
             (
                 rate,
@@ -154,11 +181,45 @@ def chaos_experiment(
                 pct_error(rep.mean, model_cal),
                 model_deg,
                 pct_error(rep.mean, model_deg),
-                injector.total_injected,
+                injected,
             )
         )
         actuals.append(rep.mean)
-        injected_totals.append(injector.total_injected)
+        injected_totals.append(injected)
+
+    # Breaker-guarded calibration under the sweep's heaviest probe-fault
+    # rate: the end-to-end trip→degrade path. A probe that fails past
+    # its (short) retry budget trips the breaker, the suite aborts with
+    # CircuitOpenError, and calibrate_paragon_resilient converts that
+    # into (None, ANALYTIC) — exactly what a sweep on a dying platform
+    # would feed SlowdownManager. Deterministic per seed, so it
+    # journals like any other point.
+    max_rate = max(float(r) for r in fault_rates)
+
+    def faulted_cal_point() -> dict:
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time=3600.0)
+        cal_injector = FaultInjector(
+            FaultPlan(seed=seed + 101, probe_failure_rate=max_rate)
+        )
+        _, confidence = calibrate_paragon_resilient(
+            spec,
+            p_max=1,
+            sizes=(16, 256, 768, 1024, 1536, 2048),
+            injector=cal_injector,
+            retry_attempts=2,
+            breaker=breaker,
+        )
+        return {
+            "confidence": confidence.name,
+            "trips": breaker.trips,
+            "rejections": breaker.rejections,
+        }
+
+    faulted_cal = _journal.point(
+        "chaos.faulted_cal",
+        {"spec": spec_desc, "rate": max_rate, "seed": int(seed) + 101},
+        faulted_cal_point,
+    )
 
     ctx = _obs.current()
     manifest = RunManifest.stamp(
@@ -199,6 +260,9 @@ def chaos_experiment(
             "mean_abs_err_pct_fallback": mean_abs_pct_error(actuals, [model_deg] * n),
             "faults_injected_total": float(sum(injected_totals)),
             "degradation_events": float(degraded.degradations.total),
+            "faulted_cal_calibrated": 1.0 if faulted_cal["confidence"] == "CALIBRATED" else 0.0,
+            "faulted_cal_breaker_trips": float(faulted_cal["trips"]),
+            "faulted_cal_breaker_rejections": float(faulted_cal["rejections"]),
         },
         paper_claim=(
             "resilience extension (not in the paper): accuracy decays "

@@ -34,6 +34,7 @@ from .figures import (
     fig8_sor_sun,
 )
 from .export import write_results
+from .journal import RunJournal, journaled
 from .plots import chart_result
 from .sensitivity import (
     cycle_length_sensitivity,
@@ -169,6 +170,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "checkpoint completed sweep points to an append-only JSON-lines "
+            "journal at PATH (truncates an existing file; see --resume)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume from the journal at PATH: completed points are replayed "
+            "bit-identically, only missing points are recomputed; new points "
+            "are appended to the same file"
+        ),
+    )
+    parser.add_argument(
         "--cal-cache",
         default=None,
         metavar="DIR",
@@ -200,6 +220,16 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.journal and args.resume:
+        raise SystemExit("--journal and --resume are mutually exclusive (resume appends to its own file)")
+    journal = None
+    if args.journal:
+        journal = RunJournal(args.journal, resume=False)
+    elif args.resume:
+        journal = RunJournal(args.resume, resume=True)
+        print(f"resuming from {args.resume}: {len(journal)} completed points loaded", end="")
+        print(f" ({journal.skipped} corrupt lines skipped)" if journal.skipped else "")
+
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     ctx = None
     if args.trace:
@@ -207,7 +237,9 @@ def main(argv: list[str] | None = None) -> int:
             tracer=Tracer(seed=args.trace_seed), metrics=MetricsRegistry()
         )
     results = []
-    with observed(ctx) if ctx is not None else contextlib.nullcontext():
+    with observed(ctx) if ctx is not None else contextlib.nullcontext(), (
+        journaled(journal) if journal is not None else contextlib.nullcontext()
+    ):
         for name in names:
             t0 = time.perf_counter()
             result = run_experiment(name, quick=args.quick, workers=workers)
@@ -221,6 +253,12 @@ def main(argv: list[str] | None = None) -> int:
                     print(chart)
             print(f"  [{elapsed:.1f}s]")
             print()
+    if journal is not None:
+        print(
+            f"journal {journal.path}: {journal.hits} points replayed, "
+            f"{journal.misses} computed"
+        )
+        journal.close()
     if ctx is not None:
         count = ctx.tracer.write_jsonl(args.trace)
         print(f"wrote {count} spans to {args.trace}")

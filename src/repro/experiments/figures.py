@@ -14,6 +14,7 @@ only used to *build* the simulated systems.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,6 +36,7 @@ from ..traces.gauss import gauss_cm2_trace
 from ..traces.instructions import Parallel, Reduction, Serial, Trace
 from ..traces.analysis import measure_dedicated_cm2
 from ..traces.sor import sor_sun_work
+from . import journal as _journal
 from .calibrate import ParagonCalibration, calibrate_cm2, calibrate_paragon
 from .report import ExperimentResult, mean_abs_pct_error, pct_error
 from .runner import repeat_mean
@@ -94,6 +96,7 @@ def fig1_cm2_communication(
         sizes = _FIG1_SIZES_QUICK if quick else _FIG1_SIZES
     cal = calibrate_cm2(spec)
     slowdown = cm2_slowdown(p)
+    spec_desc = dataclasses.asdict(spec)
 
     rows = []
     actuals_ded, models_ded, actuals_con, models_con = [], [], [], []
@@ -102,8 +105,22 @@ def fig1_cm2_communication(
         dcomm = dedicated_comm_cost(dataset, cal.params_out) + dedicated_comm_cost(
             dataset, cal.params_in
         )
-        actual_ded = _cm2_transfer_actual(spec, m, 0)
-        actual_con = _cm2_transfer_actual(spec, m, p)
+        # Each simulated transfer is one journal point: an interrupted
+        # sweep resumes past completed (spec, m, p) combinations.
+        actual_ded = float(
+            _journal.point(
+                "fig1.cm2_transfer",
+                {"spec": spec_desc, "m": int(m), "p": 0},
+                lambda m=m: _cm2_transfer_actual(spec, m, 0),
+            )
+        )
+        actual_con = float(
+            _journal.point(
+                "fig1.cm2_transfer",
+                {"spec": spec_desc, "m": int(m), "p": int(p)},
+                lambda m=m: _cm2_transfer_actual(spec, m, p),
+            )
+        )
         model_con = predict_comm_cost(dcomm, slowdown)
         rows.append(
             (
@@ -244,13 +261,22 @@ def fig3_gauss_cm2(
     if sizes is None:
         sizes = _FIG3_SIZES_QUICK if quick else _FIG3_SIZES
     slowdown = cm2_slowdown(p)
+    spec_desc = dataclasses.asdict(spec)
     rows = []
     actuals, models = [], []
     crossover: float | None = None
     for m in sizes:
         trace = gauss_cm2_trace(m, spec)
         dedicated = measure_dedicated_cm2(trace, spec)
-        actual = _cm2_trace_actual(spec, trace, p)
+        # The trace is a pure function of (m, spec), so (spec, m, p)
+        # fully keys the contended simulation for checkpoint/resume.
+        actual = float(
+            _journal.point(
+                "fig3.gauss_cm2",
+                {"spec": spec_desc, "m": int(m), "p": int(p)},
+                lambda trace=trace: _cm2_trace_actual(spec, trace, p),
+            )
+        )
         model = predict_backend_time(dedicated.costs, slowdown)
         contended_hurts = actual > dedicated.elapsed * 1.05
         if not contended_hurts and crossover is None:

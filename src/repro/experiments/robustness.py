@@ -19,6 +19,7 @@ claims in prose; each gets a driver here:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -40,6 +41,7 @@ from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..traces.analysis import measure_dedicated_cm2
 from ..traces.synthetic import synthetic_cm2_trace
+from . import journal as _journal
 from .calibrate import (
     calibrate_paragon,
     _contended_compute_time,  # shared probe harness
@@ -282,13 +284,28 @@ def saturation_sweep(
     if quick:
         generator_sizes = (1, 500, 1000, 2000)
         work = 0.4
-    dedicated = _contended_compute_time(spec, 0, 1, "out", work, "1hop")
+    spec_desc = dataclasses.asdict(spec)
+    # Every simulated probe below is a journal point: a killed sweep
+    # resumes past completed (spec, level, j, work) combinations.
+    dedicated = float(
+        _journal.point(
+            "saturation.dedicated",
+            {"spec": spec_desc, "work": float(work)},
+            lambda: _contended_compute_time(spec, 0, 1, "out", work, "1hop"),
+        )
+    )
     sizes, delays = [], []
     rows = []
     for j in generator_sizes:
-        t_out = _contended_compute_time(spec, level, j, "out", work, "1hop")
-        t_in = _contended_compute_time(spec, level, j, "in", work, "1hop")
-        delay = relative_delays(dedicated, [0.5 * (t_out + t_in)])[0]
+        t_out, t_in = _journal.point(
+            "saturation.point",
+            {"spec": spec_desc, "level": int(level), "j": int(j), "work": float(work)},
+            lambda j=j: [
+                _contended_compute_time(spec, level, j, "out", work, "1hop"),
+                _contended_compute_time(spec, level, j, "in", work, "1hop"),
+            ],
+        )
+        delay = relative_delays(dedicated, [0.5 * (float(t_out) + float(t_in))])[0]
         sizes.append(j)
         delays.append(delay)
         rows.append((j, delay))

@@ -10,16 +10,18 @@ statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..errors import ReproError
 from ..obs import context as _obs
-from ..parallel import ParallelExecutor
+from ..parallel import FailurePolicy, ParallelExecutor, Quarantined
+from ..reliability.degrade import Confidence
 from ..reliability.retry import retry_with_backoff
 from ..sim.rng import RandomStreams
+from . import journal as _journal
 
 __all__ = ["Replication", "repeat_mean"]
 
@@ -31,13 +33,36 @@ _RETRY_SALT = 7919
 
 @dataclass(frozen=True)
 class Replication:
-    """Summary of repeated measurements of one scalar quantity."""
+    """Summary of repeated measurements of one scalar quantity.
+
+    ``values`` holds the replications that actually produced a number.
+    When containment quarantined some replications (worker crash,
+    deadline — see :mod:`repro.parallel.containment`), the sentinels
+    land in ``quarantined`` and :attr:`confidence` degrades instead of
+    the sweep aborting.
+    """
 
     values: tuple[float, ...]
+    quarantined: tuple[Quarantined, ...] = field(default=())
+
+    @property
+    def confidence(self) -> Confidence:
+        """How much measured data backs this summary.
+
+        ``CALIBRATED`` when every replication produced a value,
+        ``EXTRAPOLATED`` when some were quarantined (the mean stands on
+        fewer measurements than requested), ``ANALYTIC`` when *all*
+        were quarantined — there is no data, only model fallback.
+        """
+        if not self.quarantined:
+            return Confidence.CALIBRATED
+        if self.values:
+            return Confidence.EXTRAPOLATED
+        return Confidence.ANALYTIC
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.values))
+        return float(np.mean(self.values)) if self.values else float("nan")
 
     @property
     def std(self) -> float:
@@ -54,8 +79,11 @@ class Replication:
         A zero mean with nonzero dispersion has *infinite* relative
         variation, so that case reports ``float("inf")`` rather than
         pretending to be noiseless; only a genuinely degenerate sample
-        (zero mean **and** zero spread) reports 0.0.
+        (zero mean **and** zero spread) reports 0.0. An empty sample
+        (everything quarantined) reports NaN, like the mean.
         """
+        if not self.values:
+            return float("nan")
         m = self.mean
         if m:
             return self.std / m
@@ -126,6 +154,7 @@ def repeat_mean(
     retry_attempts: int = 1,
     retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
     workers: int = 1,
+    policy: FailurePolicy | None = None,
 ) -> Replication:
     """Run *measure* with *repetitions* independent stream families.
 
@@ -159,12 +188,57 @@ def repeat_mean(
         function or frozen-dataclass callable); unpicklable measures
         fall back to the serial path. Worker spans/metrics are merged
         back into an active parent observability context.
+    policy:
+        Optional :class:`~repro.parallel.FailurePolicy` for the pool
+        path: replications whose worker crashes or exceeds the deadline
+        are retried and eventually quarantined — they land in
+        ``Replication.quarantined`` and degrade
+        ``Replication.confidence`` instead of aborting the sweep.
+        Ignored on the inline path (``workers <= 1``).
+
+    When an experiment journal is active
+    (:func:`repro.experiments.journal.journaled`) and *measure* is
+    describable — a module-level function or a frozen dataclass of
+    describable fields — the replication values are checkpointed per
+    call and replayed bit-identically on ``--resume``. The journal key
+    covers everything that determines the values (measure, seed,
+    repetitions, retry policy) but *not* ``workers`` or *policy*: the
+    determinism contract makes values invariant under both.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
     task = _ReplicationTask(
         measure=measure, seed=seed, retry_attempts=retry_attempts, retry_on=retry_on
     )
-    executor = ParallelExecutor(workers=workers)
-    values = executor.map(task, range(repetitions))
-    return Replication(values=tuple(values))
+
+    def compute() -> dict:
+        executor = ParallelExecutor(workers=workers)
+        raw = executor.map(task, range(repetitions), policy=policy)
+        return {
+            "values": [v for v in raw if not isinstance(v, Quarantined)],
+            "quarantined": [
+                {"index": q.index, "reason": q.reason, "failures": q.failures}
+                for q in raw
+                if isinstance(q, Quarantined)
+            ],
+        }
+
+    journal = _journal.active()
+    description = _journal.describe_task(task) if journal is not None else None
+    if journal is not None and description is not None:
+        data = journal.point(
+            "repeat_mean",
+            {"task": description, "repetitions": int(repetitions)},
+            compute,
+        )
+    else:
+        data = compute()
+    return Replication(
+        values=tuple(float(v) for v in data["values"]),
+        quarantined=tuple(
+            Quarantined(
+                index=int(q["index"]), reason=str(q["reason"]), failures=int(q["failures"])
+            )
+            for q in data["quarantined"]
+        ),
+    )

@@ -6,8 +6,17 @@ results in input order, falling back to inline execution when
 ``workers <= 1`` or the pool is unavailable — so enabling parallelism
 never changes a single computed value, only the wall-clock. See
 ``docs/performance.md`` for the determinism contract.
+
+With a :class:`~repro.parallel.containment.FailurePolicy`, the pool
+path additionally *contains* worker failures: crashed or wedged tasks
+are retried on a rebuilt pool and, past the policy's failure budget,
+quarantined — replaced in the result list by a
+:class:`~repro.parallel.containment.Quarantined` sentinel instead of
+aborting the sweep. See the "Crash tolerance" section of
+``docs/reliability.md``.
 """
 
+from .containment import FailurePolicy, Quarantined
 from .executor import ParallelExecutor, default_workers
 
-__all__ = ["ParallelExecutor", "default_workers"]
+__all__ = ["FailurePolicy", "ParallelExecutor", "Quarantined", "default_workers"]

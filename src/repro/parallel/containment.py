@@ -1,0 +1,108 @@
+"""Worker-failure containment policy for :class:`ParallelExecutor`.
+
+A replication sweep dispatched onto a process pool inherits the pool's
+failure mode: one worker segfaulting (or wedging) raises
+``BrokenProcessPool`` and sinks the *entire* map — hours of completed
+points included. The containment layer turns that into a local event:
+
+* every task gets a wall-clock **deadline** (optional) so a wedged
+  worker cannot stall the sweep forever;
+* a broken pool is **rebuilt** and the tasks that were not finished are
+  retried — completed results are never re-run;
+* a task that keeps killing workers is **quarantined** after
+  ``max_task_failures`` infrastructure failures and yields a
+  :class:`Quarantined` sentinel (Confidence ``ANALYTIC``) in its result
+  slot instead of poisoning the rest of the sweep.
+
+Only *infrastructure* failures — worker death, pool breakage, deadline
+expiry — are contained. An exception raised by the mapped callable
+itself is a result, not an infrastructure event, and propagates to the
+caller exactly as on the plain path.
+
+Containment requires the pool: the inline path (``workers <= 1``) runs
+tasks in the calling process, where a crash *is* the caller crashing
+and a deadline cannot be enforced without threads; the policy is
+documented as a no-op there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reliability.degrade import Confidence
+
+__all__ = ["FailurePolicy", "Quarantined"]
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How :meth:`ParallelExecutor.map` contains worker failures.
+
+    Attributes
+    ----------
+    deadline:
+        Per-wave wall-clock budget in seconds; tasks still running when
+        it expires are charged one failure and the pool is rebuilt.
+        ``None`` (default) disables the deadline — pool breakage is
+        then the only containment trigger.
+    max_task_failures:
+        Infrastructure failures a single task may accumulate before it
+        is quarantined. The default of 3 protects innocent tasks that
+        happen to share waves with a poison task: the poison task
+        reaches the threshold first (it fails every wave), while an
+        innocent neighbour is typically charged at most once.
+    max_pool_rebuilds:
+        Pool rebuilds allowed for one ``map`` call. When exceeded, all
+        still-pending tasks are quarantined at once — the host is too
+        unhealthy to keep probing.
+    """
+
+    deadline: float | None = None
+    max_task_failures: int = 3
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {self.deadline!r}")
+        if self.max_task_failures < 1:
+            raise ValueError(
+                f"max_task_failures must be >= 1, got {self.max_task_failures!r}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Quarantined:
+    """Result slot of a task that containment gave up on.
+
+    Carries enough to degrade gracefully: consumers treat a quarantined
+    replication as a missing measurement and tag whatever aggregate it
+    feeds with :attr:`confidence` (``ANALYTIC`` — no measured value
+    exists for this point, only model fallback).
+
+    Attributes
+    ----------
+    index:
+        Input position of the task within the mapped sequence.
+    reason:
+        Human-readable cause of the final failure (``"worker crash"``,
+        ``"deadline exceeded"``, ``"pool rebuild budget exhausted"``).
+    failures:
+        Infrastructure failures charged before quarantine.
+    """
+
+    index: int
+    reason: str
+    failures: int
+
+    @property
+    def confidence(self) -> Confidence:
+        """Confidence of this slot: always ``ANALYTIC`` (no data)."""
+        return Confidence.ANALYTIC
+
+    def __bool__(self) -> bool:
+        """Quarantined slots are falsy so ``filter(None, ...)`` drops them."""
+        return False

@@ -26,16 +26,27 @@ pickle — the whole map transparently re-runs serially. Mapped
 callables must therefore be deterministic and effect-free apart from
 their return value; module-level functions or frozen-dataclass
 instances pickle, closures and lambdas do not.
+
+Passing a :class:`~repro.parallel.containment.FailurePolicy` upgrades
+the pool path to *contained* dispatch: tasks go out in waves of at
+most ``workers`` single-task chunks (so every task owns a worker and
+blame for a crash or deadline expiry is attributable), a broken pool
+is rebuilt and unfinished tasks retried, and tasks that keep failing
+are quarantined — their result slot holds a
+:class:`~repro.parallel.containment.Quarantined` sentinel instead of
+sinking the whole map. See ``docs/reliability.md``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+from collections import deque
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import MetricsRegistry, ObsContext, Tracer, observed
 from ..obs import context as _obs
+from .containment import FailurePolicy, Quarantined
 
 __all__ = ["ParallelExecutor", "default_workers"]
 
@@ -117,7 +128,12 @@ class ParallelExecutor:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
         self.chunk_size = chunk_size
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        policy: FailurePolicy | None = None,
+    ) -> list[Any]:
         """Apply *fn* to every item; results in input order.
 
         Serial when ``workers <= 1`` or the pool is unusable; parallel
@@ -125,11 +141,22 @@ class ParallelExecutor:
         way — only pool-infrastructure failures trigger the serial
         fallback (in which case no partial worker observability is
         merged; the serial re-run produces it all in-process).
+
+        With a *policy*, the pool path contains infrastructure
+        failures instead of falling back: crashed or deadline-exceeded
+        tasks are retried on a rebuilt pool and, past
+        ``policy.max_task_failures``, replaced by a
+        :class:`~repro.parallel.containment.Quarantined` sentinel in
+        the result list. The policy is a documented no-op on the
+        inline path (a crash there *is* the caller crashing; nothing
+        to contain).
         """
         seq = list(items)
         if self.workers <= 1 or len(seq) <= 1:
             return [fn(item) for item in seq]
         try:
+            if policy is not None:
+                return self._map_contained(fn, seq, policy)
             return self._map_pool(fn, seq)
         except _FALLBACK_ERRORS:
             return [fn(item) for item in seq]
@@ -155,6 +182,122 @@ class ParallelExecutor:
         if ctx is not None:
             self._merge_obs(ctx, results)
         return [value for _, value, _, _ in results]
+
+    def _map_contained(
+        self, fn: Callable[[Any], Any], seq: list[Any], policy: FailurePolicy
+    ) -> list[Any]:
+        """Pool map with crash/deadline containment (see module docstring).
+
+        Dispatch is wave-based: at most ``workers`` tasks in flight,
+        each as its own single-task chunk, so every task owns a worker
+        for the whole wave. That makes the wave deadline an effective
+        per-task deadline and keeps blame attribution local — when the
+        pool breaks, only the (at most ``workers``) unfinished tasks
+        of the current wave are charged, never the whole backlog.
+        """
+        from concurrent.futures import ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        ctx = _obs.current()
+        obs_seed_base = ctx.tracer.seed if ctx is not None else None
+        slots: dict[int, tuple[int, Any, dict | None, list[dict] | None]] = {}
+        pending: deque[tuple[int, Any]] = deque(enumerate(seq))
+        failures: dict[int, int] = {}
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while pending:
+                wave = [pending.popleft() for _ in range(min(self.workers, len(pending)))]
+                futures = {
+                    pool.submit(_run_chunk, fn, [task], obs_seed_base): task
+                    for task in wave
+                }
+                done, not_done = wait(futures, timeout=policy.deadline)
+                casualties: list[tuple[tuple[int, Any], str]] = []
+                for future in done:
+                    task = futures[future]
+                    error = future.exception()
+                    if error is None:
+                        slots[task[0]] = future.result()[0]
+                    elif isinstance(error, BrokenProcessPool):
+                        casualties.append((task, "worker crash"))
+                        _obs.inc("parallel.worker_crashes")
+                    else:
+                        # The mapped callable raised: that is a result,
+                        # not an infrastructure event — propagate just
+                        # like the plain pool path would.
+                        self._teardown(pool, kill=True)
+                        raise error
+                for future in not_done:
+                    future.cancel()
+                    casualties.append((futures[future], "deadline exceeded"))
+                    _obs.inc("parallel.deadline_exceeded")
+                if not casualties:
+                    continue
+                # Charged tasks mean dead or wedged workers: the pool
+                # cannot be trusted for the next wave. Kill and rebuild.
+                self._teardown(pool, kill=True)
+                rebuilds += 1
+                _obs.inc("parallel.pool_rebuilds")
+                retry: list[tuple[int, Any]] = []
+                for task, reason in casualties:
+                    count = failures[task[0]] = failures.get(task[0], 0) + 1
+                    if count >= policy.max_task_failures:
+                        slots[task[0]] = (
+                            task[0],
+                            Quarantined(index=task[0], reason=reason, failures=count),
+                            None,
+                            None,
+                        )
+                        _obs.inc("parallel.quarantines")
+                    else:
+                        retry.append(task)
+                        _obs.inc("parallel.task_retries")
+                if rebuilds > policy.max_pool_rebuilds:
+                    for index, _item in [*retry, *pending]:
+                        slots[index] = (
+                            index,
+                            Quarantined(
+                                index=index,
+                                reason="pool rebuild budget exhausted",
+                                failures=failures.get(index, 0),
+                            ),
+                            None,
+                            None,
+                        )
+                        _obs.inc("parallel.quarantines")
+                    pending.clear()
+                    retry.clear()
+                pending.extendleft(reversed(retry))
+                if pending:
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+        finally:
+            self._teardown(pool, kill=False)
+        results = [slots[i] for i in range(len(seq))]
+        if ctx is not None:
+            self._merge_obs(ctx, results)
+        return [value for _, value, _, _ in results]
+
+    @staticmethod
+    def _teardown(pool: Any, kill: bool) -> None:
+        """Shut a pool down; with *kill*, terminate workers first.
+
+        Killing matters for wedged workers: a plain ``shutdown`` would
+        block on (or leak) a worker stuck in a hot loop. Reaching into
+        ``_processes`` is unavoidable — the public API offers no way to
+        abandon running workers — and is guarded so a stdlib layout
+        change degrades to a plain shutdown rather than an error.
+        """
+        if kill:
+            try:
+                processes = dict(getattr(pool, "_processes", None) or {})
+                for proc in processes.values():
+                    proc.terminate()
+            except Exception:  # pragma: no cover - layout-change guard
+                pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     @staticmethod
     def _merge_obs(

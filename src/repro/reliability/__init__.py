@@ -11,6 +11,9 @@ a run-time contention model survives a production machine:
   — :func:`retry_with_backoff` for transient measurement failures and
   :func:`supervise` for watchdog-bounded simulation runs that end in a
   structured :class:`FailureReport` instead of a bare exception;
+* :mod:`~repro.reliability.breaker` — :class:`CircuitBreaker`, the
+  closed/open/half-open gate (with a total deadline budget) that stops
+  persistently failing probes from burning the retry schedule per call;
 * :mod:`~repro.reliability.degrade` — the :class:`Confidence`-tagged
   fallback chain (calibrated → extrapolated → analytic) that keeps the
   model answering when its tables are missing or stale.
@@ -19,6 +22,7 @@ a run-time contention model survives a production machine:
 and reports prediction error versus fault rate.
 """
 
+from .breaker import CircuitBreaker
 from .degrade import (
     Confidence,
     DegradationLog,
@@ -33,6 +37,7 @@ from .retry import retry_with_backoff
 from .supervise import supervise
 
 __all__ = [
+    "CircuitBreaker",
     "Confidence",
     "DegradationLog",
     "TaggedSlowdown",

@@ -1,0 +1,215 @@
+"""Circuit breaker: fail fast once an operation fails persistently.
+
+:func:`~repro.reliability.retry.retry_with_backoff` is the right answer
+to *transient* failure — a probe that crashed once is cheap to re-run.
+It is exactly the wrong answer to *persistent* failure: a calibration
+suite runs dozens of probes, and when the platform is genuinely broken
+each probe burns its full retry schedule before giving up, turning "the
+model has lost its calibration" into a multiplied-out stall. The
+breaker converts the second case into an immediate, typed rejection so
+the caller can drop to the calibrated → extrapolated → analytic
+fallback chain (:mod:`repro.reliability.degrade`) right away.
+
+Classic three-state machine:
+
+* **closed** — calls flow through; ``failure_threshold`` *consecutive*
+  failures trip the breaker open (any success resets the count);
+* **open** — calls are rejected with
+  :class:`~repro.errors.CircuitOpenError` without being attempted,
+  until ``recovery_time`` seconds have passed;
+* **half-open** — after the recovery window, up to ``half_open_max``
+  trial calls are let through: one success closes the breaker again,
+  one failure re-opens it and restarts the window.
+
+On top of the state machine sits a **deadline budget**: an optional
+bound on the total wall-clock the breaker will allow attempts for,
+measured from construction. Once the budget is spent the breaker is
+permanently open (:attr:`CircuitBreaker.exhausted`) — the guard that
+keeps a multi-hour sweep from spending its night re-probing a dead
+platform, however often individual probes look transiently healthy.
+
+The breaker is deliberately clock-injectable (``clock=``) so tests and
+virtual-time callers can drive the recovery window deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from ..errors import CircuitOpenError
+from ..obs import context as _obs
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+T = TypeVar("T")
+
+#: State names reported by :attr:`CircuitBreaker.state`.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open failure gate with a total deadline budget.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker open.
+    recovery_time:
+        Seconds the breaker stays open before admitting trial calls.
+    half_open_max:
+        Trial calls admitted per half-open window before further calls
+        are rejected again (pending the trials' outcome).
+    budget:
+        Optional total wall-clock budget in seconds, measured from
+        construction. When it runs out the breaker opens permanently:
+        :meth:`allow` is False forever and :attr:`exhausted` is True.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    The breaker is not thread-safe by design: each calibration suite or
+    sweep owns one breaker in its own process, mirroring how the
+    injector and caches are scoped.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        half_open_max: int = 1,
+        budget: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold!r}")
+        if recovery_time < 0:
+            raise ValueError(f"recovery_time must be >= 0, got {recovery_time!r}")
+        if half_open_max < 1:
+            raise ValueError(f"half_open_max must be >= 1, got {half_open_max!r}")
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget!r}")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time = float(recovery_time)
+        self.half_open_max = int(half_open_max)
+        self.budget = None if budget is None else float(budget)
+        self._clock = clock
+        self._started = clock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: closed→open transitions (including half-open re-trips).
+        self.trips = 0
+        #: Calls rejected without being attempted.
+        self.rejections = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the deadline budget is spent — permanently open."""
+        return self.budget is not None and (self._clock() - self._started) >= self.budget
+
+    @property
+    def state(self) -> str:
+        """Current state name, accounting for recovery-window expiry."""
+        if self.exhausted:
+            return OPEN
+        if self._state == OPEN and (self._clock() - self._opened_at) >= self.recovery_time:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the next call be attempted? (Counts a rejection if not.)
+
+        Transitions OPEN → HALF_OPEN when the recovery window has
+        elapsed, and reserves one of the half-open trial slots for the
+        caller. Callers that get True **must** report the outcome via
+        :meth:`record_success` / :meth:`record_failure` (or use
+        :meth:`call`, which does both).
+        """
+        if self.exhausted:
+            self.rejections += 1
+            _obs.inc("breaker.rejections")
+            return False
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._state == OPEN:
+                # First admission of this recovery window.
+                self._state = HALF_OPEN
+                self._half_open_inflight = 0
+                _obs.inc("breaker.half_open")
+            if self._half_open_inflight < self.half_open_max:
+                self._half_open_inflight += 1
+                return True
+        self.rejections += 1
+        _obs.inc("breaker.rejections")
+        return False
+
+    def record_success(self) -> None:
+        """Report one successful protected call."""
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._state = CLOSED
+            self._half_open_inflight = 0
+            _obs.inc("breaker.closed")
+
+    def record_failure(self) -> None:
+        """Report one failed protected call (may trip the breaker)."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or (
+            self._state == CLOSED and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._half_open_inflight = 0
+        self.trips += 1
+        _obs.inc("breaker.trips")
+
+    # -- call wrapper --------------------------------------------------------
+
+    def call(self, fn: Callable[[], T], label: str = "") -> T:
+        """Run *fn* through the breaker.
+
+        Raises
+        ------
+        CircuitOpenError
+            Without calling *fn*, when the breaker is open (or its
+            budget is exhausted).
+        BaseException
+            Whatever *fn* raises; the failure is recorded first.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open{f' for {label}' if label else ''}: "
+                f"{self._describe_rejection()}"
+            )
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def _describe_rejection(self) -> str:
+        if self.exhausted:
+            return f"deadline budget of {self.budget:g}s exhausted"
+        remaining = self.recovery_time - (self._clock() - self._opened_at)
+        return (
+            f"{self._consecutive_failures} consecutive failures, "
+            f"retrying in {max(0.0, remaining):.3g}s"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+            f"rejections={self.rejections}, exhausted={self.exhausted})"
+        )

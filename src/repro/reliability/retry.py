@@ -21,12 +21,15 @@ blocking the host by default.
 
 from __future__ import annotations
 
-from typing import Any, Callable, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import CircuitOpenError, ReproError
 from ..obs import context as _obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (breaker imports obs)
+    from .breaker import CircuitBreaker
 
 __all__ = ["retry_with_backoff"]
 
@@ -44,6 +47,7 @@ def retry_with_backoff(
     seed: int = 0,
     sleep: Callable[[float], Any] | None = None,
     on_retry: Callable[[int, float, BaseException], Any] | None = None,
+    breaker: "CircuitBreaker | None" = None,
 ) -> T:
     """Call *fn* up to *attempts* times, backing off between failures.
 
@@ -73,11 +77,21 @@ def retry_with_backoff(
         Optional observer called as ``on_retry(attempt, delay, error)``
         after each failed attempt that will be retried (attempt is
         1-based).
+    breaker:
+        Optional :class:`~repro.reliability.breaker.CircuitBreaker`
+        consulted before *every* attempt and told about each outcome.
+        When the breaker rejects an attempt the remaining retry
+        schedule is abandoned and
+        :class:`~repro.errors.CircuitOpenError` is raised immediately —
+        persistent failure should fall through to the degradation
+        chain, not burn the full backoff budget per call site.
 
     Raises
     ------
     The last *retry_on* error once attempts are exhausted; any
-    non-*retry_on* exception immediately.
+    non-*retry_on* exception immediately;
+    :class:`~repro.errors.CircuitOpenError` when *breaker* refuses an
+    attempt.
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts!r}")
@@ -91,15 +105,24 @@ def retry_with_backoff(
     delay = base_delay
     last_error: BaseException | None = None
     for attempt in range(1, attempts + 1):
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open, abandoning retry schedule at attempt "
+                f"{attempt}/{attempts}"
+            ) from last_error
         with _obs.span("retry.attempt", kind="retry", attempt=attempt, of=attempts) as sp:
             try:
                 result = fn()
             except retry_on as exc:  # type: ignore[misc]
                 sp.set("retried", True)
                 _obs.inc("retry.failures")
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = exc
             else:
                 _obs.inc("retry.attempts")
+                if breaker is not None:
+                    breaker.record_success()
                 return result
         _obs.inc("retry.attempts")
         if attempt == attempts:

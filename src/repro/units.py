@@ -13,12 +13,17 @@ cost formulas.
 
 from __future__ import annotations
 
+import math
+
+from .errors import ValidationError
+
 __all__ = [
     "BYTES_PER_WORD",
     "words_to_bytes",
     "bytes_to_words",
     "seconds",
     "per_second",
+    "check_finite",
     "check_positive",
     "check_nonnegative",
     "check_fraction",
@@ -48,31 +53,47 @@ def per_second(value: float) -> float:
     return float(value)
 
 
-def check_positive(value: float, name: str) -> float:
-    """Validate that *value* is strictly positive and return it as float.
+def check_finite(value: float, name: str) -> float:
+    """Validate that *value* is a finite number and return it as float.
 
     Raises
     ------
-    ValueError
-        If ``value <= 0`` or is not finite.
+    ValidationError
+        If *value* is NaN or infinite (a NaN fed to a cost kernel does
+        not fail there — it silently poisons every downstream
+        prediction, which is why the boundary must reject it).
     """
     v = float(value)
+    if not math.isfinite(v):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return v
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that *value* is finite and strictly positive.
+
+    Raises
+    ------
+    ValidationError
+        If ``value <= 0``, NaN or infinite.
+    """
+    v = check_finite(value, name)
     if not v > 0:
-        raise ValueError(f"{name} must be > 0, got {value!r}")
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
     return v
 
 
 def check_nonnegative(value: float, name: str) -> float:
-    """Validate that *value* is >= 0 and return it as float."""
-    v = float(value)
+    """Validate that *value* is finite and >= 0, returning it as float."""
+    v = check_finite(value, name)
     if v < 0:
-        raise ValueError(f"{name} must be >= 0, got {value!r}")
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
     return v
 
 
 def check_fraction(value: float, name: str) -> float:
     """Validate that *value* lies in the closed interval [0, 1]."""
-    v = float(value)
+    v = check_finite(value, name)
     if not 0.0 <= v <= 1.0:
-        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
     return v

@@ -28,6 +28,16 @@ class TestLinearCommParams:
         with pytest.raises(ModelError):
             LinearCommParams(alpha=-1e-3, beta=1e6)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_alpha_rejected(self, bad):
+        with pytest.raises(ModelError):
+            LinearCommParams(alpha=bad, beta=1e6)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_beta_rejected(self, bad):
+        with pytest.raises(ValueError):
+            LinearCommParams(alpha=0.0, beta=bad)
+
     def test_nonpositive_beta_rejected(self):
         with pytest.raises(ValueError):
             LinearCommParams(alpha=0.0, beta=0.0)
@@ -101,6 +111,11 @@ class TestDelayTable:
     def test_negative_delay_rejected(self):
         with pytest.raises(ModelError):
             DelayTable((-0.1,))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_delay_rejected(self, bad):
+        with pytest.raises(ModelError):
+            DelayTable((0.5, bad))
 
 
 class TestSizedDelayTable:

@@ -1,0 +1,182 @@
+"""Failure-containment tests: crashing, killed and wedged workers.
+
+These tests exercise the :class:`~repro.parallel.FailurePolicy` path of
+:meth:`ParallelExecutor.map`: tasks whose worker dies (``os._exit``,
+``os.kill``) or exceeds the deadline must be retried and eventually
+quarantined without disturbing the other tasks' ordered results.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsContext, Tracer, observed
+from repro.parallel import FailurePolicy, ParallelExecutor, Quarantined
+from repro.reliability.degrade import Confidence
+
+
+@dataclass(frozen=True)
+class Double:
+    """Picklable well-behaved task."""
+
+    def __call__(self, x: int) -> int:
+        return 2 * x
+
+
+@dataclass(frozen=True)
+class ExitOn:
+    """Kills its worker process (exit without cleanup) for one input.
+
+    The short sleep lets innocent wave-mates finish first, so blame
+    lands deterministically on the poison task.
+    """
+
+    poison: int
+
+    def __call__(self, x: int) -> int:
+        if x == self.poison:
+            time.sleep(0.2)
+            os._exit(17)
+        return 2 * x
+
+
+@dataclass(frozen=True)
+class SigkillOn:
+    """Kills its worker via os.kill(SIGKILL) — a real crash signal."""
+
+    poison: int
+
+    def __call__(self, x: int) -> int:
+        if x == self.poison:
+            time.sleep(0.2)
+            os.kill(os.getpid(), signal.SIGKILL)
+        return 2 * x
+
+
+@dataclass(frozen=True)
+class HangOn:
+    """Wedges its worker far past any test deadline for one input."""
+
+    poison: int
+
+    def __call__(self, x: int) -> int:
+        if x == self.poison:
+            time.sleep(60.0)
+        return 2 * x
+
+
+@dataclass(frozen=True)
+class RaiseOn:
+    """Raises an ordinary exception — not an infrastructure failure."""
+
+    poison: int
+
+    def __call__(self, x: int) -> int:
+        if x == self.poison:
+            raise RuntimeError(f"bad input {x}")
+        return 2 * x
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            FailurePolicy(deadline=0.0)
+
+    def test_rejects_zero_task_failures(self):
+        with pytest.raises(ValueError):
+            FailurePolicy(max_task_failures=0)
+
+    def test_rejects_negative_rebuilds(self):
+        with pytest.raises(ValueError):
+            FailurePolicy(max_pool_rebuilds=-1)
+
+
+class TestQuarantinedSentinel:
+    def test_confidence_is_analytic(self):
+        q = Quarantined(index=3, reason="worker crash", failures=2)
+        assert q.confidence is Confidence.ANALYTIC
+
+    def test_falsy_for_filtering(self):
+        q = Quarantined(index=0, reason="deadline exceeded", failures=1)
+        assert not q
+        assert list(filter(None, [1.0, q, 2.0])) == [1.0, 2.0]
+
+
+class TestContainedHappyPath:
+    def test_policy_with_no_failures_matches_plain_map(self):
+        executor = ParallelExecutor(workers=2)
+        plain = executor.map(Double(), range(8))
+        contained = executor.map(Double(), range(8), policy=FailurePolicy())
+        assert contained == plain == [2 * x for x in range(8)]
+
+    def test_policy_ignored_on_inline_path(self):
+        executor = ParallelExecutor(workers=1)
+        result = executor.map(Double(), range(4), policy=FailurePolicy(deadline=0.001))
+        assert result == [0, 2, 4, 6]
+
+
+class TestWorkerCrash:
+    def test_exited_worker_is_quarantined_others_survive_in_order(self):
+        executor = ParallelExecutor(workers=3)
+        result = executor.map(
+            ExitOn(poison=3), range(6), policy=FailurePolicy(max_task_failures=2)
+        )
+        assert isinstance(result[3], Quarantined)
+        assert result[3].reason == "worker crash"
+        assert result[3].failures == 2
+        for x in (0, 1, 2, 4, 5):
+            assert result[x] == 2 * x
+
+    def test_sigkilled_worker_is_quarantined(self):
+        executor = ParallelExecutor(workers=3)
+        result = executor.map(
+            SigkillOn(poison=1), range(5), policy=FailurePolicy(max_task_failures=2)
+        )
+        assert isinstance(result[1], Quarantined)
+        assert [result[x] for x in (0, 2, 3, 4)] == [0, 4, 6, 8]
+
+    def test_values_match_serial_fallback_for_survivors(self):
+        # Serial-fallback equivalence: the surviving slots must hold
+        # exactly what an inline run of the same fn computes.
+        serial = [ExitOn(poison=99)(x) for x in range(6)]
+        contained = ParallelExecutor(workers=2).map(
+            ExitOn(poison=99), range(6), policy=FailurePolicy()
+        )
+        assert contained == serial
+
+    def test_fn_exception_propagates_not_quarantined(self):
+        executor = ParallelExecutor(workers=2)
+        with pytest.raises(RuntimeError, match="bad input 2"):
+            executor.map(RaiseOn(poison=2), range(4), policy=FailurePolicy())
+
+
+class TestDeadline:
+    def test_wedged_task_is_quarantined_with_deadline_reason(self):
+        executor = ParallelExecutor(workers=3)
+        result = executor.map(
+            HangOn(poison=2),
+            range(4),
+            policy=FailurePolicy(deadline=1.0, max_task_failures=2),
+        )
+        assert isinstance(result[2], Quarantined)
+        assert result[2].reason == "deadline exceeded"
+        assert [result[x] for x in (0, 1, 3)] == [0, 2, 6]
+
+
+class TestObsCounters:
+    def test_crash_retry_and_quarantine_counters(self):
+        ctx = ObsContext(tracer=Tracer(seed=5), metrics=MetricsRegistry())
+        with observed(ctx):
+            ParallelExecutor(workers=2).map(
+                ExitOn(poison=1), range(4), policy=FailurePolicy(max_task_failures=2)
+            )
+        snap = ctx.snapshot().counters
+        assert snap.get("parallel.quarantines") == 1
+        assert snap.get("parallel.pool_rebuilds", 0) >= 2
+        assert snap.get("parallel.worker_crashes", 0) >= 2
+        assert snap.get("parallel.task_retries", 0) >= 1

@@ -77,6 +77,24 @@ class TestCpuSpec:
         with pytest.raises(ValueError):
             CpuSpec(daemon_interval=-1)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CpuSpec(capacity=bad)
+        with pytest.raises(ValueError):
+            CpuSpec(quantum=bad)
+
+
+class TestWireSpecValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            WireSpec(alpha=bad)
+        with pytest.raises(ValueError):
+            WireSpec(per_word=bad)
+        with pytest.raises(ValueError):
+            WireSpec(buffer_words=bad)
+
 
 class TestSunCM2Spec:
     def test_message_cpu_time(self):

@@ -1,0 +1,259 @@
+"""Circuit-breaker tests: state machine, budget, retry/calibration wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError, ProbeError
+from repro.obs import MetricsRegistry, ObsContext, Tracer, observed
+from repro.reliability import CircuitBreaker
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.reliability.retry import retry_with_backoff
+
+
+class FakeClock:
+    """Injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make(clock: FakeClock, **kwargs) -> CircuitBreaker:
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("recovery_time", 10.0)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"recovery_time": -1.0},
+            {"half_open_max": 0},
+            {"budget": -0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_limited_trials(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_max=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # only one trial slot
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_retrips_and_restarts_window(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.trips == 2
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert breaker.state == OPEN  # window restarted at the re-trip
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestBudget:
+    def test_budget_exhaustion_opens_permanently(self):
+        clock = FakeClock()
+        breaker = make(clock, budget=60.0)
+        assert not breaker.exhausted
+        assert breaker.allow()
+        clock.advance(60.0)
+        assert breaker.exhausted
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # No recovery window out of exhaustion — permanently open.
+        clock.advance(1e6)
+        assert not breaker.allow()
+
+    def test_budget_none_never_exhausts(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        clock.advance(1e9)
+        assert not breaker.exhausted
+
+
+class TestCall:
+    def test_call_passes_through_and_records(self):
+        breaker = make(FakeClock())
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == CLOSED
+
+    def test_call_records_failure_and_reraises(self):
+        breaker = make(FakeClock(), failure_threshold=1)
+        with pytest.raises(ProbeError):
+            breaker.call(lambda: (_ for _ in ()).throw(ProbeError("boom")))
+        assert breaker.state == OPEN
+
+    def test_open_call_raises_circuit_open_with_label(self):
+        breaker = make(FakeClock(), failure_threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError, match="pingpong"):
+            breaker.call(lambda: 1, label="pingpong")
+
+    def test_circuit_open_is_a_probe_error(self):
+        # The taxonomy contract: breaker rejections flow through the
+        # same except-clauses that catch failed probes.
+        assert issubclass(CircuitOpenError, ProbeError)
+
+
+class TestRetryIntegration:
+    def test_open_breaker_abandons_retry_schedule(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ProbeError("persistent")
+
+        breaker = make(FakeClock(), failure_threshold=2)
+        with pytest.raises(CircuitOpenError, match="attempt 3/5"):
+            retry_with_backoff(fn, attempts=5, retry_on=ProbeError, breaker=breaker)
+        # Two attempts ran, tripped the breaker, third was rejected.
+        assert len(calls) == 2
+        assert breaker.trips == 1
+
+    def test_breaker_success_keeps_schedule_alive(self):
+        attempts = []
+
+        def fn():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ProbeError("transient")
+            return "ok"
+
+        breaker = make(FakeClock(), failure_threshold=3)
+        assert (
+            retry_with_backoff(fn, attempts=3, retry_on=ProbeError, breaker=breaker)
+            == "ok"
+        )
+        assert breaker.state == CLOSED
+
+    def test_rejection_chains_last_error(self):
+        def fn():
+            raise ProbeError("root cause")
+
+        breaker = make(FakeClock(), failure_threshold=1)
+        with pytest.raises(CircuitOpenError) as info:
+            retry_with_backoff(fn, attempts=4, retry_on=ProbeError, breaker=breaker)
+        assert isinstance(info.value.__cause__, ProbeError)
+
+
+class TestObsCounters:
+    def test_trip_and_rejection_counters(self):
+        ctx = ObsContext(tracer=Tracer(seed=9), metrics=MetricsRegistry())
+        clock = FakeClock()
+        with observed(ctx):
+            breaker = make(clock, failure_threshold=1)
+            breaker.record_failure()
+            breaker.allow()
+            clock.advance(10.0)
+            breaker.allow()
+            breaker.record_success()
+        counters = ctx.snapshot().counters
+        assert counters.get("breaker.trips") == 1
+        assert counters.get("breaker.rejections") == 1
+        assert counters.get("breaker.half_open") == 1
+        assert counters.get("breaker.closed") == 1
+
+
+class TestResilientCalibration:
+    def test_faulty_platform_degrades_to_analytic(self):
+        from repro.experiments.calibrate import calibrate_paragon_resilient
+        from repro.platforms.specs import DEFAULT_SUNPARAGON
+        from repro.reliability.degrade import Confidence
+        from repro.reliability.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan(seed=7, probe_failure_rate=0.999999))
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=3600.0)
+        cal, confidence = calibrate_paragon_resilient(
+            DEFAULT_SUNPARAGON,
+            p_max=1,
+            sizes=(16, 256, 768, 1024, 1536, 2048),
+            injector=injector,
+            retry_attempts=2,
+            breaker=breaker,
+        )
+        assert cal is None
+        assert confidence is Confidence.ANALYTIC
+        assert breaker.trips >= 1
+
+    def test_healthy_platform_stays_calibrated(self):
+        from repro.experiments.calibrate import calibrate_paragon_resilient
+        from repro.platforms.specs import DEFAULT_SUNPARAGON
+        from repro.reliability.degrade import Confidence
+
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=3600.0)
+        cal, confidence = calibrate_paragon_resilient(
+            DEFAULT_SUNPARAGON,
+            p_max=1,
+            sizes=(16, 256, 768, 1024, 1536, 2048),
+            breaker=breaker,
+        )
+        assert cal is not None
+        assert confidence is Confidence.CALIBRATED
+        assert breaker.trips == 0

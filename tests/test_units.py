@@ -33,6 +33,29 @@ class TestUnits:
                 units.check_fraction(bad, "x")
 
 
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        assert units.check_finite(3.5, "x") == 3.5
+        assert units.check_finite(0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(errors.ValidationError):
+            units.check_finite(bad, "x")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_all_checks_reject_non_finite(self, bad):
+        # Every boundary check must refuse NaN/inf — a NaN admitted here
+        # silently poisons every downstream prediction.
+        for check in (units.check_positive, units.check_nonnegative, units.check_fraction):
+            with pytest.raises(errors.ValidationError):
+                check(bad, "x")
+
+    def test_error_names_the_parameter(self):
+        with pytest.raises(errors.ValidationError, match="bandwidth"):
+            units.check_positive(float("nan"), "bandwidth")
+
+
 class TestErrorHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc in (
@@ -47,6 +70,16 @@ class TestErrorHierarchy:
 
     def test_deadlock_is_simulation_error(self):
         assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_validation_error_is_repro_and_value_error(self):
+        # Callers catching ValueError (the historical contract) and
+        # callers catching ReproError must both see validation failures.
+        assert issubclass(errors.ValidationError, errors.ReproError)
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_circuit_open_is_probe_error(self):
+        assert issubclass(errors.CircuitOpenError, errors.ProbeError)
+        assert issubclass(errors.CircuitOpenError, errors.CalibrationError)
 
 
 class TestPublicAPI:
