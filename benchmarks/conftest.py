@@ -24,5 +24,15 @@ def paragon_spec():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark a heavy experiment driver with a single measured round."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Benchmark a heavy experiment driver: one warmup, three rounds.
+
+    The name is historical (it used to mean one measured round). A
+    single sample cannot distinguish a regression from noise — the
+    recorded ``stddev_s`` was always 0 — so heavy drivers now pay one
+    unrecorded warmup round (imports, calibration caches, allocator
+    warm-up) plus three measured rounds, which is enough for a median
+    and a spread while keeping the suite affordable.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=3, iterations=1, warmup_rounds=1
+    )

@@ -79,6 +79,15 @@ def main(argv: list[str] | None = None) -> int:
                 *selection,
                 "-q",
                 "--benchmark-only",
+                # Measurement hygiene: warm each benchmark up before
+                # recording, keep the garbage collector out of the
+                # timed region, and insist on enough rounds that the
+                # median and stddev mean something (pedantic benches
+                # control their own rounds and ignore these).
+                "--benchmark-warmup=on",
+                "--benchmark-warmup-iterations=10",
+                "--benchmark-min-rounds=20",
+                "--benchmark-disable-gc",
                 f"--benchmark-json={raw_path}",
             ]
         )

@@ -9,4 +9,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# Guard before overwriting the baseline: a kernel-bench median more
+# than 25% worse than the committed BENCH_perf.json fails the job
+# (skip with BENCH_SKIP_GUARD=1 when re-baselining a known change).
+if [[ "${BENCH_SKIP_GUARD:-0}" != "1" ]]; then
+  python scripts/check_perf.py --baseline BENCH_perf.json
+fi
+
 python benchmarks/record.py --out BENCH_perf.json "$@"

@@ -89,6 +89,44 @@ print(f"ok: SIGKILLed+resumed sweep bit-identical across {checked} files")
 EOF
 rm -rf "$resume_dir"
 
+echo "== fast-forward seed determinism =="
+# The event-horizon fast-forward path must not introduce any run-to-run
+# nondeterminism: two fresh invocations of the same seeded chaos sweep
+# must write bit-identical JSON (modulo the wall-clock stamp).
+det_dir="$(mktemp -d -t ff-determinism.XXXXXX)"
+python -m repro chaos --quick --outdir "$det_dir/a" >/dev/null
+python -m repro chaos --quick --outdir "$det_dir/b" >/dev/null
+python - "$det_dir" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+det_dir = Path(sys.argv[1])
+
+
+def strip_volatile(obj):
+    if isinstance(obj, dict):
+        return {
+            k: strip_volatile(v) for k, v in obj.items() if k != "created_unix"
+        }
+    if isinstance(obj, list):
+        return [strip_volatile(v) for v in obj]
+    return obj
+
+
+checked = 0
+for first in sorted((det_dir / "a").glob("*.json")):
+    second = det_dir / "b" / first.name
+    assert second.exists(), f"second run missing {first.name}"
+    a = strip_volatile(json.loads(first.read_text()))
+    b = strip_volatile(json.loads(second.read_text()))
+    assert a == b, f"fast-forward run not seed-deterministic: {first.name}"
+    checked += 1
+assert checked, "no JSON results to compare"
+print(f"ok: two chaos invocations bit-identical across {checked} files")
+EOF
+rm -rf "$det_dir"
+
 echo "== traced chaos run =="
 trace="$(mktemp -t chaos-trace.XXXXXX.jsonl)"
 trap 'rm -f "$trace"' EXIT

@@ -65,6 +65,9 @@ class UsageMonitor:
     def __init__(self, platform: "SunParagonPlatform") -> None:
         self.platform = platform
         self._t0 = platform.sim.now
+        # Settle the fast-forward CPU's lazy accounting so the window
+        # baseline matches what an event-stepped CPU would report.
+        platform.frontend_cpu.sync()
         self._cpu0 = dict(platform.frontend_cpu.service_by_tag)
         self._messages0: dict[str, list[float]] = {
             tag: list(sizes) for tag, sizes in platform.message_log.items()
@@ -78,6 +81,7 @@ class UsageMonitor:
         """Per-tag usage accumulated inside the window."""
         spec = self.platform.spec
         out: dict[str, TagUsage] = {}
+        self.platform.frontend_cpu.sync()
         cpu_now = self.platform.frontend_cpu.service_by_tag
         for tag, total in cpu_now.items():
             usage = out.setdefault(tag, TagUsage())

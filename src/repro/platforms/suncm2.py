@@ -127,6 +127,9 @@ class SunCM2Platform(CoupledPlatform):
             start = sim.now
             serial_tag = f"{tag}/serial"
             xfer_tag = f"{tag}/xfer"
+            # Settle the fast-forward CPU's lazy accounting before
+            # sampling its counters mid-run.
+            self.frontend_cpu.sync()
             serial_before = self.frontend_cpu.service_by_tag.get(serial_tag, 0.0)
             xfer_before = self.frontend_cpu.service_by_tag.get(xfer_tag, 0.0)
 
@@ -170,6 +173,7 @@ class SunCM2Platform(CoupledPlatform):
             yield queue.put(_STOP)
             yield backend
             elapsed = sim.now - start
+            self.frontend_cpu.sync()
             sun_serial = self.frontend_cpu.service_by_tag.get(serial_tag, 0.0) - serial_before
             sun_transfer = self.frontend_cpu.service_by_tag.get(xfer_tag, 0.0) - xfer_before
             return TraceRunResult(

@@ -105,7 +105,7 @@ def _supervise_impl(
             wall_seconds=time.monotonic() - t_wall0,
             pending=tuple((p._name or "?") for p in pending[:5]),
             pending_count=len(pending),
-            queue_size=len(sim._heap),
+            queue_size=len(sim._heap) + (sim._next is not None) + (sim._pend is not None),
             error=error,
         )
 
@@ -121,7 +121,7 @@ def _supervise_impl(
             if not until_event.ok:
                 return report(Outcome.ERROR, until_event.value)
             return report(Outcome.COMPLETED)
-        if not sim._heap:
+        if sim._pend is None and sim._next is None and not sim._heap:
             if until_event is not None:
                 return report(
                     Outcome.DEADLOCK,

@@ -20,13 +20,31 @@ analytical model approximates, in two flavours:
 Jobs are submitted with :meth:`TimeSharedCPU.execute`, which returns an
 event firing when the requested amount of *dedicated-CPU seconds* of
 work has been served.
+
+Event-horizon fast-forwarding
+-----------------------------
+Between job arrivals and completions the round-robin rotation is
+perfectly periodic, so its future is computable in closed form: the
+scheduler builds an *epoch plan* (head slice, rotation cycle, steady
+period), computes the earliest completion analytically, and sleeps in a
+single deferred wakeup until that horizon — or until an arrival ends
+the epoch early. Service, busy time and context switches are charged
+arithmetically when the epoch settles, so the event count is
+O(#arrivals + #completions), independent of the quantum. The original
+slice-by-slice stepper is retained behind ``exact_stepping=True`` as
+the differential-testing oracle; the fast-forward path is required to
+agree with it to float round-off (see ``tests/sim/test_fastforward.py``).
+Mid-epoch readers of ``busy_time`` / ``service_by_tag`` should call
+:meth:`TimeSharedCPU.sync` first (``utilization()`` does so itself);
+like the exact stepper, accounting is settled at slice granularity.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict
+from math import ceil
+from typing import TYPE_CHECKING, Any, Deque, Dict, List
 
 from ..errors import SimulationError
 from ..units import check_nonnegative, check_positive
@@ -55,6 +73,30 @@ class _Job:
         self.submitted = now
 
 
+class _RRPlan:
+    """Closed-form description of one round-robin epoch.
+
+    An epoch starts when the scheduler picks a head job and ends at the
+    earliest completion in the runnable set (the *horizon*) or at the
+    first arrival, whichever comes first. The plan captures the head
+    segment (optional in-flight context switch + the head's current
+    slice) and the steady rotation cycle, from which service, busy time
+    and switch counts at any instant inside the epoch follow
+    arithmetically. ``applied_*`` fields make settlement incremental and
+    idempotent so :meth:`TimeSharedCPU.sync` can be called mid-epoch.
+    """
+
+    __slots__ = (
+        "t0", "head", "pre", "pre_charge", "head_run", "head_charge",
+        "credit_after", "pre_end", "head_end", "head_completes",
+        "head_in_cycle", "best", "cl", "sw1", "swc1", "sws", "swcs",
+        "sw1_total", "swc1_total", "swcs_total", "r", "wq",
+        "horizon_abs", "comp_job", "comp_n", "comp_k", "comp_work",
+        "comp_start", "planned", "head_class_snapshot",
+        "applied_busy", "applied_switches", "applied_svc",
+    )
+
+
 class TimeSharedCPU:
     """A single time-shared processor.
 
@@ -74,6 +116,12 @@ class TimeSharedCPU:
         *different* jobs (ignored for ``"ps"``).
     name:
         Label used in monitoring output.
+    exact_stepping:
+        When True, the round-robin scheduler steps one quantum slice
+        per event (the original implementation, O(virtual_time/quantum)
+        events). The default False uses event-horizon fast-forwarding,
+        which must agree with the exact stepper to float round-off and
+        is differentially tested against it. Ignored for ``"ps"``.
 
     Notes
     -----
@@ -94,6 +142,7 @@ class TimeSharedCPU:
         context_switch: float = 0.0,
         name: str = "cpu",
         faults: "CpuFaultModel | None" = None,
+        exact_stepping: bool = False,
     ) -> None:
         if discipline not in ("ps", "rr"):
             raise ValueError(f"discipline must be 'ps' or 'rr', got {discipline!r}")
@@ -103,6 +152,7 @@ class TimeSharedCPU:
         self.quantum = check_positive(quantum, "quantum") if discipline == "rr" else float(quantum)
         self.context_switch = check_nonnegative(context_switch, "context_switch")
         self.name = name
+        self.exact_stepping = bool(exact_stepping)
         #: Optional chaos hook (see :mod:`repro.reliability.faults`):
         #: inflates submitted work to model injected CPU stalls. ``None``
         #: (the default) leaves scheduling byte-for-byte unperturbed.
@@ -110,7 +160,9 @@ class TimeSharedCPU:
 
         self._ids = itertools.count()
         self._jobs: Dict[int, _Job] = {}
-        self._wake = sim.event(name=f"{name}-wake")
+        self._wake_name = f"{name}-wake"
+        self._wake = sim.event(name=self._wake_name)
+        self._kick_cb = self._kick
         # Monitoring.
         self.busy_time = 0.0
         self.switches = 0
@@ -118,6 +170,8 @@ class TimeSharedCPU:
         self.service_by_tag: Dict[str, float] = {}
         # Round-robin state.
         self._rr_queues: Dict[int, Deque[int]] = {}
+        self._by_tag: Dict[str, List[_Job]] = {}
+        self._plan: _RRPlan | None = None
 
         sim.process(self._scheduler(), name=f"{name}-scheduler", daemon=True)
 
@@ -146,6 +200,7 @@ class TimeSharedCPU:
         self._jobs[job.jid] = job
         if self.discipline == "rr":
             self._rr_queues.setdefault(job.priority, deque()).append(job.jid)
+            self._by_tag.setdefault(job.tag, []).append(job)
         if not self._wake.triggered:
             self._wake.succeed()
         return done
@@ -154,8 +209,29 @@ class TimeSharedCPU:
         """Generator helper: ``yield from cpu.run_work(w)`` inside a process."""
         yield self.execute(work, priority=priority, tag=tag)
 
+    def sync(self) -> None:
+        """Settle fast-forward accounting up to the current instant.
+
+        Charges all rotation slices and context switches that have
+        *completed* by ``sim.now`` into ``busy_time`` / ``switches`` /
+        ``service_by_tag`` (the same slice-granular view the exact
+        stepper maintains). Idempotent; a no-op between epochs, in
+        exact-stepping mode, and for the PS discipline (whose epochs
+        already settle at their ends).
+        """
+        plan = self._plan
+        if plan is None:
+            return
+        e = self.sim.now
+        if e > plan.comp_start:
+            e = plan.comp_start
+        if e <= plan.t0:
+            return
+        self._rr_settle(plan, e)
+
     def utilization(self, horizon: float | None = None) -> float:
         """Fraction of time the CPU served at least one job."""
+        self.sync()
         t = horizon if horizon is not None else self.sim.now
         return self.busy_time / t if t > 0 else 0.0
 
@@ -168,17 +244,49 @@ class TimeSharedCPU:
 
     def _finish(self, job: _Job) -> None:
         del self._jobs[job.jid]
+        if self.discipline == "rr":
+            bucket = self._by_tag.get(job.tag)
+            if bucket is not None:
+                try:
+                    bucket.remove(job)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del self._by_tag[job.tag]
         self.jobs_completed += 1
         job.event.succeed(self.sim.now - job.submitted)
 
     def _charge(self, job: _Job, service: float) -> None:
         self.service_by_tag[job.tag] = self.service_by_tag.get(job.tag, 0.0) + service
 
+    def _kick(self) -> None:
+        """Deferred-timer callback: fire the scheduler's wakeup."""
+        wake = self._wake
+        if not wake.triggered:
+            wake.succeed()
+
+    def _fresh_wake(self) -> Event:
+        """Recycle the wake event when possible instead of allocating.
+
+        A processed wake is reset in place; a triggered-but-unprocessed
+        one (an arrival signalled while the scheduler was not waiting)
+        is abandoned to pop harmlessly and replaced.
+        """
+        wake = self._wake
+        if wake._processed:
+            wake._reset_for_reuse()
+        elif wake.triggered:
+            wake = self.sim.event(name=self._wake_name)
+            self._wake = wake
+        return wake
+
     def _scheduler(self):
         if self.discipline == "ps":
             yield from self._scheduler_ps()
-        else:
+        elif self.exact_stepping:
             yield from self._scheduler_rr()
+        else:
+            yield from self._scheduler_rr_ff()
 
     # -- fluid processor sharing -----------------------------------------------
 
@@ -186,17 +294,24 @@ class TimeSharedCPU:
         sim = self.sim
         while True:
             if not self._jobs:
-                self._wake = sim.event(name=f"{self.name}-wake")
-                yield self._wake
+                yield self._fresh_wake()
                 continue
             best = self._best_class()
             active = [j for j in self._jobs.values() if j.priority == best]
             rate = self.capacity / len(active)
             horizon = min(j.remaining for j in active) / rate
-            self._wake = sim.event(name=f"{self.name}-wake")
+            wake = self._fresh_wake()
             t0 = sim.now
-            yield sim.any_of([sim.timeout(horizon), self._wake])
+            horizon_abs = t0 + horizon
+            handle = sim.defer(horizon, self._kick_cb)
+            sim.fastforward_epochs += 1
+            yield wake
             elapsed = sim.now - t0
+            if sim.now < horizon_abs:
+                # Arrival ended the epoch early; the deferred timer is
+                # provably still pending (it fires at horizon_abs), so
+                # tombstoning it cannot hit a recycled object.
+                handle.cancel()
             self.busy_time += elapsed
             if elapsed > 0:
                 service = elapsed * rate
@@ -237,10 +352,16 @@ class TimeSharedCPU:
         return self._jobs[rebuilt.popleft()]
 
     def _find_continuation(self, tag: str) -> _Job | None:
-        """A queued best-class job continuing session *tag*, if any."""
+        """A queued best-class job continuing session *tag*, if any.
+
+        The per-tag index makes this a dict lookup plus a scan of the
+        (typically single-entry) same-tag bucket, instead of a scan of
+        the whole job table. Bucket order is submission order, matching
+        the original full-table scan.
+        """
         best = self._best_class()
-        for job in self._jobs.values():
-            if job.tag == tag and job.priority == best:
+        for job in self._by_tag.get(tag, ()):
+            if job.priority == best:
                 try:
                     self._rr_queues[best].remove(job.jid)
                 except (KeyError, ValueError):  # pragma: no cover - defensive
@@ -249,6 +370,11 @@ class TimeSharedCPU:
         return None
 
     def _scheduler_rr(self):
+        # The exact slice-per-event stepper: the differential-testing
+        # oracle for the fast-forward scheduler below. Its observable
+        # semantics (completion times, busy_time, switches, per-tag
+        # charges, session continuation) define what fast-forwarding
+        # must reproduce; change the two together or not at all.
         from .engine import PRIORITY_LATE  # local import avoids cycle at module load
 
         sim = self.sim
@@ -288,3 +414,391 @@ class TimeSharedCPU:
                 yield sim.timeout(0, priority=PRIORITY_LATE)
             else:
                 self._rr_queues.setdefault(job.priority, deque()).append(job.jid)
+
+    # -- round robin, event-horizon fast-forward ---------------------------------
+    #
+    # The epoch plan mirrors the exact stepper's state machine. A head
+    # job runs one slice (a session continuation's leftover credit, a
+    # fresh quantum, or — after an arrival interrupted an epoch — the
+    # unfinished remainder of an in-flight slice). If it does not
+    # complete, the rotation [queue..., head] cycles with full quantum
+    # slices; the switch pattern repeats every cycle, so slice start
+    # times are affine in the cycle index and the earliest completion
+    # is a minimum over closed-form candidates. Charges follow the
+    # exact stepper's convention: a slice (or switch) is charged when it
+    # *ends*; an interrupted slice carries its full charge into the
+    # resumed plan so totals match the oracle at every slice boundary.
+
+    def _scheduler_rr_ff(self):
+        from .engine import PRIORITY_LATE  # local import avoids cycle at module load
+
+        sim = self.sim
+        session_tag: str | None = None
+        credit = 0.0
+        resume: tuple | None = None
+        while True:
+            if resume is None and not self._jobs:
+                session_tag = None
+                credit = 0.0
+                yield self._fresh_wake()
+                continue
+            if resume is not None:
+                job, pre, pre_charge, run_work, charge_work, credit_after = resume
+                resume = None
+            else:
+                job = None
+                if session_tag is not None and credit > _EPSILON:
+                    job = self._find_continuation(session_tag)
+                pre = 0.0
+                if job is not None:
+                    budget = credit
+                else:
+                    job = self._next_rr_job()
+                    assert job is not None
+                    if session_tag is not None and session_tag != job.tag and self.context_switch > 0:
+                        # Counted at switch start, like the oracle.
+                        self.switches += 1
+                        pre = self.context_switch
+                    budget = self.quantum
+                pre_charge = pre
+                run_work = min(budget * self.capacity, job.remaining)
+                charge_work = run_work
+                credit_after = budget - run_work / self.capacity
+            plan, delay = self._rr_build_plan(job, pre, pre_charge, run_work, charge_work, credit_after)
+            wake = self._fresh_wake()
+            handle = sim.defer(delay, self._kick_cb)
+            yield wake
+            if sim.now >= plan.horizon_abs:
+                completer, credit = self._rr_settle_completion(plan)
+                session_tag = completer.tag
+                self._rr_rebuild(plan, plan.comp_k if plan.comp_n >= 1 else -1)
+                self._plan = None
+                self._finish(completer)
+                # Give the finished job's owner a chance to submit its
+                # continuation at this same instant before we rotate.
+                yield sim.timeout(0, priority=PRIORITY_LATE)
+            else:
+                # Arrival mid-epoch: the deferred timer is provably
+                # still pending (it fires at horizon_abs > now), so the
+                # tombstone cannot hit a recycled object.
+                handle.cancel()
+                stub = self._rr_settle(plan, sim.now)
+                resume = self._rr_finalize_stub(plan, stub)
+                self._plan = None
+
+    def _rr_build_plan(
+        self,
+        head: _Job,
+        pre: float,
+        pre_charge: float,
+        run_work: float,
+        charge_work: float,
+        credit_after: float,
+    ) -> tuple[_RRPlan, float]:
+        sim = self.sim
+        cap = self.capacity
+        q = self.quantum
+        cs = self.context_switch
+        wq = q * cap
+
+        p = _RRPlan()
+        p.t0 = sim.now
+        p.head = head
+        p.pre = pre
+        p.pre_charge = pre_charge
+        p.head_run = run_work
+        p.head_charge = charge_work
+        p.credit_after = credit_after
+        p.pre_end = p.t0 + pre
+        p.head_end = p.pre_end + run_work / cap
+        p.wq = wq
+        p.applied_busy = 0.0
+        p.applied_switches = 0
+        p.applied_svc = {}
+
+        p.head_completes = head.remaining - charge_work <= _EPSILON
+        best = self._best_class()
+        assert best is not None
+        p.best = best
+        p.head_in_cycle = head.priority == best and not p.head_completes
+        queue = self._rr_queues.get(best) or ()
+        rot = [self._jobs[jid] for jid in queue if jid in self._jobs]
+        p.planned = {j.jid for j in rot}
+        p.planned.add(head.jid)
+        p.head_class_snapshot = None
+        if not p.head_completes and head.priority != best:
+            p.head_class_snapshot = [
+                jid for jid in self._rr_queues.get(head.priority, ()) if jid in self._jobs
+            ]
+
+        if p.head_completes:
+            # The rotation never runs, but _rr_rebuild still needs it to
+            # preserve queue order at the epoch's end.
+            p.cl = rot
+            p.sw1 = p.swc1 = p.sws = p.swcs = ()
+            p.sw1_total = 0.0
+            p.swc1_total = p.swcs_total = 0
+            p.r = 0.0
+            p.comp_job = head
+            p.comp_n = 0
+            p.comp_k = -1
+            p.comp_work = charge_work
+            p.comp_start = p.pre_end
+            horizon = p.head_end
+        else:
+            cl = rot + [head] if p.head_in_cycle else rot
+            if not cl:  # pragma: no cover - defensive
+                raise SimulationError("round-robin rotation empty with a non-completing head")
+            p.cl = cl
+            # First-pass slice starts (head's tag seeds the switch
+            # pattern), then one steady cycle whose pattern repeats.
+            sw1: List[float] = []
+            swc1: List[int] = []
+            start1: List[float] = []
+            t = p.head_end
+            prev = head.tag
+            for j in cl:
+                if prev is not None and j.tag != prev and cs > 0.0:
+                    sw1.append(cs)
+                    swc1.append(1)
+                    t += cs
+                else:
+                    sw1.append(0.0)
+                    swc1.append(0)
+                start1.append(t)
+                t += q
+                prev = j.tag
+            sws: List[float] = []
+            swcs: List[int] = []
+            start2: List[float] = []
+            prev = cl[-1].tag
+            for j in cl:
+                if prev is not None and j.tag != prev and cs > 0.0:
+                    sws.append(cs)
+                    swcs.append(1)
+                    t += cs
+                else:
+                    sws.append(0.0)
+                    swcs.append(0)
+                start2.append(t)
+                t += q
+                prev = j.tag
+            p.sw1, p.swc1, p.sws, p.swcs = sw1, swc1, sws, swcs
+            p.sw1_total = sum(sw1)
+            p.swc1_total = sum(swc1)
+            p.swcs_total = sum(swcs)
+            p.r = len(cl) * q + sum(sws)
+
+            best_key = None
+            for k, j in enumerate(cl):
+                rem = j.remaining - (charge_work if j is head else 0.0)
+                if rem <= _EPSILON:  # pragma: no cover - defensive
+                    continue
+                n = ceil((rem - _EPSILON) / wq)
+                if n < 1:
+                    n = 1
+                work_f = rem - (n - 1) * wq
+                if work_f > wq:
+                    work_f = wq
+                s = start1[k] if n == 1 else start2[k] + (n - 2) * p.r
+                key = (s + work_f / cap, s, k)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    p.comp_job = j
+                    p.comp_n = n
+                    p.comp_k = k
+                    p.comp_work = work_f
+                    p.comp_start = s
+            assert best_key is not None
+            horizon = best_key[0]
+
+        delay = horizon - sim.now
+        if delay < 0.0:  # pragma: no cover - float guard
+            delay = 0.0
+        # Recompute the horizon as now + delay so the deferred wakeup's
+        # fire time compares float-exactly against it.
+        p.horizon_abs = sim.now + delay
+        self._plan = p
+        sim.fastforward_epochs += 1
+        return p, delay
+
+    def _rr_walk(self, p: _RRPlan, e: float) -> tuple[float, int, Dict[int, float], tuple | None]:
+        """Plan-relative totals of completed segments at instant *e*.
+
+        Returns ``(busy, switches, service_by_jid, stub)`` where *stub*
+        describes the in-progress segment (for resumption) or is None
+        when *e* sits exactly on the head-segment boundary cases handled
+        by the callers. Charge-on-end convention throughout: a segment
+        contributes only once ``e`` has reached its end; switches are
+        counted at their start, like the oracle.
+        """
+        q = self.quantum
+        wq = p.wq
+        cap = self.capacity
+        busy = 0.0
+        switches = 0
+        svc: Dict[int, float] = {}
+        if e < p.pre_end:
+            return busy, switches, svc, ("pre", p.pre_end - e)
+        busy += p.pre_charge
+        if e < p.head_end:
+            return busy, switches, svc, ("head", (p.head_end - e) * cap)
+        busy += p.head_charge / cap
+        svc[p.head.jid] = p.head_charge
+        cl = p.cl
+        cursor = p.head_end
+        for k, j in enumerate(cl):
+            switches += p.swc1[k]
+            sw = p.sw1[k]
+            if e < cursor + sw:
+                return busy, switches, svc, ("sw", k, cursor + sw - e)
+            busy += sw
+            cursor += sw
+            if e < cursor + q:
+                return busy, switches, svc, ("slice", k, e - cursor)
+            busy += q
+            svc[j.jid] = svc.get(j.jid, 0.0) + wq
+            cursor += q
+        if p.r > 0.0:
+            m = int((e - cursor) / p.r)
+            while m > 0 and cursor + m * p.r > e:  # float-division overshoot guard
+                m -= 1
+            if m > 0:
+                adv = m * p.r
+                busy += adv
+                switches += m * p.swcs_total
+                add = m * wq
+                for j in cl:
+                    svc[j.jid] = svc.get(j.jid, 0.0) + add
+                cursor += adv
+        while True:
+            for k, j in enumerate(cl):
+                switches += p.swcs[k]
+                sw = p.sws[k]
+                if e < cursor + sw:
+                    return busy, switches, svc, ("sw", k, cursor + sw - e)
+                busy += sw
+                cursor += sw
+                if e < cursor + q:
+                    return busy, switches, svc, ("slice", k, e - cursor)
+                busy += q
+                svc[j.jid] = svc.get(j.jid, 0.0) + wq
+                cursor += q
+
+    def _rr_apply(self, p: _RRPlan, busy: float, switches: int, svc: Dict[int, float]) -> None:
+        """Apply plan-relative totals as deltas against what is already applied."""
+        d = busy - p.applied_busy
+        if d > 0.0:
+            self.busy_time += d
+            p.applied_busy = busy
+        if switches > p.applied_switches:
+            self.switches += switches - p.applied_switches
+            p.applied_switches = switches
+        applied = p.applied_svc
+        jobs = self._jobs
+        for jid, total in svc.items():
+            delta = total - applied.get(jid, 0.0)
+            if delta > 0.0:
+                job = jobs[jid]
+                job.remaining -= delta
+                self._charge(job, delta)
+                applied[jid] = total
+
+    def _rr_settle(self, p: _RRPlan, e: float) -> tuple | None:
+        busy, switches, svc, stub = self._rr_walk(p, e)
+        self._rr_apply(p, busy, switches, svc)
+        return stub
+
+    def _rr_settle_completion(self, p: _RRPlan) -> tuple[_Job, float]:
+        """Charge the whole epoch through the completing slice, in closed form.
+
+        Integer cycle arithmetic (never the float walk) decides how many
+        slices each job completed, so a ULP of drift in boundary times
+        cannot drop or double a slice. Returns the completed job and the
+        session credit it leaves behind.
+        """
+        cap = self.capacity
+        q = self.quantum
+        wq = p.wq
+        busy = p.pre_charge + p.head_charge / cap
+        switches = 0
+        svc: Dict[int, float] = {p.head.jid: p.head_charge}
+        n, k = p.comp_n, p.comp_k
+        if n >= 1:
+            cl = p.cl
+            if n == 1:
+                switches += sum(p.swc1[: k + 1])
+                busy += sum(p.sw1[: k + 1]) + k * q
+                for j in cl[:k]:
+                    svc[j.jid] = svc.get(j.jid, 0.0) + wq
+            else:
+                switches += p.swc1_total + (n - 2) * p.swcs_total + sum(p.swcs[: k + 1])
+                busy += p.sw1_total + len(cl) * q + (n - 2) * p.r + sum(p.sws[: k + 1]) + k * q
+                add_base = (n - 1) * wq
+                for idx, j in enumerate(cl):
+                    svc[j.jid] = svc.get(j.jid, 0.0) + add_base + (wq if idx < k else 0.0)
+            busy += p.comp_work / cap
+            svc[p.comp_job.jid] = svc.get(p.comp_job.jid, 0.0) + p.comp_work
+            credit_left = q - p.comp_work / cap
+        else:
+            # Head completed within its own (continuation or resumed) slice.
+            credit_left = p.credit_after
+        self._rr_apply(p, busy, switches, svc)
+        return p.comp_job, credit_left
+
+    def _rr_finalize_stub(self, p: _RRPlan, stub: tuple) -> tuple:
+        """Convert an interrupted segment into the next plan's head state.
+
+        Returns ``(job, pre, pre_charge, run_work, charge_work,
+        credit_after)``. Rebuilds the run queue to the exact stepper's
+        order at this instant as a side effect.
+        """
+        kind = stub[0]
+        if kind == "pre":
+            self._rr_rebuild(p, -1)
+            return (p.head, stub[1], p.pre_charge, p.head_run, p.head_charge, p.credit_after)
+        if kind == "head":
+            self._rr_rebuild(p, -1)
+            return (p.head, 0.0, 0.0, stub[1], p.head_charge, p.credit_after)
+        k = stub[1]
+        job = p.cl[k]
+        self._rr_rebuild(p, k)
+        allot = min(p.wq, job.remaining)
+        credit_after = self.quantum - allot / self.capacity
+        if kind == "sw":
+            # Switch already counted (at its start); carry its full busy
+            # charge to the end of the remaining switch time.
+            return (job, stub[2], self.context_switch, allot, allot, credit_after)
+        run_left = allot - stub[2] * self.capacity
+        if run_left < 0.0:  # pragma: no cover - float guard
+            run_left = 0.0
+        return (job, 0.0, 0.0, run_left, allot, credit_after)
+
+    def _rr_rebuild(self, p: _RRPlan, k: int) -> None:
+        """Rebuild the best-class queue to the oracle's order at epoch end.
+
+        ``k < 0``: the rotation never started (epoch ended in the head
+        segment) — queue order is unchanged. Otherwise position *k* is
+        running (or just completed): later positions have not had their
+        slice this cycle and precede the earlier, already re-appended
+        ones. Jobs that arrived at the epoch-end instant were appended
+        by ``execute`` and stay at the tail.
+        """
+        jobs = self._jobs
+        if k < 0:
+            order = [j for j in p.cl if j is not p.head]
+        else:
+            order = p.cl[k + 1:] + p.cl[:k]
+        current = self._rr_queues.get(p.best) or ()
+        extras = [jid for jid in current if jid not in p.planned and jid in jobs]
+        self._rr_queues[p.best] = deque([j.jid for j in order if j.jid in jobs] + extras)
+        if p.head_class_snapshot is not None and k >= 0:
+            # A lower-class head finished its slice mid-epoch and
+            # re-entered its own class queue then — ahead of any jobs
+            # that arrived at the epoch-end instant.
+            snapshot = p.head_class_snapshot
+            snapset = set(snapshot)
+            cur = self._rr_queues.get(p.head.priority) or ()
+            kept = [jid for jid in snapshot if jid in jobs]
+            tail = [jid for jid in cur if jid not in snapset and jid != p.head.jid and jid in jobs]
+            self._rr_queues[p.head.priority] = deque(kept + [p.head.jid] + tail)

@@ -35,8 +35,9 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import time
+from heapq import heappop as _heappop, heappush as _heappush
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
@@ -83,6 +84,11 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_name")
+
+    #: Tombstone flag read by the dispatch loop. Plain events are never
+    #: cancelled, so they share this class attribute; :class:`Timeout`
+    #: shadows it with a real slot to support :meth:`Timeout.cancel`.
+    _cancelled = False
 
     def __init__(self, sim: "Simulator", name: str | None = None) -> None:
         self.sim = sim
@@ -140,6 +146,22 @@ class Event:
         self.sim._schedule(self, priority)
         return self
 
+    def _reset_for_reuse(self) -> None:
+        """Return a *processed* event to its untriggered state.
+
+        Lets a long-lived owner (a scheduler's wake event) recycle one
+        Event object across many trigger/process cycles instead of
+        allocating a fresh one per cycle. Only legal once the previous
+        cycle fully completed — a triggered-but-unprocessed event still
+        sits on the heap and must not be reset under it.
+        """
+        if not self._processed:
+            raise SimulationError(f"cannot reset {self!r}: not yet processed")
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
+
     def __repr__(self) -> str:
         label = self._name or type(self).__name__
         state = (
@@ -157,7 +179,7 @@ class Timeout(Event):
     construction, so a Timeout is *always* already scheduled.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(
         self,
@@ -168,18 +190,86 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
-        # No eager name: formatting one per timeout used to be the
-        # single hottest line of the simulator (timeouts are the bulk
-        # of all events); __repr__ renders the label on demand instead.
-        super().__init__(sim)
-        self.delay = delay
+        # Flattened initialisation: timeouts are the bulk of all events,
+        # so this skips the Event.__init__/_schedule call chain and
+        # formats no eager name (__repr__ renders the label on demand).
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._schedule(self, priority, delay)
+        self._processed = False
+        self._name = None
+        self._cancelled = False
+        self.delay = delay
+        # Inlined sim._schedule (this constructor is the kernel's
+        # allocation hot spot): one entry tuple, slot-or-heap placement.
+        if sim._pend is not None:
+            sim._materialize()
+        entry = (sim.now + delay, priority, sim._sequence, self)
+        sim._sequence += 1
+        nxt = sim._next
+        if nxt is None:
+            heap = sim._heap
+            if not heap or entry < heap[0]:
+                sim._next = entry
+            else:
+                _heappush(heap, entry)
+        elif entry < nxt:
+            _heappush(sim._heap, nxt)
+            sim._next = entry
+        else:
+            _heappush(sim._heap, entry)
+
+    def cancel(self) -> None:
+        """Lazily cancel a pending timeout (tombstone, not heap removal).
+
+        The heap entry stays where it is; the dispatch loop discards it
+        on pop without running callbacks or advancing counters. O(1),
+        versus O(n) eager removal from the middle of the heap. Cancelling
+        an already-fired or already-cancelled timeout is a no-op.
+        """
+        if self._cancelled or self._processed:
+            return
+        self._cancelled = True
+        self.sim.timeouts_cancelled += 1
 
     def __repr__(self) -> str:
-        state = "processed" if self._processed else "triggered"
+        state = (
+            "cancelled"
+            if self._cancelled
+            else ("processed" if self._processed else "triggered")
+        )
         return f"<Timeout({self.delay:g}) {state} at t={self.sim.now:g}>"
+
+
+class _Deferred:
+    """A pooled bare-callback timer — the reusable-timeout fast path.
+
+    Scheduler wakeups (CPU epochs, link drains) need "call ``fn`` at
+    time t", nothing more: no value, no waiters, no failure state. A
+    full :class:`Event` allocates a callbacks list and carries waiter
+    bookkeeping per wakeup; ``_Deferred`` is two slots, recycled through
+    a per-simulator free list, and dispatched by an exact-class check
+    in the event loop. Create via :meth:`Simulator.defer`.
+
+    Cancellation note: after the deferred has *fired or been popped*,
+    the object may already belong to a new owner via the pool — holders
+    must only cancel while the schedule is provably still pending (the
+    CPU model guards on its epoch horizon for exactly this reason).
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self) -> None:
+        self.fn: Callable[[], None] | None = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<_Deferred {state} fn={self.fn!r}>"
 
 
 class Interrupt(Exception):
@@ -204,7 +294,7 @@ class Process(Event):
     exception otherwise.
     """
 
-    __slots__ = ("_generator", "_target", "_interrupts", "daemon")
+    __slots__ = ("_generator", "_target", "_interrupts", "_resume_cb", "daemon")
 
     def __init__(
         self,
@@ -219,6 +309,9 @@ class Process(Event):
         self._generator = generator
         self._target: Event | None = None
         self._interrupts: list[Interrupt] = []
+        # One bound method for the process's whole life, instead of
+        # materialising a fresh one per wait on the hot path.
+        self._resume_cb = self._resume
         #: Daemon processes (resource schedulers, background services)
         #: may legitimately outlive all useful work; the deadlock check
         #: at :meth:`Simulator.run` ignores them.
@@ -227,7 +320,7 @@ class Process(Event):
         init = Event(sim, name="ProcessInit")
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         sim._schedule(init, PRIORITY_URGENT)
 
     @property
@@ -269,7 +362,7 @@ class Process(Event):
         # must no longer resume us for that wait).
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -277,11 +370,100 @@ class Process(Event):
         self._step(exc, is_exception=True)
 
     def _resume(self, event: Event) -> None:
+        """Resume the generator with *event*'s outcome — the hot path.
+
+        The success branch inlines :meth:`_step` (one Python call per
+        event instead of two) and short-circuits the overwhelmingly
+        common "yielded a fresh Timeout" case: a just-constructed
+        Timeout is known scheduled and unprocessed, so only the
+        ownership check remains before attaching.
+
+        On top of that sits the **turbo** shortcut: when the yielded
+        timeout is the *only* scheduled entry (ping-pong pattern: one
+        process sleeping repeatedly, nothing else pending), has no
+        waiters, and fires within the run's time bound, there is no
+        observable difference between dispatching it through the queue
+        and firing it right here — so it is fired right here, and the
+        generator resumed in the same Python frame. One event then
+        costs one ``send`` plus a handful of attribute writes: no heap,
+        no callback dispatch, no trip back through the run loop. The
+        dead timeout is recycled into ``sim._timeout_pool`` when
+        ``sys.getrefcount`` proves these two references (the local and
+        the refcount argument) are the only ones left — otherwise some
+        holder may still inspect it, and it gets the normal processed
+        state instead. Gated by ``sim._turbo_limit``: ``None`` outside
+        the engine's own run loops, where drivers like ``supervise``
+        rely on exact one-event-per-``step()`` accounting.
+        """
         self._target = None
-        if event._ok:
-            self._step(event._value, is_exception=False)
-        else:
+        if not event._ok:
             self._step(event._value, is_exception=True)
+            return
+        sim = self.sim
+        prev = sim.active_process
+        sim.active_process = self
+        send = self._generator.send
+        value = event._value
+        # Loop-invariant within one frame: only the engine's run loops
+        # assign _turbo_limit, and _timeout_pool is created once.
+        limit = sim._turbo_limit
+        pool = sim._timeout_pool
+        while True:
+            try:
+                target = send(value)
+            except StopIteration as stop:
+                sim.active_process = prev
+                self._ok = True
+                self._value = stop.value
+                sim._schedule(self, PRIORITY_NORMAL)
+                return
+            except Interrupt as exc:
+                # An unhandled interrupt terminates the process as failed.
+                sim.active_process = prev
+                self._ok = False
+                self._value = exc
+                sim._schedule(self, PRIORITY_NORMAL)
+                return
+            except BaseException as exc:  # noqa: BLE001 - deliberate: fail the event
+                sim.active_process = prev
+                self._ok = False
+                self._value = exc
+                sim._schedule(self, PRIORITY_NORMAL)
+                return
+            if target.__class__ is Timeout:
+                # The pending-lane invariant makes the sole-entry check
+                # one identity test: _pend is target ⇒ target is this
+                # simulator's, fresh, unprocessed, and the queue is
+                # otherwise empty.
+                if sim._pend is target:
+                    if limit is not None and not target.callbacks and sim._pend_when <= limit:
+                        sim._pend = None
+                        sim.now = sim._pend_when
+                        sim.events_processed += 1
+                        value = target._value
+                        if _getrefcount(target) == 2:
+                            # Provably sole owner: skip the processed-
+                            # state writes (unobservable) and recycle.
+                            if sim._t_cache is None:
+                                sim._t_cache = target
+                            else:
+                                pool.append(target)
+                        else:
+                            target.callbacks = None
+                            target._processed = True
+                        continue
+                    sim.active_process = prev
+                    self._target = target
+                    target.callbacks.append(self._resume_cb)
+                    return
+                if target.sim is sim and not target._processed:
+                    sim.active_process = prev
+                    self._target = target
+                    target.callbacks.append(self._resume_cb)
+                    return
+            sim.active_process = prev
+            self._attach(target)
+            return
 
     def _step(self, value: Any, *, is_exception: bool) -> None:
         sim = self.sim
@@ -314,7 +496,11 @@ class Process(Event):
         finally:
             if sim.active_process is self:
                 sim.active_process = prev
+        self._attach(target)
 
+    def _attach(self, target: Any) -> None:
+        """Generic wait-target validation and hookup (the cold tail)."""
+        sim = self.sim
         if not isinstance(target, Event):
             err = SimulationError(
                 f"process {self._name!r} yielded {target!r}; processes must yield Event objects"
@@ -331,13 +517,13 @@ class Process(Event):
             immediate = Event(sim, name="ImmediateResume")
             immediate._ok = target._ok
             immediate._value = target._value
-            immediate.callbacks.append(self._resume)
+            immediate.callbacks.append(self._resume_cb)
             sim._schedule(immediate, PRIORITY_URGENT)
             self._target = immediate
             return
         self._target = target
         assert target.callbacks is not None
-        target.callbacks.append(self._resume)
+        target.callbacks.append(self._resume_cb)
 
 
 class Condition(Event):
@@ -428,20 +614,70 @@ class Simulator:
         "now",
         "active_process",
         "_heap",
+        "_next",
+        "_pend",
+        "_pend_when",
+        "_pend_prio",
         "_sequence",
         "_processes",
         "events_processed",
+        "fastforward_epochs",
+        "timeouts_cancelled",
+        "_deferred_pool",
+        "_timeout_pool",
+        "_t_cache",
+        "_turbo_limit",
         "_profile_hist",
     )
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = float(start_time)
         self.active_process: Process | None = None
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
+        # One-entry "next event" buffer: an entry that sorts before the
+        # whole heap parks here and is popped without any heap traffic.
+        # Ping-pong patterns (one process waiting on one timeout — the
+        # common case in every drain loop) never touch the heap at all.
+        # Invariant: self._next is None or self._next <= every heap entry.
+        self._next: tuple[float, int, int, Any] | None = None
+        # Pending-sole-timeout lane: when the queue is COMPLETELY empty,
+        # timeout() parks the new Timeout here as three bare slots —
+        # no entry tuple, no sequence draw — because in the ping-pong
+        # pattern the turbo shortcut in Process._resume will consume it
+        # before anything else needs the queue. Invariant: _pend is not
+        # None ⇒ _next is None and the heap is empty. Every other
+        # queue consumer calls _materialize() first, which spills the
+        # lane into a real _next entry (drawing its sequence number at
+        # spill time, which precedes any later entry's — FIFO holds).
+        self._pend: Timeout | None = None
+        self._pend_when = 0.0
+        self._pend_prio = PRIORITY_NORMAL
         self._sequence = 0
         self._processes: list[Process] = []
         #: Events stepped by this simulator over its lifetime.
         self.events_processed = 0
+        #: Closed-form epoch fast-forwards performed by resource models
+        #: (each one replaces what quantum-stepping would have simulated
+        #: as many events). Incremented by the models, exported to obs.
+        self.fastforward_epochs = 0
+        #: Timeouts lazily cancelled (tombstoned) rather than fired.
+        self.timeouts_cancelled = 0
+        # Free list of recycled _Deferred wakeup timers (see defer()).
+        self._deferred_pool: list[_Deferred] = []
+        # Free list of provably-unreferenced Timeout objects, fed by the
+        # ping-pong turbo path in Process._resume (see there for the
+        # ownership proof) and drained by timeout().
+        self._timeout_pool: list[Timeout] = []
+        # Single-slot front of the timeout free list: in the ping-pong
+        # steady state exactly one recycled timeout circulates, and two
+        # attribute moves are cheaper than list append + pop.
+        self._t_cache: Timeout | None = None
+        # Virtual-time bound under which Process._resume may fire a
+        # sole-entry timeout in place ("turbo"), bypassing the heap and
+        # the dispatch loop entirely. ``None`` disables the shortcut —
+        # the default, so external drivers (step(), supervise()) retain
+        # exact one-event-per-step semantics; the run loops set it.
+        self._turbo_limit: float | None = None
         # Per-step timing sink, bound by run()/run_until() only when an
         # observability context with profile_steps is active.
         self._profile_hist = None
@@ -453,8 +689,118 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value, priority)
+        """Create an event that fires ``delay`` time units from now.
+
+        Body-inlined twin of :class:`Timeout`'s constructor — this
+        factory is called once per simulated event, and skipping the
+        ``__init__`` frame is worth the duplication on the hot path.
+        """
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
+        # Recycled timeouts (cache slot, then pool) come from the turbo
+        # sole-owner path, which skips the processed-state writes — so
+        # sim, the empty callbacks list, _ok=True, _processed=False and
+        # _cancelled=False all still hold, and only the per-fire
+        # payload needs arming.
+        t = self._t_cache
+        if t is not None:
+            self._t_cache = None
+            t._value = value
+            t.delay = delay
+        elif self._timeout_pool:
+            t = self._timeout_pool.pop()
+            t._value = value
+            t.delay = delay
+        else:
+            t = Timeout.__new__(Timeout)
+            t.sim = self
+            t.callbacks = []
+            t._name = None
+            t._ok = True
+            t._value = value
+            t._processed = False
+            t._cancelled = False
+            t.delay = delay
+        if self._pend is None and self._next is None and not self._heap:
+            # Empty queue: park in the pending lane (see __init__).
+            self._pend = t
+            self._pend_when = self.now + delay
+            self._pend_prio = priority
+            return t
+        if self._pend is not None:
+            self._materialize()
+        entry = (self.now + delay, priority, self._sequence, t)
+        self._sequence += 1
+        nxt = self._next
+        if nxt is None:
+            heap = self._heap
+            if not heap or entry < heap[0]:
+                self._next = entry
+            else:
+                _heappush(heap, entry)
+        elif entry < nxt:
+            _heappush(self._heap, nxt)
+            self._next = entry
+        else:
+            _heappush(self._heap, entry)
+        return t
+
+    def _materialize(self) -> None:
+        """Spill the pending-lane timeout into a real ``_next`` entry.
+
+        By the lane invariant the queue was empty when the lane filled,
+        and every later producer spills it before scheduling, so the
+        ``_next`` slot is necessarily free here.
+        """
+        t = self._pend
+        self._pend = None
+        self._next = (self._pend_when, self._pend_prio, self._sequence, t)
+        self._sequence += 1
+
+    def timeout_at(self, when: float, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Create an event that fires at *absolute* time ``when``.
+
+        The horizon-discipline resources precompute absolute completion
+        instants in closed form; scheduling them directly avoids the
+        ``now + (when - now)`` round-trip of :meth:`timeout`, which can
+        drift the fire time by one ulp and break bit-exactness against
+        the event-stepped implementations.
+        """
+        delay = when - self.now
+        if delay < 0:
+            raise ValueError(f"timeout_at target {when!r} is in the past (now={self.now!r})")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._value = value
+            t.delay = delay
+        else:
+            t = Timeout.__new__(Timeout)
+            t.sim = self
+            t.callbacks = []
+            t._name = None
+            t._ok = True
+            t._value = value
+            t._processed = False
+            t._cancelled = False
+            t.delay = delay
+        if self._pend is not None:
+            self._materialize()
+        entry = (when, priority, self._sequence, t)
+        self._sequence += 1
+        nxt = self._next
+        if nxt is None:
+            heap = self._heap
+            if not heap or entry < heap[0]:
+                self._next = entry
+            else:
+                _heappush(heap, entry)
+        elif entry < nxt:
+            _heappush(self._heap, nxt)
+            self._next = entry
+        else:
+            _heappush(self._heap, entry)
+        return t
 
     def process(
         self,
@@ -480,16 +826,57 @@ class Simulator:
         """Composite event triggering when any of *events* succeeds."""
         return AnyOf(self, events)
 
-    # -- scheduling ----------------------------------------------------------
+    def defer(
+        self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> _Deferred:
+        """Schedule bare callback *fn* to run ``delay`` from now.
 
-    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        The fast-path alternative to ``timeout(...)`` + callback for
+        internal wakeups: no Event allocation (timers are recycled
+        through a free list), no waiter bookkeeping, just one heap entry
+        and one call. The returned handle's :meth:`_Deferred.cancel`
+        tombstones it — but see the class docstring for when cancelling
+        is safe. Not yield-able: processes cannot wait on a deferred.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
+        pool = self._deferred_pool
+        timer = pool.pop() if pool else _Deferred()
+        timer.fn = fn
+        timer.cancelled = False
+        self._schedule(timer, priority, delay)
+        return timer
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Any, priority: int, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        if self._pend is not None:
+            self._materialize()
+        entry = (self.now + delay, priority, self._sequence, event)
         self._sequence += 1
+        nxt = self._next
+        if nxt is None:
+            heap = self._heap
+            # Tuple comparison never reaches the (incomparable) event:
+            # the sequence field is unique.
+            if not heap or entry < heap[0]:
+                self._next = entry
+            else:
+                _heappush(heap, entry)
+        elif entry < nxt:
+            _heappush(self._heap, nxt)
+            self._next = entry
+        else:
+            _heappush(self._heap, entry)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        if self._pend is not None:
+            return self._pend_when
+        if self._next is not None:
+            return self._next[0]
         return self._heap[0][0] if self._heap else float("inf")
 
     def pending_processes(self) -> list[Process]:
@@ -501,14 +888,18 @@ class Simulator:
         return tuple((p._name or "?") for p in self.pending_processes()[:limit])
 
     def step(self) -> None:
-        """Process exactly one event (advancing ``now`` to its time).
+        """Process the next queue entry (advancing ``now`` to its time).
 
         The profiling check happens *before* dispatch: with no
         observability context requesting per-step timings the event is
         dispatched by :meth:`_step_once` with zero instrumentation —
-        no clock reads, no histogram lookups.
+        no clock reads, no histogram lookups. A popped entry that turns
+        out to be a cancelled tombstone is discarded without advancing
+        time or counters.
         """
-        if not self._heap:
+        if self._pend is not None:
+            self._materialize()
+        if self._next is None and not self._heap:
             raise SimulationError("step() called on an empty event queue")
         prof = self._profile_hist
         if prof is None:
@@ -520,14 +911,34 @@ class Simulator:
 
     def _step_once(self) -> None:
         """Bare event dispatch — the instrument-free hot path."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        entry = self._next
+        if entry is not None:
+            self._next = None
+        else:
+            entry = _heappop(self._heap)
+        event = entry[3]
+        cls = event.__class__
+        if cls is _Deferred:
+            # Bare-callback timer: recycle before calling so the
+            # callback can immediately re-defer onto the same object.
+            fn = event.fn
+            event.fn = None
+            self._deferred_pool.append(event)
+            if event.cancelled:
+                return
+            self.now = entry[0]
+            fn()
+            self.events_processed += 1
+            return
+        if event._cancelled:
+            return
+        when = entry[0]
         if when < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = when
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
         self.events_processed += 1
@@ -562,6 +973,8 @@ class Simulator:
     def _observed_drive(self, ctx, sp, drive: Callable[[], None]) -> None:
         """Execute *drive* under the active context's instruments."""
         e0 = self.events_processed
+        f0 = self.fastforward_epochs
+        c0 = self.timeouts_cancelled
         t0 = time.perf_counter()
         if ctx.profile_steps:
             self._profile_hist = ctx.metrics.histogram("sim.step_seconds")
@@ -573,25 +986,100 @@ class Simulator:
             sp.set("events", stepped)
             sp.set("sim_time", self.now)
             ctx.metrics.counter("sim.events").inc(stepped)
+            # Fast-forward savings are only exported when they happened,
+            # so runs that never touch an epoch model keep their metric
+            # key set (and snapshot diffs) unchanged.
+            epochs = self.fastforward_epochs - f0
+            if epochs > 0:
+                sp.set("fastforward_epochs", epochs)
+                ctx.metrics.counter("sim.fastforward_epochs").inc(epochs)
+            cancelled = self.timeouts_cancelled - c0
+            if cancelled > 0:
+                ctx.metrics.counter("sim.timeouts_cancelled").inc(cancelled)
             ctx.metrics.histogram("sim.run_seconds").observe(time.perf_counter() - t0)
 
     def _run_impl(self, until: Optional[float] = None) -> None:
-        if until is not None and until < self.now:
-            raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
-        # Pre-check profiling once: the obs-off loop binds the bare
-        # dispatcher and the heap locally instead of re-testing
-        # ``_profile_hist`` per event.
+        # Pre-check profiling once: the obs-off loop inlines the bare
+        # dispatcher (mirroring _step_once statement for statement)
+        # instead of paying a call and re-testing ``_profile_hist`` per
+        # event.
         heap = self._heap
-        step = self._step_once if self._profile_hist is None else self.step
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self.now = until
-                return
-            step()
+        profiled = self._profile_hist is not None
+        step = self._step_once if not profiled else self.step
         if until is not None:
+            if until < self.now:
+                raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
+            if not profiled:
+                self._turbo_limit = until
+            try:
+                while True:
+                    if self._pend is not None:
+                        self._materialize()
+                    nxt = self._next
+                    if nxt is not None:
+                        when = nxt[0]
+                    elif heap:
+                        when = heap[0][0]
+                    else:
+                        break
+                    if when > until:
+                        break
+                    step()
+            finally:
+                self._turbo_limit = None
             self.now = until
+            return
+        if profiled:
+            while self._pend is not None or self._next is not None or heap:
+                step()
+        else:
+            # Inlined _step_once — the drain loop the benchmarks time.
+            pool = self._deferred_pool
+            self._turbo_limit = float("inf")
+            try:
+                while True:
+                    entry = self._next
+                    if entry is not None:
+                        self._next = None
+                    elif heap:
+                        entry = _heappop(heap)
+                    elif self._pend is not None:
+                        # A turbo miss (e.g. a timeout with waiters
+                        # attached) can leave the lane occupied.
+                        self._materialize()
+                        continue
+                    else:
+                        break
+                    event = entry[3]
+                    cls = event.__class__
+                    if cls is _Deferred:
+                        fn = event.fn
+                        event.fn = None
+                        pool.append(event)
+                        if event.cancelled:
+                            continue
+                        self.now = entry[0]
+                        fn()
+                        self.events_processed += 1
+                        continue
+                    if event._cancelled:
+                        continue
+                    when = entry[0]
+                    if when < self.now:
+                        raise SimulationError("event queue corrupted: time went backwards")
+                    self.now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    self.events_processed += 1
+                    if event._ok is False and not callbacks and not isinstance(event, Process):
+                        raise event._value
+            finally:
+                self._turbo_limit = None
         zombies = self.pending_processes()
-        if zombies and until is None:
+        if zombies:
             names = ", ".join(repr(p._name) for p in zombies[:5])
             raise DeadlockError(
                 f"event queue empty but {len(zombies)} process(es) still waiting: {names}",
@@ -629,25 +1117,36 @@ class Simulator:
 
     def _run_until_impl(self, event: Event, limit: float | None = None) -> Any:
         heap = self._heap
-        step = self._step_once if self._profile_hist is None else self.step
-        while not event._processed:
-            if not heap:
-                raise DeadlockError(
-                    f"event queue empty before {event!r} fired",
-                    sim_time=self.now,
-                    pending=self.pending_names(),
-                    pending_count=len(self.pending_processes()),
-                    queue_size=0,
-                )
-            if limit is not None and heap[0][0] > limit:
-                raise DeadlockError(
-                    f"{event!r} did not fire before t={limit!r}",
-                    sim_time=self.now,
-                    pending=self.pending_names(),
-                    pending_count=len(self.pending_processes()),
-                    queue_size=len(self._heap),
-                )
-            step()
+        profiled = self._profile_hist is not None
+        step = self._step_once if not profiled else self.step
+        if not profiled:
+            self._turbo_limit = limit if limit is not None else float("inf")
+        try:
+            while not event._processed:
+                if self._pend is not None:
+                    self._materialize()
+                nxt = self._next
+                if nxt is None and not heap:
+                    raise DeadlockError(
+                        f"event queue empty before {event!r} fired",
+                        sim_time=self.now,
+                        pending=self.pending_names(),
+                        pending_count=len(self.pending_processes()),
+                        queue_size=0,
+                    )
+                if limit is not None:
+                    when = nxt[0] if nxt is not None else heap[0][0]
+                    if when > limit:
+                        raise DeadlockError(
+                            f"{event!r} did not fire before t={limit!r}",
+                            sim_time=self.now,
+                            pending=self.pending_names(),
+                            pending_count=len(self.pending_processes()),
+                            queue_size=len(heap) + (nxt is not None),
+                        )
+                step()
+        finally:
+            self._turbo_limit = None
         if not event.ok:
             raise event.value
         return event.value
@@ -665,7 +1164,7 @@ class Simulator:
                 sim_time=self.now,
                 pending=self.pending_names(),
                 pending_count=len(self.pending_processes()),
-                queue_size=len(self._heap),
+                queue_size=len(self._heap) + (self._next is not None) + (self._pend is not None),
             )
         if not proc.ok:
             raise proc.value

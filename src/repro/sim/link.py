@@ -103,22 +103,23 @@ class Link:
         Use as ``wait = yield from link.transfer(200, "out")`` inside a
         process; returns the queueing delay experienced (seconds spent
         waiting for the wire, excluding the wire occupancy itself).
+
+        The wire is a capacity-1 FIFO with a hold time known at
+        submission, so the drain is computed in closed form
+        (:meth:`~repro.sim.resources.FifoResource.occupy`): one
+        pre-scheduled completion event per message instead of a
+        request/grant/hold/release exchange. The completion instants
+        are identical to the event-stepped implementation. One
+        behavioural difference: the message's wire reservation is
+        committed at submission, so interrupting the sending process
+        mid-transfer no longer vacates its slot in the FIFO.
         """
         channel = self._channel(direction)
         hold = self.occupancy(size_words)
         if self.faults is not None:
             hold = self.faults.perturb_wire(size_words, hold)
-        t0 = self.sim.now
-        req = channel.request()
-        try:
-            yield req
-            queued = self.sim.now - t0
-            yield self.sim.timeout(hold)
-        finally:
-            # Interrupt-safe: releases a held unit *or* cancels a
-            # still-queued request, so a crashed sender cannot wedge
-            # the wire for everybody else.
-            channel.release(req)
+        done, queued = channel.occupy(hold)
+        yield done
         self.messages_sent += 1
         self.words_sent += size_words
         self.wire_busy += hold

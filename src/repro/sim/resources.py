@@ -62,21 +62,39 @@ class FifoResource:
         self._queue_area = 0.0  # integral of queue length over time
         self._last_change = sim.now
         self.total_grants = 0
+        # Horizon-discipline (occupy) state. A resource commits to one
+        # discipline at first use; see :meth:`occupy`.
+        self._mode: str | None = None
+        self._free_at = 0.0  # absolute instant the FIFO drain completes
+        self._hold_sum = 0.0  # total occupancy ever submitted
+        self._wait_sum = 0.0  # total queueing delay ever committed to
+        self._pending_starts: Deque[float] = deque()  # future grant instants
 
     # -- public API ---------------------------------------------------------
 
     @property
     def in_use(self) -> int:
         """Number of units currently granted."""
+        if self._mode == "horizon":
+            return 1 if self._free_at > self.sim.now else 0
         return self._in_use
 
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a unit."""
+        if self._mode == "horizon":
+            self._prune_starts()
+            return len(self._pending_starts)
         return len(self._waiting)
 
     def request(self) -> Request:
         """Ask for one unit; the returned event fires when granted."""
+        if self._mode == "horizon":
+            raise SimulationError(
+                f"resource {self.name!r} already uses occupy(); "
+                "request()/release() cannot be mixed with the horizon discipline"
+            )
+        self._mode = "events"
         self._account()
         req = Request(self)
         if self._in_use < self.capacity:
@@ -117,24 +135,91 @@ class FifoResource:
         finally:
             self.release(req)
 
+    def occupy(self, hold: float) -> tuple[Event, float]:
+        """Closed-form FIFO drain: occupy one unit for *hold* seconds.
+
+        The horizon-discipline fast path for capacity-1 FIFO servers
+        (the wire of a :class:`~repro.sim.link.Link`): because grants
+        are strictly FIFO and the hold time is known at submission, the
+        grant and completion instants are computable immediately —
+        ``start = max(now, free_at)``, ``completion = start + hold`` —
+        so the whole request/grant/hold/release exchange collapses into
+        a *single* pre-scheduled completion event instead of three.
+        Busy-time and queue-length integrals are carried analytically
+        (sums of holds and committed waits) rather than by stepping.
+
+        Returns ``(done, queued)``: ``done`` fires at the completion
+        instant; ``queued`` is the queueing delay (seconds between
+        submission and grant), known up front.
+
+        Completion instants are bit-identical to the event-stepped
+        ``request()``/``release()`` path. Two deliberate differences:
+        the discipline is reservation-based, so a process interrupted
+        while "waiting" still holds its slot (there is no cancellation),
+        and a resource commits to one discipline at first use — mixing
+        ``occupy()`` with ``request()`` raises ``SimulationError``.
+        """
+        if self.capacity != 1:
+            raise SimulationError(
+                f"occupy() requires a capacity-1 resource, got capacity={self.capacity}"
+            )
+        if self._mode == "events":
+            raise SimulationError(
+                f"resource {self.name!r} already uses request()/release(); "
+                "occupy() cannot be mixed with the event discipline"
+            )
+        if hold < 0:
+            raise ValueError(f"hold must be >= 0, got {hold!r}")
+        self._mode = "horizon"
+        now = self.sim.now
+        free = self._free_at
+        start = free if free > now else now
+        completion = start + hold
+        self._free_at = completion
+        self._hold_sum += hold
+        queued = start - now
+        if queued > 0.0:
+            self._wait_sum += queued
+            self._pending_starts.append(start)
+        else:
+            queued = 0.0
+        self.total_grants += 1
+        return self.sim.timeout_at(completion, value=self), queued
+
     # -- statistics -----------------------------------------------------------
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Time-averaged fraction of capacity in use since construction."""
-        self._account()
         horizon = elapsed if elapsed is not None else self.sim.now
         if horizon <= 0:
             return 0.0
+        if self._mode == "horizon":
+            overhang = self._free_at - self.sim.now
+            busy = self._hold_sum - (overhang if overhang > 0.0 else 0.0)
+            return busy / (horizon * self.capacity)
+        self._account()
         return self._busy_area / (horizon * self.capacity)
 
     def mean_queue_length(self) -> float:
         """Time-averaged number of waiting requests."""
-        self._account()
-        if self.sim.now <= 0:
+        now = self.sim.now
+        if now <= 0:
             return 0.0
-        return self._queue_area / self.sim.now
+        if self._mode == "horizon":
+            self._prune_starts()
+            future = sum(s - now for s in self._pending_starts)
+            return (self._wait_sum - future) / now
+        self._account()
+        return self._queue_area / now
 
     # -- internal --------------------------------------------------------------
+
+    def _prune_starts(self) -> None:
+        """Drop committed grant instants that are now in the past."""
+        starts = self._pending_starts
+        now = self.sim.now
+        while starts and starts[0] <= now:
+            starts.popleft()
 
     def _grant(self, req: Request) -> None:
         self._in_use += 1
