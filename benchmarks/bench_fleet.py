@@ -1,0 +1,221 @@
+"""Fleet-service throughput: placement queries against a 100k-app registry.
+
+The fleet service answers placement queries from memoized per-machine
+tagged slowdowns (``repro.fleet.shard``), so query cost is independent
+of how many applications are registered — only arrivals/departures pay
+the O(p) distribution update, and only the machines they touch are
+re-derived on the next query. These benches pin that contract down:
+
+- ``test_fleet_query_throughput`` — the guarded hot path: placement
+  queries with 32-machine candidate sets against a fleet holding
+  100,000 registered applications on 256 machines. The service must
+  sustain >= 10,000 queries/sec single-process (asserted, not just
+  recorded).
+- ``test_fleet_event_churn`` — the guarded arrive/depart path: the
+  incremental O(p) add/remove updates plus registry bookkeeping. No
+  event log is attached; fsync latency is a durability cost, not a
+  kernel cost (``bench_simulator`` measures nothing it doesn't own
+  either).
+- ``test_fleet_sharded_workers`` — fan the same query load over
+  ``repro.parallel`` workers, one fleet partition per worker. Not
+  perf-guarded (CI hosts may have a single CPU, where the pool only
+  adds overhead); it proves the partitioned path works and stays
+  value-identical to the inline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fleet import (
+    AdmissionController,
+    FleetService,
+    PlacementQuery,
+    TenantQuota,
+)
+from repro.parallel import ParallelExecutor
+
+from conftest import run_once
+
+#: The fleet the guarded benches query: 100k apps across 256 machines
+#: (~390 apps/machine, so every per-machine distribution is a real
+#: O(p) object, not a toy).
+MACHINES = 256
+APPS = 100_000
+NUM_SHARDS = 8
+QUERY_BATCH = 200
+CANDIDATES_PER_QUERY = 32
+CHURN_PAIRS = 50
+
+_SERVICE: FleetService | None = None
+_QUERIES: list[tuple[str, PlacementQuery]] | None = None
+
+
+def _unmetered_admission() -> AdmissionController:
+    """Admission that never sheds: these benches measure the served path."""
+    return AdmissionController(
+        default=TenantQuota(query_rate=1e9, query_burst=1e9, max_apps=10**9)
+    )
+
+
+def _populate(service: FleetService, apps: int, seed: int) -> None:
+    """Register *apps* arrivals, deterministically spread over the fleet."""
+    rng = np.random.default_rng(seed)
+    machines = rng.integers(0, service.machines, size=apps)
+    fractions = rng.uniform(0.05, 0.8, size=apps)
+    sizes = rng.choice([64.0, 256.0, 1024.0], size=apps)
+    for i in range(apps):
+        admitted = service.apply(
+            {
+                "op": "arrive",
+                "app": f"app-{i}",
+                "tenant": f"tenant-{i % 8}",
+                "machine": int(machines[i]),
+                "comm_fraction": float(fractions[i]),
+                "message_size": float(sizes[i]),
+            }
+        )
+        assert admitted
+
+
+def _fleet() -> FleetService:
+    """The shared 100k-app service, built once and cache-warmed."""
+    global _SERVICE
+    if _SERVICE is None:
+        service = FleetService(
+            machines=MACHINES, num_shards=NUM_SHARDS, admission=_unmetered_admission()
+        )
+        _populate(service, APPS, seed=1234)
+        # One full-fleet query derives every machine's tagged slowdowns,
+        # so the timed region exercises the memoized steady state.
+        service.query("warmup", PlacementQuery(dcomp_frontend=1.0))
+        _SERVICE = service
+    return _SERVICE
+
+
+def _queries() -> list[tuple[str, PlacementQuery]]:
+    global _QUERIES
+    if _QUERIES is None:
+        rng = np.random.default_rng(99)
+        out = []
+        for i in range(QUERY_BATCH):
+            candidates = tuple(
+                int(m)
+                for m in rng.choice(MACHINES, size=CANDIDATES_PER_QUERY, replace=False)
+            )
+            out.append(
+                (
+                    f"tenant-{i % 8}",
+                    PlacementQuery(
+                        dcomp_frontend=1.0,
+                        backend_dcomp=0.4,
+                        backend_didle=0.1,
+                        backend_dserial=0.2,
+                        dcomm_out=0.05,
+                        dcomm_in=0.05,
+                        candidates=candidates,
+                    ),
+                )
+            )
+        _QUERIES = out
+    return _QUERIES
+
+
+def test_fleet_query_throughput(benchmark):
+    service = _fleet()
+    queries = _queries()
+
+    def run() -> int:
+        served = 0
+        for tenant, query in queries:
+            answer = service.query(tenant, query)
+            served += not answer.shed
+        return served
+
+    assert benchmark(run) == len(queries)
+    assert len(service.registry) == APPS
+    rate = len(queries) / benchmark.stats.stats.median
+    benchmark.extra_info["queries_per_sec"] = round(rate)
+    assert rate >= 10_000, f"fleet query path sustained only {rate:.0f} queries/sec"
+
+
+def test_fleet_event_churn(benchmark):
+    service = _fleet()
+
+    def run() -> int:
+        before = service.admitted_events
+        for i in range(CHURN_PAIRS):
+            service.apply(
+                {
+                    "op": "arrive",
+                    "app": f"churn-{i}",
+                    "tenant": "churn",
+                    "machine": i % MACHINES,
+                    "comm_fraction": 0.3,
+                    "message_size": 256.0,
+                }
+            )
+        for i in range(CHURN_PAIRS):
+            service.apply({"op": "depart", "app": f"churn-{i}"})
+        return service.admitted_events - before
+
+    assert benchmark(run) == 2 * CHURN_PAIRS
+    assert len(service.registry) == APPS  # every round returns to baseline
+
+
+# -- sharded fan-out ---------------------------------------------------------
+
+_PARTITIONS: dict[int, FleetService] = {}
+
+
+@dataclass(frozen=True)
+class PartitionQueries:
+    """Picklable worker task: build a fleet partition, answer queries.
+
+    Each worker owns an independent partition of the fleet (machines
+    and apps divided by ``partitions``), cached per process so repeated
+    maps pay the build once — the shape a long-running sharded service
+    would have.
+    """
+
+    partitions: int
+    machines: int
+    apps: int
+    queries: int
+    seed: int
+
+    def __call__(self, part: int) -> tuple[int, int]:
+        service = _PARTITIONS.get(part)
+        if service is None:
+            service = FleetService(
+                machines=self.machines, num_shards=2, admission=_unmetered_admission()
+            )
+            _populate(service, self.apps, seed=self.seed + part)
+            service.query("warmup", PlacementQuery(dcomp_frontend=1.0))
+            _PARTITIONS[part] = service
+        rng = np.random.default_rng(self.seed * 7 + part)
+        served = checksum = 0
+        for _ in range(self.queries):
+            candidates = tuple(
+                int(m) for m in rng.choice(self.machines, size=8, replace=False)
+            )
+            answer = service.query(
+                "t", PlacementQuery(dcomp_frontend=1.0, candidates=candidates)
+            )
+            served += not answer.shed
+            checksum += answer.machine
+        return served, checksum
+
+
+def test_fleet_sharded_workers(benchmark):
+    task = PartitionQueries(partitions=4, machines=16, apps=1500, queries=300, seed=5)
+    parts = list(range(task.partitions))
+    executor = ParallelExecutor(workers=2)
+
+    results = run_once(benchmark, executor.map, task, parts)
+
+    assert [served for served, _ in results] == [task.queries] * task.partitions
+    # Determinism contract: the pool run is value-identical to inline.
+    assert results == ParallelExecutor(workers=1).map(task, parts)

@@ -4,11 +4,11 @@
 Compares freshly measured medians against the committed
 ``BENCH_perf.json`` baseline and exits non-zero when any guarded
 benchmark's median regresses by more than the allowed fraction
-(default 25 %). Only the DES-kernel and vectorized-kernel benches are
-guarded: the heavy experiment drivers measure whole sweeps whose cost
-is dominated by workload content, and their medians move for
-legitimate reasons; the kernel benches are the ones a stray
-``O(n)``-in-the-hot-loop slip shows up in first.
+(default 25 %). Only the DES-kernel, vectorized-kernel, and
+fleet-service benches are guarded: the heavy experiment drivers
+measure whole sweeps whose cost is dominated by workload content, and
+their medians move for legitimate reasons; the kernel benches are the
+ones a stray ``O(n)``-in-the-hot-loop slip shows up in first.
 
 Usage::
 
@@ -34,8 +34,9 @@ import sys
 import tempfile
 from pathlib import Path
 
-#: Benchmarks the guard watches: the DES kernel micro-benches and the
-#: vectorized prediction-kernel benches.
+#: Benchmarks the guard watches: the DES kernel micro-benches, the
+#: vectorized prediction-kernel benches, and the fleet-service hot
+#: paths (placement queries and event churn at 100k-app scale).
 GUARDED = (
     "test_event_throughput",
     "test_event_throughput_traced",
@@ -44,6 +45,8 @@ GUARDED = (
     "test_resource_contention_throughput",
     "test_placement_grid_batch",
     "test_slowdown_evaluation",
+    "test_fleet_query_throughput",
+    "test_fleet_event_churn",
 )
 
 #: Benchmark files that contain the guarded benches (what --fresh-less
@@ -52,6 +55,7 @@ GUARDED_FILES = (
     "benchmarks/bench_simulator.py",
     "benchmarks/bench_batch.py",
     "benchmarks/bench_model_costs.py",
+    "benchmarks/bench_fleet.py",
 )
 
 

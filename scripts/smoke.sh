@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Smoke job: lint (when available), tier-1 tests, a kill-and-resume
-# check of the run journal, and one traced chaos run whose JSON-lines
-# trace is validated end to end.
+# check of the run journal, a fleet-soak SIGKILL/recovery check, and
+# one traced chaos run whose JSON-lines trace is validated end to end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
 set -euo pipefail
@@ -88,6 +88,34 @@ assert checked, "no JSON results to compare"
 print(f"ok: SIGKILLed+resumed sweep bit-identical across {checked} files")
 EOF
 rm -rf "$resume_dir"
+
+echo "== fleet soak: churn, SIGKILL, journal-backed recovery =="
+# The fleet-level analogue of the journal check above: SIGKILL the
+# soak driver mid-stream, resume from the write-ahead event log, and
+# demand the recovered service's state hash match an uninterrupted
+# oracle run bit for bit.
+fleet_dir="$(mktemp -d -t fleet-soak.XXXXXX)"
+oracle_hash="$(python -m repro.fleet.soak --log "$fleet_dir/oracle.jsonl" \
+    --events 300 --machines 16 --shards 4 --seed 11 2>/dev/null | tail -n 1)"
+set +e
+python -m repro.fleet.soak --log "$fleet_dir/soak.jsonl" \
+    --events 300 --machines 16 --shards 4 --seed 11 --kill-at 150 >/dev/null 2>&1
+status=$?
+set -e
+[ "$status" -eq 137 ] || {
+    echo "error: soak expected to die of SIGKILL (137), got $status" >&2
+    exit 1
+}
+resumed_hash="$(python -m repro.fleet.soak --log "$fleet_dir/soak.jsonl" \
+    --events 300 --machines 16 --shards 4 --seed 11 --resume 2>/dev/null | tail -n 1)"
+[ "$oracle_hash" = "$resumed_hash" ] || {
+    echo "error: resumed fleet state hash differs from the oracle run" >&2
+    echo "  oracle:  $oracle_hash" >&2
+    echo "  resumed: $resumed_hash" >&2
+    exit 1
+}
+echo "ok: SIGKILLed fleet soak resumed bit-identical ($resumed_hash)"
+rm -rf "$fleet_dir"
 
 echo "== fast-forward seed determinism =="
 # The event-horizon fast-forward path must not introduce any run-to-run

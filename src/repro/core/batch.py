@@ -81,7 +81,10 @@ def _asarray(
     the scalar ``check_nonnegative`` guard.
     """
     arr = np.asarray(values, dtype=_F)
-    if nonnegative and np.any(arr < 0):
+    # (arr < 0).any() over np.any(arr < 0): the module-level wrapper's
+    # dispatch costs more than the reduction on the small arrays the
+    # fleet query path sends through here thousands of times a second.
+    if nonnegative and (arr < 0).any():
         bad = arr[arr < 0].flat[0]
         raise exc(f"{name} must be >= 0, got {float(bad)!r}")
     return arr
@@ -94,7 +97,7 @@ def _sizes_array(values: Any) -> np.ndarray:
 
 def _check_slowdowns(arr: np.ndarray, name: str = "slowdown") -> np.ndarray:
     """Every slowdown factor must be >= 1 (NaN sentinels pass through)."""
-    if np.any(arr < 1.0):
+    if (arr < 1.0).any():
         bad = arr[arr < 1.0].flat[0]
         raise ModelError(f"{name} must be >= 1, got {float(bad)!r}")
     return arr

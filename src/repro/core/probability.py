@@ -44,6 +44,63 @@ __all__ = [
 #: caller should rebuild with :func:`overlap_distribution` instead.
 _DECONV_LIMIT = 1e-9
 
+#: Negative probability mass (from round-off) tolerated per removal
+#: before the deconvolution is declared lost. Sub-epsilon negatives are
+#: clamped to zero and renormalized away; anything larger means the
+#: division genuinely diverged and the caller must rebuild.
+_NEGATIVE_MASS_LIMIT = 1e-12
+
+#: Per-coefficient round-trip residual (re-adding the removed fraction
+#: must reproduce the input distribution) tolerated per removal, scaled
+#: by the population size. Synthetic division accumulates one rounding
+#: error per recurrence step, so the bound grows linearly in ``p``.
+_ROUNDTRIP_LIMIT = 1e-13
+
+
+def _verified(
+    out: np.ndarray, dist: np.ndarray, f: float, tol: float | None = None
+) -> np.ndarray:
+    """Clamp, renormalize and verify a deconvolution result.
+
+    Three checks, each of which raises :class:`~repro.errors.ModelError`
+    so :class:`~repro.core.runtime.SlowdownManager` falls back to the
+    O(p²) rebuild instead of propagating a drifted distribution:
+
+    * negative mass beyond :data:`_NEGATIVE_MASS_LIMIT` (round-off
+      produces at most sub-epsilon negatives; more means divergence);
+    * a non-finite or non-positive total;
+    * a round-trip residual — ``add_application(out, f)`` must
+      reproduce the input distribution to within *tol* per coefficient
+      (default ``p · _ROUNDTRIP_LIMIT``). This is the tight condition:
+      accumulated drift that never goes negative still trips it, which
+      is what keeps long arrive/depart churn within 1e-12 of a fresh
+      rebuild. The exact near-0/1 branch passes a looser *tol*: it
+      legitimately discards ``min(f, 1-f) ≤ _DECONV_LIMIT`` of tail
+      mass, which is invisible in the output but not in the round trip.
+    """
+    p = len(out)
+    if tol is None:
+        tol = _ROUNDTRIP_LIMIT * max(1, p)
+    negative = out < 0.0
+    if negative.any():
+        if float(-out[negative].sum()) > _NEGATIVE_MASS_LIMIT:
+            raise ModelError(
+                "deconvolution produced non-trivial negative probability mass; "
+                "rebuild from fractions"
+            )
+        out = np.clip(out, 0.0, None)
+    total = out.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ModelError("deconvolution lost the distribution; rebuild from fractions")
+    out = out / total
+    residual = float(np.max(np.abs(add_application(out, f) - dist)))
+    if residual > tol:
+        raise ModelError(
+            f"deconvolution round-trip residual {residual:.3e} exceeds the "
+            "accuracy budget; rebuild from fractions"
+        )
+    return out
+
 
 def overlap_distribution(fractions: Sequence[float]) -> np.ndarray:
     """Distribution of the number of simultaneously *active* applications.
@@ -100,19 +157,25 @@ def remove_application(dist: np.ndarray, fraction: float) -> np.ndarray:
     Raises
     ------
     ModelError
-        If the distribution has length 1 (no application to remove) or
+        If the distribution has length 1 (no application to remove),
         *fraction* is so close to 0 or 1 that deconvolution would
-        divide by ~0 — rebuild with :func:`overlap_distribution` then.
+        divide by ~0, or the result fails the accuracy verification in
+        :func:`_verified` — rebuild with :func:`overlap_distribution`
+        then.
     """
     f = check_fraction(fraction, "fraction")
     p = len(dist) - 1
     if p < 1:
         raise ModelError("cannot remove an application from an empty distribution")
+    dist = np.asarray(dist, dtype=float)
     if min(f, 1.0 - f) < _DECONV_LIMIT:
         # (1-f) or f is ~0: one division direction is exact, use it.
+        # The discarded opposite-end coefficient holds at most
+        # ~_DECONV_LIMIT of mass, so the round trip is bounded by that.
+        tol = 4.0 * _DECONV_LIMIT
         if f < 0.5:
-            return np.asarray(dist[:-1]) / (1.0 - f)
-        return np.asarray(dist[1:]) / f
+            return _verified(dist[:-1] / (1.0 - f), dist, f, tol)
+        return _verified(dist[1:] / f, dist, f, tol)
     out = np.empty(p)
     if f <= 0.5:
         # Divide from the constant term: dist[i] = out[i](1-f) + out[i-1] f.
@@ -127,12 +190,7 @@ def remove_application(dist: np.ndarray, fraction: float) -> np.ndarray:
         for i in range(p - 1, -1, -1):
             out[i] = (dist[i + 1] - acc * (1.0 - f)) / f
             acc = out[i]
-    # Deconvolution can produce tiny negatives from round-off.
-    np.clip(out, 0.0, None, out=out)
-    total = out.sum()
-    if not np.isfinite(total) or total <= 0:
-        raise ModelError("deconvolution lost the distribution; rebuild from fractions")
-    return out / total
+    return _verified(out, dist, f)
 
 
 def comm_comp_distributions(

@@ -23,6 +23,7 @@ from .backend import (
     tp_placement_experiment,
 )
 from .dispatch import library_dispatch_experiment
+from .fleet import fleet_experiment
 from .figures import (
     fig1_cm2_communication,
     fig2_interleaving,
@@ -78,6 +79,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "forecast": forecast_experiment,
     "mixed_workload": mixed_workload_experiment,
     "chaos": chaos_experiment,
+    "fleet": fleet_experiment,
 }
 
 

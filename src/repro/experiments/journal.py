@@ -49,6 +49,7 @@ from ..obs import context as _obs
 __all__ = [
     "JOURNAL_VERSION",
     "RunJournal",
+    "EventLog",
     "describe_task",
     "point_key",
     "active",
@@ -237,6 +238,126 @@ class RunJournal:
             self._fh.close()
 
     def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Streaming event log (write-ahead log for the fleet service)
+# ---------------------------------------------------------------------------
+
+
+class EventLog:
+    """Append-only, sequence-numbered event stream with durable replay.
+
+    Where :class:`RunJournal` memoizes *keyed points* (replay by content
+    hash, order irrelevant), the event log makes an *ordered stream*
+    durable: the fleet service (:mod:`repro.fleet`) appends every
+    admitted arrive/depart event before applying it, so a killed shard
+    can be rebuilt bit-identically by replaying the log in sequence
+    order through the same code path.
+
+    The durability discipline matches :class:`RunJournal`: one canonical
+    JSON line per event, flushed on every append (``fsync`` too unless
+    ``sync=False`` — benchmarks disable it), so a crash can only tear
+    the final line, which :meth:`replay` skips.
+
+    Parameters
+    ----------
+    path:
+        Log file. Parent directories are created as needed.
+    resume:
+        When True, existing events at *path* are replayed to recover
+        the sequence counter (corrupt trailing lines skipped); when
+        False the file is truncated — a fresh stream.
+    sync:
+        ``fsync`` after every append. Keep True whenever recovery
+        matters; False trades durability for append throughput.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, resume: bool = False, sync: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self.next_seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume:
+            # Truncate any torn tail (a half-written final line after a
+            # kill) so new appends extend the durable prefix — replay
+            # stops at the first bad line, and an append landing after
+            # one would be unreachable. Canonical JSON is pure ASCII,
+            # so line length in characters equals length in bytes.
+            durable = 0
+            for event in self.replay(self.path):
+                self.next_seq = int(event["seq"]) + 1
+                durable += 1
+            try:
+                lines = self.path.read_text(encoding="utf-8").splitlines(keepends=True)
+            except OSError:
+                lines = []
+            keep = sum(len(line) for line in lines[:durable])
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.truncate(keep)
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+
+    def append(self, event: Mapping[str, Any]) -> dict[str, Any]:
+        """Durably append *event*, stamping the next sequence number.
+
+        Returns the JSON round-trip of the stamped event — exactly what
+        :meth:`replay` will yield — so live application and replayed
+        recovery flow identical data into the shards.
+        """
+        record = dict(event)
+        record["seq"] = self.next_seq
+        record["v"] = JOURNAL_VERSION
+        line = _canonical(record)
+        replayed = json.loads(line)
+        self.next_seq += 1
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        return replayed
+
+    @staticmethod
+    def replay(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
+        """Yield the durable events at *path* in sequence order.
+
+        Lines that do not parse (a torn final write after ``kill -9``),
+        carry a foreign version, or arrive out of sequence are skipped —
+        replay stops trusting the stream at the first gap, since events
+        after a hole could double-apply arrivals.
+        """
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return
+        expect = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+                if event["v"] != JOURNAL_VERSION or event["seq"] != expect:
+                    raise ValueError("version or sequence mismatch")
+            except (ValueError, KeyError, TypeError):
+                return
+            expect += 1
+            yield event
+
+    def close(self) -> None:
+        """Flush and close the log file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
         return self
 
     def __exit__(self, *exc: Any) -> None:

@@ -1,0 +1,26 @@
+"""Fleet-scale contention service (see :mod:`repro.fleet.service`).
+
+The per-call contention model (:mod:`repro.core`) promoted to a
+long-running, machine-sharded, multi-tenant placement service with
+admission control, load shedding, and journal-backed shard recovery.
+"""
+
+from .admission import AdmissionController, BoundedQueue, TenantQuota, TokenBucket
+from .registry import AppRecord, FleetRegistry, synthetic_feed
+from .service import FleetService, PlacementAnswer, PlacementQuery
+from .shard import Shard, ShardPolicy
+
+__all__ = [
+    "AdmissionController",
+    "AppRecord",
+    "BoundedQueue",
+    "FleetRegistry",
+    "FleetService",
+    "PlacementAnswer",
+    "PlacementQuery",
+    "Shard",
+    "ShardPolicy",
+    "TenantQuota",
+    "TokenBucket",
+    "synthetic_feed",
+]

@@ -1,0 +1,195 @@
+"""Admission control: token buckets, tenant quotas, bounded queues.
+
+The fleet service (:mod:`repro.fleet.service`) is multi-tenant: every
+placement query and every registered application belongs to a tenant,
+and one noisy tenant must not be able to starve the rest or grow the
+service's memory without bound. Three small mechanisms enforce that:
+
+* :class:`TokenBucket` — the classic rate limiter: a tenant accrues
+  query tokens at ``rate`` per second up to ``burst``; a query spends
+  one. An empty bucket does not *reject* the query — the service
+  answers it anyway from the analytic fallback chain
+  (:mod:`repro.reliability.degrade`), tagged ANALYTIC and counted as
+  shed — so overload degrades answer quality, never availability.
+* :class:`TenantQuota` / :class:`AdmissionController` — per-tenant
+  limits (query rate, registered-application cap) with a default quota
+  for tenants that have none of their own.
+* :class:`BoundedQueue` — the event-feed buffer with explicit
+  backpressure: ``offer`` returns False instead of growing past
+  ``capacity``, so a producer that outruns the service sees the
+  pushback immediately rather than as an eventual OOM kill.
+
+Everything here is clock-injectable (mirroring
+:class:`~repro.reliability.breaker.CircuitBreaker`) so tests pin the
+refill arithmetic deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = ["TokenBucket", "TenantQuota", "AdmissionController", "BoundedQueue"]
+
+
+class TokenBucket:
+    """Lazy-refill token bucket: ``rate`` tokens/second up to ``burst``.
+
+    The bucket starts full. :meth:`try_acquire` refills from the
+    injectable clock on demand (no timers), spends one token if
+    available, and reports whether it did.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate!r}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend *n* tokens if available; False (nothing spent) if not."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits the :class:`AdmissionController` enforces.
+
+    Attributes
+    ----------
+    query_rate:
+        Sustained placement queries per second before shedding.
+    query_burst:
+        Burst allowance above the sustained rate (bucket depth).
+    max_apps:
+        Registered-application cap; arrivals beyond it are rejected
+        (the event is not logged or applied).
+    """
+
+    query_rate: float = 100.0
+    query_burst: float = 200.0
+    max_apps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.query_rate < 0:
+            raise ValueError(f"query_rate must be >= 0, got {self.query_rate!r}")
+        if self.query_burst <= 0:
+            raise ValueError(f"query_burst must be > 0, got {self.query_burst!r}")
+        if self.max_apps < 0:
+            raise ValueError(f"max_apps must be >= 0, got {self.max_apps!r}")
+
+
+class AdmissionController:
+    """Maps tenants to quotas and meters their query traffic.
+
+    Parameters
+    ----------
+    default:
+        Quota applied to tenants without an explicit override.
+    overrides:
+        Per-tenant quota overrides, keyed by tenant id.
+    clock:
+        Monotonic time source shared by every bucket (injectable).
+    """
+
+    def __init__(
+        self,
+        default: TenantQuota | None = None,
+        overrides: Mapping[str, TenantQuota] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default = default if default is not None else TenantQuota()
+        self.overrides = dict(overrides or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The quota governing *tenant*."""
+        return self.overrides.get(tenant, self.default)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            q = self.quota(tenant)
+            bucket = TokenBucket(q.query_rate, q.query_burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit_query(self, tenant: str) -> bool:
+        """One placement query from *tenant*: within the rate quota?
+
+        False means the query should be *shed* (answered analytically),
+        not errored — the caller owns that degradation.
+        """
+        return self._bucket(tenant).try_acquire()
+
+    def admit_app(self, tenant: str, current_apps: int) -> bool:
+        """May *tenant*, currently holding *current_apps*, register one more?"""
+        return current_apps < self.quota(tenant).max_apps
+
+
+class BoundedQueue:
+    """FIFO with a hard capacity and explicit backpressure.
+
+    ``offer`` refuses (returns False) instead of growing past
+    *capacity* — the producer decides whether to retry, drop, or slow
+    down. The service drains it with :meth:`take`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._items: deque[Any] = deque()
+        #: Offers refused because the queue was full.
+        self.refusals = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue *item*, or return False (backpressure) when full."""
+        if self.full:
+            self.refusals += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def take(self) -> Any | None:
+        """Dequeue the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()

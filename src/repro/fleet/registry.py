@@ -1,0 +1,177 @@
+"""Fleet registry: which application runs where, owned by whom.
+
+The registry is the service's control-plane view of the fleet — a flat
+map from application name to :class:`AppRecord` (tenant, machine,
+profile), plus the per-tenant and per-machine aggregates the admission
+controller and the analytic fallback need in O(1):
+
+* ``tenant_counts`` backs the per-tenant ``max_apps`` quota;
+* ``machine_counts`` / ``machine_comm_sums`` are the inputs to the
+  calibration-free closed forms (``p + 1`` computation slowdown,
+  ``1 + Σ f_k`` communication slowdown) that answer *shed* queries and
+  queries against *quarantined* machines without touching any shard
+  state.
+
+The registry never talks to a :class:`~repro.core.runtime.SlowdownManager`
+— it is rebuilt from the same event stream the shards consume, which is
+what keeps the analytic aggregates trustworthy while a shard is being
+replayed back to health.
+
+:func:`synthetic_feed` is the shared deterministic event generator: the
+soak CLI, the recovery tests, the benchmark and the fleet experiment
+all drive the service with it, so a kill-and-replay run can be compared
+bit-for-bit against an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.workload import ApplicationProfile
+
+__all__ = ["AppRecord", "FleetRegistry", "synthetic_feed"]
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One registered application: who owns it and where it runs."""
+
+    name: str
+    tenant: str
+    machine: int
+    comm_fraction: float
+    message_size: float
+
+    def profile(self) -> ApplicationProfile:
+        """The contention-model view of this application."""
+        return ApplicationProfile(
+            name=self.name,
+            comm_fraction=self.comm_fraction,
+            message_size=self.message_size,
+        )
+
+
+class FleetRegistry:
+    """Name → :class:`AppRecord` map with O(1) tenant/machine aggregates."""
+
+    def __init__(self, machines: int) -> None:
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines!r}")
+        self.machines = int(machines)
+        self._records: dict[str, AppRecord] = {}
+        self._tenant_counts: dict[str, int] = {}
+        #: Registered applications per machine (analytic ``p``).
+        self.machine_counts = np.zeros(self.machines, dtype=np.int64)
+        #: Sum of comm fractions per machine (analytic ``Σ f_k``).
+        self.machine_comm_sums = np.zeros(self.machines, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def get(self, name: str) -> AppRecord | None:
+        return self._records.get(name)
+
+    def tenant_count(self, tenant: str) -> int:
+        """Applications currently registered by *tenant*."""
+        return self._tenant_counts.get(tenant, 0)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered application."""
+        return sorted(self._records)
+
+    def add(self, record: AppRecord) -> None:
+        """Register *record* (caller has already validated admission)."""
+        if record.name in self._records:
+            raise KeyError(f"application {record.name!r} is already registered")
+        if not 0 <= record.machine < self.machines:
+            raise KeyError(f"machine {record.machine!r} out of range")
+        self._records[record.name] = record
+        self._tenant_counts[record.tenant] = self.tenant_count(record.tenant) + 1
+        self.machine_counts[record.machine] += 1
+        self.machine_comm_sums[record.machine] += record.comm_fraction
+
+    def remove(self, name: str) -> AppRecord:
+        """Deregister and return the record for *name*."""
+        record = self._records.pop(name, None)
+        if record is None:
+            raise KeyError(f"application {name!r} is not registered")
+        remaining = self.tenant_count(record.tenant) - 1
+        if remaining:
+            self._tenant_counts[record.tenant] = remaining
+        else:
+            self._tenant_counts.pop(record.tenant, None)
+        self.machine_counts[record.machine] -= 1
+        self.machine_comm_sums[record.machine] -= record.comm_fraction
+        return record
+
+    def on_machines(self, machine_ids: Iterator[int] | list[int]) -> list[AppRecord]:
+        """Records placed on any of *machine_ids* (registry-order)."""
+        wanted = set(machine_ids)
+        return [r for r in self._records.values() if r.machine in wanted]
+
+
+def synthetic_feed(
+    seed: int,
+    events: int,
+    machines: int,
+    tenants: int = 4,
+    comm_fraction_range: tuple[float, float] = (0.05, 0.8),
+    message_sizes: tuple[int, ...] = (64, 256, 1024, 2048),
+    depart_probability: float = 0.35,
+    start_seq: int = 0,
+) -> Iterator[dict]:
+    """Deterministic arrive/depart event stream for soak, test and bench.
+
+    Events are self-contained dicts in the shape the fleet service logs
+    (``op``, ``app``, ``tenant``, ``machine``, ``comm_fraction``,
+    ``message_size``) — no ``seq``; the service's event log stamps that.
+    Departures pick a uniformly random *live* application, so any prefix
+    of the stream is internally consistent (never departs an app it has
+    not arrived). The stream is a pure function of its arguments:
+    ``start_seq`` resumes generation mid-stream by fast-forwarding a
+    fresh generator, which is how the soak CLI continues a killed run
+    deterministically.
+    """
+    rng = np.random.default_rng(seed)
+    live: list[tuple[str, str, int, float, float]] = []
+    next_id = 0
+    produced = 0
+    lo, hi = comm_fraction_range
+    while produced < start_seq + events:
+        depart = bool(live) and float(rng.random()) < depart_probability
+        if depart:
+            idx = int(rng.integers(len(live)))
+            name, tenant, machine, frac, size = live.pop(idx)
+            event = {
+                "op": "depart",
+                "app": name,
+                "tenant": tenant,
+                "machine": machine,
+                "comm_fraction": frac,
+                "message_size": size,
+            }
+        else:
+            name = f"app-{next_id}"
+            next_id += 1
+            tenant = f"tenant-{int(rng.integers(tenants))}"
+            machine = int(rng.integers(machines))
+            frac = round(float(lo + (hi - lo) * rng.random()), 6)
+            size = float(message_sizes[int(rng.integers(len(message_sizes)))])
+            live.append((name, tenant, machine, frac, size))
+            event = {
+                "op": "arrive",
+                "app": name,
+                "tenant": tenant,
+                "machine": machine,
+                "comm_fraction": frac,
+                "message_size": size,
+            }
+        if produced >= start_seq:
+            yield event
+        produced += 1

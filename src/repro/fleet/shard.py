@@ -1,0 +1,202 @@
+"""A fleet shard: live contention state for a slice of the machines.
+
+Each shard owns one :class:`~repro.core.runtime.SlowdownManager` per
+machine in its slice and keeps it current by consuming the service's
+arrive/depart event stream. Queries do not touch the managers directly:
+the shard memoizes each machine's tagged ``(comp, comm, confidence)``
+triple and invalidates it per machine on writes, because the tagged
+slowdown queries are O(p) Python loops over the delay tables while an
+arrival is a cheap O(p) NumPy update — a fleet that recomputed every
+machine's slowdowns on every event would melt long before the 10k
+queries/sec target.
+
+:meth:`Shard.state_hash` fingerprints the full model state — every
+machine's registered profiles and both overlap-distribution arrays,
+byte for byte. Replaying the same event prefix through a fresh shard
+runs the identical floating-point operations in the identical order, so
+the hash is the recovery test's bit-identity oracle
+(:mod:`repro.fleet.service` rebuilds quarantined shards this way).
+
+:class:`ShardPolicy` is the containment contract, mirroring
+:class:`~repro.parallel.containment.FailurePolicy`: how slow an event
+application may be before it counts as a failure (deadline blowout),
+how many failures quarantine the shard, and the recovery/budget
+parameters of the :class:`~repro.reliability.breaker.CircuitBreaker`
+that gates re-admission after a rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.params import DelayTable, SizedDelayTable
+from ..core.runtime import SlowdownManager
+from ..core.workload import ApplicationProfile
+from ..errors import ModelError
+from ..reliability.degrade import Confidence
+
+__all__ = ["Shard", "ShardPolicy"]
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Containment and re-admission parameters for one shard.
+
+    Attributes
+    ----------
+    deadline:
+        Seconds one event application may take before it counts as a
+        failure (a deadline blowout — the shard is wedged or thrashing
+        its O(p²) rebuild path).
+    failure_threshold:
+        Consecutive failures that quarantine the shard (feeds the
+        shard's :class:`~repro.reliability.breaker.CircuitBreaker`).
+    recovery_time:
+        Seconds quarantined before a rebuild attempt is admitted.
+    budget:
+        Optional total wall-clock budget across all rebuild attempts;
+        once spent the shard stays quarantined for good and its
+        machines are served analytically forever.
+    """
+
+    deadline: float = 1.0
+    failure_threshold: int = 3
+    recovery_time: float = 5.0
+    budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline!r}")
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold!r}"
+            )
+        if self.recovery_time < 0:
+            raise ValueError(f"recovery_time must be >= 0, got {self.recovery_time!r}")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget!r}")
+
+
+class Shard:
+    """Live per-machine :class:`SlowdownManager` state for a machine slice.
+
+    Parameters
+    ----------
+    shard_id:
+        Index of this shard within the service.
+    machine_ids:
+        The machines this shard owns (the service routes events by
+        ``machine % num_shards``).
+    delay_comp, delay_comm, delay_comm_sized:
+        Calibrated delay tables shared by every manager; ``None``
+        degrades the affected queries to the analytic fallback.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        machine_ids: Iterable[int],
+        delay_comp: DelayTable | None = None,
+        delay_comm: DelayTable | None = None,
+        delay_comm_sized: SizedDelayTable | None = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.machine_ids = tuple(machine_ids)
+        self._tables = (delay_comp, delay_comm, delay_comm_sized)
+        self.managers: dict[int, SlowdownManager] = {
+            m: SlowdownManager(delay_comp, delay_comm, delay_comm_sized)
+            for m in self.machine_ids
+        }
+        #: Machines whose memoized slowdowns are stale.
+        self._dirty: set[int] = set(self.machine_ids)
+        self._comp: dict[int, float] = {}
+        self._comm: dict[int, float] = {}
+        self._conf: dict[int, Confidence] = {}
+        #: Events applied since construction (or since replay).
+        self.applied = 0
+
+    # -- event stream ---------------------------------------------------------
+
+    def apply(self, event: Mapping) -> None:
+        """Apply one arrive/depart event to its machine's manager.
+
+        Raises :class:`~repro.errors.ModelError` on malformed events
+        (unknown op, machine outside this shard, duplicate arrival,
+        unknown departure) — the service treats that as a shard failure
+        and routes it into quarantine accounting.
+        """
+        machine = event["machine"]
+        manager = self.managers.get(machine)
+        if manager is None:
+            raise ModelError(
+                f"machine {machine!r} is not owned by shard {self.shard_id}"
+            )
+        op = event["op"]
+        if op == "arrive":
+            manager.arrive(
+                ApplicationProfile(
+                    name=event["app"],
+                    comm_fraction=event["comm_fraction"],
+                    message_size=event["message_size"],
+                )
+            )
+        elif op == "depart":
+            manager.depart(event["app"])
+        else:
+            raise ModelError(f"unknown fleet event op {op!r}")
+        self._dirty.add(machine)
+        self.applied += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def _refresh(self, machine: int) -> None:
+        manager = self.managers[machine]
+        comp = manager.comp_slowdown_tagged()
+        comm = manager.comm_slowdown_tagged()
+        self._comp[machine] = float(comp.value)
+        self._comm[machine] = float(comm.value)
+        self._conf[machine] = min(comp.confidence, comm.confidence)
+        self._dirty.discard(machine)
+
+    def slowdowns(self, machine: int) -> tuple[float, float, Confidence]:
+        """Memoized ``(comp, comm, confidence)`` for *machine* — O(1) warm."""
+        if machine in self._dirty:
+            self._refresh(machine)
+        return self._comp[machine], self._comm[machine], self._conf[machine]
+
+    @property
+    def rebuilds(self) -> int:
+        """Total O(p²) distribution rebuilds across this shard's managers."""
+        return sum(m.rebuilds for m in self.managers.values())
+
+    def population(self) -> int:
+        """Total applications registered across this shard's machines."""
+        return sum(len(m) for m in self.managers.values())
+
+    # -- recovery -------------------------------------------------------------
+
+    def state_hash(self) -> str:
+        """Bit-exact fingerprint of the shard's full model state.
+
+        Covers, per machine in sorted order: the registered profiles
+        (sorted by name) and the raw bytes of both overlap-distribution
+        arrays. Two shards that consumed the same event sequence hash
+        identically — the replay-recovery oracle.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for machine in sorted(self.machine_ids):
+            manager = self.managers[machine]
+            h.update(f"m{machine}:".encode())
+            for name, prof in sorted(manager.snapshot().items()):
+                h.update(
+                    f"{name},{prof.comm_fraction!r},{prof.message_size!r};".encode()
+                )
+            h.update(manager.pcomm.tobytes())
+            h.update(manager.pcomp.tobytes())
+        return h.hexdigest()
+
+    def fresh(self) -> "Shard":
+        """A new empty shard with the same id, machines and tables."""
+        return Shard(self.shard_id, self.machine_ids, *self._tables)

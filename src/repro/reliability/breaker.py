@@ -109,7 +109,12 @@ class CircuitBreaker:
 
     @property
     def exhausted(self) -> bool:
-        """True once the deadline budget is spent — permanently open."""
+        """True once the deadline budget is spent — permanently open.
+
+        The boundary is inclusive: a budget consumed *exactly* at a
+        half-open probe counts as spent, so the probe's outcome cannot
+        resurrect the breaker (see :meth:`record_success`).
+        """
         return self.budget is not None and (self._clock() - self._started) >= self.budget
 
     @property
@@ -151,7 +156,15 @@ class CircuitBreaker:
         return False
 
     def record_success(self) -> None:
-        """Report one successful protected call."""
+        """Report one successful protected call.
+
+        A no-op once the budget is exhausted: a probe admitted at
+        ``t < budget`` whose success lands at ``t >= budget`` must not
+        flip the permanently-open breaker back to CLOSED (or emit a
+        ``breaker.closed`` increment the state never reflects).
+        """
+        if self.exhausted:
+            return
         self._consecutive_failures = 0
         if self._state == HALF_OPEN:
             self._state = CLOSED
@@ -159,7 +172,14 @@ class CircuitBreaker:
             _obs.inc("breaker.closed")
 
     def record_failure(self) -> None:
-        """Report one failed protected call (may trip the breaker)."""
+        """Report one failed protected call (may trip the breaker).
+
+        A no-op once the budget is exhausted — the breaker is already
+        permanently open; counting a trip here would double-book the
+        terminal state.
+        """
+        if self.exhausted:
+            return
         self._consecutive_failures += 1
         if self._state == HALF_OPEN or (
             self._state == CLOSED and self._consecutive_failures >= self.failure_threshold

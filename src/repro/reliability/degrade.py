@@ -30,6 +30,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 __all__ = [
     "Confidence",
     "TaggedSlowdown",
@@ -66,17 +68,23 @@ def combine_confidence(*confidences: Confidence) -> Confidence:
 
 @dataclass(frozen=True)
 class TaggedSlowdown:
-    """A slowdown factor together with the confidence of its provenance."""
+    """A slowdown factor together with the confidence of its provenance.
+
+    ``value`` may be a scalar or an array of slowdowns sharing one
+    provenance — :func:`repro.core.batch.placement_grid` accepts either
+    — so validation goes through :func:`numpy.any` rather than a bare
+    comparison (whose truth value is ambiguous for arrays).
+    """
 
     value: float
     confidence: Confidence
 
     def __post_init__(self) -> None:
-        if self.value < 1.0:
+        if (np.asarray(self.value) < 1.0).any():
             raise ValueError(f"slowdown must be >= 1, got {self.value!r}")
 
     def __float__(self) -> float:
-        return self.value
+        return float(self.value)
 
 
 class DegradationLog:

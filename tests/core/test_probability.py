@@ -130,3 +130,61 @@ class TestIncrementalUpdates:
         rest = fractions[:idx] + fractions[idx + 1 :]
         removed = remove_application(full, fractions[idx])
         assert removed == pytest.approx(overlap_distribution(rest), abs=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=40
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_long_churn_stays_near_fresh_rebuild(self, fractions, rng):
+        """Satellite hardening: arrive/depart churn must not drift.
+
+        A long random interleaving of O(p) incremental adds and O(p)
+        deconvolution removals (the fleet's hot event-feed path) must
+        leave the distribution within 1e-12 of a brand-new O(p²)
+        rebuild from the surviving fractions — any removal whose
+        round-trip residual exceeds the accuracy budget raises instead,
+        which is the caller's signal to rebuild.
+        """
+        live: list[float] = []
+        dist = np.array([1.0])
+        for f in fractions:
+            if live and rng.random() < 0.4:
+                idx = rng.randrange(len(live))
+                gone = live.pop(idx)
+                try:
+                    dist = remove_application(dist, gone)
+                except ModelError:
+                    dist = overlap_distribution(live)
+            else:
+                live.append(f)
+                dist = add_application(dist, f)
+        fresh = overlap_distribution(live)
+        assert dist == pytest.approx(fresh, abs=1e-12)
+
+    def test_remove_clamps_subepsilon_negatives_and_renormalizes(self):
+        # A distribution perturbed by one ulp of negative mass must
+        # come back clamped to a true probability vector.
+        dist = add_application(overlap_distribution([0.3, 0.7]), 0.5)
+        dist[0] -= 1e-17  # sub-epsilon corruption
+        out = remove_application(dist, 0.5)
+        assert np.all(out >= 0.0)
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_remove_rejects_drifted_distribution(self):
+        # Removing a fraction that was never added produces a large
+        # round-trip residual (or negative mass): the tightened guard
+        # must trip the rebuild fallback instead of returning garbage.
+        dist = overlap_distribution([0.1, 0.1, 0.1])
+        with pytest.raises(ModelError):
+            remove_application(dist, 0.9)
+
+    def test_exact_branch_renormalizes(self):
+        # The near-0/1 exact-division branch used to skip verification;
+        # it must now return a normalized vector too.
+        base = overlap_distribution([0.4, 0.6])
+        out = remove_application(add_application(base, 1e-12), 1e-12)
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+        assert out == pytest.approx(base, abs=1e-9)

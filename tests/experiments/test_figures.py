@@ -114,7 +114,7 @@ class TestCLIRegistry:
             "fig7", "fig8", "synthetic_cm2", "robustness_comm",
             "robustness_comp", "saturation", "mesh", "gang", "dispatch",
             "cycle_sensitivity", "fraction_sensitivity", "tp_placement", "forecast", "mixed_workload", "sequencer",
-            "chaos",
+            "chaos", "fleet",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,35 @@
+"""Fleet-experiment driver tests: equilibrium, overload proof, recovery."""
+
+from __future__ import annotations
+
+from repro.experiments.fleet import fleet_experiment
+from repro.experiments.journal import RunJournal, journaled
+
+
+class TestFleetExperiment:
+    def test_quick_run_proves_the_robustness_contract(self):
+        result = fleet_experiment(quick=True)
+        m = result.metrics
+        # Selfish re-placement reached a fixed point.
+        assert m["equilibrium_rounds"] <= 12
+        assert result.rows[-1][1] == 0  # final round moved nothing
+        # Overload: 10x the quota sheds analytically, raises nothing.
+        assert m["overload_raised"] == 0.0
+        assert m["overload_shed"] > 0
+        assert m["overload_shed_analytic"] == m["overload_shed"]
+        # Quarantine → breaker-gated recovery → bit-identical replay.
+        assert m["quarantined"] == 1.0
+        assert m["recover_gated_by_breaker"] == 1.0
+        assert m["recovered"] == 1.0
+        assert m["replay_identical"] == 1.0
+
+    def test_journal_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal, journaled(journal):
+            fresh = fleet_experiment(quick=True)
+        assert journal.misses == 1
+        with RunJournal(path, resume=True) as resumed, journaled(resumed):
+            replayed = fleet_experiment(quick=True)
+        assert resumed.misses == 0
+        assert replayed.rows == fresh.rows
+        assert replayed.metrics == fresh.metrics

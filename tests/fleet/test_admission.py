@@ -1,0 +1,137 @@
+"""Admission-control tests: buckets, quotas, bounded-queue backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.admission import (
+    AdmissionController,
+    BoundedQueue,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """Injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=FakeClock())
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1e6)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(1e6)
+        assert not bucket.try_acquire()
+
+    @pytest.mark.parametrize("kwargs", [{"rate": -1.0, "burst": 1.0}, {"rate": 1.0, "burst": 0.0}])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+
+class TestTenantQuota:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"query_rate": -1.0},
+            {"query_burst": 0.0},
+            {"max_apps": -1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmissionController:
+    def test_default_quota_applies_to_unknown_tenants(self):
+        ctl = AdmissionController(
+            default=TenantQuota(query_rate=0.0, query_burst=2.0), clock=FakeClock()
+        )
+        assert ctl.admit_query("anyone")
+        assert ctl.admit_query("anyone")
+        assert not ctl.admit_query("anyone")
+
+    def test_override_replaces_default(self):
+        ctl = AdmissionController(
+            default=TenantQuota(query_burst=1.0, query_rate=0.0),
+            overrides={"vip": TenantQuota(query_burst=5.0, query_rate=0.0)},
+            clock=FakeClock(),
+        )
+        assert sum(ctl.admit_query("vip") for _ in range(10)) == 5
+        assert sum(ctl.admit_query("pleb") for _ in range(10)) == 1
+
+    def test_tenants_metered_independently(self):
+        ctl = AdmissionController(
+            default=TenantQuota(query_rate=0.0, query_burst=1.0), clock=FakeClock()
+        )
+        assert ctl.admit_query("a")
+        assert ctl.admit_query("b")  # a's empty bucket is not b's problem
+        assert not ctl.admit_query("a")
+
+    def test_app_cap(self):
+        ctl = AdmissionController(default=TenantQuota(max_apps=3))
+        assert ctl.admit_app("t", current_apps=2)
+        assert not ctl.admit_app("t", current_apps=3)
+
+
+class TestBoundedQueue:
+    def test_offer_take_fifo(self):
+        q = BoundedQueue(capacity=4)
+        for i in range(3):
+            assert q.offer(i)
+        assert [q.take(), q.take(), q.take()] == [0, 1, 2]
+        assert q.take() is None
+
+    def test_full_queue_refuses_and_counts(self):
+        q = BoundedQueue(capacity=2)
+        assert q.offer("a") and q.offer("b")
+        assert not q.offer("c")
+        assert not q.offer("d")
+        assert q.refusals == 2
+        assert len(q) == 2  # never grew past capacity
+
+    def test_take_frees_capacity(self):
+        q = BoundedQueue(capacity=1)
+        assert q.offer(1)
+        assert not q.offer(2)
+        assert q.take() == 1
+        assert q.offer(2)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=0)

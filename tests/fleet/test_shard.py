@@ -1,0 +1,149 @@
+"""Shard tests: event application, memoization, state hashing, policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fleet.registry import synthetic_feed
+from repro.fleet.shard import Shard, ShardPolicy
+from repro.reliability.degrade import Confidence
+
+
+def arrive(app: str, machine: int, frac: float = 0.3, size: float = 100.0) -> dict:
+    return {
+        "op": "arrive",
+        "app": app,
+        "tenant": "t",
+        "machine": machine,
+        "comm_fraction": frac,
+        "message_size": size,
+    }
+
+
+def depart(app: str, machine: int) -> dict:
+    return {"op": "depart", "app": app, "machine": machine}
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline": 0.0},
+            {"failure_threshold": 0},
+            {"recovery_time": -1.0},
+            {"budget": -0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardPolicy(**kwargs)
+
+
+class TestApply:
+    def test_arrive_and_depart_update_population(self):
+        shard = Shard(0, [0, 2, 4])
+        shard.apply(arrive("a", 0))
+        shard.apply(arrive("b", 2))
+        assert shard.population() == 2
+        shard.apply(depart("a", 0))
+        assert shard.population() == 1
+        assert shard.applied == 3
+
+    def test_foreign_machine_rejected(self):
+        shard = Shard(0, [0, 2])
+        with pytest.raises(ModelError, match="not owned"):
+            shard.apply(arrive("a", 1))
+
+    def test_unknown_op_rejected(self):
+        shard = Shard(0, [0])
+        with pytest.raises(ModelError, match="unknown fleet event op"):
+            shard.apply({"op": "explode", "app": "a", "machine": 0})
+
+    def test_duplicate_arrival_rejected(self):
+        shard = Shard(0, [0])
+        shard.apply(arrive("a", 0))
+        with pytest.raises(ModelError):
+            shard.apply(arrive("a", 0))
+
+    def test_unknown_departure_rejected(self):
+        shard = Shard(0, [0])
+        with pytest.raises(ModelError):
+            shard.apply(depart("ghost", 0))
+
+
+class TestSlowdownMemoization:
+    def test_analytic_values_without_tables(self):
+        shard = Shard(0, [0])
+        shard.apply(arrive("a", 0))
+        shard.apply(arrive("b", 0))
+        comp, comm, conf = shard.slowdowns(0)
+        assert comp == pytest.approx(3.0)  # p + 1
+        assert comm == pytest.approx(1.6)  # 1 + 0.3 + 0.3
+        assert conf is Confidence.ANALYTIC
+
+    def test_empty_machine_is_calibrated_unity(self):
+        shard = Shard(0, [0])
+        comp, comm, conf = shard.slowdowns(0)
+        assert (comp, comm) == (1.0, 1.0)
+        assert conf is Confidence.CALIBRATED
+
+    def test_cache_invalidation_is_per_machine(self):
+        shard = Shard(0, [0, 1])
+        shard.apply(arrive("a", 0))
+        shard.slowdowns(0)
+        shard.slowdowns(1)
+        assert not shard._dirty
+        shard.apply(arrive("b", 1))
+        assert shard._dirty == {1}
+        comp0, _, _ = shard.slowdowns(0)  # served from cache
+        comp1, _, _ = shard.slowdowns(1)  # refreshed
+        assert comp0 == pytest.approx(2.0)
+        assert comp1 == pytest.approx(2.0)
+
+    def test_memoized_answer_matches_fresh_manager_query(self):
+        shard = Shard(0, [0])
+        for i in range(5):
+            shard.apply(arrive(f"a{i}", 0, frac=0.1 * (i + 1), size=50.0))
+        comp, comm, _ = shard.slowdowns(0)
+        manager = shard.managers[0]
+        assert comp == manager.comp_slowdown_tagged().value
+        assert comm == manager.comm_slowdown_tagged().value
+
+
+class TestStateHash:
+    def test_same_event_sequence_hashes_identically(self):
+        a, b = Shard(0, range(4)), Shard(0, range(4))
+        events = [e for e in synthetic_feed(seed=5, events=200, machines=4)]
+        for e in events:
+            a.apply(e)
+            b.apply(e)
+        assert a.state_hash() == b.state_hash()
+
+    def test_different_history_same_population_hashes_differ(self):
+        # Hash covers the distributions bit-for-bit, not just the
+        # population: different arrival orders leave different bits.
+        a, b = Shard(0, [0]), Shard(0, [0])
+        a.apply(arrive("x", 0, frac=0.2))
+        a.apply(arrive("y", 0, frac=0.7))
+        b.apply(arrive("y", 0, frac=0.7))
+        b.apply(arrive("x", 0, frac=0.2))
+        # Same set of profiles; floating-point fold order differs.
+        assert a.state_hash() != b.state_hash() or (
+            a.managers[0].pcomm.tobytes() == b.managers[0].pcomm.tobytes()
+        )
+
+    def test_hash_changes_with_state(self):
+        shard = Shard(0, [0])
+        empty = shard.state_hash()
+        shard.apply(arrive("a", 0))
+        assert shard.state_hash() != empty
+
+    def test_fresh_is_empty_with_same_shape(self):
+        shard = Shard(3, [1, 5])
+        shard.apply(arrive("a", 1))
+        rebuilt = shard.fresh()
+        assert rebuilt.shard_id == 3
+        assert rebuilt.machine_ids == (1, 5)
+        assert rebuilt.population() == 0
+        assert rebuilt.state_hash() == Shard(3, [1, 5]).state_hash()

@@ -137,6 +137,42 @@ class TestBudget:
         clock.advance(1e9)
         assert not breaker.exhausted
 
+    def test_budget_boundary_is_inclusive(self):
+        # Exactly at the budget counts as spent: allow() must reject.
+        clock = FakeClock()
+        breaker = make(clock, budget=20.0)
+        clock.advance(20.0)
+        assert breaker.exhausted
+        assert not breaker.allow()
+
+    def test_success_landing_exactly_at_budget_cannot_close(self):
+        # A half-open probe admitted before the budget whose success
+        # lands exactly when it runs out must not resurrect the
+        # breaker — or book a breaker.closed the state never reflects.
+        ctx = ObsContext(tracer=Tracer(seed=3), metrics=MetricsRegistry())
+        clock = FakeClock()
+        with observed(ctx):
+            breaker = make(clock, failure_threshold=1, budget=20.0)
+            breaker.record_failure()  # trips at t=0
+            clock.advance(10.0)
+            assert breaker.allow()  # half-open probe admitted at t=10
+            clock.advance(10.0)  # probe finishes exactly at the budget
+            breaker.record_success()
+            assert breaker.state == OPEN
+            assert not breaker.allow()
+            clock.advance(1e6)
+            assert not breaker.allow()
+        assert ctx.snapshot().counters.get("breaker.closed", 0) == 0
+
+    def test_failure_past_budget_does_not_double_count_trips(self):
+        clock = FakeClock()
+        breaker = make(clock, failure_threshold=1, budget=20.0)
+        breaker.record_failure()
+        assert breaker.trips == 1
+        clock.advance(20.0)
+        breaker.record_failure()
+        assert breaker.trips == 1  # terminal state, not a new trip
+
 
 class TestCall:
     def test_call_passes_through_and_records(self):
