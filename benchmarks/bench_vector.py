@@ -1,0 +1,78 @@
+"""Benchmarks for the vectorized Monte-Carlo backend (`repro.sim.vector`).
+
+The headline acceptance number for the backend-selectable ``simulate()``
+API: a 256-replication batch on the vector backend must beat running
+the object engine once per replication by >= 10x on the canonical
+contended-burst scenario. Both sides are benchmarked so the ratio is
+visible in ``BENCH_perf.json``, and ``test_vector_speedup_at_256``
+enforces the floor directly. The remaining benchmarks sweep the two
+axes the lane representation is sensitive to: replication count (lane
+width) and contender count (row count).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.core.workload import ApplicationProfile
+from repro.experiments.simulate import BurstProbe, SimSpec, simulate
+from repro.platforms.specs import CpuSpec, SunParagonSpec
+
+_PS_SPEC = SunParagonSpec(cpu=CpuSpec(discipline="ps"))
+
+
+def _scenario(contenders: int = 2) -> SimSpec:
+    fractions = (0.25, 0.76, 0.5, 0.9)
+    return SimSpec(
+        platform=_PS_SPEC,
+        probe=BurstProbe(1024, 150, "out"),
+        contenders=tuple(
+            ApplicationProfile(f"c{i}", comm_fraction=fractions[i % 4], message_size=200)
+            for i in range(contenders)
+        ),
+    )
+
+
+def _batch(spec: SimSpec, reps: int, backend: str) -> float:
+    res = simulate(spec, reps=reps, seed=42, backend=backend)
+    assert res.backend == backend and res.fallback_reason is None
+    return res.mean
+
+
+def test_vector_batch_reps64(benchmark):
+    run_once(benchmark, _batch, _scenario(), 64, "vector")
+
+
+def test_vector_batch_reps256(benchmark):
+    run_once(benchmark, _batch, _scenario(), 256, "vector")
+
+
+def test_vector_batch_contenders4(benchmark):
+    run_once(benchmark, _batch, _scenario(contenders=4), 256, "vector")
+
+
+def test_object_loop_reps256(benchmark):
+    run_once(benchmark, _batch, _scenario(), 256, "object")
+
+
+def test_vector_speedup_at_256():
+    """The acceptance floor: vector >= 10x object at 256 replications."""
+    spec = _scenario()
+    _batch(spec, 256, "vector")  # warm caches before timing
+
+    t0 = time.perf_counter()
+    vec_mean = _batch(spec, 256, "vector")
+    vector_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    obj_mean = _batch(spec, 256, "object")
+    object_s = time.perf_counter() - t0
+
+    assert abs(vec_mean - obj_mean) <= 1e-9 * max(1.0, abs(obj_mean))
+    speedup = object_s / vector_s
+    assert speedup >= 10.0, (
+        f"vector batch only {speedup:.1f}x faster than the object loop "
+        f"({vector_s:.3f}s vs {object_s:.3f}s at 256 replications)"
+    )

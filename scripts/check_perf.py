@@ -35,8 +35,11 @@ import tempfile
 from pathlib import Path
 
 #: Benchmarks the guard watches: the DES kernel micro-benches, the
-#: vectorized prediction-kernel benches, and the fleet-service hot
-#: paths (placement queries and event churn at 100k-app scale).
+#: vectorized prediction-kernel benches, the fleet-service hot paths
+#: (placement queries and event churn at 100k-app scale), and the
+#: vector Monte-Carlo batch at 256 replications (guarded together with
+#: its object-loop counterpart so the >= 10x speedup ratio stays
+#: visible and honest in ``BENCH_perf.json``).
 GUARDED = (
     "test_event_throughput",
     "test_event_throughput_traced",
@@ -47,6 +50,8 @@ GUARDED = (
     "test_slowdown_evaluation",
     "test_fleet_query_throughput",
     "test_fleet_event_churn",
+    "test_vector_batch_reps256",
+    "test_object_loop_reps256",
 )
 
 #: Benchmark files that contain the guarded benches (what --fresh-less
@@ -56,6 +61,7 @@ GUARDED_FILES = (
     "benchmarks/bench_batch.py",
     "benchmarks/bench_model_costs.py",
     "benchmarks/bench_fleet.py",
+    "benchmarks/bench_vector.py",
 )
 
 

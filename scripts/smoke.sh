@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Smoke job: lint (when available), tier-1 tests, a kill-and-resume
-# check of the run journal, a fleet-soak SIGKILL/recovery check, and
-# one traced chaos run whose JSON-lines trace is validated end to end.
+# Smoke job: lint (when available), tier-1 tests, a vector-vs-object
+# backend parity check, a kill-and-resume check of the run journal, a
+# fleet-soak SIGKILL/recovery check, and one traced chaos run whose
+# JSON-lines trace is validated end to end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
 set -euo pipefail
@@ -21,7 +22,7 @@ python -m pytest -x -q
 
 echo "== parallel determinism =="
 python - <<'EOF'
-from repro.experiments.runner import repeat_mean
+from repro.experiments.simulate import simulate
 from repro.sim.rng import RandomStreams
 
 
@@ -29,12 +30,39 @@ def draw(streams: RandomStreams) -> float:
     return float(streams.get("x").random())
 
 
-serial = repeat_mean(draw, repetitions=8, seed=97, workers=1)
-parallel = repeat_mean(draw, repetitions=8, seed=97, workers=2)
+serial = simulate(draw, reps=8, seed=97, workers=1)
+parallel = simulate(draw, reps=8, seed=97, workers=2)
 assert parallel.values == serial.values, (
     f"parallel map changed values: {parallel.values} != {serial.values}"
 )
 print(f"ok: workers=2 bit-identical to serial over {serial.n} replications")
+EOF
+
+echo "== dual-backend parity =="
+# The vector backend must agree with the object engine on a supported
+# (PS-discipline) workload, and the --backend flag must reach the CLI.
+python -m repro --backend vector --list >/dev/null
+python - <<'EOF'
+from repro.core.workload import ApplicationProfile
+from repro.experiments.simulate import BurstProbe, SimSpec, simulate
+from repro.platforms.specs import CpuSpec, SunParagonSpec
+
+spec = SimSpec(
+    platform=SunParagonSpec(cpu=CpuSpec(discipline="ps")),
+    probe=BurstProbe(1024, 100, "out"),
+    contenders=(
+        ApplicationProfile("c25", comm_fraction=0.25, message_size=200),
+        ApplicationProfile("c76", comm_fraction=0.76, message_size=200),
+    ),
+)
+vec = simulate(spec, reps=8, seed=97, backend="vector")
+obj = simulate(spec, reps=8, seed=97, backend="object")
+assert vec.backend == "vector" and vec.fallback_reason is None, vec.fallback_reason
+worst = max(
+    abs(a - b) / max(1e-12, abs(b)) for a, b in zip(vec.values, obj.values)
+)
+assert worst <= 1e-9, f"vector diverged from object engine: {worst:.3e} relative"
+print(f"ok: vector matches object over {vec.n} replications (worst {worst:.1e} rel)")
 EOF
 
 echo "== kill -9 and resume =="

@@ -35,6 +35,14 @@ from .robustness import (
     synthetic_cm2_experiment,
 )
 from .runner import Replication, repeat_mean
+from .simulate import (
+    BatchResult,
+    BurstProbe,
+    ComputeProbe,
+    CyclicProbe,
+    SimSpec,
+    simulate,
+)
 from .sensitivity import (
     cycle_length_sensitivity,
     forecast_experiment,
@@ -44,7 +52,13 @@ from .sensitivity import (
 from .tables import example_problem, tables_experiment
 
 __all__ = [
+    "BatchResult",
+    "BurstProbe",
     "CM2Calibration",
+    "ComputeProbe",
+    "CyclicProbe",
+    "SimSpec",
+    "simulate",
     "ascii_chart",
     "chart_result",
     "fragment_pool",

@@ -44,7 +44,8 @@ from ..sim.rng import RandomStreams
 from . import journal as _journal
 from .calibrate import calibrate_paragon, calibrate_paragon_resilient
 from .report import ExperimentResult, mean_abs_pct_error, pct_error
-from .runner import Replication, repeat_mean
+from .runner import Replication
+from .simulate import simulate
 
 __all__ = ["chaos_experiment", "DEFAULT_FAULT_RATES"]
 
@@ -150,14 +151,16 @@ def chaos_experiment(
         # retry_attempts=2: a replication wedged by injected faults gets
         # one re-salted re-run before the sweep point is abandoned.
         #
-        # Journaling happens at the rate level, not inside repeat_mean:
+        # Journaling happens at the rate level, not inside simulate():
         # ``run`` is a closure (it captures the armed injector), so the
-        # runner correctly refuses to key it — but the whole rate point
+        # harness correctly refuses to key it — but the whole rate point
         # is determined by (spec, rate, work, repetitions, seed), and
         # the injector's tally has to ride along in the payload because
         # a resumed run never re-arms the injector.
         def rate_point(injector: FaultInjector = injector) -> dict:
-            rep = repeat_mean(run, repetitions=repetitions, seed=seed, retry_attempts=2)
+            rep = simulate(
+                run, reps=repetitions, seed=seed, backend="object", retry_attempts=2
+            )
             return {"values": list(rep.values), "injected": injector.total_injected}
 
         data = _journal.point(

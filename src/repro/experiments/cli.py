@@ -83,20 +83,26 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def _driver_kwargs(driver: Callable, quick: bool, workers: int) -> dict:
-    """Build the kwargs a driver supports: always ``quick``, and
-    ``workers`` only for drivers whose sweeps are parallelizable."""
+def _driver_kwargs(
+    driver: Callable, quick: bool, workers: int, backend: str | None = None
+) -> dict:
+    """Build the kwargs a driver supports: always ``quick``, plus
+    ``workers`` / ``backend`` only for drivers that declare them."""
     kwargs: dict = {"quick": quick}
-    if workers != 1:
-        try:
-            if "workers" in inspect.signature(driver).parameters:
-                kwargs["workers"] = workers
-        except (TypeError, ValueError):  # pragma: no cover - builtin drivers
-            pass
+    try:
+        params = inspect.signature(driver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtin drivers
+        return kwargs
+    if workers != 1 and "workers" in params:
+        kwargs["workers"] = workers
+    if backend is not None and "backend" in params:
+        kwargs["backend"] = backend
     return kwargs
 
 
-def run_experiment(name: str, quick: bool = False, workers: int = 1) -> ExperimentResult:
+def run_experiment(
+    name: str, quick: bool = False, workers: int = 1, backend: str | None = None
+) -> ExperimentResult:
     """Run one experiment by registry name.
 
     Inside an observed run (the ``--trace`` flag) the driver executes
@@ -105,7 +111,11 @@ def run_experiment(name: str, quick: bool = False, workers: int = 1) -> Experime
     carrying the run's metric snapshot and trace identity. *workers*
     fans replication sweeps out over a process pool for drivers that
     support it — values are bit-identical to the serial run (see
-    ``docs/performance.md``).
+    ``docs/performance.md``). *backend* forwards the simulation
+    backend choice (``"vector"``/``"object"``) to drivers whose sweeps
+    go through :func:`repro.experiments.simulate.simulate`; ``None``
+    leaves the default resolution ($REPRO_SIM_BACKEND, then vector
+    with automatic object fallback) in charge.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -113,7 +123,7 @@ def run_experiment(name: str, quick: bool = False, workers: int = 1) -> Experime
         raise SystemExit(
             f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
         ) from None
-    kwargs = _driver_kwargs(driver, quick, workers)
+    kwargs = _driver_kwargs(driver, quick, workers, backend)
     ctx = _obs.current()
     if ctx is None:
         return driver(**kwargs)
@@ -169,6 +179,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "process-pool width for replication sweeps (default 1: serial; "
             "0 means one per CPU). Results are bit-identical at any width."
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["vector", "object"],
+        default=None,
+        help=(
+            "simulation backend for replication sweeps: 'vector' batches all "
+            "replications through the struct-of-arrays engine (with automatic "
+            "per-sweep fallback to 'object' for uncovered workloads), 'object' "
+            "forces the reference engine. Default: $REPRO_SIM_BACKEND, else vector."
         ),
     )
     parser.add_argument(
@@ -244,7 +265,9 @@ def main(argv: list[str] | None = None) -> int:
     ):
         for name in names:
             t0 = time.perf_counter()
-            result = run_experiment(name, quick=args.quick, workers=workers)
+            result = run_experiment(
+                name, quick=args.quick, workers=workers, backend=args.backend
+            )
             elapsed = time.perf_counter() - t0
             results.append(result)
             print(result.render())

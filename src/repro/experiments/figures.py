@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..apps.burst import message_burst
-from ..apps.contender import alternating, cpu_bound
-from ..apps.program import frontend_program, transfer_program
+from ..apps.contender import cpu_bound
+from ..apps.program import transfer_program
 from ..core.commcost import dedicated_comm_cost
 from ..core.datasets import DataSet
 from ..core.prediction import predict_backend_time, predict_comm_cost, predict_frontend_time
@@ -31,7 +31,6 @@ from ..platforms.suncm2 import SunCM2Platform
 from ..platforms.sunparagon import SunParagonPlatform
 from ..sim.engine import Simulator
 from ..sim.monitors import Timeline
-from ..sim.rng import RandomStreams
 from ..traces.gauss import gauss_cm2_trace
 from ..traces.instructions import Parallel, Reduction, Serial, Trace
 from ..traces.analysis import measure_dedicated_cm2
@@ -39,7 +38,7 @@ from ..traces.sor import sor_sun_work
 from . import journal as _journal
 from .calibrate import ParagonCalibration, calibrate_cm2, calibrate_paragon
 from .report import ExperimentResult, mean_abs_pct_error, pct_error
-from .runner import repeat_mean
+from .simulate import BurstProbe, ComputeProbe, SimSpec, simulate
 
 __all__ = [
     "fig1_cm2_communication",
@@ -375,58 +374,6 @@ _FIG56_CONTENDERS = (
 )
 
 
-def _paragon_burst_contended(
-    spec: SunParagonSpec,
-    streams: RandomStreams,
-    size: int,
-    count: int,
-    direction: str,
-    contenders: Sequence[ApplicationProfile],
-    mode: str,
-) -> float:
-    sim = Simulator()
-    platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-    for k, prof in enumerate(contenders):
-        platform.spawn(
-            alternating(
-                platform,
-                prof.comm_fraction,
-                prof.message_size,
-                platform.rng(f"contender-{k}"),
-                tag=prof.name,
-                mode=mode,
-            ),
-            name=prof.name,
-        )
-    probe = sim.process(
-        message_burst(platform, size, count, direction, mode=mode), name="probe"
-    )
-    return sim.run_until(probe)
-
-
-@dataclass(frozen=True)
-class _ContendedBurstMeasure:
-    """Picklable ``repeat_mean`` measure for one Figure 5/6 sweep point.
-
-    Frozen-dataclass callables cross the process-pool boundary (the
-    local lambdas they replace do not), so these sweeps can fan their
-    replications out via ``repeat_mean(..., workers=N)``.
-    """
-
-    spec: SunParagonSpec
-    size: int
-    count: int
-    direction: str
-    contenders: tuple[ApplicationProfile, ...]
-    mode: str
-
-    def __call__(self, streams: RandomStreams) -> float:
-        return _paragon_burst_contended(
-            self.spec, streams, self.size, self.count, self.direction,
-            self.contenders, self.mode,
-        )
-
-
 def _fig56(
     experiment: str,
     direction: str,
@@ -439,6 +386,7 @@ def _fig56(
     quick: bool,
     paper_claim: str,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     if sizes is None:
         sizes = _FIG46_SIZES_QUICK if quick else _FIG46_SIZES
@@ -451,13 +399,17 @@ def _fig56(
 
     rows, actuals, models = [], [], []
     for size in sizes:
-        rep = repeat_mean(
-            _ContendedBurstMeasure(
-                spec, size, count, direction, tuple(contenders), cal.mode
+        rep = simulate(
+            SimSpec(
+                platform=spec,
+                probe=BurstProbe(size, count, direction),
+                contenders=tuple(contenders),
+                mode=cal.mode,
             ),
-            repetitions=repetitions,
+            reps=repetitions,
             seed=seed,
             workers=workers,
+            backend=backend,
         )
         dcomm = dedicated_comm_cost([DataSet(count=count, size=float(size))], params)
         model = predict_comm_cost(dcomm, slowdown)
@@ -491,6 +443,7 @@ def fig5_paragon_comm_out(
     seed: int = 42,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Figure 5: contended bursts Sun → Paragon, modeled vs actual."""
     return _fig56(
@@ -505,6 +458,7 @@ def fig5_paragon_comm_out(
         quick,
         paper_claim="average error within 12%",
         workers=workers,
+        backend=backend,
     )
 
 
@@ -517,6 +471,7 @@ def fig6_paragon_comm_in(
     seed: int = 43,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Figure 6: contended bursts Paragon → Sun, modeled vs actual."""
     return _fig56(
@@ -531,6 +486,7 @@ def fig6_paragon_comm_in(
         quick,
         paper_claim="average error within 14%",
         workers=workers,
+        backend=backend,
     )
 
 
@@ -554,46 +510,6 @@ _FIG8_CONTENDERS = (
 _SOR_ITERATIONS = 30
 
 
-def _sor_sun_contended(
-    spec: SunParagonSpec,
-    streams: RandomStreams,
-    m: int,
-    contenders: Sequence[ApplicationProfile],
-    mode: str,
-) -> float:
-    sim = Simulator()
-    platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-    for k, prof in enumerate(contenders):
-        platform.spawn(
-            alternating(
-                platform,
-                prof.comm_fraction,
-                prof.message_size,
-                platform.rng(f"contender-{k}"),
-                tag=prof.name,
-                mode=mode,
-            ),
-            name=prof.name,
-        )
-    probe = sim.process(
-        frontend_program(platform, sor_sun_work(m, _SOR_ITERATIONS, spec)), name="probe"
-    )
-    return sim.run_until(probe)
-
-
-@dataclass(frozen=True)
-class _SorSunMeasure:
-    """Picklable ``repeat_mean`` measure for one Figure 7/8 sweep point."""
-
-    spec: SunParagonSpec
-    m: int
-    contenders: tuple[ApplicationProfile, ...]
-    mode: str
-
-    def __call__(self, streams: RandomStreams) -> float:
-        return _sor_sun_contended(self.spec, streams, self.m, self.contenders, self.mode)
-
-
 def _fig78(
     experiment: str,
     contenders: Sequence[ApplicationProfile],
@@ -604,6 +520,7 @@ def _fig78(
     quick: bool,
     paper_claim: str,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     if sizes is None:
         sizes = _FIG78_SIZES_QUICK if quick else _FIG78_SIZES
@@ -624,11 +541,17 @@ def _fig78(
     actuals: list[float] = []
     models: dict[int, list[float]] = {j: [] for j in buckets}
     for m in sizes:
-        rep = repeat_mean(
-            _SorSunMeasure(spec, m, tuple(contenders), cal.mode),
-            repetitions=repetitions,
+        rep = simulate(
+            SimSpec(
+                platform=spec,
+                probe=ComputeProbe(sor_sun_work(m, _SOR_ITERATIONS, spec)),
+                contenders=tuple(contenders),
+                mode=cal.mode,
+            ),
+            reps=repetitions,
             seed=seed,
             workers=workers,
+            backend=backend,
         )
         dcomp = sor_sun_work(m, _SOR_ITERATIONS, spec)
         row: list = [m, dcomp, rep.mean]
@@ -664,6 +587,7 @@ def fig7_sor_sun(
     seed: int = 7,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Figure 7: SOR on the Sun; contenders 66% @ 800 w, 33% @ 1200 w.
 
@@ -680,6 +604,7 @@ def fig7_sor_sun(
         quick,
         paper_claim="err 4% (j=1000), 16% (j=500), 32% (j=1)",
         workers=workers,
+        backend=backend,
     )
 
 
@@ -690,6 +615,7 @@ def fig8_sor_sun(
     seed: int = 8,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Figure 8: SOR on the Sun; contenders 40% @ 500 w, 76% @ 200 w.
 
@@ -706,4 +632,5 @@ def fig8_sor_sun(
         quick,
         paper_claim="err 5% (j=500), 25% (j=1 and j=1000)",
         workers=workers,
+        backend=backend,
     )

@@ -20,14 +20,11 @@ claims in prose; each gets a driver here:
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..apps.burst import message_burst
-from ..apps.contender import alternating, cpu_bound
-from ..apps.program import frontend_program
+from ..apps.contender import cpu_bound
 from ..core.calibration import find_saturation_threshold, relative_delays
 from ..core.commcost import dedicated_comm_cost
 from ..core.datasets import DataSet
@@ -38,7 +35,6 @@ from ..platforms.specs import DEFAULT_SUNCM2, DEFAULT_SUNPARAGON, SunCM2Spec, Su
 from ..platforms.suncm2 import SunCM2Platform
 from ..platforms.sunparagon import SunParagonPlatform
 from ..sim.engine import Simulator
-from ..sim.rng import RandomStreams
 from ..traces.analysis import measure_dedicated_cm2
 from ..traces.synthetic import synthetic_cm2_trace
 from . import journal as _journal
@@ -47,7 +43,7 @@ from .calibrate import (
     _contended_compute_time,  # shared probe harness
 )
 from .report import ExperimentResult, mean_abs_pct_error, max_abs_pct_error, pct_error
-from .runner import repeat_mean
+from .simulate import BurstProbe, ComputeProbe, SimSpec, simulate
 
 __all__ = [
     "synthetic_cm2_experiment",
@@ -123,59 +119,6 @@ def _random_contenders(
     return profiles
 
 
-def _spawn_contenders(platform: SunParagonPlatform, contenders, mode: str) -> None:
-    for k, prof in enumerate(contenders):
-        platform.spawn(
-            alternating(
-                platform,
-                prof.comm_fraction,
-                prof.message_size,
-                platform.rng(f"contender-{k}"),
-                tag=prof.name,
-                mode=mode,
-            ),
-            name=prof.name,
-        )
-
-
-@dataclass(frozen=True)
-class _ContendedBurstProbe:
-    """Picklable measure: one contended burst probe run (§3.2.1)."""
-
-    spec: SunParagonSpec
-    contenders: tuple[ApplicationProfile, ...]
-    probe_size: int
-    count: int
-    mode: str
-
-    def __call__(self, streams: RandomStreams) -> float:
-        sim = Simulator()
-        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
-        _spawn_contenders(platform, self.contenders, self.mode)
-        probe = sim.process(
-            message_burst(platform, self.probe_size, self.count, "out", mode=self.mode),
-            name="probe",
-        )
-        return sim.run_until(probe)
-
-
-@dataclass(frozen=True)
-class _ContendedCpuProbe:
-    """Picklable measure: one contended CPU probe run (§3.2.2)."""
-
-    spec: SunParagonSpec
-    contenders: tuple[ApplicationProfile, ...]
-    work: float
-    mode: str
-
-    def __call__(self, streams: RandomStreams) -> float:
-        sim = Simulator()
-        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
-        _spawn_contenders(platform, self.contenders, self.mode)
-        probe = sim.process(frontend_program(platform, self.work), name="probe")
-        return sim.run_until(probe)
-
-
 def robustness_paragon_comm(
     spec: SunParagonSpec = DEFAULT_SUNPARAGON,
     scenarios: int = 6,
@@ -185,6 +128,7 @@ def robustness_paragon_comm(
     seed: int = 13,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Varied contender sets vs. the communication slowdown model."""
     if quick:
@@ -195,11 +139,14 @@ def robustness_paragon_comm(
     for s in range(scenarios):
         contenders = _random_contenders(rng, int(rng.integers(1, 4)))
         slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
-        measure = _ContendedBurstProbe(
-            spec, tuple(contenders), probe_size, count, cal.mode
+        point = SimSpec(
+            platform=spec,
+            probe=BurstProbe(probe_size, count, "out"),
+            contenders=tuple(contenders),
+            mode=cal.mode,
         )
-        rep = repeat_mean(
-            measure, repetitions=repetitions, seed=seed + s, workers=workers
+        rep = simulate(
+            point, reps=repetitions, seed=seed + s, workers=workers, backend=backend
         )
         dcomm = dedicated_comm_cost(
             [DataSet(count=count, size=float(probe_size))], cal.params_out
@@ -230,6 +177,7 @@ def robustness_paragon_comp(
     seed: int = 17,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Varied contender sets vs. the computation slowdown model."""
     if quick:
@@ -240,9 +188,14 @@ def robustness_paragon_comp(
     for s in range(scenarios):
         contenders = _random_contenders(rng, int(rng.integers(1, 4)))
         slowdown = paragon_comp_slowdown(contenders, cal.delay_comm_sized)
-        measure = _ContendedCpuProbe(spec, tuple(contenders), work, cal.mode)
-        rep = repeat_mean(
-            measure, repetitions=repetitions, seed=seed + s, workers=workers
+        point = SimSpec(
+            platform=spec,
+            probe=ComputeProbe(work),
+            contenders=tuple(contenders),
+            mode=cal.mode,
+        )
+        rep = simulate(
+            point, reps=repetitions, seed=seed + s, workers=workers, backend=backend
         )
         model = predict_frontend_time(work, slowdown)
         desc = " ".join(f"{p.comm_fraction:.2f}@{int(p.message_size)}" for p in contenders)

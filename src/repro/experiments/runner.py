@@ -3,13 +3,15 @@
 The paper measures on production systems where "the variance in
 execution time ... can be high" and aims for accuracy *on average*.
 The reproduction's analogue: every contended measurement is repeated
-with independent random streams and averaged. :func:`repeat_mean`
-packages that pattern — one experiment function, R seeds, summary
-statistics.
+with independent random streams and averaged. :class:`Replication`
+summarizes one such batch; the replication loop itself now lives
+behind :func:`repro.experiments.simulate.simulate` (``repeat_mean``
+remains as a deprecated alias of its object-backend path).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -17,11 +19,10 @@ import numpy as np
 
 from ..errors import ReproError
 from ..obs import context as _obs
-from ..parallel import FailurePolicy, ParallelExecutor, Quarantined
+from ..parallel import FailurePolicy, Quarantined
 from ..reliability.degrade import Confidence
 from ..reliability.retry import retry_with_backoff
 from ..sim.rng import RandomStreams
-from . import journal as _journal
 
 __all__ = ["Replication", "repeat_mean"]
 
@@ -156,89 +157,33 @@ def repeat_mean(
     workers: int = 1,
     policy: FailurePolicy | None = None,
 ) -> Replication:
-    """Run *measure* with *repetitions* independent stream families.
+    """Deprecated alias of :func:`repro.experiments.simulate.simulate`.
 
-    Parameters
-    ----------
-    measure:
-        A function building a fresh simulator/platform from the given
-        :class:`~repro.sim.rng.RandomStreams` and returning one scalar
-        measurement (typically an elapsed time).
-    repetitions:
-        Number of independent runs.
-    seed:
-        Base seed; repetition *k* uses ``RandomStreams(seed).fork(k)``.
-    retry_attempts:
-        Attempts per replication (default 1: fail fast, the historical
-        behaviour). With more, a replication whose run raises *retry_on*
-        is re-measured with a re-salted stream fork
-        (``base.fork(k + 7919 * attempt)``) — fresh randomness, same
-        reproducibility — via
-        :func:`~repro.reliability.retry.retry_with_backoff`.
-    retry_on:
-        Exception type(s) worth retrying (default
-        :class:`~repro.errors.ReproError`; programming errors always
-        propagate).
-    workers:
-        Process-pool width for the replications (default 1: serial).
-        Replication *k* derives all randomness from ``(seed, k)``
-        alone, so any worker count yields **bit-identical**
-        ``Replication.values`` — parallelism changes wall-clock only.
-        Parallel runs require *measure* to be picklable (a module-level
-        function or frozen-dataclass callable); unpicklable measures
-        fall back to the serial path. Worker spans/metrics are merged
-        back into an active parent observability context.
-    policy:
-        Optional :class:`~repro.parallel.FailurePolicy` for the pool
-        path: replications whose worker crashes or exceeds the deadline
-        are retried and eventually quarantined — they land in
-        ``Replication.quarantined`` and degrade
-        ``Replication.confidence`` instead of aborting the sweep.
-        Ignored on the inline path (``workers <= 1``).
+    The replication harness is now the single ``simulate()`` entry
+    point; this shim only warns and forwards to the object backend
+    (the behaviour ``repeat_mean`` always had). The returned
+    :class:`~repro.experiments.simulate.BatchResult` is a
+    :class:`Replication` subclass, so every historical use keeps
+    working — journal keys included.
 
-    When an experiment journal is active
-    (:func:`repro.experiments.journal.journaled`) and *measure* is
-    describable — a module-level function or a frozen dataclass of
-    describable fields — the replication values are checkpointed per
-    call and replayed bit-identically on ``--resume``. The journal key
-    covers everything that determines the values (measure, seed,
-    repetitions, retry policy) but *not* ``workers`` or *policy*: the
-    determinism contract makes values invariant under both.
+    .. deprecated:: 1.2
+       Call :func:`repro.experiments.simulate.simulate` directly.
     """
-    if repetitions < 1:
-        raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
-    task = _ReplicationTask(
-        measure=measure, seed=seed, retry_attempts=retry_attempts, retry_on=retry_on
+    warnings.warn(
+        "repeat_mean() is deprecated; use repro.experiments.simulate(), "
+        "which runs the same replications behind a backend-selectable API",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from .simulate import simulate
 
-    def compute() -> dict:
-        executor = ParallelExecutor(workers=workers)
-        raw = executor.map(task, range(repetitions), policy=policy)
-        return {
-            "values": [v for v in raw if not isinstance(v, Quarantined)],
-            "quarantined": [
-                {"index": q.index, "reason": q.reason, "failures": q.failures}
-                for q in raw
-                if isinstance(q, Quarantined)
-            ],
-        }
-
-    journal = _journal.active()
-    description = _journal.describe_task(task) if journal is not None else None
-    if journal is not None and description is not None:
-        data = journal.point(
-            "repeat_mean",
-            {"task": description, "repetitions": int(repetitions)},
-            compute,
-        )
-    else:
-        data = compute()
-    return Replication(
-        values=tuple(float(v) for v in data["values"]),
-        quarantined=tuple(
-            Quarantined(
-                index=int(q["index"]), reason=str(q["reason"]), failures=int(q["failures"])
-            )
-            for q in data["quarantined"]
-        ),
+    return simulate(
+        measure,
+        reps=repetitions,
+        seed=seed,
+        backend="object",
+        retry_attempts=retry_attempts,
+        retry_on=retry_on,
+        workers=workers,
+        policy=policy,
     )

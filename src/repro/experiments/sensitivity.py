@@ -20,66 +20,40 @@ we measure their price.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
-from ..apps.burst import message_burst
-from ..apps.contender import alternating
 from ..core.commcost import dedicated_comm_cost
 from ..core.datasets import DataSet
 from ..core.slowdown import paragon_comm_slowdown
 from ..core.workload import ApplicationProfile
 from ..platforms.specs import DEFAULT_SUNPARAGON, SunParagonSpec
-from ..platforms.sunparagon import SunParagonPlatform
 from ..sim.engine import Simulator
-from ..sim.rng import RandomStreams
 from .calibrate import calibrate_paragon
 from .report import ExperimentResult, pct_error
-from .runner import repeat_mean
+from .simulate import BurstProbe, CyclicProbe, SimSpec, simulate
 
 __all__ = ["cycle_length_sensitivity", "fraction_sensitivity", "forecast_experiment", "mixed_workload_experiment"]
 
 
-def _contended_burst(
+def _burst_point(
     spec: SunParagonSpec,
-    streams: RandomStreams,
     contenders: Sequence[ApplicationProfile],
     mean_cycle: float,
     size: int,
     count: int,
-) -> float:
-    sim = Simulator()
-    platform = SunParagonPlatform(sim, spec=spec, streams=streams)
-    for k, prof in enumerate(contenders):
-        platform.spawn(
-            alternating(
-                platform,
-                prof.comm_fraction,
-                prof.message_size,
-                platform.rng(f"c{k}"),
-                mean_cycle=mean_cycle,
-                tag=prof.name,
-            ),
-            name=prof.name,
-        )
-    probe = sim.process(message_burst(platform, size, count, "out"))
-    return sim.run_until(probe)
+) -> SimSpec:
+    """One sensitivity sweep point as a :func:`simulate` spec.
 
-
-@dataclass(frozen=True)
-class _ContendedBurstPoint:
-    """Picklable ``repeat_mean`` measure for one sensitivity sweep point."""
-
-    spec: SunParagonSpec
-    contenders: tuple[ApplicationProfile, ...]
-    mean_cycle: float
-    size: int
-    count: int
-
-    def __call__(self, streams: RandomStreams) -> float:
-        return _contended_burst(
-            self.spec, streams, self.contenders, self.mean_cycle, self.size, self.count
-        )
+    Stream prefix ``"c"`` preserves the RNG stream names these sweeps
+    have always used (``sunparagon/c0``, ``sunparagon/c1``, ...).
+    """
+    return SimSpec(
+        platform=spec,
+        probe=BurstProbe(size, count, "out"),
+        contenders=tuple(contenders),
+        mean_cycle=mean_cycle,
+        stream_prefix="c",
+    )
 
 
 def cycle_length_sensitivity(
@@ -91,6 +65,7 @@ def cycle_length_sensitivity(
     seed: int = 77,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Model error vs the contenders' mean cycle length.
 
@@ -114,11 +89,12 @@ def cycle_length_sensitivity(
 
     rows = []
     for cycle in cycles:
-        rep = repeat_mean(
-            _ContendedBurstPoint(spec, tuple(contenders), cycle, size, count),
-            repetitions=repetitions,
+        rep = simulate(
+            _burst_point(spec, contenders, cycle, size, count),
+            reps=repetitions,
             seed=seed,
             workers=workers,
+            backend=backend,
         )
         rows.append((cycle, rep.mean, rep.std, rep.cv, model, pct_error(rep.mean, model)))
 
@@ -150,6 +126,7 @@ def fraction_sensitivity(
     seed: int = 78,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Model error vs one contender's communication fraction."""
     if quick:
@@ -162,11 +139,12 @@ def fraction_sensitivity(
         slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
         dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
         model = dcomm * slowdown
-        rep = repeat_mean(
-            _ContendedBurstPoint(spec, tuple(contenders), 0.25, size, count),
-            repetitions=repetitions,
+        rep = simulate(
+            _burst_point(spec, contenders, 0.25, size, count),
+            reps=repetitions,
             seed=seed,
             workers=workers,
+            backend=backend,
         )
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
@@ -273,37 +251,6 @@ def forecast_experiment(
     )
 
 
-@dataclass(frozen=True)
-class _CyclicMeasure:
-    """Picklable ``repeat_mean`` measure for one mixed-workload point."""
-
-    spec: SunParagonSpec
-    contenders: tuple[ApplicationProfile, ...]
-    cycles: int
-    comp_per_cycle: float
-    messages_per_cycle: int
-    message_size: float
-
-    def __call__(self, streams: RandomStreams) -> float:
-        from ..apps.program import cyclic_program
-
-        sim = Simulator()
-        platform = SunParagonPlatform(sim, spec=self.spec, streams=streams)
-        for k, prof in enumerate(self.contenders):
-            platform.spawn(
-                alternating(
-                    platform, prof.comm_fraction, prof.message_size,
-                    platform.rng(f"c{k}"), tag=prof.name,
-                ),
-                name=prof.name,
-            )
-        probe = sim.process(
-            cyclic_program(platform, self.cycles, self.comp_per_cycle,
-                           self.messages_per_cycle, self.message_size)
-        )
-        return sim.run_until(probe)
-
-
 def mixed_workload_experiment(
     spec: SunParagonSpec = DEFAULT_SUNPARAGON,
     comm_shares: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
@@ -314,6 +261,7 @@ def mixed_workload_experiment(
     seed: int = 55,
     quick: bool = False,
     workers: int = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Predictions for applications that alternate compute and comm (Section 2).
 
@@ -360,11 +308,13 @@ def mixed_workload_experiment(
         dcomp = comp_per_cycle * cycles
         model = predict_mixed_time(dcomp, dcomm_out, dcomm_in, comp_slow, comm_slow)
 
-        measure = _CyclicMeasure(
-            spec, tuple(contenders), cycles, comp_per_cycle,
-            messages_per_cycle, float(message_size),
+        point = SimSpec(
+            platform=spec,
+            probe=CyclicProbe(cycles, comp_per_cycle, messages_per_cycle, float(message_size)),
+            contenders=tuple(contenders),
+            stream_prefix="c",
         )
-        rep = repeat_mean(measure, repetitions=repetitions, seed=seed, workers=workers)
+        rep = simulate(point, reps=repetitions, seed=seed, workers=workers, backend=backend)
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
         rows.append((share, dcomp + dcomm_out + dcomm_in, rep.mean, model, err))

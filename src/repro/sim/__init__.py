@@ -5,6 +5,12 @@ hardware: a generator-coroutine DES kernel (:mod:`.engine`), waitable
 resources (:mod:`.resources`), a time-shared CPU (:mod:`.cpu`), a
 contended network link (:mod:`.link`), deterministic random streams
 (:mod:`.rng`) and measurement instruments (:mod:`.monitors`).
+
+:mod:`.vector` is the struct-of-arrays Monte-Carlo backend: it runs
+many independent replications ("lanes") of a supported Sun–Paragon
+workload as NumPy arrays advanced in lockstep, bit-compatible (to
+floating-point accumulation order, ≤ 1e-9 relative) with running the
+object engine once per lane.
 """
 
 from .engine import (
@@ -24,6 +30,14 @@ from .link import Link
 from .monitors import Interval, Tally, Timeline, TimeWeighted
 from .resources import FifoResource, Request, Store
 from .rng import RandomStreams
+from .vector import (
+    VectorBurstProbe,
+    VectorComputeProbe,
+    VectorContender,
+    VectorCyclicProbe,
+    run_lanes,
+    unsupported_reason,
+)
 
 __all__ = [
     "AllOf",
@@ -46,4 +60,10 @@ __all__ = [
     "Timeline",
     "TimeSharedCPU",
     "TimeWeighted",
+    "VectorBurstProbe",
+    "VectorComputeProbe",
+    "VectorContender",
+    "VectorCyclicProbe",
+    "run_lanes",
+    "unsupported_reason",
 ]

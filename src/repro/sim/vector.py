@@ -1,0 +1,784 @@
+"""Struct-of-arrays Monte-Carlo backend: many replications in lockstep.
+
+The event-horizon kernel (see :mod:`repro.sim.cpu`) made one run
+O(#arrivals); this module makes *many runs at once* cheap. N independent
+replications of a Sun/Paragon contention scenario are laid out as
+arrays of per-lane clocks, fluid-sharing epoch states and link-horizon
+completions, and all lanes advance together: each iteration takes every
+live lane to its own next event instant and applies the state
+transitions with a handful of NumPy ops, instead of dispatching Python
+simulation objects per run.
+
+Three structural tricks keep the per-event cost at array-op scale:
+
+* **Collapsed pipelines.** A message fragment's non-resource waits
+  (node handling, the completion of an already-claimed wire or service
+  slot) are priced the moment they become determined, so a fragment
+  costs two or three events instead of five. Resources are still
+  *claimed* at exactly the instants the object engine claims them —
+  the wire at conversion completion, the service node at wire
+  completion — so FIFO horizons are identical.
+* **Virtual-time fluid sharing.** Instead of charging every running
+  job at every settle, each lane carries a virtual service clock ``V``
+  (``dV = rate · dt``) and each job a completion target
+  ``finish_v = V(submit) + work``; jobs can only complete at a lane's
+  epoch horizon, where ``finish_v - V <= eps`` is checked once.
+* **A row per (actor, event class).** Waits and CPU jobs live in
+  ``(rows, lanes)`` matrices whose row *identity* names the handler —
+  "contender 1's send conversion finished", "the probe's node handling
+  elapsed" — so finding this iteration's work is one matrix compare
+  and there is no per-event phase bookkeeping at all. ``inf`` encodes
+  "nothing scheduled" in both matrices.
+
+Scope
+-----
+The vector engine covers the scenario family the replication sweeps
+actually run: a :class:`~repro.platforms.specs.SunParagonSpec` platform
+with the fluid ``discipline="ps"`` front-end CPU, the OS daemon,
+``alternating`` contenders, and a ``message_burst`` /
+``frontend_program`` / ``cyclic_program`` probe, in both ``1hop`` and
+``2hops`` modes. Anything else (round-robin quanta, CM2, fault
+injection, priorities) is the object engine's job —
+:func:`repro.experiments.simulate.simulate` falls back automatically.
+
+Correctness is anchored the same way PR 5 anchored event horizons: the
+per-lane arithmetic mirrors the object engine operation for operation
+(same ``max(now, free_at) + hold`` wire horizons, same named RNG
+streams and draw order), and the 240-seed differential suite in
+``tests/sim/test_vector.py`` holds the two engines to 1e-9 agreement.
+Because no computation ever crosses lanes, a batch over lanes ``[0..N)``
+is bit-for-bit the concatenation of N single-lane batches — which is
+what lets ``repro.parallel`` workers split *batches of lanes*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platforms.specs import SunParagonSpec
+
+__all__ = [
+    "VectorContender",
+    "VectorBurstProbe",
+    "VectorComputeProbe",
+    "VectorCyclicProbe",
+    "unsupported_reason",
+    "run_lanes",
+]
+
+#: Same completion tolerance as the object CPU (:data:`repro.sim.cpu._EPSILON`).
+_EPS = 1e-12
+
+# Actor kinds.
+_K_DAEMON, _K_ALT, _K_BURST, _K_COMPUTE, _K_CYCLIC = range(5)
+
+
+@dataclass(frozen=True)
+class VectorContender:
+    """One :func:`repro.apps.contender.alternating` application."""
+
+    comm_fraction: float
+    message_size: float
+    stream: str
+    mean_cycle: float = 0.25
+    direction: str = "both"
+    mode: str = "1hop"
+
+
+@dataclass(frozen=True)
+class VectorBurstProbe:
+    """The :func:`repro.apps.burst.message_burst` probe."""
+
+    size_words: float
+    count: int
+    direction: str = "out"
+    mode: str = "1hop"
+
+
+@dataclass(frozen=True)
+class VectorComputeProbe:
+    """The :func:`repro.apps.program.frontend_program` probe."""
+
+    work: float
+
+
+@dataclass(frozen=True)
+class VectorCyclicProbe:
+    """The :func:`repro.apps.program.cyclic_program` probe."""
+
+    cycles: int
+    comp_per_cycle: float
+    messages_per_cycle: int
+    message_size: float
+    mode: str = "1hop"
+
+
+_Probe = VectorBurstProbe | VectorComputeProbe | VectorCyclicProbe
+
+
+def unsupported_reason(
+    spec: "SunParagonSpec",
+    contenders: Sequence[VectorContender],
+    probe: _Probe,
+) -> str | None:
+    """Why the vector engine cannot run this scenario (None = it can).
+
+    The checks mirror the coverage statement in the module docstring;
+    callers use the reason string for the counted fallback to the
+    object backend.
+    """
+    if type(spec).__name__ != "SunParagonSpec":
+        return f"platform spec {type(spec).__name__} (only SunParagonSpec is vectorized)"
+    if spec.cpu.discipline != "ps":
+        return f"cpu discipline {spec.cpu.discipline!r} (only 'ps' is vectorized)"
+    if not isinstance(probe, (VectorBurstProbe, VectorComputeProbe, VectorCyclicProbe)):
+        return f"probe {type(probe).__name__} has no vectorized form"
+    modes = {c.mode for c in contenders}
+    modes.add(getattr(probe, "mode", "1hop"))
+    if "2hops" in modes and spec.service_node_capacity != 1:
+        return f"service_node_capacity={spec.service_node_capacity} (2hops needs capacity 1)"
+    return None
+
+
+def _message_params(spec: "SunParagonSpec", size: float, mode: str) -> tuple[int, float, float, float]:
+    """Per-fragment constants of one message: (n_frags, conv, hold, nx)."""
+    frags = spec.wire.fragment_sizes(size)
+    frag = frags[0]
+    conv = spec.conversion_cpu_time(frag)
+    hold = float(spec.wire.occupancy(frag))
+    nx = spec.nx_time(frag) if mode == "2hops" else 0.0
+    return len(frags), conv, hold, nx
+
+
+class _Actor:
+    """Compiled per-actor constants (shared by every lane).
+
+    The ``r_*`` / ``w_*`` fields are this actor's row indices into the
+    lane matrices: ``r_*`` rows hold CPU completion targets, ``w_*``
+    rows hold wake instants (-1 = the actor never uses that event
+    class).
+    """
+
+    __slots__ = (
+        "kind", "stream", "interval", "work", "comp_target", "comm_target",
+        "per_message", "dir_code", "two_hops", "n_frags", "conv", "hold",
+        "nx", "nh", "count", "cycles", "msgs_per_cycle", "is_probe",
+        "r_comp", "r_conv_s", "r_conv_r",
+        "w_idle", "w_frag_end", "w_send_nx", "w_recv_claim", "w_recv_wire",
+        "w_recv_conv",
+    )
+
+    def __init__(self) -> None:
+        self.kind = _K_DAEMON
+        self.stream: str | None = None
+        self.interval = self.work = 0.0
+        self.comp_target = self.comm_target = self.per_message = 0.0
+        self.dir_code = 0  # 0 = out, 1 = in, 2 = both
+        self.two_hops = False
+        self.n_frags = 0
+        self.conv = self.hold = self.nx = self.nh = 0.0
+        self.count = self.cycles = self.msgs_per_cycle = 0
+        self.is_probe = False
+        self.r_comp = self.r_conv_s = self.r_conv_r = -1
+        self.w_idle = self.w_frag_end = self.w_send_nx = -1
+        self.w_recv_claim = self.w_recv_wire = self.w_recv_conv = -1
+
+
+_DIR_CODES = {"out": 0, "in": 1, "both": 2}
+
+
+def _compile_actors(
+    spec: "SunParagonSpec",
+    contenders: Sequence[VectorContender],
+    probe: _Probe,
+) -> list[_Actor]:
+    actors: list[_Actor] = []
+    nh = spec.node_handling
+    if spec.cpu.daemon_interval > 0 and spec.cpu.daemon_work > 0:
+        a = _Actor()
+        a.kind = _K_DAEMON
+        a.interval = spec.cpu.daemon_interval
+        a.work = spec.cpu.daemon_work
+        a.stream = "sunparagon/os-daemon"
+        actors.append(a)
+    for c in contenders:
+        if not 0.0 <= c.comm_fraction <= 1.0:
+            raise WorkloadError(f"comm_fraction must be in [0, 1], got {c.comm_fraction!r}")
+        if c.mean_cycle <= 0:
+            raise WorkloadError(f"mean_cycle must be > 0, got {c.mean_cycle!r}")
+        if c.direction not in _DIR_CODES:
+            raise WorkloadError(f"direction must be 'out', 'in' or 'both', got {c.direction!r}")
+        if c.comm_fraction > 0 and c.message_size <= 0:
+            raise WorkloadError("a communicating contender needs a positive message size")
+        a = _Actor()
+        a.kind = _K_ALT
+        a.stream = c.stream
+        a.comp_target = (1.0 - c.comm_fraction) * c.mean_cycle
+        a.comm_target = c.comm_fraction * c.mean_cycle
+        a.dir_code = _DIR_CODES[c.direction]
+        a.two_hops = c.mode == "2hops"
+        a.nh = nh
+        if c.comm_fraction > 0:
+            a.per_message = spec.message_dedicated_time(c.message_size, c.mode)
+            a.n_frags, a.conv, a.hold, a.nx = _message_params(spec, c.message_size, c.mode)
+        actors.append(a)
+    p = _Actor()
+    p.is_probe = True
+    if isinstance(probe, VectorBurstProbe):
+        if probe.count < 1:
+            raise WorkloadError(f"burst needs >= 1 message, got {probe.count!r}")
+        if probe.direction not in ("out", "in"):
+            raise WorkloadError(f"direction must be 'out' or 'in', got {probe.direction!r}")
+        p.kind = _K_BURST
+        p.count = probe.count
+        p.dir_code = _DIR_CODES[probe.direction]
+        p.two_hops = probe.mode == "2hops"
+        p.nh = nh
+        p.n_frags, p.conv, p.hold, p.nx = _message_params(spec, probe.size_words, probe.mode)
+    elif isinstance(probe, VectorComputeProbe):
+        if probe.work < 0:
+            raise WorkloadError(f"work must be >= 0, got {probe.work!r}")
+        p.kind = _K_COMPUTE
+        p.work = probe.work
+    else:
+        if probe.cycles < 1:
+            raise WorkloadError(f"need >= 1 cycle, got {probe.cycles!r}")
+        if probe.comp_per_cycle < 0 or probe.messages_per_cycle < 0:
+            raise WorkloadError("cycle parameters must be >= 0")
+        p.kind = _K_CYCLIC
+        p.cycles = probe.cycles
+        p.work = probe.comp_per_cycle
+        p.msgs_per_cycle = probe.messages_per_cycle
+        p.dir_code = 2  # cyclic_program alternates out/in
+        p.two_hops = probe.mode == "2hops"
+        p.nh = nh
+        if probe.messages_per_cycle > 0:
+            p.n_frags, p.conv, p.hold, p.nx = _message_params(
+                spec, probe.message_size, probe.mode
+            )
+    actors.append(p)
+    return actors
+
+
+class _Lanes:
+    """The struct-of-arrays engine state for one batch of replications.
+
+    All index arrays (``idx``) passed between methods are sorted lane
+    ids, each paired with an equally shaped ``t`` array of that lane's
+    current instant; every mutation is an elementwise or per-lane
+    operation, so lanes never interact (the bit-for-bit independence
+    property the hypothesis suite asserts).
+    """
+
+    def __init__(
+        self,
+        spec: "SunParagonSpec",
+        actors: list[_Actor],
+        lane_seeds: Sequence[int],
+    ) -> None:
+        n = len(lane_seeds)
+        a_count = len(actors)
+        self.actors = actors
+        self.n = n
+        self.capacity = spec.cpu.capacity
+        # Row registries: processing order is spawn order (within one
+        # actor the rows are lane-disjoint, so their relative order is
+        # immaterial). Each entry is (actor index, bound handler).
+        self.cpu_rows: list[tuple[int, object]] = []
+        self.wait_rows: list[tuple[int, object]] = []
+
+        def cpu_row(a: int, fn) -> int:
+            self.cpu_rows.append((a, fn))
+            return len(self.cpu_rows) - 1
+
+        def wait_row(a: int, fn) -> int:
+            self.wait_rows.append((a, fn))
+            return len(self.wait_rows) - 1
+
+        for a, actor in enumerate(actors):
+            if actor.kind == _K_DAEMON:
+                actor.r_comp = cpu_row(a, self._daemon_sleep)
+                actor.w_idle = wait_row(a, self._daemon_wake)
+                continue
+            if actor.kind == _K_COMPUTE:
+                actor.r_comp = cpu_row(a, self._compute_comp_done)
+                continue
+            if actor.kind == _K_ALT:
+                comp_done = self._alt_comm if actor.comm_target > 0 else self._alt_cycle
+                actor.r_comp = cpu_row(a, comp_done)
+                has_msgs = actor.comm_target > 0
+            elif actor.kind == _K_CYCLIC:
+                actor.r_comp = cpu_row(a, self._cyclic_after_comp)
+                has_msgs = actor.msgs_per_cycle > 0
+            else:  # burst
+                has_msgs = True
+            if has_msgs:
+                if actor.dir_code in (0, 2):  # sends
+                    actor.r_conv_s = cpu_row(a, self._send_wire)
+                    actor.w_frag_end = wait_row(a, self._fragment_done)
+                    if actor.two_hops:
+                        actor.w_send_nx = wait_row(a, self._send_nx)
+                if actor.dir_code in (1, 2):  # receives
+                    actor.r_conv_r = cpu_row(a, self._fragment_done)
+                    actor.w_recv_conv = wait_row(a, self._recv_conv)
+                    if actor.two_hops:
+                        actor.w_recv_wire = wait_row(a, self._recv_wire)
+                    if actor.nh > 0:
+                        actor.w_recv_claim = wait_row(a, self._recv_claim)
+
+        # Lane matrices: inf = nothing scheduled in that row.
+        self.wait = np.full((len(self.wait_rows), n), np.inf)
+        self.fv = np.full((len(self.cpu_rows), n), np.inf)  # finish_v targets
+        # Per-actor counters (row-free state machines).
+        self.msgs_left = np.zeros((a_count, n), dtype=np.int64)
+        self.frags_left = np.zeros((a_count, n), dtype=np.int64)
+        self.flip = np.ones((a_count, n), dtype=bool)  # True = next message out
+        self.cur_out = np.zeros((a_count, n), dtype=bool)
+        self.cycles_left = np.zeros((a_count, n), dtype=np.int64)
+        # Per-lane resources and fluid-sharing epoch.
+        self.link_free = np.zeros(n)
+        self.svc_free = np.zeros(n)
+        self.vtime = np.zeros(n)  # cumulative per-job virtual service
+        self.eps_t0 = np.zeros(n)
+        self.eps_rate = np.zeros(n)
+        self.t_cpu = np.full(n, np.inf)
+        self.dirty = np.zeros(n, dtype=bool)
+        self.active = np.ones(n, dtype=bool)
+        self.inactive = np.zeros(n, dtype=bool)
+        self.result = np.full(n, np.nan)
+        # CPU completions discovered at a lane's epoch horizon, awaiting
+        # their row's state-machine step at the current instant.
+        self.pending: list[list[np.ndarray]] = [[] for _ in self.cpu_rows]
+        # One generator per (lane, drawing actor): identical construction
+        # to the object path's ``platform.rng(...)`` named streams.
+        self.gens: list[list[np.random.Generator] | None] = []
+        for actor in actors:
+            if actor.stream is None:
+                self.gens.append(None)
+            else:
+                self.gens.append(
+                    [RandomStreams(int(s)).get(actor.stream) for s in lane_seeds]
+                )
+
+    # -- RNG -----------------------------------------------------------------
+
+    def _draw(self, a: int, idx: np.ndarray, scale: float) -> np.ndarray:
+        gens = self.gens[a]
+        out = np.empty(idx.size)
+        for j, i in enumerate(idx):
+            out[j] = float(gens[i].exponential(scale))
+        return out
+
+    # -- fluid-sharing CPU ----------------------------------------------------
+    #
+    # Lanes' virtual service clocks are advanced once per iteration in
+    # :meth:`run` (every lane with an event sits exactly at its own
+    # ``t_next``, so one array op replaces a touch per state change);
+    # the methods below therefore read ``vtime`` as already current.
+
+    def _complete_at_horizon(self, hidx: np.ndarray) -> None:
+        """Settle lanes whose sharing horizon fires: find finished jobs.
+
+        Completions can only happen at a lane's epoch horizon (between
+        horizons every running job's remaining service is strictly
+        positive), so this is the one place ``finish_v - V <= eps`` is
+        checked. Finished jobs land in ``pending`` and step their state
+        machines after this instant's wake events, like the object
+        scheduler's succeed-then-resume ordering.
+        """
+        done = self.fv[:, hidx] - self.vtime[hidx] <= _EPS
+        for r in done.any(axis=1).nonzero()[0]:
+            comp = hidx[done[r]]
+            self.fv[r][comp] = np.inf
+            self.dirty[comp] = True
+            self.pending[r].append(comp)
+
+    def _submit_scalar(self, row: int, idx: np.ndarray, work: float) -> bool:
+        """Submit constant CPU work; True if it blocked (False = instant).
+
+        Mirrors :meth:`TimeSharedCPU.execute`: work ``<= eps`` succeeds
+        immediately without touching the scheduler; real work joins the
+        sharing set with a completion target ``V(now) + work``.
+        """
+        if work <= _EPS:
+            return False
+        self.fv[row][idx] = self.vtime[idx] + work
+        self.dirty[idx] = True
+        return True
+
+    def _submit_array(self, row: int, idx: np.ndarray, work: np.ndarray) -> np.ndarray | None:
+        """Submit drawn CPU work; the instantly-done mask (None = none)."""
+        blocked = work > _EPS
+        if blocked.all():
+            self.fv[row][idx] = self.vtime[idx] + work
+            self.dirty[idx] = True
+            return None
+        bidx = idx[blocked]
+        if bidx.size:
+            self.fv[row][bidx] = self.vtime[bidx] + work[blocked]
+            self.dirty[bidx] = True
+        return ~blocked
+
+    def _recompute(self, t_all: np.ndarray) -> None:
+        """Start a fresh sharing epoch at the current instant for dirty lanes."""
+        didx = self.dirty.nonzero()[0]
+        if didx.size == 0:
+            return
+        self.dirty[didx] = False
+        if not self.cpu_rows:
+            return
+        cols = self.fv[:, didx]
+        n = np.isfinite(cols).sum(axis=0)
+        running = n > 0
+        if running.all():
+            run = didx
+        else:
+            idle = didx[~running]
+            self.t_cpu[idle] = np.inf
+            self.eps_rate[idle] = 0.0
+            run = didx[running]
+            if run.size == 0:
+                return
+            n = n[running]
+        rate = self.capacity / n
+        min_fv = cols.min(axis=0) if running.all() else cols[:, running].min(axis=0)
+        self.eps_rate[run] = rate
+        self.t_cpu[run] = t_all[run] + (min_fv - self.vtime[run]) / rate
+
+    # -- message pipeline ----------------------------------------------------
+    #
+    # Send (object engine): conv CPU -> wire -> [2hops nx] -> [nh].
+    # Receive: [nh] -> [2hops nx] -> wire -> conv CPU. Each resource is
+    # claimed at the same instant the object engine claims it; the
+    # *completions* of claimed resources and the pure node-handling
+    # timeouts are priced forward into a single wake.
+
+    def _start_message(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Pick the message direction and enter its first fragment."""
+        actor = self.actors[a]
+        if actor.dir_code != 2:
+            if actor.n_frags > 1:
+                self.frags_left[a][idx] = actor.n_frags
+            if actor.dir_code == 0:
+                self._send_fragment(a, idx, t)
+            else:
+                self._recv_fragment(a, idx, t)
+            return
+        nxt = self.flip[a]
+        out = nxt[idx]
+        nxt[idx] = ~out
+        if actor.n_frags > 1:
+            self.frags_left[a][idx] = actor.n_frags
+            self.cur_out[a][idx] = out
+        n_out = np.count_nonzero(out)
+        if n_out == out.size:
+            self._send_fragment(a, idx, t)
+        elif n_out == 0:
+            self._recv_fragment(a, idx, t)
+        else:
+            self._send_fragment(a, idx[out], t[out])
+            self._recv_fragment(a, idx[~out], t[~out])
+
+    def _start_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Enter the next fragment of an in-flight multi-fragment message."""
+        actor = self.actors[a]
+        if actor.dir_code == 0:
+            self._send_fragment(a, idx, t)
+        elif actor.dir_code == 1:
+            self._recv_fragment(a, idx, t)
+        else:
+            out = self.cur_out[a][idx]
+            n_out = np.count_nonzero(out)
+            if n_out == out.size:
+                self._send_fragment(a, idx, t)
+            elif n_out == 0:
+                self._recv_fragment(a, idx, t)
+            else:
+                self._send_fragment(a, idx[out], t[out])
+                self._recv_fragment(a, idx[~out], t[~out])
+
+    def _send_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        if not self._submit_scalar(self.actors[a].r_conv_s, idx, self.actors[a].conv):
+            # Zero-cost conversion: straight onto the wire.
+            self._send_wire(a, idx, t)
+
+    def _send_wire(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Conversion done: claim the wire now, price the rest forward."""
+        actor = self.actors[a]
+        c1 = np.maximum(t, self.link_free[idx]) + actor.hold
+        self.link_free[idx] = c1
+        if actor.two_hops:
+            # The service node is claimed at wire completion; wake then.
+            self.wait[actor.w_send_nx][idx] = c1
+        else:
+            self.wait[actor.w_frag_end][idx] = c1 + actor.nh
+
+    def _send_nx(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Wire completion (2hops send): claim the service node now."""
+        actor = self.actors[a]
+        c2 = np.maximum(t, self.svc_free[idx]) + actor.nx
+        self.svc_free[idx] = c2
+        self.wait[actor.w_frag_end][idx] = c2 + actor.nh
+
+    def _recv_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        if actor.nh > 0:
+            self.wait[actor.w_recv_claim][idx] = t + actor.nh
+        else:
+            self._recv_claim(a, idx, t)
+
+    def _recv_claim(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Node handling over: claim nx (2hops) or the wire directly."""
+        actor = self.actors[a]
+        if actor.two_hops:
+            c2 = np.maximum(t, self.svc_free[idx]) + actor.nx
+            self.svc_free[idx] = c2
+            self.wait[actor.w_recv_wire][idx] = c2
+        else:
+            self._recv_wire(a, idx, t)
+
+    def _recv_wire(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        cw = np.maximum(t, self.link_free[idx]) + actor.hold
+        self.link_free[idx] = cw
+        self.wait[actor.w_recv_conv][idx] = cw
+
+    def _recv_conv(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        if not self._submit_scalar(self.actors[a].r_conv_r, idx, self.actors[a].conv):
+            self._fragment_done(a, idx, t)
+
+    def _fragment_done(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        if actor.n_frags <= 1:
+            self._message_done(a, idx, t)
+            return
+        left = self.frags_left[a][idx] - 1
+        self.frags_left[a][idx] = left
+        more = left > 0
+        n_more = np.count_nonzero(more)
+        if n_more == more.size:
+            self._start_fragment(a, idx, t)
+        elif n_more:
+            self._start_fragment(a, idx[more], t[more])
+            self._message_done(a, idx[~more], t[~more])
+        else:
+            self._message_done(a, idx, t)
+
+    def _message_done(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        left = self.msgs_left[a][idx] - 1
+        self.msgs_left[a][idx] = left
+        more = left > 0
+        n_more = np.count_nonzero(more)
+        if n_more == more.size:
+            self._start_message(a, idx, t)
+            return
+        if n_more:
+            self._start_message(a, idx[more], t[more])
+            idx, t = idx[~more], t[~more]
+        if actor.kind == _K_BURST:
+            self._finish_lane(idx, t)
+        elif actor.kind == _K_ALT:
+            self._alt_cycle(a, idx, t)
+        else:  # cyclic probe: end of this cycle's messages
+            self._cyclic_next(a, idx, t)
+
+    # -- per-kind cycle logic -------------------------------------------------
+
+    def _alt_cycle(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Start ``alternating`` cycles (draw order: comp work, then budget)."""
+        actor = self.actors[a]
+        pending, tp = idx, t
+        while pending.size:
+            if actor.comp_target > 0:
+                works = self._draw(a, pending, actor.comp_target)
+                instant = self._submit_array(actor.r_comp, pending, works)
+                if instant is None:
+                    break
+                pending, tp = pending[instant], tp[instant]
+                if pending.size == 0:
+                    break
+            if actor.comm_target > 0:
+                self._alt_comm(a, pending, tp)
+                break
+            if actor.comp_target <= 0:  # pragma: no cover - defensive
+                break
+            # Pure-compute contender whose work draw was ~zero: the
+            # object engine loops straight into the next cycle's draw.
+
+    def _alt_comm(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        gens = self.gens[a]
+        msgs = np.empty(idx.size, dtype=np.int64)
+        for j, i in enumerate(idx):
+            budget = gens[i].exponential(actor.comm_target)
+            msgs[j] = max(1, int(round(budget / actor.per_message)))
+        self.msgs_left[a][idx] = msgs
+        self._start_message(a, idx, t)
+
+    def _daemon_sleep(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Draw the daemon's next idle interval and sleep."""
+        actor = self.actors[a]
+        self.wait[actor.w_idle][idx] = t + self._draw(a, idx, actor.interval)
+
+    def _daemon_wake(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        instant = self._submit_array(actor.r_comp, idx, self._draw(a, idx, actor.work))
+        if instant is not None and instant.any():
+            # Zero-length burst: straight to the next interval draw.
+            self._daemon_sleep(a, idx[instant], t[instant])
+
+    def _compute_comp_done(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        self._finish_lane(idx, t)
+
+    def _cyclic_next(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Advance the cyclic probe to its next cycle (or finish)."""
+        actor = self.actors[a]
+        pending, tp = idx, t
+        while pending.size:
+            self.cycles_left[a][pending] -= 1
+            fin = self.cycles_left[a][pending] <= 0
+            if fin.any():
+                self._finish_lane(pending[fin], tp[fin])
+                pending, tp = pending[~fin], tp[~fin]
+                if pending.size == 0:
+                    break
+            if actor.work > 0:
+                if self._submit_scalar(actor.r_comp, pending, actor.work):
+                    break
+            if actor.msgs_per_cycle > 0:
+                self.msgs_left[a][pending] = actor.msgs_per_cycle
+                self._start_message(a, pending, tp)
+                break
+            # Message-free cycle whose comp was instant: fall through to
+            # the next cycle at the same instant (bounded by ``cycles``).
+
+    def _cyclic_after_comp(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        actor = self.actors[a]
+        if actor.msgs_per_cycle > 0:
+            self.msgs_left[a][idx] = actor.msgs_per_cycle
+            self._start_message(a, idx, t)
+        else:
+            self._cyclic_next(a, idx, t)
+
+    def _finish_lane(self, idx: np.ndarray, t: np.ndarray) -> None:
+        self.result[idx] = t
+        self.active[idx] = False
+        self.inactive[idx] = True
+
+    # -- driver ----------------------------------------------------------------
+
+    def init(self) -> None:
+        """Run every actor's first step at t = 0 (spawn order)."""
+        t0 = np.zeros(self.n)
+        all_lanes = np.arange(self.n)
+        for a, actor in enumerate(self.actors):
+            if actor.kind == _K_DAEMON:
+                self._daemon_sleep(a, all_lanes, t0)
+            elif actor.kind == _K_ALT:
+                self._alt_cycle(a, all_lanes, t0)
+            elif actor.kind == _K_BURST:
+                self.msgs_left[a][all_lanes] = actor.count
+                self._start_message(a, all_lanes, t0)
+            elif actor.kind == _K_COMPUTE:
+                if not self._submit_scalar(actor.r_comp, all_lanes, actor.work):
+                    self._finish_lane(all_lanes, t0)
+            else:
+                self.cycles_left[a][all_lanes] = actor.cycles + 1
+                self._cyclic_next(a, all_lanes, t0)
+        self._recompute(t0)
+
+    def run(self, max_iters: int = 50_000_000) -> np.ndarray:
+        self.init()
+        wait = self.wait
+        t_cpu = self.t_cpu
+        active = self.active
+        pending = self.pending
+        wait_rows = self.wait_rows
+        cpu_rows = self.cpu_rows
+        iters = 0
+        while True:
+            iters += 1
+            if iters > max_iters:
+                active.fill(False)
+                self.inactive.fill(True)
+                break
+            if wait.shape[0]:
+                t_next = wait.min(axis=0)
+                np.minimum(t_next, t_cpu, out=t_next)
+            else:  # wait-free scenario (e.g. a bare compute probe)
+                t_next = t_cpu.copy()
+            t_next[self.inactive] = np.nan
+            finite = np.isfinite(t_next)
+            if not finite.any():
+                # Every lane is finished (or, defensively, stalled with
+                # no scheduled event — those keep their NaN result).
+                active.fill(False)
+                self.inactive.fill(True)
+                break
+            t_next[~finite] = np.nan
+            # Every lane with an event sits exactly at its own ``t_next``:
+            # advance all virtual service clocks in one sweep (one wake of
+            # the fluid scheduler per lane, amortized across every state
+            # change this iteration performs at that instant).
+            fidx = finite.nonzero()[0]
+            self.vtime[fidx] += (t_next[fidx] - self.eps_t0[fidx]) * self.eps_rate[fidx]
+            self.eps_t0[fidx] = t_next[fidx]
+            # Settle lanes whose sharing horizon fires at their next instant.
+            hidx = (t_cpu == t_next).nonzero()[0]
+            if hidx.size:
+                self._complete_at_horizon(hidx)
+            # Wake events, then the horizon's CPU completions, in spawn
+            # order. The due matrix is computed before any handler runs:
+            # handlers only ever reschedule their own actor's rows, and
+            # never to the current instant (all zero-length waits are
+            # collapsed inline), so the snapshot stays exact. Inactive
+            # lanes carry a NaN ``t_next`` and can never be due; the rare
+            # same-instant tie with a lane the probe just finished is
+            # processed harmlessly — the lane's result is already
+            # recorded and its next ``t_next`` is NaN.
+            dm = wait == t_next
+            for r in dm.any(axis=1).nonzero()[0]:
+                due = dm[r].nonzero()[0]
+                wait[r][due] = np.inf
+                a, fn = wait_rows[r]
+                fn(a, due, t_next[due])
+            for r, bucket in enumerate(pending):
+                if bucket:
+                    pending[r] = []
+                    idx = bucket[0] if len(bucket) == 1 else np.unique(np.concatenate(bucket))
+                    a, fn = cpu_rows[r]
+                    fn(a, idx, t_next[idx])
+            self._recompute(t_next)
+        return self.result
+
+
+def run_lanes(
+    spec: "SunParagonSpec",
+    contenders: Sequence[VectorContender],
+    probe: _Probe,
+    lane_seeds: Sequence[int],
+    max_iters: int = 50_000_000,
+) -> np.ndarray:
+    """Run one scenario across many lanes; per-lane probe elapsed times.
+
+    *lane_seeds* are the per-replication master seeds (the object path's
+    ``RandomStreams(seed).fork(k).seed``). Lanes that fail to finish
+    (event-cap breach or a stall) come back as NaN for the caller to
+    quarantine — a bad lane degrades the batch, it does not poison it.
+    """
+    reason = unsupported_reason(spec, contenders, probe)
+    if reason is not None:
+        raise WorkloadError(f"vector backend cannot run this scenario: {reason}")
+    if len(lane_seeds) == 0:
+        return np.empty(0)
+    actors = _compile_actors(spec, contenders, probe)
+    lanes = _Lanes(spec, actors, lane_seeds)
+    return lanes.run(max_iters=max_iters)
