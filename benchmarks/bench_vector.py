@@ -12,21 +12,35 @@ width) and contender count (row count).
 
 from __future__ import annotations
 
+import os
 import time
 
 from conftest import run_once
 
 from repro.core.workload import ApplicationProfile
 from repro.experiments.simulate import BurstProbe, SimSpec, simulate
-from repro.platforms.specs import CpuSpec, SunParagonSpec
+from repro.platforms.specs import CpuSpec, DEFAULT_SUNPARAGON, SunParagonSpec
 
 _PS_SPEC = SunParagonSpec(cpu=CpuSpec(discipline="ps"))
 
 
-def _scenario(contenders: int = 2) -> SimSpec:
+def _floor(env: str, default: float) -> float:
+    """Speedup floor for an acceptance assertion, overridable via *env*.
+
+    CI hosts with background load can depress the object-loop side of
+    the ratio less than the vector side; the env var lets a constrained
+    runner relax (or a dedicated box tighten) the floor without editing
+    the benchmark.
+    """
+    raw = os.environ.get(env, "").strip()
+    return float(raw) if raw else default
+
+
+def _scenario(contenders: int = 2, discipline: str = "ps") -> SimSpec:
     fractions = (0.25, 0.76, 0.5, 0.9)
+    platform = DEFAULT_SUNPARAGON if discipline == "rr" else _PS_SPEC
     return SimSpec(
-        platform=_PS_SPEC,
+        platform=platform,
         probe=BurstProbe(1024, 150, "out"),
         contenders=tuple(
             ApplicationProfile(f"c{i}", comm_fraction=fractions[i % 4], message_size=200)
@@ -57,9 +71,17 @@ def test_object_loop_reps256(benchmark):
     run_once(benchmark, _batch, _scenario(), 256, "object")
 
 
-def test_vector_speedup_at_256():
-    """The acceptance floor: vector >= 10x object at 256 replications."""
-    spec = _scenario()
+def test_rr_vector_batch_reps256(benchmark):
+    run_once(benchmark, _batch, _scenario(discipline="rr"), 256, "vector")
+
+
+def test_rr_object_loop_reps256(benchmark):
+    run_once(benchmark, _batch, _scenario(discipline="rr"), 256, "object")
+
+
+def _speedup_at_256(discipline: str, env: str, default: float) -> None:
+    floor = _floor(env, default)
+    spec = _scenario(discipline=discipline)
     _batch(spec, 256, "vector")  # warm caches before timing
 
     t0 = time.perf_counter()
@@ -72,7 +94,83 @@ def test_vector_speedup_at_256():
 
     assert abs(vec_mean - obj_mean) <= 1e-9 * max(1.0, abs(obj_mean))
     speedup = object_s / vector_s
-    assert speedup >= 10.0, (
-        f"vector batch only {speedup:.1f}x faster than the object loop "
-        f"({vector_s:.3f}s vs {object_s:.3f}s at 256 replications)"
+    assert speedup >= floor, (
+        f"{discipline} vector batch only {speedup:.1f}x faster than the object "
+        f"loop ({vector_s:.3f}s vs {object_s:.3f}s at 256 replications; "
+        f"floor {floor:g}x, override with ${env})"
+    )
+
+
+def test_vector_speedup_at_256():
+    """The acceptance floor: vector >= 10x object at 256 replications."""
+    _speedup_at_256("ps", "REPRO_BENCH_VECTOR_FLOOR", 10.0)
+
+
+def test_rr_vector_speedup_at_256():
+    """Round-robin floor. RR carries a lower floor than PS because the
+    object-engine oracle it races is itself epoch-skipping (closed-form
+    ``_RRPlan`` horizons), so the per-replication python loop the vector
+    backend amortizes is already cheap; measured headroom on a one-core
+    runner is ~5x (see docs/performance.md)."""
+    _speedup_at_256("rr", "REPRO_BENCH_RR_FLOOR", 4.0)
+
+
+# Sweep-lane amortization needs width: the iteration count of a mixed
+# batch is the union of the points' event patterns (roughly constant in
+# reps), so the ratio climbs with replications until the RR core bound.
+# 96 reps sits on the flat part of that curve (24 reps measures the
+# fragmented regime instead: ~2x).
+_FIG5_REPS = 96
+
+
+def _fig5_points() -> list[SimSpec]:
+    # Mirrors the fig5 sweep shape: one burst-probe point per message
+    # size against the default (rr) SunParagon platform.
+    sizes = (16, 64, 128, 256, 512, 1024, 2048)
+    contenders = (ApplicationProfile("c76", comm_fraction=0.76, message_size=200),)
+    return [
+        SimSpec(
+            platform=DEFAULT_SUNPARAGON,
+            probe=BurstProbe(size, 200, "out"),
+            contenders=contenders,
+        )
+        for size in sizes
+    ]
+
+
+def _sweep_batch(points: list[SimSpec], reps: int) -> list[float]:
+    batch = simulate(sweep=points, reps=reps, seed=42, backend="vector")
+    assert all(r.backend == "vector" and r.fallback_reason is None for r in batch)
+    return [r.mean for r in batch]
+
+
+def test_fig5_sweep_batch(benchmark):
+    run_once(benchmark, _sweep_batch, _fig5_points(), _FIG5_REPS)
+
+
+def test_fig5_sweep_speedup():
+    """Sweep-level lanes >= 5x over the per-point object path on a
+    fig5-shaped sweep (7 sizes x 96 replications)."""
+    floor = _floor("REPRO_BENCH_SWEEP_FLOOR", 5.0)
+    points = _fig5_points()
+    _sweep_batch(points, _FIG5_REPS)  # warm caches before timing
+
+    t0 = time.perf_counter()
+    sweep_means = _sweep_batch(points, _FIG5_REPS)
+    sweep_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    object_means = [
+        simulate(sp, reps=_FIG5_REPS, seed=42, backend="object").mean
+        for sp in points
+    ]
+    object_s = time.perf_counter() - t0
+
+    for sm, om in zip(sweep_means, object_means):
+        assert abs(sm - om) <= 1e-9 * max(1.0, abs(om))
+    speedup = object_s / sweep_s
+    assert speedup >= floor, (
+        f"sweep-lane batch only {speedup:.1f}x faster than the per-point "
+        f"object path ({sweep_s:.3f}s vs {object_s:.3f}s; floor {floor:g}x, "
+        f"override with $REPRO_BENCH_SWEEP_FLOOR)"
     )

@@ -37,9 +37,10 @@ from pathlib import Path
 #: Benchmarks the guard watches: the DES kernel micro-benches, the
 #: vectorized prediction-kernel benches, the fleet-service hot paths
 #: (placement queries and event churn at 100k-app scale), and the
-#: vector Monte-Carlo batch at 256 replications (guarded together with
-#: its object-loop counterpart so the >= 10x speedup ratio stays
-#: visible and honest in ``BENCH_perf.json``).
+#: vector Monte-Carlo batches at 256 replications — PS and RR
+#: disciplines plus the fig5-shaped sweep batch, each guarded together
+#: with an object-loop counterpart so the speedup ratios stay visible
+#: and honest in ``BENCH_perf.json``.
 GUARDED = (
     "test_event_throughput",
     "test_event_throughput_traced",
@@ -52,6 +53,9 @@ GUARDED = (
     "test_fleet_event_churn",
     "test_vector_batch_reps256",
     "test_object_loop_reps256",
+    "test_rr_vector_batch_reps256",
+    "test_rr_object_loop_reps256",
+    "test_fig5_sweep_batch",
 )
 
 #: Benchmark files that contain the guarded benches (what --fresh-less

@@ -397,20 +397,23 @@ def _fig56(
     slowdown = paragon_comm_slowdown(list(contenders), cal.delay_comp, cal.delay_comm)
     params = cal.params_out if direction == "out" else cal.params_in
 
-    rows, actuals, models = [], [], []
-    for size in sizes:
-        rep = simulate(
-            SimSpec(
-                platform=spec,
-                probe=BurstProbe(size, count, direction),
-                contenders=tuple(contenders),
-                mode=cal.mode,
-            ),
-            reps=repetitions,
-            seed=seed,
-            workers=workers,
-            backend=backend,
+    # One sweep call: every size's replications become lanes of a single
+    # ragged vector batch instead of one batch per size.
+    points = [
+        SimSpec(
+            platform=spec,
+            probe=BurstProbe(size, count, direction),
+            contenders=tuple(contenders),
+            mode=cal.mode,
         )
+        for size in sizes
+    ]
+    reps_by_size = simulate(
+        sweep=points, reps=repetitions, seed=seed, workers=workers, backend=backend
+    )
+
+    rows, actuals, models = [], [], []
+    for size, rep in zip(sizes, reps_by_size):
         dcomm = dedicated_comm_cost([DataSet(count=count, size=float(size))], params)
         model = predict_comm_cost(dcomm, slowdown)
         rows.append((size, dcomm, rep.mean, rep.std, model, pct_error(rep.mean, model)))
@@ -537,22 +540,23 @@ def _fig78(
         max(p.message_size for p in contenders)
     )
 
+    points = [
+        SimSpec(
+            platform=spec,
+            probe=ComputeProbe(sor_sun_work(m, _SOR_ITERATIONS, spec)),
+            contenders=tuple(contenders),
+            mode=cal.mode,
+        )
+        for m in sizes
+    ]
+    reps_by_m = simulate(
+        sweep=points, reps=repetitions, seed=seed, workers=workers, backend=backend
+    )
+
     rows = []
     actuals: list[float] = []
     models: dict[int, list[float]] = {j: [] for j in buckets}
-    for m in sizes:
-        rep = simulate(
-            SimSpec(
-                platform=spec,
-                probe=ComputeProbe(sor_sun_work(m, _SOR_ITERATIONS, spec)),
-                contenders=tuple(contenders),
-                mode=cal.mode,
-            ),
-            reps=repetitions,
-            seed=seed,
-            workers=workers,
-            backend=backend,
-        )
+    for m, rep in zip(sizes, reps_by_m):
         dcomp = sor_sun_work(m, _SOR_ITERATIONS, spec)
         row: list = [m, dcomp, rep.mean]
         for j in buckets:

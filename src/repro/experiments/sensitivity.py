@@ -87,15 +87,12 @@ def cycle_length_sensitivity(
     dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
     model = dcomm * slowdown
 
+    points = [_burst_point(spec, contenders, cycle, size, count) for cycle in cycles]
+    reps_by_cycle = simulate(
+        sweep=points, reps=repetitions, seed=seed, workers=workers, backend=backend
+    )
     rows = []
-    for cycle in cycles:
-        rep = simulate(
-            _burst_point(spec, contenders, cycle, size, count),
-            reps=repetitions,
-            seed=seed,
-            workers=workers,
-            backend=backend,
-        )
+    for cycle, rep in zip(cycles, reps_by_cycle):
         rows.append((cycle, rep.mean, rep.std, rep.cv, model, pct_error(rep.mean, model)))
 
     cvs = [row[3] for row in rows]
@@ -133,19 +130,19 @@ def fraction_sensitivity(
         fractions = tuple(fractions)[::2]
         count, repetitions = 300, 2
     cal = calibrate_paragon(spec)
+    points = [
+        _burst_point(spec, [ApplicationProfile("c", fraction, 200)], 0.25, size, count)
+        for fraction in fractions
+    ]
+    reps_by_fraction = simulate(
+        sweep=points, reps=repetitions, seed=seed, workers=workers, backend=backend
+    )
     rows, errs = [], []
-    for fraction in fractions:
+    for fraction, rep in zip(fractions, reps_by_fraction):
         contenders = [ApplicationProfile("c", fraction, 200)]
         slowdown = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
         dcomm = dedicated_comm_cost([DataSet(count, float(size))], cal.params_out)
         model = dcomm * slowdown
-        rep = simulate(
-            _burst_point(spec, contenders, 0.25, size, count),
-            reps=repetitions,
-            seed=seed,
-            workers=workers,
-            backend=backend,
-        )
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
         rows.append((fraction, rep.mean, model, err))
@@ -289,7 +286,7 @@ def mixed_workload_experiment(
     comm_slow = paragon_comm_slowdown(contenders, cal.delay_comp, cal.delay_comm)
 
     per_message_dedicated = cal.params_out.message_time(message_size)
-    rows, errs = [], []
+    points, models_info = [], []
     for share in comm_shares:
         comp_per_cycle = total_comp * (1.0 - share) / cycles
         # Choose the per-cycle message count so the *dedicated* comm
@@ -307,17 +304,23 @@ def mixed_workload_experiment(
         dcomm_in = dedicated_comm_cost([DataSet(n_in, float(message_size))], cal.params_in)
         dcomp = comp_per_cycle * cycles
         model = predict_mixed_time(dcomp, dcomm_out, dcomm_in, comp_slow, comm_slow)
-
-        point = SimSpec(
-            platform=spec,
-            probe=CyclicProbe(cycles, comp_per_cycle, messages_per_cycle, float(message_size)),
-            contenders=tuple(contenders),
-            stream_prefix="c",
+        models_info.append((share, dcomp + dcomm_out + dcomm_in, model))
+        points.append(
+            SimSpec(
+                platform=spec,
+                probe=CyclicProbe(cycles, comp_per_cycle, messages_per_cycle, float(message_size)),
+                contenders=tuple(contenders),
+                stream_prefix="c",
+            )
         )
-        rep = simulate(point, reps=repetitions, seed=seed, workers=workers, backend=backend)
+    reps_by_share = simulate(
+        sweep=points, reps=repetitions, seed=seed, workers=workers, backend=backend
+    )
+    rows, errs = [], []
+    for (share, dedicated, model), rep in zip(models_info, reps_by_share):
         err = pct_error(rep.mean, model)
         errs.append(abs(err))
-        rows.append((share, dcomp + dcomm_out + dcomm_in, rep.mean, model, err))
+        rows.append((share, dedicated, rep.mean, model, err))
 
     return ExperimentResult(
         experiment="mixed_workload",

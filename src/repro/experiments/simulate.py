@@ -39,6 +39,7 @@ lane, a fault-injected NaN) is masked into
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Union
 
@@ -57,6 +58,7 @@ from .runner import Replication, _ReplicationTask
 
 __all__ = [
     "BACKEND_ENV",
+    "SWEEP_ENV",
     "BatchResult",
     "BurstProbe",
     "ComputeProbe",
@@ -68,6 +70,11 @@ __all__ = [
 
 #: Environment variable consulted when ``simulate(backend=None)``.
 BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Set to ``"0"`` to disable sweep-level lane batching: ``simulate(sweep=...)``
+#: then runs one per-point batch per spec (bit-identical values, more
+#: batches). The smoke suite uses this to prove the equivalence.
+SWEEP_ENV = "REPRO_SIM_SWEEP"
 
 _BACKENDS = ("vector", "object")
 
@@ -204,6 +211,7 @@ def _vector_workload(spec: SimSpec):
             mean_cycle=spec.mean_cycle,
             direction=spec.contender_direction,
             mode=spec.mode,
+            tag=prof.name,
         )
         for k, prof in enumerate(spec.contenders)
     )
@@ -288,6 +296,33 @@ def resolve_backend(backend: str | None = None) -> str:
     return backend
 
 
+def _fallback_label(reason: str) -> str:
+    """A short metric label for a fallback *reason* string.
+
+    ``simulate.fallback`` counts every fallback;
+    ``simulate.fallback.<label>`` splits the total by cause so a
+    metrics snapshot shows *why* batches left the vector path
+    (``fcfs_discipline``, ``opaque_measure``, ``platform``, ...).
+    """
+    if "opaque measure" in reason:
+        return "opaque_measure"
+    m = re.search(r"cpu discipline '(\w+)'", reason)
+    if m:
+        return f"{m.group(1)}_discipline"
+    if "platform spec" in reason:
+        return "platform"
+    if "service_node_capacity" in reason:
+        return "service_capacity"
+    if "probe" in reason:
+        return "probe"
+    return "other"
+
+
+def _count_fallback(reason: str) -> None:
+    _obs.inc("simulate.fallback")
+    _obs.inc(f"simulate.fallback.{_fallback_label(reason)}")
+
+
 def _collect(raw: list) -> dict:
     """Split raw per-replication outcomes into values vs quarantined.
 
@@ -329,6 +364,40 @@ class _VectorLaneChunk:
         base = RandomStreams(self.seed)
         lane_seeds = [base.fork(k).seed for k in range(start, stop)]
         out = _vector.run_lanes(self.spec.platform, contenders, probe, lane_seeds)
+        return [float(v) for v in out]
+
+
+@dataclass(frozen=True)
+class _SweepLaneChunk:
+    """Picklable sweep-batch task: run flat lanes ``[start, stop)``.
+
+    The flat lane index is point-major (``flat = point * reps + k``) and
+    lane *k* of every point seeds itself from ``(seed, k)`` alone, so
+    any chunking — across workers or across the sweep/per-point paths —
+    yields bit-identical per-lane results.
+    """
+
+    specs: tuple[SimSpec, ...]
+    seed: int
+    reps: int
+
+    def __call__(self, bounds: tuple[int, int]) -> list[float]:
+        start, stop = bounds
+        base = RandomStreams(self.seed)
+        cache: dict[SimSpec, _vector.SweepPoint] = {}
+        points: list[_vector.SweepPoint] = []
+        lane_seeds: list[int] = []
+        for flat in range(start, stop):
+            pi, k = divmod(flat, self.reps)
+            sp = self.specs[pi]
+            pt = cache.get(sp)
+            if pt is None:
+                contenders, probe, _ = _vector_workload(sp)
+                pt = _vector.SweepPoint(sp.platform, contenders, probe)
+                cache[sp] = pt
+            points.append(pt)
+            lane_seeds.append(base.fork(k).seed)
+        out = _vector.run_sweep(points, lane_seeds)
         return [float(v) for v in out]
 
 
@@ -397,81 +466,10 @@ def _object_batch(
 # ---------------------------------------------------------------------------
 
 
-def simulate(
-    spec: SimSpec | Callable[[RandomStreams], float],
-    *,
-    reps: int = 3,
-    seed: int = 0,
-    backend: str | None = None,
-    workers: int = 1,
-    retry_attempts: int = 1,
-    retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
-    policy: FailurePolicy | None = None,
+def _finish_batch(
+    data: dict, requested: str, chosen: str, reason: str | None, seed: int, reps: int
 ) -> BatchResult:
-    """Run *reps* independent replications of *spec*; summarize.
-
-    Parameters
-    ----------
-    spec:
-        Either a declarative :class:`SimSpec` (runs on the requested
-        backend) or a measure callable ``measure(streams) -> float``
-        (opaque, always runs on the object backend).
-    reps:
-        Replication count; replication *k* draws all randomness from
-        ``RandomStreams(seed).fork(k)`` on both backends.
-    backend:
-        ``"vector"`` or ``"object"``; ``None`` consults
-        ``$REPRO_SIM_BACKEND`` and then defaults to ``"vector"``.
-        A vector request the engine cannot honor (opaque measure,
-        non-PS discipline, unknown platform/probe) falls back to the
-        object engine — counted on the ``simulate.fallback`` metric
-        and recorded in :attr:`BatchResult.fallback_reason`.
-    workers:
-        Process-pool width. The vector backend splits the lane range
-        into contiguous chunks; the object backend fans out single
-        replications. Values are bit-identical at any width.
-    retry_attempts / retry_on / policy:
-        Object-backend replication retry and containment knobs, exactly
-        as :func:`~repro.experiments.runner.repeat_mean` took them.
-        The vector backend runs to completion in one pass and ignores
-        them (a quarantined lane surfaces as a quarantined
-        replication, not a retry).
-    """
-    if reps < 1:
-        raise ValueError(f"reps must be >= 1, got {reps!r}")
-    requested = resolve_backend(backend)
-    chosen, reason = requested, None
-
-    if isinstance(spec, SimSpec):
-        measure: Callable[[RandomStreams], float] = _SpecMeasure(spec)
-        if requested == "vector":
-            contenders, probe, reason = _vector_workload(spec)
-            if reason is None:
-                reason = _vector.unsupported_reason(spec.platform, contenders, probe)
-            if reason is not None:
-                chosen = "object"
-    else:
-        measure = spec
-        if requested == "vector":
-            chosen = "object"
-            reason = "opaque measure callable (vector backend needs a SimSpec)"
-
-    if chosen != requested:
-        _obs.inc("simulate.fallback")
-
-    if chosen == "vector":
-        data = _vector_batch(spec, reps=reps, seed=seed, workers=workers)
-    else:
-        data = _object_batch(
-            measure,
-            reps=reps,
-            seed=seed,
-            retry_attempts=retry_attempts,
-            retry_on=retry_on,
-            workers=workers,
-            policy=policy,
-        )
-
+    """Mask, stamp and wrap one batch's raw data into a :class:`BatchResult`."""
     # Defensive re-mask for values replayed from pre-fix journals.
     values: list[float] = []
     quarantined = [
@@ -507,3 +505,221 @@ def simulate(
         reps=int(reps),
         manifest=manifest,
     )
+
+
+def simulate(
+    spec: SimSpec | Callable[[RandomStreams], float] | None = None,
+    *,
+    sweep: "list[SimSpec] | tuple[SimSpec, ...] | None" = None,
+    reps: int = 3,
+    seed: int = 0,
+    backend: str | None = None,
+    workers: int = 1,
+    retry_attempts: int = 1,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = ReproError,
+    policy: FailurePolicy | None = None,
+):
+    """Run *reps* independent replications of *spec* (or each sweep point).
+
+    Parameters
+    ----------
+    spec:
+        Either a declarative :class:`SimSpec` (runs on the requested
+        backend) or a measure callable ``measure(streams) -> float``
+        (opaque, always runs on the object backend).
+    sweep:
+        Instead of one *spec*, a list of :class:`SimSpec` points; the
+        return value is then a ``list[BatchResult]`` in point order,
+        each exactly what ``simulate(point, ...)`` returns. On the
+        vector backend the points' replications become *lanes of a
+        single ragged batch* (grouped by probe type and CPU
+        discipline), so a whole figure sweep costs a handful of array
+        passes instead of one batch per point. Points the vector
+        engine cannot cover fall back per point; setting
+        ``$REPRO_SIM_SWEEP=0`` disables the batching entirely
+        (bit-identical values either way). Mutually exclusive with
+        *spec*.
+    reps:
+        Replication count; replication *k* draws all randomness from
+        ``RandomStreams(seed).fork(k)`` on both backends.
+    backend:
+        ``"vector"`` or ``"object"``; ``None`` consults
+        ``$REPRO_SIM_BACKEND`` and then defaults to ``"vector"``.
+        A vector request the engine cannot honor (opaque measure,
+        unsupported discipline, unknown platform/probe) falls back to
+        the object engine — counted on the ``simulate.fallback``
+        metric (split by cause as ``simulate.fallback.<label>``) and
+        recorded in :attr:`BatchResult.fallback_reason`.
+    workers:
+        Process-pool width. The vector backend splits the lane range
+        into contiguous chunks; the object backend fans out single
+        replications. Values are bit-identical at any width.
+    retry_attempts / retry_on / policy:
+        Object-backend replication retry and containment knobs, exactly
+        as :func:`~repro.experiments.runner.repeat_mean` took them.
+        The vector backend runs to completion in one pass and ignores
+        them (a quarantined lane surfaces as a quarantined
+        replication, not a retry).
+    """
+    if (spec is None) == (sweep is None):
+        raise ValueError("simulate() takes exactly one of spec= or sweep=")
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps!r}")
+    if sweep is not None:
+        return _simulate_sweep(
+            list(sweep),
+            reps=reps,
+            seed=seed,
+            backend=backend,
+            workers=workers,
+            retry_attempts=retry_attempts,
+            retry_on=retry_on,
+            policy=policy,
+        )
+    requested = resolve_backend(backend)
+    chosen, reason = requested, None
+
+    if isinstance(spec, SimSpec):
+        measure: Callable[[RandomStreams], float] = _SpecMeasure(spec)
+        if requested == "vector":
+            contenders, probe, reason = _vector_workload(spec)
+            if reason is None:
+                reason = _vector.unsupported_reason(spec.platform, contenders, probe)
+            if reason is not None:
+                chosen = "object"
+    else:
+        measure = spec
+        if requested == "vector":
+            chosen = "object"
+            reason = "opaque measure callable (vector backend needs a SimSpec)"
+
+    if chosen != requested:
+        _count_fallback(reason)
+
+    if chosen == "vector":
+        data = _vector_batch(spec, reps=reps, seed=seed, workers=workers)
+    else:
+        data = _object_batch(
+            measure,
+            reps=reps,
+            seed=seed,
+            retry_attempts=retry_attempts,
+            retry_on=retry_on,
+            workers=workers,
+            policy=policy,
+        )
+    return _finish_batch(data, requested, chosen, reason, seed, reps)
+
+
+def _simulate_sweep(
+    points: list,
+    *,
+    reps: int,
+    seed: int,
+    backend: str | None,
+    workers: int,
+    retry_attempts: int,
+    retry_on,
+    policy: FailurePolicy | None,
+) -> list[BatchResult]:
+    """Sweep-level lanes: every point's replications in shared batches.
+
+    Vector-eligible points are grouped by ``(probe type, discipline)``
+    — the uniformity :func:`repro.sim.vector.run_sweep` needs — and
+    each group runs as one ragged batch of ``points × reps`` lanes.
+    Because lanes are bitwise independent and lane *k* of a point seeds
+    itself from ``(seed, k)`` alone, every point's values are identical
+    to a standalone ``simulate(point, ...)`` call; journal keys are the
+    per-point keys, so sweep-batched and per-point runs replay each
+    other's journals.
+    """
+
+    def per_point(sp) -> BatchResult:
+        return simulate(
+            sp,
+            reps=reps,
+            seed=seed,
+            backend=backend,
+            workers=workers,
+            retry_attempts=retry_attempts,
+            retry_on=retry_on,
+            policy=policy,
+        )
+
+    requested = resolve_backend(backend)
+    if requested != "vector" or os.environ.get(SWEEP_ENV, "").strip() == "0":
+        return [per_point(sp) for sp in points]
+
+    results: list[BatchResult | None] = [None] * len(points)
+    eligible: list[int] = []
+    for i, sp in enumerate(points):
+        if isinstance(sp, SimSpec):
+            contenders, probe, reason = _vector_workload(sp)
+            if reason is None:
+                reason = _vector.unsupported_reason(sp.platform, contenders, probe)
+            if reason is None:
+                eligible.append(i)
+                continue
+        # Uncovered point: the scalar path handles fallback counting,
+        # journaling and manifests exactly as a standalone call would.
+        results[i] = per_point(sp)
+
+    # Journal peek: replay completed points, batch only the misses.
+    journal = _journal.active()
+    data: dict[int, dict] = {}
+    keyed: dict[int, tuple[str, dict]] = {}
+    misses: list[int] = []
+    for i in eligible:
+        if journal is not None:
+            description = _journal.describe_task(points[i])
+            if description is not None:
+                params = {
+                    "spec": description,
+                    "backend": "vector",
+                    "reps": int(reps),
+                    "seed": int(seed),
+                }
+                key = _journal.point_key("simulate", params)
+                keyed[i] = (key, params)
+                found, value = journal.lookup(key)
+                if found:
+                    journal.hits += 1
+                    _obs.inc("journal.hits")
+                    data[i] = value
+                    continue
+        misses.append(i)
+
+    groups: dict[tuple, list[int]] = {}
+    for i in misses:
+        sp = points[i]
+        groups.setdefault(
+            (type(sp.probe).__name__, sp.platform.cpu.discipline), []
+        ).append(i)
+
+    for group in groups.values():
+        task = _SweepLaneChunk(
+            specs=tuple(points[i] for i in group), seed=int(seed), reps=int(reps)
+        )
+        total = len(group) * reps
+        width = max(1, min(int(workers), total))
+        size = -(-total // width)
+        bounds = [(s, min(s + size, total)) for s in range(0, total, size)]
+        with _obs.span(
+            "simulate.sweep", kind="experiment", points=len(group), reps=reps
+        ) as sp_:
+            chunks = ParallelExecutor(workers=width).map(task, bounds)
+            raw = [v for chunk in chunks for v in chunk]
+            sp_.set("lanes", len(raw))
+        for j, i in enumerate(group):
+            d = _collect(raw[j * reps : (j + 1) * reps])
+            _obs.inc("experiment.replications", reps)
+            if journal is not None and i in keyed:
+                journal.misses += 1
+                _obs.inc("journal.misses")
+                key, params = keyed[i]
+                d = journal.record(key, "simulate", params, d)
+            data[i] = d
+
+    for i in eligible:
+        results[i] = _finish_batch(data[i], requested, "vector", None, seed, reps)
+    return results

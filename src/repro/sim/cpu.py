@@ -53,12 +53,34 @@ from .engine import Event, Simulator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..reliability.faults import CpuFaultModel
 
-__all__ = ["TimeSharedCPU"]
+__all__ = ["TimeSharedCPU", "EPSILON", "rr_completion_slices"]
 
 #: Completion tolerance, in seconds of residual work, below which a job
 #: is considered finished (guards against float round-off in the fluid
 #: processor-sharing updates).
 _EPSILON = 1e-12
+
+#: Public alias: the vector backend (`repro.sim.vector`) mirrors the
+#: plan arithmetic below and must share the exact tolerance.
+EPSILON = _EPSILON
+
+
+def rr_completion_slices(remaining: float, slice_work: float) -> "tuple[int, float]":
+    """Closed form for one RR rotation candidate: ``(n, work_f)``.
+
+    ``n`` is the number of full-quantum slices (of ``slice_work``
+    dedicated-CPU seconds each) the job needs before it completes, and
+    ``work_f`` the work done in the final, possibly partial slice. The
+    vector backend reuses this exact arithmetic in array form; keep the
+    operation order in sync with its mirror in `repro.sim.vector`.
+    """
+    n = ceil((remaining - _EPSILON) / slice_work)
+    if n < 1:
+        n = 1
+    work_f = remaining - (n - 1) * slice_work
+    if work_f > slice_work:
+        work_f = slice_work
+    return n, work_f
 
 
 class _Job:
@@ -594,12 +616,7 @@ class TimeSharedCPU:
                 rem = j.remaining - (charge_work if j is head else 0.0)
                 if rem <= _EPSILON:  # pragma: no cover - defensive
                     continue
-                n = ceil((rem - _EPSILON) / wq)
-                if n < 1:
-                    n = 1
-                work_f = rem - (n - 1) * wq
-                if work_f > wq:
-                    work_f = wq
+                n, work_f = rr_completion_slices(rem, wq)
                 s = start1[k] if n == 1 else start2[k] + (n - 2) * p.r
                 key = (s + work_f / cap, s, k)
                 if best_key is None or key < best_key:

@@ -2,12 +2,12 @@
 
 The event-horizon kernel (see :mod:`repro.sim.cpu`) made one run
 O(#arrivals); this module makes *many runs at once* cheap. N independent
-replications of a Sun/Paragon contention scenario are laid out as
-arrays of per-lane clocks, fluid-sharing epoch states and link-horizon
-completions, and all lanes advance together: each iteration takes every
-live lane to its own next event instant and applies the state
-transitions with a handful of NumPy ops, instead of dispatching Python
-simulation objects per run.
+lanes — replications of one scenario, or *different sweep points* of a
+figure batched side by side — are laid out as arrays of per-lane
+clocks, CPU epoch states and link-horizon completions, and all lanes
+advance together: each iteration takes every live lane to its own next
+event instant and applies the state transitions with a handful of NumPy
+ops, instead of dispatching Python simulation objects per run.
 
 Three structural tricks keep the per-event cost at array-op scale:
 
@@ -18,11 +18,16 @@ Three structural tricks keep the per-event cost at array-op scale:
   *claimed* at exactly the instants the object engine claims them —
   the wire at conversion completion, the service node at wire
   completion — so FIFO horizons are identical.
-* **Virtual-time fluid sharing.** Instead of charging every running
-  job at every settle, each lane carries a virtual service clock ``V``
-  (``dV = rate · dt``) and each job a completion target
-  ``finish_v = V(submit) + work``; jobs can only complete at a lane's
-  epoch horizon, where ``finish_v - V <= eps`` is checked once.
+* **Closed-form CPU epochs.** Both front-end disciplines advance in
+  epochs, never per-quantum or per-charge. The fluid ``ps`` limit
+  carries a virtual service clock ``V`` (``dV = rate · dt``) and each
+  job a target ``finish_v = V(submit) + work``; the ``rr`` discipline
+  ports the object engine's :class:`~repro.sim.cpu._RRPlan` closed
+  forms (head slice, one switch-patterned cycle, affine slice starts,
+  integer rotation skips) to per-lane arrays, sharing
+  :data:`repro.sim.cpu.EPSILON` and the
+  :func:`repro.sim.cpu.rr_completion_slices` arithmetic operation for
+  operation.
 * **A row per (actor, event class).** Waits and CPU jobs live in
   ``(rows, lanes)`` matrices whose row *identity* names the handler —
   "contender 1's send conversion finished", "the probe's node handling
@@ -30,25 +35,36 @@ Three structural tricks keep the per-event cost at array-op scale:
   and there is no per-event phase bookkeeping at all. ``inf`` encodes
   "nothing scheduled" in both matrices.
 
+Sweep-level lanes
+-----------------
+Every per-actor constant is a *per-lane* array, so one batch can mix
+heterogeneous points: :func:`run_sweep` takes one :class:`SweepPoint`
+per lane (platform spec + contenders + probe) and pads ragged batches —
+points with fewer contenders, or without the OS daemon — with absent
+actors whose rows simply stay ``inf`` forever. Because no computation
+ever crosses lanes, a lane's trajectory is bitwise independent of its
+batch-mates: a ragged sweep equals the concatenation of its per-point
+batches, which is what lets ``figures.py`` collapse a whole fig5 sweep
+into one batch and ``repro.parallel`` workers split lane ranges.
+
 Scope
 -----
 The vector engine covers the scenario family the replication sweeps
 actually run: a :class:`~repro.platforms.specs.SunParagonSpec` platform
-with the fluid ``discipline="ps"`` front-end CPU, the OS daemon,
-``alternating`` contenders, and a ``message_burst`` /
-``frontend_program`` / ``cyclic_program`` probe, in both ``1hop`` and
-``2hops`` modes. Anything else (round-robin quanta, CM2, fault
-injection, priorities) is the object engine's job —
-:func:`repro.experiments.simulate.simulate` falls back automatically.
+with a ``ps`` *or* ``rr`` front-end CPU (quantum, context switch,
+session continuation and all), the OS daemon, ``alternating``
+contenders, and a ``message_burst`` / ``frontend_program`` /
+``cyclic_program`` probe, in both ``1hop`` and ``2hops`` modes.
+Anything else (CM2, fault injection, priorities) is the object
+engine's job — :func:`repro.experiments.simulate.simulate` falls back
+automatically.
 
 Correctness is anchored the same way PR 5 anchored event horizons: the
 per-lane arithmetic mirrors the object engine operation for operation
 (same ``max(now, free_at) + hold`` wire horizons, same named RNG
-streams and draw order), and the 240-seed differential suite in
-``tests/sim/test_vector.py`` holds the two engines to 1e-9 agreement.
-Because no computation ever crosses lanes, a batch over lanes ``[0..N)``
-is bit-for-bit the concatenation of N single-lane batches — which is
-what lets ``repro.parallel`` workers split *batches of lanes*.
+streams and draw order, same RR charge-on-end settlement), and the
+differential suites in ``tests/sim/test_vector.py`` hold the two
+engines to 1e-9 agreement over 240+ seeded runs per discipline.
 """
 
 from __future__ import annotations
@@ -59,6 +75,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..errors import WorkloadError
+from .cpu import EPSILON as _EPS
 from .rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,20 +86,29 @@ __all__ = [
     "VectorBurstProbe",
     "VectorComputeProbe",
     "VectorCyclicProbe",
+    "SweepPoint",
     "unsupported_reason",
     "run_lanes",
+    "run_sweep",
 ]
-
-#: Same completion tolerance as the object CPU (:data:`repro.sim.cpu._EPSILON`).
-_EPS = 1e-12
 
 # Actor kinds.
 _K_DAEMON, _K_ALT, _K_BURST, _K_COMPUTE, _K_CYCLIC = range(5)
 
+#: Queue-sequence sentinel: "this row is not queued". Any real sequence
+#: number is smaller, so argmin/argsort put queued rows first.
+_SENT = np.int64(2**62)
+
 
 @dataclass(frozen=True)
 class VectorContender:
-    """One :func:`repro.apps.contender.alternating` application."""
+    """One :func:`repro.apps.contender.alternating` application.
+
+    ``tag`` is the CPU session tag the object path submits work under
+    (the application profile's name). It only influences the ``rr``
+    discipline's context-switch/session behaviour; ``None`` gives the
+    contender a unique private session identity.
+    """
 
     comm_fraction: float
     message_size: float
@@ -90,6 +116,7 @@ class VectorContender:
     mean_cycle: float = 0.25
     direction: str = "both"
     mode: str = "1hop"
+    tag: str | None = None
 
 
 @dataclass(frozen=True)
@@ -122,6 +149,18 @@ class VectorCyclicProbe:
 
 _Probe = VectorBurstProbe | VectorComputeProbe | VectorCyclicProbe
 
+#: Session tags the object-engine probes submit CPU work under.
+_PROBE_TAGS = {_K_BURST: "burst", _K_COMPUTE: "task", _K_CYCLIC: "cyclic"}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One lane's scenario: platform spec, contenders, probe."""
+
+    spec: "SunParagonSpec"
+    contenders: tuple[VectorContender, ...]
+    probe: _Probe
+
 
 def unsupported_reason(
     spec: "SunParagonSpec",
@@ -136,14 +175,19 @@ def unsupported_reason(
     """
     if type(spec).__name__ != "SunParagonSpec":
         return f"platform spec {type(spec).__name__} (only SunParagonSpec is vectorized)"
-    if spec.cpu.discipline != "ps":
-        return f"cpu discipline {spec.cpu.discipline!r} (only 'ps' is vectorized)"
+    if spec.cpu.discipline not in ("ps", "rr"):
+        return f"cpu discipline {spec.cpu.discipline!r} (only 'ps' and 'rr' are vectorized)"
     if not isinstance(probe, (VectorBurstProbe, VectorComputeProbe, VectorCyclicProbe)):
         return f"probe {type(probe).__name__} has no vectorized form"
     modes = {c.mode for c in contenders}
     modes.add(getattr(probe, "mode", "1hop"))
     if "2hops" in modes and spec.service_node_capacity != 1:
         return f"service_node_capacity={spec.service_node_capacity} (2hops needs capacity 1)"
+    if spec.cpu.discipline == "rr" and any(c.tag is None for c in contenders):
+        # The oracle keys RR sessions on job tags, where an untagged
+        # job's ``None`` both matches other untagged jobs and never
+        # charges a context switch; the vectorized tag ids are per-slot.
+        return "rr discipline needs tagged contenders (sessions are tag-keyed)"
     return None
 
 
@@ -157,27 +201,22 @@ def _message_params(spec: "SunParagonSpec", size: float, mode: str) -> tuple[int
     return len(frags), conv, hold, nx
 
 
-class _Actor:
-    """Compiled per-actor constants (shared by every lane).
+_DIR_CODES = {"out": 0, "in": 1, "both": 2}
 
-    The ``r_*`` / ``w_*`` fields are this actor's row indices into the
-    lane matrices: ``r_*`` rows hold CPU completion targets, ``w_*``
-    rows hold wake instants (-1 = the actor never uses that event
-    class).
-    """
+
+class _PActor:
+    """One actor's scalar constants for one sweep point."""
 
     __slots__ = (
-        "kind", "stream", "interval", "work", "comp_target", "comm_target",
-        "per_message", "dir_code", "two_hops", "n_frags", "conv", "hold",
-        "nx", "nh", "count", "cycles", "msgs_per_cycle", "is_probe",
-        "r_comp", "r_conv_s", "r_conv_r",
-        "w_idle", "w_frag_end", "w_send_nx", "w_recv_claim", "w_recv_wire",
-        "w_recv_conv",
+        "kind", "stream", "tag", "interval", "work", "comp_target",
+        "comm_target", "per_message", "dir_code", "two_hops", "n_frags",
+        "conv", "hold", "nx", "nh", "count", "cycles", "msgs_per_cycle",
     )
 
     def __init__(self) -> None:
         self.kind = _K_DAEMON
         self.stream: str | None = None
+        self.tag: str | None = None
         self.interval = self.work = 0.0
         self.comp_target = self.comm_target = self.per_message = 0.0
         self.dir_code = 0  # 0 = out, 1 = in, 2 = both
@@ -185,90 +224,927 @@ class _Actor:
         self.n_frags = 0
         self.conv = self.hold = self.nx = self.nh = 0.0
         self.count = self.cycles = self.msgs_per_cycle = 0
+
+
+class _PointPlan:
+    """A compiled sweep point: validated per-actor scalars."""
+
+    __slots__ = ("daemon", "cons", "probe", "cap", "q", "cs", "discipline")
+
+    def __init__(self, point: SweepPoint) -> None:
+        spec, contenders, probe = point.spec, point.contenders, point.probe
+        nh = spec.node_handling
+        self.cap = spec.cpu.capacity
+        self.q = spec.cpu.quantum
+        self.cs = spec.cpu.context_switch
+        self.discipline = spec.cpu.discipline
+        self.daemon: _PActor | None = None
+        if spec.cpu.daemon_interval > 0 and spec.cpu.daemon_work > 0:
+            a = _PActor()
+            a.kind = _K_DAEMON
+            a.interval = spec.cpu.daemon_interval
+            a.work = spec.cpu.daemon_work
+            a.stream = "sunparagon/os-daemon"
+            a.tag = "_os"
+            self.daemon = a
+        self.cons: list[_PActor] = []
+        for c in contenders:
+            if not 0.0 <= c.comm_fraction <= 1.0:
+                raise WorkloadError(f"comm_fraction must be in [0, 1], got {c.comm_fraction!r}")
+            if c.mean_cycle <= 0:
+                raise WorkloadError(f"mean_cycle must be > 0, got {c.mean_cycle!r}")
+            if c.direction not in _DIR_CODES:
+                raise WorkloadError(f"direction must be 'out', 'in' or 'both', got {c.direction!r}")
+            if c.comm_fraction > 0 and c.message_size <= 0:
+                raise WorkloadError("a communicating contender needs a positive message size")
+            a = _PActor()
+            a.kind = _K_ALT
+            a.stream = c.stream
+            a.tag = c.tag
+            a.comp_target = (1.0 - c.comm_fraction) * c.mean_cycle
+            a.comm_target = c.comm_fraction * c.mean_cycle
+            a.dir_code = _DIR_CODES[c.direction]
+            a.two_hops = c.mode == "2hops"
+            a.nh = nh
+            if c.comm_fraction > 0:
+                a.per_message = spec.message_dedicated_time(c.message_size, c.mode)
+                a.n_frags, a.conv, a.hold, a.nx = _message_params(spec, c.message_size, c.mode)
+            self.cons.append(a)
+        p = _PActor()
+        if isinstance(probe, VectorBurstProbe):
+            if probe.count < 1:
+                raise WorkloadError(f"burst needs >= 1 message, got {probe.count!r}")
+            if probe.direction not in ("out", "in"):
+                raise WorkloadError(f"direction must be 'out' or 'in', got {probe.direction!r}")
+            p.kind = _K_BURST
+            p.count = probe.count
+            p.dir_code = _DIR_CODES[probe.direction]
+            p.two_hops = probe.mode == "2hops"
+            p.nh = nh
+            p.n_frags, p.conv, p.hold, p.nx = _message_params(spec, probe.size_words, probe.mode)
+        elif isinstance(probe, VectorComputeProbe):
+            if probe.work < 0:
+                raise WorkloadError(f"work must be >= 0, got {probe.work!r}")
+            p.kind = _K_COMPUTE
+            p.work = probe.work
+        else:
+            if probe.cycles < 1:
+                raise WorkloadError(f"need >= 1 cycle, got {probe.cycles!r}")
+            if probe.comp_per_cycle < 0 or probe.messages_per_cycle < 0:
+                raise WorkloadError("cycle parameters must be >= 0")
+            p.kind = _K_CYCLIC
+            p.cycles = probe.cycles
+            p.work = probe.comp_per_cycle
+            p.msgs_per_cycle = probe.messages_per_cycle
+            p.dir_code = 2  # cyclic_program alternates out/in
+            p.two_hops = probe.mode == "2hops"
+            p.nh = nh
+            if probe.messages_per_cycle > 0:
+                p.n_frags, p.conv, p.hold, p.nx = _message_params(
+                    spec, probe.message_size, probe.mode
+                )
+        p.tag = _PROBE_TAGS[p.kind]
+        self.probe = p
+
+
+class _Actor:
+    """Compiled per-actor, per-*lane* constants (struct of arrays).
+
+    Sweep batches mix heterogeneous points, so every constant the old
+    single-point compiler kept as a scalar is a ``(lanes,)`` array here
+    (uniform batches simply broadcast the same value into every lane —
+    one code path, so a sweep lane is bitwise identical to the same
+    point run alone). ``present`` pads ragged batches: absent lanes are
+    never initialised and their rows stay ``inf`` forever.
+
+    The ``r_*`` / ``w_*`` fields are this actor's row indices into the
+    lane matrices: ``r_*`` rows hold CPU jobs, ``w_*`` rows hold wake
+    instants (-1 = no lane of this actor uses that event class).
+    """
+
+    __slots__ = (
+        "kind", "is_probe", "present", "streams", "tag_id",
+        "interval", "work", "comp_target", "comm_target", "per_message",
+        "dir_code", "two_hops", "n_frags", "conv", "hold", "nx", "nh",
+        "count", "cycles", "msgs_per_cycle",
+        "r_comp", "r_conv_s", "r_conv_r",
+        "w_idle", "w_frag_end", "w_send_nx", "w_recv_claim", "w_recv_wire",
+        "w_recv_conv",
+        "u", "u_dir", "u_two_hops", "u_n_frags", "u_conv", "u_hold",
+        "u_nx", "u_nh", "u_work", "u_comp_target", "u_comm_target",
+        "u_msgs",
+    )
+
+    def __init__(self, kind: int, n: int) -> None:
+        self.kind = kind
         self.is_probe = False
+        self.u = False
+        self.present = np.zeros(n, dtype=bool)
+        self.streams: list[str | None] = [None] * n
+        self.tag_id = np.zeros(n, dtype=np.int32)
+        self.interval = np.zeros(n)
+        self.work = np.zeros(n)
+        self.comp_target = np.zeros(n)
+        self.comm_target = np.zeros(n)
+        self.per_message = np.zeros(n)
+        self.dir_code = np.zeros(n, dtype=np.int8)
+        self.two_hops = np.zeros(n, dtype=bool)
+        self.n_frags = np.zeros(n, dtype=np.int64)
+        self.conv = np.zeros(n)
+        self.hold = np.zeros(n)
+        self.nx = np.zeros(n)
+        self.nh = np.zeros(n)
+        self.count = np.zeros(n, dtype=np.int64)
+        self.cycles = np.zeros(n, dtype=np.int64)
+        self.msgs_per_cycle = np.zeros(n, dtype=np.int64)
         self.r_comp = self.r_conv_s = self.r_conv_r = -1
         self.w_idle = self.w_frag_end = self.w_send_nx = -1
         self.w_recv_claim = self.w_recv_wire = self.w_recv_conv = -1
 
+    def fill(self, lane: int, p: _PActor, tag_id: int) -> None:
+        self.present[lane] = True
+        self.streams[lane] = p.stream
+        self.tag_id[lane] = tag_id
+        self.interval[lane] = p.interval
+        self.work[lane] = p.work
+        self.comp_target[lane] = p.comp_target
+        self.comm_target[lane] = p.comm_target
+        self.per_message[lane] = p.per_message
+        self.dir_code[lane] = p.dir_code
+        self.two_hops[lane] = p.two_hops
+        self.n_frags[lane] = p.n_frags
+        self.conv[lane] = p.conv
+        self.hold[lane] = p.hold
+        self.nx[lane] = p.nx
+        self.nh[lane] = p.nh
+        self.count[lane] = p.count
+        self.cycles[lane] = p.cycles
+        self.msgs_per_cycle[lane] = p.msgs_per_cycle
 
-_DIR_CODES = {"out": 0, "in": 1, "both": 2}
+    def maybe_freeze(self) -> None:
+        """Freeze lane-uniform actors down to Python scalars.
+
+        Replication batches are uniform by construction, but sweep
+        batches also qualify actor-by-actor: a fig5-style sweep varies
+        only the probe's message size, so its contender slots still
+        collapse. Absent-anywhere or mixed-parameter actors stay on the
+        per-lane array path.
+        """
+        if not self.present.all():
+            return
+        for f in (
+            self.dir_code, self.two_hops, self.n_frags, self.conv,
+            self.hold, self.nx, self.nh, self.work, self.comp_target,
+            self.comm_target, self.msgs_per_cycle,
+        ):
+            if (f != f[0]).any():
+                return
+        self.freeze_uniform()
+
+    def freeze_uniform(self) -> None:
+        """Mark an actor as lane-uniform.
+
+        Each per-lane constant collapses to one Python scalar and the
+        hot handlers take branch-free fast paths (same arithmetic on
+        the same doubles — scalar broadcast is bitwise identical to
+        indexing a constant array). Only valid when every lane is
+        present with identical parameters.
+        """
+        self.u = True
+        self.u_dir = int(self.dir_code[0])
+        self.u_two_hops = bool(self.two_hops[0])
+        self.u_n_frags = int(self.n_frags[0])
+        self.u_conv = float(self.conv[0])
+        self.u_hold = float(self.hold[0])
+        self.u_nx = float(self.nx[0])
+        self.u_nh = float(self.nh[0])
+        self.u_work = float(self.work[0])
+        self.u_comp_target = float(self.comp_target[0])
+        self.u_comm_target = float(self.comm_target[0])
+        self.u_msgs = int(self.msgs_per_cycle[0])
 
 
-def _compile_actors(
-    spec: "SunParagonSpec",
-    contenders: Sequence[VectorContender],
-    probe: _Probe,
-) -> list[_Actor]:
+def _compile_batch(points: Sequence[SweepPoint]) -> tuple[list[_Actor], np.ndarray, np.ndarray, np.ndarray, str]:
+    """Align per-lane points into actor slots; returns per-lane platform arrays.
+
+    Slots are [daemon?] + [contender 0..C) + [probe] where C is the
+    maximum contender count over the batch; lanes whose point lacks a
+    slot's actor leave it absent. Returns ``(actors, cap, quantum,
+    context_switch, discipline)``.
+    """
+    n = len(points)
+    plans: dict[SweepPoint, _PointPlan] = {}
+    for pt in points:
+        if pt not in plans:
+            reason = unsupported_reason(pt.spec, pt.contenders, pt.probe)
+            if reason is not None:
+                raise WorkloadError(f"vector backend cannot run this scenario: {reason}")
+            plans[pt] = _PointPlan(pt)
+    per_lane = [plans[pt] for pt in points]
+    disciplines = {pl.discipline for pl in per_lane}
+    if len(disciplines) > 1:
+        raise WorkloadError(f"sweep mixes cpu disciplines {sorted(disciplines)}; batch per discipline")
+    kinds = {pl.probe.kind for pl in per_lane}
+    if len(kinds) > 1:
+        raise WorkloadError("sweep mixes probe kinds; batch per probe type")
+    has_daemon = any(pl.daemon is not None for pl in per_lane)
+    n_cons = max((len(pl.cons) for pl in per_lane), default=0)
     actors: list[_Actor] = []
-    nh = spec.node_handling
-    if spec.cpu.daemon_interval > 0 and spec.cpu.daemon_work > 0:
-        a = _Actor()
-        a.kind = _K_DAEMON
-        a.interval = spec.cpu.daemon_interval
-        a.work = spec.cpu.daemon_work
-        a.stream = "sunparagon/os-daemon"
-        actors.append(a)
-    for c in contenders:
-        if not 0.0 <= c.comm_fraction <= 1.0:
-            raise WorkloadError(f"comm_fraction must be in [0, 1], got {c.comm_fraction!r}")
-        if c.mean_cycle <= 0:
-            raise WorkloadError(f"mean_cycle must be > 0, got {c.mean_cycle!r}")
-        if c.direction not in _DIR_CODES:
-            raise WorkloadError(f"direction must be 'out', 'in' or 'both', got {c.direction!r}")
-        if c.comm_fraction > 0 and c.message_size <= 0:
-            raise WorkloadError("a communicating contender needs a positive message size")
-        a = _Actor()
-        a.kind = _K_ALT
-        a.stream = c.stream
-        a.comp_target = (1.0 - c.comm_fraction) * c.mean_cycle
-        a.comm_target = c.comm_fraction * c.mean_cycle
-        a.dir_code = _DIR_CODES[c.direction]
-        a.two_hops = c.mode == "2hops"
-        a.nh = nh
-        if c.comm_fraction > 0:
-            a.per_message = spec.message_dedicated_time(c.message_size, c.mode)
-            a.n_frags, a.conv, a.hold, a.nx = _message_params(spec, c.message_size, c.mode)
-        actors.append(a)
-    p = _Actor()
-    p.is_probe = True
-    if isinstance(probe, VectorBurstProbe):
-        if probe.count < 1:
-            raise WorkloadError(f"burst needs >= 1 message, got {probe.count!r}")
-        if probe.direction not in ("out", "in"):
-            raise WorkloadError(f"direction must be 'out' or 'in', got {probe.direction!r}")
-        p.kind = _K_BURST
-        p.count = probe.count
-        p.dir_code = _DIR_CODES[probe.direction]
-        p.two_hops = probe.mode == "2hops"
-        p.nh = nh
-        p.n_frags, p.conv, p.hold, p.nx = _message_params(spec, probe.size_words, probe.mode)
-    elif isinstance(probe, VectorComputeProbe):
-        if probe.work < 0:
-            raise WorkloadError(f"work must be >= 0, got {probe.work!r}")
-        p.kind = _K_COMPUTE
-        p.work = probe.work
-    else:
-        if probe.cycles < 1:
-            raise WorkloadError(f"need >= 1 cycle, got {probe.cycles!r}")
-        if probe.comp_per_cycle < 0 or probe.messages_per_cycle < 0:
-            raise WorkloadError("cycle parameters must be >= 0")
-        p.kind = _K_CYCLIC
-        p.cycles = probe.cycles
-        p.work = probe.comp_per_cycle
-        p.msgs_per_cycle = probe.messages_per_cycle
-        p.dir_code = 2  # cyclic_program alternates out/in
-        p.two_hops = probe.mode == "2hops"
-        p.nh = nh
-        if probe.messages_per_cycle > 0:
-            p.n_frags, p.conv, p.hold, p.nx = _message_params(
-                spec, probe.message_size, probe.mode
+    if has_daemon:
+        actors.append(_Actor(_K_DAEMON, n))
+    for _ in range(n_cons):
+        actors.append(_Actor(_K_ALT, n))
+    probe_actor = _Actor(per_lane[0].probe.kind, n)
+    probe_actor.is_probe = True
+    actors.append(probe_actor)
+
+    cap = np.empty(n)
+    quantum = np.empty(n)
+    cswitch = np.empty(n)
+    for lane, pl in enumerate(per_lane):
+        cap[lane] = pl.cap
+        quantum[lane] = pl.q
+        cswitch[lane] = pl.cs
+        # Per-lane tag ids: equal tag strings share a session identity;
+        # None tags get a private per-slot identity (can never match).
+        tag_ids: dict[object, int] = {}
+
+        def tid(tag: str | None, slot: int) -> int:
+            key: object = tag if tag is not None else ("\x00anon", slot)
+            return tag_ids.setdefault(key, len(tag_ids))
+
+        slot = 0
+        if has_daemon:
+            if pl.daemon is not None:
+                actors[0].fill(lane, pl.daemon, tid(pl.daemon.tag, 0))
+            slot = 1
+        for k, con in enumerate(pl.cons):
+            actors[slot + k].fill(lane, con, tid(con.tag, slot + k))
+        probe_actor.fill(lane, pl.probe, tid(pl.probe.tag, len(actors) - 1))
+    if n > 0:
+        for actor in actors:
+            actor.maybe_freeze()
+    return actors, cap, quantum, cswitch, per_lane[0].discipline
+
+
+# ---------------------------------------------------------------------------
+# CPU engines
+# ---------------------------------------------------------------------------
+
+
+class _PSCpu:
+    """Fluid processor sharing over lanes: virtual-time epochs.
+
+    Instead of charging every running job at every settle, each lane
+    carries a virtual service clock ``V`` (``dV = rate · dt``) and each
+    job a completion target ``finish_v = V(submit) + work``; jobs can
+    only complete at a lane's epoch horizon, where ``finish_v - V <=
+    eps`` is checked once.
+    """
+
+    def __init__(
+        self, rows: int, n: int, cap: np.ndarray, pending: list, uniform: bool = False
+    ) -> None:
+        self.cap = cap
+        self.u = uniform
+        self.u_cap = float(cap[0]) if uniform else 0.0
+        self.fv = np.full((rows, n), np.inf)  # finish_v targets
+        self.vtime = np.zeros(n)  # cumulative per-job virtual service
+        self.eps_t0 = np.zeros(n)
+        self.eps_rate = np.zeros(n)
+        self.t_cpu = np.full(n, np.inf)
+        self.dirty = np.zeros(n, dtype=bool)
+        self.pending = pending
+
+    def advance(self, fidx: np.ndarray, t_next: np.ndarray) -> None:
+        """Advance every live lane's virtual clock to its next instant."""
+        self.vtime[fidx] += (t_next[fidx] - self.eps_t0[fidx]) * self.eps_rate[fidx]
+        self.eps_t0[fidx] = t_next[fidx]
+
+    def settle(self, hidx: np.ndarray, t_next: np.ndarray) -> None:
+        """Settle lanes whose sharing horizon fires: find finished jobs.
+
+        Completions can only happen at a lane's epoch horizon (between
+        horizons every running job's remaining service is strictly
+        positive), so this is the one place ``finish_v - V <= eps`` is
+        checked. Finished jobs land in ``pending`` and step their state
+        machines after this instant's wake events, like the object
+        scheduler's succeed-then-resume ordering.
+        """
+        done = self.fv[:, hidx] - self.vtime[hidx] <= _EPS
+        for r in done.any(axis=1).nonzero()[0]:
+            comp = hidx[done[r]]
+            self.fv[r][comp] = np.inf
+            self.dirty[comp] = True
+            self.pending[r].append(comp)
+
+    def submit(self, row: int, idx: np.ndarray, t: np.ndarray, work: np.ndarray) -> np.ndarray | None:
+        """Submit CPU work; returns the instantly-done mask (None = none).
+
+        Mirrors :meth:`TimeSharedCPU.execute`: work ``<= eps`` succeeds
+        immediately without touching the scheduler; real work joins the
+        sharing set with a completion target ``V(now) + work``.
+        """
+        instant = work <= _EPS
+        if instant.all():
+            return instant
+        bsel = ~instant
+        bidx = idx[bsel]
+        self.fv[row][bidx] = self.vtime[bidx] + work[bsel]
+        self.dirty[bidx] = True
+        return instant if instant.any() else None
+
+    def submit_work(self, row: int, idx: np.ndarray, t: np.ndarray, work: float) -> None:
+        """Uniform-batch :meth:`submit`: one scalar work amount > eps.
+
+        Callers have already ruled out the instant case, so the mask
+        machinery is skipped entirely; the arithmetic is the same
+        (scalar broadcast is bitwise identical to the constant array).
+        """
+        self.fv[row][idx] = self.vtime[idx] + work
+        self.dirty[idx] = True
+
+    def recompute(self, t_all: np.ndarray) -> None:
+        """Start a fresh sharing epoch at the current instant for dirty lanes."""
+        didx = self.dirty.nonzero()[0]
+        if didx.size == 0:
+            return
+        self.dirty[didx] = False
+        cols = self.fv[:, didx]
+        n = np.isfinite(cols).sum(axis=0)
+        running = n > 0
+        if running.all():
+            run = didx
+        else:
+            idle = didx[~running]
+            self.t_cpu[idle] = np.inf
+            self.eps_rate[idle] = 0.0
+            run = didx[running]
+            if run.size == 0:
+                return
+            n = n[running]
+        rate = (self.u_cap if self.u else self.cap[run]) / n
+        min_fv = cols.min(axis=0) if running.all() else cols[:, running].min(axis=0)
+        self.eps_rate[run] = rate
+        self.t_cpu[run] = t_all[run] + (min_fv - self.vtime[run]) / rate
+
+
+class _RRCpu:
+    """Round-robin epochs over lanes: the `_RRPlan` closed forms as arrays.
+
+    The port keeps the object scheduler's observable semantics exactly
+    (see ``_scheduler_rr_ff`` in :mod:`repro.sim.cpu`): a head slice
+    (session-continuation credit, a fresh quantum, or an interrupted
+    slice's remainder), a rotation ``queue + [head]`` whose
+    context-switch pattern repeats every cycle, affine slice starts,
+    charge-on-end settlement, and a session tag/credit pair that only
+    changes at completions. Queue order lives in per-row sequence
+    numbers (``qseq``: smallest = queue head, ``_SENT`` = not queued)
+    so a "deque" rebuild is a scatter of fresh ranks; ``sseq`` keeps
+    submission order for the continuation scan's tie-break among
+    equal-tag jobs. All arithmetic mirrors the object engine's
+    operation order so the two agree to float round-off.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        n: int,
+        cap: np.ndarray,
+        quantum: np.ndarray,
+        cswitch: np.ndarray,
+        row_tag: np.ndarray,
+        pending: list,
+        uniform: bool = False,
+    ) -> None:
+        self.R = rows
+        self.n = n
+        self.cap = cap
+        self.q = quantum
+        self.cs = cswitch
+        self.wq = quantum * cap  # one slice's work, as the oracle computes it
+        self.u = uniform
+        if uniform:
+            self.u_cap = float(cap[0])
+            self.u_q = float(quantum[0])
+            self.u_cs = float(cswitch[0])
+            self.u_wq = float(self.wq[0])
+        self.row_tag = row_tag  # (rows, n) per-lane tag id of each row's actor
+        self.rem = np.full((rows, n), np.inf)  # remaining work; inf = absent
+        self.qseq = np.full((rows, n), _SENT)
+        self.sseq = np.full((rows, n), _SENT)
+        self.next_seq = np.zeros(n, dtype=np.int64)
+        self.sess = np.full(n, -1, dtype=np.int64)  # last completer's tag id
+        self.credit = np.zeros(n)
+        # Resume stub: the interrupted segment that seeds the next plan.
+        self.rs_row = np.full(n, -1, dtype=np.int64)
+        self.rs_pre = np.zeros(n)
+        self.rs_run = np.zeros(n)
+        self.rs_charge = np.zeros(n)
+        self.rs_credit = np.zeros(n)
+        # Active plan (p_head < 0 = no plan).
+        self.p_head = np.full(n, -1, dtype=np.int64)
+        self.p_pre_end = np.zeros(n)
+        self.p_head_end = np.zeros(n)
+        self.p_run = np.zeros(n)
+        self.p_charge = np.zeros(n)
+        self.p_credit = np.zeros(n)
+        self.p_len = np.zeros(n, dtype=np.int64)  # rotation length (0 = head completes)
+        self.p_ord = np.full((rows, n), -1, dtype=np.int64)
+        self.p_start1 = np.zeros((rows, n))
+        self.p_start2 = np.zeros((rows, n))
+        self.p_cycle = np.zeros(n)
+        self.p_comp_row = np.full(n, -1, dtype=np.int64)
+        self.p_comp_pos = np.full(n, -1, dtype=np.int64)
+        self.p_comp_n = np.zeros(n, dtype=np.int64)
+        self.p_comp_work = np.zeros(n)
+        self.t_cpu = np.full(n, np.inf)
+        self.dirty = np.zeros(n, dtype=bool)
+        self.pending = pending
+        # Staged arrival settlements: a blocked arrival into an active
+        # plan marks the lane here and the settlement itself runs once
+        # per instant (at the top of ``recompute``), amortized across
+        # every row that submitted this iteration. Sequence numbers for
+        # the eventual queue rebuild are reserved at staging time so
+        # arrivals still sort after the rebuilt rotation.
+        self.staged = np.zeros(n, dtype=bool)
+        self.staged_e = np.zeros(n)
+        self.staged_base = np.zeros(n, dtype=np.int64)
+
+    def advance(self, fidx: np.ndarray, t_next: np.ndarray) -> None:
+        """RR keeps no per-instant clock state; epochs settle lazily."""
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, row: int, idx: np.ndarray, t: np.ndarray, work: np.ndarray) -> np.ndarray | None:
+        """Submit CPU work; returns the instantly-done mask (None = none).
+
+        A blocked arrival into a lane with an active plan interrupts
+        that plan at the arrival instant (the object scheduler's
+        wake-interrupts-epoch path), then joins the queue tail. The
+        interruption is staged: the settlement walk runs batched at the
+        end of the instant, with ``p_len - 1`` sequence numbers reserved
+        now so the rebuilt rotation sorts ahead of this arrival.
+        """
+        instant = work <= _EPS
+        if instant.all():
+            return instant
+        bsel = ~instant
+        bidx = idx[bsel]
+        act = (self.p_head[bidx] >= 0) & ~self.staged[bidx]
+        if act.any():
+            si = bidx[act]
+            base = self.next_seq[si]
+            self.staged[si] = True
+            self.staged_e[si] = t[bsel][act]
+            self.staged_base[si] = base
+            self.next_seq[si] = base + np.maximum(self.p_len[si] - 1, 0)
+        seq = self.next_seq[bidx]
+        self.rem[row, bidx] = work[bsel]
+        self.qseq[row, bidx] = seq
+        self.sseq[row, bidx] = seq
+        self.next_seq[bidx] = seq + 1
+        self.dirty[bidx] = True
+        return instant if instant.any() else None
+
+    def submit_work(self, row: int, idx: np.ndarray, t: np.ndarray, work: float) -> None:
+        """Uniform-batch :meth:`submit`: one scalar work amount > eps.
+
+        Callers have already ruled out the instant case, so the
+        per-lane instant mask and its subset indexing are skipped; the
+        staging and queue bookkeeping are identical.
+        """
+        act = (self.p_head[idx] >= 0) & ~self.staged[idx]
+        if act.any():
+            si = idx[act]
+            base = self.next_seq[si]
+            self.staged[si] = True
+            self.staged_e[si] = t[act]
+            self.staged_base[si] = base
+            self.next_seq[si] = base + np.maximum(self.p_len[si] - 1, 0)
+        seq = self.next_seq[idx]
+        self.rem[row, idx] = work
+        self.qseq[row, idx] = seq
+        self.sseq[row, idx] = seq
+        self.next_seq[idx] = seq + 1
+        self.dirty[idx] = True
+
+    # -- settlement ----------------------------------------------------------
+
+    def _settle_arrival(self, lanes: np.ndarray, e: np.ndarray, base: np.ndarray) -> None:
+        """Interrupt active plans at instant *e* (strictly before horizon).
+
+        Mirrors ``_rr_settle`` + ``_rr_finalize_stub``: find the
+        in-progress segment, charge every segment that *ended* by *e*,
+        convert the interrupted segment into a resume stub, and rebuild
+        the queue to the oracle's rotation order. *base* carries the
+        sequence numbers reserved at staging time for the rebuild.
+        """
+        head = self.p_head[lanes]
+        pre_end = self.p_pre_end[lanes]
+        head_end = self.p_head_end[lanes]
+        in_pre = e < pre_end
+        in_head = ~in_pre & (e < head_end)
+        simple = in_pre | in_head
+        if simple.any():
+            si = lanes[simple]
+            self.rs_row[si] = head[simple]
+            self.rs_pre[si] = np.where(in_pre, pre_end - e, 0.0)[simple]
+            cap = self.u_cap if self.u else self.cap[lanes]
+            self.rs_run[si] = np.where(in_pre, self.p_run[lanes], (head_end - e) * cap)[simple]
+            self.rs_charge[si] = self.p_charge[si]
+            self.rs_credit[si] = self.p_credit[si]
+            # Queue order unchanged (the rotation never started).
+        wsel = ~simple
+        if wsel.any():
+            self._walk_settle(lanes[wsel], e[wsel], base[wsel])
+        self.p_head[lanes] = -1
+        self.t_cpu[lanes] = np.inf
+        self.dirty[lanes] = True
+
+    def _walk_settle(self, lanes: np.ndarray, e: np.ndarray, base: np.ndarray) -> None:
+        """The rotation walk of ``_rr_walk`` at instant *e*, in closed form.
+
+        The plan's affine slice starts (``p_start1``/``p_start2``) are
+        the walk's own cursor values, so the interrupted segment is
+        located by comparing *e* against them directly instead of
+        re-walking: position ``k`` is the first whose switch-or-slice
+        span contains *e* — first in pass one (bitwise the oracle's
+        comparisons), else after skipping whole steady cycles (affine
+        shifts of the steady pattern, equal to the oracle's cursor to
+        float round-off). Charge-on-end then collapses to one count per
+        rotation position: a slice per completed pass plus one more
+        before the stub.
+        """
+        m = lanes.size
+        ar = np.arange(m)
+        if self.u:
+            q, cap, wq = self.u_q, self.u_cap, self.u_wq
+        else:
+            q, cap, wq = self.q[lanes], self.cap[lanes], self.wq[lanes]
+        L = self.p_len[lanes]
+        ordm = self.p_ord[:, lanes]
+        head = self.p_head[lanes]
+        max_l = int(L.max())
+        pos_col = np.arange(max_l)[:, None]
+        live = pos_col < L
+        s1 = self.p_start1[:max_l, lanes]
+        # Pass one: the first position whose segment spans ``e``.
+        hit1m = live & (e < s1 + q)
+        hit1 = hit1m.any(axis=0)
+        k = hit1m.argmax(axis=0)
+        sstart = s1[k, ar]
+        fp = np.zeros(m)  # completed full passes before the stub pass
+        rest = ~hit1
+        if rest.any():
+            # ``e`` is past pass one's end: skip whole steady cycles
+            # with the oracle's integer division + overshoot guard,
+            # then locate the stub in the repeating pattern.
+            s2 = self.p_start2[:max_l, lanes]
+            ce1 = s1[L - 1, ar] + q  # the walk's cursor after pass one
+            r = self.p_cycle[lanes]
+            mcyc = np.where(rest, ((e - ce1) / r).astype(np.int64), 0)
+            over = (mcyc > 0) & (ce1 + mcyc * r > e)
+            while over.any():  # float-division overshoot guard
+                mcyc[over] -= 1
+                over = (mcyc > 0) & (ce1 + mcyc * r > e)
+            off = mcyc * r
+            found = hit1.copy()
+            guard = 0
+            while not found.all():
+                guard += 1
+                if guard > 4:  # pragma: no cover - defensive
+                    raise WorkloadError("rr vector settlement failed to locate the epoch cursor")
+                hm = live & (e < s2 + off + q) & ~found
+                got = hm.any(axis=0)
+                if got.any():
+                    k2 = hm.argmax(axis=0)
+                    k = np.where(got, k2, k)
+                    sstart = np.where(got, s2[k2, ar] + off, sstart)
+                    found |= got
+                more = ~found
+                mcyc = np.where(more, mcyc + 1, mcyc)
+                off = np.where(more, off + r, off)
+            fp = np.where(rest, (1 + mcyc).astype(float), 0.0)
+        # Charge-on-end as one count per rotation position, applied in
+        # a single delta per job like ``_rr_apply``.
+        delta = np.zeros((self.R, m))
+        delta[head, ar] += self.p_charge[lanes]
+        cnt = fp + (pos_col < k)
+        sel = live & (cnt > 0.0)
+        lane_mat = np.broadcast_to(ar, (max_l, m))
+        delta[ordm[:max_l][sel], lane_mat[sel]] += (cnt * wq)[sel]
+        self.rem[:, lanes] -= delta
+        # Finalize the stub (``_rr_finalize_stub``): the interrupted
+        # segment's job becomes the next plan's head.
+        is_sw = e < sstart
+        srow = ordm[k, ar]
+        remj = self.rem[srow, lanes]
+        allot = np.minimum(wq, remj)
+        credit_after = q - allot / cap
+        run = np.where(is_sw, allot, np.maximum(allot - (e - sstart) * cap, 0.0))
+        self.rs_row[lanes] = srow
+        self.rs_pre[lanes] = np.where(is_sw, sstart - e, 0.0)
+        self.rs_run[lanes] = run
+        self.rs_charge[lanes] = allot
+        self.rs_credit[lanes] = credit_after
+        self._requeue_rotation(lanes, L, ordm, k, srow, base)
+
+    def _requeue_rotation(
+        self,
+        lanes: np.ndarray,
+        L: np.ndarray,
+        ordm: np.ndarray,
+        k: np.ndarray,
+        excl_row: np.ndarray,
+        base: np.ndarray,
+    ) -> None:
+        """Rebuild queue order to ``cl[k+1:] + cl[:k]`` (position *k* plucked).
+
+        Fresh ascending sequence numbers from *base* reproduce the
+        oracle's rebuilt deque; jobs submitted later at this same
+        instant draw larger numbers and land at the tail, exactly like
+        ``_rr_rebuild``'s extras. One scatter covers every position:
+        rotation rows are distinct within a lane, so targets are unique.
+        """
+        max_l = int(L.max())
+        pos_col = np.arange(max_l)[:, None]
+        sel = (pos_col < L) & (pos_col != k)
+        rank = (pos_col - k - 1) % np.maximum(L, 1)
+        lane_mat = np.broadcast_to(lanes, (max_l, lanes.size))
+        self.qseq[ordm[:max_l][sel], lane_mat[sel]] = (base + rank)[sel]
+        self.qseq[excl_row, lanes] = _SENT
+
+    def settle(self, hidx: np.ndarray, t_next: np.ndarray) -> None:
+        """Settle lanes whose epoch horizon fires: the planned completion.
+
+        Mirrors ``_rr_settle_completion``: integer cycle arithmetic
+        (never the float walk) decides how many slices each rotation
+        job completed, the completer's final partial slice closes the
+        epoch, and the session tag/credit update to the completer's.
+        """
+        lanes = hidx
+        m = lanes.size
+        ar = np.arange(m)
+        if self.u:
+            q, cap, wq = self.u_q, self.u_cap, self.u_wq
+        else:
+            q, cap, wq = self.q[lanes], self.cap[lanes], self.wq[lanes]
+        head = self.p_head[lanes]
+        n_ = self.p_comp_n[lanes]
+        k = self.p_comp_pos[lanes]
+        crow = self.p_comp_row[lanes]
+        comp_work = self.p_comp_work[lanes]
+        rot = n_ >= 1
+        delta = np.zeros((self.R, m))
+        delta[head, ar] += self.p_charge[lanes]
+        if rot.any():
+            L = self.p_len[lanes]
+            ordm = self.p_ord[:, lanes]
+            max_l = int(L[rot].max())
+            pos_col = np.arange(max_l)[:, None]
+            sel = rot & (pos_col < L)
+            rows_flat = ordm[:max_l][sel]
+            lanes_flat = np.broadcast_to(ar, (max_l, m))[sel]
+            # n == 1 charges only positions before k; n >= 2 charges
+            # (n-1) whole slices everywhere plus one more before k.
+            # Two separate adds mirror the oracle's accumulation order:
+            # (current + add_base) + extra. Rotation rows are distinct
+            # within a lane, so the flat scatter-adds are exact.
+            add_base = np.where(n_ == 1, 0.0, (n_ - 1).astype(float) * wq)
+            delta[rows_flat, lanes_flat] += np.broadcast_to(add_base, (max_l, m))[sel]
+            delta[rows_flat, lanes_flat] += np.where(pos_col < k, wq, 0.0)[sel]
+            delta[crow[rot], ar[rot]] += comp_work[rot]
+        self.rem[:, lanes] -= delta
+        self.rem[crow, lanes] = np.inf
+        self.qseq[crow, lanes] = _SENT
+        self.sseq[crow, lanes] = _SENT
+        self.sess[lanes] = self.row_tag[crow, lanes]
+        self.credit[lanes] = np.where(rot, q - comp_work / cap, self.p_credit[lanes])
+        if rot.any():
+            ri = lanes[rot]
+            base = self.next_seq[ri]
+            self.next_seq[ri] = base + (self.p_len[ri] - 1)
+            self._requeue_rotation(ri, self.p_len[ri], self.p_ord[:, ri], k[rot], crow[rot], base)
+        self.p_head[lanes] = -1
+        self.t_cpu[lanes] = np.inf
+        self.dirty[lanes] = True
+        for r in np.unique(crow):
+            self.pending[r].append(lanes[crow == r])
+
+    # -- dispatch ------------------------------------------------------------
+
+    def recompute(self, t_all: np.ndarray) -> None:
+        """Dispatch dirty lanes: resume stubs, continuations, fresh picks.
+
+        Mirrors the scheduler loop's pick order: a pending resume stub
+        seeds the next plan directly; otherwise a queued job continuing
+        the session (same tag, credit left) is plucked, else the queue
+        head starts a fresh quantum (paying a context switch when the
+        session tag changes); an empty job table resets the session.
+        Staged arrival interruptions flush first so their resume stubs
+        are visible to this dispatch pass.
+        """
+        if self.staged.any():
+            si = self.staged.nonzero()[0]
+            self.staged[si] = False
+            self._settle_arrival(si, self.staged_e[si], self.staged_base[si])
+        didx = self.dirty.nonzero()[0]
+        if didx.size == 0:
+            return
+        self.dirty[didx] = False
+        d = didx
+        m = d.size
+        head = np.full(m, -1, dtype=np.int64)
+        pre = np.zeros(m)
+        run = np.zeros(m)
+        charge = np.zeros(m)
+        credit_after = np.zeros(m)
+        build = np.zeros(m, dtype=bool)
+        rsel = self.rs_row[d] >= 0
+        if rsel.any():
+            ri = d[rsel]
+            head[rsel] = self.rs_row[ri]
+            pre[rsel] = self.rs_pre[ri]
+            run[rsel] = self.rs_run[ri]
+            charge[rsel] = self.rs_charge[ri]
+            credit_after[rsel] = self.rs_credit[ri]
+            build |= rsel
+            self.rs_row[ri] = -1
+        fsel = ~rsel
+        if fsel.any():
+            lanes = d[fsel]
+            qs = self.qseq[:, lanes]
+            queued = qs < _SENT
+            has = queued.any(axis=0)
+            if not has.all():
+                idle = lanes[~has]
+                # The scheduler resumed with an empty job table: the
+                # session resets (``session_tag = None; credit = 0``).
+                self.sess[idle] = -1
+                self.credit[idle] = 0.0
+                self.t_cpu[idle] = np.inf
+            if has.any():
+                pick = lanes[has]
+                p = pick.size
+                arp = np.arange(p)
+                qs = qs[:, has]
+                queued = queued[:, has]
+                sess = self.sess[pick]
+                cont_ok = (sess >= 0) & (self.credit[pick] > _EPS)
+                tags = self.row_tag[:, pick]
+                cand = queued & (tags == sess) & cont_ok
+                ss = np.where(cand, self.sseq[:, pick], _SENT)
+                cpos = ss.argmin(axis=0)
+                has_cont = ss[cpos, arp] < _SENT
+                # qs already carries _SENT at non-queued positions.
+                qpos = qs.argmin(axis=0)
+                hrow = np.where(has_cont, cpos, qpos)
+                htag = self.row_tag[hrow, pick]
+                if self.u:
+                    cs_p, q_p, cap_p = self.u_cs, self.u_q, self.u_cap
+                else:
+                    cs_p, q_p, cap_p = self.cs[pick], self.q[pick], self.cap[pick]
+                do_switch = ~has_cont & (sess >= 0) & (htag != sess) & (cs_p > 0.0)
+                pre_p = np.where(do_switch, cs_p, 0.0)
+                budget = np.where(has_cont, self.credit[pick], q_p)
+                remh = self.rem[hrow, pick]
+                run_p = np.minimum(budget * cap_p, remh)
+                self.qseq[hrow, pick] = _SENT
+                sel = fsel.copy()
+                sel[fsel] = has
+                head[sel] = hrow
+                pre[sel] = pre_p
+                run[sel] = run_p
+                charge[sel] = run_p
+                credit_after[sel] = budget - run_p / cap_p
+                build |= sel
+        if build.any():
+            bl = d[build]
+            self._build_plans(
+                bl, t_all[bl], head[build], pre[build], run[build],
+                charge[build], credit_after[build],
             )
-    actors.append(p)
-    return actors
+
+    def _build_plans(
+        self,
+        lanes: np.ndarray,
+        t: np.ndarray,
+        head: np.ndarray,
+        pre: np.ndarray,
+        run: np.ndarray,
+        charge: np.ndarray,
+        credit_after: np.ndarray,
+    ) -> None:
+        """The `_rr_build_plan` closed forms, per lane.
+
+        First-pass slice starts (the head's tag seeds the switch
+        pattern), one steady cycle whose pattern repeats, the period
+        ``r = L·q + Σsw``, and the earliest completion candidate via
+        :func:`repro.sim.cpu.rr_completion_slices` arithmetic — all as
+        position-loops over the (short) rotation with every operation
+        in the oracle's order.
+        """
+        m = lanes.size
+        ar = np.arange(m)
+        if self.u:
+            cap, q, cs, wq = self.u_cap, self.u_q, self.u_cs, self.u_wq
+        else:
+            cap, q, cs, wq = self.cap[lanes], self.q[lanes], self.cs[lanes], self.wq[lanes]
+        pre_end = t + pre
+        head_end = pre_end + run / cap
+        self.p_head[lanes] = head
+        self.p_pre_end[lanes] = pre_end
+        self.p_head_end[lanes] = head_end
+        self.p_run[lanes] = run
+        self.p_charge[lanes] = charge
+        self.p_credit[lanes] = credit_after
+        remh = self.rem[head, lanes]
+        completes = remh - charge <= _EPS
+        rotm = ~completes
+        qs = self.qseq[:, lanes]
+        queued = qs < _SENT
+        nq = queued.sum(axis=0)
+        ordm = np.argsort(qs, axis=0, kind="stable")  # intp == int64 here
+        if rotm.any():
+            ordm[nq[rotm], ar[rotm]] = head[rotm]  # head closes the rotation
+        L = np.where(rotm, nq + 1, 0)
+        self.p_len[lanes] = L
+        self.p_ord[:, lanes] = ordm
+        horizon = np.where(completes, head_end, np.inf)
+        comp_row = np.where(completes, head, -1)
+        comp_pos = np.full(m, -1, dtype=np.int64)
+        comp_n = np.zeros(m, dtype=np.int64)
+        comp_work = np.where(completes, charge, 0.0)
+        if rotm.any():
+            max_l = int(L.max())
+            head_tag = self.row_tag[head, lanes]
+            rows_mat = ordm[:max_l]
+            live = np.arange(max_l)[:, None] < L  # prefix mask (L = 0 for completes)
+            tg = self.row_tag[rows_mat, lanes]
+            # Switch pattern: both the first pass and the steady cycle
+            # are seeded by the head's tag (the head closes the
+            # rotation), so one shifted-tag comparison yields both.
+            prev = np.empty_like(tg)
+            prev[0] = head_tag
+            prev[1:] = tg[:-1]
+            sw = np.where(live & (tg != prev) & (cs > 0.0), cs, 0.0)
+            # Affine slice starts: the cursor chain accumulates in the
+            # oracle's order (cursor + sw, then + q per live slice).
+            start1 = np.empty_like(sw)
+            start2 = np.empty_like(sw)
+            cursor = head_end.copy()
+            for pos in range(max_l):
+                s1 = cursor + sw[pos]
+                start1[pos] = s1
+                cursor = np.where(live[pos], s1 + q, cursor)
+            for pos in range(max_l):
+                s2 = cursor + sw[pos]
+                start2[pos] = s2
+                cursor = np.where(live[pos], s2 + q, cursor)
+            self.p_start1[:max_l, lanes] = start1
+            self.p_start2[:max_l, lanes] = start2
+            r = L * q + sw.sum(axis=0)  # == len(cl) * q + sum(sws)
+            self.p_cycle[lanes] = r
+            # Earliest completion candidate (strict-< key order on
+            # (finish, start, position), positions ascending) — matrix
+            # form: min finish, then min start among ties, then the
+            # first position, with rr_completion_slices element-wise.
+            remj = self.rem[rows_mat, lanes]
+            remj = np.where(rows_mat == head, remj - charge, remj)
+            valid = live & (remj > _EPS)
+            remj = np.where(valid, remj, wq)  # keep dead positions finite
+            nsl = np.ceil((remj - _EPS) / wq)
+            nsl = np.where(nsl < 1.0, 1.0, nsl)
+            work_f = remj - (nsl - 1.0) * wq
+            work_f = np.where(work_f > wq, wq, work_f)
+            s = np.where(nsl == 1.0, start1, start2 + (nsl - 2.0) * r)
+            fin = np.where(valid, s + work_f / cap, np.inf)
+            best_fin = fin.min(axis=0)
+            s_tied = np.where(fin == best_fin, s, np.inf)
+            pick = (fin == best_fin) & (s_tied == s_tied.min(axis=0))
+            kpos = pick.argmax(axis=0)
+            comp_row = np.where(rotm, rows_mat[kpos, ar], comp_row)
+            comp_pos = np.where(rotm, kpos, comp_pos)
+            comp_n = np.where(rotm, nsl[kpos, ar].astype(np.int64), comp_n)
+            comp_work = np.where(rotm, work_f[kpos, ar], comp_work)
+            horizon = np.where(completes, horizon, best_fin)
+        self.p_comp_row[lanes] = comp_row
+        self.p_comp_pos[lanes] = comp_pos
+        self.p_comp_n[lanes] = comp_n
+        self.p_comp_work[lanes] = comp_work
+        delay = horizon - t
+        delay = np.where(delay < 0.0, 0.0, delay)  # float guard, like the oracle
+        self.t_cpu[lanes] = t + delay
+
+
+# ---------------------------------------------------------------------------
+# The lane engine
+# ---------------------------------------------------------------------------
 
 
 class _Lanes:
-    """The struct-of-arrays engine state for one batch of replications.
+    """The struct-of-arrays engine state for one batch of lanes.
 
     All index arrays (``idx``) passed between methods are sorted lane
     ids, each paired with an equally shaped ``t`` array of that lane's
@@ -279,15 +1155,17 @@ class _Lanes:
 
     def __init__(
         self,
-        spec: "SunParagonSpec",
         actors: list[_Actor],
+        cap: np.ndarray,
+        quantum: np.ndarray,
+        cswitch: np.ndarray,
+        discipline: str,
         lane_seeds: Sequence[int],
     ) -> None:
         n = len(lane_seeds)
         a_count = len(actors)
         self.actors = actors
         self.n = n
-        self.capacity = spec.cpu.capacity
         # Row registries: processing order is spawn order (within one
         # actor the rows are lane-disjoint, so their relative order is
         # immaterial). Each entry is (actor index, bound handler).
@@ -310,147 +1188,93 @@ class _Lanes:
             if actor.kind == _K_COMPUTE:
                 actor.r_comp = cpu_row(a, self._compute_comp_done)
                 continue
+            pr = actor.present
             if actor.kind == _K_ALT:
-                comp_done = self._alt_comm if actor.comm_target > 0 else self._alt_cycle
-                actor.r_comp = cpu_row(a, comp_done)
-                has_msgs = actor.comm_target > 0
+                actor.r_comp = cpu_row(a, self._alt_comp_done)
+                has_msgs = bool((actor.comm_target[pr] > 0).any())
             elif actor.kind == _K_CYCLIC:
                 actor.r_comp = cpu_row(a, self._cyclic_after_comp)
-                has_msgs = actor.msgs_per_cycle > 0
+                has_msgs = bool((actor.msgs_per_cycle[pr] > 0).any())
             else:  # burst
                 has_msgs = True
             if has_msgs:
-                if actor.dir_code in (0, 2):  # sends
+                sends = pr & (actor.dir_code != 1) & (actor.n_frags > 0)
+                recvs = pr & (actor.dir_code != 0) & (actor.n_frags > 0)
+                if sends.any():
                     actor.r_conv_s = cpu_row(a, self._send_wire)
                     actor.w_frag_end = wait_row(a, self._fragment_done)
-                    if actor.two_hops:
+                    if actor.two_hops[sends].any():
                         actor.w_send_nx = wait_row(a, self._send_nx)
-                if actor.dir_code in (1, 2):  # receives
+                if recvs.any():
                     actor.r_conv_r = cpu_row(a, self._fragment_done)
                     actor.w_recv_conv = wait_row(a, self._recv_conv)
-                    if actor.two_hops:
+                    if actor.two_hops[recvs].any():
                         actor.w_recv_wire = wait_row(a, self._recv_wire)
-                    if actor.nh > 0:
+                    if (actor.nh[recvs] > 0).any():
                         actor.w_recv_claim = wait_row(a, self._recv_claim)
 
         # Lane matrices: inf = nothing scheduled in that row.
         self.wait = np.full((len(self.wait_rows), n), np.inf)
-        self.fv = np.full((len(self.cpu_rows), n), np.inf)  # finish_v targets
         # Per-actor counters (row-free state machines).
         self.msgs_left = np.zeros((a_count, n), dtype=np.int64)
         self.frags_left = np.zeros((a_count, n), dtype=np.int64)
         self.flip = np.ones((a_count, n), dtype=bool)  # True = next message out
         self.cur_out = np.zeros((a_count, n), dtype=bool)
         self.cycles_left = np.zeros((a_count, n), dtype=np.int64)
-        # Per-lane resources and fluid-sharing epoch.
+        # Per-lane resources.
         self.link_free = np.zeros(n)
         self.svc_free = np.zeros(n)
-        self.vtime = np.zeros(n)  # cumulative per-job virtual service
-        self.eps_t0 = np.zeros(n)
-        self.eps_rate = np.zeros(n)
-        self.t_cpu = np.full(n, np.inf)
-        self.dirty = np.zeros(n, dtype=bool)
         self.active = np.ones(n, dtype=bool)
         self.inactive = np.zeros(n, dtype=bool)
         self.result = np.full(n, np.nan)
         # CPU completions discovered at a lane's epoch horizon, awaiting
         # their row's state-machine step at the current instant.
         self.pending: list[list[np.ndarray]] = [[] for _ in self.cpu_rows]
+        # The CPU scalar fast path needs only a shared platform, not a
+        # uniform workload — sweeps over probe parameters still qualify.
+        uniform = n > 0 and not (
+            (cap != cap[0]).any()
+            or (quantum != quantum[0]).any()
+            or (cswitch != cswitch[0]).any()
+        )
+        for a, actor in enumerate(actors):
+            if actor.u and actor.u_dir != 2 and actor.u_n_frags > 1:
+                # Fixed-direction uniform actors never flip, so the
+                # per-message ``cur_out`` write is hoisted to here.
+                self.cur_out[a][:] = actor.u_dir == 0
+        if discipline == "rr":
+            row_tag = np.zeros((len(self.cpu_rows), n), dtype=np.int64)
+            for r, (a, _fn) in enumerate(self.cpu_rows):
+                row_tag[r] = actors[a].tag_id
+            self.cpu = _RRCpu(
+                len(self.cpu_rows), n, cap, quantum, cswitch, row_tag, self.pending,
+                uniform=uniform,
+            )
+        else:
+            self.cpu = _PSCpu(len(self.cpu_rows), n, cap, self.pending, uniform=uniform)
         # One generator per (lane, drawing actor): identical construction
         # to the object path's ``platform.rng(...)`` named streams.
-        self.gens: list[list[np.random.Generator] | None] = []
+        self.gens: list[list[np.random.Generator | None] | None] = []
         for actor in actors:
-            if actor.stream is None:
+            if all(s is None for s in actor.streams):
                 self.gens.append(None)
             else:
                 self.gens.append(
-                    [RandomStreams(int(s)).get(actor.stream) for s in lane_seeds]
+                    [
+                        None if s is None else RandomStreams(int(seed)).get(s)
+                        for s, seed in zip(actor.streams, lane_seeds)
+                    ]
                 )
 
     # -- RNG -----------------------------------------------------------------
 
-    def _draw(self, a: int, idx: np.ndarray, scale: float) -> np.ndarray:
+    def _draw(self, a: int, idx: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        """Per-lane exponential draws at per-lane scale (lane-owned streams)."""
         gens = self.gens[a]
         out = np.empty(idx.size)
         for j, i in enumerate(idx):
-            out[j] = float(gens[i].exponential(scale))
+            out[j] = float(gens[i].exponential(scale[i]))
         return out
-
-    # -- fluid-sharing CPU ----------------------------------------------------
-    #
-    # Lanes' virtual service clocks are advanced once per iteration in
-    # :meth:`run` (every lane with an event sits exactly at its own
-    # ``t_next``, so one array op replaces a touch per state change);
-    # the methods below therefore read ``vtime`` as already current.
-
-    def _complete_at_horizon(self, hidx: np.ndarray) -> None:
-        """Settle lanes whose sharing horizon fires: find finished jobs.
-
-        Completions can only happen at a lane's epoch horizon (between
-        horizons every running job's remaining service is strictly
-        positive), so this is the one place ``finish_v - V <= eps`` is
-        checked. Finished jobs land in ``pending`` and step their state
-        machines after this instant's wake events, like the object
-        scheduler's succeed-then-resume ordering.
-        """
-        done = self.fv[:, hidx] - self.vtime[hidx] <= _EPS
-        for r in done.any(axis=1).nonzero()[0]:
-            comp = hidx[done[r]]
-            self.fv[r][comp] = np.inf
-            self.dirty[comp] = True
-            self.pending[r].append(comp)
-
-    def _submit_scalar(self, row: int, idx: np.ndarray, work: float) -> bool:
-        """Submit constant CPU work; True if it blocked (False = instant).
-
-        Mirrors :meth:`TimeSharedCPU.execute`: work ``<= eps`` succeeds
-        immediately without touching the scheduler; real work joins the
-        sharing set with a completion target ``V(now) + work``.
-        """
-        if work <= _EPS:
-            return False
-        self.fv[row][idx] = self.vtime[idx] + work
-        self.dirty[idx] = True
-        return True
-
-    def _submit_array(self, row: int, idx: np.ndarray, work: np.ndarray) -> np.ndarray | None:
-        """Submit drawn CPU work; the instantly-done mask (None = none)."""
-        blocked = work > _EPS
-        if blocked.all():
-            self.fv[row][idx] = self.vtime[idx] + work
-            self.dirty[idx] = True
-            return None
-        bidx = idx[blocked]
-        if bidx.size:
-            self.fv[row][bidx] = self.vtime[bidx] + work[blocked]
-            self.dirty[bidx] = True
-        return ~blocked
-
-    def _recompute(self, t_all: np.ndarray) -> None:
-        """Start a fresh sharing epoch at the current instant for dirty lanes."""
-        didx = self.dirty.nonzero()[0]
-        if didx.size == 0:
-            return
-        self.dirty[didx] = False
-        if not self.cpu_rows:
-            return
-        cols = self.fv[:, didx]
-        n = np.isfinite(cols).sum(axis=0)
-        running = n > 0
-        if running.all():
-            run = didx
-        else:
-            idle = didx[~running]
-            self.t_cpu[idle] = np.inf
-            self.eps_rate[idle] = 0.0
-            run = didx[running]
-            if run.size == 0:
-                return
-            n = n[running]
-        rate = self.capacity / n
-        min_fv = cols.min(axis=0) if running.all() else cols[:, running].min(axis=0)
-        self.eps_rate[run] = rate
-        self.t_cpu[run] = t_all[run] + (min_fv - self.vtime[run]) / rate
 
     # -- message pipeline ----------------------------------------------------
     #
@@ -463,20 +1287,41 @@ class _Lanes:
     def _start_message(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Pick the message direction and enter its first fragment."""
         actor = self.actors[a]
-        if actor.dir_code != 2:
-            if actor.n_frags > 1:
-                self.frags_left[a][idx] = actor.n_frags
-            if actor.dir_code == 0:
-                self._send_fragment(a, idx, t)
+        if actor.u:
+            if actor.u_dir == 2:
+                nxt = self.flip[a]
+                out = nxt[idx]
+                nxt[idx] = ~out
+                if actor.u_n_frags > 1:
+                    self.frags_left[a][idx] = actor.u_n_frags
+                    self.cur_out[a][idx] = out
+                self._dispatch_fragment(a, idx, t, out)
             else:
-                self._recv_fragment(a, idx, t)
+                if actor.u_n_frags > 1:
+                    self.frags_left[a][idx] = actor.u_n_frags
+                if actor.u_dir == 0:
+                    self._send_fragment(a, idx, t)
+                else:
+                    self._recv_fragment(a, idx, t)
             return
-        nxt = self.flip[a]
-        out = nxt[idx]
-        nxt[idx] = ~out
-        if actor.n_frags > 1:
-            self.frags_left[a][idx] = actor.n_frags
-            self.cur_out[a][idx] = out
+        dirc = actor.dir_code[idx]
+        both = dirc == 2
+        out = dirc == 0
+        if both.any():
+            nxt = self.flip[a]
+            cur = nxt[idx]
+            out = np.where(both, cur, out)
+            bi = idx[both]
+            nxt[bi] = ~cur[both]
+        self.frags_left[a][idx] = actor.n_frags[idx]
+        self.cur_out[a][idx] = out
+        self._dispatch_fragment(a, idx, t, out)
+
+    def _start_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """Enter the next fragment of an in-flight multi-fragment message."""
+        self._dispatch_fragment(a, idx, t, self.cur_out[a][idx])
+
+    def _dispatch_fragment(self, a: int, idx: np.ndarray, t: np.ndarray, out: np.ndarray) -> None:
         n_out = np.count_nonzero(out)
         if n_out == out.size:
             self._send_fragment(a, idx, t)
@@ -486,77 +1331,125 @@ class _Lanes:
             self._send_fragment(a, idx[out], t[out])
             self._recv_fragment(a, idx[~out], t[~out])
 
-    def _start_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
-        """Enter the next fragment of an in-flight multi-fragment message."""
-        actor = self.actors[a]
-        if actor.dir_code == 0:
-            self._send_fragment(a, idx, t)
-        elif actor.dir_code == 1:
-            self._recv_fragment(a, idx, t)
-        else:
-            out = self.cur_out[a][idx]
-            n_out = np.count_nonzero(out)
-            if n_out == out.size:
-                self._send_fragment(a, idx, t)
-            elif n_out == 0:
-                self._recv_fragment(a, idx, t)
-            else:
-                self._send_fragment(a, idx[out], t[out])
-                self._recv_fragment(a, idx[~out], t[~out])
-
     def _send_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
-        if not self._submit_scalar(self.actors[a].r_conv_s, idx, self.actors[a].conv):
+        actor = self.actors[a]
+        if actor.u:
+            if actor.u_conv <= _EPS:
+                self._send_wire(a, idx, t)
+            else:
+                self.cpu.submit_work(actor.r_conv_s, idx, t, actor.u_conv)
+            return
+        instant = self.cpu.submit(actor.r_conv_s, idx, t, actor.conv[idx])
+        if instant is not None:
             # Zero-cost conversion: straight onto the wire.
-            self._send_wire(a, idx, t)
+            sub = idx[instant]
+            if sub.size == idx.size:
+                self._send_wire(a, idx, t)
+            elif sub.size:
+                self._send_wire(a, sub, t[instant])
 
     def _send_wire(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Conversion done: claim the wire now, price the rest forward."""
         actor = self.actors[a]
-        c1 = np.maximum(t, self.link_free[idx]) + actor.hold
+        if actor.u:
+            c1 = np.maximum(t, self.link_free[idx]) + actor.u_hold
+            self.link_free[idx] = c1
+            if actor.u_two_hops:
+                self.wait[actor.w_send_nx][idx] = c1
+            else:
+                self.wait[actor.w_frag_end][idx] = c1 + actor.u_nh
+            return
+        c1 = np.maximum(t, self.link_free[idx]) + actor.hold[idx]
         self.link_free[idx] = c1
-        if actor.two_hops:
+        th = actor.two_hops[idx]
+        if th.all():
             # The service node is claimed at wire completion; wake then.
             self.wait[actor.w_send_nx][idx] = c1
+        elif th.any():
+            self.wait[actor.w_send_nx][idx[th]] = c1[th]
+            one = idx[~th]
+            self.wait[actor.w_frag_end][one] = c1[~th] + actor.nh[one]
         else:
-            self.wait[actor.w_frag_end][idx] = c1 + actor.nh
+            self.wait[actor.w_frag_end][idx] = c1 + actor.nh[idx]
 
     def _send_nx(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Wire completion (2hops send): claim the service node now."""
         actor = self.actors[a]
-        c2 = np.maximum(t, self.svc_free[idx]) + actor.nx
+        if actor.u:
+            c2 = np.maximum(t, self.svc_free[idx]) + actor.u_nx
+            self.svc_free[idx] = c2
+            self.wait[actor.w_frag_end][idx] = c2 + actor.u_nh
+            return
+        c2 = np.maximum(t, self.svc_free[idx]) + actor.nx[idx]
         self.svc_free[idx] = c2
-        self.wait[actor.w_frag_end][idx] = c2 + actor.nh
+        self.wait[actor.w_frag_end][idx] = c2 + actor.nh[idx]
 
     def _recv_fragment(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
-        if actor.nh > 0:
-            self.wait[actor.w_recv_claim][idx] = t + actor.nh
+        if actor.u:
+            if actor.u_nh > 0:
+                self.wait[actor.w_recv_claim][idx] = t + actor.u_nh
+            else:
+                self._recv_claim(a, idx, t)
+            return
+        hn = actor.nh[idx] > 0
+        if hn.all():
+            self.wait[actor.w_recv_claim][idx] = t + actor.nh[idx]
+        elif hn.any():
+            hi = idx[hn]
+            self.wait[actor.w_recv_claim][hi] = t[hn] + actor.nh[hi]
+            self._recv_claim(a, idx[~hn], t[~hn])
         else:
             self._recv_claim(a, idx, t)
 
     def _recv_claim(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Node handling over: claim nx (2hops) or the wire directly."""
         actor = self.actors[a]
-        if actor.two_hops:
-            c2 = np.maximum(t, self.svc_free[idx]) + actor.nx
-            self.svc_free[idx] = c2
-            self.wait[actor.w_recv_wire][idx] = c2
-        else:
-            self._recv_wire(a, idx, t)
+        if actor.u:
+            if actor.u_two_hops:
+                c2 = np.maximum(t, self.svc_free[idx]) + actor.u_nx
+                self.svc_free[idx] = c2
+                self.wait[actor.w_recv_wire][idx] = c2
+            else:
+                self._recv_wire(a, idx, t)
+            return
+        th = actor.two_hops[idx]
+        if th.any():
+            hi = idx[th]
+            c2 = np.maximum(t[th], self.svc_free[hi]) + actor.nx[hi]
+            self.svc_free[hi] = c2
+            self.wait[actor.w_recv_wire][hi] = c2
+        if not th.all():
+            oi = idx[~th]
+            self._recv_wire(a, oi, t[~th])
 
     def _recv_wire(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
-        cw = np.maximum(t, self.link_free[idx]) + actor.hold
+        hold = actor.u_hold if actor.u else actor.hold[idx]
+        cw = np.maximum(t, self.link_free[idx]) + hold
         self.link_free[idx] = cw
         self.wait[actor.w_recv_conv][idx] = cw
 
     def _recv_conv(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
-        if not self._submit_scalar(self.actors[a].r_conv_r, idx, self.actors[a].conv):
-            self._fragment_done(a, idx, t)
+        actor = self.actors[a]
+        if actor.u:
+            if actor.u_conv <= _EPS:
+                self._fragment_done(a, idx, t)
+            else:
+                self.cpu.submit_work(actor.r_conv_r, idx, t, actor.u_conv)
+            return
+        instant = self.cpu.submit(actor.r_conv_r, idx, t, actor.conv[idx])
+        if instant is not None:
+            sub = idx[instant]
+            if sub.size == idx.size:
+                self._fragment_done(a, idx, t)
+            elif sub.size:
+                self._fragment_done(a, sub, t[instant])
 
     def _fragment_done(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
-        if actor.n_frags <= 1:
+        if actor.u and actor.u_n_frags <= 1:
+            # Single-fragment messages skip the countdown entirely.
             self._message_done(a, idx, t)
             return
         left = self.frags_left[a][idx] - 1
@@ -595,31 +1488,75 @@ class _Lanes:
     def _alt_cycle(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Start ``alternating`` cycles (draw order: comp work, then budget)."""
         actor = self.actors[a]
+        if actor.u:
+            pending, tp = idx, t
+            while pending.size:
+                if actor.u_comp_target > 0:
+                    works = self._draw(a, pending, actor.comp_target)
+                    instant = self.cpu.submit(actor.r_comp, pending, tp, works)
+                    if instant is None:
+                        break
+                    pending, tp = pending[instant], tp[instant]
+                    if pending.size == 0:
+                        break
+                if actor.u_comm_target > 0:
+                    self._alt_comm(a, pending, tp)
+                    break
+                if actor.u_comp_target <= 0:  # pragma: no cover - defensive
+                    break
+                # Pure-compute contender whose work draw was ~zero: loop
+                # straight into the next cycle's draw.
+            return
         pending, tp = idx, t
         while pending.size:
-            if actor.comp_target > 0:
-                works = self._draw(a, pending, actor.comp_target)
-                instant = self._submit_array(actor.r_comp, pending, works)
-                if instant is None:
-                    break
-                pending, tp = pending[instant], tp[instant]
-                if pending.size == 0:
-                    break
-            if actor.comm_target > 0:
-                self._alt_comm(a, pending, tp)
+            hc = actor.comp_target[pending] > 0
+            at_comm = np.ones(pending.size, dtype=bool)
+            if hc.any():
+                ci = pending[hc]
+                instant = self.cpu.submit(
+                    actor.r_comp, ci, tp[hc], self._draw(a, ci, actor.comp_target)
+                )
+                # Blocked lanes leave the loop; instant draws fall
+                # through to the comm stage at this same instant.
+                at_comm[hc] = np.zeros(ci.size, dtype=bool) if instant is None else instant
+            cur, curt = pending[at_comm], tp[at_comm]
+            if cur.size == 0:
                 break
-            if actor.comp_target <= 0:  # pragma: no cover - defensive
-                break
-            # Pure-compute contender whose work draw was ~zero: the
-            # object engine loops straight into the next cycle's draw.
+            hm = actor.comm_target[cur] > 0
+            if hm.any():
+                self._alt_comm(a, cur[hm], curt[hm])
+            # Pure-compute lanes whose work draw was ~zero loop straight
+            # into the next cycle's draw, like the object engine.
+            again = ~hm & (actor.comp_target[cur] > 0)
+            pending, tp = cur[again], curt[again]
+
+    def _alt_comp_done(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
+        """A contender's compute chunk finished: communicate or loop."""
+        actor = self.actors[a]
+        if actor.u:
+            if actor.u_comm_target > 0:
+                self._alt_comm(a, idx, t)
+            else:
+                self._alt_cycle(a, idx, t)
+            return
+        hm = actor.comm_target[idx] > 0
+        if hm.all():
+            self._alt_comm(a, idx, t)
+        elif hm.any():
+            self._alt_comm(a, idx[hm], t[hm])
+            self._alt_cycle(a, idx[~hm], t[~hm])
+        else:
+            self._alt_cycle(a, idx, t)
 
     def _alt_comm(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
         gens = self.gens[a]
+        per_message = actor.per_message
+        comm_target = actor.comm_target
         msgs = np.empty(idx.size, dtype=np.int64)
         for j, i in enumerate(idx):
-            budget = gens[i].exponential(actor.comm_target)
-            msgs[j] = max(1, int(round(budget / actor.per_message)))
+            budget = gens[i].exponential(comm_target[i])
+            msgs[j] = max(1, int(round(budget / per_message[i])))
         self.msgs_left[a][idx] = msgs
         self._start_message(a, idx, t)
 
@@ -630,7 +1567,7 @@ class _Lanes:
 
     def _daemon_wake(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
-        instant = self._submit_array(actor.r_comp, idx, self._draw(a, idx, actor.work))
+        instant = self.cpu.submit(actor.r_comp, idx, t, self._draw(a, idx, actor.work))
         if instant is not None and instant.any():
             # Zero-length burst: straight to the next interval draw.
             self._daemon_sleep(a, idx[instant], t[instant])
@@ -641,6 +1578,26 @@ class _Lanes:
     def _cyclic_next(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         """Advance the cyclic probe to its next cycle (or finish)."""
         actor = self.actors[a]
+        if actor.u:
+            pending, tp = idx, t
+            while pending.size:
+                self.cycles_left[a][pending] -= 1
+                fin = self.cycles_left[a][pending] <= 0
+                if fin.any():
+                    self._finish_lane(pending[fin], tp[fin])
+                    pending, tp = pending[~fin], tp[~fin]
+                    if pending.size == 0:
+                        break
+                if actor.u_work > _EPS:
+                    self.cpu.submit_work(actor.r_comp, pending, tp, actor.u_work)
+                    break
+                if actor.u_msgs > 0:
+                    self.msgs_left[a][pending] = actor.u_msgs
+                    self._start_message(a, pending, tp)
+                    break
+                # Message-free cycle whose comp was instant: fall through
+                # to the next cycle at this instant (bounded by ``cycles``).
+            return
         pending, tp = idx, t
         while pending.size:
             self.cycles_left[a][pending] -= 1
@@ -650,23 +1607,40 @@ class _Lanes:
                 pending, tp = pending[~fin], tp[~fin]
                 if pending.size == 0:
                     break
-            if actor.work > 0:
-                if self._submit_scalar(actor.r_comp, pending, actor.work):
-                    break
-            if actor.msgs_per_cycle > 0:
-                self.msgs_left[a][pending] = actor.msgs_per_cycle
-                self._start_message(a, pending, tp)
+            at_msgs = np.ones(pending.size, dtype=bool)
+            hw = actor.work[pending] > 0
+            if hw.any():
+                wi = pending[hw]
+                instant = self.cpu.submit(actor.r_comp, wi, tp[hw], actor.work[wi])
+                at_msgs[hw] = np.zeros(wi.size, dtype=bool) if instant is None else instant
+            cur, curt = pending[at_msgs], tp[at_msgs]
+            if cur.size == 0:
                 break
-            # Message-free cycle whose comp was instant: fall through to
+            hm = actor.msgs_per_cycle[cur] > 0
+            if hm.any():
+                mi = cur[hm]
+                self.msgs_left[a][mi] = actor.msgs_per_cycle[mi]
+                self._start_message(a, mi, curt[hm])
+            # Message-free cycles whose comp was instant fall through to
             # the next cycle at the same instant (bounded by ``cycles``).
+            pending, tp = cur[~hm], curt[~hm]
 
     def _cyclic_after_comp(self, a: int, idx: np.ndarray, t: np.ndarray) -> None:
         actor = self.actors[a]
-        if actor.msgs_per_cycle > 0:
-            self.msgs_left[a][idx] = actor.msgs_per_cycle
-            self._start_message(a, idx, t)
-        else:
-            self._cyclic_next(a, idx, t)
+        if actor.u:
+            if actor.u_msgs > 0:
+                self.msgs_left[a][idx] = actor.u_msgs
+                self._start_message(a, idx, t)
+            else:
+                self._cyclic_next(a, idx, t)
+            return
+        hm = actor.msgs_per_cycle[idx] > 0
+        if hm.any():
+            mi = idx[hm]
+            self.msgs_left[a][mi] = actor.msgs_per_cycle[mi]
+            self._start_message(a, mi, t[hm])
+        if not hm.all():
+            self._cyclic_next(a, idx[~hm], t[~hm])
 
     def _finish_lane(self, idx: np.ndarray, t: np.ndarray) -> None:
         self.result[idx] = t
@@ -676,29 +1650,34 @@ class _Lanes:
     # -- driver ----------------------------------------------------------------
 
     def init(self) -> None:
-        """Run every actor's first step at t = 0 (spawn order)."""
+        """Run every present actor's first step at t = 0 (spawn order)."""
         t0 = np.zeros(self.n)
-        all_lanes = np.arange(self.n)
         for a, actor in enumerate(self.actors):
+            lanes = actor.present.nonzero()[0]
+            if lanes.size == 0:
+                continue
+            t = t0[lanes]
             if actor.kind == _K_DAEMON:
-                self._daemon_sleep(a, all_lanes, t0)
+                self._daemon_sleep(a, lanes, t)
             elif actor.kind == _K_ALT:
-                self._alt_cycle(a, all_lanes, t0)
+                self._alt_cycle(a, lanes, t)
             elif actor.kind == _K_BURST:
-                self.msgs_left[a][all_lanes] = actor.count
-                self._start_message(a, all_lanes, t0)
+                self.msgs_left[a][lanes] = actor.count[lanes]
+                self._start_message(a, lanes, t)
             elif actor.kind == _K_COMPUTE:
-                if not self._submit_scalar(actor.r_comp, all_lanes, actor.work):
-                    self._finish_lane(all_lanes, t0)
+                instant = self.cpu.submit(actor.r_comp, lanes, t, actor.work[lanes])
+                if instant is not None and instant.any():
+                    self._finish_lane(lanes[instant], t[instant])
             else:
-                self.cycles_left[a][all_lanes] = actor.cycles + 1
-                self._cyclic_next(a, all_lanes, t0)
-        self._recompute(t0)
+                self.cycles_left[a][lanes] = actor.cycles[lanes] + 1
+                self._cyclic_next(a, lanes, t)
+        self.cpu.recompute(t0)
 
     def run(self, max_iters: int = 50_000_000) -> np.ndarray:
         self.init()
         wait = self.wait
-        t_cpu = self.t_cpu
+        cpu = self.cpu
+        t_cpu = cpu.t_cpu
         active = self.active
         pending = self.pending
         wait_rows = self.wait_rows
@@ -725,16 +1704,17 @@ class _Lanes:
                 break
             t_next[~finite] = np.nan
             # Every lane with an event sits exactly at its own ``t_next``:
-            # advance all virtual service clocks in one sweep (one wake of
-            # the fluid scheduler per lane, amortized across every state
-            # change this iteration performs at that instant).
+            # advance per-instant CPU state (the PS virtual clocks) in
+            # one sweep, amortized across every state change this
+            # iteration performs at that instant.
             fidx = finite.nonzero()[0]
-            self.vtime[fidx] += (t_next[fidx] - self.eps_t0[fidx]) * self.eps_rate[fidx]
-            self.eps_t0[fidx] = t_next[fidx]
-            # Settle lanes whose sharing horizon fires at their next instant.
+            cpu.advance(fidx, t_next)
+            # Settle lanes whose CPU horizon fires at their next instant
+            # first — at a tie the object scheduler also settles the
+            # epoch before the arriving wake is processed.
             hidx = (t_cpu == t_next).nonzero()[0]
             if hidx.size:
-                self._complete_at_horizon(hidx)
+                cpu.settle(hidx, t_next)
             # Wake events, then the horizon's CPU completions, in spawn
             # order. The due matrix is computed before any handler runs:
             # handlers only ever reschedule their own actor's rows, and
@@ -756,8 +1736,36 @@ class _Lanes:
                     idx = bucket[0] if len(bucket) == 1 else np.unique(np.concatenate(bucket))
                     a, fn = cpu_rows[r]
                     fn(a, idx, t_next[idx])
-            self._recompute(t_next)
+            cpu.recompute(t_next)
         return self.result
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    lane_seeds: Sequence[int],
+    max_iters: int = 50_000_000,
+) -> np.ndarray:
+    """Run one scenario *per lane*; per-lane probe elapsed times.
+
+    *points* names each lane's scenario (repeat one point for a
+    replication batch; vary them for a sweep batch) and *lane_seeds*
+    the per-lane master seeds (the object path's
+    ``RandomStreams(seed).fork(k).seed``). All points must share the
+    probe type and CPU discipline (group upstream otherwise); ragged
+    contender counts and daemon-less points are padded with absent
+    actors. Lanes that fail to finish (event-cap breach or a stall)
+    come back as NaN for the caller to quarantine — a bad lane degrades
+    the batch, it does not poison it.
+    """
+    if len(points) != len(lane_seeds):
+        raise WorkloadError(
+            f"run_sweep needs one point per lane, got {len(points)} points for {len(lane_seeds)} lanes"
+        )
+    if len(lane_seeds) == 0:
+        return np.empty(0)
+    actors, cap, quantum, cswitch, discipline = _compile_batch(points)
+    lanes = _Lanes(actors, cap, quantum, cswitch, discipline, lane_seeds)
+    return lanes.run(max_iters=max_iters)
 
 
 def run_lanes(
@@ -769,16 +1777,8 @@ def run_lanes(
 ) -> np.ndarray:
     """Run one scenario across many lanes; per-lane probe elapsed times.
 
-    *lane_seeds* are the per-replication master seeds (the object path's
-    ``RandomStreams(seed).fork(k).seed``). Lanes that fail to finish
-    (event-cap breach or a stall) come back as NaN for the caller to
-    quarantine — a bad lane degrades the batch, it does not poison it.
+    The single-point wrapper over :func:`run_sweep`: every lane gets
+    the same :class:`SweepPoint`, differing only in its seed universe.
     """
-    reason = unsupported_reason(spec, contenders, probe)
-    if reason is not None:
-        raise WorkloadError(f"vector backend cannot run this scenario: {reason}")
-    if len(lane_seeds) == 0:
-        return np.empty(0)
-    actors = _compile_actors(spec, contenders, probe)
-    lanes = _Lanes(spec, actors, lane_seeds)
-    return lanes.run(max_iters=max_iters)
+    point = SweepPoint(spec=spec, contenders=tuple(contenders), probe=probe)
+    return run_sweep([point] * len(lane_seeds), lane_seeds, max_iters=max_iters)

@@ -45,6 +45,17 @@ def _spec(probe=None, **kw):
     )
 
 
+#: An uncovered-but-runnable spec: 2hops routing through a service node
+#: with capacity 2 is outside the vector envelope, fine on the object
+#: engine — the fallback tests need something that actually executes.
+_2HOPS_CAP2_SPEC = SimSpec(
+    platform=SunParagonSpec(cpu=CpuSpec(discipline="ps"), service_node_capacity=2),
+    probe=BurstProbe(200, 10),
+    contenders=CONTENDERS,
+    mode="2hops",
+)
+
+
 class TestBackendResolution:
     def test_default_is_vector(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)
@@ -92,27 +103,57 @@ class TestVectorObjectParity:
 
 
 class TestFallback:
-    def test_rr_spec_falls_back_with_reason(self):
-        res = simulate(
-            SimSpec(platform=DEFAULT_SUNPARAGON, probe=BurstProbe(200, 10)),
-            reps=2,
-            backend="vector",
-        )
+    def test_default_rr_spec_runs_on_vector_with_zero_fallbacks(self):
+        """The production spec (rr discipline) no longer leaves the vector path."""
+        ctx = ObsContext(tracer=Tracer(seed=0), metrics=MetricsRegistry())
+        with observed(ctx):
+            res = simulate(
+                SimSpec(
+                    platform=DEFAULT_SUNPARAGON,
+                    probe=BurstProbe(200, 10),
+                    contenders=CONTENDERS,
+                ),
+                reps=2,
+                backend="vector",
+            )
+        assert res.requested_backend == "vector"
+        assert res.backend == "vector"
+        assert res.fallback_reason is None
+        assert ctx.metrics.counter("simulate.fallback").value == 0
+
+    def test_uncovered_spec_falls_back_with_reason(self):
+        res = simulate(_2HOPS_CAP2_SPEC, reps=2, backend="vector")
         assert res.requested_backend == "vector"
         assert res.backend == "object"
-        assert "discipline" in res.fallback_reason
+        assert "service_node_capacity" in res.fallback_reason
+
+    def test_unknown_discipline_reported_as_unsupported(self):
+        spec = SimSpec(
+            platform=SunParagonSpec(cpu=CpuSpec(discipline="fcfs")),
+            probe=BurstProbe(200, 10),
+        )
+        from repro.experiments.simulate import _vector_workload
+        from repro.sim import vector as _vector
+
+        contenders, probe, reason = _vector_workload(spec)
+        assert reason is None
+        reason = _vector.unsupported_reason(spec.platform, contenders, probe)
+        assert reason is not None and "discipline" in reason
 
     def test_opaque_measure_falls_back(self):
         res = simulate(lambda s: 1.0, reps=2, backend="vector")
         assert res.backend == "object"
         assert "SimSpec" in res.fallback_reason
 
-    def test_fallback_is_counted(self):
+    def test_fallback_is_counted_and_labeled(self):
         ctx = ObsContext(tracer=Tracer(seed=0), metrics=MetricsRegistry())
         with observed(ctx):
             simulate(lambda s: 1.0, reps=2, backend="vector")
+            simulate(_2HOPS_CAP2_SPEC, reps=2, backend="vector")
             simulate(_spec(), reps=2, backend="vector")  # no fallback
-        assert ctx.metrics.counter("simulate.fallback").value == 1
+        assert ctx.metrics.counter("simulate.fallback").value == 2
+        assert ctx.metrics.counter("simulate.fallback.opaque_measure").value == 1
+        assert ctx.metrics.counter("simulate.fallback.service_capacity").value == 1
 
     def test_explicit_object_is_not_a_fallback(self):
         ctx = ObsContext(tracer=Tracer(seed=0), metrics=MetricsRegistry())
@@ -122,10 +163,103 @@ class TestFallback:
         assert ctx.metrics.counter("simulate.fallback").value == 0
 
     def test_fallback_values_match_explicit_object(self):
-        spec = SimSpec(platform=DEFAULT_SUNPARAGON, probe=BurstProbe(200, 10))
-        fell = simulate(spec, reps=3, seed=2, backend="vector")
-        forced = simulate(spec, reps=3, seed=2, backend="object")
+        fell = simulate(_2HOPS_CAP2_SPEC, reps=3, seed=2, backend="vector")
+        forced = simulate(_2HOPS_CAP2_SPEC, reps=3, seed=2, backend="object")
         assert fell.values == forced.values
+
+    def test_rr_vector_matches_object_oracle(self):
+        spec = SimSpec(
+            platform=DEFAULT_SUNPARAGON, probe=BurstProbe(200, 10), contenders=CONTENDERS
+        )
+        vec = simulate(spec, reps=3, seed=2, backend="vector")
+        obj = simulate(spec, reps=3, seed=2, backend="object")
+        assert vec.backend == "vector" and obj.backend == "object"
+        assert np.allclose(vec.values, obj.values, rtol=1e-9, atol=0.0)
+
+
+def _sweep_points():
+    return [
+        _spec(probe=BurstProbe(size, 10, "out"))
+        for size in (64, 200, 512, 1024)
+    ]
+
+
+class TestSweepLanes:
+    def test_sweep_matches_per_point_bitwise(self):
+        points = _sweep_points()
+        batch = simulate(sweep=points, reps=3, seed=9, backend="vector")
+        assert len(batch) == len(points)
+        for sp, res in zip(points, batch):
+            solo = simulate(sp, reps=3, seed=9, backend="vector")
+            assert res.backend == "vector" and res.fallback_reason is None
+            assert res.values == solo.values
+
+    def test_sweep_env_disable_is_bit_identical(self, monkeypatch):
+        from repro.experiments.simulate import SWEEP_ENV
+
+        points = _sweep_points()
+        lanes = simulate(sweep=points, reps=2, seed=4, backend="vector")
+        monkeypatch.setenv(SWEEP_ENV, "0")
+        loop = simulate(sweep=points, reps=2, seed=4, backend="vector")
+        assert [r.values for r in lanes] == [r.values for r in loop]
+
+    def test_spec_and_sweep_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            simulate(_spec(), sweep=_sweep_points(), reps=2)
+        with pytest.raises(ValueError):
+            simulate(reps=2)
+
+    def test_sweep_with_workers_bit_identical(self):
+        points = _sweep_points()
+        serial = simulate(sweep=points, reps=3, seed=6, backend="vector", workers=1)
+        chunked = simulate(sweep=points, reps=3, seed=6, backend="vector", workers=3)
+        assert [r.values for r in serial] == [r.values for r in chunked]
+
+    def test_mixed_eligible_and_fallback_points(self):
+        points = [_spec(), _2HOPS_CAP2_SPEC, _spec(probe=BurstProbe(512, 10))]
+        batch = simulate(sweep=points, reps=2, seed=3, backend="vector")
+        assert [r.backend for r in batch] == ["vector", "object", "vector"]
+        assert batch[1].fallback_reason is not None
+        for sp, res in zip(points, batch):
+            assert res.values == simulate(sp, reps=2, seed=3, backend="vector").values
+
+    def test_heterogeneous_probe_kinds_in_one_sweep(self):
+        points = [
+            _spec(probe=BurstProbe(200, 10)),
+            _spec(probe=ComputeProbe(0.5)),
+            _spec(probe=CyclicProbe(3, 0.05, 2, 200.0)),
+        ]
+        batch = simulate(sweep=points, reps=2, seed=8, backend="vector")
+        for sp, res in zip(points, batch):
+            assert res.backend == "vector"
+            assert res.values == simulate(sp, reps=2, seed=8, backend="vector").values
+
+    def test_sweep_journal_interop_with_per_point(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        points = _sweep_points()
+        with journaled(RunJournal(path, resume=False)):
+            fresh = simulate(sweep=points, reps=2, seed=12, backend="vector")
+        journal = RunJournal(path, resume=True)
+        with journaled(journal):
+            replayed = [
+                simulate(sp, reps=2, seed=12, backend="vector") for sp in points
+            ]
+        assert [r.values for r in replayed] == [r.values for r in fresh]
+        assert journal.hits == len(points) and journal.misses == 0
+
+    def test_per_point_journal_replays_into_sweep(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        points = _sweep_points()
+        with journaled(RunJournal(path, resume=False)):
+            fresh = [simulate(sp, reps=2, seed=12, backend="vector") for sp in points]
+        journal = RunJournal(path, resume=True)
+        with journaled(journal):
+            replayed = simulate(sweep=points, reps=2, seed=12, backend="vector")
+        assert [r.values for r in replayed] == [r.values for r in fresh]
+        assert journal.hits == len(points) and journal.misses == 0
+
+    def test_empty_sweep(self):
+        assert simulate(sweep=[], reps=2, backend="vector") == []
 
 
 class TestQuarantineMasking:

@@ -29,11 +29,13 @@ from repro.platforms.sunparagon import SunParagonPlatform
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.vector import (
+    SweepPoint,
     VectorBurstProbe,
     VectorComputeProbe,
     VectorContender,
     VectorCyclicProbe,
     run_lanes,
+    run_sweep,
     unsupported_reason,
 )
 
@@ -111,6 +113,31 @@ def random_scenario(rnd: random.Random):
     return spec, cons, probe
 
 
+def rr_scenario(rnd: random.Random):
+    """A :func:`random_scenario` workload on a random *rr* front end.
+
+    Random quantum and context-switch overhead exercise the vectorized
+    epoch-plan math (head slice, switch-patterned cycle, rotation
+    skips); contender tags exercise the session-continuation credit.
+    """
+    spec, cons, probe = random_scenario(rnd)
+    cpu = CpuSpec(
+        discipline="rr",
+        quantum=rnd.choice([1e-3, 5e-3, 2e-2]),
+        context_switch=rnd.choice([0.0, 5e-5, 1e-3]),
+        daemon_interval=spec.cpu.daemon_interval,
+        daemon_work=spec.cpu.daemon_work,
+    )
+    cons = [
+        VectorContender(
+            c.comm_fraction, c.message_size, c.stream,
+            c.mean_cycle, c.direction, c.mode, tag=f"c{i}",
+        )
+        for i, c in enumerate(cons)
+    ]
+    return SunParagonSpec(cpu=cpu), cons, probe
+
+
 # 8 chunks x 10 scenarios x 3 lanes = 240 seeded vector-vs-object runs.
 @pytest.mark.parametrize("chunk", range(8))
 def test_differential_vector_vs_object(chunk):
@@ -126,6 +153,90 @@ def test_differential_vector_vs_object(chunk):
             f"scenario {s}: relative divergence {rel:.3e} "
             f"(probe={type(probe).__name__}, ncon={len(cons)})"
         )
+
+
+# 8 chunks x 10 scenarios x 3 lanes = 240 seeded RR vector-vs-object runs.
+@pytest.mark.parametrize("chunk", range(8))
+def test_differential_rr_vector_vs_object(chunk):
+    for s in range(chunk * 10, (chunk + 1) * 10):
+        rnd = random.Random(20260808 + s)
+        spec, cons, probe = rr_scenario(rnd)
+        lane_seeds = [RandomStreams(2000 + s).fork(k).seed for k in range(3)]
+        vec = run_lanes(spec, cons, probe, lane_seeds)
+        obj = np.array([object_run(spec, cons, probe, ls) for ls in lane_seeds])
+        scale = max(1e-12, float(np.max(np.abs(obj))))
+        rel = float(np.max(np.abs(vec - obj))) / scale
+        assert rel <= TOL, (
+            f"rr scenario {s}: relative divergence {rel:.3e} "
+            f"(probe={type(probe).__name__}, ncon={len(cons)}, cpu={spec.cpu})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sweep-level lanes: ragged heterogeneous points in one batch
+# ---------------------------------------------------------------------------
+
+
+def _sweep_points(disc: str, count: int, seed0: int):
+    """Ragged sweep points: varied contender counts, daemon on/off, sizes."""
+    points, seeds = [], []
+    for s in range(count):
+        rnd = random.Random(seed0 + s)
+        if disc == "rr":
+            spec, cons, probe = rr_scenario(rnd)
+        else:
+            spec, cons, probe = random_scenario(rnd)
+        # Uniform probe kind per batch (run_sweep's contract): burst.
+        mode = cons[0].mode if cons else "1hop"
+        probe = VectorBurstProbe(
+            rnd.choice([16, 200, 1024]), rnd.randint(5, 30),
+            rnd.choice(["out", "in"]), mode,
+        )
+        points.append(SweepPoint(spec, tuple(cons), probe))
+        seeds.append(RandomStreams(seed0 + 7 * s).fork(0).seed)
+    return points, seeds
+
+
+@pytest.mark.parametrize("disc", ["ps", "rr"])
+def test_sweep_matches_per_point_bitwise(disc):
+    """A ragged sweep batch == the concatenation of its per-point runs."""
+    points, seeds = _sweep_points(disc, 8, 4200)
+    batched = run_sweep(points, seeds)
+    singles = np.array([run_sweep([pt], [sd])[0] for pt, sd in zip(points, seeds)])
+    assert (batched == singles).all(), (batched, singles)
+
+
+@pytest.mark.parametrize("disc", ["ps", "rr"])
+def test_sweep_matches_object_oracle(disc):
+    """Every lane of a ragged sweep matches its own object-engine run."""
+    points, seeds = _sweep_points(disc, 6, 5300)
+    batched = run_sweep(points, seeds)
+    for pt, sd, got in zip(points, seeds, batched):
+        obj = object_run(pt.spec, pt.contenders, pt.probe, sd)
+        rel = abs(got - obj) / max(1e-12, abs(obj))
+        assert rel <= TOL, (pt, rel)
+
+
+class TestSweepValidation:
+    def test_point_count_must_match_lane_count(self):
+        points, seeds = _sweep_points("ps", 3, 6000)
+        with pytest.raises(WorkloadError):
+            run_sweep(points, seeds[:2])
+
+    def test_mixed_disciplines_rejected(self):
+        p_ps, s_ps = _sweep_points("ps", 1, 6100)
+        p_rr, s_rr = _sweep_points("rr", 1, 6200)
+        with pytest.raises(WorkloadError):
+            run_sweep(p_ps + p_rr, s_ps + s_rr)
+
+    def test_mixed_probe_kinds_rejected(self):
+        points, seeds = _sweep_points("ps", 2, 6300)
+        mixed = [points[0], SweepPoint(points[1].spec, points[1].contenders, VectorComputeProbe(0.5))]
+        with pytest.raises(WorkloadError):
+            run_sweep(mixed, seeds)
+
+    def test_empty_sweep(self):
+        assert run_sweep([], []).shape == (0,)
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +276,77 @@ def test_lane_subset_invariance(seed, drop):
     assert (partial == expected).all()
 
 
+_RR_PROP_CONS = (
+    VectorContender(0.25, 200, "sunparagon/contender-0", tag="c25"),
+    VectorContender(0.76, 200, "sunparagon/contender-1", tag="c76"),
+)
+
+
+def _rr_spec(quantum: float, context_switch: float = 5e-5) -> SunParagonSpec:
+    return SunParagonSpec(
+        cpu=CpuSpec(discipline="rr", quantum=quantum, context_switch=context_switch)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    drop=st.integers(min_value=0, max_value=3),
+    quantum=st.sampled_from([5e-4, 1e-3, 4e-3, 1.6e-2]),
+)
+def test_rr_lane_subset_invariance(seed, drop, quantum):
+    """RR lanes are bit-independent: dropping a lane moves no other lane."""
+    spec = _rr_spec(quantum)
+    lane_seeds = [RandomStreams(seed).fork(k).seed for k in range(4)]
+    full = run_lanes(spec, _RR_PROP_CONS, _PROP_PROBE, lane_seeds)
+    subset = lane_seeds[:drop] + lane_seeds[drop + 1:]
+    partial = run_lanes(spec, _RR_PROP_CONS, _PROP_PROBE, subset)
+    expected = np.concatenate([full[:drop], full[drop + 1:]])
+    assert (partial == expected).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    quantum=st.floats(min_value=2e-4, max_value=5e-2),
+    context_switch=st.sampled_from([0.0, 5e-5, 1e-3]),
+)
+def test_rr_quantum_invariance_vs_object(seed, quantum, context_switch):
+    """For *any* quantum, the vector RR engine matches the object oracle."""
+    spec = _rr_spec(quantum, context_switch)
+    lane_seed = RandomStreams(seed).fork(0).seed
+    vec = run_lanes(spec, _RR_PROP_CONS, _PROP_PROBE, [lane_seed])[0]
+    obj = object_run(spec, _RR_PROP_CONS, _PROP_PROBE, lane_seed)
+    assert abs(vec - obj) / max(1e-12, abs(obj)) <= TOL
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    perm=st.permutations(list(range(4))),
+)
+def test_rr_ragged_sweep_padding_never_leaks(seed, perm):
+    """In a ragged sweep, each lane equals its solo run — padding rows,
+    absent contenders and batch-mates' quanta leak nothing across lanes."""
+    variants = [
+        SweepPoint(_rr_spec(1e-3), _RR_PROP_CONS, _PROP_PROBE),
+        SweepPoint(_rr_spec(4e-3), _RR_PROP_CONS[:1], _PROP_PROBE),
+        SweepPoint(_rr_spec(1e-3, 0.0), (), _PROP_PROBE),
+        SweepPoint(
+            SunParagonSpec(
+                cpu=CpuSpec(discipline="rr", quantum=2e-3, daemon_interval=0.0, daemon_work=0.0)
+            ),
+            _RR_PROP_CONS,
+            VectorBurstProbe(1024, 8, "in"),
+        ),
+    ]
+    points = [variants[i] for i in perm]
+    seeds = [RandomStreams(seed).fork(k).seed for k in range(len(points))]
+    batched = run_sweep(points, seeds)
+    solos = np.array([run_sweep([pt], [sd])[0] for pt, sd in zip(points, seeds)])
+    assert (batched == solos).all()
+
+
 # ---------------------------------------------------------------------------
 # Quarantine and coverage boundaries
 # ---------------------------------------------------------------------------
@@ -194,8 +376,18 @@ class TestUnsupportedReason:
     def test_ps_burst_supported(self):
         assert unsupported_reason(_PROP_SPEC, _PROP_CONS, _PROP_PROBE) is None
 
-    def test_rr_discipline_unsupported(self):
+    def test_rr_discipline_supported(self):
+        """The default production spec (rr) is inside the envelope now."""
+        assert unsupported_reason(DEFAULT_SUNPARAGON, _RR_PROP_CONS, _PROP_PROBE) is None
+
+    def test_rr_untagged_contenders_unsupported(self):
+        """RR sessions are tag-keyed; anonymous contenders fall back."""
         reason = unsupported_reason(DEFAULT_SUNPARAGON, _PROP_CONS, _PROP_PROBE)
+        assert reason is not None and "tag" in reason
+
+    def test_unknown_discipline_unsupported(self):
+        spec = SunParagonSpec(cpu=CpuSpec(discipline="fcfs"))
+        reason = unsupported_reason(spec, _PROP_CONS, _PROP_PROBE)
         assert reason is not None and "discipline" in reason
 
     def test_foreign_spec_unsupported(self):
@@ -208,5 +400,6 @@ class TestUnsupportedReason:
         assert unsupported_reason(_PROP_SPEC, _PROP_CONS, object()) is not None
 
     def test_run_lanes_raises_workload_error(self):
+        spec = SunParagonSpec(cpu=CpuSpec(discipline="fcfs"))
         with pytest.raises(WorkloadError):
-            run_lanes(DEFAULT_SUNPARAGON, _PROP_CONS, _PROP_PROBE, [1, 2])
+            run_lanes(spec, _PROP_CONS, _PROP_PROBE, [1, 2])
