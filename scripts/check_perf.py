@@ -51,6 +51,7 @@ GUARDED = (
     "test_slowdown_evaluation",
     "test_fleet_query_throughput",
     "test_fleet_event_churn",
+    "test_fleet_supervised_workers",
     "test_vector_batch_reps256",
     "test_object_loop_reps256",
     "test_rr_vector_batch_reps256",

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke job: lint (when available), tier-1 tests, a vector-vs-object
 # backend parity check, a kill-and-resume check of the run journal, a
-# fleet-soak SIGKILL/recovery check, and one traced chaos run whose
-# JSON-lines trace is validated end to end.
+# fleet-soak SIGKILL/recovery check, a supervised worker-chaos soak
+# (SIGKILL/hang/crash shard workers at 100k-app scale, bit-identical
+# recovery), and one traced chaos run whose JSON-lines trace is
+# validated end to end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
 set -euo pipefail
@@ -182,6 +184,43 @@ resumed_hash="$(python -m repro.fleet.soak --log "$fleet_dir/soak.jsonl" \
 }
 echo "ok: SIGKILLed fleet soak resumed bit-identical ($resumed_hash)"
 rm -rf "$fleet_dir"
+
+echo "== supervised fleet: worker chaos, failover, verified respawn =="
+# The chaos proof at 100k-app scale: shard workers are SIGKILLed,
+# wedged, and crashed mid-traffic under the supervision tree. The run
+# itself asserts that the service never raises, that queries against
+# each quarantined shard are answered (ANALYTIC failover), and that
+# every respawned worker's journal replay verifies; here we addition-
+# ally demand the final state hash match an uninterrupted supervised
+# run bit for bit, and that the stderr accounting shows the respawns
+# actually happened.
+chaos_dir="$(mktemp -d -t fleet-chaos.XXXXXX)"
+clean_hash="$(python -m repro.fleet.soak --log "$chaos_dir/clean.jsonl" \
+    --events 100000 --machines 512 --shards 8 --seed 23 \
+    --depart-prob 0.0 --no-sync --supervised 2>/dev/null | tail -n 1)"
+chaos_hash="$(python -m repro.fleet.soak --log "$chaos_dir/chaos.jsonl" \
+    --events 100000 --machines 512 --shards 8 --seed 23 \
+    --depart-prob 0.0 --no-sync \
+    --chaos sigkill@20000,hang@45000,raise@70000 \
+    2>"$chaos_dir/chaos.err" | tail -n 1)"
+[ "$clean_hash" = "$chaos_hash" ] || {
+    echo "error: chaos-run fleet state hash differs from the clean run" >&2
+    echo "  clean: $clean_hash" >&2
+    echo "  chaos: $chaos_hash" >&2
+    exit 1
+}
+chaos_stats="$(tail -n 1 "$chaos_dir/chaos.err")"
+respawns="$(printf '%s\n' "$chaos_stats" | sed -n 's/.*respawns=\([0-9]*\).*/\1/p')"
+[ -n "$respawns" ] && [ "$respawns" -ge 3 ] || {
+    echo "error: expected >= 3 worker respawns, got '$respawns' ($chaos_stats)" >&2
+    exit 1
+}
+case "$chaos_stats" in
+    *"recovery_mismatches=0"*) ;;
+    *) echo "error: recovery mismatches in chaos run ($chaos_stats)" >&2; exit 1 ;;
+esac
+echo "ok: 100k-app worker-chaos soak bit-identical ($chaos_stats)"
+rm -rf "$chaos_dir"
 
 echo "== fast-forward seed determinism =="
 # The event-horizon fast-forward path must not introduce any run-to-run

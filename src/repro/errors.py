@@ -19,6 +19,7 @@ __all__ = [
     "ProbeError",
     "CircuitOpenError",
     "ModelError",
+    "RecoveryError",
     "ScheduleError",
     "WorkloadError",
 ]
@@ -129,6 +130,41 @@ class CircuitOpenError(ProbeError):
 
 class ModelError(ReproError):
     """Invalid inputs to one of the analytical contention models."""
+
+
+class RecoveryError(ReproError):
+    """A rebuilt fleet shard failed verification against its durable stream.
+
+    Raised (or surfaced through
+    :attr:`repro.fleet.service.FleetService.last_recovery_error`) when a
+    journal replay does not reproduce the state the service accounted
+    for: the replayed event count or rolling stream hash diverges from
+    the live bookkeeping, or the rebuilt shard's ``state_hash`` misses
+    the pre-quarantine checkpoint. The shard stays quarantined rather
+    than being silently re-admitted with corrupt state.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose rebuild failed verification.
+    expected_events:
+        Events the service accounted to the shard's stream.
+    replayed_events:
+        Events the verification replay actually reproduced.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int,
+        expected_events: int = 0,
+        replayed_events: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = int(shard_id)
+        self.expected_events = int(expected_events)
+        self.replayed_events = int(replayed_events)
 
 
 class ScheduleError(ReproError):

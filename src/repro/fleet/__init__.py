@@ -3,12 +3,24 @@
 The per-call contention model (:mod:`repro.core`) promoted to a
 long-running, machine-sharded, multi-tenant placement service with
 admission control, load shedding, and journal-backed shard recovery.
+:mod:`repro.fleet.supervisor` runs each shard in its own worker
+process under a supervision tree (heartbeats, failover, verified
+journal-backed respawn).
 """
 
 from .admission import AdmissionController, BoundedQueue, TenantQuota, TokenBucket
 from .registry import AppRecord, FleetRegistry, synthetic_feed
 from .service import FleetService, PlacementAnswer, PlacementQuery
-from .shard import Shard, ShardPolicy
+from .shard import (
+    ReplayCheckpoint,
+    ReplayResult,
+    Shard,
+    ShardPolicy,
+    replay_stream,
+    stream_step,
+)
+from .supervisor import SupervisedFleetService, SupervisorPolicy
+from .worker import WorkerHandle, worker_main
 
 __all__ = [
     "AdmissionController",
@@ -18,9 +30,17 @@ __all__ = [
     "FleetService",
     "PlacementAnswer",
     "PlacementQuery",
+    "ReplayCheckpoint",
+    "ReplayResult",
     "Shard",
     "ShardPolicy",
+    "SupervisedFleetService",
+    "SupervisorPolicy",
     "TenantQuota",
     "TokenBucket",
+    "WorkerHandle",
+    "replay_stream",
+    "stream_step",
     "synthetic_feed",
+    "worker_main",
 ]

@@ -38,9 +38,29 @@ class TokenBucket:
     """Lazy-refill token bucket: ``rate`` tokens/second up to ``burst``.
 
     The bucket starts full. :meth:`try_acquire` refills from the
-    injectable clock on demand (no timers), spends one token if
+    injectable clock on demand (no timers), spends *n* tokens if
     available, and reports whether it did.
+
+    The accounting is anchor-based rather than incremental: available
+    tokens are always derived in one expression from a fixed anchor
+    time, the balance at that anchor, and the tokens spent since —
+    never by accumulating ``elapsed * rate`` slivers across refills.
+    The incremental form rounds once per *observation*, so a caller
+    that happened to poll :attr:`tokens` between refills could see a
+    query arriving exactly at budget exhaustion — with its refill due
+    the same tick — refused, effectively double-charged by accumulated
+    float error. Deriving from the anchor rounds once per *acquire*
+    regardless of how often the bucket is inspected, and makes
+    :attr:`tokens` a genuinely side-effect-free read. A one-part-per-
+    billion relative tolerance on the comparison absorbs the single
+    remaining rounding (it can only advance a grant by ~1e-9 tokens,
+    which the spend accounting immediately claws back).
     """
+
+    #: Relative slack when comparing available tokens against a cost:
+    #: wide enough to absorb one float rounding in ``elapsed * rate``,
+    #: narrow enough never to grant a token that was genuinely spent.
+    _SLACK = 1e-9
 
     def __init__(
         self,
@@ -55,27 +75,32 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock
-        self._tokens = self.burst
-        self._last = clock()
+        self._anchor = clock()
+        self._base = self.burst
+        self._spent = 0.0
+
+    def _available(self, now: float) -> float:
+        elapsed = max(0.0, now - self._anchor)
+        return min(self.burst, self._base + elapsed * self.rate - self._spent)
 
     @property
     def tokens(self) -> float:
-        """Tokens available right now (after a lazy refill)."""
-        self._refill()
-        return self._tokens
-
-    def _refill(self) -> None:
-        now = self._clock()
-        elapsed = now - self._last
-        if elapsed > 0:
-            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
-        self._last = now
+        """Tokens available right now. Pure: polling never shifts grants."""
+        return max(0.0, self._available(self._clock()))
 
     def try_acquire(self, n: float = 1.0) -> bool:
         """Spend *n* tokens if available; False (nothing spent) if not."""
-        self._refill()
-        if self._tokens >= n:
-            self._tokens -= n
+        now = self._clock()
+        available = self._available(now)
+        if available >= self.burst:
+            # Full bucket: re-anchor here so the cap discards surplus
+            # accrual exactly once and ``_spent`` stays small.
+            self._anchor = now
+            self._base = self.burst
+            self._spent = 0.0
+            available = self.burst
+        if n - available <= self._SLACK * max(n, self.burst):
+            self._spent += n
             return True
         return False
 
@@ -193,3 +218,13 @@ class BoundedQueue:
         if not self._items:
             return None
         return self._items.popleft()
+
+    def peek(self) -> Any | None:
+        """The oldest item without dequeuing it, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def __iter__(self):
+        """Iterate oldest-to-newest without consuming (deadline scans)."""
+        return iter(self._items)

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..core.batch import placement_grid
 from ..core.params import DelayTable, SizedDelayTable
-from ..errors import ModelError
+from ..errors import ModelError, RecoveryError
 from ..obs import context as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: experiments imports fleet
@@ -50,7 +50,7 @@ from ..reliability.breaker import CircuitBreaker
 from ..reliability.degrade import Confidence, TaggedSlowdown
 from .admission import AdmissionController, BoundedQueue
 from .registry import AppRecord, FleetRegistry
-from .shard import Shard, ShardPolicy
+from .shard import Shard, ShardPolicy, ReplayCheckpoint, ReplayResult, replay_stream, stream_step
 
 __all__ = ["PlacementQuery", "PlacementAnswer", "FleetService"]
 
@@ -160,6 +160,19 @@ class FleetService:
             for _ in range(self.num_shards)
         ]
         self.quarantined: set[int] = set()
+        # Per-shard stream accounting for recovery verification: how
+        # many admitted events each shard's slice has seen and the
+        # rolling hash chain over them (:func:`~repro.fleet.shard
+        # .stream_step`). A journal replay must land on exactly this
+        # (count, chain) pair before a rebuilt shard is re-admitted.
+        self._stream_count: list[int] = [0] * self.num_shards
+        self._stream_chain: list[bytes] = [b""] * self.num_shards
+        # Checkpoint taken at quarantine time when the shard's state
+        # was still trusted (deadline blowouts, not desyncs): the
+        # replay must reproduce this state_hash mid-stream too.
+        self._pre_quarantine: dict[int, ReplayCheckpoint | None] = {}
+        #: The structured error from the last failed rebuild, if any.
+        self.last_recovery_error: RecoveryError | None = None
         # Fleet-wide memoized slowdown vectors: the served-query path
         # gathers candidates by fancy indexing instead of looping in
         # Python (the difference between ~9k and ~15k queries/sec at
@@ -178,6 +191,7 @@ class FleetService:
         self.degraded_queries = 0
         self.quarantines = 0
         self.rebuilds = 0
+        self.recovery_mismatches = 0
 
     # -- routing --------------------------------------------------------------
 
@@ -284,9 +298,31 @@ class FleetService:
         _obs.inc("fleet.admitted")
         _obs.set_gauge("fleet.registered", float(len(self.registry)))
         sid = self.shard_of(record.machine)
-        if sid in self.quarantined:
+        # Stream accounting advances for every admitted event — even
+        # ones a quarantined shard never sees — because it describes
+        # the durable stream a rebuild must reproduce, not the shard.
+        self._stream_count[sid] += 1
+        self._stream_chain[sid] = stream_step(self._stream_chain[sid], validated)
+        if not self._shard_accepts(sid):
             # The shard catches up from the log at recovery time.
             return True
+        self._shard_apply(sid, validated)
+        return True
+
+    # -- shard backend seam ----------------------------------------------------
+    #
+    # Everything the service needs from a shard funnels through these
+    # five hooks, so the supervised subclass
+    # (:class:`repro.fleet.supervisor.SupervisedFleetService`) can move
+    # shards into worker processes without touching the admission, log,
+    # registry, or query logic above.
+
+    def _shard_accepts(self, sid: int) -> bool:
+        """May shard *sid* receive this event right now?"""
+        return sid not in self.quarantined
+
+    def _shard_apply(self, sid: int, validated: dict[str, Any]) -> None:
+        """Apply one validated, logged event to shard *sid*."""
         shard = self.shards[sid]
         started = self._clock()
         try:
@@ -296,26 +332,55 @@ class FleetService:
             # matches the stream — quarantine immediately.
             self.breakers[sid].record_failure()
             self._quarantine(sid, "stream desync")
-            return True
-        self._stale.add(record.machine)
+            return
+        self._stale.add(validated["machine"])
         if self._clock() - started > self.policy.deadline:
             # Deadline blowout: state is intact but the shard is too
             # slow to keep up; quarantine once the breaker trips.
             self.breakers[sid].record_failure()
             _obs.inc("fleet.deadline_blowouts")
             if self.breakers[sid].state != "closed":
-                self._quarantine(sid, "deadline blowout")
+                self._quarantine(sid, "deadline blowout", state_trusted=True)
         else:
             self.breakers[sid].record_success()
-        return True
 
-    def _quarantine(self, sid: int, reason: str) -> None:
+    def _shard_slowdowns(
+        self, sid: int, machines: Sequence[int]
+    ) -> dict[int, tuple[float, float, Confidence]] | None:
+        """Tagged slowdowns for *machines* of shard *sid*; None keeps them stale."""
+        shard = self.shards[sid]
+        return {m: shard.slowdowns(m) for m in machines}
+
+    def _shard_state_hash(self, sid: int) -> str:
+        """Shard *sid*'s state fingerprint (see :meth:`Shard.state_hash`)."""
+        return self.shards[sid].state_hash()
+
+    def _note_failover(self, count: int) -> None:
+        """Hook: *count* candidates were answered from registry aggregates."""
+
+    def _quarantine(self, sid: int, reason: str, state_trusted: bool = False) -> None:
         if sid in self.quarantined:
             return
         self.quarantined.add(sid)
+        self._pre_quarantine[sid] = self._recovery_checkpoint(sid, state_trusted)
         self.quarantines += 1
         _obs.inc("fleet.quarantines")
         _obs.set_gauge("fleet.quarantined_shards", float(len(self.quarantined)))
+
+    def _recovery_checkpoint(
+        self, sid: int, state_trusted: bool
+    ) -> ReplayCheckpoint | None:
+        """Fingerprint the shard's last known-good state, if there is one.
+
+        A desync quarantine means the shard's state already diverged
+        from the stream, so there is nothing trustworthy to pin; the
+        rebuild is then verified against the stream chain alone.
+        """
+        if not state_trusted:
+            return None
+        return ReplayCheckpoint(
+            self._stream_count[sid], self.shards[sid].state_hash()
+        )
 
     # -- recovery -------------------------------------------------------------
 
@@ -326,9 +391,18 @@ class FleetService:
         passed (or after the rebuild budget is spent) the attempt is
         rejected outright. With an event log the rebuild replays the
         durable stream through a fresh shard — bit-identical to a shard
-        that never failed; without one it falls back to re-arriving the
-        registry's live records, which recovers the *population* but
-        not the departed applications' numerical history.
+        that never failed — and is **verified** before re-admission:
+        the replayed event count and rolling stream hash must match the
+        service's live accounting, and when a trusted pre-quarantine
+        checkpoint exists the rebuilt ``state_hash`` must reproduce it
+        mid-stream. A mismatch (e.g. a corrupted journal line silently
+        truncating the replay) surfaces as a
+        :class:`~repro.errors.RecoveryError` in
+        :attr:`last_recovery_error` plus the ``recovery_mismatches``
+        counter, and the shard *stays quarantined*. Without a log the
+        rebuild falls back to re-arriving the registry's live records,
+        which recovers the *population* but not the departed
+        applications' numerical history (and cannot be verified).
         """
         if sid not in self.quarantined:
             return True
@@ -341,10 +415,16 @@ class FleetService:
 
             rebuilt = shard.fresh()
             if self.log is not None:
-                owned = set(shard.machine_ids)
-                for event in EventLog.replay(self.log.path):
-                    if event.get("machine") in owned:
-                        rebuilt.apply(event)
+                result = replay_stream(
+                    rebuilt,
+                    EventLog.replay(self.log.path),
+                    checkpoint=self._pre_quarantine.get(sid),
+                )
+                error = self._verify_rebuild(sid, result)
+                if error is not None:
+                    self._note_recovery_mismatch(error)
+                    breaker.record_failure()
+                    return False
             else:
                 for record in self.registry.on_machines(list(shard.machine_ids)):
                     rebuilt.apply(
@@ -357,17 +437,53 @@ class FleetService:
                             "message_size": record.message_size,
                         }
                     )
-        except ModelError:
+        except ModelError as exc:
+            self._note_recovery_mismatch(
+                RecoveryError(
+                    f"shard {sid} rebuild could not apply the journal: {exc}",
+                    shard_id=sid,
+                    expected_events=self._stream_count[sid],
+                )
+            )
             breaker.record_failure()
             return False
         breaker.record_success()
         self.shards[sid] = rebuilt
         self.quarantined.discard(sid)
+        self._pre_quarantine.pop(sid, None)
+        self.last_recovery_error = None
         self._stale.update(rebuilt.machine_ids)
         self.rebuilds += 1
         _obs.inc("fleet.rebuilds")
         _obs.set_gauge("fleet.quarantined_shards", float(len(self.quarantined)))
         return True
+
+    def _verify_rebuild(self, sid: int, result: ReplayResult) -> RecoveryError | None:
+        """Check a journal replay against the live stream accounting."""
+        expected = self._stream_count[sid]
+        if not result.checkpoint_ok:
+            return RecoveryError(
+                f"shard {sid} rebuild missed its pre-quarantine checkpoint: "
+                f"{result.detail}",
+                shard_id=sid,
+                expected_events=expected,
+                replayed_events=result.count,
+            )
+        if result.count != expected or result.chain != self._stream_chain[sid]:
+            return RecoveryError(
+                f"shard {sid} rebuild replayed {result.count} event(s) where the "
+                f"service admitted {expected} (journal truncated, corrupted, or "
+                f"reordered)",
+                shard_id=sid,
+                expected_events=expected,
+                replayed_events=result.count,
+            )
+        return None
+
+    def _note_recovery_mismatch(self, error: RecoveryError) -> None:
+        self.last_recovery_error = error
+        self.recovery_mismatches += 1
+        _obs.inc("fleet.recovery_mismatches")
 
     # -- queries --------------------------------------------------------------
 
@@ -393,16 +509,24 @@ class FleetService:
         """
         if not self._stale:
             return
-        refreshed = []
+        by_sid: dict[int, list[int]] = {}
         for machine in self._stale:
-            sid = machine % self.num_shards
+            by_sid.setdefault(machine % self.num_shards, []).append(machine)
+        refreshed: list[int] = []
+        for sid, machines in by_sid.items():
             if sid in self.quarantined:
                 continue
-            comp, comm, tag = self.shards[sid].slowdowns(machine)
-            self._comp[machine] = comp
-            self._comm[machine] = comm
-            self._conf[machine] = int(tag)
-            refreshed.append(machine)
+            slowdowns = self._shard_slowdowns(sid, machines)
+            if slowdowns is None:
+                # Backend could not answer (e.g. a worker mid-replay);
+                # the machines stay stale and serve their memoized (or
+                # analytic-overlay) values until it can.
+                continue
+            for machine, (comp, comm, tag) in slowdowns.items():
+                self._comp[machine] = comp
+                self._comm[machine] = comm
+                self._conf[machine] = int(tag)
+                refreshed.append(machine)
         self._stale.difference_update(refreshed)
 
     def _candidate_array(self, query: PlacementQuery) -> np.ndarray:
@@ -448,6 +572,7 @@ class FleetService:
                     conf[mask] = int(Confidence.ANALYTIC)
                     self.degraded_queries += 1
                     _obs.inc("fleet.degraded")
+                    self._note_failover(int(mask.sum()))
         grid = placement_grid(
             query.dcomp_frontend,
             query.backend_dcomp,
@@ -471,7 +596,9 @@ class FleetService:
 
     def state_hash(self) -> str:
         """Concatenated shard fingerprints (shard order) — recovery oracle."""
-        return "-".join(shard.state_hash() for shard in self.shards)
+        return "-".join(
+            self._shard_state_hash(sid) for sid in range(self.num_shards)
+        )
 
     def counters(self) -> dict[str, int]:
         """Plain-dict snapshot of the request accounting."""
@@ -483,6 +610,18 @@ class FleetService:
             "degraded_queries": self.degraded_queries,
             "quarantines": self.quarantines,
             "rebuilds": self.rebuilds,
+            "recovery_mismatches": self.recovery_mismatches,
             "backpressure_refusals": self.queue.refusals,
             "registered": len(self.registry),
         }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources. A no-op for the in-process service."""
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

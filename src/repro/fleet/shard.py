@@ -28,6 +28,7 @@ that gates re-admission after a rebuild.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -37,7 +38,119 @@ from ..core.workload import ApplicationProfile
 from ..errors import ModelError
 from ..reliability.degrade import Confidence
 
-__all__ = ["Shard", "ShardPolicy"]
+__all__ = [
+    "Shard",
+    "ShardPolicy",
+    "ReplayCheckpoint",
+    "ReplayResult",
+    "STREAM_FIELDS",
+    "replay_stream",
+    "stream_step",
+]
+
+#: Event fields that determine shard state. Sequence stamps (``seq``,
+#: ``v``) are deliberately excluded so the live copy of an event, its
+#: journal round-trip, and its replayed copy all chain identically.
+STREAM_FIELDS = ("op", "app", "tenant", "machine", "comm_fraction", "message_size")
+
+
+def stream_step(chain: bytes, event: Mapping) -> bytes:
+    """Advance a rolling stream hash by one event.
+
+    The chain is a blake2b link over the previous chain value and the
+    canonical JSON of the event's :data:`STREAM_FIELDS`. Two consumers
+    that saw the same events in the same order hold the same chain —
+    the cheap, incremental cousin of :meth:`Shard.state_hash` used to
+    verify journal replays cover exactly the accounted stream.
+    """
+    h = hashlib.blake2b(chain, digest_size=16)
+    payload = {field: event[field] for field in STREAM_FIELDS if field in event}
+    h.update(json.dumps(payload, sort_keys=True, separators=(",", ":")).encode())
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class ReplayCheckpoint:
+    """Pre-quarantine fingerprint a replay must reproduce mid-stream.
+
+    ``count`` is the number of owned events the shard had applied when
+    the checkpoint was taken; ``state_hash`` is its
+    :meth:`Shard.state_hash` at that instant. A replay that reaches
+    *count* events with a different hash rebuilt different state than
+    the shard actually held — the journal and the live stream diverged.
+    """
+
+    count: int
+    state_hash: str
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What :func:`replay_stream` reproduced, for verification.
+
+    Attributes
+    ----------
+    count:
+        Owned events applied to the shard.
+    chain:
+        Final rolling stream hash (:func:`stream_step`) over them.
+    checkpoint_ok:
+        False when a :class:`ReplayCheckpoint` was given and the
+        rebuilt state missed it (wrong hash at the checkpoint count, or
+        the stream ended before reaching it).
+    detail:
+        Human-readable mismatch description when ``checkpoint_ok`` is
+        False.
+    """
+
+    count: int
+    chain: bytes
+    checkpoint_ok: bool = True
+    detail: str | None = None
+
+
+def replay_stream(
+    shard: "Shard",
+    events: Iterable[Mapping],
+    checkpoint: ReplayCheckpoint | None = None,
+    chain: bytes = b"",
+    already: int = 0,
+) -> ReplayResult:
+    """Replay *events* into *shard*, keeping the verification chain.
+
+    Events for machines the shard does not own are skipped (the journal
+    is fleet-wide; each shard replays its slice). *chain* and *already*
+    continue a previous segment — catch-up rounds of an incremental
+    replay pass the chain and count where the last round stopped, so
+    the returned count/chain stay cumulative over the whole stream.
+    Raises :class:`~repro.errors.ModelError` if an owned event fails to
+    apply — a corrupt or reordered journal.
+    """
+    owned = set(shard.machine_ids)
+    count = already
+    checkpoint_ok = True
+    detail: str | None = None
+    for event in events:
+        if event.get("machine") not in owned:
+            continue
+        shard.apply(event)
+        count += 1
+        chain = stream_step(chain, event)
+        if checkpoint is not None and count == checkpoint.count:
+            got = shard.state_hash()
+            if got != checkpoint.state_hash:
+                checkpoint_ok = False
+                detail = (
+                    f"state hash at event {count} is {got}, "
+                    f"expected {checkpoint.state_hash}"
+                )
+    if checkpoint is not None and count < checkpoint.count and checkpoint_ok:
+        checkpoint_ok = False
+        detail = (
+            f"stream ended at {count} events, before the checkpoint "
+            f"at {checkpoint.count}"
+        )
+    return ReplayResult(count, chain, checkpoint_ok, detail)
 
 
 @dataclass(frozen=True)

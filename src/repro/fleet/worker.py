@@ -1,0 +1,317 @@
+"""The shard worker: one :class:`~repro.fleet.shard.Shard` per process.
+
+:func:`worker_main` is the child-process request loop behind the
+``ShardWorker`` protocol. It owns exactly one shard, receives the
+shard's slice of the event feed over a pipe (the supervisor partitions
+by ``shard_of``), and answers every request in order:
+
+==============================  ===========================================
+request                         response
+==============================  ===========================================
+``("apply", event)``            ``("ok",)`` or ``("err", message)``
+``("slowdowns", [machines])``   ``("slowdowns", {m: (comp, comm, conf)})``
+``("ping", want_hash)``         ``("pong", applied, state_hash_or_None)``
+``("hash",)``                   ``("hash", digest)``
+``("replay", lo, hi, cp)``      ``("replayed", count, chain_hex, cp_ok, why)``
+``("inject", kind, after)``     ``("ok",)``
+``("shutdown",)``               ``("ok",)`` then the process exits
+==============================  ===========================================
+
+Responses come back strictly FIFO — a pipe is an ordered byte stream
+and the loop answers one request before reading the next — so the
+parent matches acknowledgements to requests positionally (its pending
+:class:`~repro.fleet.admission.BoundedQueue` per worker).
+
+``("inject", kind, after)`` is the chaos hook: after *after* more
+``apply`` requests the worker SIGKILLs itself mid-handler (``exit``),
+wedges without answering (``hang``), or lets an exception escape the
+loop (``raise``). The supervision tree must treat all three the same
+way — quarantine, respawn, replay — which is exactly what the chaos
+soak asserts.
+
+``("replay", from_seq, upto_seq, checkpoint)`` rebuilds the shard from
+the durable :class:`~repro.experiments.journal.EventLog`: the worker
+replays every owned event with ``from_seq <= seq < upto_seq`` through
+:func:`~repro.fleet.shard.replay_stream` and reports the *cumulative*
+replayed count, the rolling stream chain, and whether the
+pre-quarantine checkpoint was reproduced. The chain and count persist
+across requests, so the supervisor can catch a respawned worker up
+incrementally — a first full replay, then shrinking delta rounds over
+whatever was logged while the previous round ran — and verify each
+round against its own cumulative accounting. Bit-identical or
+quarantined.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ModelError
+from .admission import BoundedQueue
+from .shard import ReplayCheckpoint, Shard, replay_stream
+
+__all__ = ["worker_main", "WorkerHandle", "WorkerUnavailable", "FAULT_KINDS"]
+
+#: Chaos-injection kinds ``("inject", kind, after)`` understands.
+FAULT_KINDS = ("exit", "hang", "raise")
+
+#: Exit status for an injected crash — distinguishable from SIGKILL's
+#: 137 in the supervisor's post-mortem, identical in its handling.
+_CRASH_STATUS = 113
+
+
+class WorkerUnavailable(Exception):
+    """The worker's pipe is gone (process died or closed its end)."""
+
+
+def worker_main(
+    conn: Any,
+    shard_id: int,
+    machine_ids: Sequence[int],
+    tables: tuple[Any, Any, Any],
+    log_path: str | None,
+) -> None:
+    """Child-process entry point: serve one shard until shutdown/EOF."""
+    shard = Shard(shard_id, machine_ids, *tables)
+    chain = b""  # rolling stream hash, cumulative across replay rounds
+    fault: dict[str, Any] | None = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            op = msg[0]
+            if op == "apply":
+                if fault is not None:
+                    fault["after"] -= 1
+                    if fault["after"] <= 0:
+                        kind = fault["kind"]
+                        fault = None
+                        if kind == "exit":
+                            os._exit(_CRASH_STATUS)
+                        if kind == "hang":
+                            time.sleep(3600.0)
+                        if kind == "raise":
+                            raise RuntimeError(
+                                "injected fault: exception inside the apply handler"
+                            )
+                try:
+                    shard.apply(msg[1])
+                except ModelError as exc:
+                    conn.send(("err", str(exc)))
+                else:
+                    conn.send(("ok",))
+            elif op == "slowdowns":
+                answer = {}
+                for machine in msg[1]:
+                    comp, comm, conf = shard.slowdowns(machine)
+                    answer[machine] = (comp, comm, int(conf))
+                conn.send(("slowdowns", answer))
+            elif op == "ping":
+                digest = shard.state_hash() if msg[1] else None
+                conn.send(("pong", shard.applied, digest))
+            elif op == "hash":
+                conn.send(("hash", shard.state_hash()))
+            elif op == "replay":
+                from_seq, upto_seq, raw_checkpoint = msg[1], msg[2], msg[3]
+                checkpoint = (
+                    ReplayCheckpoint(*raw_checkpoint)
+                    if raw_checkpoint is not None
+                    else None
+                )
+                from ..experiments.journal import EventLog
+
+                events: Iterable[Any] = (
+                    event
+                    for event in EventLog.replay(log_path)
+                    if from_seq <= event.get("seq", 0) < upto_seq
+                )
+                try:
+                    result = replay_stream(
+                        shard,
+                        events,
+                        checkpoint=checkpoint,
+                        chain=chain,
+                        already=shard.applied,
+                    )
+                except ModelError as exc:
+                    conn.send(("replayed", -1, "", False, f"replay raised: {exc}"))
+                else:
+                    chain = result.chain
+                    conn.send(
+                        (
+                            "replayed",
+                            result.count,
+                            result.chain.hex(),
+                            result.checkpoint_ok,
+                            result.detail,
+                        )
+                    )
+            elif op == "inject":
+                fault = {"kind": str(msg[1]), "after": int(msg[2])}
+                conn.send(("ok",))
+            elif op == "shutdown":
+                conn.send(("ok",))
+                return
+            else:
+                conn.send(("err", f"unknown worker op {op!r}"))
+    except Exception:  # pragma: no cover - crash path exercised via chaos tests
+        traceback.print_exc()
+        os._exit(os.EX_SOFTWARE)
+
+
+@dataclass
+class PendingRequest:
+    """One in-flight request awaiting its FIFO acknowledgement."""
+
+    kind: str
+    sent_at: float
+    deadline: float | None
+    meta: Any = None
+
+
+class WorkerHandle:
+    """Parent-side proxy for one shard worker process.
+
+    Owns the process, the parent end of the pipe, and the FIFO of
+    in-flight requests (a :class:`~repro.fleet.admission.BoundedQueue`,
+    so per-worker depth is bounded and its ``full`` state is the
+    cross-process backpressure signal). The handle is deliberately
+    dumb: all supervision policy — deadlines, heartbeats, respawn,
+    replay verification — lives in
+    :class:`~repro.fleet.supervisor.SupervisedFleetService`.
+
+    ``state`` is the worker lifecycle state machine::
+
+        spawn ──► "replaying" ──verified──► "live"
+          ▲            │                      │
+          │            └──────── failure ─────┤
+          └──breaker allows──── "dead" ◄──────┘
+
+    (A first-boot worker starts "live": an empty shard trivially
+    matches an empty stream.)
+    """
+
+    LIVE = "live"
+    REPLAYING = "replaying"
+    DEAD = "dead"
+
+    def __init__(
+        self,
+        ctx: Any,
+        shard_id: int,
+        machine_ids: Sequence[int],
+        tables: tuple[Any, Any, Any],
+        log_path: str | None,
+        max_inflight: int,
+        now: float,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.pending: BoundedQueue = BoundedQueue(max_inflight)
+        self.state = self.LIVE
+        self.last_ping = now
+        #: Cumulative events the worker has replayed across rounds
+        #: (mirrors its reported counts; the supervisor charges deltas).
+        self.replayed = 0
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child_conn, shard_id, tuple(machine_ids), tables, log_path),
+            name=f"fleet-worker-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def request(
+        self,
+        msg: tuple,
+        kind: str,
+        deadline: float | None,
+        now: float,
+        meta: Any = None,
+    ) -> bool:
+        """Send *msg*; False means the in-flight window is full.
+
+        Raises :class:`WorkerUnavailable` when the pipe is broken —
+        the caller routes that into the failure path.
+        """
+        if self.pending.full:
+            return False
+        try:
+            self.conn.send(msg)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise WorkerUnavailable(str(exc)) from exc
+        self.pending.offer(PendingRequest(kind, now, deadline, meta))
+        return True
+
+    def poll_ack(self) -> tuple[PendingRequest, tuple] | None:
+        """Receive one acknowledgement if ready; None when none pending.
+
+        Raises :class:`WorkerUnavailable` on a broken/EOF pipe, and on
+        a response with no matching request (protocol desync).
+        """
+        if not len(self.pending):
+            return None
+        try:
+            if not self.conn.poll(0):
+                return None
+            response = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerUnavailable(str(exc)) from exc
+        entry = self.pending.take()
+        return entry, response
+
+    def wait_ack(self, timeout: float, clock: Callable[[], float]) -> tuple | None:
+        """Block up to *timeout* seconds for the next acknowledgement."""
+        deadline = clock() + timeout
+        while True:
+            remaining = deadline - clock()
+            if remaining <= 0:
+                return None
+            try:
+                if self.conn.poll(min(remaining, 0.05)):
+                    ack = self.poll_ack()
+                    if ack is not None:
+                        return ack
+            except (EOFError, OSError) as exc:
+                raise WorkerUnavailable(str(exc)) from exc
+
+    def oldest(self) -> PendingRequest | None:
+        """The in-flight request whose acknowledgement is due next."""
+        return self.pending.peek()
+
+    def kill(self) -> None:
+        """Forcibly terminate the process and close the pipe."""
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5.0)
+        except (OSError, ValueError):  # pragma: no cover - teardown races
+            pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Ask the worker to exit cleanly; escalate to kill."""
+        try:
+            self.conn.send(("shutdown",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=timeout)
+        self.kill()

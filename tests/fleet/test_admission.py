@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.fleet.admission import (
     AdmissionController,
@@ -61,6 +63,73 @@ class TestTokenBucket:
     def test_rejects_bad_parameters(self, kwargs):
         with pytest.raises(ValueError):
             TokenBucket(**kwargs)
+
+
+#: Dyadic rates make ``k / rate`` and ``elapsed * rate`` exact in
+#: binary floating point, so the boundary properties below are sharp:
+#: no tolerance, no approx — exactly k grants, never k+1.
+DYADIC_RATES = st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0])
+
+
+class TestTokenBucketProperties:
+    """Anchor-based refill invariants over (rate, capacity, arrival-time)."""
+
+    @given(rate=DYADIC_RATES, burst=st.integers(1, 8), k=st.integers(1, 16))
+    def test_exactly_k_grants_after_k_over_rate_seconds(self, rate, burst, k):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=float(burst), clock=clock)
+        for _ in range(burst):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # drained
+        clock.advance(k / rate)  # accrues exactly k tokens (capped at burst)
+        grants = min(k, burst)
+        for _ in range(grants):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # the (k+1)-th is refused
+
+    @given(
+        rate=st.sampled_from([0.1, 0.3, 0.7, 1.0, 2.5]),
+        burst=st.floats(1.0, 8.0),
+        schedule=st.lists(
+            st.tuples(st.floats(0.0, 3.0), st.booleans()),
+            min_size=1,
+            max_size=32,
+        ),
+    )
+    def test_polling_tokens_never_changes_grant_sequence(self, rate, burst, schedule):
+        # Twin buckets see the same arrivals; one is also polled
+        # between them. The lazy-refill drift bug this guards against:
+        # a ``tokens`` read that truncates accrual at an awkward rate
+        # (0.1, 0.7, ...) changes which later acquires succeed.
+        quiet_clock, polled_clock = FakeClock(), FakeClock()
+        quiet = TokenBucket(rate=rate, burst=burst, clock=quiet_clock)
+        polled = TokenBucket(rate=rate, burst=burst, clock=polled_clock)
+        for dt, poll in schedule:
+            quiet_clock.advance(dt)
+            polled_clock.advance(dt)
+            if poll:
+                polled.tokens
+                polled.tokens
+            assert quiet.try_acquire() == polled.try_acquire()
+        assert quiet.tokens == polled.tokens
+
+    @given(
+        rate=DYADIC_RATES,
+        burst=st.integers(1, 8),
+        spend=st.integers(0, 8),
+        n=st.floats(0.5, 16.0),
+    )
+    def test_refused_acquire_does_not_mutate(self, rate, burst, spend, n):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=float(burst), clock=clock)
+        for _ in range(min(spend, burst)):
+            bucket.try_acquire()
+        before = bucket.tokens
+        if not bucket.try_acquire(n):
+            assert bucket.tokens == before
+            # and the refusal does not poison future accrual either
+            clock.advance(1.0 / rate)
+            assert bucket.tokens == min(before + 1.0, float(burst))
 
 
 class TestTenantQuota:

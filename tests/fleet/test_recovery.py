@@ -93,6 +93,35 @@ class TestKillAndReplay:
         assert [e["seq"] for e in durable] == list(range(40))
 
 
+class TestWorkerKillSoak:
+    def test_sigkilled_worker_soak_completes_bit_identically(self, tmp_path):
+        """SIGKILL one shard *worker* mid-traffic; the run itself must
+        complete, respawn the worker from the journal, and land on the
+        exact hash of an uninterrupted run."""
+        oracle = run_soak(
+            "--log", str(tmp_path / "oracle.jsonl"),
+            "--events", "300", "--seed", "17",
+        )
+        oracle_hash = oracle.stdout.strip().splitlines()[-1]
+
+        clean = run_soak(
+            "--log", str(tmp_path / "clean.jsonl"),
+            "--events", "300", "--seed", "17", "--supervised",
+        )
+        assert clean.stdout.strip().splitlines()[-1] == oracle_hash
+
+        killed = run_soak(
+            "--log", str(tmp_path / "killed.jsonl"),
+            "--events", "300", "--seed", "17",
+            "--kill-worker-at", "120", "--kill-shard", "1",
+        )
+        assert killed.stdout.strip().splitlines()[-1] == oracle_hash
+        stats = killed.stderr.strip().splitlines()[-1]
+        respawns = int(stats.split("respawns=")[1].split()[0])
+        assert respawns >= 1
+        assert "recovery_mismatches=0" in stats
+
+
 @pytest.mark.parametrize("shards", [1, 3])
 def test_state_hash_stable_across_shard_counts_per_shard(tmp_path, shards):
     """Sanity: the soak is deterministic for any shard layout."""

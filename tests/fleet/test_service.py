@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import RecoveryError
 from repro.experiments.journal import EventLog
 from repro.fleet import (
     AdmissionController,
@@ -258,6 +259,142 @@ class TestQuarantine:
         clock.advance(5.0)
         assert service.recover(sid)
         assert "keep" in service.shards[sid].managers[0]
+
+
+class SteppingClock(FakeClock):
+    """Clock that advances *step* seconds on every read — makes every
+    timed section look slow without sleeping."""
+
+    def __init__(self, step: float = 0.0) -> None:
+        super().__init__()
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestRecoveryVerification:
+    """A rebuild is re-admitted only when it is provably bit-identical."""
+
+    def _populate(self, service, events=120, seed=9):
+        for event in synthetic_feed(seed=seed, events=events, machines=8):
+            service.apply(event)
+
+    def _desync(self, service, machine=0):
+        name = f"victim-{machine}"
+        service.apply(arrive(name, machine))
+        sid = service.shard_of(machine)
+        service.shards[sid].managers[machine].depart(name)
+        service.apply({"op": "depart", "app": name})
+        return sid
+
+    def _tamper(self, path, sid, mutate, skip=5):
+        """Rewrite the *skip*-th journal event owned by shard *sid*."""
+        import json
+
+        lines = path.read_text(encoding="utf-8").splitlines()
+        seen = 0
+        for i, line in enumerate(lines):
+            event = json.loads(line)
+            if event.get("op") == "arrive" and event.get("machine", 0) % 4 == sid:
+                seen += 1
+                if seen >= skip:
+                    lines[i] = mutate(line, event)
+                    break
+        else:
+            raise AssertionError(f"no journal line owned by shard {sid}")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_corrupted_journal_line_blocks_readmission(self, tmp_path):
+        clock = FakeClock()
+        service = make_service(tmp_path, clock=clock)
+        self._populate(service)
+        sid = self._desync(service)
+        # One unparsable line: EventLog.replay stops there, silently
+        # truncating the stream the rebuild sees.
+        self._tamper(service.log.path, sid, lambda line, event: line[:-2] + "XX}")
+        clock.advance(10.0)
+        assert not service.recover(sid)
+        assert sid in service.quarantined
+        assert service.recovery_mismatches == 1
+        error = service.last_recovery_error
+        assert isinstance(error, RecoveryError)
+        assert error.shard_id == sid
+        assert error.replayed_events < error.expected_events
+
+    def test_tampered_event_value_fails_the_stream_chain(self, tmp_path):
+        import json
+
+        clock = FakeClock()
+        service = make_service(tmp_path, clock=clock)
+        self._populate(service)
+        sid = self._desync(service)
+
+        def flip_fraction(line, event):
+            event["comm_fraction"] = 0.42 if event["comm_fraction"] != 0.42 else 0.17
+            return json.dumps(event, sort_keys=True)
+
+        # Same event count, different payload: only the rolling stream
+        # chain can catch this.
+        self._tamper(service.log.path, sid, flip_fraction)
+        clock.advance(10.0)
+        assert not service.recover(sid)
+        error = service.last_recovery_error
+        assert isinstance(error, RecoveryError)
+        assert error.replayed_events == error.expected_events
+
+    def test_blowout_checkpoint_recorded_and_reproduced(self, tmp_path):
+        clock = SteppingClock()
+        service = make_service(tmp_path, clock=clock)
+        self._populate(service)
+        clock.step = 2.0  # every apply now blows the 1s deadline
+        service.apply(arrive("slowpoke", 0))
+        clock.step = 0.0
+        sid = service.shard_of(0)
+        assert sid in service.quarantined
+        # Deadline blowouts leave trusted state: a mid-stream
+        # checkpoint is pinned for the rebuild to reproduce.
+        checkpoint = service._pre_quarantine[sid]
+        assert checkpoint is not None
+        assert checkpoint.count == service._stream_count[sid]
+        clock.advance(10.0)
+        assert service.recover(sid)
+        assert service.recovery_mismatches == 0
+
+    def test_blowout_checkpoint_detects_divergent_history(self, tmp_path):
+        import json
+
+        clock = SteppingClock()
+        service = make_service(tmp_path, clock=clock)
+        self._populate(service)
+        clock.step = 2.0
+        service.apply(arrive("slowpoke", 0))
+        clock.step = 0.0
+        sid = service.shard_of(0)
+        assert service._pre_quarantine[sid] is not None
+
+        def flip_fraction(line, event):
+            event["comm_fraction"] = 0.42 if event["comm_fraction"] != 0.42 else 0.17
+            return json.dumps(event, sort_keys=True)
+
+        self._tamper(service.log.path, sid, flip_fraction)
+        clock.advance(10.0)
+        assert not service.recover(sid)
+        error = service.last_recovery_error
+        assert isinstance(error, RecoveryError)
+        assert "checkpoint" in str(error)
+
+    def test_successful_recovery_clears_error_state(self, tmp_path):
+        clock = FakeClock()
+        service = make_service(tmp_path, clock=clock)
+        self._populate(service)
+        sid = self._desync(service)
+        clock.advance(10.0)
+        assert service.recover(sid)
+        assert service.last_recovery_error is None
+        assert service.recovery_mismatches == 0
+        assert service.counters()["recovery_mismatches"] == 0
 
 
 class TestObsCounters:

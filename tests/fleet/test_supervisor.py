@@ -1,0 +1,271 @@
+"""Supervision-tree tests: worker processes, failover, verified respawn.
+
+Every test drives a real multi-process fleet
+(:class:`~repro.fleet.supervisor.SupervisedFleetService`), kills or
+wedges real workers, and holds the recovered service to the same
+standard as the in-process recovery tests: the rebuilt state must be
+**bit-identical** to an uninterrupted oracle, failover answers must be
+ANALYTIC, and the service must never raise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.experiments.journal import EventLog
+from repro.fleet import (
+    AdmissionController,
+    FleetService,
+    PlacementQuery,
+    ShardPolicy,
+    SupervisedFleetService,
+    SupervisorPolicy,
+    TenantQuota,
+    synthetic_feed,
+)
+from repro.fleet.worker import WorkerHandle
+from repro.parallel.containment import FailurePolicy
+from repro.reliability.degrade import Confidence
+
+MACHINES = 16
+SHARDS = 4
+
+
+def admission() -> AdmissionController:
+    return AdmissionController(default=TenantQuota(max_apps=10**9))
+
+
+def make_supervised(tmp_path, name="fleet.jsonl", **overrides) -> SupervisedFleetService:
+    supervisor = overrides.pop(
+        "supervisor",
+        SupervisorPolicy(
+            heartbeat_interval=0.3,
+            heartbeat_timeout=2.0,
+            containment=FailurePolicy(deadline=1.5),
+        ),
+    )
+    return SupervisedFleetService(
+        machines=MACHINES,
+        num_shards=SHARDS,
+        admission=admission(),
+        policy=ShardPolicy(failure_threshold=1, recovery_time=0.1),
+        log=EventLog(tmp_path / name, sync=False),
+        supervisor=supervisor,
+        **overrides,
+    )
+
+
+def oracle_hash(tmp_path, seed: int, events: int) -> str:
+    service = FleetService(
+        machines=MACHINES,
+        num_shards=SHARDS,
+        admission=admission(),
+        log=EventLog(tmp_path / "oracle.jsonl", sync=False),
+    )
+    for event in synthetic_feed(seed=seed, events=events, machines=MACHINES):
+        service.apply(event)
+    return service.state_hash()
+
+
+def feed_through(service, seed: int, events: int, hooks=None) -> None:
+    hooks = dict(hooks or {})
+    for i, event in enumerate(synthetic_feed(seed=seed, events=events, machines=MACHINES)):
+        if not service.submit(event):
+            service.pump()
+            service.submit(event)
+        service.pump()
+        if i in hooks:
+            hooks.pop(i)(service)
+    service.pump()
+
+
+class TestSupervisedParity:
+    def test_requires_a_durable_log(self):
+        with pytest.raises(ValueError, match="EventLog"):
+            SupervisedFleetService(machines=MACHINES, num_shards=SHARDS)
+
+    def test_clean_run_matches_in_process_oracle(self, tmp_path):
+        expected = oracle_hash(tmp_path, seed=21, events=300)
+        with make_supervised(tmp_path) as service:
+            feed_through(service, seed=21, events=300)
+            assert service.state_hash() == expected
+            assert service.counters()["respawns"] == 0
+
+    def test_close_reaps_every_worker(self, tmp_path):
+        service = make_supervised(tmp_path)
+        pids = [service.worker_pid(sid) for sid in range(SHARDS)]
+        service.close()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if all(service._workers[s].process.is_alive() is False for s in range(SHARDS)):
+                break
+            time.sleep(0.05)
+        for sid, pid in enumerate(pids):
+            assert pid is not None
+            assert not service._workers[sid].process.is_alive()
+
+
+class TestFailover:
+    def _kill(self, sid):
+        def hook(service):
+            os.kill(service.worker_pid(sid), signal.SIGKILL)
+
+        return hook
+
+    def test_sigkilled_worker_respawns_bit_identical(self, tmp_path):
+        expected = oracle_hash(tmp_path, seed=31, events=300)
+        with make_supervised(tmp_path) as service:
+            feed_through(service, seed=31, events=300, hooks={100: self._kill(1)})
+            assert service.await_recovery(timeout=60.0)
+            counters = service.counters()
+            assert counters["respawns"] >= 1
+            assert counters["worker_failures"] >= 1
+            assert counters["recovery_mismatches"] == 0
+            assert service.state_hash() == expected
+
+    @pytest.mark.parametrize("kind", ["exit", "raise", "hang"])
+    def test_injected_faults_respawn_bit_identical(self, tmp_path, kind):
+        expected = oracle_hash(tmp_path, seed=37, events=260)
+        with make_supervised(tmp_path) as service:
+            feed_through(
+                service,
+                seed=37,
+                events=260,
+                hooks={90: lambda s: s.inject_fault(2, kind, after=1)},
+            )
+            assert service.await_recovery(timeout=60.0)
+            assert service.counters()["respawns"] >= 1
+            assert service.state_hash() == expected
+
+    def test_quarantined_shard_answers_analytic_never_blocks(self, tmp_path):
+        with make_supervised(tmp_path) as service:
+            feed_through(service, seed=41, events=120)
+            os.kill(service.worker_pid(1), signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while 1 not in service.quarantined and time.monotonic() < deadline:
+                service.tick(force=True)
+                time.sleep(0.01)
+            assert 1 in service.quarantined
+            before = service.counters()["failover_answers"]
+            start = time.monotonic()
+            answer = service.query(
+                "t0",
+                PlacementQuery(dcomp_frontend=1.0, candidates=(1, 5, 9, 13)),
+            )
+            assert time.monotonic() - start < 5.0  # no blocking on the dead worker
+            assert answer.confidence is Confidence.ANALYTIC
+            assert service.counters()["failover_answers"] == before + 1
+            assert service.await_recovery(timeout=60.0)
+
+    def test_hang_past_heartbeat_deadline_counts_missed_heartbeat(self, tmp_path):
+        # The apply deadline is generous (5s) but heartbeats are strict:
+        # the queued ping expires first, so the hang is detected *as* a
+        # missed heartbeat, not an apply timeout.
+        supervisor = SupervisorPolicy(
+            heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+            containment=FailurePolicy(deadline=5.0),
+        )
+        with make_supervised(tmp_path, supervisor=supervisor) as service:
+            feed_through(service, seed=43, events=80)
+            service.inject_fault(0, "hang", after=1)
+            # One apply to shard 0's slice trips the hang.
+            victim = next(
+                e
+                for e in synthetic_feed(seed=44, events=40, machines=MACHINES)
+                if e["op"] == "arrive" and e["machine"] % SHARDS == 0
+            )
+            service.apply(victim)
+            deadline = time.monotonic() + 30.0
+            while service.counters()["heartbeats_missed"] == 0:
+                assert time.monotonic() < deadline, "hang never detected"
+                service.tick(force=True)
+                time.sleep(0.02)
+            assert 0 in service.quarantined
+            assert service.await_recovery(timeout=60.0)
+
+
+class TestChaosProof:
+    def test_seeded_kill_schedule_never_raises_and_stays_bit_identical(self, tmp_path):
+        expected = oracle_hash(tmp_path, seed=53, events=1200)
+        hooks = {
+            300: lambda s: os.kill(s.worker_pid(0), signal.SIGKILL),
+            600: lambda s: s.inject_fault(1, "raise", after=1),
+            900: lambda s: s.inject_fault(2, "exit", after=1),
+        }
+        probed = []
+        with make_supervised(tmp_path) as service:
+            for i, event in enumerate(
+                synthetic_feed(seed=53, events=1200, machines=MACHINES)
+            ):
+                if not service.submit(event):
+                    service.pump()
+                    service.submit(event)
+                service.pump()
+                if i in hooks:
+                    hooks.pop(i)(service)
+                for sid in sorted(service.quarantined - set(probed)):
+                    answer = service.query(
+                        "chaos",
+                        PlacementQuery(
+                            dcomp_frontend=1.0,
+                            candidates=tuple(range(sid, MACHINES, SHARDS)),
+                        ),
+                    )
+                    assert answer.confidence is Confidence.ANALYTIC
+                    probed.append(sid)
+            service.pump()
+            assert service.await_recovery(timeout=120.0)
+            counters = service.counters()
+            assert counters["respawns"] >= 3
+            assert counters["worker_failures"] >= 3
+            assert counters["recovery_mismatches"] == 0
+            assert probed  # at least one quarantine was observed and probed
+            assert service.state_hash() == expected
+
+
+class TestRecoveryVerification:
+    def test_corrupted_journal_line_keeps_shard_quarantined(self, tmp_path):
+        with make_supervised(tmp_path, name="corrupt.jsonl") as service:
+            feed_through(service, seed=61, events=200)
+            path = service.log.path
+            lines = path.read_text(encoding="utf-8").splitlines()
+            victim = next(
+                i
+                for i, line in enumerate(lines)
+                if i > 10 and json.loads(line).get("machine", 0) % SHARDS == 1
+            )
+            lines[victim] = lines[victim][:-2] + 'XX}'
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            os.kill(service.worker_pid(1), signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while service.counters()["recovery_mismatches"] == 0:
+                assert time.monotonic() < deadline, "mismatch never surfaced"
+                service.tick(force=True)
+                time.sleep(0.01)
+            assert 1 in service.quarantined
+            error = service.last_recovery_error
+            assert isinstance(error, RecoveryError)
+            assert error.shard_id == 1
+            assert error.replayed_events < error.expected_events
+            # The quarantined slice still answers, analytically.
+            answer = service.query(
+                "t0", PlacementQuery(dcomp_frontend=1.0, candidates=(1, 5, 9, 13))
+            )
+            assert answer.confidence is Confidence.ANALYTIC
+
+
+class TestBackpressureAccounting:
+    def test_worker_depth_and_states_exposed(self, tmp_path):
+        with make_supervised(tmp_path) as service:
+            feed_through(service, seed=71, events=60)
+            for sid in range(SHARDS):
+                assert service.worker_state(sid) == WorkerHandle.LIVE
+                assert service.worker_depth(sid) >= 0
+                assert isinstance(service.worker_pid(sid), int)
