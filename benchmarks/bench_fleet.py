@@ -26,6 +26,16 @@ re-derived on the next query. These benches pin that contract down:
   heartbeats, supervision ticks), guarded both by median and by an
   events/sec floor (``REPRO_BENCH_FLEET_WORKERS_FLOOR``), with the end
   state checked bit-identical against an in-process oracle.
+- ``test_fleet_million_apps`` — the struct-of-arrays scale proof: 1M
+  registered apps across 2048 machines in one process, with the build's
+  RSS growth asserted under a ceiling (``resource.getrusage``) and the
+  query rate against the warm fleet asserted over a floor
+  (``REPRO_BENCH_FLEET_1M_FLOOR``).
+- ``test_fleet_batched_workers`` — the supervised feed with events
+  coalesced into ``SupervisorPolicy.batch_size``-event frames; guarded
+  by an events/sec floor (``REPRO_BENCH_FLEET_BATCHED_FLOOR``) set at
+  4x the unbatched supervised floor, end state still bit-identical to
+  the in-process oracle.
 """
 
 from __future__ import annotations
@@ -298,4 +308,160 @@ def test_fleet_supervised_workers(benchmark):
         f"supervised fleet sustained only {rate:.0f} events/sec across "
         f"{SUPERVISED_WORKERS} workers (floor {floor:g}/s, override with "
         f"$REPRO_BENCH_FLEET_WORKERS_FLOOR)"
+    )
+
+
+# -- 1M-app struct-of-arrays scale proof --------------------------------------
+
+MACHINES_1M = 2048
+APPS_1M = 1_000_000
+#: Ceiling on the RSS growth of building the 1M-app fleet. The pooled
+#: array state itself is ~50 MiB (registry slots, shard matrices at
+#: ~490 apps/machine, memo vectors); the rest is the two name→slot
+#: dicts and the 1M name strings (~290 MiB measured total). The old
+#: object-per-app layout (AppRecord + per-manager dict entries +
+#: per-machine distribution arrays) blows well past this ceiling.
+RSS_CEILING_1M_MB = 768.0
+
+_SERVICE_1M: FleetService | None = None
+_RSS_1M_BYTES: int | None = None
+
+
+def _fleet_1m() -> tuple[FleetService, int]:
+    """The shared 1M-app service plus the RSS growth its build cost."""
+    global _SERVICE_1M, _RSS_1M_BYTES
+    if _SERVICE_1M is None:
+        import resource
+
+        before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        service = FleetService(
+            machines=MACHINES_1M, num_shards=NUM_SHARDS, admission=_unmetered_admission()
+        )
+        _populate(service, APPS_1M, seed=4321)
+        service.query("warmup", PlacementQuery(dcomp_frontend=1.0))
+        after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        _SERVICE_1M = service
+        # ru_maxrss is KiB on Linux; peak-to-peak delta brackets the build.
+        _RSS_1M_BYTES = (after - before) * 1024
+    return _SERVICE_1M, _RSS_1M_BYTES
+
+
+def test_fleet_million_apps(benchmark):
+    """1M registered apps, one process: bounded memory, >= 10k queries/sec.
+
+    Guarded twice: the build's RSS growth must stay under
+    ``RSS_CEILING_1M_MB`` (override ``REPRO_BENCH_FLEET_1M_RSS_MB``),
+    and the warm query path over the 1M-app fleet must clear the same
+    10k queries/sec floor the 100k bench asserts
+    (``REPRO_BENCH_FLEET_1M_FLOOR``) — query cost is memoized
+    per-machine state, so population must not show up in the rate.
+    """
+    service, rss_bytes = _fleet_1m()
+    rng = np.random.default_rng(77)
+    queries = []
+    for i in range(QUERY_BATCH):
+        candidates = tuple(
+            int(m)
+            for m in rng.choice(MACHINES_1M, size=CANDIDATES_PER_QUERY, replace=False)
+        )
+        queries.append(
+            (
+                f"tenant-{i % 8}",
+                PlacementQuery(
+                    dcomp_frontend=1.0,
+                    backend_dcomp=0.4,
+                    backend_didle=0.1,
+                    backend_dserial=0.2,
+                    dcomm_out=0.05,
+                    dcomm_in=0.05,
+                    candidates=candidates,
+                ),
+            )
+        )
+
+    def run() -> int:
+        served = 0
+        for tenant, query in queries:
+            answer = service.query(tenant, query)
+            served += not answer.shed
+        return served
+
+    assert benchmark(run) == len(queries)
+    assert len(service.registry) == APPS_1M
+    rss_mb = rss_bytes / (1024 * 1024)
+    ceiling = _floor("REPRO_BENCH_FLEET_1M_RSS_MB", RSS_CEILING_1M_MB)
+    assert rss_mb <= ceiling, (
+        f"building the 1M-app fleet grew RSS by {rss_mb:.0f} MiB "
+        f"(ceiling {ceiling:g} MiB, override with $REPRO_BENCH_FLEET_1M_RSS_MB)"
+    )
+    rate = len(queries) / benchmark.stats.stats.median
+    benchmark.extra_info["queries_per_sec"] = round(rate)
+    benchmark.extra_info["apps"] = APPS_1M
+    benchmark.extra_info["rss_mb"] = round(rss_mb)
+    floor = _floor("REPRO_BENCH_FLEET_1M_FLOOR", 10_000.0)
+    assert rate >= floor, (
+        f"1M-app fleet sustained only {rate:.0f} queries/sec "
+        f"(floor {floor:g}/s, override with $REPRO_BENCH_FLEET_1M_FLOOR)"
+    )
+
+
+# -- batched supervised frames -------------------------------------------------
+
+BATCHED_EVENTS = 6000
+BATCHED_FRAME = 32
+
+
+def test_fleet_batched_workers(benchmark):
+    """Supervised feed with 32-event frames: >= 4x the unbatched floor.
+
+    Same supervision tree as ``test_fleet_supervised_workers``, but
+    admitted events coalesce into ``SupervisorPolicy.batch_size``
+    frames, so the per-event pipe round-trip amortizes across the
+    frame. The floor (``REPRO_BENCH_FLEET_BATCHED_FLOOR``) is 4x the
+    unbatched supervised floor, and the end state is still checked
+    bit-identical against the in-process oracle every round.
+    """
+    from repro.experiments.journal import EventLog
+    from repro.fleet import SupervisedFleetService, synthetic_feed
+    from repro.fleet.supervisor import SupervisorPolicy
+
+    oracle = FleetService(
+        machines=SUPERVISED_MACHINES,
+        num_shards=SUPERVISED_WORKERS,
+        admission=_unmetered_admission(),
+    )
+    for event in synthetic_feed(
+        seed=72, events=BATCHED_EVENTS, machines=SUPERVISED_MACHINES
+    ):
+        oracle.apply(event)
+    expected = oracle.state_hash()
+
+    def run() -> str:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = SupervisedFleetService(
+                machines=SUPERVISED_MACHINES,
+                num_shards=SUPERVISED_WORKERS,
+                admission=_unmetered_admission(),
+                log=EventLog(Path(tmp) / "bench.jsonl", sync=False),
+                supervisor=SupervisorPolicy(batch_size=BATCHED_FRAME),
+            )
+            try:
+                for event in synthetic_feed(
+                    seed=72, events=BATCHED_EVENTS, machines=SUPERVISED_MACHINES
+                ):
+                    service.apply(event)
+                return service.state_hash()
+            finally:
+                service.close()
+
+    assert run_once(benchmark, run) == expected
+    rate = BATCHED_EVENTS / benchmark.stats.stats.median
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    benchmark.extra_info["workers"] = SUPERVISED_WORKERS
+    benchmark.extra_info["batch_size"] = BATCHED_FRAME
+    floor = _floor("REPRO_BENCH_FLEET_BATCHED_FLOOR", 2000.0)
+    assert rate >= floor, (
+        f"batched supervised fleet sustained only {rate:.0f} events/sec "
+        f"with {BATCHED_FRAME}-event frames (floor {floor:g}/s, override "
+        f"with $REPRO_BENCH_FLEET_BATCHED_FLOOR)"
     )

@@ -3,8 +3,9 @@
 # backend parity check, a kill-and-resume check of the run journal, a
 # fleet-soak SIGKILL/recovery check, a supervised worker-chaos soak
 # (SIGKILL/hang/crash shard workers at 100k-app scale, bit-identical
-# recovery), and one traced chaos run whose JSON-lines trace is
-# validated end to end.
+# recovery), the same chaos at 250k apps with events batched into
+# 64-event worker frames, and one traced chaos run whose JSON-lines
+# trace is validated end to end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
 set -euo pipefail
@@ -221,6 +222,42 @@ case "$chaos_stats" in
 esac
 echo "ok: 100k-app worker-chaos soak bit-identical ($chaos_stats)"
 rm -rf "$chaos_dir"
+
+echo "== batched frames: 250k-app worker chaos on frame boundaries =="
+# Same chaos proof, bigger fleet, with admitted events coalesced into
+# 64-event frames (--batch-size). Injected faults land on frame
+# boundaries and killed workers lose whole buffered frames, so this is
+# the proof that frame-level journal replay reconstructs exactly the
+# admitted prefix: the final hash must still match a clean (also
+# batched) supervised run bit for bit.
+batch_dir="$(mktemp -d -t fleet-batch.XXXXXX)"
+batch_clean_hash="$(python -m repro.fleet.soak --log "$batch_dir/clean.jsonl" \
+    --events 250000 --machines 1024 --shards 8 --seed 29 \
+    --depart-prob 0.0 --no-sync --supervised --batch-size 64 \
+    2>/dev/null | tail -n 1)"
+batch_chaos_hash="$(python -m repro.fleet.soak --log "$batch_dir/chaos.jsonl" \
+    --events 250000 --machines 1024 --shards 8 --seed 29 \
+    --depart-prob 0.0 --no-sync --batch-size 64 \
+    --chaos sigkill@50000,hang@120000,raise@190000 \
+    2>"$batch_dir/chaos.err" | tail -n 1)"
+[ "$batch_clean_hash" = "$batch_chaos_hash" ] || {
+    echo "error: batched chaos-run state hash differs from the clean run" >&2
+    echo "  clean: $batch_clean_hash" >&2
+    echo "  chaos: $batch_chaos_hash" >&2
+    exit 1
+}
+batch_stats="$(tail -n 1 "$batch_dir/chaos.err")"
+batch_respawns="$(printf '%s\n' "$batch_stats" | sed -n 's/.*respawns=\([0-9]*\).*/\1/p')"
+[ -n "$batch_respawns" ] && [ "$batch_respawns" -ge 3 ] || {
+    echo "error: expected >= 3 worker respawns, got '$batch_respawns' ($batch_stats)" >&2
+    exit 1
+}
+case "$batch_stats" in
+    *"recovery_mismatches=0"*) ;;
+    *) echo "error: recovery mismatches in batched chaos run ($batch_stats)" >&2; exit 1 ;;
+esac
+echo "ok: 250k-app batched worker-chaos soak bit-identical ($batch_stats)"
+rm -rf "$batch_dir"
 
 echo "== fast-forward seed determinism =="
 # The event-horizon fast-forward path must not introduce any run-to-run

@@ -53,6 +53,8 @@ __all__ = [
     "piecewise_message_times",
     "message_times",
     "fragmented_message_times",
+    "sequential_fold",
+    "sequential_folds",
     "cm2_slowdowns",
     "frontend_times",
     "backend_times",
@@ -165,6 +167,47 @@ def fragmented_message_times(
 # ---------------------------------------------------------------------------
 # Slowdown and elapsed-time kernels (§3.1, §3.1.2, §3.2.2)
 # ---------------------------------------------------------------------------
+
+
+def sequential_fold(values: np.ndarray, init: float = 0.0) -> float:
+    """Strict left-to-right sum ``((init + v0) + v1) + …`` — bit-exact.
+
+    ``np.sum`` uses pairwise summation, whose grouping differs from the
+    scalar accumulation loops in :mod:`repro.core.slowdown` and
+    :mod:`repro.reliability.degrade`; a cumulative sum, by contrast, is
+    inherently sequential (every prefix is an output), so its final
+    element reproduces the scalar fold bit for bit. The fleet's
+    struct-of-arrays shard (:class:`repro.fleet.shard.ArrayShard`)
+    leans on this to stay ``state_hash``/value-identical to the
+    object-backed oracle while evaluating whole machine batches in C.
+    """
+    values = np.asarray(values, dtype=_F)
+    if values.size == 0:
+        return float(init)
+    if values.size < 32:
+        # Cheaper than a cumsum allocation at tiny sizes; identical
+        # arithmetic by construction.
+        total = float(init)
+        for v in values:
+            total += float(v)
+        return total
+    acc = np.empty(values.size + 1, dtype=_F)
+    acc[0] = init
+    acc[1:] = values
+    return float(np.cumsum(acc)[-1])
+
+
+def sequential_folds(segments: Any, init: float = 0.0) -> np.ndarray:
+    """:func:`sequential_fold` over a ragged batch of segments.
+
+    One result per segment — the batched form the fleet shard uses to
+    re-derive every dirty machine's analytic ``1 + Σ f_k`` slowdown in
+    a single call while preserving the per-machine accumulation order.
+    """
+    out = np.empty(len(segments), dtype=_F)
+    for k, segment in enumerate(segments):
+        out[k] = sequential_fold(segment, init)
+    return out
 
 
 def cm2_slowdowns(extra_processes: Any) -> np.ndarray:

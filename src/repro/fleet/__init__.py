@@ -12,6 +12,7 @@ from .admission import AdmissionController, BoundedQueue, TenantQuota, TokenBuck
 from .registry import AppRecord, FleetRegistry, synthetic_feed
 from .service import FleetService, PlacementAnswer, PlacementQuery
 from .shard import (
+    ArrayShard,
     ReplayCheckpoint,
     ReplayResult,
     Shard,
@@ -25,6 +26,7 @@ from .worker import WorkerHandle, worker_main
 __all__ = [
     "AdmissionController",
     "AppRecord",
+    "ArrayShard",
     "BoundedQueue",
     "FleetRegistry",
     "FleetService",

@@ -26,7 +26,7 @@ bit-for-bit against an uninterrupted one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -55,13 +55,35 @@ class AppRecord:
 
 
 class FleetRegistry:
-    """Name → :class:`AppRecord` map with O(1) tenant/machine aggregates."""
+    """Name → :class:`AppRecord` map with O(1) tenant/machine aggregates.
+
+    Records are stored struct-of-arrays: an application is a slot index
+    into pooled ``machine``/``comm_fraction``/``message_size`` arrays
+    plus an interned tenant id, and :class:`AppRecord` objects are
+    materialized on demand. At 1M registered apps this costs ~21 bytes
+    of pooled numeric state per app (int64 machine, float64 fraction
+    and size, int32 tenant id) plus one name→slot dict entry — instead
+    of a 5-field frozen dataclass instance per app.
+    """
+
+    _SLOT_CAP = 64
 
     def __init__(self, machines: int) -> None:
         if machines < 1:
             raise ValueError(f"machines must be >= 1, got {machines!r}")
         self.machines = int(machines)
-        self._records: dict[str, AppRecord] = {}
+        #: Application name → pooled slot, insertion-ordered (this is
+        #: the "registry order" :meth:`on_machines` preserves).
+        self._slot: dict[str, int] = {}
+        self._machine = np.zeros(self._SLOT_CAP, dtype=np.int64)
+        self._frac = np.zeros(self._SLOT_CAP)
+        self._size = np.zeros(self._SLOT_CAP)
+        self._tenant_id = np.zeros(self._SLOT_CAP, dtype=np.int32)
+        self._free: list[int] = []
+        self._next_slot = 0
+        #: Interned tenant names; ``_tenant_id`` indexes this list.
+        self._tenants: list[str] = []
+        self._tenant_key: dict[str, int] = {}
         self._tenant_counts: dict[str, int] = {}
         #: Registered applications per machine (analytic ``p``).
         self.machine_counts = np.zeros(self.machines, dtype=np.int64)
@@ -69,13 +91,23 @@ class FleetRegistry:
         self.machine_comm_sums = np.zeros(self.machines, dtype=np.float64)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._slot)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._records
+        return name in self._slot
+
+    def _record(self, name: str, slot: int) -> AppRecord:
+        return AppRecord(
+            name=name,
+            tenant=self._tenants[self._tenant_id[slot]],
+            machine=int(self._machine[slot]),
+            comm_fraction=float(self._frac[slot]),
+            message_size=float(self._size[slot]),
+        )
 
     def get(self, name: str) -> AppRecord | None:
-        return self._records.get(name)
+        slot = self._slot.get(name)
+        return None if slot is None else self._record(name, slot)
 
     def tenant_count(self, tenant: str) -> int:
         """Applications currently registered by *tenant*."""
@@ -83,24 +115,47 @@ class FleetRegistry:
 
     def names(self) -> list[str]:
         """Sorted names of every registered application."""
-        return sorted(self._records)
+        return sorted(self._slot)
 
     def add(self, record: AppRecord) -> None:
         """Register *record* (caller has already validated admission)."""
-        if record.name in self._records:
+        if record.name in self._slot:
             raise KeyError(f"application {record.name!r} is already registered")
         if not 0 <= record.machine < self.machines:
             raise KeyError(f"machine {record.machine!r} out of range")
-        self._records[record.name] = record
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+            if slot >= self._machine.size:
+                cap = self._machine.size * 2
+                for attr in ("_machine", "_frac", "_size", "_tenant_id"):
+                    old = getattr(self, attr)
+                    grown = np.zeros(cap, dtype=old.dtype)
+                    grown[:slot] = old[:slot]
+                    setattr(self, attr, grown)
+        tenant_id = self._tenant_key.get(record.tenant)
+        if tenant_id is None:
+            tenant_id = len(self._tenants)
+            self._tenants.append(record.tenant)
+            self._tenant_key[record.tenant] = tenant_id
+        self._machine[slot] = record.machine
+        self._frac[slot] = record.comm_fraction
+        self._size[slot] = record.message_size
+        self._tenant_id[slot] = tenant_id
+        self._slot[record.name] = slot
         self._tenant_counts[record.tenant] = self.tenant_count(record.tenant) + 1
         self.machine_counts[record.machine] += 1
         self.machine_comm_sums[record.machine] += record.comm_fraction
 
     def remove(self, name: str) -> AppRecord:
         """Deregister and return the record for *name*."""
-        record = self._records.pop(name, None)
-        if record is None:
+        slot = self._slot.pop(name, None)
+        if slot is None:
             raise KeyError(f"application {name!r} is not registered")
+        record = self._record(name, slot)
+        self._free.append(slot)
         remaining = self.tenant_count(record.tenant) - 1
         if remaining:
             self._tenant_counts[record.tenant] = remaining
@@ -110,10 +165,14 @@ class FleetRegistry:
         self.machine_comm_sums[record.machine] -= record.comm_fraction
         return record
 
-    def on_machines(self, machine_ids: Iterator[int] | list[int]) -> list[AppRecord]:
+    def on_machines(self, machine_ids: Iterable[int]) -> list[AppRecord]:
         """Records placed on any of *machine_ids* (registry-order)."""
         wanted = set(machine_ids)
-        return [r for r in self._records.values() if r.machine in wanted]
+        return [
+            self._record(name, slot)
+            for name, slot in self._slot.items()
+            if int(self._machine[slot]) in wanted
+        ]
 
 
 def synthetic_feed(

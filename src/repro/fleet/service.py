@@ -35,11 +35,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core.batch import placement_grid
+from ..core.batch import PlacementGrid
 from ..core.params import DelayTable, SizedDelayTable
 from ..errors import ModelError, RecoveryError
 from ..obs import context as _obs
@@ -47,10 +48,18 @@ from ..obs import context as _obs
 if TYPE_CHECKING:  # pragma: no cover - import cycle: experiments imports fleet
     from ..experiments.journal import EventLog
 from ..reliability.breaker import CircuitBreaker
-from ..reliability.degrade import Confidence, TaggedSlowdown
+from ..reliability.degrade import Confidence
 from .admission import AdmissionController, BoundedQueue
 from .registry import AppRecord, FleetRegistry
-from .shard import Shard, ShardPolicy, ReplayCheckpoint, ReplayResult, replay_stream, stream_step
+from .shard import (
+    ArrayShard,
+    ReplayCheckpoint,
+    ReplayResult,
+    Shard,
+    ShardPolicy,
+    replay_stream,
+    stream_step,
+)
 
 __all__ = ["PlacementQuery", "PlacementAnswer", "FleetService"]
 
@@ -71,6 +80,40 @@ class PlacementQuery:
     dcomm_out: float = 0.0
     dcomm_in: float = 0.0
     candidates: tuple[int, ...] | None = None
+
+    @cached_property
+    def _scalars(self) -> tuple[np.float64, ...]:
+        """The six dedicated costs as validated float64s, cached.
+
+        A query object is immutable, so the nonnegativity checks
+        :func:`~repro.core.batch.placement_grid` would re-run on every
+        call are paid once per object here (same messages, same
+        exception type, same field order; NaN passes, as in
+        ``check_nonnegative``). At fleet query rates the repeated
+        scalar coercion and validation is a measurable slice of the
+        per-query budget.
+        """
+        out = []
+        for name, value in (
+            ("dcomp", self.dcomp_frontend),
+            ("dcomp", self.backend_dcomp),
+            ("didle", self.backend_didle),
+            ("dserial", self.backend_dserial),
+            ("dcomm", self.dcomm_out),
+            ("dcomm", self.dcomm_in),
+        ):
+            coerced = np.float64(value)
+            if coerced < 0:
+                raise ValueError(f"{name} must be >= 0, got {float(coerced)!r}")
+            out.append(coerced)
+        return tuple(out)
+
+    @cached_property
+    def _candidate_ids(self) -> np.ndarray | None:
+        """Candidate tuple as an int64 array, coerced once per object."""
+        if self.candidates is None:
+            return None
+        return np.asarray(self.candidates, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -140,8 +183,11 @@ class FleetService:
         self._clock = clock
         self.registry = FleetRegistry(self.machines)
         self.queue = BoundedQueue(queue_capacity)
-        self.shards: list[Shard] = [
-            Shard(
+        # Struct-of-arrays backend: one ArrayShard per slice. The
+        # object-backed Shard remains the differential oracle; both
+        # answer (and hash) bit-identically.
+        self.shards: list[ArrayShard | Shard] = [
+            ArrayShard(
                 sid,
                 range(sid, self.machines, self.num_shards),
                 delay_comp,
@@ -348,8 +394,7 @@ class FleetService:
         self, sid: int, machines: Sequence[int]
     ) -> dict[int, tuple[float, float, Confidence]] | None:
         """Tagged slowdowns for *machines* of shard *sid*; None keeps them stale."""
-        shard = self.shards[sid]
-        return {m: shard.slowdowns(m) for m in machines}
+        return self.shards[sid].slowdowns_batch(machines)
 
     def _shard_state_hash(self, sid: int) -> str:
         """Shard *sid*'s state fingerprint (see :meth:`Shard.state_hash`)."""
@@ -530,9 +575,9 @@ class FleetService:
         self._stale.difference_update(refreshed)
 
     def _candidate_array(self, query: PlacementQuery) -> np.ndarray:
-        if query.candidates is None:
+        cands = query._candidate_ids
+        if cands is None:
             return np.arange(self.machines)
-        cands = np.asarray(query.candidates, dtype=np.int64)
         return cands[(cands >= 0) & (cands < self.machines)]
 
     def query(self, tenant: str, query: PlacementQuery) -> PlacementAnswer:
@@ -541,9 +586,11 @@ class FleetService:
         Over-quota tenants get the shed path: ANALYTIC-confidence
         slowdowns from the registry aggregates. Admitted queries read
         each candidate's memoized shard slowdowns, with quarantined
-        shards' machines served analytically. Either way the grid is
-        scored through :func:`~repro.core.batch.placement_grid` and the
-        best machine (minimum predicted elapsed time) is returned.
+        shards' machines served analytically. Either way the candidate
+        grid is scored with the exact arithmetic of
+        :func:`~repro.core.batch.placement_grid` (inlined — see below)
+        and the best machine (minimum predicted elapsed time) is
+        returned.
         """
         candidates = self._candidate_array(query)
         if candidates.size == 0:
@@ -573,15 +620,21 @@ class FleetService:
                     self.degraded_queries += 1
                     _obs.inc("fleet.degraded")
                     self._note_failover(int(mask.sum()))
-        grid = placement_grid(
-            query.dcomp_frontend,
-            query.backend_dcomp,
-            query.backend_didle,
-            query.backend_dserial,
-            query.dcomm_out,
-            query.dcomm_in,
-            TaggedSlowdown(comp, Confidence(int(conf.min()))),
-            TaggedSlowdown(comm, Confidence(int(conf.min()))),
+        # Inlined placement_grid: the slowdown arrays are the service's
+        # own memoized state (always >= 1 by construction) and the
+        # query's scalars are validated once in ``_scalars``, so the
+        # kernel's per-call re-validation is skipped. The arithmetic —
+        # operands, operation order — is exactly ``frontend_times`` /
+        # ``backend_times`` / ``comm_costs`` with ``serial = comp``,
+        # which keeps answers bit-identical to the shared kernels
+        # (pinned by tests/fleet/test_service.py).
+        dfe, dbc, dbi, dbs, dco, dci = query._scalars
+        grid = PlacementGrid(
+            t_frontend=dfe * comp,
+            t_backend=np.maximum(dbc + dbi, dbs * comp),
+            c_out=dco * comm,
+            c_in=dci * comm,
+            confidence=Confidence(int(conf.min())),
         )
         best = int(np.argmin(grid.best_time))
         return PlacementAnswer(

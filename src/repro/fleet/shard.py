@@ -30,15 +30,21 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
+from ..core.batch import cm2_slowdowns, sequential_fold, sequential_folds
 from ..core.params import DelayTable, SizedDelayTable
+from ..core.probability import add_application, overlap_distribution, remove_application
 from ..core.runtime import SlowdownManager
 from ..core.workload import ApplicationProfile
 from ..errors import ModelError
 from ..reliability.degrade import Confidence
+from ..units import check_fraction, check_nonnegative
 
 __all__ = [
+    "ArrayShard",
     "Shard",
     "ShardPolicy",
     "ReplayCheckpoint",
@@ -110,7 +116,7 @@ class ReplayResult:
 
 
 def replay_stream(
-    shard: "Shard",
+    shard: "Shard | ArrayShard",
     events: Iterable[Mapping],
     checkpoint: ReplayCheckpoint | None = None,
     chain: bytes = b"",
@@ -279,6 +285,17 @@ class Shard:
             self._refresh(machine)
         return self._comp[machine], self._comm[machine], self._conf[machine]
 
+    def slowdowns_batch(
+        self, machines: Iterable[int]
+    ) -> dict[int, tuple[float, float, Confidence]]:
+        """:meth:`slowdowns` over many machines — one result per machine.
+
+        The object-backed shard evaluates each machine independently;
+        :class:`ArrayShard` overrides this with a vectorized sweep. Both
+        sides of the seam answer bit-identically.
+        """
+        return {machine: self.slowdowns(machine) for machine in machines}
+
     @property
     def rebuilds(self) -> int:
         """Total O(p²) distribution rebuilds across this shard's managers."""
@@ -313,3 +330,450 @@ class Shard:
     def fresh(self) -> "Shard":
         """A new empty shard with the same id, machines and tables."""
         return Shard(self.shard_id, self.machine_ids, *self._tables)
+
+
+class _MachineView:
+    """A :class:`SlowdownManager`-shaped façade over one :class:`ArrayShard` row.
+
+    Exists so code written against ``shard.managers[machine]`` (tests,
+    the desync phase of the fleet experiment) keeps working against the
+    struct-of-arrays backend. Mutations go straight to the shard's
+    arrays and — exactly like calling a manager directly — bypass the
+    shard's dirty set and ``applied`` counter.
+    """
+
+    __slots__ = ("_shard", "_machine", "_i")
+
+    def __init__(self, shard: "ArrayShard", machine: int) -> None:
+        self._shard = shard
+        self._machine = machine
+        self._i = shard._row[machine]
+
+    def __len__(self) -> int:
+        return int(self._shard._plen[self._i])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shard._slots[self._i]
+
+    def __iter__(self) -> Iterator[ApplicationProfile]:
+        return iter(self.snapshot().values())
+
+    @property
+    def p(self) -> int:
+        return len(self)
+
+    @property
+    def pcomm(self) -> np.ndarray:
+        i, p = self._i, len(self)
+        return self._shard._pcomm[i, : p + 1].copy()
+
+    @property
+    def pcomp(self) -> np.ndarray:
+        i, p = self._i, len(self)
+        return self._shard._pcomp[i, : p + 1].copy()
+
+    def arrive(self, profile: ApplicationProfile) -> None:
+        self._shard._arrive(
+            self._i, profile.name, profile.comm_fraction, profile.message_size
+        )
+
+    def depart(self, name: str) -> None:
+        self._shard._depart(self._i, name)
+
+    def max_message_size(self) -> float:
+        return self._shard._max_message_size(self._i)
+
+    def snapshot(self) -> Mapping[str, ApplicationProfile]:
+        shard, i = self._shard, self._i
+        return {
+            name: ApplicationProfile(
+                name=name,
+                comm_fraction=float(shard._frac[slot]),
+                message_size=float(shard._size[slot]),
+            )
+            for name, slot in shard._slots[i].items()
+        }
+
+
+class _MachineViews:
+    """Mapping-style ``managers`` compatibility container for :class:`ArrayShard`."""
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: "ArrayShard") -> None:
+        self._shard = shard
+
+    def __getitem__(self, machine: int) -> _MachineView:
+        if machine not in self._shard._row:
+            raise KeyError(machine)
+        return _MachineView(self._shard, machine)
+
+    def get(self, machine: int, default=None):
+        if machine not in self._shard._row:
+            return default
+        return _MachineView(self._shard, machine)
+
+    def __contains__(self, machine: int) -> bool:
+        return machine in self._shard._row
+
+    def __len__(self) -> int:
+        return len(self._shard._row)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._shard._row)
+
+    def keys(self):
+        return self._shard._row.keys()
+
+    def values(self) -> Iterator[_MachineView]:
+        for machine in self._shard._row:
+            yield _MachineView(self._shard, machine)
+
+    def items(self):
+        for machine in self._shard._row:
+            yield machine, _MachineView(self._shard, machine)
+
+
+class ArrayShard:
+    """Struct-of-arrays shard state: :class:`Shard` semantics, pooled arrays.
+
+    Instead of one :class:`SlowdownManager` object plus one
+    ``ApplicationProfile`` per app, the whole machine slice lives in a
+    handful of contiguous NumPy arrays:
+
+    * ``_pcomm`` / ``_pcomp`` — 2D overlap-distribution matrices, one
+      row per machine, columns grown by doubling; row *i*'s live prefix
+      is ``[: p_i + 1]``.
+    * ``_frac`` / ``_size`` / ``_names`` — pooled per-app metadata; an
+      app is a slot index (``_slots[row][name]``) into these pools,
+      recycled through a free list on departure.
+    * ``_plen`` — per-machine app counts; ``_mcomp``/``_mcomm``/
+      ``_mconf`` — the memoized tagged-slowdown vectors, refreshed for
+      all dirty machines at once through :mod:`repro.core.batch`.
+
+    Per app this costs ~16 B of pooled numeric state plus two float64
+    matrix cells and one dict entry — versus a profile object, a dict
+    entry and two array cells per app in the object layout — which is
+    what lets one process hold 1M registered apps.
+
+    Bit-identity: arrivals/departures run the *same*
+    :func:`~repro.core.probability.add_application` /
+    :func:`~repro.core.probability.remove_application` /
+    :func:`~repro.core.probability.overlap_distribution` update ladder
+    on row views, and the batched refresh reproduces the scalar
+    accumulation order of :class:`SlowdownManager`'s tagged queries via
+    :func:`~repro.core.batch.sequential_fold`, so
+    :meth:`state_hash` and every served ``(comp, comm, confidence)``
+    triple are bit-identical to the object-backed oracle (pinned by the
+    differential suite in ``tests/fleet/test_array_shard.py``).
+
+    Note: profile metadata is held as float64, so events must carry
+    float ``comm_fraction``/``message_size`` values — which the service
+    validation layer and the JSON journal both guarantee.
+    """
+
+    _SLOT_CAP = 64
+    _COL_CAP = 8
+
+    def __init__(
+        self,
+        shard_id: int,
+        machine_ids: Iterable[int],
+        delay_comp: DelayTable | None = None,
+        delay_comm: DelayTable | None = None,
+        delay_comm_sized: SizedDelayTable | None = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.machine_ids = tuple(machine_ids)
+        self._tables = (delay_comp, delay_comm, delay_comm_sized)
+        self.delay_comp = delay_comp
+        self.delay_comm = delay_comm
+        self.delay_comm_sized = delay_comm_sized
+        n = len(self.machine_ids)
+        self._row: dict[int, int] = {m: i for i, m in enumerate(self.machine_ids)}
+        #: Per machine row: app name → pooled slot, insertion-ordered
+        #: (mirrors ``SlowdownManager._profiles`` ordering, which the
+        #: rebuild and analytic-comm folds depend on).
+        self._slots: list[dict[str, int]] = [{} for _ in range(n)]
+        self._frac = np.zeros(self._SLOT_CAP)
+        self._size = np.zeros(self._SLOT_CAP)
+        self._names: list[str | None] = [None] * self._SLOT_CAP
+        self._free: list[int] = []
+        self._next_slot = 0
+        self._plen = np.zeros(n, dtype=np.int64)
+        self._pcomm = np.zeros((n, self._COL_CAP))
+        self._pcomp = np.zeros((n, self._COL_CAP))
+        if n:
+            self._pcomm[:, 0] = 1.0
+            self._pcomp[:, 0] = 1.0
+        self._mcomp = np.ones(n)
+        self._mcomm = np.ones(n)
+        self._mconf = np.full(n, int(Confidence.CALIBRATED), dtype=np.int64)
+        self._dirty: set[int] = set(self.machine_ids)
+        #: Cached ``table.delay(i, extrapolate=True)`` vectors, extended
+        #: lazily as contention levels grow; index 0 is unused padding.
+        self._vcomp = np.zeros(1)
+        self._vcomm = np.zeros(1)
+        self._vsized: dict[int, np.ndarray] = {}
+        self.applied = 0
+        #: O(p²) distribution rebuilds (departure deconvolution fallback).
+        self.rebuilds = 0
+
+    # -- pooled-slot management -----------------------------------------------
+
+    def _alloc_slot(self, name: str, frac: float, size: float) -> int:
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+            if slot >= self._frac.size:
+                cap = self._frac.size * 2
+                for attr in ("_frac", "_size"):
+                    grown = np.zeros(cap)
+                    grown[: slot] = getattr(self, attr)[:slot]
+                    setattr(self, attr, grown)
+                self._names.extend([None] * (cap - len(self._names)))
+        self._frac[slot] = frac
+        self._size[slot] = size
+        self._names[slot] = name
+        return slot
+
+    def _grow_cols(self, needed: int) -> None:
+        cols = self._pcomm.shape[1]
+        while cols < needed:
+            cols *= 2
+        for attr in ("_pcomm", "_pcomp"):
+            old = getattr(self, attr)
+            grown = np.zeros((old.shape[0], cols))
+            grown[:, : old.shape[1]] = old
+            setattr(self, attr, grown)
+
+    # -- event stream ---------------------------------------------------------
+
+    def apply(self, event: Mapping) -> None:
+        """Apply one arrive/depart event — same contract as :meth:`Shard.apply`."""
+        machine = event["machine"]
+        i = self._row.get(machine)
+        if i is None:
+            raise ModelError(
+                f"machine {machine!r} is not owned by shard {self.shard_id}"
+            )
+        op = event["op"]
+        if op == "arrive":
+            self._arrive(
+                i, event["app"], event["comm_fraction"], event["message_size"]
+            )
+        elif op == "depart":
+            self._depart(i, event["app"])
+        else:
+            raise ModelError(f"unknown fleet event op {op!r}")
+        self._dirty.add(machine)
+        self.applied += 1
+
+    def _arrive(self, i: int, name: str, frac: float, size: float) -> None:
+        # Same validation ladder (and exception types) as constructing
+        # an ApplicationProfile, then the manager's duplicate check.
+        frac = check_fraction(frac, "comm_fraction")
+        size = check_nonnegative(size, "message_size")
+        if frac > 0 and size <= 0:
+            raise ModelError(
+                f"application {name!r} communicates {frac:.0%} of the time "
+                "but declares no message size"
+            )
+        slots = self._slots[i]
+        if name in slots:
+            raise ModelError(f"application {name!r} is already registered")
+        p = int(self._plen[i])
+        # Compute both updates from the row views *before* any capacity
+        # growth — growth reallocates the matrices and would orphan them.
+        new_comm = add_application(self._pcomm[i, : p + 1], frac)
+        new_comp = add_application(self._pcomp[i, : p + 1], 1.0 - frac)
+        if p + 2 > self._pcomm.shape[1]:
+            self._grow_cols(p + 2)
+        slots[name] = self._alloc_slot(name, frac, size)
+        self._pcomm[i, : p + 2] = new_comm
+        self._pcomp[i, : p + 2] = new_comp
+        self._plen[i] = p + 1
+
+    def _depart(self, i: int, name: str) -> None:
+        slots = self._slots[i]
+        slot = slots.pop(name, None)
+        if slot is None:
+            raise ModelError(f"application {name!r} is not registered")
+        p = int(self._plen[i])
+        frac = float(self._frac[slot])
+        try:
+            new_comm = remove_application(self._pcomm[i, : p + 1], frac)
+            new_comp = remove_application(self._pcomp[i, : p + 1], 1.0 - frac)
+        except ModelError:
+            # Deconvolution ill-conditioned — the O(p²) rebuild, from
+            # the remaining fractions in registration order.
+            fractions = [float(self._frac[s]) for s in slots.values()]
+            new_comm = overlap_distribution(fractions)
+            new_comp = overlap_distribution([1.0 - f for f in fractions])
+            self.rebuilds += 1
+        self._pcomm[i, :p] = new_comm
+        self._pcomp[i, :p] = new_comp
+        self._plen[i] = p - 1
+        self._names[slot] = None
+        self._free.append(slot)
+
+    # -- queries --------------------------------------------------------------
+
+    @staticmethod
+    def _extended(vec: np.ndarray, table: DelayTable, n: int) -> np.ndarray:
+        """Delay vector covering levels ``1..n`` (``vec[0]`` is padding)."""
+        if vec.size > n:
+            return vec
+        grown = np.zeros(n + 1)
+        grown[: vec.size] = vec
+        for level in range(max(1, vec.size), n + 1):
+            grown[level] = table.delay(level, extrapolate=True)
+        return grown
+
+    @staticmethod
+    def _max_level(tail: np.ndarray) -> int:
+        """Largest contention level with mass, given ``dist[1 : p + 1]``."""
+        nz = np.nonzero(tail > 0.0)[0]
+        return int(nz[-1]) + 1 if nz.size else 0
+
+    def _max_message_size(self, i: int) -> float:
+        slots = self._slots[i]
+        if not slots:
+            return 0.0
+        order = np.fromiter(slots.values(), np.int64, len(slots))
+        return float(self._size[order].max())
+
+    def _comm_calibrated(self, i: int, p: int) -> tuple[float, Confidence]:
+        self._vcomp = self._extended(self._vcomp, self.delay_comp, p)
+        self._vcomm = self._extended(self._vcomm, self.delay_comm, p)
+        comp_tail = self._pcomp[i, 1 : p + 1]
+        comm_tail = self._pcomm[i, 1 : p + 1]
+        # Zero-mass levels contribute an exact +0.0 product, which the
+        # sequential fold absorbs bit-neutrally — same accumulation
+        # order as weighted_delay's skip-zero scalar loop.
+        wd_comp = sequential_fold(comp_tail * self._vcomp[1 : p + 1])
+        wd_comm = sequential_fold(comm_tail * self._vcomm[1 : p + 1])
+        value = (1.0 + wd_comp) + wd_comm
+        within = (
+            self._max_level(comp_tail) <= self.delay_comp.max_level
+            and self._max_level(comm_tail) <= self.delay_comm.max_level
+        )
+        return value, Confidence.CALIBRATED if within else Confidence.EXTRAPOLATED
+
+    def _comp_calibrated(self, i: int, p: int) -> tuple[float, Confidence]:
+        sized = self.delay_comm_sized
+        size = self._max_message_size(i)
+        bucket = sized.select_bucket(size)
+        vec = self._extended(self._vsized.get(bucket, np.zeros(1)), sized.tables[bucket], p)
+        self._vsized[bucket] = vec
+        # The copy keeps np.dot's operand a fresh contiguous allocation,
+        # exactly like the manager's standalone distribution array.
+        cpu_term = float(np.dot(np.arange(p + 1), self._pcomp[i, : p + 1].copy()))
+        comm_tail = self._pcomm[i, 1 : p + 1]
+        comm_term = sequential_fold(comm_tail * vec[1 : p + 1])
+        value = 1.0 + cpu_term + comm_term
+        comm_level = self._max_level(comm_tail)
+        if comm_level > 0 and comm_level > sized.tables[bucket].max_level:
+            return value, Confidence.EXTRAPOLATED
+        return value, Confidence.CALIBRATED
+
+    def _refresh_batch(self) -> None:
+        machines = sorted(self._dirty)
+        rows = np.fromiter(
+            (self._row[m] for m in machines), np.int64, len(machines)
+        )
+        ps = self._plen[rows]
+        analytic_comp = self.delay_comm_sized is None
+        analytic_comm = self.delay_comp is None or self.delay_comm is None
+        comp_vals = cm2_slowdowns(ps) if analytic_comp else None
+        comm_vals = None
+        if analytic_comm:
+            # 1 + Σ f_k per machine, folded in registration order —
+            # the batched form of analytic_comm_slowdown.
+            segments = [
+                self._frac[np.fromiter(s.values(), np.int64, len(s))]
+                for s in (self._slots[i] for i in rows)
+            ]
+            comm_vals = sequential_folds(segments, init=1.0)
+        for k, i in enumerate(rows):
+            i = int(i)
+            p = int(ps[k])
+            if p == 0:
+                self._mcomp[i] = 1.0
+                self._mcomm[i] = 1.0
+                self._mconf[i] = int(Confidence.CALIBRATED)
+                continue
+            if analytic_comp:
+                comp, comp_conf = float(comp_vals[k]), Confidence.ANALYTIC
+            else:
+                comp, comp_conf = self._comp_calibrated(i, p)
+            if analytic_comm:
+                comm, comm_conf = float(comm_vals[k]), Confidence.ANALYTIC
+            else:
+                comm, comm_conf = self._comm_calibrated(i, p)
+            self._mcomp[i] = comp
+            self._mcomm[i] = comm
+            self._mconf[i] = int(min(comp_conf, comm_conf))
+        self._dirty.clear()
+
+    def slowdowns(self, machine: int) -> tuple[float, float, Confidence]:
+        """Memoized ``(comp, comm, confidence)`` for *machine* — O(1) warm."""
+        if self._dirty:
+            self._refresh_batch()
+        i = self._row[machine]
+        return (
+            float(self._mcomp[i]),
+            float(self._mcomm[i]),
+            Confidence(int(self._mconf[i])),
+        )
+
+    def slowdowns_batch(
+        self, machines: Iterable[int]
+    ) -> dict[int, tuple[float, float, Confidence]]:
+        """Tagged slowdowns for many machines in one dirty-set sweep."""
+        if self._dirty:
+            self._refresh_batch()
+        out: dict[int, tuple[float, float, Confidence]] = {}
+        for machine in machines:
+            i = self._row[machine]
+            out[machine] = (
+                float(self._mcomp[i]),
+                float(self._mcomm[i]),
+                Confidence(int(self._mconf[i])),
+            )
+        return out
+
+    @property
+    def managers(self) -> _MachineViews:
+        """Per-machine :class:`SlowdownManager`-compatible views."""
+        return _MachineViews(self)
+
+    def population(self) -> int:
+        """Total applications registered across this shard's machines."""
+        return int(self._plen.sum())
+
+    # -- recovery -------------------------------------------------------------
+
+    def state_hash(self) -> str:
+        """Bit-exact fingerprint — byte-identical to :meth:`Shard.state_hash`."""
+        h = hashlib.blake2b(digest_size=16)
+        for machine in sorted(self.machine_ids):
+            i = self._row[machine]
+            h.update(f"m{machine}:".encode())
+            slots = self._slots[i]
+            for name in sorted(slots):
+                slot = slots[name]
+                h.update(
+                    f"{name},{float(self._frac[slot])!r},"
+                    f"{float(self._size[slot])!r};".encode()
+                )
+            p = int(self._plen[i])
+            h.update(self._pcomm[i, : p + 1].tobytes())
+            h.update(self._pcomp[i, : p + 1].tobytes())
+        return h.hexdigest()
+
+    def fresh(self) -> "ArrayShard":
+        """A new empty shard with the same id, machines and tables."""
+        return ArrayShard(self.shard_id, self.machine_ids, *self._tables)

@@ -112,6 +112,7 @@ def run_soak(
     chaos: list[tuple[int, str, int]] | None = None,
     depart_probability: float = 0.35,
     sync: bool = True,
+    batch_size: int = 1,
 ) -> FleetService:
     """Drive one soak run; returns the service at its final state."""
     log = EventLog(log_path, resume=resume, sync=sync)
@@ -128,6 +129,7 @@ def run_soak(
             supervisor=SupervisorPolicy(
                 heartbeat_interval=1.0,
                 heartbeat_timeout=4.0,
+                batch_size=batch_size,
                 containment=FailurePolicy(deadline=2.0),
             ),
         )
@@ -245,6 +247,13 @@ def main(argv: list[str] | None = None) -> int:
         "(implies --supervised; targets rotate across shards)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=int(os.environ.get("REPRO_FLEET_BATCH", "1")),
+        help="events coalesced into one supervised-worker apply frame "
+        "(env REPRO_FLEET_BATCH; 1 = one message per event)",
+    )
+    parser.add_argument(
         "--depart-prob",
         type=float,
         default=0.35,
@@ -278,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
         chaos=chaos,
         depart_probability=args.depart_prob,
         sync=not args.no_sync,
+        batch_size=args.batch_size,
     )
     digest = service.state_hash()
     counters = service.counters()

@@ -38,6 +38,13 @@ and adds a supervision tree over the workers:
   failed: its load is shed to the analytic path and the journal replay
   catches it up later, instead of one slow worker stalling the event
   feed for its siblings.
+* **Batched frames.** Admitted events are coalesced per shard into
+  bounded ``("apply", [events])`` frames (``SupervisorPolicy
+  .batch_size``), acknowledged once per frame. Partial frames flush on
+  every sweep and before any request whose answer must observe them —
+  slowdowns, state hash, chaos injection — so acks, heartbeat
+  checkpoints, stream accounting and replay verification all operate
+  on frame boundaries and the respawn machinery is unchanged.
 
 The supervisor is single-threaded: all of the above happens inside
 :meth:`SupervisedFleetService.tick`, which runs (rate-limited by
@@ -102,9 +109,19 @@ class SupervisorPolicy:
         a later replay must reproduce mid-stream; turning it off
         trades that verification depth for cheaper heartbeats.
     max_inflight:
-        Per-worker bound on unacknowledged requests. Sized so the
-        worst-case backlog stays far below the OS pipe buffer — the
-        parent must never block in ``send()``.
+        Per-worker bound on unacknowledged requests (apply *frames*,
+        not individual events). Sized so the worst-case backlog stays
+        far below the OS pipe buffer — the parent must never block in
+        ``send()``.
+    batch_size:
+        Events coalesced into one ``("apply", [events])`` frame before
+        it is sent. 1 keeps the PR-9 one-message-per-event behaviour;
+        larger frames amortize pipe round-trips when the feed rate,
+        not the shard math, is the bottleneck. Buffered events are
+        flushed on every supervision sweep and before any request
+        whose answer must reflect them (slowdowns, state hash, chaos
+        injection), so acks, stream accounting, heartbeat checkpoints
+        and replay all stay on frame boundaries.
     replay_deadline:
         Seconds a respawned worker gets to replay the journal.
     soft_backpressure:
@@ -124,6 +141,7 @@ class SupervisorPolicy:
     heartbeat_timeout: float = 2.0
     heartbeat_hash: bool = True
     max_inflight: int = 64
+    batch_size: int = 1
     replay_deadline: float = 60.0
     soft_backpressure: float = 0.05
     tick_interval: float = 0.02
@@ -142,6 +160,8 @@ class SupervisorPolicy:
             )
         if self.max_inflight < 2:
             raise ValueError(f"max_inflight must be >= 2, got {self.max_inflight!r}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size!r}")
         if self.replay_deadline <= 0:
             raise ValueError(
                 f"replay_deadline must be > 0, got {self.replay_deadline!r}"
@@ -224,6 +244,11 @@ class SupervisedFleetService(FleetService):
         self.failover_answers = 0
         self.worker_failures = 0
         self.worker_backpressure = 0
+        # Per-shard frame buffers: validated events waiting to be
+        # coalesced into one ("apply", [events]) pipe message.
+        self._frames: list[list[dict[str, Any]]] = [
+            [] for _ in range(self.num_shards)
+        ]
         now = self._clock()
         self._workers: list[WorkerHandle] = [
             self._spawn(sid, now) for sid in range(self.num_shards)
@@ -248,6 +273,9 @@ class SupervisedFleetService(FleetService):
         worker = self._workers[sid]
         if worker.state == WorkerHandle.DEAD:
             return
+        # Buffered events are already durable in the journal; the
+        # respawn replay covers them.
+        self._frames[sid].clear()
         worker.kill()
         worker.state = WorkerHandle.DEAD
         self.worker_failures += 1
@@ -494,6 +522,13 @@ class SupervisedFleetService(FleetService):
                 else:
                     self._fail_worker(sid, f"{expired.kind} deadline exceeded")
                 continue
+            if worker.state == WorkerHandle.LIVE and self._frames[sid]:
+                # Ship any partial frame each sweep so a slow feed
+                # never parks events in the buffer indefinitely.
+                self._flush_frame(sid)
+                worker = self._workers[sid]
+                if worker.state == WorkerHandle.DEAD:
+                    continue
             if (
                 worker.state == WorkerHandle.LIVE
                 and now - worker.last_ping >= policy.heartbeat_interval
@@ -527,13 +562,30 @@ class SupervisedFleetService(FleetService):
         worker = self._workers[sid]
         if worker.state == WorkerHandle.DEAD:
             return
+        # Coalesce into the shard's frame; a full frame ships at once,
+        # a partial one on the next supervision sweep or before any
+        # request that must observe it.
+        self._frames[sid].append(validated)
+        self._stale.add(validated["machine"])
+        if len(self._frames[sid]) >= self.supervisor.batch_size:
+            self._flush_frame(sid)
+
+    def _flush_frame(self, sid: int) -> None:
+        """Ship shard *sid*'s buffered events as one apply frame."""
+        frame = self._frames[sid]
+        if not frame:
+            return
+        worker = self._workers[sid]
+        self._frames[sid] = []
+        if worker.state != WorkerHandle.LIVE:
+            # Already failed or replaying: the journal covers the
+            # buffered events; replay delivers them.
+            return
         deadline = self.supervisor.containment.deadline
         try:
-            sent = worker.request(
-                ("apply", validated), "apply", deadline, self._clock()
-            )
+            sent = worker.request(("apply", frame), "apply", deadline, self._clock())
             if not sent:
-                sent = self._soft_backpressure(sid, validated, deadline)
+                sent = self._soft_backpressure(sid, frame, deadline)
         except WorkerUnavailable:
             self._fail_worker(sid, "pipe to worker closed")
             return
@@ -541,17 +593,15 @@ class SupervisedFleetService(FleetService):
             if self._workers[sid].state == WorkerHandle.DEAD:
                 return
             # Hard backpressure: the worker cannot keep up even after
-            # the soft wait. Shed it — the event is already durable in
+            # the soft wait. Shed it — the frame is already durable in
             # the log, and the respawn replay will catch it up —
             # rather than stall the feed for its siblings.
             self.worker_backpressure += 1
             _obs.inc("fleet.worker_backpressure")
             self._fail_worker(sid, "backpressure: in-flight window full")
-            return
-        self._stale.add(validated["machine"])
 
     def _soft_backpressure(
-        self, sid: int, validated: dict[str, Any], deadline: float | None
+        self, sid: int, frame: list[dict[str, Any]], deadline: float | None
     ) -> bool:
         """Yield briefly to a worker with a full window; retry the send."""
         worker = self._workers[sid]
@@ -566,11 +616,17 @@ class SupervisedFleetService(FleetService):
             self._handle_ack(sid, *ack)
         if worker.state == WorkerHandle.DEAD:
             return False
-        return worker.request(("apply", validated), "apply", deadline, self._clock())
+        return worker.request(("apply", frame), "apply", deadline, self._clock())
 
     def _shard_slowdowns(
         self, sid: int, machines: Sequence[int]
     ) -> dict[int, tuple[float, float, Confidence]] | None:
+        worker = self._workers[sid]
+        if worker.state != WorkerHandle.LIVE:
+            return None
+        # The answer must reflect every admitted event: ship the
+        # shard's partial frame first (FIFO keeps it ordered ahead).
+        self._flush_frame(sid)
         worker = self._workers[sid]
         if worker.state != WorkerHandle.LIVE:
             return None
@@ -596,6 +652,7 @@ class SupervisedFleetService(FleetService):
         worker = self._workers[sid]
         if worker.state == WorkerHandle.LIVE:
             self._drain(sid)
+            self._flush_frame(sid)
             worker = self._workers[sid]
         if worker.state == WorkerHandle.LIVE:
             try:
@@ -683,6 +740,11 @@ class SupervisedFleetService(FleetService):
         worker = self._workers[sid]
         if worker.state == WorkerHandle.DEAD:
             return False
+        # Chaos lands on a frame boundary: buffered events go first.
+        self._flush_frame(sid)
+        worker = self._workers[sid]
+        if worker.state == WorkerHandle.DEAD:
+            return False
         try:
             return worker.request(
                 ("inject", kind, int(after)),
@@ -722,6 +784,8 @@ class SupervisedFleetService(FleetService):
 
     def close(self) -> None:
         """Shut every worker down (politely, then forcibly)."""
+        for sid in range(self.num_shards):
+            self._flush_frame(sid)
         for worker in self._workers:
             if worker.state != WorkerHandle.DEAD and worker.alive():
                 worker.shutdown()

@@ -8,7 +8,7 @@ by ``shard_of``), and answers every request in order:
 ==============================  ===========================================
 request                         response
 ==============================  ===========================================
-``("apply", event)``            ``("ok",)`` or ``("err", message)``
+``("apply", [events])``         ``("ok", n_applied)`` or ``("err", message)``
 ``("slowdowns", [machines])``   ``("slowdowns", {m: (comp, comm, conf)})``
 ``("ping", want_hash)``         ``("pong", applied, state_hash_or_None)``
 ``("hash",)``                   ``("hash", digest)``
@@ -22,12 +22,21 @@ and the loop answers one request before reading the next — so the
 parent matches acknowledgements to requests positionally (its pending
 :class:`~repro.fleet.admission.BoundedQueue` per worker).
 
+``("apply", [events])`` carries a bounded *frame* of validated events
+(the supervisor coalesces up to ``SupervisorPolicy.batch_size`` per
+shard) and is acknowledged once per frame; a :class:`~repro.errors
+.ModelError` mid-frame aborts the frame with ``("err", message)`` and
+the supervisor kills and replays the worker, so partially applied
+frames never survive. Stream accounting, heartbeat checkpoints and
+replay verification all live on frame boundaries.
+
 ``("inject", kind, after)`` is the chaos hook: after *after* more
-``apply`` requests the worker SIGKILLs itself mid-handler (``exit``),
-wedges without answering (``hang``), or lets an exception escape the
-loop (``raise``). The supervision tree must treat all three the same
-way — quarantine, respawn, replay — which is exactly what the chaos
-soak asserts.
+applied events — counted through frame payloads, not messages — the
+worker SIGKILLs itself mid-handler (``exit``), wedges without
+answering (``hang``), or lets an exception escape the loop
+(``raise``). The supervision tree must treat all three the same way —
+quarantine, respawn, replay — which is exactly what the chaos soak
+asserts.
 
 ``("replay", from_seq, upto_seq, checkpoint)`` rebuilds the shard from
 the durable :class:`~repro.experiments.journal.EventLog`: the worker
@@ -45,14 +54,17 @@ quarantined.
 from __future__ import annotations
 
 import os
+import select
+import struct
 import time
 import traceback
 from dataclasses import dataclass
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ModelError
 from .admission import BoundedQueue
-from .shard import ReplayCheckpoint, Shard, replay_stream
+from .shard import ArrayShard, ReplayCheckpoint, replay_stream
 
 __all__ = ["worker_main", "WorkerHandle", "WorkerUnavailable", "FAULT_KINDS"]
 
@@ -76,7 +88,7 @@ def worker_main(
     log_path: str | None,
 ) -> None:
     """Child-process entry point: serve one shard until shutdown/EOF."""
-    shard = Shard(shard_id, machine_ids, *tables)
+    shard = ArrayShard(shard_id, machine_ids, *tables)
     chain = b""  # rolling stream hash, cumulative across replay rounds
     fault: dict[str, Any] | None = None
     try:
@@ -87,25 +99,32 @@ def worker_main(
                 return  # parent went away; nothing left to serve
             op = msg[0]
             if op == "apply":
-                if fault is not None:
-                    fault["after"] -= 1
-                    if fault["after"] <= 0:
-                        kind = fault["kind"]
-                        fault = None
-                        if kind == "exit":
-                            os._exit(_CRASH_STATUS)
-                        if kind == "hang":
-                            time.sleep(3600.0)
-                        if kind == "raise":
-                            raise RuntimeError(
-                                "injected fault: exception inside the apply handler"
-                            )
-                try:
-                    shard.apply(msg[1])
-                except ModelError as exc:
-                    conn.send(("err", str(exc)))
+                failure: str | None = None
+                applied = 0
+                for event in msg[1]:
+                    if fault is not None:
+                        fault["after"] -= 1
+                        if fault["after"] <= 0:
+                            kind = fault["kind"]
+                            fault = None
+                            if kind == "exit":
+                                os._exit(_CRASH_STATUS)
+                            if kind == "hang":
+                                time.sleep(3600.0)
+                            if kind == "raise":
+                                raise RuntimeError(
+                                    "injected fault: exception inside the apply handler"
+                                )
+                    try:
+                        shard.apply(event)
+                    except ModelError as exc:
+                        failure = str(exc)
+                        break
+                    applied += 1
+                if failure is not None:
+                    conn.send(("err", failure))
                 else:
-                    conn.send(("ok",))
+                    conn.send(("ok", applied))
             elif op == "slowdowns":
                 answer = {}
                 for machine in msg[1]:
@@ -236,6 +255,57 @@ class WorkerHandle:
     def alive(self) -> bool:
         return self.process.is_alive()
 
+    def _send_with_deadline(self, msg: tuple, timeout: float) -> None:
+        """``conn.send`` that cannot block forever on a full OS pipe.
+
+        A plain ``Connection.send`` to a worker that has stopped
+        reading (wedged in a handler, chaos ``hang``) blocks in
+        ``write(2)`` once the kernel pipe buffer fills — with batched
+        apply frames a handful of frames is enough — and then no
+        supervision tick ever runs again to enforce the very deadline
+        that would have failed the worker. So the pipe is written
+        non-blocking under a wall-clock budget; a stall past *timeout*
+        raises :class:`WorkerUnavailable` (the stream may have a
+        partial message in it, so the connection is unusable and the
+        caller must fail the worker — which the journal replay makes
+        safe).
+        """
+        payload = bytes(ForkingPickler.dumps(msg))
+        # The exact byte framing of Connection._send_bytes.
+        if len(payload) > 0x7FFFFFFF:  # pragma: no cover - frames are bounded
+            data = struct.pack("!i", -1) + struct.pack("!Q", len(payload)) + payload
+        else:
+            data = struct.pack("!i", len(payload)) + payload
+        buf = memoryview(data)
+        try:
+            fd = self.conn.fileno()
+        except (OSError, ValueError) as exc:
+            raise WorkerUnavailable(str(exc)) from exc
+        end = time.monotonic() + timeout
+        os.set_blocking(fd, False)
+        try:
+            while buf:
+                try:
+                    written = os.write(fd, buf)
+                except BlockingIOError:
+                    written = 0
+                except OSError as exc:
+                    raise WorkerUnavailable(str(exc)) from exc
+                if written:
+                    buf = buf[written:]
+                    continue
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerUnavailable(
+                        f"send stalled {timeout:.1f}s: worker not draining its pipe"
+                    )
+                select.select([], [fd], [], min(remaining, 0.05))
+        finally:
+            try:
+                os.set_blocking(fd, True)
+            except OSError:  # pragma: no cover - conn torn down mid-send
+                pass
+
     def request(
         self,
         msg: tuple,
@@ -246,15 +316,13 @@ class WorkerHandle:
     ) -> bool:
         """Send *msg*; False means the in-flight window is full.
 
-        Raises :class:`WorkerUnavailable` when the pipe is broken —
-        the caller routes that into the failure path.
+        Raises :class:`WorkerUnavailable` when the pipe is broken or
+        the send stalls past the request deadline — the caller routes
+        that into the failure path.
         """
         if self.pending.full:
             return False
-        try:
-            self.conn.send(msg)
-        except (OSError, ValueError, BrokenPipeError) as exc:
-            raise WorkerUnavailable(str(exc)) from exc
+        self._send_with_deadline(msg, deadline if deadline is not None else 60.0)
         self.pending.offer(PendingRequest(kind, now, deadline, meta))
         return True
 
@@ -310,8 +378,8 @@ class WorkerHandle:
     def shutdown(self, timeout: float = 2.0) -> None:
         """Ask the worker to exit cleanly; escalate to kill."""
         try:
-            self.conn.send(("shutdown",))
-        except (OSError, ValueError, BrokenPipeError):
+            self._send_with_deadline(("shutdown",), timeout)
+        except WorkerUnavailable:
             pass
         self.process.join(timeout=timeout)
         self.kill()

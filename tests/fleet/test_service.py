@@ -135,6 +135,58 @@ class TestQueryPath:
         answer = service.query("t0", PlacementQuery(dcomp_frontend=1.0, candidates=(-3, 99)))
         assert 0 <= answer.machine < 8
 
+    def test_inlined_grid_matches_placement_grid_kernel(self):
+        """The query path's inlined Equation-(1) arithmetic is pinned,
+        bit for bit, to the shared ``placement_grid`` kernel it avoids
+        calling per query."""
+        import numpy as np
+
+        from repro.core.batch import placement_grid
+        from repro.reliability.degrade import TaggedSlowdown
+
+        rng = np.random.default_rng(31)
+        service = make_service()
+        for i in range(12):
+            service.apply(arrive(f"a{i}", int(rng.integers(8)), frac=float(rng.uniform(0.1, 0.7))))
+        for _ in range(50):
+            candidates = tuple(int(m) for m in rng.choice(8, size=4, replace=False))
+            query = PlacementQuery(
+                dcomp_frontend=float(rng.uniform(0.1, 2.0)),
+                backend_dcomp=float(rng.uniform(0.0, 1.0)),
+                backend_didle=float(rng.uniform(0.0, 0.5)),
+                backend_dserial=float(rng.uniform(0.0, 1.0)),
+                dcomm_out=float(rng.uniform(0.0, 0.2)),
+                dcomm_in=float(rng.uniform(0.0, 0.2)),
+                candidates=candidates,
+            )
+            answer = service.query("t0", query)
+            service._refresh()
+            cands = np.asarray(candidates, dtype=np.int64)
+            comp = service._comp[cands]
+            comm = service._comm[cands]
+            conf = Confidence(int(service._conf[cands].min()))
+            grid = placement_grid(
+                query.dcomp_frontend,
+                query.backend_dcomp,
+                query.backend_didle,
+                query.backend_dserial,
+                query.dcomm_out,
+                query.dcomm_in,
+                TaggedSlowdown(comp, conf),
+                TaggedSlowdown(comm, conf),
+            )
+            best = int(np.argmin(grid.best_time))
+            assert answer.machine == candidates[best]
+            assert answer.best_time == float(grid.best_time[best])
+            assert answer.offload == bool(grid.offload[best])
+
+    def test_negative_query_costs_raise_like_the_kernel(self):
+        service = make_service()
+        with pytest.raises(ValueError, match="dcomm must be >= 0"):
+            service.query("t0", PlacementQuery(dcomp_frontend=1.0, dcomm_out=-0.1))
+        with pytest.raises(ValueError, match="dcomp must be >= 0"):
+            service.query("t0", PlacementQuery(dcomp_frontend=-1.0))
+
 
 class TestOverload:
     def test_ten_times_quota_never_raises_and_accounts(self):

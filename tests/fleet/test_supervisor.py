@@ -269,3 +269,47 @@ class TestBackpressureAccounting:
                 assert service.worker_state(sid) == WorkerHandle.LIVE
                 assert service.worker_depth(sid) >= 0
                 assert isinstance(service.worker_pid(sid), int)
+
+    def test_send_to_wedged_worker_stalls_out_instead_of_deadlocking(self):
+        """A worker that stops reading must not wedge the supervisor.
+
+        Once the kernel pipe buffer fills behind a hung worker, a plain
+        ``Connection.send`` blocks forever inside ``write(2)`` — before
+        any tick can enforce the apply deadline that would have failed
+        the worker (batched frames fill the buffer in a handful of
+        sends). ``WorkerHandle`` must instead surface the stall as
+        ``WorkerUnavailable`` within the request deadline.
+        """
+        import multiprocessing
+
+        from repro.fleet.worker import WorkerUnavailable
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        handle = WorkerHandle(
+            ctx, 0, range(4), (None, None, None), None, max_inflight=256, now=0.0
+        )
+        try:
+            # Wedge the worker on its next applied event.
+            assert handle.request(("inject", "hang", 1), "inject", 5.0, 0.0)
+            event = {
+                "op": "arrive",
+                "app": "a0",
+                "tenant": "t",
+                "machine": 0,
+                "comm_fraction": 0.3,
+                "message_size": 64.0,
+            }
+            assert handle.request(("apply", [event]), "apply", 5.0, 0.0)
+            # Flood the pipe with frames the sleeping worker never
+            # reads. Far more than any kernel pipe buffer holds; with a
+            # blocking send this loop never returns.
+            frame = [dict(event, app=f"a{i}") for i in range(2000)]
+            start = time.monotonic()
+            with pytest.raises(WorkerUnavailable, match="stalled"):
+                for _ in range(64):
+                    handle.request(("apply", frame), "apply", 1.0, 0.0)
+            assert time.monotonic() - start < 30.0
+        finally:
+            handle.kill()
